@@ -1,0 +1,186 @@
+// Ablation studies for the client-side design choices DESIGN.md calls
+// out: LO vs GO local policy, switch hysteresis margin, probing period
+// (T_probing) and adaptive rate control. Each sweep holds the world fixed
+// and varies one knob.
+#include <cstdio>
+
+#include "bench_churn_common.h"
+#include "common/table.h"
+
+using namespace eden;
+using bench::Fleet;
+using bench::Policy;
+
+namespace {
+
+// ---- (a) LO vs GO over the static emulation (Fig 6 world) ----
+void ablate_local_policy() {
+  print_section("(a) local selection policy: LO vs GO (15 users, 9 nodes)");
+  Table table({"policy", "avg latency (ms)", "stddev across users (ms)",
+               "worst user (ms)"});
+  for (const auto policy :
+       {client::LocalPolicy::kLocalOverhead, client::LocalPolicy::kGlobalOverhead}) {
+    auto setup = harness::make_emulation_setup(2022, 15);
+    auto& scenario = *setup.scenario;
+    harness::start_all_nodes(scenario);
+    scenario.run_until(sec(2.0));
+
+    std::vector<const TimeSeries*> series;
+    std::vector<client::EdgeClient*> clients;
+    for (int i = 0; i < 15; ++i) {
+      client::ClientConfig config;
+      config.top_n = 3;
+      config.policy = policy;
+      // Fixed rates keep contention high — the regime where the policies
+      // differ (GO's degradation term only matters near capacity).
+      config.app.adaptive_rate = false;
+      config.app.max_fps = 15.0;
+      auto& c = scenario.add_edge_client(setup.user_spots[i], config);
+      setup.wire_client(c.id(), i);
+      scenario.simulator().schedule_at(sec(2.0) + sec(10.0) * i,
+                                       [&c] { c.start(); });
+      series.push_back(&c.latency_series());
+      clients.push_back(&c);
+    }
+    const SimTime end = sec(2.0) + sec(10.0) * 15 + sec(30.0);
+    scenario.run_until(end);
+
+    double worst = 0;
+    for (const auto* s : series) {
+      const auto w = s->window(end - sec(25), end);
+      if (w.count()) worst = std::max(worst, w.mean());
+    }
+    table.add_row(
+        {policy == client::LocalPolicy::kLocalOverhead ? "LO (local only)"
+                                                       : "GO (paper default)",
+         Table::num(harness::fleet_window(series, end - sec(25), end).mean()),
+         Table::num(harness::fairness_stddev(series, end - sec(25), end)),
+         Table::num(worst)});
+  }
+  table.print();
+  std::printf(
+      "expectation: GO trades a touch of individual greed for lower fleet "
+      "average and better fairness (the paper's §IV-D argument)\n");
+}
+
+// ---- (b) switch-margin sweep under churn ----
+void ablate_switch_margin() {
+  print_section("(b) switch hysteresis margin under churn (TopN = 3)");
+  Table table({"margin", "avg latency (ms)", "voluntary switches",
+               "join conflicts"});
+  for (const double margin : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    bench::ChurnWorldOptions options;
+    options.client.top_n = 3;
+    options.client.probing_period = sec(5.0);
+    options.client.switch_margin = margin;
+    auto world = bench::run_churn_world(options);
+    std::uint64_t switches = 0;
+    std::uint64_t conflicts = 0;
+    for (const auto* c : world.clients) {
+      switches += c->stats().switches;
+      conflicts += c->stats().join_conflicts;
+    }
+    table.add_row({Table::num(margin, 2),
+                   Table::num(harness::fleet_window(world.series(), sec(30),
+                                                    sec(180))
+                                  .mean()),
+                   Table::integer(static_cast<long long>(switches)),
+                   Table::integer(static_cast<long long>(conflicts))});
+  }
+  table.print();
+  std::printf(
+      "expectation: margin 0 (bare Algorithm 2) churns through switches; "
+      "large margins stop reacting to genuinely better nodes\n");
+}
+
+// ---- (c) probing period sweep under churn ----
+void ablate_probing_period() {
+  print_section("(c) probing period T_probing under churn (TopN = 3)");
+  Table table({"T_probing (s)", "avg latency (ms)", "probe requests",
+               "failovers", "hard failures"});
+  for (const double period : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    bench::ChurnWorldOptions options;
+    options.client.top_n = 3;
+    options.client.probing_period = sec(period);
+    auto world = bench::run_churn_world(options);
+    std::uint64_t probes = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t hard = 0;
+    for (const auto* c : world.clients) {
+      probes += c->stats().probes_sent;
+      failovers += c->stats().failovers;
+      hard += c->stats().hard_failures;
+    }
+    table.add_row({Table::num(period, 0),
+                   Table::num(harness::fleet_window(world.series(), sec(30),
+                                                    sec(180))
+                                  .mean()),
+                   Table::integer(static_cast<long long>(probes)),
+                   Table::integer(static_cast<long long>(failovers)),
+                   Table::integer(static_cast<long long>(hard))});
+  }
+  table.print();
+  std::printf(
+      "finding: probing cost scales ~1/T as §IV-E expects, but the latency "
+      "optimum is interior (~5-10 s) — very frequent probing destabilises "
+      "selection (re-selection storms), very rare probing leaves stale "
+      "backup lists that turn departures into hard failures\n");
+}
+
+// ---- (d) adaptive rate control on an overloaded deployment ----
+void ablate_adaptive_rate() {
+  print_section("(d) adaptive rate control, overloaded world (15 users, 9 nodes)");
+  Table table({"rate control", "avg latency (ms)", "avg fps at end",
+               "frames failed"});
+  for (const bool adaptive : {true, false}) {
+    auto setup = harness::make_emulation_setup(2022, 15);
+    auto& scenario = *setup.scenario;
+    harness::start_all_nodes(scenario);
+    scenario.run_until(sec(2.0));
+    std::vector<const TimeSeries*> series;
+    std::vector<client::EdgeClient*> clients;
+    for (int i = 0; i < 15; ++i) {
+      client::ClientConfig config;
+      config.top_n = 3;
+      config.app.adaptive_rate = adaptive;
+      auto& c = scenario.add_edge_client(setup.user_spots[i], config);
+      setup.wire_client(c.id(), i);
+      scenario.simulator().schedule_at(sec(2.0) + sec(5.0) * i,
+                                       [&c] { c.start(); });
+      series.push_back(&c.latency_series());
+      clients.push_back(&c);
+    }
+    const SimTime end = sec(2.0) + sec(5.0) * 15 + sec(30.0);
+    scenario.run_until(end);
+
+    double fps = 0;
+    std::uint64_t failed = 0;
+    for (const auto* c : clients) {
+      fps += c->fps();
+      failed += c->stats().frames_failed;
+    }
+    table.add_row(
+        {adaptive ? "adaptive (paper)" : "fixed 20 FPS",
+         Table::num(harness::fleet_window(series, end - sec(25), end).mean()),
+         Table::num(fps / 15.0), Table::integer(static_cast<long long>(failed))});
+  }
+  table.print();
+  std::printf(
+      "expectation: without backoff, saturated nodes shed frames and "
+      "latency balloons; with it, rates settle near capacity\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablations — client-side design choices",
+      "each knob isolated on a fixed world: GO beats LO on fairness; "
+      "moderate hysteresis beats none; smaller T_probing buys robustness "
+      "with linear probe cost; adaptive rates absorb overload");
+  ablate_local_policy();
+  ablate_switch_margin();
+  ablate_probing_period();
+  ablate_adaptive_rate();
+  return 0;
+}

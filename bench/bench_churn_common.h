@@ -1,0 +1,125 @@
+// Shared world builder for the churn experiments (Figs 8, 9, 10): the
+// §V-D2 configuration — 18 nodes arriving as a Poisson process with
+// Weibull lifetimes over a 3-minute timeline, 10 static users, TopN and
+// proactive-connection knobs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "churn/churn.h"
+
+namespace eden::bench {
+
+struct ChurnWorld {
+  std::unique_ptr<harness::Scenario> scenario;
+  std::vector<client::EdgeClient*> clients;
+  churn::ChurnSchedule schedule;
+
+  [[nodiscard]] std::vector<const TimeSeries*> series() const {
+    std::vector<const TimeSeries*> out;
+    for (const auto* c : clients) out.push_back(&c->latency_series());
+    return out;
+  }
+};
+
+// Knobs for the churn experiments; defaults reproduce §V-D2.
+struct ChurnWorldOptions {
+  std::uint64_t seed{2030};
+  SimDuration horizon{sec(180.0)};
+  int users{10};
+  // Client configuration template (id/geohash filled per user).
+  client::ClientConfig client;
+  // Manager-side selection policy (reliability ablations etc.).
+  manager::GlobalPolicy manager_policy{};
+  // Churn model overrides.
+  double lifetime_shape{1.5};
+  double lifetime_mean_sec{50.0};
+};
+
+// Build and run the churn world to the horizon. The node schedule, layout
+// and RTTs depend only on the seed, so different client/manager settings
+// are compared on an identical timeline — as in the paper's Fig 9/10
+// sweeps.
+inline ChurnWorld run_churn_world(const ChurnWorldOptions& options) {
+  ChurnWorld world;
+  harness::ScenarioConfig config;
+  config.seed = options.seed;
+  config.manager_policy = options.manager_policy;
+  world.scenario = std::make_unique<harness::Scenario>(
+      config, harness::NetKind::kMatrix, 25.0, 50.0, 0.05);
+  auto& scenario = *world.scenario;
+  const std::uint64_t seed = options.seed;
+  const SimDuration horizon = options.horizon;
+  const int users = options.users;
+
+  // §V-D2 churn model: Poisson(k = 4 per 30 s) joins, Weibull(mean 50 s)
+  // lifetimes, 18 total nodes over 3 minutes. A few initial nodes let the
+  // static users attach at t = 0.
+  churn::ChurnConfig churn_config;
+  churn_config.horizon = horizon;
+  churn_config.joins_per_period = 4.0;
+  churn_config.lifetime_mean_sec = options.lifetime_mean_sec;
+  churn_config.lifetime_shape = options.lifetime_shape;
+  churn_config.initial_nodes = 5;
+  churn_config.max_nodes = 18;
+  Rng churn_rng = Rng(seed).fork("churn-schedule");
+  world.schedule = churn::generate_churn(churn_config, churn_rng);
+
+  Rng layout_rng = Rng(seed).fork("churn-layout");
+  const geo::GeoPoint center{44.9778, -93.2650};
+  const auto specs =
+      harness::churn_node_specs(static_cast<int>(world.schedule.total_nodes));
+  std::vector<geo::GeoPoint> node_positions;
+  for (auto spec : specs) {
+    spec.position = harness::random_point_near(center, 40.0, layout_rng);
+    node_positions.push_back(spec.position);
+    scenario.add_node(spec);
+  }
+  for (const auto& event : world.schedule.events) {
+    if (event.kind == churn::ChurnEventKind::kJoin) {
+      scenario.schedule_node_start(event.node_index, event.at);
+    } else {
+      scenario.schedule_node_stop(event.node_index, event.at,
+                                  /*graceful=*/false);
+    }
+  }
+
+  for (int i = 0; i < users; ++i) {
+    client::ClientConfig client_config = options.client;
+    harness::ClientSpot spot;
+    spot.name = "user-" + std::to_string(i);
+    spot.position = harness::random_point_near(center, 40.0, layout_rng);
+    auto& client = scenario.add_edge_client(spot, client_config);
+    // Distance-derived pairwise RTTs, same recipe as the static emulation.
+    for (std::size_t j = 0; j < scenario.node_count(); ++j) {
+      scenario.matrix_network()->set_rtt_ms(
+          client.id(), scenario.node_id(j),
+          harness::emulation_rtt_ms(spot.position, node_positions[j],
+                                    layout_rng));
+    }
+    scenario.simulator().schedule_at(msec(200.0), [&client] { client.start(); });
+    world.clients.push_back(&client);
+  }
+
+  scenario.run_until(horizon);
+  return world;
+}
+
+// Back-compat convenience used by the Fig 8/9/10 benches.
+inline ChurnWorld run_churn_world(int top_n, bool proactive,
+                                  std::uint64_t seed,
+                                  SimDuration horizon = sec(180.0),
+                                  int users = 10) {
+  ChurnWorldOptions options;
+  options.seed = seed;
+  options.horizon = horizon;
+  options.users = users;
+  options.client.top_n = top_n;
+  options.client.probing_period = sec(5.0);
+  options.client.proactive_connections = proactive;
+  return run_churn_world(options);
+}
+
+}  // namespace eden::bench

@@ -1,0 +1,173 @@
+// Shared machinery for the experiment benches: creating a fleet of clients
+// under one of the paper's five selection policies (§V-B) over a Scenario,
+// and aggregating their latency series.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/assigners.h"
+#include "baselines/static_client.h"
+#include "client/edge_client.h"
+#include "harness/experiments.h"
+#include "harness/metrics.h"
+#include "harness/scenario.h"
+
+namespace eden::bench {
+
+enum class Policy {
+  kClientCentric,  // our approach (EdgeClient, 2-step selection)
+  kGeoProximity,   // closest node geographically
+  kResourceAware,  // weighted round robin over all edge nodes
+  kDedicatedOnly,  // WRR over the dedicated (Local Zone) nodes only
+  kCloud,          // closest cloud
+};
+
+inline const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kClientCentric: return "Client-centric";
+    case Policy::kGeoProximity: return "Geo-proximity";
+    case Policy::kResourceAware: return "Resource-aware";
+    case Policy::kDedicatedOnly: return "Dedicated-only";
+    case Policy::kCloud: return "Closest cloud";
+  }
+  return "?";
+}
+
+struct FleetOptions {
+  int top_n{3};
+  SimDuration probing_period{sec(5.0)};
+  bool adaptive_rate{true};
+  double max_fps{20.0};
+  bool proactive{true};
+};
+
+// A set of application users running one policy inside a Scenario. For the
+// client-centric policy users are EdgeClients; baselines get StaticClients
+// with a centrally-computed assignment at join time.
+class Fleet {
+ public:
+  Fleet(harness::Scenario& scenario, Policy policy, FleetOptions options = {})
+      : scenario_(&scenario), policy_(policy), options_(options) {
+    const auto infos = scenario.node_infos();
+    switch (policy) {
+      case Policy::kClientCentric:
+        break;
+      case Policy::kGeoProximity:
+        assigner_ = std::make_unique<baselines::GeoProximityAssigner>(infos);
+        break;
+      case Policy::kResourceAware:
+        assigner_ =
+            std::make_unique<baselines::WeightedRoundRobinAssigner>(infos);
+        break;
+      case Policy::kDedicatedOnly:
+        assigner_ = std::make_unique<baselines::WeightedRoundRobinAssigner>(
+            infos, /*dedicated_only=*/true);
+        break;
+      case Policy::kCloud:
+        assigner_ = std::make_unique<baselines::ClosestCloudAssigner>(infos);
+        break;
+    }
+  }
+
+  // Create user `index` at `spot`, starting at `join_at`. `wire` (optional)
+  // installs pairwise RTTs for matrix networks before the client starts.
+  void add_user(const harness::ClientSpot& spot, SimTime join_at,
+                std::function<void(HostId, std::size_t)> wire = {}) {
+    const std::size_t index = users_++;
+    workload::AppProfile app;
+    app.adaptive_rate = options_.adaptive_rate;
+    app.max_fps = options_.max_fps;
+
+    if (policy_ == Policy::kClientCentric) {
+      client::ClientConfig config;
+      config.top_n = options_.top_n;
+      config.probing_period = options_.probing_period;
+      config.proactive_connections = options_.proactive;
+      config.app = app;
+      auto& c = scenario_->add_edge_client(spot, config);
+      if (wire) wire(c.id(), index);
+      scenario_->simulator().schedule_at(join_at, [&c] { c.start(); });
+      edge_clients_.push_back(&c);
+    } else {
+      auto& c = scenario_->add_static_client(spot, app);
+      if (wire) wire(c.id(), index);
+      const auto target = assigner_ ? assigner_->assign(spot.position)
+                                    : std::nullopt;
+      if (target) {
+        scenario_->simulator().schedule_at(
+            join_at, [&c, node = *target] { c.start(node); });
+      }
+      static_clients_.push_back(&c);
+    }
+  }
+
+  [[nodiscard]] std::vector<const TimeSeries*> series() const {
+    std::vector<const TimeSeries*> out;
+    for (const auto* c : edge_clients_) out.push_back(&c->latency_series());
+    for (const auto* c : static_clients_) out.push_back(&c->latency_series());
+    return out;
+  }
+
+  [[nodiscard]] double window_mean(SimTime begin, SimTime end) const {
+    return harness::fleet_window(series(), begin, end).mean();
+  }
+
+  [[nodiscard]] double fairness_stddev(SimTime begin, SimTime end) const {
+    return harness::fairness_stddev(series(), begin, end);
+  }
+
+  [[nodiscard]] const std::vector<client::EdgeClient*>& edge_clients() const {
+    return edge_clients_;
+  }
+  [[nodiscard]] const std::vector<baselines::StaticClient*>& static_clients()
+      const {
+    return static_clients_;
+  }
+
+  [[nodiscard]] std::uint64_t total_probes() const {
+    std::uint64_t total = 0;
+    for (const auto* c : edge_clients_) total += c->stats().probes_sent;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_hard_failures() const {
+    std::uint64_t total = 0;
+    for (const auto* c : edge_clients_) total += c->stats().hard_failures;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_failovers() const {
+    std::uint64_t total = 0;
+    for (const auto* c : edge_clients_) total += c->stats().failovers;
+    return total;
+  }
+
+ private:
+  harness::Scenario* scenario_;
+  Policy policy_;
+  FleetOptions options_;
+  std::unique_ptr<baselines::Assigner> assigner_;
+  std::size_t users_{0};
+  std::vector<client::EdgeClient*> edge_clients_;
+  std::vector<baselines::StaticClient*> static_clients_;
+};
+
+// Sum of test-workload invocations over every node in the scenario.
+inline std::uint64_t total_test_invocations(harness::Scenario& scenario) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    total += scenario.node(i).stats().test_invocations;
+  }
+  return total;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("EDEN reproduction — %s\n", experiment);
+  std::printf("paper-shape: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace eden::bench

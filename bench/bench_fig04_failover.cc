@@ -1,0 +1,99 @@
+// Fig 4: per-frame end-to-end latency trace across a node failure —
+// re-connect (reactive) vs immediate connection switch (our approach).
+// The reactive client suffers a visible service gap; the proactive one
+// fails over to a warm backup within a frame interval or two.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace eden;
+
+namespace {
+
+struct TraceResult {
+  std::vector<std::pair<SimTime, double>> trace;  // bucketed latency
+  SimTime max_gap{0};                             // widest frame gap
+  std::uint64_t failovers{0};
+  std::uint64_t hard_failures{0};
+};
+
+TraceResult run(bool proactive) {
+  auto setup = harness::make_realworld_setup(/*seed=*/2022);
+  auto& scenario = *setup.scenario;
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig config;
+  config.top_n = 3;
+  config.probing_period = sec(5.0);
+  config.proactive_connections = proactive;
+  config.reconnect_penalty = msec(1500.0);  // TCP + TLS + discovery restart
+  auto& client = scenario.add_edge_client(setup.user_spots[0], config);
+  client.start();
+  scenario.run_until(sec(30.0));
+
+  // Kill whatever node the user is on.
+  if (client.current_node()) {
+    const auto index = scenario.node_index(*client.current_node());
+    if (index) scenario.stop_node(*index, /*graceful=*/false);
+  }
+  scenario.run_until(sec(45.0));
+
+  TraceResult result;
+  result.trace = client.latency_series().bucketed(sec(25), sec(45), msec(500));
+  SimTime prev = 0;
+  for (const auto& [t, v] : client.latency_series().points()) {
+    if (t < sec(25) || t > sec(45)) {
+      prev = t;
+      continue;
+    }
+    if (prev != 0) result.max_gap = std::max(result.max_gap, t - prev);
+    prev = t;
+  }
+  result.failovers = client.stats().failovers;
+  result.hard_failures = client.stats().hard_failures;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig 4 — failover trace: re-connect vs immediate connection switch",
+      "the proactive approach resumes within ~a frame interval; the "
+      "re-connect approach shows a multi-second service gap");
+
+  const TraceResult proactive = run(true);
+  const TraceResult reactive = run(false);
+
+  print_section("Per-0.5s average latency (ms), node killed at t = 30 s");
+  Table table({"t (s)", "immediate switch (ours)", "re-connect"});
+  for (std::size_t i = 0; i < proactive.trace.size(); ++i) {
+    auto fmt = [](double v) {
+      return v != v ? std::string("-") : Table::num(v);  // NaN -> gap
+    };
+    table.add_row({Table::num(to_sec(proactive.trace[i].first), 1),
+                   fmt(proactive.trace[i].second),
+                   i < reactive.trace.size() ? fmt(reactive.trace[i].second)
+                                             : "-"});
+  }
+  table.print();
+
+  print_section("Service interruption");
+  Table summary({"approach", "max frame gap (ms)", "failovers", "hard failures"});
+  summary.add_row({"immediate switch (ours)",
+                   Table::num(to_ms(proactive.max_gap), 0),
+                   Table::integer(static_cast<long long>(proactive.failovers)),
+                   Table::integer(static_cast<long long>(proactive.hard_failures))});
+  summary.add_row({"re-connect",
+                   Table::num(to_ms(reactive.max_gap), 0),
+                   Table::integer(static_cast<long long>(reactive.failovers)),
+                   Table::integer(static_cast<long long>(reactive.hard_failures))});
+  summary.print();
+
+  std::printf(
+      "\n(paper Fig 4: re-connect shows a large downtime spike on failure; "
+      "immediate switch keeps serving with only a small bump)\n");
+  return 0;
+}

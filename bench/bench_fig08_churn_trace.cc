@@ -1,0 +1,69 @@
+// Fig 8: average latency trace of 10 static users under high node churn
+// (TopN = 3), together with the alive-node staircase. Latency steps down
+// within seconds of node joins; node departures raise latency but never
+// interrupt service.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_churn_common.h"
+#include "common/table.h"
+#include "harness/metrics.h"
+
+using namespace eden;
+
+int main() {
+  bench::print_header(
+      "Fig 8 — 10 static users under high node churn (TopN = 3)",
+      "latency drops within seconds of node joins (dynamic load "
+      "balancing); departures raise latency without service disruption");
+
+  auto world = bench::run_churn_world(/*top_n=*/3, /*proactive=*/true,
+                                      /*seed=*/2030);
+
+  print_section("Average latency + alive nodes per 5 s bucket");
+  Table table({"t (s)", "avg latency (ms)", "alive nodes", "frames completed"});
+  const auto trace =
+      harness::fleet_trace(world.series(), 0, sec(180), sec(5.0));
+  for (const auto& [t, latency] : trace) {
+    const auto window = harness::fleet_window(world.series(), t, t + sec(5));
+    table.add_row({Table::num(to_sec(t), 0),
+                   std::isnan(latency) ? "-" : Table::num(latency),
+                   Table::integer(world.schedule.alive_at(t + sec(2.5))),
+                   Table::integer(static_cast<long long>(window.count()))});
+  }
+  table.print();
+
+  print_section("Churn timeline");
+  std::printf("total distinct nodes over the run: %zu (paper: 18)\n",
+              world.schedule.total_nodes);
+  std::printf("join events: ");
+  for (const auto& e : world.schedule.events) {
+    if (e.kind == churn::ChurnEventKind::kJoin) {
+      std::printf("%.0fs ", to_sec(e.at));
+    }
+  }
+  std::printf("\nleave events: ");
+  for (const auto& e : world.schedule.events) {
+    if (e.kind == churn::ChurnEventKind::kLeave) {
+      std::printf("%.0fs ", to_sec(e.at));
+    }
+  }
+  std::printf("\n");
+
+  // Correlation check: buckets right after a join wave should not be worse
+  // than the bucket before it.
+  print_section("Service continuity");
+  std::uint64_t total_frames = 0;
+  std::uint64_t hard_failures = 0;
+  for (const auto* c : world.clients) {
+    total_frames += c->stats().frames_ok;
+    hard_failures += c->stats().hard_failures;
+  }
+  std::printf(
+      "frames completed: %llu, hard failures (re-connect events): %llu\n"
+      "(paper Fig 8: average latency correlates inversely with alive-node "
+      "count; no service downtime on leaves thanks to backup switching)\n",
+      static_cast<unsigned long long>(total_frames),
+      static_cast<unsigned long long>(hard_failures));
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for EDEN's hot paths: the event
+// queue, the GeoHash codec, probing-result sorting, the Erlang-C predictor
+// and the optimal-assignment solver.
+#include <benchmark/benchmark.h>
+
+#include "baselines/latency_model.h"
+#include "baselines/optimal.h"
+#include "client/selection_policy.h"
+#include "common/rng.h"
+#include "geo/geohash.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace eden;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    Rng rng(1);
+    for (int i = 0; i < events; ++i) {
+      simulator.schedule_at(static_cast<SimTime>(rng.uniform_int(0, 1'000'000)),
+                            [] {});
+    }
+    simulator.run_all();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_GeohashEncode(benchmark::State& state) {
+  Rng rng(2);
+  const geo::GeoPoint p{rng.uniform(-90, 90), rng.uniform(-180, 180)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::geohash_encode(p, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_GeohashEncode)->Arg(6)->Arg(12);
+
+void BM_GeohashDecode(benchmark::State& state) {
+  const std::string hash = geo::geohash_encode({44.9778, -93.2650}, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::geohash_decode(hash));
+  }
+}
+BENCHMARK(BM_GeohashDecode);
+
+void BM_GeohashNeighbors(benchmark::State& state) {
+  const std::string hash = geo::geohash_encode({44.9778, -93.2650}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::geohash_neighbors(hash));
+  }
+}
+BENCHMARK(BM_GeohashNeighbors);
+
+void BM_SortCandidates(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<client::ProbeResult> results;
+  for (int i = 0; i < state.range(0); ++i) {
+    client::ProbeResult r;
+    r.node = NodeId{static_cast<std::uint32_t>(i)};
+    r.d_prop_ms = rng.uniform(5, 50);
+    r.process.whatif_ms = rng.uniform(20, 80);
+    r.process.current_ms = rng.uniform(20, 80);
+    r.process.attached_users = static_cast<int>(rng.uniform_int(0, 8));
+    results.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client::sort_candidates(
+        results, client::LocalPolicy::kGlobalOverhead, {}, 12345));
+  }
+}
+BENCHMARK(BM_SortCandidates)->Arg(5)->Arg(50);
+
+void BM_ErlangC(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int c = 1; c <= 16; ++c) {
+      benchmark::DoNotOptimize(baselines::erlang_c(c, 0.8 * c));
+    }
+  }
+}
+BENCHMARK(BM_ErlangC);
+
+baselines::PredictInput make_input(int users, int nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  baselines::PredictInput input;
+  for (int j = 0; j < nodes; ++j) {
+    baselines::NodeInfo info;
+    info.id = NodeId{static_cast<std::uint32_t>(j)};
+    info.cores = static_cast<int>(rng.uniform_int(1, 8));
+    info.base_frame_ms = rng.uniform(15, 60);
+    input.nodes.push_back(info);
+  }
+  for (int i = 0; i < users; ++i) {
+    std::vector<double> rtt;
+    std::vector<double> trans;
+    for (int j = 0; j < nodes; ++j) {
+      rtt.push_back(rng.uniform(5, 55));
+      trans.push_back(rng.uniform(1, 5));
+    }
+    input.rtt_ms.push_back(std::move(rtt));
+    input.trans_ms.push_back(std::move(trans));
+  }
+  return input;
+}
+
+void BM_AverageLatency(benchmark::State& state) {
+  const auto input = make_input(15, 9, 7);
+  std::vector<int> assignment(15);
+  Rng rng(8);
+  for (auto& a : assignment) a = static_cast<int>(rng.uniform_int(0, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::average_latency_ms(input, assignment));
+  }
+}
+BENCHMARK(BM_AverageLatency);
+
+void BM_OptimalSolver(benchmark::State& state) {
+  const auto input = make_input(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)), 9);
+  for (auto _ : state) {
+    Rng rng(10);
+    benchmark::DoNotOptimize(baselines::solve_optimal(input, rng));
+  }
+}
+BENCHMARK(BM_OptimalSolver)->Args({6, 4})->Args({15, 9});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table III: pairwise predicted end-to-end latency (D_prop + what-if
+// D_proc) between 3 users and all edge nodes, with the node each user's
+// local selection picks (TopN = 6 so every node is probed). Experiments
+// run per-user on a fresh world to avoid interference, as in the paper.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace eden;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2022;
+  bench::print_header(
+      "Table III — pairwise user/node latency with selection (TopN = 6+)",
+      "each user selects the node minimising its probed D_prop + D_proc; "
+      "selections differ per user because connectivity differs");
+
+  const char* node_names[] = {"V1", "V2", "V3", "V4", "V5",
+                              "D6", "D7", "D8", "D9", "Cloud"};
+
+  Table table({"client", "V1", "V2", "V3", "V4", "V5", "D6", "D7", "D8", "D9",
+               "Cloud", "selected"});
+
+  // One world, three users probed sequentially (each stops before the next
+  // starts) so results do not interfere but per-pair network heterogeneity
+  // is preserved.
+  auto setup = harness::make_realworld_setup(seed);
+  auto& scenario = *setup.scenario;
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  for (int user_index = 0; user_index < 3; ++user_index) {
+    client::ClientConfig config;
+    config.top_n = static_cast<int>(scenario.node_count());
+    config.send_frames = false;  // selection-only, like the paper's table
+    auto& client =
+        scenario.add_edge_client(setup.user_spots[user_index], config);
+    client.start();
+    scenario.run_until(scenario.simulator().now() + sec(3.0));
+
+    const auto& results = client.last_probe_results();
+    std::vector<std::string> row{"U" + std::to_string(user_index + 1)};
+    row.resize(12);
+    for (const auto& r : results) {
+      const auto index = scenario.node_index(r.node);
+      if (index) row[1 + *index] = Table::num(r.lo(), 0);
+    }
+    std::string selected = "-";
+    if (client.current_node()) {
+      const auto index = scenario.node_index(*client.current_node());
+      if (index) selected = node_names[*index];
+    }
+    row[11] = selected;  // last column
+    table.add_row(row);
+
+    client.stop();  // detach before the next user probes
+    scenario.run_until(scenario.simulator().now() + sec(1.0));
+  }
+
+  print_section("Predicted e2e latency (ms): D_prop + what-if D_proc");
+  table.print();
+  std::printf(
+      "\n(paper Table III: U1 selects V1 at 38 ms, U2 selects V2 at 35 ms, "
+      "U3 selects D6 at 42 ms — selection tracks per-user connectivity, "
+      "not a global ranking; cloud is ~100+ ms for everyone)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Live cluster demo: the SAME protocol classes that run in the simulator
+// running as a real distributed system — a central manager, three edge
+// nodes and two clients talking framed RPC over localhost TCP sockets.
+// Kills a node halfway through to show live failover.
+//
+//   ./examples/live_cluster
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "rpc/live_runtime.h"
+
+using namespace eden;
+using namespace eden::rpc;
+
+namespace {
+
+node::EdgeNodeConfig make_node(std::uint32_t id, const char* geohash,
+                               int cores, double frame_ms) {
+  node::EdgeNodeConfig config;
+  config.id = NodeId{id};
+  config.geohash = geohash;
+  config.executor.cores = cores;
+  config.executor.base_frame_ms = frame_ms;
+  config.heartbeat_period = msec(500.0);
+  return config;
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+int main() {
+  std::puts("EDEN live cluster on localhost TCP\n");
+
+  LiveManager manager;
+  if (!manager.start(0)) {
+    std::puts("failed to bind manager port");
+    return 1;
+  }
+  std::printf("central manager listening on %s\n", manager.endpoint().c_str());
+
+  LiveNode laptop(make_node(1, "9zvxvf", 8, 8.0), manager.endpoint());
+  LiveNode desktop(make_node(2, "9zvxvg", 4, 15.0), manager.endpoint());
+  LiveNode mini(make_node(3, "9zvxvu", 2, 25.0), manager.endpoint());
+  laptop.start(0);
+  desktop.start(0);
+  mini.start(0);
+  std::printf("edge nodes: laptop=%s desktop=%s mini=%s\n",
+              laptop.endpoint().c_str(), desktop.endpoint().c_str(),
+              mini.endpoint().c_str());
+  sleep_ms(400);  // registrations
+
+  client::ClientConfig config;
+  config.geohash = "9zvxvf";
+  config.top_n = 3;
+  config.probing_period = msec(800.0);
+  config.keepalive_period = msec(200.0);
+  LiveClient alice(config, manager.endpoint());
+  LiveClient bob(config, manager.endpoint());
+  alice.start();
+  bob.start();
+  std::puts("\nclients alice & bob streaming AR frames at up to 20 FPS...");
+  sleep_ms(2000);
+
+  auto report = [](const char* name, LiveClient& client) {
+    const auto stats = client.stats();
+    const auto current = client.current_node();
+    const auto latency = client.latency_window_ms();
+    std::printf(
+        "  %s: node=%s frames=%llu avg=%.2f ms probes=%llu failovers=%llu\n",
+        name, current ? std::to_string(current->value).c_str() : "-",
+        static_cast<unsigned long long>(stats.frames_ok), latency.mean(),
+        static_cast<unsigned long long>(stats.probes_sent),
+        static_cast<unsigned long long>(stats.failovers));
+  };
+  report("alice", alice);
+  report("bob", bob);
+
+  std::puts("\nkilling the laptop node (no deregistration — it just dies)...");
+  laptop.stop(/*graceful=*/false);
+  sleep_ms(2000);
+
+  std::puts("after failover:");
+  report("alice", alice);
+  report("bob", bob);
+
+  alice.stop();
+  bob.stop();
+  desktop.stop();
+  mini.stop();
+  manager.stop();
+  std::puts("\ndone — the failure monitor switched both clients to warm");
+  std::puts("backups without a manual re-discovery round.");
+  return 0;
+}

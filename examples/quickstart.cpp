@@ -1,0 +1,78 @@
+// Quickstart: build a tiny edge-dense world in the simulator, attach one
+// AR client through the client-centric 2-step selection, and watch it pick
+// the best node and stream frames.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "harness/experiments.h"
+#include "harness/scenario.h"
+
+using namespace eden;
+using namespace eden::harness;
+
+int main() {
+  std::puts("EDEN quickstart: 3 volunteer edge nodes + 1 user\n");
+
+  // 1. A world: simulator + geographic network model + central manager.
+  Scenario scenario(ScenarioConfig{.seed = 1}, NetKind::kGeo);
+
+  // 2. Three volunteer nodes with different hardware and connectivity.
+  NodeSpec laptop;
+  laptop.name = "fast-laptop";
+  laptop.position = {44.980, -93.263};
+  laptop.tier = net::AccessTier::kFiber;
+  laptop.cores = 8;
+  laptop.base_frame_ms = 24.0;  // per AR frame when idle
+  scenario.add_node(laptop);
+
+  NodeSpec desktop = laptop;
+  desktop.name = "old-desktop";
+  desktop.position = {44.995, -93.250};
+  desktop.tier = net::AccessTier::kCable;
+  desktop.cores = 2;
+  desktop.base_frame_ms = 49.0;
+  scenario.add_node(desktop);
+
+  NodeSpec mini = laptop;
+  mini.name = "mini-pc";
+  mini.position = {44.960, -93.290};
+  mini.tier = net::AccessTier::kCable;
+  mini.cores = 4;
+  mini.base_frame_ms = 35.0;
+  scenario.add_node(mini);
+
+  start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));  // registrations + initial what-if probes
+
+  // 3. One AR user. The EdgeClient runs the paper's Algorithm 2: discover
+  //    candidates at the manager, probe RTT + what-if processing, sort by
+  //    the GO policy, join with seqNum synchronization.
+  client::ClientConfig config;
+  config.top_n = 3;
+  config.probing_period = sec(5.0);
+  auto& user = scenario.add_edge_client(
+      ClientSpot{"alice", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+      config);
+  user.start();
+
+  // 4. Run 30 simulated seconds of 20 FPS offloading.
+  scenario.run_until(sec(32.0));
+
+  const auto node_index = scenario.node_index(*user.current_node());
+  std::printf("selected node : %s\n",
+              scenario.node_spec(*node_index).name.c_str());
+  std::printf("backup nodes  : %zu (proactively connected)\n",
+              user.backup_nodes().size());
+  const auto window = user.latency_series().window(sec(2), sec(32));
+  std::printf("frames ok     : %llu\n",
+              static_cast<unsigned long long>(user.stats().frames_ok));
+  std::printf("avg e2e       : %.1f ms (min %.1f / max %.1f)\n", window.mean(),
+              window.min(), window.max());
+  std::printf("probes sent   : %llu\n",
+              static_cast<unsigned long long>(user.stats().probes_sent));
+  std::puts("\nThe client picked the fast, well-connected laptop and keeps");
+  std::puts("two warm backups for instant failover. Try killing a node with");
+  std::puts("scenario.stop_node(...) and watch the failure monitor switch.");
+  return 0;
+}

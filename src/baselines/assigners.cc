@@ -1,0 +1,79 @@
+#include "baselines/assigners.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace eden::baselines {
+
+GeoProximityAssigner::GeoProximityAssigner(std::vector<NodeInfo> nodes)
+    : nodes_(std::move(nodes)) {}
+
+std::optional<NodeId> GeoProximityAssigner::assign(
+    const geo::GeoPoint& position) {
+  std::optional<NodeId> best;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& node : nodes_) {
+    if (node.is_cloud) continue;
+    const double km = geo::haversine_km(position, node.position);
+    if (km < best_km) {
+      best_km = km;
+      best = node.id;
+    }
+  }
+  return best;
+}
+
+WeightedRoundRobinAssigner::WeightedRoundRobinAssigner(
+    std::vector<NodeInfo> nodes, bool dedicated_only) {
+  for (auto& node : nodes) {
+    if (node.is_cloud) continue;
+    if (dedicated_only && !node.dedicated) continue;
+    Entry entry;
+    entry.weight =
+        static_cast<double>(node.cores) / std::max(1.0, node.base_frame_ms);
+    entry.info = std::move(node);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+std::optional<NodeId> WeightedRoundRobinAssigner::assign(
+    const geo::GeoPoint& /*position*/) {
+  if (entries_.empty()) return std::nullopt;
+  // Smooth weighted round robin: bump every node by its weight, pick the
+  // highest accumulator, then charge it the total weight.
+  double total = 0;
+  Entry* best = nullptr;
+  for (auto& entry : entries_) {
+    entry.current += entry.weight;
+    total += entry.weight;
+    if (best == nullptr || entry.current > best->current) best = &entry;
+  }
+  best->current -= total;
+  return best->info.id;
+}
+
+void WeightedRoundRobinAssigner::reset() {
+  for (auto& entry : entries_) entry.current = 0;
+}
+
+ClosestCloudAssigner::ClosestCloudAssigner(std::vector<NodeInfo> nodes) {
+  for (auto& node : nodes) {
+    if (node.is_cloud) clouds_.push_back(std::move(node));
+  }
+}
+
+std::optional<NodeId> ClosestCloudAssigner::assign(
+    const geo::GeoPoint& position) {
+  std::optional<NodeId> best;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& cloud : clouds_) {
+    const double km = geo::haversine_km(position, cloud.position);
+    if (km < best_km) {
+      best_km = km;
+      best = cloud.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace eden::baselines

@@ -1,0 +1,67 @@
+// Baseline user-to-edge assignment policies from §V-B of the paper. All of
+// them are server-centric: they decide from static/aggregate information,
+// never from client-side probing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "baselines/node_info.h"
+#include "common/types.h"
+#include "geo/geopoint.h"
+
+namespace eden::baselines {
+
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+  // Pick a node for a newly arriving user at `position`; nullopt when no
+  // eligible node exists.
+  virtual std::optional<NodeId> assign(const geo::GeoPoint& position) = 0;
+  virtual void reset() {}
+};
+
+// "Geo-proximity": each user goes to the geographically closest non-cloud
+// node; latency is assumed proportional to distance and capacity is
+// ignored.
+class GeoProximityAssigner final : public Assigner {
+ public:
+  explicit GeoProximityAssigner(std::vector<NodeInfo> nodes);
+  std::optional<NodeId> assign(const geo::GeoPoint& position) override;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+};
+
+// "Resource-aware weighted round robin": users are spread over all edge
+// nodes proportionally to capacity weight = cores / base_frame_ms (the
+// smooth WRR algorithm, as used by e.g. nginx).
+class WeightedRoundRobinAssigner final : public Assigner {
+ public:
+  // `dedicated_only` restricts the pool to dedicated edge infrastructure
+  // (the "Dedicated-only" baseline).
+  explicit WeightedRoundRobinAssigner(std::vector<NodeInfo> nodes,
+                                      bool dedicated_only = false);
+  std::optional<NodeId> assign(const geo::GeoPoint& position) override;
+  void reset() override;
+
+ private:
+  struct Entry {
+    NodeInfo info;
+    double weight{0};
+    double current{0};
+  };
+  std::vector<Entry> entries_;
+};
+
+// "Closest cloud": everyone offloads to the cloud region.
+class ClosestCloudAssigner final : public Assigner {
+ public:
+  explicit ClosestCloudAssigner(std::vector<NodeInfo> nodes);
+  std::optional<NodeId> assign(const geo::GeoPoint& position) override;
+
+ private:
+  std::vector<NodeInfo> clouds_;
+};
+
+}  // namespace eden::baselines

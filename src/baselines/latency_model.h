@@ -1,0 +1,39 @@
+// Analytic end-to-end latency predictor used by the optimal-assignment
+// solver (and by ablation benches). D_proc is approximated with an M/M/c
+// queue (Erlang C) over the node's effective per-frame service time,
+// including contention slowdown and burstable-CPU throttling, so the
+// predictor matches the behaviour of the simulated Executor.
+#pragma once
+
+#include <vector>
+
+#include "baselines/node_info.h"
+
+namespace eden::baselines {
+
+// Erlang C: probability that an arriving job must queue in an M/M/c system
+// with offered load a = lambda/mu and c servers. Returns 1.0 when a >= c.
+[[nodiscard]] double erlang_c(int servers, double offered_load);
+
+// Expected in-node time (queue wait + service) in ms for one frame on
+// `node` when `k_users` users send `fps` frames per second each.
+[[nodiscard]] double predicted_proc_ms(const NodeInfo& node, int k_users,
+                                       double fps);
+
+// The full prediction input for an n-user / m-node assignment problem.
+struct PredictInput {
+  std::vector<NodeInfo> nodes;
+  // Per user x node: RTT propagation (ms) and data-transfer delay (ms).
+  std::vector<std::vector<double>> rtt_ms;
+  std::vector<std::vector<double>> trans_ms;
+  double fps{20.0};
+
+  [[nodiscard]] std::size_t users() const { return rtt_ms.size(); }
+};
+
+// P(EA): average end-to-end latency of the assignment
+// (assignment[i] = node index of user i), per §III-C.
+[[nodiscard]] double average_latency_ms(const PredictInput& input,
+                                        const std::vector<int>& assignment);
+
+}  // namespace eden::baselines

@@ -1,0 +1,29 @@
+// Static node descriptions shared by the baseline assigners and the
+// optimal-assignment solver (which are server-centric by design — exactly
+// the property the paper contrasts against).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/geopoint.h"
+
+namespace eden::baselines {
+
+struct NodeInfo {
+  NodeId id;
+  std::string name;
+  geo::GeoPoint position;
+  int cores{1};
+  double base_frame_ms{30.0};
+  bool dedicated{false};
+  bool is_cloud{false};
+  // Burstable-instance parameters mirrored from ExecutorConfig, so the
+  // analytic predictor can anticipate credit-exhaustion throttling.
+  bool burstable{false};
+  double burst_baseline{0.4};
+  double contention_alpha{0.04};
+};
+
+}  // namespace eden::baselines

@@ -1,0 +1,140 @@
+#include "baselines/optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace eden::baselines {
+namespace {
+
+// m^n with overflow clamp.
+std::uint64_t pow_clamped(std::uint64_t m, std::uint64_t n, std::uint64_t cap) {
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (result > cap / std::max<std::uint64_t>(1, m)) return cap + 1;
+    result *= m;
+  }
+  return result;
+}
+
+OptimalResult solve_exhaustive(const PredictInput& input) {
+  const std::size_t n = input.users();
+  const int m = static_cast<int>(input.nodes.size());
+  OptimalResult best;
+  best.exact = true;
+  best.avg_latency_ms = std::numeric_limits<double>::infinity();
+
+  std::vector<int> assignment(n, 0);
+  while (true) {
+    const double latency = average_latency_ms(input, assignment);
+    ++best.evaluations;
+    if (latency < best.avg_latency_ms) {
+      best.avg_latency_ms = latency;
+      best.assignment = assignment;
+    }
+    // Odometer increment over base-m digits.
+    std::size_t pos = 0;
+    while (pos < n && ++assignment[pos] == m) {
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+// One local-search run: greedy construction in the given user order, then
+// repeated single-user improvement passes to a local optimum.
+std::pair<std::vector<int>, double> local_search(const PredictInput& input,
+                                                 std::vector<std::size_t> order,
+                                                 int max_passes,
+                                                 std::uint64_t& evaluations) {
+  const std::size_t n = input.users();
+  const int m = static_cast<int>(input.nodes.size());
+  std::vector<int> assignment(n, 0);
+
+  // Greedy: place users one at a time where the global average (over the
+  // already-placed prefix) is lowest. Mirrors the GO heuristic's spirit.
+  std::vector<int> placed;
+  std::vector<std::size_t> placed_users;
+  for (const std::size_t user : order) {
+    placed_users.push_back(user);
+    int best_node = 0;
+    double best_avg = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < m; ++j) {
+      assignment[user] = j;
+      // Evaluate only over placed users.
+      PredictInput partial = input;
+      std::vector<int> partial_assignment;
+      partial.rtt_ms.clear();
+      partial.trans_ms.clear();
+      for (const std::size_t u : placed_users) {
+        partial.rtt_ms.push_back(input.rtt_ms[u]);
+        partial.trans_ms.push_back(input.trans_ms[u]);
+        partial_assignment.push_back(assignment[u]);
+      }
+      const double avg = average_latency_ms(partial, partial_assignment);
+      ++evaluations;
+      if (avg < best_avg) {
+        best_avg = avg;
+        best_node = j;
+      }
+    }
+    assignment[user] = best_node;
+    placed.push_back(best_node);
+  }
+
+  double current = average_latency_ms(input, assignment);
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int original = assignment[i];
+      for (int j = 0; j < m; ++j) {
+        if (j == original) continue;
+        assignment[i] = j;
+        const double candidate = average_latency_ms(input, assignment);
+        ++evaluations;
+        if (candidate + 1e-9 < current) {
+          current = candidate;
+          improved = true;
+        } else {
+          assignment[i] = original;
+        }
+        if (assignment[i] != original) break;  // took the move
+      }
+    }
+    if (!improved) break;
+  }
+  return {assignment, current};
+}
+
+}  // namespace
+
+OptimalResult solve_optimal(const PredictInput& input, Rng& rng,
+                            const OptimalConfig& config) {
+  OptimalResult result;
+  const std::size_t n = input.users();
+  const std::size_t m = input.nodes.size();
+  if (n == 0 || m == 0) return result;
+
+  if (pow_clamped(m, n, config.max_exhaustive) <= config.max_exhaustive) {
+    return solve_exhaustive(input);
+  }
+
+  result.avg_latency_ms = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int restart = 0; restart < config.restarts; ++restart) {
+    if (restart > 0) std::shuffle(order.begin(), order.end(), rng);
+    auto [assignment, avg] =
+        local_search(input, order, config.max_passes, result.evaluations);
+    if (avg < result.avg_latency_ms) {
+      result.avg_latency_ms = avg;
+      result.assignment = std::move(assignment);
+    }
+  }
+  return result;
+}
+
+}  // namespace eden::baselines

@@ -1,0 +1,33 @@
+// Optimal edge assignment (the "Optimal" bar of Fig 7). The problem of
+// §III-C is NP-hard; we solve small instances exactly by exhaustive
+// enumeration of all m^n assignments and larger ones with greedy seeding +
+// multi-restart local search (move/swap neighbourhood) over the analytic
+// latency model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/latency_model.h"
+#include "common/rng.h"
+
+namespace eden::baselines {
+
+struct OptimalConfig {
+  // Enumerate exhaustively while m^n does not exceed this.
+  std::uint64_t max_exhaustive{1u << 20};
+  int restarts{16};
+  int max_passes{100};  // local-search sweeps per restart
+};
+
+struct OptimalResult {
+  std::vector<int> assignment;  // node index per user
+  double avg_latency_ms{0};
+  bool exact{false};
+  std::uint64_t evaluations{0};
+};
+
+[[nodiscard]] OptimalResult solve_optimal(const PredictInput& input, Rng& rng,
+                                          const OptimalConfig& config = {});
+
+}  // namespace eden::baselines

@@ -1,0 +1,83 @@
+#include "baselines/static_client.h"
+
+namespace eden::baselines {
+
+StaticClient::StaticClient(sim::Scheduler& scheduler,
+                           client::NodeResolver resolver, ClientId id,
+                           workload::AppProfile app)
+    : scheduler_(&scheduler),
+      resolver_(std::move(resolver)),
+      id_(id),
+      app_(app),
+      rate_(app) {}
+
+void StaticClient::start(NodeId target) {
+  if (running_) return;
+  running_ = true;
+  attach(target);
+  arm_frame_timer();
+}
+
+void StaticClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (frame_event_ != sim::kInvalidEvent) scheduler_->cancel(frame_event_);
+  if (current_) {
+    if (auto* api = resolver_(*current_)) api->leave(id_);
+  }
+}
+
+void StaticClient::reassign(NodeId target) {
+  if (current_) {
+    if (auto* api = resolver_(*current_)) api->leave(id_);
+    current_.reset();
+  }
+  attach(target);
+}
+
+void StaticClient::attach(NodeId target) {
+  net::NodeApi* api = resolver_(target);
+  if (api == nullptr) return;
+  net::JoinRequest request;
+  request.client = id_;
+  request.rate_fps = rate_.fps();
+  api->unexpected_join(request, [this, target](bool ok) {
+    if (running_ && ok) current_ = target;
+  });
+}
+
+void StaticClient::arm_frame_timer() {
+  frame_event_ =
+      scheduler_->schedule_after(app_.frame_interval(rate_.fps()), [this] {
+        if (!running_) return;
+        send_frame();
+        arm_frame_timer();
+      });
+}
+
+void StaticClient::send_frame() {
+  if (!current_) return;
+  net::NodeApi* api = resolver_(*current_);
+  if (api == nullptr) return;
+  net::FrameRequest request;
+  request.client = id_;
+  request.frame_id = next_frame_id_++;
+  request.bytes = app_.frame_bytes;
+  request.cost = app_.frame_cost;
+  const SimTime sent_at = scheduler_->now();
+  api->offload(request, [this, sent_at](std::optional<net::FrameResponse> resp) {
+    if (!running_) return;
+    if (resp) {
+      const double e2e_ms = to_ms(scheduler_->now() - sent_at);
+      ++frames_ok_;
+      latency_.add(scheduler_->now(), e2e_ms);
+      samples_.add(e2e_ms);
+      rate_.on_frame_latency(e2e_ms);
+    } else {
+      ++frames_failed_;
+      rate_.on_frame_failure();
+    }
+  });
+}
+
+}  // namespace eden::baselines

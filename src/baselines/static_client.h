@@ -1,0 +1,59 @@
+// StaticClient: streams AR frames to one externally-assigned edge node —
+// the client half of every baseline policy (geo-proximity, resource-aware
+// WRR, dedicated-only, closest-cloud). It never probes and never switches
+// on its own; an external controller may `reassign` it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "client/edge_client.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/api.h"
+#include "sim/clock.h"
+#include "workload/app_profile.h"
+
+namespace eden::baselines {
+
+class StaticClient {
+ public:
+  StaticClient(sim::Scheduler& scheduler, client::NodeResolver resolver,
+               ClientId id, workload::AppProfile app);
+
+  // Attach to `target` (via Unexpected_join, which cannot be rejected) and
+  // start streaming.
+  void start(NodeId target);
+  void stop();
+  void reassign(NodeId target);
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] std::optional<NodeId> current_node() const { return current_; }
+  [[nodiscard]] const TimeSeries& latency_series() const { return latency_; }
+  [[nodiscard]] const Samples& latency_samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t frames_ok() const { return frames_ok_; }
+  [[nodiscard]] std::uint64_t frames_failed() const { return frames_failed_; }
+  [[nodiscard]] double fps() const { return rate_.fps(); }
+
+ private:
+  void attach(NodeId target);
+  void arm_frame_timer();
+  void send_frame();
+
+  sim::Scheduler* scheduler_;
+  client::NodeResolver resolver_;
+  ClientId id_;
+  workload::AppProfile app_;
+  workload::RateController rate_;
+
+  bool running_{false};
+  std::optional<NodeId> current_;
+  std::uint64_t next_frame_id_{1};
+  std::uint64_t frames_ok_{0};
+  std::uint64_t frames_failed_{0};
+  sim::EventId frame_event_{sim::kInvalidEvent};
+  TimeSeries latency_;
+  Samples samples_;
+};
+
+}  // namespace eden::baselines

@@ -1,0 +1,84 @@
+#include "churn/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eden::churn {
+
+double weibull_scale_for_mean(double mean, double shape) {
+  return mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+int ChurnSchedule::alive_at(SimTime t) const {
+  int alive = 0;
+  for (const auto& event : events) {
+    if (event.at > t) break;
+    alive += event.kind == ChurnEventKind::kJoin ? 1 : -1;
+  }
+  return alive;
+}
+
+std::vector<std::pair<SimTime, int>> ChurnSchedule::staircase() const {
+  std::vector<std::pair<SimTime, int>> out;
+  int alive = 0;
+  for (const auto& event : events) {
+    alive += event.kind == ChurnEventKind::kJoin ? 1 : -1;
+    out.emplace_back(event.at, alive);
+  }
+  return out;
+}
+
+std::pair<SimTime, SimTime> ChurnSchedule::node_span(std::size_t index) const {
+  SimTime join = -1;
+  SimTime leave = -1;
+  for (const auto& event : events) {
+    if (event.node_index != index) continue;
+    (event.kind == ChurnEventKind::kJoin ? join : leave) = event.at;
+  }
+  return {join, leave};
+}
+
+ChurnSchedule generate_churn(const ChurnConfig& config, Rng& rng) {
+  ChurnSchedule schedule;
+  const double scale =
+      weibull_scale_for_mean(config.lifetime_mean_sec, config.lifetime_shape);
+
+  auto add_node = [&](SimTime join_at) {
+    if (config.max_nodes != 0 && schedule.total_nodes >= config.max_nodes) {
+      return;
+    }
+    const std::size_t index = schedule.total_nodes++;
+    schedule.events.push_back(
+        ChurnEvent{join_at, ChurnEventKind::kJoin, index});
+    const SimTime leave_at =
+        join_at + sec(rng.weibull(config.lifetime_shape, scale));
+    if (leave_at < config.horizon) {
+      schedule.events.push_back(
+          ChurnEvent{leave_at, ChurnEventKind::kLeave, index});
+    }
+  };
+
+  for (std::size_t i = 0; i < config.initial_nodes; ++i) add_node(0);
+
+  for (SimTime window = 0; window < config.horizon;
+       window += config.join_period) {
+    const std::uint32_t joins = rng.poisson(config.joins_per_period);
+    for (std::uint32_t j = 0; j < joins; ++j) {
+      // Arriving nodes get a uniformly random timestamp inside the window.
+      const SimTime at =
+          window + static_cast<SimTime>(rng.uniform() *
+                                        static_cast<double>(config.join_period));
+      if (at < config.horizon) add_node(at);
+    }
+  }
+
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind == ChurnEventKind::kJoin;
+              return a.node_index < b.node_index;
+            });
+  return schedule;
+}
+
+}  // namespace eden::churn

@@ -1,0 +1,51 @@
+// Node churn model of §V-D2: nodes join the system as a Poisson process
+// (k per 30-second period, each arrival uniformly placed inside its
+// period) and live for a Weibull-distributed lifetime (mean 50 s). A
+// generated schedule is a deterministic, replayable list of join/leave
+// events that the harness drives against the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace eden::churn {
+
+struct ChurnConfig {
+  SimDuration horizon{sec(180.0)};       // 3-minute timeline
+  SimDuration join_period{sec(30.0)};    // Poisson window
+  double joins_per_period{4.0};          // k
+  double lifetime_mean_sec{50.0};        // Weibull mean lifetime
+  double lifetime_shape{1.5};            // Weibull k (shape)
+  std::size_t initial_nodes{0};          // alive at t=0 (lifetimes apply)
+  std::size_t max_nodes{0};              // 0 = unlimited
+};
+
+enum class ChurnEventKind { kJoin, kLeave };
+
+struct ChurnEvent {
+  SimTime at{0};
+  ChurnEventKind kind{ChurnEventKind::kJoin};
+  std::size_t node_index{0};  // dense index: the i-th node ever to join
+};
+
+struct ChurnSchedule {
+  std::vector<ChurnEvent> events;  // sorted by time (joins before leaves on ties)
+  std::size_t total_nodes{0};      // number of distinct nodes that ever join
+
+  // Number of alive nodes at time t.
+  [[nodiscard]] int alive_at(SimTime t) const;
+  // (time, alive-count) staircase over the whole schedule.
+  [[nodiscard]] std::vector<std::pair<SimTime, int>> staircase() const;
+  [[nodiscard]] std::pair<SimTime, SimTime> node_span(std::size_t index) const;
+};
+
+// Weibull scale lambda such that the mean is `mean` for shape `k`:
+// mean = lambda * Gamma(1 + 1/k).
+[[nodiscard]] double weibull_scale_for_mean(double mean, double shape);
+
+[[nodiscard]] ChurnSchedule generate_churn(const ChurnConfig& config, Rng& rng);
+
+}  // namespace eden::churn

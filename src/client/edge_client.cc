@@ -1,0 +1,392 @@
+#include "client/edge_client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eden::client {
+
+const char* to_string(ClientEvent::Kind kind) {
+  switch (kind) {
+    case ClientEvent::Kind::kJoined: return "joined";
+    case ClientEvent::Kind::kSwitched: return "switched";
+    case ClientEvent::Kind::kFailover: return "failover";
+    case ClientEvent::Kind::kHardFailure: return "hard-failure";
+    case ClientEvent::Kind::kQosRejected: return "qos-rejected";
+  }
+  return "?";
+}
+
+void EdgeClient::emit(ClientEvent::Kind kind, NodeId node) {
+  if (event_hook_) event_hook_(ClientEvent{kind, scheduler_->now(), node});
+}
+
+EdgeClient::EdgeClient(sim::Scheduler& scheduler, net::ManagerApi& manager,
+                       NodeResolver resolver, ClientConfig config)
+    : scheduler_(&scheduler),
+      manager_(&manager),
+      resolver_(std::move(resolver)),
+      config_(std::move(config)),
+      rate_(config_.app),
+      rng_(0x9e3779b97f4a7c15ull ^ config_.id.value) {}
+
+void EdgeClient::start() {
+  if (running_) return;
+  running_ = true;
+  probing_cycle(config_.max_join_retries);
+  arm_probing_timer();
+  arm_keepalive_timer();
+  if (config_.send_frames) arm_frame_timer();
+}
+
+void EdgeClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (probing_event_ != sim::kInvalidEvent) scheduler_->cancel(probing_event_);
+  if (frame_event_ != sim::kInvalidEvent) scheduler_->cancel(frame_event_);
+  if (keepalive_event_ != sim::kInvalidEvent) {
+    scheduler_->cancel(keepalive_event_);
+  }
+  if (current_) {
+    if (auto* api = resolver_(*current_)) api->leave(config_.id);
+    current_.reset();
+  }
+}
+
+void EdgeClient::trigger_probing_cycle() {
+  probing_cycle(config_.max_join_retries);
+}
+
+void EdgeClient::arm_probing_timer() {
+  // Jitter each period so fleets of clients do not probe (and then join)
+  // in lockstep.
+  const double jitter = std::clamp(config_.probing_jitter, 0.0, 0.9);
+  const double factor = rng_.uniform(1.0 - jitter, 1.0 + jitter);
+  const auto period = static_cast<SimDuration>(
+      static_cast<double>(config_.probing_period) * factor);
+  probing_event_ = scheduler_->schedule_after(period, [this] {
+    if (!running_) return;
+    probing_cycle(config_.max_join_retries);
+    arm_probing_timer();
+  });
+}
+
+// ---- Algorithm 2: discovery -> probe -> sort -> join ----
+
+void EdgeClient::probing_cycle(int retries_left) {
+  if (!running_ || cycle_in_flight_) return;
+  cycle_in_flight_ = true;
+  ++stats_.discoveries;
+  net::DiscoveryRequest request;
+  request.client = config_.id;
+  request.geohash = config_.geohash;
+  request.network_tag = config_.network_tag;
+  request.top_n = config_.top_n;
+  request.app_type = config_.app.app_type;
+  manager_->discover(request, [this, retries_left](
+                                  std::optional<net::DiscoveryResponse> resp) {
+    if (!running_) return;
+    if (!resp || resp->candidates.empty()) {
+      cycle_in_flight_ = false;
+      return;  // manager unreachable or empty system; next period retries
+    }
+    probe_candidates(resp->candidates, retries_left);
+  });
+}
+
+void EdgeClient::probe_candidates(
+    const std::vector<net::CandidateInfo>& candidates, int retries_left) {
+  auto cycle = std::make_shared<ProbeCycle>();
+  cycle->cycle = ++cycle_counter_;
+  cycle->pending = candidates.size();
+
+  for (const auto& candidate : candidates) {
+    net::NodeApi* api = resolver_(candidate.node);
+    if (api == nullptr) {
+      if (--cycle->pending == 0) finish_probe_cycle(cycle, retries_left);
+      continue;
+    }
+    ++stats_.probes_sent;
+    const SimTime t0 = scheduler_->now();
+    // Algorithm 2 lines 5-9: time the RTT probe ourselves, then fetch the
+    // cached what-if performance.
+    api->rtt_probe(config_.id, [this, cycle, retries_left, api,
+                                node = candidate.node, t0](bool ok) {
+      if (!running_) return;
+      if (!ok) {
+        ++stats_.probe_failures;
+        if (--cycle->pending == 0) finish_probe_cycle(cycle, retries_left);
+        return;
+      }
+      const double d_prop_ms = to_ms(scheduler_->now() - t0);
+      api->process_probe(
+          config_.id, [this, cycle, retries_left, node, d_prop_ms](
+                          std::optional<net::ProcessProbeResponse> pp) {
+            if (!running_) return;
+            if (pp) {
+              cycle->results.push_back(
+                  ProbeResult{node, d_prop_ms, *pp, config_.app.frame_cost});
+            } else {
+              ++stats_.probe_failures;
+            }
+            if (--cycle->pending == 0) finish_probe_cycle(cycle, retries_left);
+          });
+    });
+  }
+  if (candidates.empty()) finish_probe_cycle(cycle, retries_left);
+}
+
+void EdgeClient::finish_probe_cycle(const std::shared_ptr<ProbeCycle>& cycle,
+                                    int retries_left) {
+  const bool had_responses = !cycle->results.empty();
+  std::vector<ProbeResult> sorted =
+      sort_candidates(std::move(cycle->results), config_.policy, config_.qos,
+                      0x517cc1b727220a95ull ^ config_.id.value);
+  last_sorted_ = sorted;
+  if (sorted.empty()) {
+    if (had_responses && config_.qos.strict) {
+      // Candidates answered but none satisfies the QoS bound: the user is
+      // rejected from the system this cycle (§IV-D). Detach so existing
+      // users keep their QoS; the periodic probing keeps retrying.
+      ++stats_.qos_rejections;
+      emit(ClientEvent::Kind::kQosRejected);
+      if (current_) {
+        if (auto* api = resolver_(*current_)) api->leave(config_.id);
+        current_.reset();
+        backups_.clear();
+      }
+    }
+    cycle_in_flight_ = false;
+    return;
+  }
+  if (current_ && sorted.front().node == *current_) {
+    // Already on the best candidate: just refresh the backup list
+    // (Algorithm 2 line 20).
+    adopt_backups(sorted, 1);
+    cycle_in_flight_ = false;
+    return;
+  }
+  if (current_) {
+    // Hysteresis: stay put unless the best candidate beats the cost of
+    // staying by the configured margin. Staying costs d_prop + the node's
+    // live processing time — NOT the what-if join cost, since this client
+    // is already counted in the node's load.
+    const auto key = [this](const ProbeResult& r) {
+      return config_.policy == LocalPolicy::kLocalOverhead ? r.lo() : r.go();
+    };
+    for (const auto& r : sorted) {
+      if (r.node != *current_) continue;
+      const double stay_cost = r.d_prop_ms + r.process.current_ms;
+      if (key(sorted.front()) >= stay_cost * (1.0 - config_.switch_margin)) {
+        adopt_backups(sorted, 0);  // better node becomes the first backup
+        cycle_in_flight_ = false;
+        return;
+      }
+      break;
+    }
+  }
+  attempt_join(sorted, retries_left);
+}
+
+void EdgeClient::attempt_join(const std::vector<ProbeResult>& sorted,
+                              int retries_left) {
+  const ProbeResult& best = sorted.front();
+  net::NodeApi* api = resolver_(best.node);
+  if (api == nullptr) {
+    cycle_in_flight_ = false;
+    return;
+  }
+  net::JoinRequest request;
+  request.client = config_.id;
+  request.seq_num = best.process.seq_num;
+  request.rate_fps = rate_.fps();
+  api->join(request, [this, sorted, retries_left,
+                      node = best.node](std::optional<net::JoinResponse> jr) {
+    if (!running_) return;
+    cycle_in_flight_ = false;
+    if (jr && jr->accepted) {
+      const bool switched = current_ && *current_ != node;
+      if (switched) {
+        if (auto* prev = resolver_(*current_)) prev->leave(config_.id);
+        ++stats_.switches;
+      }
+      ++stats_.joins;
+      current_ = node;
+      adopt_backups(sorted, 1);
+      emit(switched ? ClientEvent::Kind::kSwitched : ClientEvent::Kind::kJoined,
+           node);
+      return;
+    }
+    // Join rejected (state changed since probing) or timed out: Algorithm 2
+    // line 14 — repeat the probing process from the edge discovery step.
+    ++stats_.join_conflicts;
+    adopt_backups(sorted, 1);
+    if (retries_left > 0) {
+      scheduler_->schedule_after(msec(10.0), [this, retries_left] {
+        if (running_) probing_cycle(retries_left - 1);
+      });
+    }
+  });
+}
+
+void EdgeClient::adopt_backups(const std::vector<ProbeResult>& sorted,
+                               std::size_t skip_first) {
+  backups_.clear();
+  for (std::size_t i = skip_first; i < sorted.size(); ++i) {
+    if (current_ && sorted[i].node == *current_) continue;
+    backups_.push_back(sorted[i].node);
+  }
+}
+
+// ---- frame stream ----
+
+void EdgeClient::arm_frame_timer() {
+  frame_event_ = scheduler_->schedule_after(
+      config_.app.frame_interval(rate_.fps()), [this] {
+        if (!running_) return;
+        send_frame();
+        arm_frame_timer();
+      });
+}
+
+void EdgeClient::send_frame() {
+  if (!current_) return;  // not attached (yet / reconnecting)
+  net::NodeApi* api = resolver_(*current_);
+  if (api == nullptr) return;
+  ++stats_.frames_sent;
+  net::FrameRequest request;
+  request.client = config_.id;
+  request.frame_id = next_frame_id_++;
+  request.bytes = config_.app.frame_bytes;
+  request.cost = config_.app.frame_cost;
+  const SimTime sent_at = scheduler_->now();
+  const NodeId target = *current_;
+  api->offload(request,
+               [this, target, sent_at](std::optional<net::FrameResponse> resp) {
+                 if (!running_) return;
+                 on_frame_done(target, sent_at, resp.has_value());
+               });
+}
+
+void EdgeClient::on_frame_done(NodeId target, SimTime sent_at, bool ok) {
+  if (ok) {
+    const double e2e_ms = to_ms(scheduler_->now() - sent_at);
+    ++stats_.frames_ok;
+    latency_.add(scheduler_->now(), e2e_ms);
+    samples_.add(e2e_ms);
+    rate_.on_frame_latency(e2e_ms);
+    return;
+  }
+  ++stats_.frames_failed;
+  rate_.on_frame_failure();
+  if (!current_ || *current_ != target) return;  // stale timeout
+  // A timed-out frame on the current node means congestion (node death is
+  // the keepalive's business): re-select at most once per half probing
+  // period so a stream of timeouts does not become a probe storm.
+  const SimDuration min_gap = config_.probing_period / 2;
+  if (scheduler_->now() - last_congestion_reprobe_ >= min_gap) {
+    last_congestion_reprobe_ = scheduler_->now();
+    probing_cycle(config_.max_join_retries);
+  }
+}
+
+// ---- keepalive: connection-interruption detection (§IV-E) ----
+
+void EdgeClient::arm_keepalive_timer() {
+  keepalive_event_ =
+      scheduler_->schedule_after(config_.keepalive_period, [this] {
+        if (!running_) return;
+        keepalive_tick();
+        arm_keepalive_timer();
+      });
+}
+
+void EdgeClient::keepalive_tick() {
+  if (!current_ || keepalive_in_flight_) return;
+  net::NodeApi* api = resolver_(*current_);
+  if (api == nullptr) return;
+  keepalive_in_flight_ = true;
+  const NodeId target = *current_;
+  api->rtt_probe(config_.id, [this, target](bool ok) {
+    keepalive_in_flight_ = false;
+    if (!running_) return;
+    if (!current_ || *current_ != target) {
+      keepalive_miss_count_ = 0;
+      return;
+    }
+    if (ok) {
+      keepalive_miss_count_ = 0;
+      return;
+    }
+    if (++keepalive_miss_count_ >= config_.keepalive_misses) {
+      keepalive_miss_count_ = 0;
+      handle_node_failure(target);
+    }
+  });
+}
+
+// ---- failure monitor (§IV-E) ----
+
+void EdgeClient::handle_node_failure(NodeId failed) {
+  if (!current_ || *current_ != failed) return;  // stale timeout
+  current_.reset();
+  if (config_.proactive_connections) {
+    try_backup(0);
+  } else {
+    reactive_reconnect();
+  }
+}
+
+void EdgeClient::try_backup(std::size_t index) {
+  if (index >= backups_.size()) {
+    // All backup edge nodes failed simultaneously — the only case in which
+    // our approach still experiences a user-visible failure (Fig 10).
+    ++stats_.hard_failures;
+    emit(ClientEvent::Kind::kHardFailure);
+    backups_.clear();
+    reactive_reconnect();
+    return;
+  }
+  const NodeId node = backups_[index];
+  net::NodeApi* api = resolver_(node);
+  if (api == nullptr) {
+    try_backup(index + 1);
+    return;
+  }
+  net::JoinRequest request;
+  request.client = config_.id;
+  request.rate_fps = rate_.fps();
+  api->unexpected_join(request, [this, node, index](bool ok) {
+    if (!running_) return;
+    if (current_) return;  // raced with a probing cycle that re-attached us
+    if (ok) {
+      current_ = node;
+      ++stats_.failovers;
+      emit(ClientEvent::Kind::kFailover, node);
+      // A concurrent probing cycle (e.g. a rejected join) may have replaced
+      // the backup list while this join was in flight — drop up to and
+      // including the node we just took, clamped to the current list.
+      const std::size_t drop = std::min(index + 1, backups_.size());
+      backups_.erase(backups_.begin(),
+                     backups_.begin() + static_cast<std::ptrdiff_t>(drop));
+      // Rebuild the (now shorter) backup list right away instead of
+      // waiting out the probing period — churn rarely kills just one node.
+      scheduler_->schedule_after(msec(10.0), [this] {
+        if (running_) probing_cycle(config_.max_join_retries);
+      });
+    } else {
+      try_backup(index + 1);
+    }
+  });
+}
+
+void EdgeClient::reactive_reconnect() {
+  // No warm connection to fall back on: pay the connection
+  // re-establishment cost, then redo discovery + probing from scratch.
+  scheduler_->schedule_after(config_.reconnect_penalty, [this] {
+    if (!running_) return;
+    probing_cycle(config_.max_join_retries);
+  });
+}
+
+}  // namespace eden::client

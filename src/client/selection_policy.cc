@@ -1,0 +1,47 @@
+#include "client/selection_policy.h"
+
+#include <algorithm>
+
+namespace eden::client {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+std::vector<ProbeResult> sort_candidates(std::vector<ProbeResult> results,
+                                         LocalPolicy policy,
+                                         const QosFilter& qos,
+                                         std::uint64_t salt) {
+  if (qos.max_lo_ms > 0) {
+    std::vector<ProbeResult> filtered;
+    filtered.reserve(results.size());
+    for (const auto& r : results) {
+      if (r.lo() <= qos.max_lo_ms) filtered.push_back(r);
+    }
+    if (!filtered.empty()) {
+      results = std::move(filtered);
+    } else if (qos.strict) {
+      return {};  // no node can satisfy the QoS requirement
+    }
+  }
+
+  const auto key = [policy](const ProbeResult& r) {
+    return policy == LocalPolicy::kLocalOverhead ? r.lo() : r.go();
+  };
+  std::sort(results.begin(), results.end(),
+            [&](const ProbeResult& a, const ProbeResult& b) {
+              const double ka = key(a);
+              const double kb = key(b);
+              if (ka != kb) return ka < kb;
+              if (salt == 0) return a.node < b.node;
+              return mix(a.node.value ^ salt) < mix(b.node.value ^ salt);
+            });
+  return results;
+}
+
+}  // namespace eden::client

@@ -1,0 +1,23 @@
+// Minimal leveled logging. Off by default so benches stay clean; tests and
+// examples can raise the level to trace protocol decisions.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace eden {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define EDEN_LOG_ERROR(...) ::eden::log_message(::eden::LogLevel::kError, __VA_ARGS__)
+#define EDEN_LOG_WARN(...) ::eden::log_message(::eden::LogLevel::kWarn, __VA_ARGS__)
+#define EDEN_LOG_INFO(...) ::eden::log_message(::eden::LogLevel::kInfo, __VA_ARGS__)
+#define EDEN_LOG_DEBUG(...) ::eden::log_message(::eden::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace eden

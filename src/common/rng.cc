@@ -1,0 +1,124 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace eden {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a string, used to derive child-stream seeds from names.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::string_view name) const {
+  return Rng(seed_ ^ hash_name(name) ^ 0x6a09e667f3bcc908ull);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - ~0ull % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::weibull(double shape, double scale) {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean < 60.0) {
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint32_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+}  // namespace eden

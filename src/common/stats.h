@@ -1,0 +1,83 @@
+// Statistics helpers used by the metrics collector and every bench:
+// streaming moments (Welford), sample sets with percentiles/CDFs, and
+// timestamped series with windowed aggregation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eden {
+
+// Numerically stable streaming mean/variance/min/max.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0};
+  double m2_{0};
+  double min_{0};
+  double max_{0};
+};
+
+// A bag of samples supporting exact percentiles and CDF extraction.
+class Samples {
+ public:
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // p in [0, 100]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  // (value, cumulative fraction) pairs at each distinct sample.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf() const;
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_{false};
+};
+
+// Timestamped scalar series (e.g. per-frame latency over simulated time).
+class TimeSeries {
+ public:
+  void add(SimTime t, double value);
+
+  [[nodiscard]] std::size_t count() const { return points_.size(); }
+  [[nodiscard]] const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+  // Stats over points with t in [begin, end).
+  [[nodiscard]] StreamingStats window(SimTime begin, SimTime end) const;
+  // Average value per fixed-width bucket across [begin, end); buckets with
+  // no samples repeat the previous bucket's value (NaN if none yet).
+  [[nodiscard]] std::vector<std::pair<SimTime, double>> bucketed(
+      SimTime begin, SimTime end, SimDuration bucket) const;
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+}  // namespace eden

@@ -1,0 +1,38 @@
+// ASCII table / CSV rendering for bench output. Every experiment binary
+// prints its figure or table through this so the output format is uniform.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eden {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(long long v);
+
+  // Render with aligned columns; returns the rendered string.
+  [[nodiscard]] std::string render() const;
+  // Print to `out`. When the EDEN_CSV_DIR environment variable is set,
+  // additionally writes the table as table_NNN.csv into that directory
+  // (sequential NNN per process) so benches double as data exporters.
+  void print(std::FILE* out = stdout) const;
+  // RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section header used between sub-figures in bench output.
+void print_section(const std::string& title, std::FILE* out = stdout);
+
+}  // namespace eden

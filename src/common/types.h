@@ -1,0 +1,60 @@
+// Core vocabulary types shared by every EDEN module: simulated time and
+// strongly-typed host identifiers.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace eden {
+
+// Simulated time. All timestamps are microseconds from simulation start;
+// durations use the same unit. Integer microseconds keep event ordering
+// exact and platform-independent.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kUsec = 1;
+constexpr SimDuration kMsec = 1000;
+constexpr SimDuration kSec = 1000 * 1000;
+
+constexpr SimDuration usec(std::int64_t v) { return v; }
+constexpr SimDuration msec(double v) {
+  return static_cast<SimDuration>(v * 1000.0 + (v >= 0 ? 0.5 : -0.5));
+}
+constexpr SimDuration sec(double v) {
+  return static_cast<SimDuration>(v * 1e6 + (v >= 0 ? 0.5 : -0.5));
+}
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_sec(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+// Transport-level endpoint identifier. Every addressable entity (manager,
+// edge node, client) owns one. Domain aliases below exist for readability;
+// they are the same type on purpose so that wiring stays trivial.
+struct HostId {
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t value{kInvalid};
+
+  constexpr HostId() = default;
+  constexpr explicit HostId(std::uint32_t v) : value(v) {}
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  auto operator<=>(const HostId&) const = default;
+};
+
+using NodeId = HostId;
+using ClientId = HostId;
+
+[[nodiscard]] inline std::string to_string(HostId id) {
+  return id.valid() ? std::to_string(id.value) : std::string("<invalid>");
+}
+
+}  // namespace eden
+
+template <>
+struct std::hash<eden::HostId> {
+  std::size_t operator()(const eden::HostId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

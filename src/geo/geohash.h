@@ -1,0 +1,62 @@
+// GeoHash codec (Balkić et al. [32] in the paper). The central manager's
+// geo-proximity filter works on hash prefixes: nodes sharing a longer prefix
+// with the querying user are (usually) geographically closer, and the filter
+// widens its search by shortening the prefix.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "geo/geopoint.h"
+
+namespace eden::geo {
+
+// Bounding box of a geohash cell.
+struct GeoBox {
+  double min_lat{0}, max_lat{0};
+  double min_lon{0}, max_lon{0};
+
+  [[nodiscard]] GeoPoint center() const {
+    return {(min_lat + max_lat) / 2, (min_lon + max_lon) / 2};
+  }
+  [[nodiscard]] bool contains(const GeoPoint& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon &&
+           p.lon <= max_lon;
+  }
+};
+
+// Encode a point to a base-32 geohash of the given precision (1..12 chars).
+[[nodiscard]] std::string geohash_encode(const GeoPoint& p, int precision);
+
+// Decode a geohash to its bounding box; nullopt on invalid characters or an
+// empty string.
+[[nodiscard]] std::optional<GeoBox> geohash_decode(const std::string& hash);
+
+// Decode to the cell's center point; nullopt on invalid input.
+[[nodiscard]] std::optional<GeoPoint> geohash_decode_center(const std::string& hash);
+
+enum class Direction { kNorth, kSouth, kEast, kWest };
+
+// The adjacent cell in the given direction (wraps in longitude, clamps at
+// the poles by returning the same cell); nullopt on invalid input.
+[[nodiscard]] std::optional<std::string> geohash_neighbor(const std::string& hash,
+                                                          Direction dir);
+
+// The 8 surrounding cells plus the cell itself (9 total, deduplicated near
+// poles); empty on invalid input.
+[[nodiscard]] std::array<std::string, 8> geohash_neighbors(const std::string& hash);
+
+// Length of the common prefix of two geohashes — the manager's proximity
+// score (longer shared prefix = closer, at matching precision).
+[[nodiscard]] int common_prefix_len(const std::string& a, const std::string& b);
+
+// Approximate cell width in kilometres at the given precision (at the
+// equator); used to choose a precision matching a search radius.
+[[nodiscard]] double cell_width_km(int precision);
+
+// Smallest precision whose cell is still wider than `radius_km` — the
+// prefix length to match when searching within that radius.
+[[nodiscard]] int precision_for_radius_km(double radius_km);
+
+}  // namespace eden::geo

@@ -1,0 +1,19 @@
+// Geographic coordinates and great-circle distance.
+#pragma once
+
+namespace eden::geo {
+
+struct GeoPoint {
+  double lat{0};  // degrees, [-90, 90]
+  double lon{0};  // degrees, [-180, 180)
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+// Great-circle distance in kilometres (haversine, mean Earth radius).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// Convenience: distance in miles (the paper quotes miles).
+[[nodiscard]] double distance_miles(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace eden::geo

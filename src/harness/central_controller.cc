@@ -1,0 +1,76 @@
+#include "harness/central_controller.h"
+
+namespace eden::harness {
+
+CentralController::CentralController(
+    Scenario& scenario, std::vector<baselines::StaticClient*> clients,
+    Options options)
+    : scenario_(&scenario),
+      clients_(std::move(clients)),
+      options_(options),
+      rng_(options.seed) {}
+
+void CentralController::start() {
+  if (running_) return;
+  running_ = true;
+  reoptimize();
+  arm_timer();
+}
+
+void CentralController::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (timer_ != sim::kInvalidEvent) scenario_->scheduler().cancel(timer_);
+}
+
+void CentralController::arm_timer() {
+  timer_ = scenario_->scheduler().schedule_after(options_.period, [this] {
+    if (!running_) return;
+    reoptimize();
+    arm_timer();
+  });
+}
+
+void CentralController::reoptimize() {
+  ++rounds_;
+
+  // Server-side world view: currently-running nodes only. (Between rounds
+  // the controller is blind to churn — its structural handicap.)
+  std::vector<std::size_t> running_nodes;
+  for (std::size_t i = 0; i < scenario_->node_count(); ++i) {
+    if (scenario_->node(i).running()) running_nodes.push_back(i);
+  }
+  if (running_nodes.empty() || clients_.empty()) return;
+
+  std::vector<HostId> hosts;
+  hosts.reserve(clients_.size());
+  for (const auto* client : clients_) hosts.push_back(client->id());
+
+  // Full prediction input, then cut down to the running columns.
+  auto full = scenario_->predict_input(hosts, options_.fps, options_.frame_bytes);
+  baselines::PredictInput input;
+  input.fps = full.fps;
+  for (const std::size_t j : running_nodes) input.nodes.push_back(full.nodes[j]);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    std::vector<double> rtt;
+    std::vector<double> trans;
+    for (const std::size_t j : running_nodes) {
+      rtt.push_back(full.rtt_ms[i][j]);
+      trans.push_back(full.trans_ms[i][j]);
+    }
+    input.rtt_ms.push_back(std::move(rtt));
+    input.trans_ms.push_back(std::move(trans));
+  }
+
+  const auto solution =
+      baselines::solve_optimal(input, rng_, options_.solver);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const NodeId target =
+        scenario_->node_id(running_nodes[solution.assignment[i]]);
+    if (clients_[i]->current_node() == target) continue;
+    clients_[i]->reassign(target);
+    ++reassignments_;
+  }
+}
+
+}  // namespace eden::harness

@@ -1,0 +1,58 @@
+// Server-centric periodic re-optimization baseline, in the spirit of the
+// user-allocation literature the paper contrasts against ([13]-[15]):
+// every period a central controller recomputes the edge assignment with
+// the analytic latency model over its (server-side) view of the world and
+// pushes reassignments to the clients. Its structural weaknesses — stale
+// global view between rounds, reassignment churn, no client-side what-if
+// feedback — are exactly what §II-B argues; bench_centralized quantifies
+// them against the distributed client-centric protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/optimal.h"
+#include "baselines/static_client.h"
+#include "harness/scenario.h"
+
+namespace eden::harness {
+
+class CentralController {
+ public:
+  struct Options {
+    SimDuration period{sec(10.0)};   // re-optimization cadence
+    double fps{20.0};                // nominal per-user rate for the model
+    double frame_bytes{20'000};
+    baselines::OptimalConfig solver{};
+    std::uint64_t seed{17};
+  };
+
+  CentralController(Scenario& scenario,
+                    std::vector<baselines::StaticClient*> clients,
+                    Options options);
+  CentralController(Scenario& scenario,
+                    std::vector<baselines::StaticClient*> clients)
+      : CentralController(scenario, std::move(clients), Options()) {}
+
+  // Begin periodic re-optimization (first round immediately).
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t reassignments() const { return reassignments_; }
+
+ private:
+  void reoptimize();
+  void arm_timer();
+
+  Scenario* scenario_;
+  std::vector<baselines::StaticClient*> clients_;
+  Options options_;
+  Rng rng_;
+  bool running_{false};
+  sim::EventId timer_{sim::kInvalidEvent};
+  std::uint64_t rounds_{0};
+  std::uint64_t reassignments_{0};
+};
+
+}  // namespace eden::harness

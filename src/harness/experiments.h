@@ -1,0 +1,70 @@
+// Canned experiment configurations matching the paper's evaluation
+// deployments: the Table II real-world Minneapolis deployment and the §V-D
+// AWS emulation. Benches and integration tests build on these so that each
+// policy comparison reruns an identical world.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace eden::harness {
+
+// ---- Real-world deployment (Table II, Figs 1/3/5, Table III) ----
+//
+// 5 volunteer laptops (V1-V5) in the Minneapolis-Saint Paul metro, 4 AWS
+// Local Zone t3.xlarge instances (D6-D9), 1 regional-cloud node (us-east-2,
+// ~75 ms RTT from the metro), and 15 participant locations on home
+// broadband.
+struct RealWorldSetup {
+  std::unique_ptr<Scenario> scenario;
+  std::vector<std::size_t> volunteers;  // node indices of V1..V5
+  std::vector<std::size_t> dedicated;   // node indices of D6..D9
+  std::size_t cloud{0};                 // node index of the cloud
+  std::vector<ClientSpot> user_spots;   // the 15 participants
+  // All node indices in Table II order (V1..V5, D6..D9, Cloud).
+  [[nodiscard]] std::vector<std::size_t> all_nodes() const;
+};
+
+RealWorldSetup make_realworld_setup(std::uint64_t seed);
+
+// Start every node immediately (paper: all nodes up for the whole run).
+void start_all_nodes(Scenario& scenario);
+
+// ---- Emulation deployment (§V-D1, Figs 6/7) ----
+//
+// 9 static heterogeneous nodes (4x t2.medium, 4x t2.xlarge, 1x t2.2xlarge)
+// and up to 15 users; pairwise RTTs are distance-derived in [8, 55] ms as
+// in the paper's tc configuration.
+struct EmulationSetup {
+  std::unique_ptr<Scenario> scenario;
+  std::vector<ClientSpot> user_spots;
+  // rtt_ms[user][node], fixed across policies for a given seed.
+  std::vector<std::vector<double>> rtt_ms;
+  // Call right after creating the client for `user_index` to install its
+  // pairwise RTTs in the matrix network.
+  void wire_client(HostId client_host, std::size_t user_index) const;
+};
+
+EmulationSetup make_emulation_setup(std::uint64_t seed, int users = 15);
+
+// Node specs for the churn emulation (§V-D2): 8x t2.medium, 8x t2.xlarge,
+// 2x t2.2xlarge, matched round-robin onto churn node indices.
+std::vector<NodeSpec> churn_node_specs(int count);
+
+// The t2/t3 instance-type profiles used by both emulation setups.
+NodeSpec t2_medium_spec(const std::string& name);
+NodeSpec t2_xlarge_spec(const std::string& name);
+NodeSpec t2_2xlarge_spec(const std::string& name);
+
+// Layout helpers shared with the churn benches: a uniform random point
+// within `max_km` of `center`, and the paper's tc-style distance-derived
+// RTT in [8, 55] ms.
+geo::GeoPoint random_point_near(const geo::GeoPoint& center, double max_km,
+                                Rng& rng);
+double emulation_rtt_ms(const geo::GeoPoint& a, const geo::GeoPoint& b,
+                        Rng& rng);
+
+}  // namespace eden::harness

@@ -1,0 +1,39 @@
+#include "harness/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace eden::harness {
+
+StreamingStats fleet_window(const std::vector<const TimeSeries*>& series,
+                            SimTime begin, SimTime end) {
+  StreamingStats stats;
+  for (const auto* s : series) stats.merge(s->window(begin, end));
+  return stats;
+}
+
+double fairness_stddev(const std::vector<const TimeSeries*>& series,
+                       SimTime begin, SimTime end) {
+  Samples means;
+  for (const auto* s : series) {
+    const StreamingStats w = s->window(begin, end);
+    if (w.count() > 0) means.add(w.mean());
+  }
+  return means.stddev();
+}
+
+std::vector<std::pair<SimTime, double>> fleet_trace(
+    const std::vector<const TimeSeries*>& series, SimTime begin, SimTime end,
+    SimDuration bucket) {
+  std::vector<std::pair<SimTime, double>> out;
+  if (bucket <= 0 || end <= begin) return out;
+  double last = std::numeric_limits<double>::quiet_NaN();
+  for (SimTime t = begin; t < end; t += bucket) {
+    const StreamingStats w = fleet_window(series, t, t + bucket);
+    if (w.count() > 0) last = w.mean();
+    out.emplace_back(t, last);
+  }
+  return out;
+}
+
+}  // namespace eden::harness

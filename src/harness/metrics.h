@@ -1,0 +1,29 @@
+// Fleet-level metric aggregation over per-client latency series: windowed
+// averages (Fig 5/7/9c), cross-user fairness (Fig 9d) and bucketed traces
+// (Fig 4/6/8).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace eden::harness {
+
+// All frame latencies of all clients within [begin, end).
+[[nodiscard]] StreamingStats fleet_window(
+    const std::vector<const TimeSeries*>& series, SimTime begin, SimTime end);
+
+// Standard deviation of per-client mean latencies within the window — the
+// paper's fairness metric (Fig 9d). Clients with no samples are skipped.
+[[nodiscard]] double fairness_stddev(
+    const std::vector<const TimeSeries*>& series, SimTime begin, SimTime end);
+
+// Average latency across every client's frames per time bucket; buckets
+// with no frames carry the previous value (NaN before the first sample).
+[[nodiscard]] std::vector<std::pair<SimTime, double>> fleet_trace(
+    const std::vector<const TimeSeries*>& series, SimTime begin, SimTime end,
+    SimDuration bucket);
+
+}  // namespace eden::harness

@@ -1,0 +1,228 @@
+#include "harness/scenario.h"
+
+#include <cassert>
+
+namespace eden::harness {
+
+namespace {
+
+std::unique_ptr<net::NetworkModel> make_builtin_model(NetKind kind,
+                                                      double default_rtt_ms,
+                                                      double default_bw_mbps,
+                                                      double jitter_sigma) {
+  if (kind == NetKind::kGeo) {
+    return std::make_unique<net::GeoNetwork>(jitter_sigma);
+  }
+  return std::make_unique<net::MatrixNetwork>(default_rtt_ms, default_bw_mbps,
+                                              jitter_sigma);
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config, NetKind kind, double default_rtt_ms,
+                   double default_bw_mbps, double jitter_sigma)
+    : Scenario(config, [&](sim::Clock&) {
+        return make_builtin_model(kind, default_rtt_ms, default_bw_mbps,
+                                  jitter_sigma);
+      }) {}
+
+Scenario::Scenario(ScenarioConfig config, const ModelFactory& factory)
+    : config_(config), scheduler_(simulator_), rng_(config.seed) {
+  model_ = factory(scheduler_);
+  fabric_ = std::make_unique<net::SimNetwork>(simulator_, *model_, hosts_,
+                                              rng_.fork("fabric"));
+  manager_host_ = allocate_host();
+  hosts_.set_alive(manager_host_, true);
+  // The manager sits in a well-connected datacenter position.
+  register_position(manager_host_, geo::GeoPoint{44.9778, -93.2650},
+                    net::AccessTier::kLocalZone);
+  manager_ = std::make_unique<manager::CentralManager>(
+      scheduler_, config_.manager_policy, config_.heartbeat_ttl);
+}
+
+HostId Scenario::allocate_host() { return HostId{next_host_++}; }
+
+void Scenario::register_position(HostId host, const geo::GeoPoint& position,
+                                 net::AccessTier tier, double extra_rtt_ms,
+                                 const std::string& network_tag) {
+  if (auto* geo_net = dynamic_cast<net::GeoNetwork*>(model_.get())) {
+    // Network tags double as ISP groups: same tag => same access provider
+    // => potentially well-peered paths the manager's affinity hint can
+    // surface.
+    int isp = -1;
+    if (!network_tag.empty()) {
+      std::uint32_t h = 2166136261u;
+      for (const char c : network_tag) {
+        h = (h ^ static_cast<std::uint8_t>(c)) * 16777619u;
+      }
+      isp = static_cast<int>(h & 0x7fffffff);
+    }
+    geo_net->add_host(host, position, tier, isp);
+    if (extra_rtt_ms > 0) geo_net->set_extra_rtt_ms(host, extra_rtt_ms);
+  }
+}
+
+net::GeoNetwork* Scenario::geo_network() {
+  return dynamic_cast<net::GeoNetwork*>(model_.get());
+}
+
+net::MatrixNetwork* Scenario::matrix_network() {
+  return dynamic_cast<net::MatrixNetwork*>(model_.get());
+}
+
+std::string Scenario::geohash_of(const geo::GeoPoint& position) const {
+  return geo::geohash_encode(position, config_.geohash_precision);
+}
+
+std::size_t Scenario::add_node(const NodeSpec& spec) {
+  auto runtime = std::make_unique<NodeRuntime>();
+  runtime->spec = spec;
+  runtime->host = allocate_host();
+  register_position(runtime->host, spec.position, spec.tier, spec.extra_rtt_ms,
+                    spec.network_tag);
+
+  runtime->link = std::make_unique<SimManagerLink>(
+      *fabric_, *manager_, manager_host_, runtime->host, config_.wire_sizes);
+
+  node::EdgeNodeConfig node_config;
+  node_config.id = runtime->host;  // NodeId == HostId by convention
+  node_config.geohash = geohash_of(spec.position);
+  node_config.network_tag = spec.network_tag;
+  node_config.dedicated = spec.dedicated;
+  node_config.is_cloud = spec.is_cloud;
+  node_config.heartbeat_period = spec.heartbeat_period;
+  node_config.app_types = spec.app_types;
+  node_config.executor.cores = spec.cores;
+  node_config.executor.base_frame_ms = spec.base_frame_ms;
+  node_config.executor.contention_alpha = spec.contention_alpha;
+  node_config.executor.burstable = spec.burstable;
+  node_config.executor.burst_baseline = spec.burst_baseline;
+  node_config.executor.initial_credits_core_sec = spec.initial_credits_core_sec;
+  node_config.executor.background_load = spec.background_load;
+  runtime->node = std::make_unique<node::EdgeNode>(scheduler_, node_config,
+                                                   runtime->link.get());
+  runtime->stub = std::make_unique<SimNodeStub>(
+      *fabric_, *runtime->node, runtime->host, config_.timeouts,
+      config_.wire_sizes);
+
+  stubs_by_id_[runtime->node->id()] = runtime->stub.get();
+  nodes_.push_back(std::move(runtime));
+  return nodes_.size() - 1;
+}
+
+net::NodeApi* Scenario::node_api(NodeId id) {
+  const auto it = stubs_by_id_.find(id);
+  return it == stubs_by_id_.end() ? nullptr : it->second;
+}
+
+std::optional<std::size_t> Scenario::node_index(NodeId id) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->node->id() == id) return i;
+  }
+  return std::nullopt;
+}
+
+void Scenario::start_node(std::size_t index) {
+  auto& runtime = *nodes_[index];
+  hosts_.set_alive(runtime.host, true);
+  runtime.node->start();
+}
+
+void Scenario::stop_node(std::size_t index, bool graceful) {
+  auto& runtime = *nodes_[index];
+  runtime.node->stop(graceful);
+  hosts_.set_alive(runtime.host, false);
+}
+
+void Scenario::schedule_node_start(std::size_t index, SimTime at) {
+  simulator_.schedule_at(at, [this, index] { start_node(index); });
+}
+
+void Scenario::schedule_node_stop(std::size_t index, SimTime at, bool graceful) {
+  simulator_.schedule_at(at, [this, index, graceful] {
+    stop_node(index, graceful);
+  });
+}
+
+client::NodeResolver Scenario::resolver() {
+  return [this](NodeId id) -> net::NodeApi* { return node_api(id); };
+}
+
+client::EdgeClient& Scenario::add_edge_client(const ClientSpot& spot,
+                                              client::ClientConfig config) {
+  auto runtime = std::make_unique<EdgeClientRuntime>();
+  runtime->spot = spot;
+  runtime->host = allocate_host();
+  hosts_.set_alive(runtime->host, true);
+  register_position(runtime->host, spot.position, spot.tier, 0.0,
+                    spot.network_tag);
+
+  config.id = runtime->host;
+  if (config.geohash.empty()) config.geohash = geohash_of(spot.position);
+  if (config.network_tag.empty()) config.network_tag = spot.network_tag;
+
+  runtime->manager_stub = std::make_unique<SimManagerStub>(
+      *fabric_, *manager_, manager_host_, runtime->host, config_.timeouts,
+      config_.wire_sizes);
+  runtime->client = std::make_unique<client::EdgeClient>(
+      scheduler_, *runtime->manager_stub, resolver(), config);
+  edge_clients_.push_back(std::move(runtime));
+  return *edge_clients_.back()->client;
+}
+
+baselines::StaticClient& Scenario::add_static_client(const ClientSpot& spot,
+                                                     workload::AppProfile app) {
+  auto runtime = std::make_unique<StaticClientRuntime>();
+  runtime->spot = spot;
+  runtime->host = allocate_host();
+  hosts_.set_alive(runtime->host, true);
+  register_position(runtime->host, spot.position, spot.tier, 0.0,
+                    spot.network_tag);
+  runtime->client = std::make_unique<baselines::StaticClient>(
+      scheduler_, resolver(), runtime->host, app);
+  static_clients_.push_back(std::move(runtime));
+  return *static_clients_.back()->client;
+}
+
+std::vector<baselines::NodeInfo> Scenario::node_infos() const {
+  std::vector<baselines::NodeInfo> out;
+  out.reserve(nodes_.size());
+  for (const auto& runtime : nodes_) {
+    baselines::NodeInfo info;
+    info.id = runtime->node->id();
+    info.name = runtime->spec.name;
+    info.position = runtime->spec.position;
+    info.cores = runtime->spec.cores;
+    info.base_frame_ms = runtime->spec.base_frame_ms;
+    info.dedicated = runtime->spec.dedicated;
+    info.is_cloud = runtime->spec.is_cloud;
+    info.burstable = runtime->spec.burstable;
+    info.burst_baseline = runtime->spec.burst_baseline;
+    info.contention_alpha = runtime->spec.contention_alpha;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+baselines::PredictInput Scenario::predict_input(
+    const std::vector<HostId>& clients, double fps, double frame_bytes) const {
+  baselines::PredictInput input;
+  input.nodes = node_infos();
+  input.fps = fps;
+  for (const HostId client : clients) {
+    std::vector<double> rtt_row;
+    std::vector<double> trans_row;
+    rtt_row.reserve(nodes_.size());
+    trans_row.reserve(nodes_.size());
+    for (const auto& runtime : nodes_) {
+      rtt_row.push_back(to_ms(model_->base_rtt(client, runtime->host)));
+      trans_row.push_back(
+          to_ms(model_->transfer_delay(client, runtime->host, frame_bytes)));
+    }
+    input.rtt_ms.push_back(std::move(rtt_row));
+    input.trans_ms.push_back(std::move(trans_row));
+  }
+  return input;
+}
+
+}  // namespace eden::harness

@@ -1,0 +1,190 @@
+// Scenario: one-stop wiring of a full EDEN deployment inside the
+// discrete-event simulator — central manager, edge nodes, clients, network
+// model, host liveness — with helpers for scheduling node churn and
+// building the optimal-solver inputs. Every bench and integration test is
+// a Scenario plus a policy choice.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/node_info.h"
+#include "baselines/latency_model.h"
+#include "baselines/static_client.h"
+#include "client/edge_client.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "geo/geohash.h"
+#include "harness/sim_stubs.h"
+#include "manager/central_manager.h"
+#include "net/host_table.h"
+#include "net/network_model.h"
+#include "net/sim_network.h"
+#include "node/edge_node.h"
+#include "sim/clock.h"
+#include "sim/simulator.h"
+
+namespace eden::harness {
+
+struct ScenarioConfig {
+  std::uint64_t seed{42};
+  manager::GlobalPolicy manager_policy{};
+  SimDuration heartbeat_ttl{sec(3.0)};
+  StubTimeouts timeouts{};
+  WireSizes wire_sizes{};
+  int geohash_precision{6};
+};
+
+struct NodeSpec {
+  std::string name;
+  geo::GeoPoint position{44.9778, -93.2650};  // Minneapolis by default
+  net::AccessTier tier{net::AccessTier::kCable};
+  int cores{2};
+  double base_frame_ms{30.0};
+  bool dedicated{false};
+  bool is_cloud{false};
+  bool burstable{false};
+  double burst_baseline{0.4};
+  double initial_credits_core_sec{30.0};
+  double contention_alpha{0.04};
+  double background_load{0.0};
+  double extra_rtt_ms{0.0};  // GeoNetwork only: fixed backbone penalty
+  std::string network_tag;
+  SimDuration heartbeat_period{sec(1.0)};
+  // Application server types deployed on the node; empty = serves all.
+  std::vector<std::string> app_types;
+};
+
+struct ClientSpot {
+  std::string name;
+  geo::GeoPoint position{44.9778, -93.2650};
+  net::AccessTier tier{net::AccessTier::kCable};
+  std::string network_tag;
+};
+
+enum class NetKind { kGeo, kMatrix };
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config, NetKind kind = NetKind::kGeo,
+                    double default_rtt_ms = 20.0, double default_bw_mbps = 100.0,
+                    double jitter_sigma = 0.05);
+
+  // Custom network model (e.g. net::TraceNetwork): the factory receives the
+  // scenario's clock, since trace replay is time-dependent.
+  using ModelFactory =
+      std::function<std::unique_ptr<net::NetworkModel>(sim::Clock&)>;
+  Scenario(ScenarioConfig config, const ModelFactory& factory);
+
+  // ---- infrastructure access ----
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] sim::SimScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] net::SimNetwork& fabric() { return *fabric_; }
+  [[nodiscard]] net::HostTable& hosts() { return hosts_; }
+  [[nodiscard]] manager::CentralManager& central_manager() { return *manager_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  // Concrete network model (null if the other kind was chosen).
+  [[nodiscard]] net::GeoNetwork* geo_network();
+  [[nodiscard]] net::MatrixNetwork* matrix_network();
+  [[nodiscard]] const net::NetworkModel& network_model() const { return *model_; }
+
+  // ---- nodes ----
+  std::size_t add_node(const NodeSpec& spec);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] node::EdgeNode& node(std::size_t index) {
+    return *nodes_[index]->node;
+  }
+  [[nodiscard]] const NodeSpec& node_spec(std::size_t index) const {
+    return nodes_[index]->spec;
+  }
+  [[nodiscard]] NodeId node_id(std::size_t index) const {
+    return nodes_[index]->node->id();
+  }
+  [[nodiscard]] net::NodeApi* node_api(NodeId id);
+  // Index of the node with this id, if any.
+  [[nodiscard]] std::optional<std::size_t> node_index(NodeId id) const;
+
+  void start_node(std::size_t index);
+  void stop_node(std::size_t index, bool graceful);
+  void schedule_node_start(std::size_t index, SimTime at);
+  void schedule_node_stop(std::size_t index, SimTime at, bool graceful);
+
+  // ---- clients ----
+  client::EdgeClient& add_edge_client(const ClientSpot& spot,
+                                      client::ClientConfig config);
+  baselines::StaticClient& add_static_client(const ClientSpot& spot,
+                                             workload::AppProfile app);
+  [[nodiscard]] std::size_t edge_client_count() const {
+    return edge_clients_.size();
+  }
+  [[nodiscard]] client::EdgeClient& edge_client(std::size_t index) {
+    return *edge_clients_[index]->client;
+  }
+  [[nodiscard]] baselines::StaticClient& static_client(std::size_t index) {
+    return *static_clients_[index]->client;
+  }
+  [[nodiscard]] std::size_t static_client_count() const {
+    return static_clients_.size();
+  }
+  [[nodiscard]] HostId client_host(const ClientId& id) const { return id; }
+
+  [[nodiscard]] client::NodeResolver resolver();
+
+  // ---- analytics ----
+  [[nodiscard]] std::vector<baselines::NodeInfo> node_infos() const;
+  // Prediction input for the optimal solver over the given client hosts
+  // (uses base RTTs — no jitter — like an offline profile would).
+  [[nodiscard]] baselines::PredictInput predict_input(
+      const std::vector<HostId>& clients, double fps,
+      double frame_bytes) const;
+
+  [[nodiscard]] std::string geohash_of(const geo::GeoPoint& position) const;
+
+  void run_until(SimTime t) { simulator_.run_until(t); }
+
+ private:
+  struct NodeRuntime {
+    NodeSpec spec;
+    HostId host;
+    std::unique_ptr<SimManagerLink> link;
+    std::unique_ptr<node::EdgeNode> node;
+    std::unique_ptr<SimNodeStub> stub;
+  };
+  struct EdgeClientRuntime {
+    ClientSpot spot;
+    HostId host;
+    std::unique_ptr<SimManagerStub> manager_stub;
+    std::unique_ptr<client::EdgeClient> client;
+  };
+  struct StaticClientRuntime {
+    ClientSpot spot;
+    HostId host;
+    std::unique_ptr<baselines::StaticClient> client;
+  };
+
+  HostId allocate_host();
+  void register_position(HostId host, const geo::GeoPoint& position,
+                         net::AccessTier tier, double extra_rtt_ms = 0.0,
+                         const std::string& network_tag = {});
+
+  ScenarioConfig config_;
+  sim::Simulator simulator_;
+  sim::SimScheduler scheduler_;
+  std::unique_ptr<net::NetworkModel> model_;
+  net::HostTable hosts_;
+  Rng rng_;
+  std::unique_ptr<net::SimNetwork> fabric_;
+  HostId manager_host_;
+  std::unique_ptr<manager::CentralManager> manager_;
+  std::uint32_t next_host_{0};
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::unordered_map<NodeId, SimNodeStub*> stubs_by_id_;
+  std::vector<std::unique_ptr<EdgeClientRuntime>> edge_clients_;
+  std::vector<std::unique_ptr<StaticClientRuntime>> static_clients_;
+};
+
+}  // namespace eden::harness

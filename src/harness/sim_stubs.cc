@@ -1,0 +1,94 @@
+#include "harness/sim_stubs.h"
+
+namespace eden::harness {
+
+void SimNodeStub::rtt_probe(ClientId from, std::function<void(bool)> done) {
+  network_->rpc<bool>(
+      from, node_host_, sizes_.probe_request, sizes_.probe_request,
+      timeouts_.probe, [] { return true; },
+      [done = std::move(done)](std::optional<bool> ok) {
+        done(ok.has_value());
+      });
+}
+
+void SimNodeStub::process_probe(
+    ClientId from,
+    std::function<void(std::optional<net::ProcessProbeResponse>)> done) {
+  network_->rpc<net::ProcessProbeResponse>(
+      from, node_host_, sizes_.probe_request, sizes_.probe_response,
+      timeouts_.probe,
+      [node = node_, from] { return node->handle_process_probe(from); },
+      std::move(done));
+}
+
+void SimNodeStub::join(
+    const net::JoinRequest& request,
+    std::function<void(std::optional<net::JoinResponse>)> done) {
+  network_->rpc<net::JoinResponse>(
+      request.client, node_host_, sizes_.join_request, sizes_.join_response,
+      timeouts_.join, [node = node_, request] { return node->handle_join(request); },
+      std::move(done));
+}
+
+void SimNodeStub::unexpected_join(const net::JoinRequest& request,
+                                  std::function<void(bool)> done) {
+  network_->rpc<bool>(
+      request.client, node_host_, sizes_.join_request, sizes_.join_response,
+      timeouts_.join,
+      [node = node_, request] { return node->handle_unexpected_join(request); },
+      [done = std::move(done)](std::optional<bool> ok) {
+        done(ok.value_or(false));
+      });
+}
+
+void SimNodeStub::leave(ClientId client) {
+  network_->deliver(client, node_host_, sizes_.leave,
+                    [node = node_, client] { node->handle_leave(client); });
+}
+
+void SimNodeStub::offload(
+    const net::FrameRequest& request,
+    std::function<void(std::optional<net::FrameResponse>)> done) {
+  network_->rpc_async<net::FrameResponse>(
+      request.client, node_host_, request.bytes, sizes_.frame_response,
+      timeouts_.frame,
+      [node = node_, request](std::function<void(net::FrameResponse)> reply) {
+        node->handle_offload(request, std::move(reply));
+      },
+      std::move(done));
+}
+
+void SimManagerStub::discover(
+    const net::DiscoveryRequest& request,
+    std::function<void(std::optional<net::DiscoveryResponse>)> done) {
+  const double response_bytes =
+      sizes_.discovery_response_per_candidate * std::max(1, request.top_n);
+  network_->rpc<net::DiscoveryResponse>(
+      client_host_, manager_host_, sizes_.discovery_request, response_bytes,
+      timeouts_.discovery,
+      [manager = manager_, request] { return manager->handle_discover(request); },
+      std::move(done));
+}
+
+void SimManagerLink::register_node(const net::NodeStatus& status) {
+  network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
+                    [manager = manager_, status] {
+                      manager->handle_register(status);
+                    });
+}
+
+void SimManagerLink::heartbeat(const net::NodeStatus& status) {
+  network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
+                    [manager = manager_, status] {
+                      manager->handle_heartbeat(status);
+                    });
+}
+
+void SimManagerLink::deregister(NodeId node) {
+  network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
+                    [manager = manager_, node] {
+                      manager->handle_deregister(node);
+                    });
+}
+
+}  // namespace eden::harness

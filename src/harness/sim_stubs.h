@@ -1,0 +1,124 @@
+// Transport stubs binding the protocol state machines to the simulated
+// network: SimNodeStub exposes an EdgeNode behind net::NodeApi, and
+// SimManagerStub / SimManagerLink expose the CentralManager behind
+// net::ManagerApi / net::ManagerLink. All delays, jitter, message loss on
+// dead hosts and timeouts come from SimNetwork.
+//
+// Host addressing convention: ClientId/NodeId double as transport HostIds
+// (the Scenario allocates them from one sequence).
+#pragma once
+
+#include "manager/central_manager.h"
+#include "net/api.h"
+#include "net/sim_network.h"
+#include "node/edge_node.h"
+
+namespace eden::harness {
+
+// Approximate wire sizes (bytes) of the control messages; only the frame
+// payload is big enough to matter, but modelling the rest keeps D_trans
+// honest for probe-heavy configurations.
+struct WireSizes {
+  double probe_request{120};
+  double probe_response{280};
+  double join_request{200};
+  double join_response{120};
+  double leave{100};
+  double discovery_request{250};
+  double discovery_response_per_candidate{150};
+  double frame_response{200};
+  double heartbeat{300};
+};
+
+struct StubTimeouts {
+  SimDuration probe{msec(400.0)};
+  SimDuration join{msec(400.0)};
+  // Frames wait much longer: an overloaded node still answers eventually,
+  // and node death is detected by the client's keepalive, not by frame
+  // timeouts.
+  SimDuration frame{msec(3000.0)};
+  SimDuration discovery{msec(500.0)};
+};
+
+class SimNodeStub final : public net::NodeApi {
+ public:
+  SimNodeStub(net::SimNetwork& network, node::EdgeNode& node, HostId node_host,
+              StubTimeouts timeouts = {}, WireSizes sizes = {})
+      : network_(&network),
+        node_(&node),
+        node_host_(node_host),
+        timeouts_(timeouts),
+        sizes_(sizes) {}
+
+  [[nodiscard]] NodeId id() const override { return node_->id(); }
+
+  void rtt_probe(ClientId from, std::function<void(bool)> done) override;
+  void process_probe(
+      ClientId from,
+      std::function<void(std::optional<net::ProcessProbeResponse>)> done)
+      override;
+  void join(const net::JoinRequest& request,
+            std::function<void(std::optional<net::JoinResponse>)> done) override;
+  void unexpected_join(const net::JoinRequest& request,
+                       std::function<void(bool)> done) override;
+  void leave(ClientId client) override;
+  void offload(const net::FrameRequest& request,
+               std::function<void(std::optional<net::FrameResponse>)> done)
+      override;
+
+ private:
+  net::SimNetwork* network_;
+  node::EdgeNode* node_;
+  HostId node_host_;
+  StubTimeouts timeouts_;
+  WireSizes sizes_;
+};
+
+class SimManagerStub final : public net::ManagerApi {
+ public:
+  SimManagerStub(net::SimNetwork& network, manager::CentralManager& manager,
+                 HostId manager_host, ClientId client_host,
+                 StubTimeouts timeouts = {}, WireSizes sizes = {})
+      : network_(&network),
+        manager_(&manager),
+        manager_host_(manager_host),
+        client_host_(client_host),
+        timeouts_(timeouts),
+        sizes_(sizes) {}
+
+  void discover(const net::DiscoveryRequest& request,
+                std::function<void(std::optional<net::DiscoveryResponse>)> done)
+      override;
+
+ private:
+  net::SimNetwork* network_;
+  manager::CentralManager* manager_;
+  HostId manager_host_;
+  ClientId client_host_;
+  StubTimeouts timeouts_;
+  WireSizes sizes_;
+};
+
+class SimManagerLink final : public net::ManagerLink {
+ public:
+  SimManagerLink(net::SimNetwork& network, manager::CentralManager& manager,
+                 HostId manager_host, HostId node_host, WireSizes sizes = {})
+      : network_(&network),
+        manager_(&manager),
+        manager_host_(manager_host),
+        node_host_(node_host),
+        sizes_(sizes) {}
+
+  void register_node(const net::NodeStatus& status) override;
+  void heartbeat(const net::NodeStatus& status) override;
+  void deregister(NodeId node) override;
+
+ private:
+  net::SimNetwork* network_;
+  manager::CentralManager* manager_;
+  HostId manager_host_;
+  HostId node_host_;
+  WireSizes sizes_;
+};
+
+}  // namespace eden::harness

@@ -1,0 +1,27 @@
+#include "manager/central_manager.h"
+
+namespace eden::manager {
+
+void CentralManager::handle_register(const net::NodeStatus& status) {
+  ++stats_.registrations;
+  registry_.upsert(status, clock_->now());
+}
+
+void CentralManager::handle_heartbeat(const net::NodeStatus& status) {
+  ++stats_.heartbeats;
+  registry_.upsert(status, clock_->now());
+}
+
+void CentralManager::handle_deregister(NodeId node) {
+  ++stats_.deregistrations;
+  registry_.remove(node);
+}
+
+net::DiscoveryResponse CentralManager::handle_discover(
+    const net::DiscoveryRequest& request) {
+  ++stats_.discovery_queries;
+  return selector_.select(request, registry_.snapshot(clock_->now()),
+                          clock_->now());
+}
+
+}  // namespace eden::manager

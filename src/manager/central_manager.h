@@ -1,0 +1,56 @@
+// CentralManager: serves edge-discovery queries (step one of the 2-step
+// selection) from real-time node status collected via registration and
+// heartbeats. Transport-agnostic like EdgeNode — the harness and the TCP
+// runtime wrap the handlers behind net::ManagerApi / net::ManagerLink.
+#pragma once
+
+#include <cstdint>
+
+#include "manager/global_selection.h"
+#include "manager/registry.h"
+#include "net/protocol.h"
+#include "sim/clock.h"
+
+namespace eden::manager {
+
+struct ManagerStats {
+  std::uint64_t discovery_queries{0};
+  std::uint64_t registrations{0};
+  std::uint64_t heartbeats{0};
+  std::uint64_t deregistrations{0};
+};
+
+class CentralManager {
+ public:
+  CentralManager(sim::Clock& clock, GlobalPolicy policy = {},
+                 SimDuration heartbeat_ttl = sec(3.0))
+      : clock_(&clock), registry_(heartbeat_ttl), selector_(policy) {}
+
+  // ---- handlers ----
+  void handle_register(const net::NodeStatus& status);
+  void handle_heartbeat(const net::NodeStatus& status);
+  void handle_deregister(NodeId node);
+  [[nodiscard]] net::DiscoveryResponse handle_discover(
+      const net::DiscoveryRequest& request);
+
+  // Swap the global selection policy (e.g. for ablations); takes effect
+  // on the next discovery query.
+  void set_policy(GlobalPolicy policy) { selector_ = GlobalSelector(policy); }
+
+  // ---- introspection ----
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const GlobalSelector& selector() const { return selector_; }
+  [[nodiscard]] const ManagerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_nodes() {
+    registry_.expire(clock_->now());
+    return registry_.size();
+  }
+
+ private:
+  sim::Clock* clock_;
+  Registry registry_;
+  GlobalSelector selector_;
+  ManagerStats stats_;
+};
+
+}  // namespace eden::manager

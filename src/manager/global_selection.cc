@@ -1,0 +1,120 @@
+#include "manager/global_selection.h"
+
+#include <algorithm>
+
+#include "geo/geohash.h"
+
+namespace eden::manager {
+
+double GlobalSelector::score(const net::DiscoveryRequest& request,
+                             const net::NodeStatus& node,
+                             double uptime_sec) const {
+  // Proximity from the geohash cell centers: smooth distance decay (~full
+  // credit within a few km, fading over tens of km). Falls back to prefix
+  // matching when a hash does not decode.
+  double proximity = 0.0;
+  const auto user_pos = geo::geohash_decode_center(request.geohash);
+  const auto node_pos = geo::geohash_decode_center(node.geohash);
+  if (user_pos && node_pos) {
+    const double km = geo::haversine_km(*user_pos, *node_pos);
+    proximity = 1.0 / (1.0 + km / 15.0);
+  } else if (!request.geohash.empty()) {
+    const int shared = geo::common_prefix_len(request.geohash, node.geohash);
+    proximity = static_cast<double>(shared) /
+                static_cast<double>(request.geohash.size());
+  }
+  const double availability = std::clamp(1.0 - node.utilization, 0.0, 1.0);
+  // cores per millisecond of frame time, squashed to ~[0, 1].
+  const double raw_capacity =
+      static_cast<double>(node.cores) / std::max(1.0, node.base_frame_ms);
+  const double capacity = raw_capacity / (raw_capacity + 0.1);
+  const double affinity = (!request.network_tag.empty() &&
+                           request.network_tag == node.network_tag)
+                              ? 1.0
+                              : 0.0;
+  const double load = static_cast<double>(node.attached_users) /
+                      std::max(1, node.cores);
+
+  double s = policy_.w_proximity * proximity +
+             policy_.w_availability * availability +
+             policy_.w_capacity * capacity + policy_.w_affinity * affinity -
+             policy_.w_load * load;
+  if (policy_.w_reliability != 0.0) {
+    const double reliability =
+        uptime_sec / (uptime_sec + std::max(1e-9, policy_.reliability_halflife_sec));
+    s += policy_.w_reliability * reliability;
+  }
+  if (node.is_cloud) s -= policy_.cloud_penalty;
+  return s;
+}
+
+net::DiscoveryResponse GlobalSelector::select(
+    const net::DiscoveryRequest& request,
+    const std::vector<RegistryEntry>& nodes, SimTime now) const {
+  const int top_n = std::max(1, request.top_n);
+
+  // Geo-proximity filter with widening: accept nodes within a search
+  // radius, widening the radius until enough qualify (remote nodes remain
+  // reachable as a last resort). Distances come from the geohash cell
+  // centers — a raw prefix filter would drop close nodes that fall across
+  // a cell boundary; prefix matching is only the fallback for hashes that
+  // do not decode.
+  // Application filter first: a node qualifies when it hosts the requested
+  // app type (an empty list means it serves everything, the paper's
+  // single-app deployments).
+  auto serves_app = [&](const net::NodeStatus& status) {
+    if (request.app_type.empty() || status.app_types.empty()) return true;
+    for (const auto& app : status.app_types) {
+      if (app == request.app_type) return true;
+    }
+    return false;
+  };
+
+  std::vector<const RegistryEntry*> qualified;
+  const auto user_center = geo::geohash_decode_center(request.geohash);
+  const double radii_km[] = {10.0, 25.0, 60.0, 150.0, 1e9};
+  for (const double radius : radii_km) {
+    qualified.clear();
+    for (const auto& entry : nodes) {
+      if (!serves_app(entry.status)) continue;
+      bool in_range = false;
+      const auto node_center = geo::geohash_decode_center(entry.status.geohash);
+      if (user_center && node_center) {
+        in_range = geo::haversine_km(*user_center, *node_center) <= radius;
+      } else {
+        const int needed =
+            std::max(0, policy_.initial_prefix -
+                            static_cast<int>(&radius - radii_km));
+        in_range = geo::common_prefix_len(request.geohash,
+                                          entry.status.geohash) >= needed;
+      }
+      if (in_range) qualified.push_back(&entry);
+    }
+    if (static_cast<double>(qualified.size()) >= policy_.widen_factor * top_n) {
+      break;
+    }
+  }
+
+  std::vector<std::pair<double, const net::NodeStatus*>> ranked;
+  ranked.reserve(qualified.size());
+  for (const auto* entry : qualified) {
+    const double uptime_sec =
+        std::max<double>(0.0, to_sec(now - entry->registered_at));
+    ranked.emplace_back(score(request, entry->status, uptime_sec),
+                        &entry->status);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second->node < b.second->node;  // deterministic tie-break
+  });
+
+  net::DiscoveryResponse response;
+  for (const auto& [s, status] : ranked) {
+    if (static_cast<int>(response.candidates.size()) >= top_n) break;
+    response.candidates.push_back(
+        net::CandidateInfo{status->node, status->geohash, s, status->endpoint});
+  }
+  return response;
+}
+
+}  // namespace eden::manager

@@ -1,0 +1,64 @@
+// Global (manager-side) edge selection: step one of the paper's 2-step
+// approach. Applies a GeoHash proximity filter with widening, then ranks
+// the surviving nodes by resource availability, processing capacity and
+// network affiliation, and returns the TopN candidate edge list. The
+// ranking is deliberately coarse — final decisions are client-side — so it
+// only needs to be "high tolerance to inaccuracy and mismatch" (§IV-B).
+#pragma once
+
+#include <vector>
+
+#include "manager/registry.h"
+#include "net/protocol.h"
+
+namespace eden::manager {
+
+struct GlobalPolicy {
+  // Start matching this many geohash prefix characters and widen (shorten)
+  // until enough candidates qualify. 4 chars ~ a metro area (~20 km cells).
+  int initial_prefix{4};
+  // Stop widening once at least this multiple of TopN nodes qualify.
+  double widen_factor{2.0};
+
+  // Ranking weights.
+  double w_proximity{1.0};     // shared-prefix length, normalised
+  double w_availability{1.0};  // 1 - utilization
+  double w_capacity{0.6};      // cores / base_frame_ms, normalised
+  double w_affinity{0.8};      // matching network tag
+  // Cloud nodes are a last resort: flat score penalty.
+  double cloud_penalty{1.5};
+  // Soft load penalty per attached user relative to core count. Relatively
+  // strong so that successive discovery queries steer late joiners away
+  // from already-popular nodes (the coarse resource-awareness of step 1).
+  double w_load{1.2};
+  // Extension (off by default): weight for a reputation-style reliability
+  // score derived from observed uptime — the paper points at
+  // reputation-based scheduling [33] for tuning selection to volunteer
+  // reliability. Whether uptime predicts residual lifetime depends on the
+  // churn's hazard shape; see bench_ablation_manager.
+  double w_reliability{0.0};
+  // Uptime at which the reliability score reaches 0.5.
+  double reliability_halflife_sec{60.0};
+};
+
+class GlobalSelector {
+ public:
+  explicit GlobalSelector(GlobalPolicy policy = {}) : policy_(policy) {}
+
+  [[nodiscard]] net::DiscoveryResponse select(
+      const net::DiscoveryRequest& request,
+      const std::vector<RegistryEntry>& nodes, SimTime now = 0) const;
+
+  [[nodiscard]] const GlobalPolicy& policy() const { return policy_; }
+
+  // Exposed for tests: the composite score of one node for one request.
+  // `uptime_sec` feeds the (optional) reliability term.
+  [[nodiscard]] double score(const net::DiscoveryRequest& request,
+                             const net::NodeStatus& node,
+                             double uptime_sec = 0.0) const;
+
+ private:
+  GlobalPolicy policy_;
+};
+
+}  // namespace eden::manager

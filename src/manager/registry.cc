@@ -1,0 +1,38 @@
+#include "manager/registry.h"
+
+namespace eden::manager {
+
+void Registry::upsert(const net::NodeStatus& status, SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(status.node);
+  it->second.status = status;
+  it->second.last_heartbeat = now;
+  if (inserted) it->second.registered_at = now;
+}
+
+void Registry::remove(NodeId node) { entries_.erase(node); }
+
+void Registry::expire(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_heartbeat > heartbeat_ttl_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<RegistryEntry> Registry::get(NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RegistryEntry> Registry::snapshot(SimTime now) {
+  expire(now);
+  std::vector<RegistryEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+}  // namespace eden::manager

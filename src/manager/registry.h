@@ -1,0 +1,43 @@
+// Node registry kept by the central manager: the latest status reported by
+// every edge node plus heartbeat freshness. Stale entries (missed
+// heartbeats) are expired lazily on access — exactly how the manager learns
+// about abrupt volunteer departures.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/protocol.h"
+
+namespace eden::manager {
+
+struct RegistryEntry {
+  net::NodeStatus status;
+  SimTime last_heartbeat{0};
+  SimTime registered_at{0};
+};
+
+class Registry {
+ public:
+  explicit Registry(SimDuration heartbeat_ttl = sec(3.0))
+      : heartbeat_ttl_(heartbeat_ttl) {}
+
+  void upsert(const net::NodeStatus& status, SimTime now);
+  void remove(NodeId node);
+  // Drop every entry whose heartbeat is older than the TTL.
+  void expire(SimTime now);
+
+  [[nodiscard]] std::optional<RegistryEntry> get(NodeId node) const;
+  // Live entries as of `now` (expires first).
+  [[nodiscard]] std::vector<RegistryEntry> snapshot(SimTime now);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] SimDuration heartbeat_ttl() const { return heartbeat_ttl_; }
+
+ private:
+  SimDuration heartbeat_ttl_;
+  std::unordered_map<NodeId, RegistryEntry> entries_;
+};
+
+}  // namespace eden::manager

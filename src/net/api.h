@@ -1,0 +1,70 @@
+// Transport-agnostic async interfaces between the three EDEN roles.
+// Clients talk to nodes through NodeApi and to the manager through
+// ManagerApi; nodes talk to the manager through ManagerLink. The simulator
+// and the TCP runtime each provide implementations, so the protocol state
+// machines (EdgeClient, EdgeNode, CentralManager) are written once.
+//
+// Callback convention: std::nullopt / false means the call failed — the
+// peer was unreachable or the call timed out. Callbacks are invoked exactly
+// once.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/protocol.h"
+
+namespace eden::net {
+
+// A client's handle to one edge node (Table I probing APIs + offload path).
+class NodeApi {
+ public:
+  virtual ~NodeApi() = default;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  // RTT_probe(): lightweight echo. The caller times the round trip itself;
+  // `done(false)` signals timeout/unreachable.
+  virtual void rtt_probe(ClientId from, std::function<void(bool)> done) = 0;
+
+  // Process_probe(): fetch the cached what-if processing performance.
+  virtual void process_probe(
+      ClientId from,
+      std::function<void(std::optional<ProcessProbeResponse>)> done) = 0;
+
+  // Join(): synchronized attach (Algorithm 1); may be rejected when the
+  // node state changed since probing.
+  virtual void join(const JoinRequest& request,
+                    std::function<void(std::optional<JoinResponse>)> done) = 0;
+
+  // Unexpected_join(): failover attach to a backup node; never rejected.
+  virtual void unexpected_join(const JoinRequest& request,
+                               std::function<void(bool)> done) = 0;
+
+  // Leave(): detach notification (best effort, no response needed).
+  virtual void leave(ClientId client) = 0;
+
+  // Offload one application frame for processing.
+  virtual void offload(const FrameRequest& request,
+                       std::function<void(std::optional<FrameResponse>)> done) = 0;
+};
+
+// A client's handle to the central manager.
+class ManagerApi {
+ public:
+  virtual ~ManagerApi() = default;
+  virtual void discover(
+      const DiscoveryRequest& request,
+      std::function<void(std::optional<DiscoveryResponse>)> done) = 0;
+};
+
+// An edge node's handle to the central manager.
+class ManagerLink {
+ public:
+  virtual ~ManagerLink() = default;
+  virtual void register_node(const NodeStatus& status) = 0;
+  virtual void heartbeat(const NodeStatus& status) = 0;
+  virtual void deregister(NodeId node) = 0;
+};
+
+}  // namespace eden::net

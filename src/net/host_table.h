@@ -1,0 +1,25 @@
+// Liveness registry: which hosts are currently up. A dead host silently
+// drops every message addressed to it — clients only learn of failures
+// through timeouts, exactly as with real volunteer nodes.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace eden::net {
+
+class HostTable {
+ public:
+  void set_alive(HostId host, bool alive) { alive_[host] = alive; }
+
+  [[nodiscard]] bool alive(HostId host) const {
+    const auto it = alive_.find(host);
+    return it != alive_.end() && it->second;
+  }
+
+ private:
+  std::unordered_map<HostId, bool> alive_;
+};
+
+}  // namespace eden::net

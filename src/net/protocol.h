@@ -1,0 +1,96 @@
+// Wire-level protocol messages of the EDEN edge-selection protocol —
+// the request/response payloads behind the probing APIs of Table I in the
+// paper, plus manager discovery and node heartbeats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eden::net {
+
+// Node-reported status, shipped in registration and heartbeats and used by
+// the manager's global selection (geo-proximity, capacity, utilization,
+// network affiliation).
+struct NodeStatus {
+  NodeId node;
+  std::string geohash;       // node location at the manager's precision
+  int cores{1};
+  double base_frame_ms{0};   // nominal per-frame processing time when idle
+  int attached_users{0};
+  double utilization{0};     // 0..1 executor busy fraction
+  bool dedicated{false};     // dedicated edge infrastructure (vs volunteer)
+  bool is_cloud{false};      // cloud fallback node
+  std::string network_tag;   // optional network affiliation label
+  // Transport address ("host:port") for the live TCP runtime; unused by
+  // the simulator, which routes on NodeId.
+  std::string endpoint;
+  // Application server types deployed on this node (§III-B). Empty means
+  // the node serves every type (the single-app deployments of the paper).
+  std::vector<std::string> app_types;
+};
+
+// Client -> manager: edge discovery query (first step of the 2-step
+// selection).
+struct DiscoveryRequest {
+  ClientId client;
+  std::string geohash;      // client location
+  std::string network_tag;  // optional affiliation (LAN / preferred ISP)
+  int top_n{3};             // size of the candidate edge list
+  // Application server type the user needs; empty matches any node.
+  std::string app_type;
+};
+
+struct CandidateInfo {
+  NodeId node;
+  std::string geohash;
+  double score{0};        // manager-side ranking score (higher = better)
+  std::string endpoint;   // node address for the live TCP runtime
+};
+
+struct DiscoveryResponse {
+  std::vector<CandidateInfo> candidates;  // sorted best-first, size <= top_n
+};
+
+// Node -> client: Process_probe() result. `whatif_ms` is the cached
+// what-if processing time; `current_ms` and `attached_users` feed the GO
+// (global overhead) selection formula.
+struct ProcessProbeResponse {
+  double whatif_ms{0};
+  double current_ms{0};
+  int attached_users{0};
+  std::uint64_t seq_num{0};
+};
+
+// Client -> node: Join()/Unexpected_join() request. `seq_num` is the node
+// state sequence number observed at probing time (Algorithm 1).
+struct JoinRequest {
+  ClientId client;
+  std::uint64_t seq_num{0};
+  double rate_fps{0};  // requested offload rate, for node bookkeeping
+};
+
+struct JoinResponse {
+  bool accepted{false};
+  std::uint64_t seq_num{0};  // node's sequence number after handling
+};
+
+// Client -> node: one offloaded application frame. `cost` is the frame's
+// compute cost in units of the node's standard test frame — heterogeneous
+// application types differ in per-frame cost as well as size and rate.
+struct FrameRequest {
+  ClientId client;
+  std::uint64_t frame_id{0};
+  double bytes{0};
+  double cost{1.0};
+};
+
+// Node -> client: the (lightweight) result of processing one frame.
+struct FrameResponse {
+  std::uint64_t frame_id{0};
+  double proc_ms{0};  // queueing + processing time inside the node
+};
+
+}  // namespace eden::net

@@ -1,0 +1,68 @@
+#include "net/sim_network.h"
+
+namespace eden::net {
+
+void FaultInjector::cut_link(HostId a, HostId b, SimTime from, SimTime until) {
+  cuts_.push_back(Cut{a, b, from, until});
+}
+
+void FaultInjector::partition(HostId a, HostId b, SimTime from, SimTime until) {
+  cut_link(a, b, from, until);
+  cut_link(b, a, from, until);
+}
+
+void FaultInjector::slow_link(HostId a, HostId b, double factor, SimTime from,
+                              SimTime until) {
+  slows_.push_back(Slow{a, b, factor, from, until});
+}
+
+void FaultInjector::isolate_host(HostId host, SimTime from, SimTime until) {
+  cuts_.push_back(Cut{host, HostId{}, from, until});
+  cuts_.push_back(Cut{HostId{}, host, from, until});
+}
+
+bool FaultInjector::dropped(HostId from, HostId to, SimTime now) const {
+  for (const auto& cut : cuts_) {
+    if (now < cut.begin || now >= cut.end) continue;
+    const bool from_matches = !cut.from.valid() || cut.from == from;
+    const bool to_matches = !cut.to.valid() || cut.to == to;
+    if (from_matches && to_matches) return true;
+  }
+  return false;
+}
+
+double FaultInjector::delay_factor(HostId from, HostId to, SimTime now) const {
+  double factor = 1.0;
+  for (const auto& slow : slows_) {
+    if (now < slow.begin || now >= slow.end) continue;
+    if (slow.from == from && slow.to == to) factor *= slow.factor;
+  }
+  return factor;
+}
+
+SimDuration SimNetwork::sample_delay(HostId from, HostId to, double bytes) {
+  SimDuration delay = model_->sample_owd(from, to, rng_) +
+                      model_->transfer_delay(from, to, bytes);
+  if (faults_ != nullptr) {
+    const double factor =
+        faults_->delay_factor(from, to, simulator_->now());
+    delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
+  }
+  return delay;
+}
+
+void SimNetwork::deliver(HostId from, HostId to, double bytes,
+                         std::function<void()> fn) {
+  // Link cuts are evaluated at SEND time (packets enter the dead path and
+  // vanish); host liveness at ARRIVAL time (the host died in flight).
+  if (faults_ != nullptr && faults_->dropped(from, to, simulator_->now())) {
+    return;
+  }
+  const SimDuration delay = sample_delay(from, to, bytes);
+  simulator_->schedule_after(delay, [this, to, fn = std::move(fn)] {
+    if (!hosts_->alive(to)) return;  // dropped on the floor
+    fn();
+  });
+}
+
+}  // namespace eden::net

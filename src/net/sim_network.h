@@ -1,0 +1,142 @@
+// Simulated message fabric: delivers closures between hosts with sampled
+// one-way delays and drops anything addressed to (or answered by) a dead
+// host. `rpc` layers request/response + timeout semantics on top; the
+// typed Node/Manager API stubs in the harness are thin wrappers over it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/host_table.h"
+#include "net/network_model.h"
+#include "sim/simulator.h"
+
+namespace eden::net {
+
+// Injectable network faults: directional link cuts (partitions) and
+// latency inflation over time windows. Faithful to real edge networks
+// where a path can die or degrade while both endpoints stay up — the case
+// that distinguishes the keepalive failure monitor from node-death
+// handling.
+class FaultInjector {
+ public:
+  // Drop everything from `a` to `b` (one direction) during [from, until).
+  void cut_link(HostId a, HostId b, SimTime from, SimTime until);
+  // Cut both directions.
+  void partition(HostId a, HostId b, SimTime from, SimTime until);
+  // Multiply delays from `a` to `b` by `factor` during [from, until).
+  void slow_link(HostId a, HostId b, double factor, SimTime from,
+                 SimTime until);
+  // Drop every message to/from `host` during the window (host-level brownout
+  // without killing the process).
+  void isolate_host(HostId host, SimTime from, SimTime until);
+
+  [[nodiscard]] bool dropped(HostId from, HostId to, SimTime now) const;
+  [[nodiscard]] double delay_factor(HostId from, HostId to, SimTime now) const;
+
+ private:
+  struct Cut {
+    HostId from, to;  // invalid from/to = wildcard (host isolation)
+    SimTime begin, end;
+  };
+  struct Slow {
+    HostId from, to;
+    double factor;
+    SimTime begin, end;
+  };
+  std::vector<Cut> cuts_;
+  std::vector<Slow> slows_;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator& simulator, const NetworkModel& model,
+             HostTable& hosts, Rng rng)
+      : simulator_(&simulator), model_(&model), hosts_(&hosts), rng_(rng) {}
+
+  // Optional fault injection; the injector must outlive the network.
+  void set_fault_injector(const FaultInjector* injector) {
+    faults_ = injector;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+  [[nodiscard]] const NetworkModel& model() const { return *model_; }
+  [[nodiscard]] HostTable& hosts() { return *hosts_; }
+
+  // Sample a one-way delay for a payload of `bytes` from `from` to `to`.
+  [[nodiscard]] SimDuration sample_delay(HostId from, HostId to, double bytes);
+
+  // One-way delivery: run `fn` at the destination after the sampled delay,
+  // unless the destination is dead at delivery time. The sender being alive
+  // is the caller's concern.
+  void deliver(HostId from, HostId to, double bytes, std::function<void()> fn);
+
+  // Request/response with timeout, asynchronous server side: `server` runs
+  // at `to` on request arrival and receives a `reply` functor it may call
+  // later (e.g. when the frame executor finishes). `done` runs at `from`
+  // with the response, or with nullopt when no response arrived within
+  // `timeout`. `done` is invoked exactly once.
+  template <typename Resp>
+  void rpc_async(HostId from, HostId to, double request_bytes,
+                 double response_bytes, SimDuration timeout,
+                 std::function<void(std::function<void(Resp)>)> server,
+                 std::function<void(std::optional<Resp>)> done) {
+    auto state = std::make_shared<RpcState>();
+    auto done_shared =
+        std::make_shared<std::function<void(std::optional<Resp>)>>(
+            std::move(done));
+    state->timeout_event =
+        simulator_->schedule_after(timeout, [state, done_shared] {
+          if (state->done) return;
+          state->done = true;
+          (*done_shared)(std::nullopt);
+        });
+
+    deliver(from, to, request_bytes,
+            [this, from, to, response_bytes, state, done_shared,
+             server = std::move(server)] {
+              server([this, from, to, response_bytes, state,
+                      done_shared](Resp response) {
+                deliver(to, from, response_bytes,
+                        [this, state, done_shared,
+                         response = std::move(response)]() mutable {
+                          if (state->done) return;
+                          state->done = true;
+                          simulator_->cancel(state->timeout_event);
+                          (*done_shared)(std::move(response));
+                        });
+              });
+            });
+  }
+
+  // Synchronous-server convenience wrapper over rpc_async.
+  template <typename Resp>
+  void rpc(HostId from, HostId to, double request_bytes, double response_bytes,
+           SimDuration timeout, std::function<Resp()> server,
+           std::function<void(std::optional<Resp>)> done) {
+    rpc_async<Resp>(
+        from, to, request_bytes, response_bytes, timeout,
+        [server = std::move(server)](std::function<void(Resp)> reply) {
+          reply(server());
+        },
+        std::move(done));
+  }
+
+ private:
+  struct RpcState {
+    bool done{false};
+    sim::EventId timeout_event{sim::kInvalidEvent};
+  };
+
+  sim::Simulator* simulator_;
+  const NetworkModel* model_;
+  HostTable* hosts_;
+  Rng rng_;
+  const FaultInjector* faults_{nullptr};
+};
+
+}  // namespace eden::net

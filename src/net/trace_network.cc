@@ -1,0 +1,95 @@
+#include "net/trace_network.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace eden::net {
+
+TraceNetwork::TraceNetwork(const sim::Clock& clock, double default_rtt_ms,
+                           double default_bw_mbps, double jitter_sigma)
+    : clock_(&clock),
+      default_rtt_ms_(default_rtt_ms),
+      default_bw_mbps_(default_bw_mbps),
+      jitter_sigma_(jitter_sigma) {}
+
+void TraceNetwork::add_sample(HostId a, HostId b, SimTime at, double rtt_ms) {
+  auto& series = samples_[key(a, b)];
+  series.emplace_back(at, rtt_ms);
+  // Keep sorted; appends are usually already in order.
+  for (std::size_t i = series.size(); i > 1 && series[i - 1] < series[i - 2];
+       --i) {
+    std::swap(series[i - 1], series[i - 2]);
+  }
+}
+
+int TraceNetwork::load_trace_text(const std::string& text) {
+  std::vector<std::tuple<HostId, HostId, SimTime, double>> parsed;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    // Skip blank lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    double t_sec = 0;
+    unsigned a = 0;
+    unsigned b = 0;
+    double rtt = 0;
+    if (std::sscanf(line.c_str(), " %lf , %u , %u , %lf", &t_sec, &a, &b,
+                    &rtt) != 4 ||
+        rtt < 0 || t_sec < 0) {
+      return -1;
+    }
+    parsed.emplace_back(HostId{a}, HostId{b}, sec(t_sec), rtt);
+  }
+  for (const auto& [a, b, at, rtt] : parsed) add_sample(a, b, at, rtt);
+  return static_cast<int>(parsed.size());
+}
+
+int TraceNetwork::load_trace_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return -1;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return load_trace_text(buffer.str());
+}
+
+void TraceNetwork::set_uplink_mbps(HostId host, double mbps) {
+  uplink_mbps_[host] = mbps;
+}
+
+SimDuration TraceNetwork::base_rtt(HostId a, HostId b) const {
+  if (a == b) return msec(0.05);
+  const auto it = samples_.find(key(a, b));
+  if (it == samples_.end() || it->second.empty()) {
+    return msec(default_rtt_ms_);
+  }
+  const auto& series = it->second;
+  const SimTime now = clock_->now();
+  // Last sample with time <= now; before the first sample, the first.
+  auto pos = std::upper_bound(
+      series.begin(), series.end(), std::make_pair(now, 1e300));
+  if (pos == series.begin()) return msec(series.front().second);
+  return msec(std::prev(pos)->second);
+}
+
+double TraceNetwork::bandwidth_mbps(HostId a, HostId b) const {
+  double bw = default_bw_mbps_;
+  if (const auto it = uplink_mbps_.find(a); it != uplink_mbps_.end()) {
+    bw = std::min(bw, it->second);
+  }
+  if (const auto it = uplink_mbps_.find(b); it != uplink_mbps_.end()) {
+    bw = std::min(bw, it->second);
+  }
+  return bw;
+}
+
+std::size_t TraceNetwork::sample_count() const {
+  std::size_t total = 0;
+  for (const auto& [k, series] : samples_) total += series.size();
+  return total;
+}
+
+}  // namespace eden::net

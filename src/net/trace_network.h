@@ -1,0 +1,63 @@
+// Trace-driven network model: pairwise RTT time series replayed against
+// the simulation clock. This is how real measurement campaigns (like the
+// paper's tc-shaped emulation inputs) plug into EDEN — network conditions
+// then change over time independently of load, exercising the client's
+// periodic re-selection.
+//
+// Trace format (CSV, '#' comments):
+//   t_sec,host_a,host_b,rtt_ms
+// Samples are step-interpolated: a pair's RTT is the most recent sample at
+// or before now(); before the first sample the first sample applies.
+// Pairs are symmetric; pairs with no samples fall back to the default.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network_model.h"
+#include "sim/clock.h"
+
+namespace eden::net {
+
+class TraceNetwork final : public NetworkModel {
+ public:
+  explicit TraceNetwork(const sim::Clock& clock, double default_rtt_ms = 50.0,
+                        double default_bw_mbps = 50.0,
+                        double jitter_sigma = 0.05);
+
+  // Add one sample programmatically (kept sorted internally).
+  void add_sample(HostId a, HostId b, SimTime at, double rtt_ms);
+
+  // Parse trace text; returns the number of samples loaded, or -1 on a
+  // malformed line (nothing is partially applied on failure).
+  int load_trace_text(const std::string& text);
+  // Load from a file; -1 on open or parse failure.
+  int load_trace_file(const std::string& path);
+
+  void set_uplink_mbps(HostId host, double mbps);
+
+  [[nodiscard]] SimDuration base_rtt(HostId a, HostId b) const override;
+  [[nodiscard]] double bandwidth_mbps(HostId a, HostId b) const override;
+  [[nodiscard]] double jitter_sigma() const override { return jitter_sigma_; }
+
+  [[nodiscard]] std::size_t sample_count() const;
+
+ private:
+  using Key = std::uint64_t;
+  static Key key(HostId a, HostId b) {
+    const std::uint64_t lo = std::min(a.value, b.value);
+    const std::uint64_t hi = std::max(a.value, b.value);
+    return (lo << 32) | hi;
+  }
+
+  const sim::Clock* clock_;
+  double default_rtt_ms_;
+  double default_bw_mbps_;
+  double jitter_sigma_;
+  // Per pair: (time, rtt_ms) sorted by time.
+  std::map<Key, std::vector<std::pair<SimTime, double>>> samples_;
+  std::map<HostId, double> uplink_mbps_;
+};
+
+}  // namespace eden::net

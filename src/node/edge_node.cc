@@ -1,0 +1,196 @@
+#include "node/edge_node.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eden::node {
+
+EdgeNode::EdgeNode(sim::Scheduler& scheduler, EdgeNodeConfig config,
+                   net::ManagerLink* manager)
+    : scheduler_(&scheduler),
+      config_(std::move(config)),
+      manager_(manager),
+      executor_(scheduler, config_.executor),
+      whatif_ms_(config_.executor.base_frame_ms) {}
+
+void EdgeNode::start() {
+  if (running_) return;
+  running_ = true;
+  if (manager_ != nullptr) manager_->register_node(status());
+  arm_heartbeat();
+  invoke_test_workload(0);  // establish the initial what-if baseline
+}
+
+void EdgeNode::stop(bool graceful) {
+  if (!running_) return;
+  running_ = false;
+  executor_.reset();
+  attached_.clear();
+  if (heartbeat_event_ != sim::kInvalidEvent) {
+    scheduler_->cancel(heartbeat_event_);
+    heartbeat_event_ = sim::kInvalidEvent;
+  }
+  test_pending_ = false;
+  test_rerun_ = false;
+  if (graceful && manager_ != nullptr) manager_->deregister(config_.id);
+}
+
+net::NodeStatus EdgeNode::status() const {
+  net::NodeStatus s;
+  s.node = config_.id;
+  s.geohash = config_.geohash;
+  s.cores = config_.executor.cores;
+  s.base_frame_ms = config_.executor.base_frame_ms;
+  s.attached_users = attached_users();
+  s.utilization = executor_.utilization();
+  s.dedicated = config_.dedicated;
+  s.is_cloud = config_.is_cloud;
+  s.network_tag = config_.network_tag;
+  s.endpoint = config_.endpoint;
+  s.app_types = config_.app_types;
+  return s;
+}
+
+double EdgeNode::current_ms() const {
+  // Before any live frame completes, the cached what-if value is the best
+  // estimate of what existing users experience.
+  return has_current_ema_ ? current_ema_ms_ : whatif_ms_;
+}
+
+net::ProcessProbeResponse EdgeNode::handle_process_probe(ClientId from) {
+  ++stats_.probes_received;
+  if (const auto it = attached_.find(from); it != attached_.end()) {
+    it->second.last_seen = scheduler_->now();
+  }
+  net::ProcessProbeResponse resp;
+  resp.whatif_ms = whatif_ms_;
+  resp.current_ms = current_ms();
+  resp.attached_users = attached_users();
+  resp.seq_num = seq_num_;
+  return resp;
+}
+
+net::JoinResponse EdgeNode::handle_join(const net::JoinRequest& request) {
+  // Algorithm 1: accept only when the node state is unchanged since the
+  // client's probe, so the what-if prediction the client acted on is still
+  // valid.
+  if (!running_ || request.seq_num != seq_num_) {
+    ++stats_.joins_rejected;
+    return {false, seq_num_};
+  }
+  attached_[request.client] = UserInfo{request.rate_fps, scheduler_->now()};
+  ++stats_.joins_accepted;
+  bump_state(config_.test_workload_delay);
+  return {true, seq_num_};
+}
+
+bool EdgeNode::handle_unexpected_join(const net::JoinRequest& request) {
+  if (!running_) return false;
+  // Failover joins cannot be rejected (Table I): a client that just lost
+  // its node must not be stranded.
+  attached_[request.client] = UserInfo{request.rate_fps, scheduler_->now()};
+  ++stats_.unexpected_joins;
+  bump_state(config_.test_workload_delay);
+  return true;
+}
+
+void EdgeNode::handle_leave(ClientId client) {
+  if (attached_.erase(client) == 0) return;
+  ++stats_.leaves;
+  bump_state(0);
+}
+
+void EdgeNode::handle_offload(const net::FrameRequest& request,
+                              std::function<void(net::FrameResponse)> done) {
+  if (!running_) return;
+  if (const auto it = attached_.find(request.client); it != attached_.end()) {
+    it->second.last_seen = scheduler_->now();
+  }
+  executor_.submit(request.cost, [this, frame_id = request.frame_id,
+                                  done = std::move(done)](double proc_ms) {
+    if (!running_) return;
+    ++stats_.frames_processed;
+    current_ema_ms_ = has_current_ema_
+                          ? (1 - config_.current_ema_alpha) * current_ema_ms_ +
+                                config_.current_ema_alpha * proc_ms
+                          : proc_ms;
+    has_current_ema_ = true;
+    // Performance-monitor trigger: live times drifted away from the cached
+    // what-if value (rate changes, host workloads, throttling...).
+    const double reference = std::max(1e-6, whatif_ms_);
+    const double drift = std::abs(current_ema_ms_ - whatif_ms_) / reference;
+    if (drift > config_.perf_change_threshold && !test_pending_ &&
+        scheduler_->now() - last_test_at_ >= config_.min_perf_test_interval) {
+      bump_state(0);
+    }
+    done(net::FrameResponse{frame_id, proc_ms});
+  });
+}
+
+void EdgeNode::bump_state(SimDuration delay) {
+  // "seqNum is updated along with test workload invocation" — one shared
+  // critical section for all three triggers.
+  ++seq_num_;
+  invoke_test_workload(delay);
+}
+
+void EdgeNode::invoke_test_workload(SimDuration delay) {
+  if (test_pending_) {
+    test_rerun_ = true;  // coalesce: re-measure once the current run lands
+    return;
+  }
+  test_pending_ = true;
+  scheduler_->schedule_after(delay, [this] {
+    if (!running_) return;
+    last_test_at_ = scheduler_->now();
+    ++stats_.test_invocations;
+    executor_.submit(1.0, [this](double proc_ms) {
+      if (!running_) return;
+      whatif_ms_ = proc_ms;
+      test_pending_ = false;
+      if (test_rerun_) {
+        test_rerun_ = false;
+        invoke_test_workload(0);
+      }
+    });
+  });
+}
+
+void EdgeNode::evict_idle_users() {
+  bool evicted = false;
+  for (auto it = attached_.begin(); it != attached_.end();) {
+    if (scheduler_->now() - it->second.last_seen > config_.user_idle_ttl) {
+      it = attached_.erase(it);
+      ++stats_.evictions;
+      evicted = true;
+    } else {
+      ++it;
+    }
+  }
+  // An eviction is a workload decrease — same critical section as Leave().
+  if (evicted) bump_state(0);
+}
+
+void EdgeNode::send_heartbeat() {
+  evict_idle_users();
+  if (manager_ != nullptr) manager_->heartbeat(status());
+}
+
+void EdgeNode::arm_heartbeat() {
+  heartbeat_event_ =
+      scheduler_->schedule_after(config_.heartbeat_period, [this] {
+        if (!running_) return;
+        send_heartbeat();
+        arm_heartbeat();
+      });
+}
+
+void EdgeNode::set_background_load(double fraction) {
+  executor_.set_background_load(fraction);
+  // Host workloads change the node's performance envelope — same critical
+  // section as the other state changes.
+  if (running_) bump_state(0);
+}
+
+}  // namespace eden::node

@@ -1,0 +1,144 @@
+// EdgeNode: the server-side runtime of the EDEN protocol. Implements the
+// probing APIs of Table I in the paper (RTT_probe, Process_probe, Join,
+// Unexpected_join, Leave), the what-if test-workload cache with its three
+// invocation triggers (§IV-C2), the seqNum join synchronization of
+// Algorithm 1, the performance monitor, and heartbeats to the central
+// manager.
+//
+// The class is transport-agnostic: handlers are plain synchronous methods;
+// the simulation harness and the TCP runtime wrap them behind net::NodeApi.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/api.h"
+#include "net/protocol.h"
+#include "node/executor.h"
+#include "sim/clock.h"
+
+namespace eden::node {
+
+struct EdgeNodeConfig {
+  NodeId id;
+  std::string geohash;
+  std::string network_tag;
+  // Transport address advertised through registration/heartbeats; used by
+  // the live TCP runtime, ignored by the simulator.
+  std::string endpoint;
+  // Application server types deployed on this node; empty = serves all.
+  std::vector<std::string> app_types;
+  bool dedicated{false};
+  bool is_cloud{false};
+  ExecutorConfig executor;
+  SimDuration heartbeat_period{sec(1.0)};
+  // Algorithm 1 line 5: the post-join test workload runs after roughly two
+  // common user RTTs, so it observes the new user's traffic.
+  SimDuration test_workload_delay{msec(30.0)};
+  // Performance-monitor trigger (§IV-C2 scenario 3): re-run the test
+  // workload when live processing times drift this fraction away from the
+  // cached what-if value...
+  double perf_change_threshold{0.25};
+  // ...but no more often than this.
+  SimDuration min_perf_test_interval{msec(500.0)};
+  double current_ema_alpha{0.2};
+  // Attached users that have been silent (no frames, no probes) this long
+  // are evicted — they crashed or failed over elsewhere without a Leave().
+  SimDuration user_idle_ttl{sec(15.0)};
+};
+
+struct EdgeNodeStats {
+  std::uint64_t probes_received{0};
+  std::uint64_t test_invocations{0};
+  std::uint64_t frames_processed{0};
+  std::uint64_t joins_accepted{0};
+  std::uint64_t joins_rejected{0};
+  std::uint64_t unexpected_joins{0};
+  std::uint64_t leaves{0};
+  std::uint64_t evictions{0};  // idle users dropped without a Leave()
+};
+
+class EdgeNode {
+ public:
+  EdgeNode(sim::Scheduler& scheduler, EdgeNodeConfig config,
+           net::ManagerLink* manager = nullptr);
+
+  // Register with the manager, begin heartbeats, measure the initial
+  // what-if performance.
+  void start();
+  // Leave the system. Graceful stop deregisters from the manager; an
+  // abrupt stop (node churn, crash) just goes dark — in-flight work is
+  // dropped and the manager learns via missed heartbeats.
+  void stop(bool graceful);
+  [[nodiscard]] bool running() const { return running_; }
+
+  // ---- Table I handlers (server side) ----
+  // `from` (when valid) refreshes the prober's liveness if it is attached —
+  // selection-only clients stay attached through their periodic probes.
+  [[nodiscard]] net::ProcessProbeResponse handle_process_probe(
+      ClientId from = ClientId{});
+  [[nodiscard]] net::JoinResponse handle_join(const net::JoinRequest& request);
+  bool handle_unexpected_join(const net::JoinRequest& request);
+  void handle_leave(ClientId client);
+  void handle_offload(const net::FrameRequest& request,
+                      std::function<void(net::FrameResponse)> done);
+
+  // ---- Introspection ----
+  [[nodiscard]] NodeId id() const { return config_.id; }
+  [[nodiscard]] const EdgeNodeConfig& config() const { return config_; }
+  [[nodiscard]] int attached_users() const {
+    return static_cast<int>(attached_.size());
+  }
+  [[nodiscard]] std::uint64_t seq_num() const { return seq_num_; }
+  [[nodiscard]] double whatif_ms() const { return whatif_ms_; }
+  [[nodiscard]] double current_ms() const;
+  [[nodiscard]] const EdgeNodeStats& stats() const { return stats_; }
+  [[nodiscard]] net::NodeStatus status() const;
+  [[nodiscard]] Executor& executor() { return executor_; }
+
+  // Simulate the owner starting higher-priority host workloads.
+  void set_background_load(double fraction);
+
+  // Set the advertised transport address (live runtime learns its port
+  // only after binding). Call before start().
+  void set_endpoint(std::string endpoint) {
+    config_.endpoint = std::move(endpoint);
+  }
+
+ private:
+  // Shared tail of the three state-change triggers: bump seqNum and
+  // (re-)measure the what-if performance after `delay`.
+  void bump_state(SimDuration delay);
+  void invoke_test_workload(SimDuration delay);
+  void send_heartbeat();
+  void arm_heartbeat();
+
+  sim::Scheduler* scheduler_;
+  EdgeNodeConfig config_;
+  net::ManagerLink* manager_;
+  Executor executor_;
+
+  struct UserInfo {
+    double rate_fps{0};
+    SimTime last_seen{0};
+  };
+  void evict_idle_users();
+  std::unordered_map<ClientId, UserInfo> attached_;
+
+  bool running_{false};
+  std::uint64_t seq_num_{0};
+  double whatif_ms_;
+  bool test_pending_{false};
+  bool test_rerun_{false};
+  SimTime last_test_at_{0};
+  double current_ema_ms_{0};
+  bool has_current_ema_{false};
+  sim::EventId heartbeat_event_{sim::kInvalidEvent};
+  EdgeNodeStats stats_;
+};
+
+}  // namespace eden::node

@@ -1,0 +1,97 @@
+#include "node/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eden::node {
+
+Executor::Executor(sim::Scheduler& scheduler, ExecutorConfig config)
+    : scheduler_(&scheduler),
+      config_(config),
+      credits_(config.initial_credits_core_sec),
+      last_account_(scheduler.now()) {}
+
+void Executor::account(SimTime now) {
+  const double dt = to_sec(now - last_account_);
+  if (dt <= 0) return;
+  last_account_ = now;
+  const double busy_frac =
+      static_cast<double>(busy_) / std::max(1, config_.cores);
+  if (config_.burstable) {
+    // Earn baseline share, spend what's busy; clamp to [0, initial].
+    credits_ += dt * (config_.burst_baseline * config_.cores -
+                      static_cast<double>(busy_));
+    credits_ = std::clamp(credits_, 0.0, config_.initial_credits_core_sec);
+  }
+  constexpr double kTauSec = 2.0;
+  const double decay = std::exp(-dt / kTauSec);
+  util_ema_ = util_ema_ * decay + busy_frac * (1.0 - decay);
+}
+
+double Executor::utilization() const { return util_ema_; }
+
+bool Executor::throttled() const {
+  return config_.burstable && credits_ <= 0.0;
+}
+
+double Executor::service_multiplier() const {
+  double mult = 1.0 + config_.contention_alpha * std::max(0, busy_ - 1);
+  const double bg = std::clamp(config_.background_load, 0.0, 0.9);
+  mult /= (1.0 - bg);
+  if (throttled()) mult /= config_.burst_baseline;
+  return mult;
+}
+
+void Executor::set_background_load(double fraction) {
+  account(scheduler_->now());
+  config_.background_load = fraction;
+}
+
+void Executor::submit(double cost, Completion done) {
+  account(scheduler_->now());
+  Job job{cost, std::move(done), scheduler_->now()};
+  if (busy_ < config_.cores) {
+    start(std::move(job));
+  } else if (config_.max_queue <= 0 ||
+             static_cast<int>(queue_.size()) < config_.max_queue) {
+    queue_.push_back(std::move(job));
+  } else {
+    ++dropped_;  // shed load: the sender's timeout handles the rest
+  }
+}
+
+void Executor::start(Job job) {
+  ++busy_;  // counted before computing the multiplier: this job contends too
+  const double service_ms =
+      config_.base_frame_ms * job.cost * service_multiplier();
+  const std::uint64_t gen = generation_;
+  scheduler_->schedule_after(
+      msec(service_ms),
+      [this, gen, enqueued_at = job.enqueued_at, done = std::move(job.done)]() mutable {
+        on_complete(gen, enqueued_at, std::move(done));
+      });
+}
+
+void Executor::on_complete(std::uint64_t generation, SimTime enqueued_at,
+                           Completion done) {
+  if (generation != generation_) return;  // executor was reset; job vanished
+  account(scheduler_->now());
+  --busy_;
+  ++completed_;
+  const double proc_ms = to_ms(scheduler_->now() - enqueued_at);
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
+  if (done) done(proc_ms);
+}
+
+void Executor::reset() {
+  account(scheduler_->now());
+  ++generation_;
+  queue_.clear();
+  busy_ = 0;
+}
+
+}  // namespace eden::node

@@ -1,0 +1,89 @@
+// Simulated frame executor of an edge node: `cores` parallel workers over a
+// FIFO queue. Queueing delay, contention slowdown, burstable-CPU throttling
+// (t2/t3-style credits) and host background load all emerge here — this is
+// what makes D_proc depend on the node's hardware and current workload.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace eden::node {
+
+struct ExecutorConfig {
+  int cores{1};
+  double base_frame_ms{30.0};
+  // Memory/cache contention: each additional busy core stretches service
+  // time by this fraction.
+  double contention_alpha{0.04};
+  // Burstable instances (t2/t3): when CPU credits run out, service times
+  // stretch by 1/burst_baseline (the instance is throttled to its baseline
+  // share).
+  bool burstable{false};
+  double burst_baseline{0.4};
+  double initial_credits_core_sec{30.0};
+  // Fraction of compute taken by higher-priority host workloads (volunteer
+  // machines run their owners' tasks too).
+  double background_load{0.0};
+  // Admission bound: jobs arriving at a longer queue are dropped (their
+  // completion callback never fires). Keeps an overloaded node's backlog —
+  // and the latency of whatever it still completes — finite, like a real
+  // server shedding stale frames.
+  int max_queue{64};
+};
+
+class Executor {
+ public:
+  // `done(proc_ms)` receives queueing + service time for the job.
+  using Completion = std::function<void(double proc_ms)>;
+
+  Executor(sim::Scheduler& scheduler, ExecutorConfig config);
+
+  // Submit a job costing `cost` standard frames (1.0 = one app frame).
+  void submit(double cost, Completion done);
+
+  // Drop queued jobs and suppress completions of in-flight ones (node
+  // death / shutdown).
+  void reset();
+
+  void set_background_load(double fraction);
+
+  [[nodiscard]] int busy() const { return busy_; }
+  [[nodiscard]] int queued() const { return static_cast<int>(queue_.size()); }
+  // Exponentially smoothed busy-core fraction in [0, 1].
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] double credits_core_sec() const { return credits_; }
+  [[nodiscard]] bool throttled() const;
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const ExecutorConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    double cost;
+    Completion done;
+    SimTime enqueued_at;
+  };
+
+  void start(Job job);
+  void on_complete(std::uint64_t generation, SimTime enqueued_at, Completion done);
+  // Accrue burst credits and the utilization EMA for the elapsed interval.
+  void account(SimTime now);
+  [[nodiscard]] double service_multiplier() const;
+
+  sim::Scheduler* scheduler_;
+  ExecutorConfig config_;
+  std::deque<Job> queue_;
+  int busy_{0};
+  std::uint64_t generation_{0};
+  std::uint64_t completed_{0};
+  std::uint64_t dropped_{0};
+  double credits_;
+  double util_ema_{0};
+  SimTime last_account_{0};
+};
+
+}  // namespace eden::node

@@ -1,0 +1,228 @@
+#include "rpc/connection.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eden::rpc {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+std::shared_ptr<Connection> Connection::adopt(EventLoop& loop, int fd) {
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  auto connection = std::shared_ptr<Connection>(new Connection(loop, fd));
+  connection->arm();
+  return connection;
+}
+
+Connection::Connection(EventLoop& loop, int fd) : loop_(&loop), fd_(fd) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::arm() {
+  // Keep a weak reference: the watch callback must not extend lifetime.
+  std::weak_ptr<Connection> weak = shared_from_this();
+  loop_->watch(fd_, /*want_read=*/true, /*want_write=*/!out_.empty(),
+               [weak](bool readable, bool writable) {
+                 if (const auto self = weak.lock()) {
+                   self->on_io(readable, writable);
+                 }
+               });
+}
+
+void Connection::on_io(bool readable, bool writable) {
+  // Hold a strong reference: handlers may drop the last owner.
+  const auto self = shared_from_this();
+  if (writable && fd_ >= 0) handle_writable();
+  if (readable && fd_ >= 0) handle_readable();
+}
+
+void Connection::handle_readable() {
+  std::uint8_t buffer[64 * 1024];
+  while (fd_ >= 0) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), buffer, buffer + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close();  // peer closed or hard error
+    return;
+  }
+  parse_frames();
+}
+
+void Connection::parse_frames() {
+  std::size_t offset = 0;
+  while (fd_ >= 0) {
+    if (in_.size() - offset < 4) break;
+    std::uint32_t length = 0;
+    std::memcpy(&length, in_.data() + offset, 4);
+    if (length < 10 || length > kMaxFrameBytes) {
+      close();
+      return;
+    }
+    if (in_.size() - offset < 4 + static_cast<std::size_t>(length)) break;
+    std::uint64_t request_id = 0;
+    std::uint16_t type = 0;
+    std::memcpy(&request_id, in_.data() + offset + 4, 8);
+    std::memcpy(&type, in_.data() + offset + 12, 2);
+    const std::uint8_t* payload = in_.data() + offset + kFrameHeaderBytes;
+    const std::size_t payload_size = length - 10;
+    if (frame_handler_) frame_handler_(request_id, type, payload, payload_size);
+    offset += 4 + length;
+  }
+  if (offset > 0 && fd_ >= 0) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+void Connection::send_frame(std::uint64_t request_id, std::uint16_t type,
+                            const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) return;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 10;
+  const std::size_t start = out_.size();
+  out_.resize(start + 4 + length);
+  std::memcpy(out_.data() + start, &length, 4);
+  std::memcpy(out_.data() + start + 4, &request_id, 8);
+  std::memcpy(out_.data() + start + 12, &type, 2);
+  if (!payload.empty()) {
+    std::memcpy(out_.data() + start + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  handle_writable();
+  if (fd_ >= 0) {
+    loop_->update_interest(fd_, true, out_offset_ < out_.size());
+  }
+}
+
+void Connection::handle_writable() {
+  while (fd_ >= 0 && out_offset_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_offset_,
+                             out_.size() - out_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && (errno == EINTR || errno == ENOTCONN ||
+                  errno == EINPROGRESS)) {
+      break;  // still connecting; retry when writable
+    }
+    close();
+    return;
+  }
+  if (out_offset_ == out_.size()) {
+    out_.clear();
+    out_offset_ = 0;
+  }
+  if (fd_ >= 0) loop_->update_interest(fd_, true, !out_.empty());
+}
+
+void Connection::close() {
+  if (fd_ < 0) return;
+  loop_->unwatch(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (close_handler_) {
+    CloseHandler handler = std::move(close_handler_);
+    close_handler_ = nullptr;
+    handler();
+  }
+}
+
+Listener::Listener(EventLoop& loop, AcceptHandler on_accept)
+    : loop_(&loop), on_accept_(std::move(on_accept)) {}
+
+Listener::~Listener() { close(); }
+
+bool Listener::listen(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(fd_);
+  loop_->watch(fd_, true, false, [this](bool readable, bool) {
+    if (!readable) return;
+    while (true) {
+      const int client_fd = ::accept(fd_, nullptr, nullptr);
+      if (client_fd < 0) break;
+      if (on_accept_) on_accept_(Connection::adopt(*loop_, client_fd));
+    }
+  });
+  return true;
+}
+
+void Listener::close() {
+  if (fd_ < 0) return;
+  loop_->unwatch(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::shared_ptr<Connection> connect_to(EventLoop& loop,
+                                       const std::string& endpoint) {
+  std::string host = "127.0.0.1";
+  std::string port_text = endpoint;
+  if (const auto colon = endpoint.rfind(':'); colon != std::string::npos) {
+    host = endpoint.substr(0, colon);
+    port_text = endpoint.substr(colon + 1);
+  }
+  const int port = std::atoi(port_text.c_str());
+  if (port <= 0 || port > 65535) return nullptr;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  set_nonblocking(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  return Connection::adopt(loop, fd);
+}
+
+std::string local_endpoint(std::uint16_t port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+}  // namespace eden::rpc

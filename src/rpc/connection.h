@@ -1,0 +1,95 @@
+// Framed non-blocking TCP connection driven by an EventLoop. Every frame
+// is [u32 payload_len][u64 request_id][u16 type][payload]; the length
+// covers request_id + type + payload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/event_loop.h"
+#include "rpc/serialize.h"
+
+namespace eden::rpc {
+
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+constexpr std::size_t kFrameHeaderBytes = 4 + 8 + 2;
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  using FrameHandler = std::function<void(
+      std::uint64_t request_id, std::uint16_t type,
+      const std::uint8_t* payload, std::size_t payload_size)>;
+  using CloseHandler = std::function<void()>;
+
+  // Takes ownership of a connected (or connecting) non-blocking socket.
+  static std::shared_ptr<Connection> adopt(EventLoop& loop, int fd);
+
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_frame_handler(FrameHandler handler) {
+    frame_handler_ = std::move(handler);
+  }
+  void set_close_handler(CloseHandler handler) {
+    close_handler_ = std::move(handler);
+  }
+
+  void send_frame(std::uint64_t request_id, std::uint16_t type,
+                  const std::vector<std::uint8_t>& payload);
+
+  void close();
+  [[nodiscard]] bool closed() const { return fd_ < 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  Connection(EventLoop& loop, int fd);
+  void arm();
+  void on_io(bool readable, bool writable);
+  void handle_readable();
+  void handle_writable();
+  void parse_frames();
+
+  EventLoop* loop_;
+  int fd_;
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_offset_{0};
+  FrameHandler frame_handler_;
+  CloseHandler close_handler_;
+};
+
+// Listening socket: accepts connections and hands them to the callback.
+class Listener {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<Connection>)>;
+
+  Listener(EventLoop& loop, AcceptHandler on_accept);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Bind 127.0.0.1:`port` (0 = ephemeral). Returns false on failure.
+  bool listen(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  EventLoop* loop_;
+  AcceptHandler on_accept_;
+  int fd_{-1};
+  std::uint16_t port_{0};
+};
+
+// Non-blocking connect to "host:port" (numeric IPv4) or "port" (localhost).
+// Returns nullptr on immediate failure.
+std::shared_ptr<Connection> connect_to(EventLoop& loop,
+                                       const std::string& endpoint);
+
+// Format a localhost endpoint string.
+std::string local_endpoint(std::uint16_t port);
+
+}  // namespace eden::rpc

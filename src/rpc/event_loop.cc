@@ -1,0 +1,165 @@
+#include "rpc/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace eden::rpc {
+
+EventLoop::EventLoop() : origin_(std::chrono::steady_clock::now()) {
+  if (::pipe(wake_pipe_) == 0) {
+    ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+SimTime EventLoop::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+sim::EventId EventLoop::schedule_after(SimDuration delay,
+                                       std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  const sim::EventId id = next_timer_id_++;
+  const SimTime deadline = now() + delay;
+  timers_.emplace(std::make_pair(deadline, id), std::move(fn));
+  timer_deadlines_[id] = deadline;
+  return id;
+}
+
+bool EventLoop::cancel(sim::EventId id) {
+  const auto it = timer_deadlines_.find(id);
+  if (it == timer_deadlines_.end()) return false;
+  timers_.erase({it->second, id});
+  timer_deadlines_.erase(it);
+  return true;
+}
+
+void EventLoop::watch(int fd, bool want_read, bool want_write,
+                      IoCallback callback) {
+  watches_[fd] = Watch{want_read, want_write, std::move(callback)};
+}
+
+void EventLoop::update_interest(int fd, bool want_read, bool want_write) {
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+}
+
+void EventLoop::unwatch(int fd) { watches_.erase(fd); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const char byte = 1;
+  [[maybe_unused]] const auto ignored = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const auto ignored = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::fire_due_timers() {
+  const SimTime current = now();
+  while (!timers_.empty() && timers_.begin()->first.first <= current) {
+    auto node = timers_.extract(timers_.begin());
+    timer_deadlines_.erase(node.key().second);
+    node.mapped()();
+  }
+}
+
+int EventLoop::next_poll_timeout_ms(SimTime deadline, bool has_deadline) {
+  SimTime next = has_deadline ? deadline : -1;
+  if (!timers_.empty()) {
+    const SimTime timer_deadline = timers_.begin()->first.first;
+    next = next < 0 ? timer_deadline : std::min(next, timer_deadline);
+  }
+  if (next < 0) return 250;  // idle heartbeat so stop() is always noticed
+  const SimTime delta = next - now();
+  if (delta <= 0) return 0;
+  return static_cast<int>(std::min<SimTime>(delta / 1000 + 1, 250));
+}
+
+void EventLoop::run() { run_until_deadline(0, false); }
+
+void EventLoop::run_for(SimDuration duration) {
+  run_until_deadline(now() + duration, true);
+}
+
+void EventLoop::run_until_deadline(SimTime deadline, bool has_deadline) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    if (has_deadline && now() >= deadline) break;
+    drain_posted();
+    fire_due_timers();
+
+    std::vector<pollfd> fds;
+    std::vector<int> fd_order;
+    fds.reserve(watches_.size() + 1);
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const auto& [fd, watch] : watches_) {
+      short events = 0;
+      if (watch.want_read) events |= POLLIN;
+      if (watch.want_write) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back(pollfd{fd, events, 0});
+      fd_order.push_back(fd);
+    }
+
+    const int timeout = next_poll_timeout_ms(deadline, has_deadline);
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const auto& pfd = fds[i];
+      if (pfd.revents == 0) continue;
+      // The callback may unwatch/close fds — re-check registration.
+      const auto it = watches_.find(fd_order[i - 1]);
+      if (it == watches_.end()) continue;
+      const bool readable = (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      const bool writable = (pfd.revents & (POLLOUT | POLLERR)) != 0;
+      // Copy: the callback may erase its own watch entry.
+      IoCallback callback = it->second.callback;
+      callback(readable, writable);
+    }
+
+    drain_posted();
+    fire_due_timers();
+  }
+  drain_posted();
+}
+
+}  // namespace eden::rpc

@@ -1,0 +1,81 @@
+// Single-threaded poll(2)-based event loop with a timer queue. Implements
+// sim::Scheduler against the wall clock, so the same protocol classes
+// (EdgeNode, CentralManager, EdgeClient) that run under the discrete-event
+// simulator run unmodified as a real distributed system over TCP.
+//
+// Thread model: everything — socket callbacks, timers, protocol state —
+// runs on the loop thread. Other threads may only call post() and stop().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace eden::rpc {
+
+class EventLoop final : public sim::Scheduler {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // ---- sim::Scheduler (wall clock, µs since loop construction) ----
+  [[nodiscard]] SimTime now() const override;
+  sim::EventId schedule_after(SimDuration delay,
+                              std::function<void()> fn) override;
+  bool cancel(sim::EventId id) override;
+
+  // ---- fd watching (level-triggered) ----
+  using IoCallback = std::function<void(bool readable, bool writable)>;
+  void watch(int fd, bool want_read, bool want_write, IoCallback callback);
+  void update_interest(int fd, bool want_read, bool want_write);
+  void unwatch(int fd);
+
+  // ---- lifecycle ----
+  // Run until stop() is called (from any thread).
+  void run();
+  // Run for at most `duration` of wall time.
+  void run_for(SimDuration duration);
+  void stop();
+  // Enqueue `fn` to run on the loop thread (thread-safe), waking the loop.
+  void post(std::function<void()> fn);
+
+ private:
+  struct Watch {
+    bool want_read{false};
+    bool want_write{false};
+    IoCallback callback;
+  };
+
+  void run_until_deadline(SimTime deadline, bool has_deadline);
+  int next_poll_timeout_ms(SimTime deadline, bool has_deadline);
+  void fire_due_timers();
+  void drain_posted();
+
+  std::chrono::steady_clock::time_point origin_;
+  std::atomic<bool> stop_requested_{false};
+
+  // Timers (loop thread only).
+  sim::EventId next_timer_id_{1};
+  std::map<std::pair<SimTime, sim::EventId>, std::function<void()>> timers_;
+  std::unordered_map<sim::EventId, SimTime> timer_deadlines_;
+
+  // Watches (loop thread only).
+  std::unordered_map<int, Watch> watches_;
+
+  // Cross-thread post queue + wake pipe.
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  int wake_pipe_[2]{-1, -1};
+};
+
+}  // namespace eden::rpc

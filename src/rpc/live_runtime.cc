@@ -1,0 +1,339 @@
+#include "rpc/live_runtime.h"
+
+namespace eden::rpc {
+namespace {
+
+// Control-plane RPC timeouts for the live runtimes (localhost-scale).
+constexpr SimDuration kProbeTimeout = msec(400.0);
+constexpr SimDuration kJoinTimeout = msec(400.0);
+constexpr SimDuration kFrameTimeout = msec(3000.0);
+constexpr SimDuration kDiscoveryTimeout = msec(500.0);
+
+}  // namespace
+
+// ============================ LiveManager ============================
+
+LiveManager::LiveManager(manager::GlobalPolicy policy,
+                         SimDuration heartbeat_ttl) {
+  manager_ = std::make_unique<manager::CentralManager>(loop_, policy,
+                                                       heartbeat_ttl);
+  server_ = std::make_unique<RpcServer>(loop_);
+
+  server_->handle(MessageType::kDiscover,
+                  [this](Reader& reader, RpcServer::Responder respond) {
+                    const auto request = decode_discovery_request(reader);
+                    if (!reader.ok()) return;
+                    Writer writer;
+                    encode(writer, manager_->handle_discover(request));
+                    respond(writer.take());
+                  });
+  server_->handle_one_way(MessageType::kRegisterNode, [this](Reader& reader) {
+    const auto status = decode_node_status(reader);
+    if (reader.ok()) manager_->handle_register(status);
+  });
+  server_->handle_one_way(MessageType::kHeartbeat, [this](Reader& reader) {
+    const auto status = decode_node_status(reader);
+    if (reader.ok()) manager_->handle_heartbeat(status);
+  });
+  server_->handle_one_way(MessageType::kDeregister, [this](Reader& reader) {
+    const NodeId node{reader.u32()};
+    if (reader.ok()) manager_->handle_deregister(node);
+  });
+}
+
+LiveManager::~LiveManager() { stop(); }
+
+bool LiveManager::start(std::uint16_t port) {
+  if (running_) return true;
+  if (!server_->listen(port)) return false;
+  running_ = true;
+  thread_ = std::thread([this] { loop_.run(); });
+  return true;
+}
+
+void LiveManager::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_.post([this] { server_->close(); });
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+// ============================ LiveNode ============================
+
+class LiveNode::Link final : public net::ManagerLink {
+ public:
+  explicit Link(RpcClient& client) : client_(&client) {}
+
+  void register_node(const net::NodeStatus& status) override {
+    Writer writer;
+    encode(writer, status);
+    client_->send_one_way(MessageType::kRegisterNode, writer.data());
+  }
+  void heartbeat(const net::NodeStatus& status) override {
+    Writer writer;
+    encode(writer, status);
+    client_->send_one_way(MessageType::kHeartbeat, writer.data());
+  }
+  void deregister(NodeId node) override {
+    Writer writer;
+    writer.u32(node.value);
+    client_->send_one_way(MessageType::kDeregister, writer.data());
+  }
+
+ private:
+  RpcClient* client_;
+};
+
+LiveNode::LiveNode(node::EdgeNodeConfig config, std::string manager_endpoint) {
+  manager_client_ = std::make_unique<RpcClient>(loop_, std::move(manager_endpoint));
+  link_ = std::make_unique<Link>(*manager_client_);
+  node_ = std::make_unique<node::EdgeNode>(loop_, std::move(config), link_.get());
+  server_ = std::make_unique<RpcServer>(loop_);
+  register_handlers();
+}
+
+LiveNode::~LiveNode() { stop(false); }
+
+void LiveNode::register_handlers() {
+  server_->handle(MessageType::kRttProbe,
+                  [](Reader&, RpcServer::Responder respond) {
+                    respond({});  // pure echo
+                  });
+  server_->handle(MessageType::kProcessProbe,
+                  [this](Reader& reader, RpcServer::Responder respond) {
+                    const ClientId from{reader.u32()};
+                    Writer writer;
+                    encode(writer, node_->handle_process_probe(from));
+                    respond(writer.take());
+                  });
+  server_->handle(MessageType::kJoin,
+                  [this](Reader& reader, RpcServer::Responder respond) {
+                    const auto request = decode_join_request(reader);
+                    if (!reader.ok()) return;
+                    Writer writer;
+                    encode(writer, node_->handle_join(request));
+                    respond(writer.take());
+                  });
+  server_->handle(MessageType::kUnexpectedJoin,
+                  [this](Reader& reader, RpcServer::Responder respond) {
+                    const auto request = decode_join_request(reader);
+                    if (!reader.ok()) return;
+                    Writer writer;
+                    writer.boolean(node_->handle_unexpected_join(request));
+                    respond(writer.take());
+                  });
+  server_->handle_one_way(MessageType::kLeave, [this](Reader& reader) {
+    const ClientId client{reader.u32()};
+    if (reader.ok()) node_->handle_leave(client);
+  });
+  server_->handle(MessageType::kOffload,
+                  [this](Reader& reader, RpcServer::Responder respond) {
+                    const auto request = decode_frame_request(reader);
+                    if (!reader.ok()) return;
+                    node_->handle_offload(
+                        request,
+                        [respond = std::move(respond)](net::FrameResponse r) {
+                          Writer writer;
+                          encode(writer, r);
+                          respond(writer.take());
+                        });
+                  });
+}
+
+bool LiveNode::start(std::uint16_t port) {
+  if (running_) return true;
+  if (!server_->listen(port)) return false;
+  running_ = true;
+  // The manager learns our address through registration/heartbeats.
+  loop_.post([this] {
+    node_->set_endpoint(server_->endpoint());
+    node_->start();
+  });
+  thread_ = std::thread([this] { loop_.run(); });
+  return true;
+}
+
+void LiveNode::stop(bool graceful) {
+  if (!running_) return;
+  running_ = false;
+  loop_.post([this, graceful] {
+    node_->stop(graceful);
+    server_->close();
+  });
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+node::EdgeNodeStats LiveNode::stats() {
+  return run_on_loop(loop_, [this] { return node_->stats(); });
+}
+
+// ============================ LiveClient ============================
+
+class LiveClient::NodeProxy final : public net::NodeApi {
+ public:
+  NodeProxy(EventLoop& loop, NodeId id, const std::string& endpoint)
+      : id_(id), client_(loop, endpoint) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+
+  void rtt_probe(ClientId from, std::function<void(bool)> done) override {
+    Writer writer;
+    writer.u32(from.value);
+    client_.call(MessageType::kRttProbe, writer.data(), kProbeTimeout,
+                 [done = std::move(done)](auto response) {
+                   done(response.has_value());
+                 });
+  }
+
+  void process_probe(ClientId from,
+                     std::function<void(std::optional<net::ProcessProbeResponse>)>
+                         done) override {
+    Writer writer;
+    writer.u32(from.value);
+    client_.call(MessageType::kProcessProbe, writer.data(), kProbeTimeout,
+                 [done = std::move(done)](auto response) {
+                   if (!response) return done(std::nullopt);
+                   Reader reader(*response);
+                   auto decoded = decode_process_probe_response(reader);
+                   done(reader.ok() ? std::optional(decoded) : std::nullopt);
+                 });
+  }
+
+  void join(const net::JoinRequest& request,
+            std::function<void(std::optional<net::JoinResponse>)> done) override {
+    Writer writer;
+    encode(writer, request);
+    client_.call(MessageType::kJoin, writer.data(), kJoinTimeout,
+                 [done = std::move(done)](auto response) {
+                   if (!response) return done(std::nullopt);
+                   Reader reader(*response);
+                   auto decoded = decode_join_response(reader);
+                   done(reader.ok() ? std::optional(decoded) : std::nullopt);
+                 });
+  }
+
+  void unexpected_join(const net::JoinRequest& request,
+                       std::function<void(bool)> done) override {
+    Writer writer;
+    encode(writer, request);
+    client_.call(MessageType::kUnexpectedJoin, writer.data(), kJoinTimeout,
+                 [done = std::move(done)](auto response) {
+                   if (!response) return done(false);
+                   Reader reader(*response);
+                   const bool accepted = reader.boolean();
+                   done(reader.ok() && accepted);
+                 });
+  }
+
+  void leave(ClientId client) override {
+    Writer writer;
+    writer.u32(client.value);
+    client_.send_one_way(MessageType::kLeave, writer.data());
+  }
+
+  void offload(const net::FrameRequest& request,
+               std::function<void(std::optional<net::FrameResponse>)> done)
+      override {
+    Writer writer;
+    encode(writer, request);
+    client_.call(MessageType::kOffload, writer.data(), kFrameTimeout,
+                 [done = std::move(done)](auto response) {
+                   if (!response) return done(std::nullopt);
+                   Reader reader(*response);
+                   auto decoded = decode_frame_response(reader);
+                   done(reader.ok() ? std::optional(decoded) : std::nullopt);
+                 });
+  }
+
+ private:
+  NodeId id_;
+  RpcClient client_;
+};
+
+class LiveClient::ManagerProxy final : public net::ManagerApi {
+ public:
+  ManagerProxy(RpcClient& client, LiveClient& owner)
+      : client_(&client), owner_(&owner) {}
+
+  void discover(const net::DiscoveryRequest& request,
+                std::function<void(std::optional<net::DiscoveryResponse>)> done)
+      override {
+    Writer writer;
+    encode(writer, request);
+    client_->call(
+        MessageType::kDiscover, writer.data(), kDiscoveryTimeout,
+        [owner = owner_, done = std::move(done)](auto response) {
+          if (!response) return done(std::nullopt);
+          Reader reader(*response);
+          auto decoded = decode_discovery_response(reader);
+          if (!reader.ok()) return done(std::nullopt);
+          // Remember how to reach each advertised node.
+          for (const auto& candidate : decoded.candidates) {
+            if (!candidate.endpoint.empty()) {
+              owner->endpoints_[candidate.node] = candidate.endpoint;
+            }
+          }
+          done(std::move(decoded));
+        });
+  }
+
+ private:
+  RpcClient* client_;
+  LiveClient* owner_;
+};
+
+LiveClient::LiveClient(client::ClientConfig config,
+                       std::string manager_endpoint) {
+  manager_client_ = std::make_unique<RpcClient>(loop_, std::move(manager_endpoint));
+  manager_api_ = std::make_unique<ManagerProxy>(*manager_client_, *this);
+  client_ = std::make_unique<client::EdgeClient>(
+      loop_, *manager_api_, [this](NodeId id) { return resolve(id); },
+      std::move(config));
+}
+
+LiveClient::~LiveClient() { stop(); }
+
+net::NodeApi* LiveClient::resolve(NodeId id) {
+  if (const auto it = node_proxies_.find(id); it != node_proxies_.end()) {
+    return it->second.get();
+  }
+  const auto endpoint = endpoints_.find(id);
+  if (endpoint == endpoints_.end()) return nullptr;
+  auto proxy = std::make_unique<NodeProxy>(loop_, id, endpoint->second);
+  auto* raw = proxy.get();
+  node_proxies_.emplace(id, std::move(proxy));
+  return raw;
+}
+
+void LiveClient::start() {
+  if (running_) return;
+  running_ = true;
+  loop_.post([this] { client_->start(); });
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void LiveClient::stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_.post([this] { client_->stop(); });
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+client::ClientStats LiveClient::stats() {
+  return run_on_loop(loop_, [this] { return client_->stats(); });
+}
+
+std::optional<NodeId> LiveClient::current_node() {
+  return run_on_loop(loop_, [this] { return client_->current_node(); });
+}
+
+StreamingStats LiveClient::latency_window_ms() {
+  return run_on_loop(loop_, [this] {
+    return client_->latency_series().window(0, loop_.now() + 1);
+  });
+}
+
+}  // namespace eden::rpc

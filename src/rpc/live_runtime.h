@@ -1,0 +1,123 @@
+// Live (real TCP) runtimes for the three EDEN roles. Each runtime owns an
+// EventLoop running on its own thread; the protocol state machines are the
+// very same classes the simulator drives (EdgeNode, CentralManager,
+// EdgeClient), wired to RpcServer/RpcClient instead of the simulated
+// fabric.
+//
+// Threading: all protocol state lives on the runtime's loop thread. Public
+// accessors marshal onto the loop via run_on_loop(); never touch the inner
+// objects directly from outside.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "client/edge_client.h"
+#include "manager/central_manager.h"
+#include "node/edge_node.h"
+#include "rpc/rpc_client.h"
+#include "rpc/rpc_server.h"
+
+namespace eden::rpc {
+
+// Runs `fn` on the loop thread and waits for its result.
+template <typename Fn>
+auto run_on_loop(EventLoop& loop, Fn fn) -> decltype(fn()) {
+  using Result = decltype(fn());
+  std::promise<Result> promise;
+  auto future = promise.get_future();
+  loop.post([&promise, &fn] {
+    if constexpr (std::is_void_v<Result>) {
+      fn();
+      promise.set_value();
+    } else {
+      promise.set_value(fn());
+    }
+  });
+  return future.get();
+}
+
+// ---- central manager over TCP ----
+class LiveManager {
+ public:
+  explicit LiveManager(manager::GlobalPolicy policy = {},
+                       SimDuration heartbeat_ttl = sec(3.0));
+  ~LiveManager();
+
+  // Bind (port 0 = ephemeral) and start serving on a background thread.
+  bool start(std::uint16_t port = 0);
+  void stop();
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+  [[nodiscard]] std::string endpoint() const { return server_->endpoint(); }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] manager::CentralManager& manager_unsafe() { return *manager_; }
+
+ private:
+  EventLoop loop_;
+  std::unique_ptr<manager::CentralManager> manager_;
+  std::unique_ptr<RpcServer> server_;
+  std::thread thread_;
+  bool running_{false};
+};
+
+// ---- edge node over TCP ----
+class LiveNode {
+ public:
+  LiveNode(node::EdgeNodeConfig config, std::string manager_endpoint);
+  ~LiveNode();
+
+  bool start(std::uint16_t port = 0);
+  void stop(bool graceful = true);
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+  [[nodiscard]] std::string endpoint() const { return server_->endpoint(); }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] node::EdgeNode& node_unsafe() { return *node_; }
+  [[nodiscard]] node::EdgeNodeStats stats();
+
+ private:
+  class Link;  // ManagerLink over RpcClient
+
+  void register_handlers();
+
+  EventLoop loop_;
+  std::unique_ptr<RpcClient> manager_client_;
+  std::unique_ptr<Link> link_;
+  std::unique_ptr<node::EdgeNode> node_;
+  std::unique_ptr<RpcServer> server_;
+  std::thread thread_;
+  bool running_{false};
+};
+
+// ---- application client over TCP ----
+class LiveClient {
+ public:
+  LiveClient(client::ClientConfig config, std::string manager_endpoint);
+  ~LiveClient();
+
+  void start();
+  void stop();
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] client::ClientStats stats();
+  [[nodiscard]] std::optional<NodeId> current_node();
+  [[nodiscard]] StreamingStats latency_window_ms();
+
+ private:
+  class ManagerProxy;  // net::ManagerApi over RpcClient, captures endpoints
+  class NodeProxy;     // net::NodeApi over RpcClient
+
+  net::NodeApi* resolve(NodeId id);
+
+  EventLoop loop_;
+  std::unique_ptr<RpcClient> manager_client_;
+  std::unique_ptr<ManagerProxy> manager_api_;
+  std::unique_ptr<client::EdgeClient> client_;
+  std::unordered_map<NodeId, std::string> endpoints_;
+  std::unordered_map<NodeId, std::unique_ptr<NodeProxy>> node_proxies_;
+  std::thread thread_;
+  bool running_{false};
+};
+
+}  // namespace eden::rpc

@@ -1,0 +1,151 @@
+#include "rpc/messages.h"
+
+namespace eden::rpc {
+
+void encode(Writer& w, const net::NodeStatus& v) {
+  w.u32(v.node.value);
+  w.str(v.geohash);
+  w.u32(static_cast<std::uint32_t>(v.cores));
+  w.f64(v.base_frame_ms);
+  w.u32(static_cast<std::uint32_t>(v.attached_users));
+  w.f64(v.utilization);
+  w.boolean(v.dedicated);
+  w.boolean(v.is_cloud);
+  w.str(v.network_tag);
+  w.str(v.endpoint);
+  w.u32(static_cast<std::uint32_t>(v.app_types.size()));
+  for (const auto& app : v.app_types) w.str(app);
+}
+
+net::NodeStatus decode_node_status(Reader& r) {
+  net::NodeStatus v;
+  v.node = NodeId{r.u32()};
+  v.geohash = r.str();
+  v.cores = static_cast<int>(r.u32());
+  v.base_frame_ms = r.f64();
+  v.attached_users = static_cast<int>(r.u32());
+  v.utilization = r.f64();
+  v.dedicated = r.boolean();
+  v.is_cloud = r.boolean();
+  v.network_tag = r.str();
+  v.endpoint = r.str();
+  const std::uint32_t app_count = r.u32();
+  for (std::uint32_t i = 0; i < app_count && r.ok(); ++i) {
+    v.app_types.push_back(r.str());
+  }
+  return v;
+}
+
+void encode(Writer& w, const net::DiscoveryRequest& v) {
+  w.u32(v.client.value);
+  w.str(v.geohash);
+  w.str(v.network_tag);
+  w.u32(static_cast<std::uint32_t>(v.top_n));
+  w.str(v.app_type);
+}
+
+net::DiscoveryRequest decode_discovery_request(Reader& r) {
+  net::DiscoveryRequest v;
+  v.client = ClientId{r.u32()};
+  v.geohash = r.str();
+  v.network_tag = r.str();
+  v.top_n = static_cast<int>(r.u32());
+  v.app_type = r.str();
+  return v;
+}
+
+void encode(Writer& w, const net::DiscoveryResponse& v) {
+  w.u32(static_cast<std::uint32_t>(v.candidates.size()));
+  for (const auto& c : v.candidates) {
+    w.u32(c.node.value);
+    w.str(c.geohash);
+    w.f64(c.score);
+    w.str(c.endpoint);
+  }
+}
+
+net::DiscoveryResponse decode_discovery_response(Reader& r) {
+  net::DiscoveryResponse v;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    net::CandidateInfo c;
+    c.node = NodeId{r.u32()};
+    c.geohash = r.str();
+    c.score = r.f64();
+    c.endpoint = r.str();
+    v.candidates.push_back(std::move(c));
+  }
+  return v;
+}
+
+void encode(Writer& w, const net::ProcessProbeResponse& v) {
+  w.f64(v.whatif_ms);
+  w.f64(v.current_ms);
+  w.u32(static_cast<std::uint32_t>(v.attached_users));
+  w.u64(v.seq_num);
+}
+
+net::ProcessProbeResponse decode_process_probe_response(Reader& r) {
+  net::ProcessProbeResponse v;
+  v.whatif_ms = r.f64();
+  v.current_ms = r.f64();
+  v.attached_users = static_cast<int>(r.u32());
+  v.seq_num = r.u64();
+  return v;
+}
+
+void encode(Writer& w, const net::JoinRequest& v) {
+  w.u32(v.client.value);
+  w.u64(v.seq_num);
+  w.f64(v.rate_fps);
+}
+
+net::JoinRequest decode_join_request(Reader& r) {
+  net::JoinRequest v;
+  v.client = ClientId{r.u32()};
+  v.seq_num = r.u64();
+  v.rate_fps = r.f64();
+  return v;
+}
+
+void encode(Writer& w, const net::JoinResponse& v) {
+  w.boolean(v.accepted);
+  w.u64(v.seq_num);
+}
+
+net::JoinResponse decode_join_response(Reader& r) {
+  net::JoinResponse v;
+  v.accepted = r.boolean();
+  v.seq_num = r.u64();
+  return v;
+}
+
+void encode(Writer& w, const net::FrameRequest& v) {
+  w.u32(v.client.value);
+  w.u64(v.frame_id);
+  w.f64(v.bytes);
+  w.f64(v.cost);
+}
+
+net::FrameRequest decode_frame_request(Reader& r) {
+  net::FrameRequest v;
+  v.client = ClientId{r.u32()};
+  v.frame_id = r.u64();
+  v.bytes = r.f64();
+  v.cost = r.f64();
+  return v;
+}
+
+void encode(Writer& w, const net::FrameResponse& v) {
+  w.u64(v.frame_id);
+  w.f64(v.proc_ms);
+}
+
+net::FrameResponse decode_frame_response(Reader& r) {
+  net::FrameResponse v;
+  v.frame_id = r.u64();
+  v.proc_ms = r.f64();
+  return v;
+}
+
+}  // namespace eden::rpc

@@ -1,0 +1,58 @@
+// Message-type registry and per-message codecs for the live TCP runtime.
+// Every RPC travels as: [u32 length][u64 request_id][u16 type][payload].
+// Responses echo the request_id with the response type = request type | 0x8000.
+#pragma once
+
+#include <cstdint>
+
+#include "net/protocol.h"
+#include "rpc/serialize.h"
+
+namespace eden::rpc {
+
+enum class MessageType : std::uint16_t {
+  kRttProbe = 1,
+  kProcessProbe = 2,
+  kJoin = 3,
+  kUnexpectedJoin = 4,
+  kLeave = 5,  // one-way
+  kOffload = 6,
+  kDiscover = 7,
+  kRegisterNode = 8,  // one-way
+  kHeartbeat = 9,     // one-way
+  kDeregister = 10,   // one-way
+};
+
+constexpr std::uint16_t kResponseFlag = 0x8000;
+
+[[nodiscard]] constexpr std::uint16_t response_type(MessageType type) {
+  return static_cast<std::uint16_t>(type) | kResponseFlag;
+}
+
+// ---- codecs (encode_x / decode_x pairs) ----
+
+void encode(Writer& w, const net::NodeStatus& v);
+[[nodiscard]] net::NodeStatus decode_node_status(Reader& r);
+
+void encode(Writer& w, const net::DiscoveryRequest& v);
+[[nodiscard]] net::DiscoveryRequest decode_discovery_request(Reader& r);
+
+void encode(Writer& w, const net::DiscoveryResponse& v);
+[[nodiscard]] net::DiscoveryResponse decode_discovery_response(Reader& r);
+
+void encode(Writer& w, const net::ProcessProbeResponse& v);
+[[nodiscard]] net::ProcessProbeResponse decode_process_probe_response(Reader& r);
+
+void encode(Writer& w, const net::JoinRequest& v);
+[[nodiscard]] net::JoinRequest decode_join_request(Reader& r);
+
+void encode(Writer& w, const net::JoinResponse& v);
+[[nodiscard]] net::JoinResponse decode_join_response(Reader& r);
+
+void encode(Writer& w, const net::FrameRequest& v);
+[[nodiscard]] net::FrameRequest decode_frame_request(Reader& r);
+
+void encode(Writer& w, const net::FrameResponse& v);
+[[nodiscard]] net::FrameResponse decode_frame_response(Reader& r);
+
+}  // namespace eden::rpc

@@ -1,0 +1,83 @@
+#include "rpc/rpc_client.h"
+
+namespace eden::rpc {
+
+RpcClient::RpcClient(EventLoop& loop, std::string endpoint)
+    : loop_(&loop), endpoint_(std::move(endpoint)) {}
+
+RpcClient::~RpcClient() { close(); }
+
+bool RpcClient::ensure_connected() {
+  if (connection_ && !connection_->closed()) return true;
+  connection_ = connect_to(*loop_, endpoint_);
+  if (!connection_) return false;
+  connection_->set_frame_handler(
+      [this](std::uint64_t request_id, std::uint16_t type,
+             const std::uint8_t* payload, std::size_t payload_size) {
+        on_frame(request_id, type, payload, payload_size);
+      });
+  connection_->set_close_handler([this] { on_close(); });
+  return true;
+}
+
+void RpcClient::call(MessageType type, const std::vector<std::uint8_t>& payload,
+                     SimDuration timeout, ResponseCallback callback) {
+  if (!ensure_connected()) {
+    // Fail asynchronously, preserving "callback runs from the loop" rules.
+    loop_->schedule_after(0, [callback = std::move(callback)] {
+      callback(std::nullopt);
+    });
+    return;
+  }
+  const std::uint64_t request_id = next_request_id_++;
+  Pending pending;
+  pending.callback = std::move(callback);
+  pending.timeout_timer = loop_->schedule_after(timeout, [this, request_id] {
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    ResponseCallback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(std::nullopt);
+  });
+  pending_.emplace(request_id, std::move(pending));
+  connection_->send_frame(request_id, static_cast<std::uint16_t>(type), payload);
+}
+
+void RpcClient::send_one_way(MessageType type,
+                             const std::vector<std::uint8_t>& payload) {
+  if (!ensure_connected()) return;
+  connection_->send_frame(0, static_cast<std::uint16_t>(type), payload);
+}
+
+void RpcClient::on_frame(std::uint64_t request_id, std::uint16_t /*type*/,
+                         const std::uint8_t* payload,
+                         std::size_t payload_size) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // late response after timeout
+  loop_->cancel(it->second.timeout_timer);
+  ResponseCallback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  callback(std::vector<std::uint8_t>(payload, payload + payload_size));
+}
+
+void RpcClient::on_close() { fail_all_pending(); }
+
+void RpcClient::fail_all_pending() {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, entry] : pending) {
+    loop_->cancel(entry.timeout_timer);
+    entry.callback(std::nullopt);
+  }
+}
+
+void RpcClient::close() {
+  if (connection_) {
+    connection_->set_close_handler(nullptr);
+    connection_->close();
+    connection_.reset();
+  }
+  fail_all_pending();
+}
+
+}  // namespace eden::rpc

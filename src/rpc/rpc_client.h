@@ -1,0 +1,56 @@
+// RpcClient: one framed connection to a peer with request/response
+// correlation and per-call timeouts. Reconnects lazily on the next call
+// after a connection failure (volunteer nodes come and go).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/connection.h"
+#include "rpc/messages.h"
+
+namespace eden::rpc {
+
+class RpcClient {
+ public:
+  // Response payload bytes, or nullopt on timeout / connection failure.
+  using ResponseCallback =
+      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+
+  RpcClient(EventLoop& loop, std::string endpoint);
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  void call(MessageType type, const std::vector<std::uint8_t>& payload,
+            SimDuration timeout, ResponseCallback callback);
+  void send_one_way(MessageType type, const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+  void close();
+
+ private:
+  struct Pending {
+    ResponseCallback callback;
+    sim::EventId timeout_timer{0};
+  };
+
+  bool ensure_connected();
+  void on_frame(std::uint64_t request_id, std::uint16_t type,
+                const std::uint8_t* payload, std::size_t payload_size);
+  void on_close();
+  void fail_all_pending();
+
+  EventLoop* loop_;
+  std::string endpoint_;
+  std::shared_ptr<Connection> connection_;
+  std::uint64_t next_request_id_{1};
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace eden::rpc

@@ -1,0 +1,54 @@
+// RpcServer: accepts framed connections and dispatches requests to typed
+// handlers. Handlers receive a Responder they may invoke later — the live
+// edge node uses this for asynchronously-processed frames.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rpc/connection.h"
+#include "rpc/messages.h"
+
+namespace eden::rpc {
+
+class RpcServer {
+ public:
+  // Send the (already encoded) response payload for a request. Safe to
+  // call after the connection died (it becomes a no-op).
+  using Responder = std::function<void(std::vector<std::uint8_t>)>;
+  // Request handler: decode from `reader`, reply through `respond` (now or
+  // later, exactly once).
+  using Handler = std::function<void(Reader& reader, Responder respond)>;
+  using OneWayHandler = std::function<void(Reader& reader)>;
+
+  explicit RpcServer(EventLoop& loop);
+  ~RpcServer();
+
+  bool listen(std::uint16_t port = 0);
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::string endpoint() const {
+    return local_endpoint(listener_.port());
+  }
+
+  void handle(MessageType type, Handler handler);
+  void handle_one_way(MessageType type, OneWayHandler handler);
+
+  void close();
+
+ private:
+  void on_accept(std::shared_ptr<Connection> connection);
+  void on_frame(const std::shared_ptr<Connection>& connection,
+                std::uint64_t request_id, std::uint16_t type,
+                const std::uint8_t* payload, std::size_t payload_size);
+
+  EventLoop* loop_;
+  Listener listener_;
+  std::unordered_map<std::uint16_t, Handler> handlers_;
+  std::unordered_map<std::uint16_t, OneWayHandler> one_way_handlers_;
+  std::unordered_set<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace eden::rpc

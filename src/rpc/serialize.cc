@@ -1,0 +1,90 @@
+#include "rpc/serialize.h"
+
+namespace eden::rpc {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(const std::string& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+bool Reader::take(void* out, std::size_t n) {
+  if (!ok_ || size_ - offset_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + offset_, n);
+  offset_ += n;
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  std::uint8_t v = 0;
+  take(&v, 1);
+  return v;
+}
+
+// Multi-byte reads are atomic: a value is either fully available or the
+// read fails and returns exactly zero.
+std::uint16_t Reader::u16() {
+  std::uint8_t raw[2];
+  if (!take(raw, sizeof(raw))) return 0;
+  return static_cast<std::uint16_t>(raw[0] | (raw[1] << 8));
+}
+
+std::uint32_t Reader::u32() {
+  std::uint8_t raw[4];
+  if (!take(raw, sizeof(raw))) return 0;
+  return static_cast<std::uint32_t>(raw[0]) |
+         (static_cast<std::uint32_t>(raw[1]) << 8) |
+         (static_cast<std::uint32_t>(raw[2]) << 16) |
+         (static_cast<std::uint32_t>(raw[3]) << 24);
+}
+
+std::uint64_t Reader::u64() {
+  std::uint8_t raw[8];
+  if (!take(raw, sizeof(raw))) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | raw[i];
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string Reader::str() {
+  const std::uint32_t size = u32();
+  if (!ok_ || size_ - offset_ < size) {
+    ok_ = false;
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + offset_), size);
+  offset_ += size;
+  return out;
+}
+
+}  // namespace eden::rpc

@@ -1,0 +1,61 @@
+// Wire serialization for the EDEN protocol: a small explicit little-endian
+// codec (no reflection, no external deps) with bounds-checked reads. Used
+// only by the live TCP runtime; the simulator passes structs directly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eden::rpc {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+// Reads fail-soft: after the first out-of-bounds access `ok()` turns false
+// and every subsequent read returns a zero value. Callers check ok() once
+// at the end — malformed frames never touch uninitialised data.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& data)
+      : Reader(data.data(), data.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - offset_; }
+
+ private:
+  bool take(void* out, std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_{0};
+  bool ok_{true};
+};
+
+}  // namespace eden::rpc

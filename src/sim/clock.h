@@ -1,0 +1,41 @@
+// Clock/scheduler abstraction so protocol components (edge node, manager,
+// client) run unchanged under the discrete-event simulator and under the
+// real-time TCP runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace eden::sim {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+class Scheduler : public Clock {
+ public:
+  virtual EventId schedule_after(SimDuration delay, std::function<void()> fn) = 0;
+  virtual bool cancel(EventId id) = 0;
+};
+
+// Adapter exposing a Simulator through the Scheduler interface.
+class SimScheduler final : public Scheduler {
+ public:
+  explicit SimScheduler(Simulator& simulator) : simulator_(&simulator) {}
+
+  [[nodiscard]] SimTime now() const override { return simulator_->now(); }
+  EventId schedule_after(SimDuration delay, std::function<void()> fn) override {
+    return simulator_->schedule_after(delay, std::move(fn));
+  }
+  bool cancel(EventId id) override { return simulator_->cancel(id); }
+
+ private:
+  Simulator* simulator_;
+};
+
+}  // namespace eden::sim

@@ -1,0 +1,84 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace eden::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  live_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulator::schedule_after(SimDuration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) { return live_.erase(id) > 0; }
+
+bool Simulator::pop_one(SimTime limit) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    auto it = live_.find(top.id);
+    if (it == live_.end()) {
+      heap_.pop();  // cancelled tombstone
+      continue;
+    }
+    if (top.time > limit) return false;
+    heap_.pop();
+    Callback cb = std::move(it->second);
+    live_.erase(it);
+    now_ = top.time;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (pop_one(t)) {
+  }
+  if (t > now_) now_ = t;
+}
+
+void Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (pop_one(std::numeric_limits<SimTime>::max())) {
+    if (++n > max_events) {
+      throw std::runtime_error("Simulator::run_all: event budget exceeded");
+    }
+  }
+}
+
+Periodic::Periodic(Simulator& simulator, SimTime start, SimDuration period,
+                   std::function<void()> fn)
+    : state_(std::make_shared<State>()) {
+  assert(period > 0);
+  state_->simulator = &simulator;
+  state_->period = period;
+  state_->fn = std::move(fn);
+  state_->alive = true;
+  arm(state_, start < simulator.now() ? simulator.now() : start);
+}
+
+Periodic::~Periodic() { stop(); }
+
+void Periodic::stop() {
+  if (state_) state_->alive = false;
+}
+
+void Periodic::arm(const std::shared_ptr<State>& state, SimTime at) {
+  state->simulator->schedule_at(at, [state, at] {
+    if (!state->alive) return;
+    state->fn();
+    if (state->alive) arm(state, at + state->period);
+  });
+}
+
+}  // namespace eden::sim

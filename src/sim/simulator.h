@@ -1,0 +1,92 @@
+// Discrete-event simulator: the clock every EDEN protocol component runs
+// against in emulation mode. Events at equal timestamps fire in scheduling
+// order (FIFO), which makes every experiment deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eden::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `cb` at absolute time `t` (clamped to now if in the past).
+  EventId schedule_at(SimTime t, Callback cb);
+  // Schedule `cb` after `delay` (clamped to zero if negative).
+  EventId schedule_after(SimDuration delay, Callback cb);
+
+  // Cancel a pending event. Returns false if it already ran or was
+  // cancelled before.
+  bool cancel(EventId id);
+
+  // Run every event with timestamp <= `t`; afterwards now() == t even if
+  // the queue drained early.
+  void run_until(SimTime t);
+  // Run until the queue is empty (with a runaway guard).
+  void run_all(std::size_t max_events = 50'000'000);
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      return time != other.time ? time > other.time : id > other.id;
+    }
+  };
+
+  bool pop_one(SimTime limit);
+
+  SimTime now_{0};
+  EventId next_id_{1};
+  std::uint64_t processed_{0};
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> live_;
+};
+
+// RAII periodic task: fires `fn` every `period` starting at `start` until
+// the Periodic object is destroyed or stop() is called. `fn` may stop it
+// from inside the callback.
+class Periodic {
+ public:
+  Periodic() = default;
+  Periodic(Simulator& simulator, SimTime start, SimDuration period,
+           std::function<void()> fn);
+  Periodic(const Periodic&) = delete;
+  Periodic& operator=(const Periodic&) = delete;
+  Periodic(Periodic&&) noexcept = default;
+  Periodic& operator=(Periodic&&) noexcept = default;
+  ~Periodic();
+
+  void stop();
+  [[nodiscard]] bool running() const { return state_ && state_->alive; }
+
+ private:
+  struct State {
+    Simulator* simulator{nullptr};
+    SimDuration period{0};
+    std::function<void()> fn;
+    bool alive{false};
+  };
+  static void arm(const std::shared_ptr<State>& state, SimTime at);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace eden::sim

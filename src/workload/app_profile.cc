@@ -1,0 +1,28 @@
+#include "workload/app_profile.h"
+
+#include <algorithm>
+
+namespace eden::workload {
+
+double RateController::on_frame_latency(double latency_ms) {
+  constexpr double kEmaAlpha = 0.2;
+  ema_ms_ = has_ema_ ? (1 - kEmaAlpha) * ema_ms_ + kEmaAlpha * latency_ms
+                     : latency_ms;
+  has_ema_ = true;
+  if (!profile_.adaptive_rate) return fps_;
+  if (ema_ms_ > profile_.target_latency_ms) {
+    fps_ *= 0.8;  // multiplicative decrease
+  } else if (ema_ms_ < 0.7 * profile_.target_latency_ms) {
+    fps_ += 1.0;  // additive recovery
+  }
+  fps_ = std::clamp(fps_, profile_.min_fps, profile_.max_fps);
+  return fps_;
+}
+
+double RateController::on_frame_failure() {
+  if (!profile_.adaptive_rate) return fps_;
+  fps_ = std::max(profile_.min_fps, fps_ * 0.5);
+  return fps_;
+}
+
+}  // namespace eden::workload

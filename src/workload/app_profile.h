@@ -1,0 +1,63 @@
+// Application model for the paper's AR-based cognitive assistance workload
+// (§V-A): clients stream video frames at up to 20 FPS; every frame is
+// 0.02 MB after encoding; responses are lightweight instructions.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace eden::workload {
+
+struct AppProfile {
+  // Application server type this client needs (§III-B); empty = the
+  // default single-app deployment of the paper's evaluation.
+  std::string app_type;
+  // Per-frame compute cost in units of the standard test frame — apps
+  // heavier than the baseline object detector cost > 1.
+  double frame_cost{1.0};
+  double frame_bytes{20'000};     // 0.02 MB per encoded frame
+  double response_bytes{200};     // negligible instruction payload
+  double max_fps{20.0};
+  double min_fps{2.0};
+  // Adaptive rate control: back off when observed end-to-end latency
+  // exceeds the target, recover when comfortably below it. The paper's
+  // Fig 6 traces show users sustained well above 150 ms before the rate
+  // controller reins them in, so the default backoff threshold is loose.
+  double target_latency_ms{250.0};
+  bool adaptive_rate{true};
+
+  [[nodiscard]] SimDuration frame_interval(double fps) const {
+    return sec(1.0 / (fps <= 0 ? max_fps : fps));
+  }
+};
+
+// AIMD-style sending-rate controller (per client). The paper notes that
+// request rates "can adaptively decrease based on the network and
+// processing performance"; this reproduces that behaviour.
+class RateController {
+ public:
+  explicit RateController(const AppProfile& profile)
+      : profile_(profile), fps_(profile.max_fps) {}
+
+  // Report the latency of a completed frame (ms); returns the updated rate.
+  double on_frame_latency(double latency_ms);
+  // A timed-out / failed frame counts as a strong congestion signal.
+  double on_frame_failure();
+
+  [[nodiscard]] double fps() const { return fps_; }
+  [[nodiscard]] double smoothed_latency_ms() const { return ema_ms_; }
+  void reset() {
+    fps_ = profile_.max_fps;
+    ema_ms_ = 0;
+    has_ema_ = false;
+  }
+
+ private:
+  AppProfile profile_;
+  double fps_;
+  double ema_ms_{0};
+  bool has_ema_{false};
+};
+
+}  // namespace eden::workload

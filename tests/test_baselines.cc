@@ -1,0 +1,188 @@
+// Unit tests for baseline assigners and the analytic latency model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/assigners.h"
+#include "baselines/latency_model.h"
+
+namespace eden::baselines {
+namespace {
+
+NodeInfo make_node(std::uint32_t id, double lat, double lon, int cores = 4,
+                   double frame_ms = 30.0, bool dedicated = false,
+                   bool is_cloud = false) {
+  NodeInfo info;
+  info.id = NodeId{id};
+  info.position = {lat, lon};
+  info.cores = cores;
+  info.base_frame_ms = frame_ms;
+  info.dedicated = dedicated;
+  info.is_cloud = is_cloud;
+  return info;
+}
+
+TEST(GeoProximity, PicksClosestNonCloud) {
+  GeoProximityAssigner assigner({
+      make_node(1, 45.00, -93.00),
+      make_node(2, 44.98, -93.26),
+      make_node(3, 44.98, -93.27, 64, 10.0, false, /*is_cloud=*/true),
+  });
+  const auto picked = assigner.assign({44.9778, -93.2650});
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(*picked, NodeId{2});  // cloud node 3 is closer but excluded
+}
+
+TEST(GeoProximity, EmptyPoolReturnsNothing) {
+  GeoProximityAssigner assigner({});
+  EXPECT_FALSE(assigner.assign({0, 0}).has_value());
+}
+
+TEST(GeoProximity, IgnoresCapacityEntirely) {
+  // The whole point of the baseline: a slow node wins if it's closer.
+  GeoProximityAssigner assigner({
+      make_node(1, 44.98, -93.26, 1, 200.0),  // slow but close
+      make_node(2, 45.20, -93.00, 16, 10.0),  // fast but far
+  });
+  EXPECT_EQ(*assigner.assign({44.9778, -93.2650}), NodeId{1});
+}
+
+TEST(Wrr, DistributesProportionallyToWeight) {
+  // weights: node1 = 4/30, node2 = 8/30 -> 1:2 split.
+  WeightedRoundRobinAssigner assigner({
+      make_node(1, 0, 0, 4, 30.0),
+      make_node(2, 0, 0, 8, 30.0),
+  });
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 300; ++i) ++counts[assigner.assign({0, 0})->value];
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 200);
+}
+
+TEST(Wrr, ExcludesCloud) {
+  WeightedRoundRobinAssigner assigner({
+      make_node(1, 0, 0),
+      make_node(2, 0, 0, 64, 10.0, false, /*is_cloud=*/true),
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*assigner.assign({0, 0}), NodeId{1});
+}
+
+TEST(Wrr, DedicatedOnlyRestrictsPool) {
+  WeightedRoundRobinAssigner assigner(
+      {
+          make_node(1, 0, 0, 8, 20.0, /*dedicated=*/false),
+          make_node(2, 0, 0, 4, 30.0, /*dedicated=*/true),
+          make_node(3, 0, 0, 4, 30.0, /*dedicated=*/true),
+      },
+      /*dedicated_only=*/true);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 100; ++i) ++counts[assigner.assign({0, 0})->value];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_EQ(counts[2], 50);
+  EXPECT_EQ(counts[3], 50);
+}
+
+TEST(Wrr, ResetRestartsSequence) {
+  WeightedRoundRobinAssigner assigner({
+      make_node(1, 0, 0, 4, 30.0),
+      make_node(2, 0, 0, 8, 30.0),
+  });
+  const auto first = *assigner.assign({0, 0});
+  assigner.assign({0, 0});
+  assigner.reset();
+  EXPECT_EQ(*assigner.assign({0, 0}), first);
+}
+
+TEST(Wrr, EmptyPool) {
+  WeightedRoundRobinAssigner assigner({}, true);
+  EXPECT_FALSE(assigner.assign({0, 0}).has_value());
+}
+
+TEST(ClosestCloud, PicksNearestCloudOnly) {
+  ClosestCloudAssigner assigner({
+      make_node(1, 44.98, -93.26),  // edge, ignored
+      make_node(2, 39.96, -82.99, 4, 30.0, false, true),   // us-east-2
+      make_node(3, 37.35, -121.95, 4, 30.0, false, true),  // us-west
+  });
+  EXPECT_EQ(*assigner.assign({44.9778, -93.2650}), NodeId{2});
+}
+
+TEST(ErlangC, KnownValues) {
+  // Single server: C = rho.
+  EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-9);
+  // Saturated or invalid loads.
+  EXPECT_DOUBLE_EQ(erlang_c(2, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(erlang_c(4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_c(0, 1.0), 1.0);
+  // M/M/2 with rho = 0.5 (a = 1): C = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ErlangC, DecreasesWithMoreServers) {
+  for (int c = 1; c < 8; ++c) {
+    EXPECT_GT(erlang_c(c, 0.8 * c), erlang_c(c + 1, 0.8 * c));
+  }
+}
+
+TEST(PredictedProc, IdleNodeIsBaseTime) {
+  EXPECT_DOUBLE_EQ(predicted_proc_ms(make_node(1, 0, 0, 4, 30.0), 0, 20.0), 30.0);
+}
+
+TEST(PredictedProc, MonotoneInUsers) {
+  const auto node = make_node(1, 0, 0, 4, 30.0);
+  double prev = 0;
+  for (int k = 1; k <= 12; ++k) {
+    const double d = predicted_proc_ms(node, k, 20.0);
+    EXPECT_GE(d, prev - 1e-9) << "k=" << k;
+    prev = d;
+  }
+}
+
+TEST(PredictedProc, SaturationIsPenalisedHeavily) {
+  const auto node = make_node(1, 0, 0, 1, 30.0);
+  // 1 core, 30 ms/frame -> capacity ~33 fps; 3 users x 20 fps = saturated.
+  const double unloaded = predicted_proc_ms(node, 1, 20.0);
+  const double saturated = predicted_proc_ms(node, 3, 20.0);
+  EXPECT_GT(saturated, 2.5 * unloaded);
+}
+
+TEST(PredictedProc, BurstableThrottlesAboveBaseline) {
+  auto node = make_node(1, 0, 0, 4, 30.0);
+  auto burstable = node;
+  burstable.burstable = true;
+  burstable.burst_baseline = 0.4;
+  // 4 users x 20 fps x 30 ms = 2.4 busy cores > 0.4 x 4 = 1.6 baseline.
+  EXPECT_GT(predicted_proc_ms(burstable, 4, 20.0),
+            predicted_proc_ms(node, 4, 20.0));
+  // Light load stays under the baseline share: no throttle.
+  EXPECT_NEAR(predicted_proc_ms(burstable, 1, 10.0),
+              predicted_proc_ms(node, 1, 10.0), 1e-9);
+}
+
+TEST(AverageLatency, SingleUserSumsComponents) {
+  PredictInput input;
+  input.nodes = {make_node(1, 0, 0, 4, 30.0)};
+  input.rtt_ms = {{12.0}};
+  input.trans_ms = {{3.0}};
+  input.fps = 20.0;
+  const double avg = average_latency_ms(input, {0});
+  EXPECT_NEAR(avg, 12.0 + 3.0 + predicted_proc_ms(input.nodes[0], 1, 20.0),
+              1e-9);
+}
+
+TEST(AverageLatency, SpreadingBeatsPiling) {
+  // Two identical 1-core nodes, two users: splitting must beat stacking.
+  PredictInput input;
+  input.nodes = {make_node(1, 0, 0, 1, 30.0), make_node(2, 0, 0, 1, 30.0)};
+  input.rtt_ms = {{10.0, 10.0}, {10.0, 10.0}};
+  input.trans_ms = {{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_LT(average_latency_ms(input, {0, 1}), average_latency_ms(input, {0, 0}));
+}
+
+TEST(AverageLatency, EmptyInput) {
+  PredictInput input;
+  EXPECT_DOUBLE_EQ(average_latency_ms(input, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace eden::baselines

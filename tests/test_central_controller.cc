@@ -1,0 +1,134 @@
+// Unit tests for the centralized re-optimization baseline: initial
+// assignment, periodic reaction (and its built-in lag), dead-node
+// awareness, and reassignment accounting.
+#include "harness/central_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+
+namespace eden::harness {
+namespace {
+
+class CentralControllerTest : public ::testing::Test {
+ protected:
+  CentralControllerTest()
+      : scenario_(ScenarioConfig{.seed = 8}, NetKind::kMatrix, 20.0, 50.0,
+                  0.0) {}
+
+  std::size_t add_node(const std::string& name, int cores, double frame_ms) {
+    NodeSpec spec;
+    spec.name = name;
+    spec.cores = cores;
+    spec.base_frame_ms = frame_ms;
+    return scenario_.add_node(spec);
+  }
+
+  baselines::StaticClient& add_client(const std::string& name) {
+    workload::AppProfile app;
+    app.adaptive_rate = false;
+    app.max_fps = 10.0;
+    return scenario_.add_static_client(ClientSpot{.name = name}, app);
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(CentralControllerTest, FirstRoundAssignsEveryone) {
+  add_node("fast", 8, 10.0);
+  add_node("slow", 1, 60.0);
+  start_all_nodes(scenario_);
+  scenario_.run_until(sec(1.0));
+
+  std::vector<baselines::StaticClient*> clients;
+  for (int i = 0; i < 4; ++i) {
+    auto& c = add_client("u" + std::to_string(i));
+    c.start(scenario_.node_id(1));  // primed anywhere
+    clients.push_back(&c);
+  }
+  scenario_.run_until(sec(2.0));
+
+  CentralController controller(scenario_, clients);
+  controller.start();
+  scenario_.run_until(sec(4.0));
+
+  EXPECT_EQ(controller.rounds(), 1u);
+  for (const auto* c : clients) {
+    ASSERT_TRUE(c->current_node().has_value());
+    // Light load: the solver puts everyone on the fast machine.
+    EXPECT_EQ(*c->current_node(), scenario_.node_id(0));
+  }
+  EXPECT_GE(controller.reassignments(), 4u);
+  controller.stop();
+}
+
+TEST_F(CentralControllerTest, ReassignmentWaitsForNextRound) {
+  const auto fast = add_node("fast", 8, 10.0);
+  add_node("slow", 2, 40.0);
+  start_all_nodes(scenario_);
+  scenario_.run_until(sec(1.0));
+
+  std::vector<baselines::StaticClient*> clients;
+  auto& c = add_client("u");
+  c.start(scenario_.node_id(fast));
+  clients.push_back(&c);
+  scenario_.run_until(sec(2.0));
+
+  CentralController::Options options;
+  options.period = sec(10.0);
+  CentralController controller(scenario_, clients, options);
+  controller.start();
+  scenario_.run_until(sec(4.0));
+  ASSERT_EQ(*c.current_node(), scenario_.node_id(fast));
+
+  // Fast node dies at t=5; the controller is blind until its next round.
+  scenario_.stop_node(fast, false);
+  scenario_.run_until(sec(9.0));
+  EXPECT_EQ(*c.current_node(), scenario_.node_id(fast));  // still stale
+  scenario_.run_until(sec(16.0));  // next round at ~t=13
+  EXPECT_EQ(*c.current_node(), scenario_.node_id(1));
+  EXPECT_GE(controller.rounds(), 2u);
+  controller.stop();
+}
+
+TEST_F(CentralControllerTest, NoReassignmentWhenAlreadyOptimal) {
+  add_node("only", 4, 20.0);
+  start_all_nodes(scenario_);
+  scenario_.run_until(sec(1.0));
+  std::vector<baselines::StaticClient*> clients;
+  auto& c = add_client("u");
+  c.start(scenario_.node_id(0));
+  clients.push_back(&c);
+  scenario_.run_until(sec(2.0));
+
+  CentralController::Options options;
+  options.period = sec(3.0);
+  CentralController controller(scenario_, clients, options);
+  controller.start();
+  scenario_.run_until(sec(12.0));
+  EXPECT_GE(controller.rounds(), 3u);
+  EXPECT_EQ(controller.reassignments(), 0u);  // already on the only node
+  controller.stop();
+}
+
+TEST_F(CentralControllerTest, StopHaltsRounds) {
+  add_node("n", 2, 20.0);
+  start_all_nodes(scenario_);
+  std::vector<baselines::StaticClient*> clients;
+  auto& c = add_client("u");
+  c.start(scenario_.node_id(0));
+  clients.push_back(&c);
+
+  CentralController::Options options;
+  options.period = sec(2.0);
+  CentralController controller(scenario_, clients, options);
+  controller.start();
+  scenario_.run_until(sec(5.0));
+  const auto rounds = controller.rounds();
+  controller.stop();
+  scenario_.run_until(sec(20.0));
+  EXPECT_EQ(controller.rounds(), rounds);
+}
+
+}  // namespace
+}  // namespace eden::harness

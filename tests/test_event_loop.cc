@@ -1,0 +1,110 @@
+// Unit tests for the poll-based event loop: wall-clock timers,
+// cancellation, cross-thread post, fd watching.
+#include "rpc/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+namespace eden::rpc {
+namespace {
+
+TEST(EventLoop, NowAdvances) {
+  EventLoop loop;
+  const SimTime a = loop.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(loop.now(), a);
+}
+
+TEST(EventLoop, TimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(msec(30), [&] { order.push_back(3); });
+  loop.schedule_after(msec(10), [&] { order.push_back(1); });
+  loop.schedule_after(msec(20), [&] {
+    order.push_back(2);
+  });
+  loop.run_for(msec(80));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, CancelPreventsTimer) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.schedule_after(msec(10), [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));
+  loop.run_for(msec(40));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, TimerCanScheduleAnotherTimer) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 3) loop.schedule_after(msec(5), chain);
+  };
+  loop.schedule_after(msec(5), chain);
+  loop.run_for(msec(100));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, StopFromTimer) {
+  EventLoop loop;
+  bool late_fired = false;
+  loop.schedule_after(msec(10), [&] { loop.stop(); });
+  loop.schedule_after(sec(30), [&] { late_fired = true; });
+  loop.run();  // must return promptly via stop()
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(EventLoop, PostFromAnotherThread) {
+  EventLoop loop;
+  bool posted_ran = false;
+  std::thread other([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    loop.post([&] {
+      posted_ran = true;
+      loop.stop();
+    });
+  });
+  loop.run();
+  other.join();
+  EXPECT_TRUE(posted_ran);
+}
+
+TEST(EventLoop, WatchReportsReadablePipe) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  bool was_readable = false;
+  loop.watch(fds[0], true, false, [&](bool readable, bool) {
+    if (!readable) return;
+    char buf[8];
+    [[maybe_unused]] const auto n = ::read(fds[0], buf, sizeof(buf));
+    was_readable = true;
+    loop.stop();
+  });
+  loop.schedule_after(msec(5), [&] {
+    [[maybe_unused]] const auto n = ::write(fds[1], "x", 1);
+  });
+  loop.run_for(msec(500));
+  EXPECT_TRUE(was_readable);
+  loop.unwatch(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, RunForReturnsOnDeadline) {
+  EventLoop loop;
+  const SimTime start = loop.now();
+  loop.run_for(msec(30));
+  const SimTime elapsed = loop.now() - start;
+  EXPECT_GE(elapsed, msec(25));
+  EXPECT_LT(elapsed, msec(400));
+}
+
+}  // namespace
+}  // namespace eden::rpc

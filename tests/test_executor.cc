@@ -1,0 +1,235 @@
+// Unit tests for the simulated multi-core frame executor: queueing,
+// contention, burstable throttling, background load, reset semantics.
+#include "node/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/simulator.h"
+
+namespace eden::node {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  sim::SimScheduler scheduler_{simulator_};
+
+  ExecutorConfig base_config(int cores, double frame_ms) {
+    ExecutorConfig config;
+    config.cores = cores;
+    config.base_frame_ms = frame_ms;
+    config.contention_alpha = 0.0;  // isolate queueing unless tested
+    return config;
+  }
+};
+
+TEST_F(ExecutorTest, SingleJobTakesBaseTime) {
+  Executor exec(scheduler_, base_config(1, 30.0));
+  double proc = -1;
+  exec.submit(1.0, [&](double ms) { proc = ms; });
+  simulator_.run_all();
+  EXPECT_NEAR(proc, 30.0, 1e-6);
+  EXPECT_EQ(exec.completed(), 1u);
+}
+
+TEST_F(ExecutorTest, CostScalesServiceTime) {
+  Executor exec(scheduler_, base_config(1, 30.0));
+  double proc = -1;
+  exec.submit(0.5, [&](double ms) { proc = ms; });
+  simulator_.run_all();
+  EXPECT_NEAR(proc, 15.0, 1e-6);
+}
+
+TEST_F(ExecutorTest, SecondJobQueuesBehindFirstOnOneCore) {
+  Executor exec(scheduler_, base_config(1, 30.0));
+  std::vector<double> times;
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });
+  EXPECT_EQ(exec.busy(), 1);
+  EXPECT_EQ(exec.queued(), 1);
+  simulator_.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 30.0, 1e-6);
+  EXPECT_NEAR(times[1], 60.0, 1e-6);  // 30 queue + 30 service
+}
+
+TEST_F(ExecutorTest, TwoCoresRunInParallel) {
+  Executor exec(scheduler_, base_config(2, 30.0));
+  std::vector<double> times;
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });
+  EXPECT_EQ(exec.busy(), 2);
+  EXPECT_EQ(exec.queued(), 0);
+  simulator_.run_all();
+  EXPECT_NEAR(times[0], 30.0, 1e-6);
+  EXPECT_NEAR(times[1], 30.0, 1e-6);
+}
+
+TEST_F(ExecutorTest, ContentionStretchesConcurrentJobs) {
+  auto config = base_config(4, 30.0);
+  config.contention_alpha = 0.1;
+  Executor exec(scheduler_, config);
+  std::vector<double> times;
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });  // 1 busy
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });  // 2 busy
+  exec.submit(1.0, [&](double ms) { times.push_back(ms); });  // 3 busy
+  simulator_.run_all();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(times[0], 30.0, 1e-6);
+  EXPECT_NEAR(times[1], 33.0, 1e-6);  // x(1 + 0.1)
+  EXPECT_NEAR(times[2], 36.0, 1e-6);  // x(1 + 0.2)
+}
+
+TEST_F(ExecutorTest, BackgroundLoadSlowsService) {
+  auto config = base_config(1, 30.0);
+  config.background_load = 0.5;
+  Executor exec(scheduler_, config);
+  double proc = -1;
+  exec.submit(1.0, [&](double ms) { proc = ms; });
+  simulator_.run_all();
+  EXPECT_NEAR(proc, 60.0, 1e-6);
+}
+
+TEST_F(ExecutorTest, SetBackgroundLoadTakesEffectOnNextJob) {
+  Executor exec(scheduler_, base_config(1, 30.0));
+  exec.set_background_load(0.25);
+  double proc = -1;
+  exec.submit(1.0, [&](double ms) { proc = ms; });
+  simulator_.run_all();
+  EXPECT_NEAR(proc, 40.0, 1e-6);
+}
+
+TEST_F(ExecutorTest, BurstableThrottlesAfterCreditsDrain) {
+  auto config = base_config(1, 50.0);
+  config.burstable = true;
+  config.burst_baseline = 0.25;
+  config.initial_credits_core_sec = 1.0;  // ~1 core-second of burst
+  Executor exec(scheduler_, config);
+
+  // Saturate the core: credits drain at (1 - 0.25) per busy second, so
+  // after ~1.3 s of sustained work the executor throttles to 4x slower.
+  std::vector<double> service_times;
+  SimTime last_end = 0;
+  std::function<void()> chain = [&] {
+    const SimTime start = simulator_.now();
+    exec.submit(1.0, [&, start](double) {
+      service_times.push_back(to_ms(simulator_.now() - start));
+      last_end = simulator_.now();
+      if (service_times.size() < 60) chain();
+    });
+  };
+  chain();
+  simulator_.run_all();
+  ASSERT_EQ(service_times.size(), 60u);
+  EXPECT_NEAR(service_times.front(), 50.0, 1e-6);
+  EXPECT_NEAR(service_times.back(), 200.0, 1e-6);  // 50 / 0.25
+  EXPECT_TRUE(exec.throttled());
+}
+
+TEST_F(ExecutorTest, IdleBurstableEarnsCreditsBack) {
+  auto config = base_config(1, 50.0);
+  config.burstable = true;
+  config.burst_baseline = 0.5;
+  config.initial_credits_core_sec = 0.5;
+  Executor exec(scheduler_, config);
+  // Drain credits.
+  for (int i = 0; i < 30; ++i) {
+    exec.submit(1.0, [](double) {});
+  }
+  simulator_.run_all();
+  EXPECT_TRUE(exec.throttled());
+  // Idle for a while: credits regenerate at the baseline rate.
+  simulator_.run_until(simulator_.now() + sec(2.0));
+  exec.submit(1.0, [](double) {});
+  EXPECT_FALSE(exec.throttled());
+  simulator_.run_all();
+}
+
+TEST_F(ExecutorTest, ResetDropsQueuedAndSuppressesInflight) {
+  Executor exec(scheduler_, base_config(1, 30.0));
+  int completions = 0;
+  exec.submit(1.0, [&](double) { ++completions; });
+  exec.submit(1.0, [&](double) { ++completions; });
+  exec.reset();
+  EXPECT_EQ(exec.busy(), 0);
+  EXPECT_EQ(exec.queued(), 0);
+  simulator_.run_all();
+  EXPECT_EQ(completions, 0);
+}
+
+TEST_F(ExecutorTest, WorksAfterReset) {
+  Executor exec(scheduler_, base_config(1, 30.0));
+  exec.submit(1.0, [](double) {});
+  exec.reset();
+  double proc = -1;
+  exec.submit(1.0, [&](double ms) { proc = ms; });
+  simulator_.run_all();
+  EXPECT_NEAR(proc, 30.0, 1e-6);
+}
+
+TEST_F(ExecutorTest, UtilizationRisesUnderLoadAndDecays) {
+  Executor exec(scheduler_, base_config(1, 10.0));
+  EXPECT_DOUBLE_EQ(exec.utilization(), 0.0);
+  // Keep the core busy for 3 seconds.
+  int remaining = 300;
+  std::function<void()> chain = [&] {
+    exec.submit(1.0, [&](double) {
+      if (--remaining > 0) chain();
+    });
+  };
+  chain();
+  simulator_.run_all();
+  EXPECT_GT(exec.utilization(), 0.6);
+  // Idle decays the EMA (needs an accounting touch to observe).
+  simulator_.run_until(simulator_.now() + sec(10.0));
+  exec.set_background_load(0.0);  // forces accounting
+  EXPECT_LT(exec.utilization(), 0.1);
+}
+
+TEST_F(ExecutorTest, FifoOrderPreserved) {
+  Executor exec(scheduler_, base_config(1, 5.0));
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    exec.submit(1.0, [&order, i](double) { order.push_back(i); });
+  }
+  simulator_.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// Property sweep: with k users at fixed rate on c cores, average in-node
+// time is non-decreasing in k.
+class ExecutorLoadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorLoadSweep, LatencyMonotoneInLoad) {
+  const int cores = GetParam();
+  double previous_avg = 0;
+  for (int jobs : {1, 4, 16, 64}) {
+    sim::Simulator simulator;
+    sim::SimScheduler scheduler(simulator);
+    ExecutorConfig config;
+    config.cores = cores;
+    config.base_frame_ms = 20.0;
+    Executor exec(scheduler, config);
+    double total = 0;
+    int done = 0;
+    for (int i = 0; i < jobs; ++i) {
+      exec.submit(1.0, [&](double ms) {
+        total += ms;
+        ++done;
+      });
+    }
+    simulator.run_all();
+    ASSERT_EQ(done, jobs);
+    const double avg = total / jobs;
+    EXPECT_GE(avg + 1e-9, previous_avg);
+    previous_avg = avg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, ExecutorLoadSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace eden::node

@@ -1,0 +1,271 @@
+// Tests for the extension features beyond the paper's core evaluation:
+// strict QoS admission (§IV-D), multiple application server types
+// (§III-B), heterogeneous per-frame costs, and reliability-aware manager
+// scoring.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/scenario.h"
+#include "manager/global_selection.h"
+
+namespace eden {
+namespace {
+
+using harness::ClientSpot;
+using harness::NodeSpec;
+using harness::Scenario;
+using harness::ScenarioConfig;
+
+NodeSpec volunteer(const std::string& name, double lat, double lon,
+                   int cores = 2, double frame_ms = 30.0) {
+  NodeSpec spec;
+  spec.name = name;
+  spec.position = {lat, lon};
+  spec.tier = net::AccessTier::kFiber;
+  spec.cores = cores;
+  spec.base_frame_ms = frame_ms;
+  return spec;
+}
+
+// ---- strict QoS admission ----
+
+TEST(QosAdmission, UserRejectedWhenNoNodeMeetsBound) {
+  Scenario scenario(ScenarioConfig{.seed = 3}, harness::NetKind::kMatrix,
+                    /*default_rtt_ms=*/40.0, 50.0, 0.0);
+  scenario.add_node(volunteer("slow", 44.98, -93.26, 2, 80.0));
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig config;
+  config.top_n = 2;
+  config.probing_period = sec(1.0);
+  config.qos.max_lo_ms = 50.0;  // impossible: 40 RTT + 80 proc
+  config.qos.strict = true;
+  auto& user = scenario.add_edge_client(ClientSpot{.name = "u"}, config);
+  user.start();
+  scenario.run_until(sec(6.0));
+
+  EXPECT_FALSE(user.current_node().has_value());
+  EXPECT_GE(user.stats().qos_rejections, 2u);
+  EXPECT_EQ(user.stats().frames_sent, 0u);
+}
+
+TEST(QosAdmission, UserAdmittedWhenBoundIsMet) {
+  Scenario scenario(ScenarioConfig{.seed = 3}, harness::NetKind::kMatrix,
+                    /*default_rtt_ms=*/10.0, 50.0, 0.0);
+  scenario.add_node(volunteer("fast", 44.98, -93.26, 4, 20.0));
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig config;
+  config.qos.max_lo_ms = 60.0;  // 10 RTT + 20 proc fits easily
+  config.qos.strict = true;
+  auto& user = scenario.add_edge_client(ClientSpot{.name = "u"}, config);
+  user.start();
+  scenario.run_until(sec(6.0));
+
+  EXPECT_TRUE(user.current_node().has_value());
+  EXPECT_EQ(user.stats().qos_rejections, 0u);
+}
+
+TEST(QosAdmission, DegradedNodeEvictsStrictUser) {
+  // User admitted on an idle node; later overload pushes the what-if above
+  // the QoS bound, so the strict user leaves the system.
+  Scenario scenario(ScenarioConfig{.seed = 3}, harness::NetKind::kMatrix,
+                    10.0, 50.0, 0.0);
+  const auto idx = scenario.add_node(volunteer("n", 44.98, -93.26, 1, 30.0));
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig config;
+  config.top_n = 1;
+  config.probing_period = sec(1.0);
+  config.qos.max_lo_ms = 70.0;
+  config.qos.strict = true;
+  config.send_frames = false;  // selection-only; load comes from elsewhere
+  auto& user = scenario.add_edge_client(ClientSpot{.name = "u"}, config);
+  user.start();
+  scenario.run_until(sec(4.0));
+  ASSERT_TRUE(user.current_node().has_value());
+
+  // Host workload makes the node 4x slower: what-if ~120 ms > 70 ms bound.
+  scenario.node(idx).set_background_load(0.75);
+  scenario.run_until(sec(10.0));
+  EXPECT_FALSE(user.current_node().has_value());
+  EXPECT_GE(user.stats().qos_rejections, 1u);
+}
+
+// ---- multiple application server types ----
+
+TEST(MultiApp, ManagerFiltersByAppType) {
+  Scenario scenario(ScenarioConfig{.seed = 5}, harness::NetKind::kMatrix,
+                    20.0, 50.0, 0.0);
+  auto detector = volunteer("detector", 44.98, -93.26, 4, 20.0);
+  detector.app_types = {"object-detection"};
+  auto ocr = volunteer("ocr", 44.98, -93.27, 4, 20.0);
+  ocr.app_types = {"ocr"};
+  auto both = volunteer("both", 44.99, -93.26, 2, 40.0);
+  both.app_types = {"object-detection", "ocr"};
+  const auto detector_idx = scenario.add_node(detector);
+  const auto ocr_idx = scenario.add_node(ocr);
+  const auto both_idx = scenario.add_node(both);
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  net::DiscoveryRequest request;
+  request.client = ClientId{99};
+  request.geohash = scenario.geohash_of({44.9778, -93.2650});
+  request.top_n = 5;
+  request.app_type = "ocr";
+  const auto response = scenario.central_manager().handle_discover(request);
+  ASSERT_EQ(response.candidates.size(), 2u);
+  for (const auto& candidate : response.candidates) {
+    EXPECT_NE(candidate.node, scenario.node_id(detector_idx));
+  }
+  // Both qualifying nodes are present.
+  bool saw_ocr = false;
+  bool saw_both = false;
+  for (const auto& candidate : response.candidates) {
+    saw_ocr |= candidate.node == scenario.node_id(ocr_idx);
+    saw_both |= candidate.node == scenario.node_id(both_idx);
+  }
+  EXPECT_TRUE(saw_ocr);
+  EXPECT_TRUE(saw_both);
+}
+
+TEST(MultiApp, EmptyAppListServesEverything) {
+  Scenario scenario(ScenarioConfig{.seed = 5}, harness::NetKind::kMatrix,
+                    20.0, 50.0, 0.0);
+  scenario.add_node(volunteer("universal", 44.98, -93.26));  // no app list
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+  net::DiscoveryRequest request;
+  request.client = ClientId{99};
+  request.geohash = scenario.geohash_of({44.9778, -93.2650});
+  request.top_n = 3;
+  request.app_type = "anything";
+  EXPECT_EQ(scenario.central_manager().handle_discover(request).candidates.size(),
+            1u);
+}
+
+TEST(MultiApp, ClientLandsOnNodeServingItsApp) {
+  Scenario scenario(ScenarioConfig{.seed = 5}, harness::NetKind::kMatrix,
+                    20.0, 50.0, 0.0);
+  auto wrong = volunteer("wrong-app", 44.98, -93.26, 8, 10.0);  // much faster
+  wrong.app_types = {"other"};
+  auto right = volunteer("right-app", 44.98, -93.27, 2, 40.0);
+  right.app_types = {"ocr"};
+  scenario.add_node(wrong);
+  const auto right_idx = scenario.add_node(right);
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig config;
+  config.app.app_type = "ocr";
+  auto& user = scenario.add_edge_client(ClientSpot{.name = "u"}, config);
+  user.start();
+  scenario.run_until(sec(6.0));
+  ASSERT_TRUE(user.current_node().has_value());
+  EXPECT_EQ(*user.current_node(), scenario.node_id(right_idx));
+}
+
+TEST(MultiApp, FrameCostScalesProcessingTime) {
+  Scenario scenario(ScenarioConfig{.seed = 5}, harness::NetKind::kMatrix,
+                    10.0, 100.0, 0.0);
+  scenario.add_node(volunteer("n", 44.98, -93.26, 4, 20.0));
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  auto run_user = [&](double cost) {
+    workload::AppProfile app;
+    app.frame_cost = cost;
+    app.adaptive_rate = false;
+    app.max_fps = 5.0;  // light load: no queueing
+    auto& user = scenario.add_static_client(ClientSpot{.name = "u"}, app);
+    user.start(scenario.node_id(0));
+    const SimTime begin = scenario.simulator().now();
+    scenario.run_until(begin + sec(10.0));
+    const double mean =
+        user.latency_series().window(begin + sec(2), begin + sec(10)).mean();
+    user.stop();
+    scenario.run_until(scenario.simulator().now() + sec(1.0));
+    return mean;
+  };
+
+  const double cheap = run_user(1.0);
+  const double heavy = run_user(3.0);
+  // 20 ms vs 60 ms of service time, same network.
+  EXPECT_NEAR(heavy - cheap, 40.0, 6.0);
+}
+
+TEST(MultiApp, CostFactorScalesLocalOverhead) {
+  client::ProbeResult result;
+  result.d_prop_ms = 10.0;
+  result.process.whatif_ms = 30.0;
+  result.cost_factor = 2.0;
+  EXPECT_DOUBLE_EQ(result.lo(), 10.0 + 60.0);
+}
+
+// ---- reliability-aware manager scoring ----
+
+TEST(Reliability, DisabledByDefault) {
+  manager::GlobalSelector selector;
+  net::DiscoveryRequest request;
+  request.geohash = "9zvxvf";
+  net::NodeStatus node;
+  node.node = NodeId{1};
+  node.geohash = "9zvxvf";
+  EXPECT_DOUBLE_EQ(selector.score(request, node, 0.0),
+                   selector.score(request, node, 1000.0));
+}
+
+TEST(Reliability, UptimeRaisesScoreWhenEnabled) {
+  manager::GlobalPolicy policy;
+  policy.w_reliability = 1.0;
+  policy.reliability_halflife_sec = 60.0;
+  manager::GlobalSelector selector(policy);
+  net::DiscoveryRequest request;
+  request.geohash = "9zvxvf";
+  net::NodeStatus node;
+  node.node = NodeId{1};
+  node.geohash = "9zvxvf";
+  const double young = selector.score(request, node, 5.0);
+  const double old = selector.score(request, node, 600.0);
+  EXPECT_GT(old, young);
+  // Half-life semantics: at 60 s uptime the bonus is half the weight.
+  EXPECT_NEAR(selector.score(request, node, 60.0) -
+                  selector.score(request, node, 0.0),
+              0.5, 1e-9);
+}
+
+TEST(Reliability, SelectPrefersLongLivedNodes) {
+  sim::Simulator simulator;
+  sim::SimScheduler clock(simulator);
+  manager::GlobalPolicy policy;
+  policy.w_reliability = 2.0;
+  manager::CentralManager manager(clock, policy);
+
+  net::NodeStatus veteran;
+  veteran.node = NodeId{1};
+  veteran.geohash = "9zvxvf";
+  net::NodeStatus rookie = veteran;
+  rookie.node = NodeId{2};
+
+  manager.handle_register(veteran);
+  simulator.run_until(sec(120.0));
+  manager.handle_register(rookie);
+  // Keep both fresh.
+  manager.handle_heartbeat(veteran);
+  manager.handle_heartbeat(rookie);
+
+  net::DiscoveryRequest request;
+  request.client = ClientId{9};
+  request.geohash = "9zvxvf";
+  request.top_n = 2;
+  const auto response = manager.handle_discover(request);
+  ASSERT_EQ(response.candidates.size(), 2u);
+  EXPECT_EQ(response.candidates[0].node, NodeId{1});
+}
+
+}  // namespace
+}  // namespace eden

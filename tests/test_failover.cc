@@ -1,0 +1,213 @@
+// Failure-injection tests for the failure monitor (§IV-E): immediate
+// switch to proactively-connected backups, reactive re-connect, hard
+// failures when every backup is gone.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/scenario.h"
+
+namespace eden::client {
+namespace {
+
+using harness::ClientSpot;
+using harness::NodeSpec;
+using harness::Scenario;
+using harness::ScenarioConfig;
+
+NodeSpec volunteer(const std::string& name, double lat, double lon,
+                   int cores = 2, double frame_ms = 30.0) {
+  NodeSpec spec;
+  spec.name = name;
+  spec.position = {lat, lon};
+  spec.tier = net::AccessTier::kFiber;
+  spec.cores = cores;
+  spec.base_frame_ms = frame_ms;
+  return spec;
+}
+
+ClientConfig probing_config(int top_n = 3, bool proactive = true) {
+  ClientConfig config;
+  config.top_n = top_n;
+  config.probing_period = sec(2.0);
+  config.proactive_connections = proactive;
+  return config;
+}
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  FailoverTest()
+      : scenario_(ScenarioConfig{.seed = 21}, harness::NetKind::kGeo) {}
+
+  void build_three_nodes() {
+    node_a_ = scenario_.add_node(volunteer("a", 44.978, -93.265, 4, 20.0));
+    node_b_ = scenario_.add_node(volunteer("b", 44.99, -93.25, 2, 30.0));
+    node_c_ = scenario_.add_node(volunteer("c", 45.01, -93.20, 2, 35.0));
+    harness::start_all_nodes(scenario_);
+    scenario_.run_until(sec(2.0));
+  }
+
+  EdgeClient& add_client(ClientConfig config) {
+    auto& client = scenario_.add_edge_client(
+        ClientSpot{"u1", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+        std::move(config));
+    client.start();
+    return client;
+  }
+
+  // Index of the node the client is currently attached to.
+  std::size_t current_index(const EdgeClient& client) {
+    return *scenario_.node_index(*client.current_node());
+  }
+
+  Scenario scenario_;
+  std::size_t node_a_{0};
+  std::size_t node_b_{0};
+  std::size_t node_c_{0};
+};
+
+TEST_F(FailoverTest, ImmediateSwitchToFirstBackup) {
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  ASSERT_TRUE(client.current_node().has_value());
+  ASSERT_FALSE(client.backup_nodes().empty());
+  const NodeId expected_backup = client.backup_nodes().front();
+
+  scenario_.stop_node(current_index(client), /*graceful=*/false);
+  scenario_.run_until(sec(10.0));
+
+  // Failure monitor replaced the node with the pre-sorted second-best.
+  ASSERT_TRUE(client.current_node().has_value());
+  EXPECT_EQ(*client.current_node(), expected_backup);
+  EXPECT_GE(client.stats().failovers, 1u);
+  EXPECT_EQ(client.stats().hard_failures, 0u);
+}
+
+TEST_F(FailoverTest, ServiceContinuesThroughFailure) {
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  scenario_.stop_node(current_index(client), false);
+  scenario_.run_until(sec(20.0));
+
+  // Frames keep completing after the failure (on the backup).
+  const auto after = client.latency_series().window(sec(8), sec(20));
+  EXPECT_GT(after.count(), 100u);
+}
+
+TEST_F(FailoverTest, ProactiveGapSmallerThanReactive) {
+  // Measure the service interruption (max gap between consecutive
+  // completed frames around the failure) with and without proactive
+  // connections — the Fig 4 comparison.
+  auto gap_for = [&](bool proactive) {
+    Scenario scenario(ScenarioConfig{.seed = 33}, harness::NetKind::kGeo);
+    scenario.add_node(volunteer("a", 44.978, -93.265, 4, 20.0));
+    scenario.add_node(volunteer("b", 44.99, -93.25, 2, 30.0));
+    scenario.add_node(volunteer("c", 45.01, -93.20, 2, 35.0));
+    harness::start_all_nodes(scenario);
+    scenario.run_until(sec(2.0));
+    auto config = probing_config(3, proactive);
+    config.reconnect_penalty = msec(800.0);
+    auto& client = scenario.add_edge_client(
+        ClientSpot{"u1", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+        config);
+    client.start();
+    scenario.run_until(sec(6.0));
+    scenario.stop_node(*scenario.node_index(*client.current_node()), false);
+    scenario.run_until(sec(20.0));
+
+    SimTime max_gap = 0;
+    SimTime prev = 0;
+    for (const auto& [t, v] : client.latency_series().points()) {
+      if (prev != 0) max_gap = std::max(max_gap, t - prev);
+      prev = t;
+    }
+    return max_gap;
+  };
+
+  const SimTime proactive_gap = gap_for(true);
+  const SimTime reactive_gap = gap_for(false);
+  EXPECT_LT(proactive_gap, reactive_gap);
+  EXPECT_GT(reactive_gap, msec(800.0));  // at least the reconnect penalty
+  EXPECT_LT(proactive_gap, sec(2.5));    // ~keepalive detection + switch
+}
+
+TEST_F(FailoverTest, CascadingFailuresWalkTheBackupList) {
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  // Kill the current node AND the first backup at the same instant.
+  const std::size_t current = current_index(client);
+  ASSERT_FALSE(client.backup_nodes().empty());
+  const std::size_t first_backup =
+      *scenario_.node_index(client.backup_nodes().front());
+  scenario_.stop_node(current, false);
+  scenario_.stop_node(first_backup, false);
+  scenario_.run_until(sec(12.0));
+
+  ASSERT_TRUE(client.current_node().has_value());
+  const std::size_t survivor = current_index(client);
+  EXPECT_NE(survivor, current);
+  EXPECT_NE(survivor, first_backup);
+  EXPECT_EQ(client.stats().hard_failures, 0u);
+}
+
+TEST_F(FailoverTest, AllBackupsDeadIsAHardFailure) {
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  // Everything dies at once: the client must record a hard failure
+  // (re-connect situation) — this is what Fig 10b counts.
+  scenario_.stop_node(node_a_, false);
+  scenario_.stop_node(node_b_, false);
+  scenario_.stop_node(node_c_, false);
+  scenario_.run_until(sec(12.0));
+  EXPECT_GE(client.stats().hard_failures, 1u);
+  EXPECT_FALSE(client.current_node().has_value());
+
+  // A node returns: the reactive rediscovery path eventually re-attaches.
+  scenario_.schedule_node_start(node_c_, sec(13.0));
+  scenario_.run_until(sec(25.0));
+  EXPECT_TRUE(client.current_node().has_value());
+}
+
+TEST_F(FailoverTest, TopN1HasNoBackups) {
+  build_three_nodes();
+  auto& client = add_client(probing_config(/*top_n=*/1));
+  scenario_.run_until(sec(6.0));
+  EXPECT_TRUE(client.backup_nodes().empty());
+  scenario_.stop_node(current_index(client), false);
+  scenario_.run_until(sec(12.0));
+  // With no backups every failure is a hard failure.
+  EXPECT_GE(client.stats().hard_failures, 1u);
+}
+
+TEST_F(FailoverTest, GracefulLeaveAlsoTriggersFailover) {
+  // A graceful node departure (deregister + dead host) looks the same from
+  // the client's data path: the keepalive misses, failover kicks in.
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  const std::size_t current = current_index(client);
+  scenario_.stop_node(current, /*graceful=*/true);
+  scenario_.run_until(sec(12.0));
+  ASSERT_TRUE(client.current_node().has_value());
+  EXPECT_NE(current_index(client), current);
+}
+
+TEST_F(FailoverTest, FailedNodeRemovedFromDiscoveryAfterTtl) {
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  const std::size_t failed = current_index(client);
+  scenario_.stop_node(failed, false);
+  // After the heartbeat TTL (3 s) + a probing period, the candidate list no
+  // longer contains the dead node, so backups are all alive.
+  scenario_.run_until(sec(14.0));
+  for (const NodeId b : client.backup_nodes()) {
+    EXPECT_NE(b, scenario_.node_id(failed));
+  }
+}
+
+}  // namespace
+}  // namespace eden::client

@@ -1,0 +1,192 @@
+// Fault-injection tests: directional cuts, partitions, host brownouts and
+// latency inflation — and the client's reaction when a PATH dies while
+// both endpoints stay up (the case the paper's connection-level failure
+// monitor must catch).
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/scenario.h"
+#include "net/sim_network.h"
+
+namespace eden {
+namespace {
+
+using harness::ClientSpot;
+using harness::NodeSpec;
+using harness::Scenario;
+using harness::ScenarioConfig;
+
+// ---- FaultInjector unit behaviour ----
+
+TEST(FaultInjector, DirectionalCut) {
+  net::FaultInjector faults;
+  faults.cut_link(HostId{1}, HostId{2}, msec(100), msec(200));
+  EXPECT_FALSE(faults.dropped(HostId{1}, HostId{2}, msec(50)));
+  EXPECT_TRUE(faults.dropped(HostId{1}, HostId{2}, msec(150)));
+  EXPECT_FALSE(faults.dropped(HostId{2}, HostId{1}, msec(150)));  // one way
+  EXPECT_FALSE(faults.dropped(HostId{1}, HostId{2}, msec(200)));  // half-open
+}
+
+TEST(FaultInjector, PartitionCutsBothWays) {
+  net::FaultInjector faults;
+  faults.partition(HostId{1}, HostId{2}, 0, sec(1));
+  EXPECT_TRUE(faults.dropped(HostId{1}, HostId{2}, msec(10)));
+  EXPECT_TRUE(faults.dropped(HostId{2}, HostId{1}, msec(10)));
+  EXPECT_FALSE(faults.dropped(HostId{1}, HostId{3}, msec(10)));
+}
+
+TEST(FaultInjector, HostIsolationIsWildcard) {
+  net::FaultInjector faults;
+  faults.isolate_host(HostId{5}, 0, sec(1));
+  EXPECT_TRUE(faults.dropped(HostId{5}, HostId{1}, msec(10)));
+  EXPECT_TRUE(faults.dropped(HostId{2}, HostId{5}, msec(10)));
+  EXPECT_FALSE(faults.dropped(HostId{2}, HostId{1}, msec(10)));
+}
+
+TEST(FaultInjector, SlowLinkMultiplies) {
+  net::FaultInjector faults;
+  faults.slow_link(HostId{1}, HostId{2}, 3.0, 0, sec(1));
+  faults.slow_link(HostId{1}, HostId{2}, 2.0, 0, sec(1));
+  EXPECT_DOUBLE_EQ(faults.delay_factor(HostId{1}, HostId{2}, msec(10)), 6.0);
+  EXPECT_DOUBLE_EQ(faults.delay_factor(HostId{2}, HostId{1}, msec(10)), 1.0);
+  EXPECT_DOUBLE_EQ(faults.delay_factor(HostId{1}, HostId{2}, sec(2)), 1.0);
+}
+
+// ---- fabric integration ----
+
+TEST(SimNetworkFaults, CutDropsAtSendTime) {
+  sim::Simulator simulator;
+  net::MatrixNetwork model(20.0, 100.0, 0.0);
+  net::HostTable hosts;
+  net::SimNetwork fabric(simulator, model, hosts, Rng(1));
+  net::FaultInjector faults;
+  fabric.set_fault_injector(&faults);
+  hosts.set_alive(HostId{1}, true);
+  hosts.set_alive(HostId{2}, true);
+  faults.cut_link(HostId{1}, HostId{2}, 0, msec(100));
+
+  int delivered = 0;
+  fabric.deliver(HostId{1}, HostId{2}, 0, [&] { ++delivered; });  // cut
+  simulator.run_until(msec(150));
+  fabric.deliver(HostId{1}, HostId{2}, 0, [&] { ++delivered; });  // healed
+  simulator.run_all();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(SimNetworkFaults, SlowLinkInflatesRpcLatency) {
+  sim::Simulator simulator;
+  net::MatrixNetwork model(20.0, 100.0, 0.0);
+  net::HostTable hosts;
+  net::SimNetwork fabric(simulator, model, hosts, Rng(1));
+  net::FaultInjector faults;
+  fabric.set_fault_injector(&faults);
+  hosts.set_alive(HostId{1}, true);
+  hosts.set_alive(HostId{2}, true);
+  faults.slow_link(HostId{1}, HostId{2}, 5.0, 0, sec(10));
+
+  SimTime completed_at = 0;
+  fabric.rpc<int>(
+      HostId{1}, HostId{2}, 0, 0, sec(5), [] { return 1; },
+      [&](std::optional<int> r) {
+        ASSERT_TRUE(r.has_value());
+        completed_at = simulator.now();
+      });
+  simulator.run_all();
+  // Outbound leg 10 ms x5 = 50 ms, return leg 10 ms -> 60 ms total.
+  EXPECT_EQ(completed_at, msec(60));
+}
+
+// ---- protocol reaction: path death with both endpoints alive ----
+
+class PathFaultTest : public ::testing::Test {
+ protected:
+  PathFaultTest()
+      : scenario_(ScenarioConfig{.seed = 77}, harness::NetKind::kGeo) {
+    scenario_.fabric().set_fault_injector(&faults_);
+    NodeSpec spec;
+    spec.name = "primary";
+    spec.position = {44.978, -93.265};
+    spec.tier = net::AccessTier::kFiber;
+    spec.cores = 4;
+    spec.base_frame_ms = 15.0;
+    primary_ = scenario_.add_node(spec);
+    spec.name = "backup";
+    spec.position = {44.99, -93.25};
+    spec.base_frame_ms = 30.0;
+    backup_ = scenario_.add_node(spec);
+    harness::start_all_nodes(scenario_);
+    scenario_.run_until(sec(2.0));
+  }
+
+  Scenario scenario_;
+  net::FaultInjector faults_;
+  std::size_t primary_{0};
+  std::size_t backup_{0};
+};
+
+TEST_F(PathFaultTest, ClientFailsOverWhenItsPathDiesNodeStaysUp) {
+  client::ClientConfig config;
+  config.top_n = 2;
+  config.probing_period = sec(2.0);
+  auto& user = scenario_.add_edge_client(
+      ClientSpot{"u", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+      config);
+  user.start();
+  scenario_.run_until(sec(6.0));
+  ASSERT_TRUE(user.current_node().has_value());
+  const std::size_t current = *scenario_.node_index(*user.current_node());
+
+  // Sever only this client's path to its node, both directions, forever.
+  faults_.partition(user.id(), scenario_.node_id(current), sec(6), sec(600));
+  scenario_.run_until(sec(12.0));
+
+  // The node is still running and registered — but this client moved.
+  EXPECT_TRUE(scenario_.node(current).running());
+  ASSERT_TRUE(user.current_node().has_value());
+  EXPECT_NE(*scenario_.node_index(*user.current_node()), current);
+  EXPECT_GE(user.stats().failovers, 1u);
+  // And frames flow again on the new node (the rate controller is still
+  // recovering from the failure backoff, so expect a reduced rate).
+  scenario_.run_until(sec(16.0));
+  EXPECT_GT(user.latency_series().window(sec(9), sec(16)).count(), 30u);
+}
+
+TEST_F(PathFaultTest, TransientBrownoutHealsWithoutFlapping) {
+  client::ClientConfig config;
+  config.top_n = 2;
+  config.probing_period = sec(2.0);
+  auto& user = scenario_.add_edge_client(
+      ClientSpot{"u", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+      config);
+  user.start();
+  scenario_.run_until(sec(6.0));
+  ASSERT_TRUE(user.current_node().has_value());
+
+  // 600 ms brownout: shorter than keepalive_misses x period detection, so
+  // the client should ride it out without a failover.
+  faults_.partition(user.id(), *user.current_node(), sec(6), sec(6.6));
+  scenario_.run_until(sec(12.0));
+  EXPECT_EQ(user.stats().hard_failures, 0u);
+  EXPECT_GT(user.latency_series().window(sec(8), sec(12)).count(), 20u);
+}
+
+TEST_F(PathFaultTest, ManagerBrownoutOnlyPausesDiscovery) {
+  client::ClientConfig config;
+  config.top_n = 2;
+  config.probing_period = sec(2.0);
+  auto& user = scenario_.add_edge_client(
+      ClientSpot{"u", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+      config);
+  user.start();
+  scenario_.run_until(sec(6.0));
+  const auto frames_before = user.stats().frames_ok;
+
+  // The manager goes dark for 10 s; the data plane must not care.
+  faults_.isolate_host(HostId{0}, sec(6), sec(16));
+  scenario_.run_until(sec(16.0));
+  EXPECT_GT(user.stats().frames_ok, frames_before + 100);
+  EXPECT_TRUE(user.current_node().has_value());
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,73 @@
+// Tests for the tools' flag parser.
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::tools {
+namespace {
+
+Flags make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data(), "usage");
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  auto flags = make({"--port", "7000", "--name", "alpha"});
+  EXPECT_EQ(flags.integer("port", 1), 7000);
+  EXPECT_EQ(flags.str("name", ""), "alpha");
+  flags.check_unused();
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  auto flags = make({"--port=8080", "--ratio=0.25"});
+  EXPECT_EQ(flags.integer("port", 1), 8080);
+  EXPECT_DOUBLE_EQ(flags.real("ratio", 1.0), 0.25);
+  flags.check_unused();
+}
+
+TEST(Flags, DefaultsApplyWhenAbsent) {
+  auto flags = make({});
+  EXPECT_EQ(flags.integer("port", 7000), 7000);
+  EXPECT_EQ(flags.str("name", "fallback"), "fallback");
+  EXPECT_TRUE(flags.boolean("verbose", true));
+  EXPECT_FALSE(flags.boolean("verbose2", false));
+}
+
+TEST(Flags, BareBooleanFlag) {
+  auto flags = make({"--dedicated", "--burstable", "--cores", "4"});
+  EXPECT_TRUE(flags.boolean("dedicated", false));
+  EXPECT_TRUE(flags.boolean("burstable", false));
+  EXPECT_EQ(flags.integer("cores", 1), 4);
+  flags.check_unused();
+}
+
+TEST(Flags, BooleanSpellings) {
+  auto flags = make({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.boolean("a", false));
+  EXPECT_TRUE(flags.boolean("b", false));
+  EXPECT_TRUE(flags.boolean("c", false));
+  EXPECT_FALSE(flags.boolean("d", true));
+  EXPECT_FALSE(flags.boolean("e", true));
+}
+
+TEST(FlagsDeath, UnknownFlagAborts) {
+  EXPECT_EXIT(
+      {
+        auto flags = make({"--typo", "7"});
+        flags.check_unused();
+      },
+      ::testing::ExitedWithCode(2), "unknown flag: --typo");
+}
+
+TEST(FlagsDeath, PositionalArgumentAborts) {
+  EXPECT_EXIT({ make({"positional"}); }, ::testing::ExitedWithCode(2),
+              "unexpected positional argument");
+}
+
+}  // namespace
+}  // namespace eden::tools

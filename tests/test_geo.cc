@@ -1,0 +1,164 @@
+// Unit + property tests for geographic distance and the GeoHash codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/geohash.h"
+#include "geo/geopoint.h"
+
+namespace eden::geo {
+namespace {
+
+TEST(Haversine, ZeroDistanceSamePoint) {
+  const GeoPoint p{44.98, -93.26};
+  EXPECT_NEAR(haversine_km(p, p), 0.0, 1e-9);
+}
+
+TEST(Haversine, KnownCityPairs) {
+  const GeoPoint msp{44.9778, -93.2650};   // Minneapolis
+  const GeoPoint chi{41.8781, -87.6298};   // Chicago
+  const GeoPoint lon{51.5074, -0.1278};    // London
+  const GeoPoint nyc{40.7128, -74.0060};   // New York
+  EXPECT_NEAR(haversine_km(msp, chi), 571.0, 15.0);
+  EXPECT_NEAR(haversine_km(nyc, lon), 5570.0, 60.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{10, 20};
+  const GeoPoint b{-30, 150};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(DistanceMiles, ConvertsFromKm) {
+  const GeoPoint a{44.9778, -93.2650};
+  const GeoPoint b{44.9778, -92.9};
+  EXPECT_NEAR(distance_miles(a, b), haversine_km(a, b) / 1.609344, 1e-9);
+}
+
+TEST(Geohash, KnownTestVector) {
+  // Canonical example from the geohash literature.
+  EXPECT_EQ(geohash_encode({42.605, -5.603}, 5), "ezs42");
+  const auto center = geohash_decode_center("ezs42");
+  ASSERT_TRUE(center.has_value());
+  EXPECT_NEAR(center->lat, 42.605, 0.03);
+  EXPECT_NEAR(center->lon, -5.603, 0.03);
+}
+
+TEST(Geohash, MinneapolisPrefix) {
+  const std::string h = geohash_encode({44.9778, -93.2650}, 6);
+  EXPECT_EQ(h.substr(0, 4), "9zvx");
+}
+
+TEST(Geohash, DecodeRejectsInvalid) {
+  EXPECT_FALSE(geohash_decode("").has_value());
+  EXPECT_FALSE(geohash_decode("abc!").has_value());
+  EXPECT_FALSE(geohash_decode("aaaaaaaaaaaaaaaa").has_value());  // too long
+  // 'a', 'i', 'l', 'o' are not in the geohash alphabet.
+  EXPECT_FALSE(geohash_decode("9zvxa").has_value());
+}
+
+TEST(Geohash, PrecisionClamped) {
+  EXPECT_EQ(geohash_encode({0, 0}, 0).size(), 1u);
+  EXPECT_EQ(geohash_encode({0, 0}, 99).size(), 12u);
+}
+
+TEST(Geohash, DecodeBoxContainsEncodedPoint) {
+  const GeoPoint p{44.9778, -93.2650};
+  for (int precision = 1; precision <= 12; ++precision) {
+    const auto box = geohash_decode(geohash_encode(p, precision));
+    ASSERT_TRUE(box.has_value());
+    EXPECT_TRUE(box->contains(p)) << "precision " << precision;
+  }
+}
+
+TEST(Geohash, LongerPrefixSharedByCloserPoints) {
+  const GeoPoint user{44.9778, -93.2650};
+  const std::string user_hash = geohash_encode(user, 7);
+  const std::string near_hash = geohash_encode({44.9800, -93.2700}, 7);
+  const std::string far_hash = geohash_encode({41.8781, -87.6298}, 7);
+  EXPECT_GT(common_prefix_len(user_hash, near_hash),
+            common_prefix_len(user_hash, far_hash));
+}
+
+TEST(Geohash, CommonPrefixLen) {
+  EXPECT_EQ(common_prefix_len("9zvxvf", "9zvxvf"), 6);
+  EXPECT_EQ(common_prefix_len("9zvxvf", "9zvy"), 3);
+  EXPECT_EQ(common_prefix_len("abc", ""), 0);
+  EXPECT_EQ(common_prefix_len("", ""), 0);
+}
+
+TEST(Geohash, NeighborsAreAdjacent) {
+  const std::string h = geohash_encode({44.9778, -93.2650}, 6);
+  const auto box = geohash_decode(h);
+  ASSERT_TRUE(box.has_value());
+  const auto north = geohash_neighbor(h, Direction::kNorth);
+  ASSERT_TRUE(north.has_value());
+  const auto nbox = geohash_decode(*north);
+  ASSERT_TRUE(nbox.has_value());
+  EXPECT_NEAR(nbox->min_lat, box->max_lat, 1e-9);
+  EXPECT_NEAR(nbox->min_lon, box->min_lon, 1e-9);
+}
+
+TEST(Geohash, EightDistinctNeighborsAwayFromPoles) {
+  const std::string h = geohash_encode({44.9778, -93.2650}, 6);
+  const auto neighbors = geohash_neighbors(h);
+  for (const auto& n : neighbors) {
+    EXPECT_EQ(n.size(), 6u);
+    EXPECT_NE(n, h);
+  }
+}
+
+TEST(Geohash, NeighborWrapsLongitude) {
+  const std::string h = geohash_encode({10.0, 179.999}, 5);
+  const auto east = geohash_neighbor(h, Direction::kEast);
+  ASSERT_TRUE(east.has_value());
+  const auto center = geohash_decode_center(*east);
+  ASSERT_TRUE(center.has_value());
+  EXPECT_LT(center->lon, 0.0);  // crossed the antimeridian
+}
+
+TEST(Geohash, CellWidthShrinksWithPrecision) {
+  for (int p = 1; p < 12; ++p) {
+    EXPECT_GT(cell_width_km(p), cell_width_km(p + 1));
+  }
+  // Precision 6 cells are roughly 1.2 km wide x ~0.6 km tall.
+  EXPECT_NEAR(cell_width_km(6), 1.2, 0.3);
+}
+
+TEST(Geohash, PrecisionForRadius) {
+  // A chosen precision's cell must be at least as wide as the radius.
+  for (const double radius : {0.5, 2.0, 20.0, 150.0, 1000.0}) {
+    const int p = precision_for_radius_km(radius);
+    EXPECT_GE(cell_width_km(p), radius);
+    if (p < 12) {
+      EXPECT_LT(cell_width_km(p + 1), radius);
+    }
+  }
+}
+
+// Property: encode/decode round trip keeps the point inside the cell and
+// the cell center within half a cell diagonal, across random points and
+// precisions.
+class GeohashRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeohashRoundTrip, RandomPoints) {
+  const int precision = GetParam();
+  eden::Rng rng(1000 + precision);
+  for (int i = 0; i < 500; ++i) {
+    const GeoPoint p{rng.uniform(-89.9, 89.9), rng.uniform(-180.0, 180.0)};
+    const std::string h = geohash_encode(p, precision);
+    ASSERT_EQ(h.size(), static_cast<std::size_t>(precision));
+    const auto box = geohash_decode(h);
+    ASSERT_TRUE(box.has_value());
+    EXPECT_TRUE(box->contains(p));
+    // Re-encoding the center lands in the same cell.
+    EXPECT_EQ(geohash_encode(box->center(), precision), h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, GeohashRoundTrip,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace eden::geo

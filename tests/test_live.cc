@@ -1,0 +1,129 @@
+// End-to-end test of the live TCP runtime: a real manager, real edge
+// nodes and a real client exchanging the full EDEN protocol over
+// localhost sockets — the same state machines the simulator drives.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "rpc/live_runtime.h"
+
+namespace eden::rpc {
+namespace {
+
+node::EdgeNodeConfig node_config(std::uint32_t id, int cores, double frame_ms) {
+  node::EdgeNodeConfig config;
+  config.id = NodeId{id};
+  config.geohash = "9zvxvf";
+  config.executor.cores = cores;
+  config.executor.base_frame_ms = frame_ms;
+  config.heartbeat_period = msec(200.0);
+  return config;
+}
+
+TEST(LiveRuntime, FullSystemOverTcp) {
+  LiveManager manager;
+  ASSERT_TRUE(manager.start(0));
+
+  LiveNode fast(node_config(1, 4, 5.0), manager.endpoint());
+  LiveNode slow(node_config(2, 1, 40.0), manager.endpoint());
+  ASSERT_TRUE(fast.start(0));
+  ASSERT_TRUE(slow.start(0));
+
+  // Give registrations a moment to land.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto live_nodes = run_on_loop(manager.loop(), [&] {
+    return manager.manager_unsafe().live_nodes();
+  });
+  EXPECT_EQ(live_nodes, 2u);
+
+  client::ClientConfig config;
+  config.geohash = "9zvxvf";
+  config.top_n = 2;
+  config.probing_period = msec(400.0);
+  config.keepalive_period = msec(200.0);
+  config.app.max_fps = 20.0;
+  LiveClient client(config, manager.endpoint());
+  client.start();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+
+  const auto current = client.current_node();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(*current, NodeId{1});  // 5 ms/frame beats 40 ms/frame
+
+  const auto stats = client.stats();
+  EXPECT_GT(stats.frames_ok, 10u);
+  EXPECT_GT(stats.probes_sent, 0u);
+
+  const auto latency = client.latency_window_ms();
+  ASSERT_GT(latency.count(), 0u);
+  // Localhost RTT + ~5 ms processing: comfortably under 60 ms.
+  EXPECT_LT(latency.mean(), 60.0);
+
+  const auto fast_stats = fast.stats();
+  EXPECT_GT(fast_stats.frames_processed, 10u);
+
+  client.stop();
+  fast.stop();
+  slow.stop();
+  manager.stop();
+}
+
+TEST(LiveRuntime, FailoverOverTcp) {
+  LiveManager manager;
+  ASSERT_TRUE(manager.start(0));
+
+  auto primary = std::make_unique<LiveNode>(node_config(1, 4, 5.0),
+                                            manager.endpoint());
+  LiveNode backup(node_config(2, 2, 10.0), manager.endpoint());
+  ASSERT_TRUE(primary->start(0));
+  ASSERT_TRUE(backup.start(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  client::ClientConfig config;
+  config.geohash = "9zvxvf";
+  config.top_n = 2;
+  config.probing_period = msec(300.0);
+  config.keepalive_period = msec(100.0);
+  LiveClient client(config, manager.endpoint());
+  client.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  ASSERT_EQ(client.current_node(), NodeId{1});
+
+  // Kill the primary without deregistering: the keepalive must notice and
+  // the failure monitor must switch to the warm backup.
+  primary->stop(/*graceful=*/false);
+  primary.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+
+  EXPECT_EQ(client.current_node(), NodeId{2});
+  const auto stats = client.stats();
+  EXPECT_GE(stats.failovers + stats.joins, 1u);
+
+  client.stop();
+  backup.stop();
+  manager.stop();
+}
+
+TEST(LiveRuntime, ManagerExpiresSilentNode) {
+  LiveManager manager({}, /*heartbeat_ttl=*/msec(600.0));
+  ASSERT_TRUE(manager.start(0));
+  auto node = std::make_unique<LiveNode>(node_config(5, 1, 10.0),
+                                         manager.endpoint());
+  ASSERT_TRUE(node->start(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(run_on_loop(manager.loop(),
+                        [&] { return manager.manager_unsafe().live_nodes(); }),
+            1u);
+  node->stop(/*graceful=*/false);
+  node.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(900));
+  EXPECT_EQ(run_on_loop(manager.loop(),
+                        [&] { return manager.manager_unsafe().live_nodes(); }),
+            0u);
+  manager.stop();
+}
+
+}  // namespace
+}  // namespace eden::rpc

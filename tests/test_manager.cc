@@ -1,0 +1,234 @@
+// Unit tests for the central manager: registry freshness and the global
+// (manager-side) selection step — proximity filter with widening, scoring,
+// TopN truncation.
+#include "manager/central_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geohash.h"
+#include "sim/simulator.h"
+#include "sim/clock.h"
+
+namespace eden::manager {
+namespace {
+
+net::NodeStatus make_status(std::uint32_t id, std::string geohash,
+                            int cores = 4, double frame_ms = 30.0,
+                            double utilization = 0.0, int users = 0) {
+  net::NodeStatus status;
+  status.node = NodeId{id};
+  status.geohash = std::move(geohash);
+  status.cores = cores;
+  status.base_frame_ms = frame_ms;
+  status.utilization = utilization;
+  status.attached_users = users;
+  return status;
+}
+
+TEST(Registry, UpsertAndGet) {
+  Registry registry(sec(3.0));
+  registry.upsert(make_status(1, "9zvxvf"), msec(100));
+  const auto entry = registry.get(NodeId{1});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status.geohash, "9zvxvf");
+  EXPECT_EQ(entry->last_heartbeat, msec(100));
+  EXPECT_EQ(entry->registered_at, msec(100));
+}
+
+TEST(Registry, UpsertKeepsRegistrationTime) {
+  Registry registry(sec(3.0));
+  registry.upsert(make_status(1, "9zvxvf"), msec(100));
+  registry.upsert(make_status(1, "9zvxvf"), msec(500));
+  const auto entry = registry.get(NodeId{1});
+  EXPECT_EQ(entry->registered_at, msec(100));
+  EXPECT_EQ(entry->last_heartbeat, msec(500));
+}
+
+TEST(Registry, ExpireDropsStaleNodes) {
+  Registry registry(sec(3.0));
+  registry.upsert(make_status(1, "a"), 0);
+  registry.upsert(make_status(2, "b"), sec(2));
+  registry.expire(sec(4));  // node 1 is 4s stale (> 3s TTL), node 2 only 2s
+  EXPECT_FALSE(registry.get(NodeId{1}).has_value());
+  EXPECT_TRUE(registry.get(NodeId{2}).has_value());
+}
+
+TEST(Registry, SnapshotExpiresFirst) {
+  Registry registry(sec(1.0));
+  registry.upsert(make_status(1, "a"), 0);
+  const auto live = registry.snapshot(sec(5));
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, RemoveIsImmediate) {
+  Registry registry;
+  registry.upsert(make_status(1, "a"), 0);
+  registry.remove(NodeId{1});
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+class GlobalSelectionTest : public ::testing::Test {
+ protected:
+  static net::DiscoveryRequest request(std::string geohash, int top_n = 3,
+                                       std::string tag = "") {
+    net::DiscoveryRequest req;
+    req.client = ClientId{100};
+    req.geohash = std::move(geohash);
+    req.top_n = top_n;
+    req.network_tag = std::move(tag);
+    return req;
+  }
+
+  static std::vector<RegistryEntry> wrap(std::vector<net::NodeStatus> statuses) {
+    std::vector<RegistryEntry> entries;
+    for (auto& s : statuses) entries.push_back(RegistryEntry{std::move(s), 0, 0});
+    return entries;
+  }
+};
+
+TEST_F(GlobalSelectionTest, ReturnsAtMostTopN) {
+  GlobalSelector selector;
+  std::vector<net::NodeStatus> statuses;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    statuses.push_back(make_status(i, "9zvxvf"));
+  }
+  const auto resp = selector.select(request("9zvxvf", 4), wrap(statuses));
+  EXPECT_EQ(resp.candidates.size(), 4u);
+}
+
+TEST_F(GlobalSelectionTest, FewerNodesThanTopN) {
+  GlobalSelector selector;
+  const auto resp = selector.select(request("9zvxvf", 5),
+                                    wrap({make_status(1, "9zvxvf")}));
+  EXPECT_EQ(resp.candidates.size(), 1u);
+}
+
+TEST_F(GlobalSelectionTest, EmptySystem) {
+  GlobalSelector selector;
+  const auto resp = selector.select(request("9zvxvf", 3), {});
+  EXPECT_TRUE(resp.candidates.empty());
+}
+
+TEST_F(GlobalSelectionTest, PrefersCloserGeohash) {
+  GlobalSelector selector;
+  // Same capacity; only proximity differs.
+  const auto resp = selector.select(
+      request("9zvxvf", 2),
+      wrap({make_status(1, "9zvx00"), make_status(2, "9zvxvf")}));
+  ASSERT_EQ(resp.candidates.size(), 2u);
+  EXPECT_EQ(resp.candidates[0].node, NodeId{2});
+}
+
+TEST_F(GlobalSelectionTest, WidensWhenLocalNodesScarce) {
+  // Only remote nodes exist: the widening loop must still return them.
+  GlobalSelector selector;
+  const auto resp = selector.select(
+      request("9zvxvf", 2), wrap({make_status(1, "dp3wnh"),  // Chicago-ish
+                                  make_status(2, "dr5reg")}));
+  EXPECT_EQ(resp.candidates.size(), 2u);
+}
+
+TEST_F(GlobalSelectionTest, PrefersAvailableNodes) {
+  GlobalSelector selector;
+  const auto resp = selector.select(
+      request("9zvxvf", 2),
+      wrap({make_status(1, "9zvxvf", 4, 30.0, /*utilization=*/0.9),
+            make_status(2, "9zvxvf", 4, 30.0, /*utilization=*/0.1)}));
+  ASSERT_EQ(resp.candidates.size(), 2u);
+  EXPECT_EQ(resp.candidates[0].node, NodeId{2});
+}
+
+TEST_F(GlobalSelectionTest, PenalisesLoadedNodes) {
+  GlobalSelector selector;
+  const auto resp = selector.select(
+      request("9zvxvf", 2),
+      wrap({make_status(1, "9zvxvf", 4, 30.0, 0.0, /*users=*/8),
+            make_status(2, "9zvxvf", 4, 30.0, 0.0, /*users=*/0)}));
+  EXPECT_EQ(resp.candidates[0].node, NodeId{2});
+}
+
+TEST_F(GlobalSelectionTest, NetworkAffinityWins) {
+  GlobalSelector selector;
+  auto tagged = make_status(1, "9zvxvf");
+  tagged.network_tag = "isp-x";
+  const auto resp = selector.select(request("9zvxvf", 2, "isp-x"),
+                                    wrap({make_status(2, "9zvxvf"), tagged}));
+  EXPECT_EQ(resp.candidates[0].node, NodeId{1});
+}
+
+TEST_F(GlobalSelectionTest, CloudIsLastResort) {
+  GlobalSelector selector;
+  auto cloud = make_status(1, "9zvxvf", 64, 30.0);  // huge but cloud
+  cloud.is_cloud = true;
+  const auto resp = selector.select(
+      request("9zvxvf", 2), wrap({cloud, make_status(2, "9zvxvf", 2, 50.0)}));
+  ASSERT_EQ(resp.candidates.size(), 2u);
+  EXPECT_EQ(resp.candidates[0].node, NodeId{2});
+  EXPECT_EQ(resp.candidates[1].node, NodeId{1});
+}
+
+TEST_F(GlobalSelectionTest, ScoresOrderCandidatesDescending) {
+  GlobalSelector selector;
+  std::vector<net::NodeStatus> statuses;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    statuses.push_back(
+        make_status(i, "9zvxvf", 2 + static_cast<int>(i), 30.0, 0.1 * i));
+  }
+  const auto resp = selector.select(request("9zvxvf", 6), wrap(statuses));
+  for (std::size_t i = 1; i < resp.candidates.size(); ++i) {
+    EXPECT_GE(resp.candidates[i - 1].score, resp.candidates[i].score);
+  }
+}
+
+TEST_F(GlobalSelectionTest, DeterministicTieBreakOnNodeId) {
+  GlobalSelector selector;
+  const auto resp = selector.select(
+      request("9zvxvf", 3),
+      wrap({make_status(3, "9zvxvf"), make_status(1, "9zvxvf"),
+            make_status(2, "9zvxvf")}));
+  ASSERT_EQ(resp.candidates.size(), 3u);
+  EXPECT_EQ(resp.candidates[0].node, NodeId{1});
+  EXPECT_EQ(resp.candidates[1].node, NodeId{2});
+  EXPECT_EQ(resp.candidates[2].node, NodeId{3});
+}
+
+TEST(CentralManager, FullLifecycle) {
+  sim::Simulator simulator;
+  sim::SimScheduler clock(simulator);
+  CentralManager manager(clock, {}, sec(3.0));
+
+  manager.handle_register(make_status(1, "9zvxvf"));
+  manager.handle_register(make_status(2, "9zvxvf"));
+  EXPECT_EQ(manager.live_nodes(), 2u);
+
+  net::DiscoveryRequest req;
+  req.client = ClientId{50};
+  req.geohash = "9zvxvf";
+  req.top_n = 5;
+  EXPECT_EQ(manager.handle_discover(req).candidates.size(), 2u);
+
+  manager.handle_deregister(NodeId{1});
+  EXPECT_EQ(manager.live_nodes(), 1u);
+
+  // Node 2 stops heartbeating; after the TTL it vanishes from discovery.
+  simulator.run_until(sec(10));
+  EXPECT_EQ(manager.handle_discover(req).candidates.size(), 0u);
+  EXPECT_EQ(manager.stats().discovery_queries, 2u);
+  EXPECT_EQ(manager.stats().registrations, 2u);
+  EXPECT_EQ(manager.stats().deregistrations, 1u);
+}
+
+TEST(CentralManager, HeartbeatRefreshesFreshness) {
+  sim::Simulator simulator;
+  sim::SimScheduler clock(simulator);
+  CentralManager manager(clock, {}, sec(3.0));
+  manager.handle_register(make_status(1, "9zvxvf"));
+  simulator.run_until(sec(2));
+  manager.handle_heartbeat(make_status(1, "9zvxvf"));
+  simulator.run_until(sec(4));  // 2s since last heartbeat < 3s TTL
+  EXPECT_EQ(manager.live_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace eden::manager

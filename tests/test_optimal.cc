@@ -1,0 +1,143 @@
+// Tests for the optimal-assignment solver: exactness on small instances,
+// local-search quality on larger ones.
+#include "baselines/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eden::baselines {
+namespace {
+
+NodeInfo make_node(std::uint32_t id, int cores, double frame_ms) {
+  NodeInfo info;
+  info.id = NodeId{id};
+  info.cores = cores;
+  info.base_frame_ms = frame_ms;
+  return info;
+}
+
+PredictInput random_input(int users, int nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  PredictInput input;
+  for (int j = 0; j < nodes; ++j) {
+    input.nodes.push_back(make_node(static_cast<std::uint32_t>(j),
+                                    static_cast<int>(rng.uniform_int(1, 8)),
+                                    rng.uniform(15, 60)));
+  }
+  for (int i = 0; i < users; ++i) {
+    std::vector<double> rtt;
+    std::vector<double> trans;
+    for (int j = 0; j < nodes; ++j) {
+      rtt.push_back(rng.uniform(5, 55));
+      trans.push_back(rng.uniform(1, 5));
+    }
+    input.rtt_ms.push_back(std::move(rtt));
+    input.trans_ms.push_back(std::move(trans));
+  }
+  return input;
+}
+
+TEST(Optimal, TrivialSingleUser) {
+  PredictInput input;
+  input.nodes = {make_node(0, 1, 60.0), make_node(1, 1, 20.0)};
+  input.rtt_ms = {{10.0, 10.0}};
+  input.trans_ms = {{0.0, 0.0}};
+  Rng rng(1);
+  const auto result = solve_optimal(input, rng);
+  EXPECT_TRUE(result.exact);
+  ASSERT_EQ(result.assignment.size(), 1u);
+  EXPECT_EQ(result.assignment[0], 1);  // the faster node
+}
+
+TEST(Optimal, EmptyInput) {
+  PredictInput input;
+  Rng rng(1);
+  const auto result = solve_optimal(input, rng);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(Optimal, ExhaustiveMatchesManualEnumeration) {
+  const auto input = random_input(4, 3, 99);  // 81 assignments
+  Rng rng(5);
+  const auto result = solve_optimal(input, rng);
+  ASSERT_TRUE(result.exact);
+
+  // Manual brute force.
+  double best = 1e18;
+  std::vector<int> assignment(4, 0);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        for (int d = 0; d < 3; ++d) {
+          best = std::min(best,
+                          average_latency_ms(input, {a, b, c, d}));
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(result.avg_latency_ms, best, 1e-9);
+}
+
+TEST(Optimal, ReportsObjectiveOfReturnedAssignment) {
+  const auto input = random_input(5, 4, 7);
+  Rng rng(2);
+  const auto result = solve_optimal(input, rng);
+  EXPECT_NEAR(average_latency_ms(input, result.assignment),
+              result.avg_latency_ms, 1e-9);
+}
+
+TEST(Optimal, LoadBalancesIdenticalWorld) {
+  // 4 users, 2 identical 1-core nodes: optimum must split 2/2.
+  PredictInput input;
+  input.nodes = {make_node(0, 1, 30.0), make_node(1, 1, 30.0)};
+  for (int i = 0; i < 4; ++i) {
+    input.rtt_ms.push_back({10.0, 10.0});
+    input.trans_ms.push_back({0.0, 0.0});
+  }
+  Rng rng(3);
+  const auto result = solve_optimal(input, rng);
+  int on_zero = 0;
+  for (const int a : result.assignment) on_zero += a == 0 ? 1 : 0;
+  EXPECT_EQ(on_zero, 2);
+}
+
+// Property: on instances small enough to enumerate, the local-search path
+// (forced by a tiny exhaustive budget) gets within 10% of the true optimum.
+class LocalSearchQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchQuality, NearExhaustive) {
+  const auto input = random_input(6, 4, GetParam());  // 4096 assignments
+  Rng rng1(11);
+  const auto exact = solve_optimal(input, rng1);
+  ASSERT_TRUE(exact.exact);
+
+  OptimalConfig forced;
+  forced.max_exhaustive = 1;  // force the heuristic path
+  Rng rng2(12);
+  const auto heuristic = solve_optimal(input, rng2, forced);
+  EXPECT_FALSE(heuristic.exact);
+  EXPECT_LE(heuristic.avg_latency_ms, exact.avg_latency_ms * 1.10);
+  EXPECT_GE(heuristic.avg_latency_ms, exact.avg_latency_ms - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchQuality,
+                         ::testing::Values(1, 22, 333, 4444));
+
+TEST(Optimal, PaperScaleInstanceRunsQuickly) {
+  // 15 users x 9 nodes (the Fig 7 configuration) must fall back to local
+  // search and produce a sane assignment.
+  const auto input = random_input(15, 9, 2022);
+  Rng rng(6);
+  const auto result = solve_optimal(input, rng);
+  EXPECT_FALSE(result.exact);
+  EXPECT_EQ(result.assignment.size(), 15u);
+  EXPECT_GT(result.avg_latency_ms, 0.0);
+  for (const int a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 9);
+  }
+}
+
+}  // namespace
+}  // namespace eden::baselines

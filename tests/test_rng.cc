@@ -1,0 +1,174 @@
+// Unit + property tests for the deterministic RNG and its distributions.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace eden {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const Rng root(99);
+  Rng f1 = root.fork("alpha");
+  Rng f2 = root.fork("alpha");
+  Rng f3 = root.fork("beta");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  // Forking does not consume parent randomness, and names separate streams.
+  Rng g1 = root.fork("alpha");
+  g1.next_u64();
+  EXPECT_NE(f3.next_u64(), g1.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 9.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  double sum = 0;
+  double sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, WeibullMeanMatchesGammaFormula) {
+  Rng rng(12);
+  const double shape = 1.5;
+  const double scale = 50.0 / std::tgamma(1.0 + 1.0 / shape);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(shape, scale);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, PoissonMeanSmall) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(14);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(15);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 50001; ++i) values.push_back(rng.lognormal(1.0, 0.5));
+  std::nth_element(values.begin(), values.begin() + 25000, values.end());
+  EXPECT_NEAR(values[25000], std::exp(1.0), 0.1);
+}
+
+// Property sweep: uniform_int is unbiased enough across several ranges.
+class UniformIntSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(UniformIntSweep, RoughlyUniform) {
+  const std::int64_t hi = GetParam();
+  Rng rng(static_cast<std::uint64_t>(hi) * 977 + 1);
+  std::vector<int> counts(static_cast<std::size_t>(hi) + 1, 0);
+  const int n = 20000 * static_cast<int>(hi + 1);
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, hi)];
+  const double expected = static_cast<double>(n) / static_cast<double>(hi + 1);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.06);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformIntSweep,
+                         ::testing::Values<std::int64_t>(1, 2, 4, 9));
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,227 @@
+// Tests for the harness: scenario wiring, metrics aggregation, canned
+// experiment setups.
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/metrics.h"
+
+namespace eden::harness {
+namespace {
+
+TEST(Scenario, AllocatesDistinctHosts) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  const auto a = scenario.add_node(NodeSpec{.name = "a"});
+  const auto b = scenario.add_node(NodeSpec{.name = "b"});
+  EXPECT_NE(scenario.node_id(a), scenario.node_id(b));
+  EXPECT_NE(scenario.node_id(a), HostId{0});  // 0 is the manager
+}
+
+TEST(Scenario, NodeApiLookup) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  const auto a = scenario.add_node(NodeSpec{.name = "a"});
+  EXPECT_NE(scenario.node_api(scenario.node_id(a)), nullptr);
+  EXPECT_EQ(scenario.node_api(NodeId{999}), nullptr);
+  EXPECT_EQ(scenario.node_index(scenario.node_id(a)), 0u);
+  EXPECT_FALSE(scenario.node_index(NodeId{999}).has_value());
+}
+
+TEST(Scenario, StartedNodeRegistersWithManager) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  scenario.run_until(sec(1.0));
+  EXPECT_EQ(scenario.central_manager().live_nodes(), 1u);
+}
+
+TEST(Scenario, StoppedNodeExpiresFromManager) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  scenario.run_until(sec(1.0));
+  scenario.stop_node(0, /*graceful=*/false);
+  scenario.run_until(sec(10.0));  // > heartbeat TTL
+  EXPECT_EQ(scenario.central_manager().live_nodes(), 0u);
+}
+
+TEST(Scenario, GracefulStopLeavesImmediately) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  // Stop between heartbeats so no in-flight heartbeat re-registers the
+  // node after the deregister lands (a real race the TTL would resolve).
+  scenario.run_until(sec(1.5));
+  scenario.stop_node(0, /*graceful=*/true);
+  scenario.run_until(sec(1.8));  // just the deregister message latency
+  EXPECT_EQ(scenario.central_manager().live_nodes(), 0u);
+}
+
+TEST(Scenario, MatrixKindExposesMatrixNetwork) {
+  Scenario scenario(ScenarioConfig{.seed = 1}, NetKind::kMatrix, 25.0, 50.0);
+  EXPECT_NE(scenario.matrix_network(), nullptr);
+  EXPECT_EQ(scenario.geo_network(), nullptr);
+}
+
+TEST(Scenario, GeoKindExposesGeoNetwork) {
+  Scenario scenario(ScenarioConfig{.seed = 1}, NetKind::kGeo);
+  EXPECT_NE(scenario.geo_network(), nullptr);
+  EXPECT_EQ(scenario.matrix_network(), nullptr);
+}
+
+TEST(Scenario, NodeInfosMirrorSpecs) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  NodeSpec spec;
+  spec.name = "v";
+  spec.cores = 6;
+  spec.base_frame_ms = 31.0;
+  spec.dedicated = true;
+  scenario.add_node(spec);
+  const auto infos = scenario.node_infos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "v");
+  EXPECT_EQ(infos[0].cores, 6);
+  EXPECT_DOUBLE_EQ(infos[0].base_frame_ms, 31.0);
+  EXPECT_TRUE(infos[0].dedicated);
+}
+
+TEST(Scenario, PredictInputHasBaseRttsWithoutJitter) {
+  Scenario scenario(ScenarioConfig{.seed = 1}, NetKind::kMatrix, 25.0, 50.0, 0.3);
+  scenario.add_node(NodeSpec{.name = "a"});
+  auto& client = scenario.add_edge_client(ClientSpot{.name = "u"}, {});
+  const auto input =
+      scenario.predict_input({client.id()}, 20.0, 20'000);
+  ASSERT_EQ(input.rtt_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(input.rtt_ms[0][0], 25.0);  // exact, no jitter
+  EXPECT_NEAR(input.trans_ms[0][0], 20'000 * 8.0 / (50.0 * 1e6) * 1000, 0.01);
+}
+
+TEST(Metrics, FleetWindowMergesClients) {
+  TimeSeries a;
+  TimeSeries b;
+  a.add(sec(1), 10.0);
+  b.add(sec(2), 30.0);
+  const auto stats = fleet_window({&a, &b}, 0, sec(10));
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 20.0);
+}
+
+TEST(Metrics, FairnessIsStddevOfPerClientMeans) {
+  TimeSeries a;
+  TimeSeries b;
+  for (int i = 0; i < 10; ++i) {
+    a.add(sec(i), 10.0);
+    b.add(sec(i), 30.0);
+  }
+  // Per-client means are 10 and 30 -> population stddev 10.
+  EXPECT_NEAR(fairness_stddev({&a, &b}, 0, sec(100)), 10.0, 1e-9);
+  // A client with no samples in the window is ignored.
+  TimeSeries empty;
+  EXPECT_NEAR(fairness_stddev({&a, &b, &empty}, 0, sec(100)), 10.0, 1e-9);
+}
+
+TEST(Metrics, FleetTraceBucketsAndCarries) {
+  TimeSeries a;
+  a.add(msec(100), 10.0);
+  a.add(msec(1100), 20.0);
+  const auto trace = fleet_trace({&a}, 0, sec(3), sec(1));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(trace[1].second, 20.0);
+  EXPECT_DOUBLE_EQ(trace[2].second, 20.0);  // carried forward
+}
+
+TEST(Experiments, RealWorldSetupMatchesTableII) {
+  auto setup = make_realworld_setup(7);
+  ASSERT_EQ(setup.volunteers.size(), 5u);
+  ASSERT_EQ(setup.dedicated.size(), 4u);
+  EXPECT_EQ(setup.user_spots.size(), 15u);
+  EXPECT_EQ(setup.scenario->node_count(), 10u);
+
+  // Table II processing times.
+  EXPECT_DOUBLE_EQ(setup.scenario->node_spec(setup.volunteers[0]).base_frame_ms,
+                   24.0);
+  EXPECT_DOUBLE_EQ(setup.scenario->node_spec(setup.volunteers[4]).base_frame_ms,
+                   49.0);
+  for (const auto d : setup.dedicated) {
+    const auto& spec = setup.scenario->node_spec(d);
+    EXPECT_TRUE(spec.dedicated);
+    EXPECT_DOUBLE_EQ(spec.base_frame_ms, 30.0);
+    EXPECT_TRUE(spec.burstable);
+  }
+  EXPECT_TRUE(setup.scenario->node_spec(setup.cloud).is_cloud);
+  EXPECT_EQ(setup.all_nodes().size(), 10u);
+}
+
+TEST(Experiments, RealWorldRttOrderingMatchesFig1) {
+  auto setup = make_realworld_setup(7);
+  auto& scenario = *setup.scenario;
+  auto& client = scenario.add_edge_client(setup.user_spots[0], {});
+  const auto& model = scenario.network_model();
+  const HostId user = client.id();
+
+  double best_volunteer = 1e9;
+  for (const auto v : setup.volunteers) {
+    best_volunteer = std::min(
+        best_volunteer, to_ms(model.base_rtt(user, scenario.node_id(v))));
+  }
+  const double lz = to_ms(model.base_rtt(user, scenario.node_id(setup.dedicated[0])));
+  const double cloud = to_ms(model.base_rtt(user, scenario.node_id(setup.cloud)));
+  EXPECT_LT(best_volunteer, lz);
+  EXPECT_LT(lz, cloud);
+  EXPECT_GT(cloud, 55.0);  // regional cloud well above the metro numbers
+}
+
+TEST(Experiments, EmulationSetupHasNineNodesAndBoundedRtts) {
+  auto setup = make_emulation_setup(13, 15);
+  EXPECT_EQ(setup.scenario->node_count(), 9u);
+  EXPECT_EQ(setup.user_spots.size(), 15u);
+  ASSERT_EQ(setup.rtt_ms.size(), 15u);
+  for (const auto& row : setup.rtt_ms) {
+    ASSERT_EQ(row.size(), 9u);
+    for (const double rtt : row) {
+      EXPECT_GE(rtt, 8.0);
+      EXPECT_LE(rtt, 55.0);
+    }
+  }
+}
+
+TEST(Experiments, EmulationSetupIsSeedDeterministic) {
+  const auto s1 = make_emulation_setup(13, 15);
+  const auto s2 = make_emulation_setup(13, 15);
+  EXPECT_EQ(s1.rtt_ms, s2.rtt_ms);
+  const auto s3 = make_emulation_setup(14, 15);
+  EXPECT_NE(s1.rtt_ms, s3.rtt_ms);
+}
+
+TEST(Experiments, WireClientInstallsRtts) {
+  auto setup = make_emulation_setup(13, 3);
+  auto& scenario = *setup.scenario;
+  auto& client = scenario.add_edge_client(setup.user_spots[0], {});
+  setup.wire_client(client.id(), 0);
+  const auto& model = scenario.network_model();
+  for (std::size_t j = 0; j < scenario.node_count(); ++j) {
+    // msec() quantises to whole microseconds.
+    EXPECT_NEAR(to_ms(model.base_rtt(client.id(), scenario.node_id(j))),
+                setup.rtt_ms[0][j], 1e-3);
+  }
+}
+
+TEST(Experiments, ChurnSpecsFollowInstanceMix) {
+  const auto specs = churn_node_specs(18);
+  ASSERT_EQ(specs.size(), 18u);
+  int medium = 0;
+  int xlarge = 0;
+  int xxlarge = 0;
+  for (const auto& spec : specs) {
+    if (spec.cores == 2) ++medium;
+    if (spec.cores == 4) ++xlarge;
+    if (spec.cores == 8) ++xxlarge;
+  }
+  EXPECT_EQ(medium, 8);
+  EXPECT_EQ(xlarge, 8);
+  EXPECT_EQ(xxlarge, 2);
+}
+
+}  // namespace
+}  // namespace eden::harness

@@ -1,0 +1,141 @@
+// Unit tests for the LO/GO local selection policies of §IV-D.
+#include "client/selection_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eden::client {
+namespace {
+
+ProbeResult make_result(std::uint32_t node, double d_prop, double whatif,
+                        double current = 0, int users = 0) {
+  ProbeResult r;
+  r.node = NodeId{node};
+  r.d_prop_ms = d_prop;
+  r.process.whatif_ms = whatif;
+  r.process.current_ms = current == 0 ? whatif : current;
+  r.process.attached_users = users;
+  return r;
+}
+
+TEST(ProbeResult, LoIsPropPlusWhatIf) {
+  const auto r = make_result(1, 12.0, 30.0);
+  EXPECT_DOUBLE_EQ(r.lo(), 42.0);
+}
+
+TEST(ProbeResult, GoAddsDegradationOfExistingUsers) {
+  // 3 existing users, each degraded by (40 - 34) = 6 ms.
+  const auto r = make_result(1, 10.0, 40.0, 34.0, 3);
+  EXPECT_DOUBLE_EQ(r.go(), 3 * 6.0 + 50.0);
+}
+
+TEST(ProbeResult, GoEqualsLoOnIdleNode) {
+  const auto r = make_result(1, 10.0, 30.0, 30.0, 0);
+  EXPECT_DOUBLE_EQ(r.go(), r.lo());
+}
+
+TEST(SortCandidates, LocalOverheadPicksLowestLo) {
+  auto sorted = sort_candidates(
+      {make_result(1, 30.0, 30.0), make_result(2, 5.0, 35.0),
+       make_result(3, 10.0, 45.0)},
+      LocalPolicy::kLocalOverhead);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].node, NodeId{2});  // LO = 40
+  EXPECT_EQ(sorted[1].node, NodeId{3});  // LO = 55
+  EXPECT_EQ(sorted[2].node, NodeId{1});  // LO = 60
+}
+
+TEST(SortCandidates, GlobalOverheadPenalisesInterference) {
+  // Node 1 looks best locally but would degrade 5 existing users by 8 ms
+  // each; node 2 is idle and slightly slower for this client.
+  const auto busy = make_result(1, 5.0, 40.0, 32.0, 5);   // LO 45, GO 85
+  const auto idle = make_result(2, 10.0, 40.0, 40.0, 0);  // LO 50, GO 50
+  auto lo_sorted = sort_candidates({busy, idle}, LocalPolicy::kLocalOverhead);
+  auto go_sorted = sort_candidates({busy, idle}, LocalPolicy::kGlobalOverhead);
+  EXPECT_EQ(lo_sorted[0].node, NodeId{1});
+  EXPECT_EQ(go_sorted[0].node, NodeId{2});
+}
+
+TEST(SortCandidates, EmptyInput) {
+  EXPECT_TRUE(sort_candidates({}, LocalPolicy::kGlobalOverhead).empty());
+}
+
+TEST(SortCandidates, TieBreaksOnNodeId) {
+  auto sorted = sort_candidates(
+      {make_result(9, 10.0, 30.0), make_result(3, 10.0, 30.0)},
+      LocalPolicy::kLocalOverhead);
+  EXPECT_EQ(sorted[0].node, NodeId{3});
+}
+
+TEST(SortCandidates, QosFilterDropsViolators) {
+  QosFilter qos;
+  qos.max_lo_ms = 50.0;
+  auto sorted = sort_candidates(
+      {make_result(1, 40.0, 30.0), make_result(2, 10.0, 30.0)},
+      LocalPolicy::kGlobalOverhead, qos);
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].node, NodeId{2});
+}
+
+TEST(SortCandidates, QosFallsBackWhenNothingQualifies) {
+  QosFilter qos;
+  qos.max_lo_ms = 10.0;  // nobody qualifies
+  auto sorted = sort_candidates(
+      {make_result(1, 40.0, 30.0), make_result(2, 10.0, 30.0)},
+      LocalPolicy::kGlobalOverhead, qos);
+  EXPECT_EQ(sorted.size(), 2u);  // non-strict: keep the best effort list
+}
+
+TEST(SortCandidates, StrictQosRejectsUser) {
+  QosFilter qos;
+  qos.max_lo_ms = 10.0;
+  qos.strict = true;
+  auto sorted = sort_candidates(
+      {make_result(1, 40.0, 30.0), make_result(2, 10.0, 30.0)},
+      LocalPolicy::kGlobalOverhead, qos);
+  EXPECT_TRUE(sorted.empty());
+}
+
+TEST(SortCandidates, QosFilterUsesLoNotGo) {
+  // GO may exceed the QoS bound as long as LO satisfies it — the bound is
+  // about this user's own latency.
+  QosFilter qos;
+  qos.max_lo_ms = 50.0;
+  auto sorted = sort_candidates({make_result(1, 5.0, 40.0, 20.0, 10)},
+                                LocalPolicy::kGlobalOverhead, qos);
+  EXPECT_EQ(sorted.size(), 1u);
+}
+
+// Property: for any candidate set, the GO winner never has higher GO than
+// any other candidate, and sorting is a permutation.
+class SortProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortProperty, WinnerMinimisesKeyAndNothingIsLost) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<ProbeResult> results;
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < n; ++i) {
+      results.push_back(make_result(
+          static_cast<std::uint32_t>(i), rng.uniform(1, 80), rng.uniform(10, 90),
+          rng.uniform(10, 90), static_cast<int>(rng.uniform_int(0, 6))));
+    }
+    for (const auto policy :
+         {LocalPolicy::kLocalOverhead, LocalPolicy::kGlobalOverhead}) {
+      const auto sorted = sort_candidates(results, policy);
+      ASSERT_EQ(sorted.size(), results.size());
+      const auto key = [&](const ProbeResult& r) {
+        return policy == LocalPolicy::kLocalOverhead ? r.lo() : r.go();
+      };
+      for (std::size_t i = 1; i < sorted.size(); ++i) {
+        EXPECT_LE(key(sorted[i - 1]), key(sorted[i]) + 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace eden::client

@@ -1,0 +1,216 @@
+// Unit tests for the wire codec: primitive round trips, message round
+// trips, and fail-soft behaviour on malformed input.
+#include <gtest/gtest.h>
+
+#include "rpc/messages.h"
+#include "rpc/serialize.h"
+
+namespace eden::rpc {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, NegativeAndSpecialDoubles) {
+  Writer w;
+  w.f64(-0.0);
+  w.f64(1e308);
+  w.f64(-42.5);
+  Reader r(w.data());
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), 1e308);
+  EXPECT_DOUBLE_EQ(r.f64(), -42.5);
+}
+
+TEST(Serialize, ReaderFailsSoftOnTruncation) {
+  Writer w;
+  w.u64(42);
+  Reader r(w.data().data(), 3);  // truncated
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay zero and ok stays false.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ReaderRejectsOverlongString) {
+  Writer w;
+  w.u32(1000);  // declared length far beyond the buffer
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Messages, NodeStatusRoundTrip) {
+  net::NodeStatus original;
+  original.node = NodeId{42};
+  original.geohash = "9zvxvf";
+  original.cores = 8;
+  original.base_frame_ms = 24.5;
+  original.attached_users = 3;
+  original.utilization = 0.75;
+  original.dedicated = true;
+  original.is_cloud = false;
+  original.network_tag = "isp-b";
+  original.endpoint = "127.0.0.1:9999";
+
+  Writer w;
+  encode(w, original);
+  Reader r(w.data());
+  const auto decoded = decode_node_status(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(decoded.node, original.node);
+  EXPECT_EQ(decoded.geohash, original.geohash);
+  EXPECT_EQ(decoded.cores, original.cores);
+  EXPECT_DOUBLE_EQ(decoded.base_frame_ms, original.base_frame_ms);
+  EXPECT_EQ(decoded.attached_users, original.attached_users);
+  EXPECT_DOUBLE_EQ(decoded.utilization, original.utilization);
+  EXPECT_EQ(decoded.dedicated, original.dedicated);
+  EXPECT_EQ(decoded.is_cloud, original.is_cloud);
+  EXPECT_EQ(decoded.network_tag, original.network_tag);
+  EXPECT_EQ(decoded.endpoint, original.endpoint);
+}
+
+TEST(Messages, DiscoveryRoundTrip) {
+  net::DiscoveryRequest request;
+  request.client = ClientId{7};
+  request.geohash = "9zvxg1";
+  request.network_tag = "isp-a";
+  request.top_n = 5;
+  Writer w;
+  encode(w, request);
+  Reader r(w.data());
+  const auto decoded = decode_discovery_request(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(decoded.client, request.client);
+  EXPECT_EQ(decoded.geohash, request.geohash);
+  EXPECT_EQ(decoded.network_tag, request.network_tag);
+  EXPECT_EQ(decoded.top_n, request.top_n);
+
+  net::DiscoveryResponse response;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    response.candidates.push_back(net::CandidateInfo{
+        NodeId{i}, "hash" + std::to_string(i), 1.5 * i,
+        "127.0.0.1:" + std::to_string(9000 + i)});
+  }
+  Writer w2;
+  encode(w2, response);
+  Reader r2(w2.data());
+  const auto decoded2 = decode_discovery_response(r2);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(decoded2.candidates.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded2.candidates[i].node, NodeId{i});
+    EXPECT_EQ(decoded2.candidates[i].geohash, "hash" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(decoded2.candidates[i].score, 1.5 * i);
+    EXPECT_EQ(decoded2.candidates[i].endpoint,
+              "127.0.0.1:" + std::to_string(9000 + i));
+  }
+}
+
+TEST(Messages, EmptyDiscoveryResponse) {
+  net::DiscoveryResponse response;
+  Writer w;
+  encode(w, response);
+  Reader r(w.data());
+  EXPECT_TRUE(decode_discovery_response(r).candidates.empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Messages, ProcessProbeRoundTrip) {
+  net::ProcessProbeResponse original{45.5, 38.2, 4, 123456789ull};
+  Writer w;
+  encode(w, original);
+  Reader r(w.data());
+  const auto decoded = decode_process_probe_response(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(decoded.whatif_ms, 45.5);
+  EXPECT_DOUBLE_EQ(decoded.current_ms, 38.2);
+  EXPECT_EQ(decoded.attached_users, 4);
+  EXPECT_EQ(decoded.seq_num, 123456789ull);
+}
+
+TEST(Messages, JoinRoundTrip) {
+  net::JoinRequest request{ClientId{9}, 77, 18.5};
+  Writer w;
+  encode(w, request);
+  Reader r(w.data());
+  const auto decoded = decode_join_request(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(decoded.client, ClientId{9});
+  EXPECT_EQ(decoded.seq_num, 77u);
+  EXPECT_DOUBLE_EQ(decoded.rate_fps, 18.5);
+
+  net::JoinResponse response{true, 78};
+  Writer w2;
+  encode(w2, response);
+  Reader r2(w2.data());
+  const auto decoded2 = decode_join_response(r2);
+  EXPECT_TRUE(decoded2.accepted);
+  EXPECT_EQ(decoded2.seq_num, 78u);
+}
+
+TEST(Messages, FrameRoundTrip) {
+  net::FrameRequest request{ClientId{3}, 555, 20'000};
+  Writer w;
+  encode(w, request);
+  Reader r(w.data());
+  const auto decoded = decode_frame_request(r);
+  EXPECT_EQ(decoded.client, ClientId{3});
+  EXPECT_EQ(decoded.frame_id, 555u);
+  EXPECT_DOUBLE_EQ(decoded.bytes, 20'000);
+
+  net::FrameResponse response{555, 31.25};
+  Writer w2;
+  encode(w2, response);
+  Reader r2(w2.data());
+  const auto decoded2 = decode_frame_response(r2);
+  EXPECT_EQ(decoded2.frame_id, 555u);
+  EXPECT_DOUBLE_EQ(decoded2.proc_ms, 31.25);
+}
+
+TEST(Messages, ResponseTypeSetsHighBit) {
+  EXPECT_EQ(response_type(MessageType::kJoin),
+            static_cast<std::uint16_t>(MessageType::kJoin) | 0x8000);
+}
+
+TEST(Messages, TruncatedMessageFailsSoft) {
+  net::NodeStatus status;
+  status.geohash = "9zvxvf";
+  Writer w;
+  encode(w, status);
+  // Chop the buffer at every possible point: decode must never crash and
+  // must flag !ok() for any strict prefix.
+  for (std::size_t len = 0; len < w.data().size(); ++len) {
+    Reader r(w.data().data(), len);
+    (void)decode_node_status(r);
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace eden::rpc

@@ -1,0 +1,170 @@
+// Unit tests for the discrete-event simulator: ordering, cancellation,
+// periodic tasks, determinism.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace eden::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(msec(30), [&] { order.push_back(3); });
+  s.schedule_at(msec(10), [&] { order.push_back(1); });
+  s.schedule_at(msec(20), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), msec(30));
+}
+
+TEST(Simulator, EqualTimestampsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(msec(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  SimTime fired_at = -1;
+  s.schedule_at(msec(10), [&] {
+    s.schedule_after(msec(5), [&] { fired_at = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(fired_at, msec(15));
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator s;
+  s.run_until(msec(100));
+  SimTime fired_at = -1;
+  s.schedule_at(msec(1), [&] { fired_at = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired_at, msec(100));
+}
+
+TEST(Simulator, NegativeDelayClampsToZero) {
+  Simulator s;
+  SimTime fired_at = -1;
+  s.schedule_after(msec(-50), [&] { fired_at = s.now(); });
+  s.run_all();
+  EXPECT_EQ(fired_at, 0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(msec(10), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterRunReturnsFalse) {
+  Simulator s;
+  const EventId id = s.schedule_at(msec(1), [] {});
+  s.run_all();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(msec(10), [&] { ++fired; });
+  s.schedule_at(msec(20), [&] { ++fired; });
+  s.schedule_at(msec(21), [&] { ++fired; });
+  s.run_until(msec(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), msec(20));
+  s.run_until(msec(30));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithEmptyQueue) {
+  Simulator s;
+  s.run_until(sec(5));
+  EXPECT_EQ(s.now(), sec(5));
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreProcessed) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(msec(1), recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.events_processed(), 5u);
+}
+
+TEST(Simulator, RunAllThrowsOnRunaway) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule_after(1, forever); };
+  s.schedule_at(0, forever);
+  EXPECT_THROW(s.run_all(1000), std::runtime_error);
+}
+
+TEST(Periodic, FiresEveryPeriodUntilStopped) {
+  Simulator s;
+  int count = 0;
+  Periodic p(s, msec(10), msec(10), [&] { ++count; });
+  s.run_until(msec(55));
+  EXPECT_EQ(count, 5);  // t = 10, 20, 30, 40, 50
+  p.stop();
+  s.run_until(msec(200));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Periodic, DestructorStops) {
+  Simulator s;
+  int count = 0;
+  {
+    Periodic p(s, 0, msec(10), [&] { ++count; });
+    s.run_until(msec(25));
+  }
+  s.run_until(msec(100));
+  EXPECT_EQ(count, 3);  // t = 0, 10, 20
+}
+
+TEST(Periodic, CanStopItselfFromCallback) {
+  Simulator s;
+  int count = 0;
+  Periodic p;
+  p = Periodic(s, 0, msec(1), [&] {
+    if (++count == 3) p.stop();
+  });
+  s.run_until(sec(1));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimScheduler, AdaptsSimulator) {
+  Simulator s;
+  SimScheduler sched(s);
+  EXPECT_EQ(sched.now(), 0);
+  bool fired = false;
+  const EventId id = sched.schedule_after(msec(5), [&] { fired = true; });
+  EXPECT_GT(id, 0u);
+  s.run_until(msec(10));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), msec(10));
+}
+
+}  // namespace
+}  // namespace eden::sim

@@ -1,0 +1,169 @@
+// Unit tests for streaming statistics, sample percentiles/CDFs and
+// time-series windows.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace eden {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombinedStream) {
+  Rng rng(3);
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats combined;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(10, 3);
+    (i % 2 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a;
+  StreamingStats b;
+  b.add(5.0);
+  a.merge(b);  // empty += nonempty
+  EXPECT_EQ(a.count(), 1u);
+  StreamingStats c;
+  a.merge(c);  // nonempty += empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+}
+
+TEST(Samples, PercentileSingleValue) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, PercentileClampsOutOfRangeP) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(150), 2.0);
+}
+
+TEST(Samples, CdfIsMonotoneAndEndsAtOne) {
+  Samples s;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform(0, 50));
+  const auto cdf = s.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_v = -1;
+  double prev_f = 0;
+  for (const auto& [v, f] : cdf) {
+    EXPECT_GT(v, prev_v);
+    EXPECT_GT(f, prev_f);
+    prev_v = v;
+    prev_f = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Samples, CdfCollapsesDuplicates) {
+  Samples s;
+  s.add(1.0);
+  s.add(1.0);
+  s.add(2.0);
+  const auto cdf = s.cdf();
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Samples, AddAfterSortInvalidatesCache) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Samples, MeanAndStddev) {
+  Samples s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(TimeSeries, WindowSelectsHalfOpenRange) {
+  TimeSeries ts;
+  ts.add(msec(10), 1.0);
+  ts.add(msec(20), 2.0);
+  ts.add(msec(30), 3.0);
+  const auto w = ts.window(msec(10), msec(30));
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(w.mean(), 1.5);
+}
+
+TEST(TimeSeries, BucketedCarriesForward) {
+  TimeSeries ts;
+  ts.add(msec(5), 10.0);
+  ts.add(msec(25), 30.0);
+  const auto buckets = ts.bucketed(0, msec(40), msec(10));
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(buckets[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(buckets[1].second, 10.0);  // empty bucket repeats
+  EXPECT_DOUBLE_EQ(buckets[2].second, 30.0);
+  EXPECT_DOUBLE_EQ(buckets[3].second, 30.0);
+}
+
+TEST(TimeSeries, BucketedLeadingNaN) {
+  TimeSeries ts;
+  ts.add(msec(15), 7.0);
+  const auto buckets = ts.bucketed(0, msec(20), msec(10));
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_TRUE(std::isnan(buckets[0].second));
+  EXPECT_DOUBLE_EQ(buckets[1].second, 7.0);
+}
+
+TEST(TimeSeries, BucketedInvalidInputs) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.bucketed(0, msec(10), 0).empty());
+  EXPECT_TRUE(ts.bucketed(msec(10), msec(5), msec(1)).empty());
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,50 @@
+// Unit tests for the ASCII table / CSV renderer.
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace eden {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2     |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::integer(-7), "-7");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"x"});
+  t.add_row({"plain"});
+  t.add_row({"with,comma"});
+  t.add_row({"with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\"\n"), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst) {
+  Table t({"h1", "h2"});
+  t.add_row({"a", "b"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\na,b\n");
+}
+
+}  // namespace
+}  // namespace eden

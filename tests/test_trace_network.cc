@@ -1,0 +1,154 @@
+// Tests for the trace-driven network model: step interpolation, symmetry,
+// trace parsing, and the end-to-end behaviour it enables — a client
+// switching nodes because the NETWORK changed, not the load.
+#include "net/trace_network.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "harness/scenario.h"
+
+namespace eden::net {
+namespace {
+
+class FixedClock final : public sim::Clock {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void set(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_{0};
+};
+
+TEST(TraceNetwork, DefaultWithoutSamples) {
+  FixedClock clock;
+  TraceNetwork net(clock, 42.0);
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(42.0));
+  EXPECT_LT(net.base_rtt(HostId{1}, HostId{1}), msec(1.0));  // loopback
+}
+
+TEST(TraceNetwork, StepInterpolation) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0);
+  net.add_sample(HostId{1}, HostId{2}, sec(10), 20.0);
+  net.add_sample(HostId{1}, HostId{2}, sec(30), 80.0);
+
+  clock.set(sec(5));  // before the first sample -> first sample applies
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(20.0));
+  clock.set(sec(10));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(20.0));
+  clock.set(sec(29));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(20.0));
+  clock.set(sec(30));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(80.0));
+  clock.set(sec(1000));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(80.0));
+}
+
+TEST(TraceNetwork, SymmetricPairs) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0);
+  net.add_sample(HostId{2}, HostId{1}, 0, 15.0);
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(15.0));
+  EXPECT_EQ(net.base_rtt(HostId{2}, HostId{1}), msec(15.0));
+}
+
+TEST(TraceNetwork, OutOfOrderSamplesAreSorted) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0);
+  net.add_sample(HostId{1}, HostId{2}, sec(30), 80.0);
+  net.add_sample(HostId{1}, HostId{2}, sec(10), 20.0);
+  clock.set(sec(15));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(20.0));
+}
+
+TEST(TraceNetwork, ParsesTraceText) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0);
+  const int loaded = net.load_trace_text(
+      "# t_sec,host_a,host_b,rtt_ms\n"
+      "0, 1, 2, 12.5\n"
+      "\n"
+      "30, 1, 2, 45.0  # congestion sets in\n"
+      "0, 1, 3, 8.0\n");
+  EXPECT_EQ(loaded, 3);
+  EXPECT_EQ(net.sample_count(), 3u);
+  clock.set(sec(40));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(45.0));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{3}), msec(8.0));
+}
+
+TEST(TraceNetwork, RejectsMalformedTraceAtomically) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0);
+  EXPECT_EQ(net.load_trace_text("0,1,2,10\nnot a line\n"), -1);
+  EXPECT_EQ(net.sample_count(), 0u);  // nothing partially applied
+  EXPECT_EQ(net.load_trace_text("0,1,2,-5\n"), -1);  // negative rtt
+  EXPECT_EQ(net.load_trace_file("/nonexistent/trace.csv"), -1);
+}
+
+TEST(TraceNetwork, UplinkCapsBandwidth) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0, 100.0);
+  net.set_uplink_mbps(HostId{1}, 10.0);
+  EXPECT_DOUBLE_EQ(net.bandwidth_mbps(HostId{1}, HostId{2}), 10.0);
+  EXPECT_DOUBLE_EQ(net.bandwidth_mbps(HostId{2}, HostId{3}), 100.0);
+}
+
+// End to end: the trace degrades the client's current path mid-run; the
+// periodic probing must move the client even though node load never
+// changed.
+TEST(TraceNetwork, ClientSwitchesWhenTraceDegradesItsPath) {
+  harness::ScenarioConfig config;
+  config.seed = 9;
+  TraceNetwork* trace = nullptr;
+  harness::Scenario scenario(config, [&](sim::Clock& clock) {
+    auto model = std::make_unique<TraceNetwork>(clock, 25.0, 50.0, 0.0);
+    trace = model.get();
+    return model;
+  });
+
+  harness::NodeSpec spec;
+  spec.name = "a";
+  spec.cores = 4;
+  spec.base_frame_ms = 30.0;
+  const auto a = scenario.add_node(spec);
+  spec.name = "b";
+  const auto b = scenario.add_node(spec);
+  harness::start_all_nodes(scenario);
+
+  client::ClientConfig client_config;
+  client_config.top_n = 2;
+  client_config.probing_period = sec(2.0);
+  auto& user = scenario.add_edge_client(harness::ClientSpot{.name = "u"},
+                                        client_config);
+
+  // Node a starts much closer; at t=20 s the trace flips the ordering.
+  trace->load_trace_text(
+      "0," + std::to_string(user.id().value) + "," +
+      std::to_string(scenario.node_id(a).value) + ",8\n" +
+      "0," + std::to_string(user.id().value) + "," +
+      std::to_string(scenario.node_id(b).value) + ",40\n" +
+      "20," + std::to_string(user.id().value) + "," +
+      std::to_string(scenario.node_id(a).value) + ",90\n" +
+      "20," + std::to_string(user.id().value) + "," +
+      std::to_string(scenario.node_id(b).value) + ",12\n");
+
+  scenario.run_until(sec(2.0));
+  user.start();
+  scenario.run_until(sec(15.0));
+  ASSERT_TRUE(user.current_node().has_value());
+  EXPECT_EQ(*user.current_node(), scenario.node_id(a));
+  const double before = user.latency_series().window(sec(5), sec(15)).mean();
+
+  scenario.run_until(sec(40.0));
+  ASSERT_TRUE(user.current_node().has_value());
+  EXPECT_EQ(*user.current_node(), scenario.node_id(b));
+  EXPECT_GE(user.stats().switches, 1u);
+  const double after = user.latency_series().window(sec(30), sec(40)).mean();
+  // Back near the pre-degradation latency (12 ms path vs 8 ms path).
+  EXPECT_LT(after, before + 15.0);
+}
+
+}  // namespace
+}  // namespace eden::net

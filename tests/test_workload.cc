@@ -1,0 +1,93 @@
+// Unit tests for the AR application profile and adaptive rate controller.
+#include "workload/app_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::workload {
+namespace {
+
+TEST(AppProfile, FrameIntervalFromFps) {
+  AppProfile app;
+  EXPECT_EQ(app.frame_interval(20.0), msec(50.0));
+  EXPECT_EQ(app.frame_interval(10.0), msec(100.0));
+  // Non-positive fps falls back to max rate.
+  EXPECT_EQ(app.frame_interval(0.0), app.frame_interval(app.max_fps));
+}
+
+TEST(AppProfile, PaperConstants) {
+  const AppProfile app;
+  EXPECT_DOUBLE_EQ(app.frame_bytes, 20'000);  // 0.02 MB
+  EXPECT_DOUBLE_EQ(app.max_fps, 20.0);
+}
+
+TEST(RateController, StartsAtMaxRate) {
+  AppProfile app;
+  RateController rate(app);
+  EXPECT_DOUBLE_EQ(rate.fps(), app.max_fps);
+}
+
+TEST(RateController, BacksOffAboveTarget) {
+  AppProfile app;
+  app.target_latency_ms = 150.0;
+  RateController rate(app);
+  for (int i = 0; i < 10; ++i) rate.on_frame_latency(400.0);
+  EXPECT_LT(rate.fps(), app.max_fps);
+  EXPECT_GE(rate.fps(), app.min_fps);
+}
+
+TEST(RateController, RecoversWhenLatencyDrops) {
+  AppProfile app;
+  RateController rate(app);
+  for (int i = 0; i < 20; ++i) rate.on_frame_latency(500.0);
+  const double low = rate.fps();
+  for (int i = 0; i < 60; ++i) rate.on_frame_latency(40.0);
+  EXPECT_GT(rate.fps(), low);
+  EXPECT_LE(rate.fps(), app.max_fps);
+}
+
+TEST(RateController, NeverLeavesBounds) {
+  AppProfile app;
+  RateController rate(app);
+  for (int i = 0; i < 200; ++i) rate.on_frame_latency(10000.0);
+  EXPECT_DOUBLE_EQ(rate.fps(), app.min_fps);
+  for (int i = 0; i < 200; ++i) rate.on_frame_latency(1.0);
+  EXPECT_DOUBLE_EQ(rate.fps(), app.max_fps);
+}
+
+TEST(RateController, FailureHalvesRate) {
+  AppProfile app;
+  RateController rate(app);
+  const double before = rate.fps();
+  rate.on_frame_failure();
+  EXPECT_DOUBLE_EQ(rate.fps(), before / 2);
+}
+
+TEST(RateController, DisabledAdaptationKeepsRate) {
+  AppProfile app;
+  app.adaptive_rate = false;
+  RateController rate(app);
+  for (int i = 0; i < 50; ++i) rate.on_frame_latency(5000.0);
+  rate.on_frame_failure();
+  EXPECT_DOUBLE_EQ(rate.fps(), app.max_fps);
+}
+
+TEST(RateController, SmoothedLatencyTracksEma) {
+  AppProfile app;
+  RateController rate(app);
+  rate.on_frame_latency(100.0);
+  EXPECT_DOUBLE_EQ(rate.smoothed_latency_ms(), 100.0);
+  rate.on_frame_latency(200.0);
+  EXPECT_NEAR(rate.smoothed_latency_ms(), 120.0, 1e-9);  // alpha = 0.2
+}
+
+TEST(RateController, ResetRestoresInitialState) {
+  AppProfile app;
+  RateController rate(app);
+  for (int i = 0; i < 20; ++i) rate.on_frame_latency(1000.0);
+  rate.reset();
+  EXPECT_DOUBLE_EQ(rate.fps(), app.max_fps);
+  EXPECT_DOUBLE_EQ(rate.smoothed_latency_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace eden::workload

@@ -1,0 +1,82 @@
+// Minimal command-line flag parsing shared by the eden_* daemons.
+// Supports --key value and --key=value; unknown flags abort with usage.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eden::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, std::string usage)
+      : program_(argv[0]), usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        fail("unexpected positional argument: " + arg);
+      }
+      arg = arg.substr(2);
+      if (arg == "help") {
+        std::printf("%s\n", usage_.c_str());
+        std::exit(0);
+      }
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // bare boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback) {
+    used_.push_back(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] int integer(const std::string& key, int fallback) {
+    const auto text = str(key, std::to_string(fallback));
+    return std::atoi(text.c_str());
+  }
+
+  [[nodiscard]] double real(const std::string& key, double fallback) {
+    const auto text = str(key, std::to_string(fallback));
+    return std::atof(text.c_str());
+  }
+
+  [[nodiscard]] bool boolean(const std::string& key, bool fallback) {
+    const auto text = str(key, fallback ? "true" : "false");
+    return text == "true" || text == "1" || text == "yes";
+  }
+
+  // Call after all lookups: aborts on flags nobody consumed (typo guard).
+  void check_unused() {
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const auto& used : used_) found |= used == key;
+      if (!found) fail("unknown flag: --" + key);
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n%s\n", program_.c_str(), message.c_str(),
+                 usage_.c_str());
+    std::exit(2);
+  }
+
+  std::string program_;
+  std::string usage_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> used_;
+};
+
+}  // namespace eden::tools
