@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_client.dir/bench_ablation_client.cc.o"
+  "CMakeFiles/bench_ablation_client.dir/bench_ablation_client.cc.o.d"
+  "bench_ablation_client"
+  "bench_ablation_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

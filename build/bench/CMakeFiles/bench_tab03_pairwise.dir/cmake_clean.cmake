@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_pairwise.dir/bench_tab03_pairwise.cc.o"
+  "CMakeFiles/bench_tab03_pairwise.dir/bench_tab03_pairwise.cc.o.d"
+  "bench_tab03_pairwise"
+  "bench_tab03_pairwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ar_assistance.cpp" "examples/CMakeFiles/ar_assistance.dir/ar_assistance.cpp.o" "gcc" "examples/CMakeFiles/ar_assistance.dir/ar_assistance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/eden_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/eden_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/eden_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/eden_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/eden_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/churn/CMakeFiles/eden_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eden_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eden_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eden_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eden_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eden_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

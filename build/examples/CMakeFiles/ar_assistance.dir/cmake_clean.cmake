@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_assistance.dir/ar_assistance.cpp.o"
+  "CMakeFiles/ar_assistance.dir/ar_assistance.cpp.o.d"
+  "ar_assistance"
+  "ar_assistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_assistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

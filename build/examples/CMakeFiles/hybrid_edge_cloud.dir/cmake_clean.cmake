@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_edge_cloud.dir/hybrid_edge_cloud.cpp.o"
+  "CMakeFiles/hybrid_edge_cloud.dir/hybrid_edge_cloud.cpp.o.d"
+  "hybrid_edge_cloud"
+  "hybrid_edge_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_edge_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

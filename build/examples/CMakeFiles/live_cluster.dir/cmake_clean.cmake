@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_cluster.dir/live_cluster.cpp.o"
+  "CMakeFiles/live_cluster.dir/live_cluster.cpp.o.d"
+  "live_cluster"
+  "live_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geo")
+subdirs("sim")
+subdirs("net")
+subdirs("workload")
+subdirs("node")
+subdirs("manager")
+subdirs("client")
+subdirs("baselines")
+subdirs("churn")
+subdirs("harness")
+subdirs("rpc")

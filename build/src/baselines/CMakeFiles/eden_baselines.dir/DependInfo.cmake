@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/assigners.cc" "src/baselines/CMakeFiles/eden_baselines.dir/assigners.cc.o" "gcc" "src/baselines/CMakeFiles/eden_baselines.dir/assigners.cc.o.d"
+  "/root/repo/src/baselines/latency_model.cc" "src/baselines/CMakeFiles/eden_baselines.dir/latency_model.cc.o" "gcc" "src/baselines/CMakeFiles/eden_baselines.dir/latency_model.cc.o.d"
+  "/root/repo/src/baselines/optimal.cc" "src/baselines/CMakeFiles/eden_baselines.dir/optimal.cc.o" "gcc" "src/baselines/CMakeFiles/eden_baselines.dir/optimal.cc.o.d"
+  "/root/repo/src/baselines/static_client.cc" "src/baselines/CMakeFiles/eden_baselines.dir/static_client.cc.o" "gcc" "src/baselines/CMakeFiles/eden_baselines.dir/static_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eden_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eden_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/eden_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eden_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eden_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eden_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_baselines.dir/assigners.cc.o"
+  "CMakeFiles/eden_baselines.dir/assigners.cc.o.d"
+  "CMakeFiles/eden_baselines.dir/latency_model.cc.o"
+  "CMakeFiles/eden_baselines.dir/latency_model.cc.o.d"
+  "CMakeFiles/eden_baselines.dir/optimal.cc.o"
+  "CMakeFiles/eden_baselines.dir/optimal.cc.o.d"
+  "CMakeFiles/eden_baselines.dir/static_client.cc.o"
+  "CMakeFiles/eden_baselines.dir/static_client.cc.o.d"
+  "libeden_baselines.a"
+  "libeden_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_churn.dir/churn.cc.o"
+  "CMakeFiles/eden_churn.dir/churn.cc.o.d"
+  "libeden_churn.a"
+  "libeden_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_client.dir/edge_client.cc.o"
+  "CMakeFiles/eden_client.dir/edge_client.cc.o.d"
+  "CMakeFiles/eden_client.dir/selection_policy.cc.o"
+  "CMakeFiles/eden_client.dir/selection_policy.cc.o.d"
+  "libeden_client.a"
+  "libeden_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

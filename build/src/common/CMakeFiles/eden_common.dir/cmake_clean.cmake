@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_common.dir/logging.cc.o"
+  "CMakeFiles/eden_common.dir/logging.cc.o.d"
+  "CMakeFiles/eden_common.dir/rng.cc.o"
+  "CMakeFiles/eden_common.dir/rng.cc.o.d"
+  "CMakeFiles/eden_common.dir/stats.cc.o"
+  "CMakeFiles/eden_common.dir/stats.cc.o.d"
+  "CMakeFiles/eden_common.dir/table.cc.o"
+  "CMakeFiles/eden_common.dir/table.cc.o.d"
+  "libeden_common.a"
+  "libeden_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

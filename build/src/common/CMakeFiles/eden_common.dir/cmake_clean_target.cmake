@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeden_common.a"
+)

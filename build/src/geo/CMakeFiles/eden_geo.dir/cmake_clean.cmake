@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_geo.dir/geohash.cc.o"
+  "CMakeFiles/eden_geo.dir/geohash.cc.o.d"
+  "CMakeFiles/eden_geo.dir/geopoint.cc.o"
+  "CMakeFiles/eden_geo.dir/geopoint.cc.o.d"
+  "libeden_geo.a"
+  "libeden_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_harness.dir/central_controller.cc.o"
+  "CMakeFiles/eden_harness.dir/central_controller.cc.o.d"
+  "CMakeFiles/eden_harness.dir/experiments.cc.o"
+  "CMakeFiles/eden_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/eden_harness.dir/metrics.cc.o"
+  "CMakeFiles/eden_harness.dir/metrics.cc.o.d"
+  "CMakeFiles/eden_harness.dir/scenario.cc.o"
+  "CMakeFiles/eden_harness.dir/scenario.cc.o.d"
+  "CMakeFiles/eden_harness.dir/sim_stubs.cc.o"
+  "CMakeFiles/eden_harness.dir/sim_stubs.cc.o.d"
+  "libeden_harness.a"
+  "libeden_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

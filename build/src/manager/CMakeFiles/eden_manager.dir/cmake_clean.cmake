@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_manager.dir/central_manager.cc.o"
+  "CMakeFiles/eden_manager.dir/central_manager.cc.o.d"
+  "CMakeFiles/eden_manager.dir/global_selection.cc.o"
+  "CMakeFiles/eden_manager.dir/global_selection.cc.o.d"
+  "CMakeFiles/eden_manager.dir/registry.cc.o"
+  "CMakeFiles/eden_manager.dir/registry.cc.o.d"
+  "libeden_manager.a"
+  "libeden_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

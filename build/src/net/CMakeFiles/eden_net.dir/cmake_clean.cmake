@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_net.dir/network_model.cc.o"
+  "CMakeFiles/eden_net.dir/network_model.cc.o.d"
+  "CMakeFiles/eden_net.dir/sim_network.cc.o"
+  "CMakeFiles/eden_net.dir/sim_network.cc.o.d"
+  "CMakeFiles/eden_net.dir/trace_network.cc.o"
+  "CMakeFiles/eden_net.dir/trace_network.cc.o.d"
+  "libeden_net.a"
+  "libeden_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_node.dir/edge_node.cc.o"
+  "CMakeFiles/eden_node.dir/edge_node.cc.o.d"
+  "CMakeFiles/eden_node.dir/executor.cc.o"
+  "CMakeFiles/eden_node.dir/executor.cc.o.d"
+  "libeden_node.a"
+  "libeden_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

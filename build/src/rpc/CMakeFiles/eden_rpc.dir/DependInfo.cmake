@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/connection.cc" "src/rpc/CMakeFiles/eden_rpc.dir/connection.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/connection.cc.o.d"
+  "/root/repo/src/rpc/event_loop.cc" "src/rpc/CMakeFiles/eden_rpc.dir/event_loop.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/event_loop.cc.o.d"
+  "/root/repo/src/rpc/live_runtime.cc" "src/rpc/CMakeFiles/eden_rpc.dir/live_runtime.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/live_runtime.cc.o.d"
+  "/root/repo/src/rpc/messages.cc" "src/rpc/CMakeFiles/eden_rpc.dir/messages.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/messages.cc.o.d"
+  "/root/repo/src/rpc/rpc_client.cc" "src/rpc/CMakeFiles/eden_rpc.dir/rpc_client.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/rpc_client.cc.o.d"
+  "/root/repo/src/rpc/rpc_server.cc" "src/rpc/CMakeFiles/eden_rpc.dir/rpc_server.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/rpc_server.cc.o.d"
+  "/root/repo/src/rpc/serialize.cc" "src/rpc/CMakeFiles/eden_rpc.dir/serialize.cc.o" "gcc" "src/rpc/CMakeFiles/eden_rpc.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eden_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eden_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eden_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/eden_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/eden_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/eden_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/eden_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eden_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_rpc.dir/connection.cc.o"
+  "CMakeFiles/eden_rpc.dir/connection.cc.o.d"
+  "CMakeFiles/eden_rpc.dir/event_loop.cc.o"
+  "CMakeFiles/eden_rpc.dir/event_loop.cc.o.d"
+  "CMakeFiles/eden_rpc.dir/live_runtime.cc.o"
+  "CMakeFiles/eden_rpc.dir/live_runtime.cc.o.d"
+  "CMakeFiles/eden_rpc.dir/messages.cc.o"
+  "CMakeFiles/eden_rpc.dir/messages.cc.o.d"
+  "CMakeFiles/eden_rpc.dir/rpc_client.cc.o"
+  "CMakeFiles/eden_rpc.dir/rpc_client.cc.o.d"
+  "CMakeFiles/eden_rpc.dir/rpc_server.cc.o"
+  "CMakeFiles/eden_rpc.dir/rpc_server.cc.o.d"
+  "CMakeFiles/eden_rpc.dir/serialize.cc.o"
+  "CMakeFiles/eden_rpc.dir/serialize.cc.o.d"
+  "libeden_rpc.a"
+  "libeden_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_workload.dir/app_profile.cc.o"
+  "CMakeFiles/eden_workload.dir/app_profile.cc.o.d"
+  "libeden_workload.a"
+  "libeden_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

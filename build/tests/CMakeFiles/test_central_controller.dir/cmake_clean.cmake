@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_central_controller.dir/test_central_controller.cc.o"
+  "CMakeFiles/test_central_controller.dir/test_central_controller.cc.o.d"
+  "test_central_controller"
+  "test_central_controller.pdb"
+  "test_central_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_central_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

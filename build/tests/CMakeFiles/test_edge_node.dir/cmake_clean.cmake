@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_node.dir/test_edge_node.cc.o"
+  "CMakeFiles/test_edge_node.dir/test_edge_node.cc.o.d"
+  "test_edge_node"
+  "test_edge_node.pdb"
+  "test_edge_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_network.dir/test_trace_network.cc.o"
+  "CMakeFiles/test_trace_network.dir/test_trace_network.cc.o.d"
+  "test_trace_network"
+  "test_trace_network.pdb"
+  "test_trace_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edend_client.dir/eden_client.cc.o"
+  "CMakeFiles/edend_client.dir/eden_client.cc.o.d"
+  "edend_client"
+  "edend_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edend_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edend_manager.dir/eden_manager.cc.o"
+  "CMakeFiles/edend_manager.dir/eden_manager.cc.o.d"
+  "edend_manager"
+  "edend_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edend_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edend_node.dir/eden_node.cc.o"
+  "CMakeFiles/edend_node.dir/eden_node.cc.o.d"
+  "edend_node"
+  "edend_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edend_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
