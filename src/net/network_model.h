@@ -84,6 +84,13 @@ enum class AccessTier {
 // well-peered: their last-mile cost collapses to near-LAN levels — the
 // paper's same-local-loop volunteers, and what the discovery request's
 // network-affiliation hint points the manager at.
+//
+// base_rtt/bandwidth_mbps are memoized per ordered pair in a flat
+// open-addressed table (the haversine + tier + peering-hash work runs once
+// per pair, not once per sample); add_host and set_extra_rtt_ms invalidate
+// the cache. The memo makes const lookups write the cache, so a single
+// GeoNetwork instance must not be shared across threads — each parallel
+// replicate builds its own world (see harness::ParallelRunner).
 class GeoNetwork final : public NetworkModel {
  public:
   explicit GeoNetwork(double jitter_sigma = 0.08,
@@ -113,9 +120,28 @@ class GeoNetwork final : public NetworkModel {
     double extra_rtt_ms{0};
     int isp{-1};
   };
+  struct PairMetrics {
+    SimDuration rtt{0};
+    double bw_mbps{0};
+  };
+  // Open-addressed (linear probe, power-of-two capacity) memo keyed on the
+  // ordered pair (a << 32 | b). The key for a == b never occurs (loopback
+  // early-returns), so an all-ones key marks empty slots.
+  struct PairCacheEntry {
+    std::uint64_t key{kEmptyKey};
+    PairMetrics metrics;
+  };
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  [[nodiscard]] PairMetrics compute_pair(HostId a, HostId b) const;
+  [[nodiscard]] const PairMetrics& cached_pair(HostId a, HostId b) const;
+  void invalidate_cache() const;
+
   double jitter_sigma_;
   double pair_variation_ms_;
   std::unordered_map<HostId, HostInfo> hosts_;
+  mutable std::vector<PairCacheEntry> cache_;
+  mutable std::size_t cache_used_{0};
 };
 
 }  // namespace eden::net

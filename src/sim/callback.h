@@ -1,0 +1,162 @@
+// Small-buffer-optimized move-only callable for the event arena. The
+// simulator stores one per scheduled event, so the common case — a lambda
+// capturing a couple of pointers — must construct, move and destroy
+// without touching the allocator. Callables up to kInlineCapacity bytes
+// live inside the object; larger ones fall back to the heap and bump a
+// global counter so bench_micro can report allocs/event.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace eden::sim {
+
+class Callback {
+ public:
+  // 32 bytes fits a std::function<void()> (32 bytes on libstdc++) or a
+  // lambda capturing four pointers; together with the ops pointer and the
+  // simulator's per-slot metadata, a whole arena slot stays one cache
+  // line. Larger captures heap-allocate (the seed's std::function already
+  // did, above its 16-byte SBO) and bump the alloc counter.
+  static constexpr std::size_t kInlineCapacity = 32;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  // Construct the callable directly in this object's storage (replacing
+  // any current one). The simulator uses this to build callbacks in their
+  // arena slot with no temporary and no relocate call.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+      heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Callback(Callback&& other) noexcept : ops_(other.ops_) {
+    if (ops_) ops_->relocate(other.storage_, storage_);
+    other.ops_ = nullptr;
+  }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // Invoke the callable and leave this object empty, in one virtual
+  // dispatch. The object is marked empty *before* the call, so re-entrant
+  // observers (sweeps, pending() checks) see it as already consumed. The
+  // callable itself stays valid for the duration of the call.
+  void invoke_and_reset() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  // Number of callbacks that spilled to the heap since process start (or
+  // the last reset). bench_micro divides a delta of this by events
+  // scheduled to report allocs/event.
+  [[nodiscard]] static std::uint64_t heap_allocations() noexcept {
+    return heap_allocs_.load(std::memory_order_relaxed);
+  }
+  static void reset_heap_allocations() noexcept {
+    heap_allocs_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* self);
+    // Invoke the callable, then destroy it.
+    void (*invoke_destroy)(unsigned char* self);
+    // Move the callable from `from` into `to` and destroy the source.
+    void (*relocate)(unsigned char* from, unsigned char* to) noexcept;
+    void (*destroy)(unsigned char* self) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](unsigned char* self) { (*reinterpret_cast<Fn*>(self))(); },
+      [](unsigned char* self) {
+        Fn* fn = reinterpret_cast<Fn*>(self);
+        (*fn)();
+        fn->~Fn();
+      },
+      [](unsigned char* from, unsigned char* to) noexcept {
+        ::new (static_cast<void*>(to)) Fn(std::move(*reinterpret_cast<Fn*>(from)));
+        reinterpret_cast<Fn*>(from)->~Fn();
+      },
+      [](unsigned char* self) noexcept { reinterpret_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](unsigned char* self) { (**reinterpret_cast<Fn**>(self))(); },
+      [](unsigned char* self) {
+        Fn* fn = *reinterpret_cast<Fn**>(self);
+        (*fn)();
+        delete fn;
+      },
+      [](unsigned char* from, unsigned char* to) noexcept {
+        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+      },
+      [](unsigned char* self) noexcept { delete *reinterpret_cast<Fn**>(self); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_{nullptr};
+
+  static inline std::atomic<std::uint64_t> heap_allocs_{0};
+};
+
+}  // namespace eden::sim

@@ -1,44 +1,177 @@
 #include "sim/simulator.h"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace eden::sim {
 
-EventId Simulator::schedule_at(SimTime t, Callback cb) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  live_.emplace(id, std::move(cb));
-  return id;
+void Simulator::grow_slab() {
+  if (slot_count_ > kSlotMask) {
+    throw std::runtime_error(
+        "Simulator: more than 2^24 concurrently pending events");
+  }
+  chunks_.push_back(std::make_unique_for_overwrite<Slot[]>(kChunkSize));
 }
 
-EventId Simulator::schedule_after(SimDuration delay, Callback cb) {
-  if (delay < 0) delay = 0;
-  return schedule_at(now_ + delay, std::move(cb));
+bool Simulator::cancel(EventId id) {
+  const std::uint32_t low = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (low == 0) return false;
+  const std::uint32_t index = low - 1;
+  if (index >= slot_count_) return false;
+  Slot& s = slot(index);
+  if (!s.cb || s.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;
+  }
+  release_slot(index);
+  --live_count_;
+  ++dead_in_queue_;
+  // Tombstone bound: pops drop dead entries as they surface; once the
+  // backlog outnumbers live events, one O(n) sweep amortizes to O(1) per
+  // cancel and keeps the queue O(pending()).
+  if (dead_in_queue_ > 64 && dead_in_queue_ > live_count_) sweep();
+  return true;
 }
 
-bool Simulator::cancel(EventId id) { return live_.erase(id) > 0; }
-
-bool Simulator::pop_one(SimTime limit) {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    auto it = live_.find(top.id);
-    if (it == live_.end()) {
-      heap_.pop();  // cancelled tombstone
-      continue;
+void Simulator::rebuild(std::uint64_t new_last_min) {
+  std::vector<Entry> all;
+  all.reserve(live_count_);
+  auto collect = [&](std::vector<Entry>& bucket, std::size_t begin) {
+    for (std::size_t i = begin; i < bucket.size(); ++i) {
+      if (stale(bucket[i])) {
+        --dead_in_queue_;
+      } else {
+        all.push_back(bucket[i]);
+      }
     }
-    if (top.time > limit) return false;
-    heap_.pop();
-    Callback cb = std::move(it->second);
-    live_.erase(it);
-    now_ = top.time;
-    ++processed_;
-    cb();
+    bucket.clear();
+  };
+  collect(bucket0_, bucket0_cursor_);
+  for (auto& bucket : level_buckets_) {
+    if (!bucket.empty()) collect(bucket, 0);
+  }
+  bucket0_cursor_ = 0;
+  level_mask_ = 0;
+  digit_mask_.fill(0);
+  last_min_ = new_last_min;
+  // Equal times were co-located in one source bucket, so this per-bucket
+  // collection order keeps FIFO ties intact.
+  for (const Entry& e : all) push_entry(e.time, e.seq_slot);
+}
+
+void Simulator::sweep() {
+  auto filter = [&](std::vector<Entry>& bucket, std::size_t begin) {
+    std::size_t kept = 0;
+    for (std::size_t i = begin; i < bucket.size(); ++i) {
+      if (!stale(bucket[i])) bucket[kept++] = bucket[i];
+    }
+    bucket.resize(kept);
+  };
+  filter(bucket0_, bucket0_cursor_);
+  bucket0_cursor_ = 0;
+  std::uint32_t lm = level_mask_;
+  while (lm != 0) {
+    const int level = std::countr_zero(lm);
+    lm &= lm - 1;
+    std::uint64_t dm = digit_mask_[level];
+    while (dm != 0) {
+      const int digit = std::countr_zero(dm);
+      dm &= dm - 1;
+      std::vector<Entry>& bucket = level_buckets_[level * kDigits + digit];
+      filter(bucket, 0);
+      if (bucket.empty()) digit_mask_[level] &= ~(1ull << digit);
+    }
+    if (digit_mask_[level] == 0) level_mask_ &= ~(1u << level);
+  }
+  dead_in_queue_ = 0;
+}
+
+bool Simulator::refill_bucket0() {
+  if (level_mask_ == 0) return false;
+  const int level = std::countr_zero(level_mask_);
+  const int digit = std::countr_zero(digit_mask_[level]);
+  std::vector<Entry>& bucket = level_buckets_[level * kDigits + digit];
+  digit_mask_[level] &= digit_mask_[level] - 1;
+  if (digit_mask_[level] == 0) level_mask_ &= ~(1u << level);
+  if (bucket.size() == 1) {
+    // Singleton buckets dominate sparse schedules; skip the scan and the
+    // vector swap dance entirely, and start pulling the slot's cache line
+    // while the pop loop comes back around.
+    const Entry e = bucket.front();
+    bucket.clear();
+    last_min_ = e.time;
+    bucket0_.push_back(e);
+    __builtin_prefetch(
+        &slot(static_cast<std::uint32_t>(e.seq_slot) & kSlotMask));
     return true;
   }
-  return false;
+  if (level == 0) {
+    // A level-0 bucket differs from last_min_ only in the low digit, so
+    // every entry shares one timestamp: refill is a vector swap, and the
+    // drained bucket inherits bucket 0's old capacity for reuse.
+    last_min_ = bucket.front().time;
+    bucket0_.swap(bucket);
+    return true;
+  }
+  // Pass 1: the minimum (time, then schedule order). Tombstones may define
+  // it — harmless: redistribution stays correct and the pop loop discards
+  // them; skipping the per-entry slab lookup keeps this a sequential scan.
+  const Entry* best = &bucket.front();
+  for (const Entry& e : bucket) {
+    if (e.time < best->time ||
+        (e.time == best->time && e.seq_slot < best->seq_slot)) {
+      best = &e;
+    }
+  }
+  last_min_ = best->time;
+  // Pass 2: redistribute around the new minimum. Every entry lands
+  // strictly below this level (the digit-`level` disagreement with the old
+  // last_min_ is resolved by the new one); stable appends preserve FIFO
+  // order for equal times. The minimum itself lands in bucket 0.
+  moving_.swap(bucket);
+  for (const Entry& e : moving_) push_entry(e.time, e.seq_slot);
+  moving_.clear();
+  return true;
+}
+
+bool Simulator::pop_one(SimTime limit) {
+  for (;;) {
+    if (bucket0_cursor_ >= bucket0_.size()) {
+      bucket0_.clear();
+      bucket0_cursor_ = 0;
+      if (!refill_bucket0()) return false;
+      continue;
+    }
+    const Entry e = bucket0_[bucket0_cursor_];
+    if (bucket0_cursor_ + 1 < bucket0_.size()) {
+      // Equal-time batch: pull the next slot's line while this callback
+      // runs.
+      __builtin_prefetch(&slot(static_cast<std::uint32_t>(
+                                   bucket0_[bucket0_cursor_ + 1].seq_slot) &
+                               kSlotMask));
+    }
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(e.seq_slot) & kSlotMask;
+    Slot& s = slot(index);
+    if (!s.cb || s.generation != static_cast<std::uint32_t>(
+                                     e.seq_slot >> kSlotBits)) {  // tombstone
+      ++bucket0_cursor_;
+      --dead_in_queue_;
+      continue;
+    }
+    if (static_cast<SimTime>(e.time) > limit) return false;
+    ++bucket0_cursor_;
+    --live_count_;
+    now_ = static_cast<SimTime>(e.time);
+    ++processed_;
+    // Invoke in place (one dispatch, no relocate). The slot reads as empty
+    // during the call, and is only freed afterwards, so re-entrant
+    // schedules cannot reuse the storage the running callable lives in.
+    s.cb.invoke_and_reset();
+    release_slot(index);
+    return true;
+  }
 }
 
 void Simulator::run_until(SimTime t) {

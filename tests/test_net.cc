@@ -141,6 +141,64 @@ TEST(GeoNetwork, PeeringOffsetIsDeterministicPerPair) {
   EXPECT_NE(net.base_rtt(HostId{1}, HostId{3}), r12);
 }
 
+TEST(GeoNetwork, CachedLookupsMatchFreshInstance) {
+  // The pair-metrics memo must be invisible: a network that has served
+  // thousands of (possibly repeated) queries answers identically to a
+  // fresh instance computing each pair for the first time.
+  auto build = [] {
+    GeoNetwork net(0.0);
+    Rng rng(42);
+    for (std::uint32_t i = 1; i <= 20; ++i) {
+      net.add_host(HostId{i}, {rng.uniform(-60, 60), rng.uniform(-180, 180)},
+                   static_cast<AccessTier>(rng.uniform_int(0, 5)),
+                   static_cast<int>(rng.uniform_int(0, 3)));
+    }
+    return net;
+  };
+  GeoNetwork hot = build();
+  for (int pass = 0; pass < 3; ++pass) {  // repeated = served from cache
+    for (std::uint32_t a = 1; a <= 20; ++a) {
+      for (std::uint32_t b = 1; b <= 20; ++b) {
+        hot.base_rtt(HostId{a}, HostId{b});
+        hot.bandwidth_mbps(HostId{a}, HostId{b});
+      }
+    }
+  }
+  GeoNetwork cold = build();
+  for (std::uint32_t a = 1; a <= 20; ++a) {
+    for (std::uint32_t b = 1; b <= 20; ++b) {
+      EXPECT_EQ(hot.base_rtt(HostId{a}, HostId{b}),
+                cold.base_rtt(HostId{a}, HostId{b}));
+      EXPECT_DOUBLE_EQ(hot.bandwidth_mbps(HostId{a}, HostId{b}),
+                       cold.bandwidth_mbps(HostId{a}, HostId{b}));
+    }
+  }
+}
+
+TEST(GeoNetwork, SetExtraRttInvalidatesCache) {
+  GeoNetwork net(0.0);
+  net.add_host(kA, {44.98, -93.26}, AccessTier::kCable);
+  net.add_host(kB, {44.99, -93.27}, AccessTier::kCable);
+  const auto before = net.base_rtt(kA, kB);  // caches the pair
+  net.set_extra_rtt_ms(kB, 25.0);
+  const auto after = net.base_rtt(kA, kB);
+  EXPECT_EQ(after - before, msec(25.0));  // kB's fixed penalty now applies
+  net.set_extra_rtt_ms(kB, 0.0);
+  EXPECT_EQ(net.base_rtt(kA, kB), before);
+}
+
+TEST(GeoNetwork, AddHostInvalidatesCache) {
+  // Adding a host must not leave stale metrics for existing pairs — in
+  // particular a previously-unknown host that was answered with the
+  // fallback RTT must get real metrics once registered.
+  GeoNetwork net(0.0);
+  net.add_host(kA, {44.98, -93.26}, AccessTier::kCable);
+  EXPECT_EQ(net.base_rtt(kA, kB), msec(50.0));  // fallback, now cached
+  net.add_host(kB, {44.99, -93.27}, AccessTier::kCable);
+  EXPECT_NE(net.base_rtt(kA, kB), msec(50.0));
+  EXPECT_LT(net.base_rtt(kA, kB), msec(45.0));
+}
+
 TEST(GeoNetwork, UnknownHostGetsFallback) {
   GeoNetwork net(0.0);
   net.add_host(kA, {44.98, -93.26}, AccessTier::kCable);

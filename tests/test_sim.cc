@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.h"
@@ -152,6 +153,95 @@ TEST(Periodic, CanStopItselfFromCallback) {
   });
   s.run_until(sec(1));
   EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PendingExcludesCancelledImmediately) {
+  Simulator s;
+  const EventId a = s.schedule_at(msec(10), [] {});
+  s.schedule_at(msec(20), [] {});
+  s.schedule_at(msec(30), [] {});
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_TRUE(s.cancel(a));
+  // The cancelled event leaves pending() at once, not when its timestamp
+  // is reached.
+  EXPECT_EQ(s.pending(), 2u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, TombstonesDoNotAccumulate) {
+  Simulator s;
+  // A persistent pool plus heavy cancel churn: the timeout-rearm pattern
+  // that made the old engine's queue grow without bound.
+  std::vector<EventId> persistent;
+  for (int i = 0; i < 100; ++i) {
+    persistent.push_back(s.schedule_at(sec(1000) + i, [] {}));
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = s.schedule_at(msec(100) + i % 50, [] {});
+    ASSERT_TRUE(s.cancel(id));
+    if (i % 10'000 == 0) {
+      // live + not-yet-purged tombstones stays O(pending()).
+      ASSERT_LE(s.queued_entries(), 300u);
+    }
+  }
+  EXPECT_EQ(s.pending(), 100u);
+  EXPECT_LE(s.queued_entries(), 300u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuse) {
+  Simulator s;
+  bool b_fired = false;
+  const EventId a = s.schedule_at(msec(10), [] {});
+  ASSERT_TRUE(s.cancel(a));
+  // B reuses A's arena slot; A's stale handle must not be able to touch it.
+  const EventId b = s.schedule_at(msec(20), [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.cancel(a));
+  s.run_all();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Simulator, RescheduleIntoRunUntilGap) {
+  // run_until can advance now() into a gap before the next queued batch;
+  // a schedule into that gap must still fire before the later batch.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(msec(100), [&] { order.push_back(100); });
+  s.schedule_at(msec(300), [&] { order.push_back(300); });
+  s.run_until(msec(200));
+  s.schedule_at(msec(250), [&] { order.push_back(250); });
+  s.schedule_at(msec(220), [&] { order.push_back(220); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{100, 220, 250, 300}));
+}
+
+TEST(Periodic, MoveConstructionTransfersOwnership) {
+  Simulator s;
+  int count = 0;
+  Periodic a(s, msec(10), msec(10), [&] { ++count; });
+  Periodic b(std::move(a));
+  EXPECT_TRUE(b.running());
+  EXPECT_FALSE(a.running());  // NOLINT(bugprone-use-after-move) inert
+  s.run_until(msec(25));
+  EXPECT_EQ(count, 2);
+  b.stop();
+  s.run_until(msec(100));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Periodic, MoveAssignmentStopsReplacedTask) {
+  Simulator s;
+  int fast = 0;
+  int slow = 0;
+  Periodic target(s, msec(1), msec(1), [&] { ++fast; });
+  Periodic replacement(s, msec(10), msec(10), [&] { ++slow; });
+  target = std::move(replacement);
+  s.run_until(msec(50));
+  EXPECT_EQ(fast, 0);  // the replaced task never fires
+  EXPECT_EQ(slow, 5);  // t = 10, 20, 30, 40, 50
 }
 
 TEST(SimScheduler, AdaptsSimulator) {
