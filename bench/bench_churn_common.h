@@ -36,6 +36,8 @@ struct ChurnWorldOptions {
   // Churn model overrides.
   double lifetime_shape{1.5};
   double lifetime_mean_sec{50.0};
+  // Enable scenario observability (TraceRecorder + MetricsRegistry).
+  bool trace{false};
 };
 
 // Build and run the churn world to the horizon. The node schedule, layout
@@ -47,6 +49,7 @@ inline ChurnWorld run_churn_world(const ChurnWorldOptions& options) {
   harness::ScenarioConfig config;
   config.seed = options.seed;
   config.manager_policy = options.manager_policy;
+  config.trace = options.trace;
   world.scenario = std::make_unique<harness::Scenario>(
       config, harness::NetKind::kMatrix, 25.0, 50.0, 0.05);
   auto& scenario = *world.scenario;
@@ -111,7 +114,7 @@ inline ChurnWorld run_churn_world(const ChurnWorldOptions& options) {
 inline ChurnWorld run_churn_world(int top_n, bool proactive,
                                   std::uint64_t seed,
                                   SimDuration horizon = sec(180.0),
-                                  int users = 10) {
+                                  int users = 10, bool trace = false) {
   ChurnWorldOptions options;
   options.seed = seed;
   options.horizon = horizon;
@@ -119,6 +122,7 @@ inline ChurnWorld run_churn_world(int top_n, bool proactive,
   options.client.top_n = top_n;
   options.client.probing_period = sec(5.0);
   options.client.proactive_connections = proactive;
+  options.trace = trace;
   return run_churn_world(options);
 }
 

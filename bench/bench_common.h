@@ -163,6 +163,29 @@ inline std::uint64_t total_test_invocations(harness::Scenario& scenario) {
   return total;
 }
 
+// Shared `--trace-out PATH` flag: when present, benches enable scenario
+// observability and dump the protocol trace as JSONL for eden_trace.
+// Returns empty when the flag is absent.
+inline std::string trace_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) return arg.substr(12);
+    if (arg == "--trace-out" && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+inline void write_trace(harness::Scenario& scenario, const std::string& path) {
+  if (path.empty()) return;
+  const auto* recorder = scenario.trace_recorder();
+  if (recorder == nullptr) return;
+  if (recorder->write_jsonl(path)) {
+    std::printf("\ntrace: %zu events -> %s\n", recorder->size(), path.c_str());
+  } else {
+    std::fprintf(stderr, "trace: failed to write %s\n", path.c_str());
+  }
+}
+
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("==============================================================\n");
   std::printf("EDEN reproduction — %s\n", experiment);

@@ -18,9 +18,10 @@ struct TraceResult {
   std::uint64_t hard_failures{0};
 };
 
-TraceResult run(bool proactive) {
+TraceResult run(bool proactive, const std::string& trace_out = {}) {
   auto setup = harness::make_realworld_setup(/*seed=*/2022);
   auto& scenario = *setup.scenario;
+  if (!trace_out.empty()) scenario.enable_observability();
   harness::start_all_nodes(scenario);
   scenario.run_until(sec(2.0));
 
@@ -53,18 +54,20 @@ TraceResult run(bool proactive) {
   }
   result.failovers = client.stats().failovers;
   result.hard_failures = client.stats().hard_failures;
+  bench::write_trace(scenario, trace_out);
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Fig 4 — failover trace: re-connect vs immediate connection switch",
       "the proactive approach resumes within ~a frame interval; the "
       "re-connect approach shows a multi-second service gap");
 
-  const TraceResult proactive = run(true);
+  // The proactive (our-approach) run carries the protocol trace.
+  const TraceResult proactive = run(true, bench::trace_out_path(argc, argv));
   const TraceResult reactive = run(false);
 
   print_section("Per-0.5s average latency (ms), node killed at t = 30 s");

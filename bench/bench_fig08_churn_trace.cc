@@ -13,14 +13,16 @@
 
 using namespace eden;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Fig 8 — 10 static users under high node churn (TopN = 3)",
       "latency drops within seconds of node joins (dynamic load "
       "balancing); departures raise latency without service disruption");
 
+  const std::string trace_out = bench::trace_out_path(argc, argv);
   auto world = bench::run_churn_world(/*top_n=*/3, /*proactive=*/true,
-                                      /*seed=*/2030);
+                                      /*seed=*/2030, sec(180.0), 10,
+                                      /*trace=*/!trace_out.empty());
 
   print_section("Average latency + alive nodes per 5 s bucket");
   Table table({"t (s)", "avg latency (ms)", "alive nodes", "frames completed"});
@@ -78,14 +80,16 @@ int main() {
     double mean_latency_ms{0};
     std::uint64_t frames{0};
     std::uint64_t hard_failures{0};
+    obs::MetricsSnapshot metrics;
   };
+  const bool traced = !trace_out.empty();
   const std::uint64_t replicate_seeds[] = {2030, 2031, 2032, 2033, 2034};
   harness::ParallelRunner pool;
   std::vector<std::function<Replicate()>> jobs;
   for (const std::uint64_t seed : replicate_seeds) {
-    jobs.emplace_back([seed] {
-      auto replicate_world =
-          bench::run_churn_world(/*top_n=*/3, /*proactive=*/true, seed);
+    jobs.emplace_back([seed, traced] {
+      auto replicate_world = bench::run_churn_world(
+          /*top_n=*/3, /*proactive=*/true, seed, sec(180.0), 10, traced);
       Replicate r;
       r.mean_latency_ms =
           harness::fleet_window(replicate_world.series(), 0, sec(180)).mean();
@@ -93,6 +97,7 @@ int main() {
         r.frames += c->stats().frames_ok;
         r.hard_failures += c->stats().hard_failures;
       }
+      r.metrics = replicate_world.scenario->metrics_snapshot();
       return r;
     });
   }
@@ -110,5 +115,15 @@ int main() {
   std::printf(
       "(service continuity holds across replicates: frames keep completing "
       "under every churn timeline, with hard failures staying rare)\n");
+
+  if (traced) {
+    // Per-replicate snapshots merge into one fleet-wide view — identical
+    // regardless of how the thread pool scheduled the replicates.
+    print_section("Merged metrics across replicates");
+    obs::MetricsSnapshot merged;
+    for (const auto& r : replicates) merged.merge(r.metrics);
+    std::printf("%s\n", merged.to_json().c_str());
+    bench::write_trace(*world.scenario, trace_out);
+  }
   return 0;
 }

@@ -54,10 +54,9 @@ int main() {
     config.app.app_type = segment ? "segment" : "detect";
     config.app.frame_cost = segment ? 3.0 : 1.0;
     config.app.max_fps = segment ? 10.0 : 20.0;
-    auto& user = scenario.add_edge_client(
-        ClientSpot{.name = (segment ? "seg-user-" : "det-user-") +
-                           std::to_string(i)},
-        config);
+    ClientSpot spot;
+    spot.name = (segment ? "seg-user-" : "det-user-") + std::to_string(i);
+    auto& user = scenario.add_edge_client(spot, config);
     scenario.simulator().schedule_at(sec(2.0 + i), [&user] { user.start(); });
     (segment ? segment_users : detect_users).push_back(&user);
   }

@@ -23,7 +23,14 @@ std::vector<std::pair<SimTime, int>> ChurnSchedule::staircase() const {
   int alive = 0;
   for (const auto& event : events) {
     alive += event.kind == ChurnEventKind::kJoin ? 1 : -1;
-    out.emplace_back(event.at, alive);
+    // Simultaneous events collapse to one step at their final count, so
+    // timestamps are strictly increasing and no transient count (e.g. a
+    // join already cancelled by a same-instant leave) leaks into plots.
+    if (!out.empty() && out.back().first == event.at) {
+      out.back().second = alive;
+    } else {
+      out.emplace_back(event.at, alive);
+    }
   }
   return out;
 }

@@ -21,6 +21,36 @@ void EdgeClient::emit(ClientEvent::Kind kind, NodeId node) {
   if (event_hook_) event_hook_(ClientEvent{kind, scheduler_->now(), node});
 }
 
+void EdgeClient::set_observability(obs::TraceRecorder* trace,
+                                   obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.keepalive_misses = &metrics->counter("client.keepalive_misses");
+  metrics_.failovers = &metrics->counter("client.failovers");
+  metrics_.hard_failures = &metrics->counter("client.hard_failures");
+  metrics_.frames_ok = &metrics->counter("client.frames_ok");
+  metrics_.frames_failed = &metrics->counter("client.frames_failed");
+  metrics_.probe_cycle_ms = &metrics->histogram("client.probe_cycle_ms");
+  metrics_.join_ms = &metrics->histogram("client.join_ms");
+  metrics_.failover_ms = &metrics->histogram("client.failover_ms");
+}
+
+void EdgeClient::trace(obs::EventKind kind, HostId subject, std::uint64_t span,
+                       double value) {
+  if (trace_ == nullptr) return;
+  trace_->record({scheduler_->now(), kind, config_.id, subject, span, value});
+}
+
+void EdgeClient::end_cycle() {
+  cycle_in_flight_ = false;
+  const double ms = to_ms(scheduler_->now() - cycle_started_at_);
+  trace(obs::EventKind::kProbeCycleEnd, {}, cycle_counter_, ms);
+  if (metrics_.probe_cycle_ms) metrics_.probe_cycle_ms->observe(ms);
+}
+
 EdgeClient::EdgeClient(sim::Scheduler& scheduler, net::ManagerApi& manager,
                        NodeResolver resolver, ClientConfig config)
     : scheduler_(&scheduler),
@@ -47,6 +77,16 @@ void EdgeClient::stop() {
   if (keepalive_event_ != sim::kInvalidEvent) {
     scheduler_->cancel(keepalive_event_);
   }
+  probing_event_ = sim::kInvalidEvent;
+  frame_event_ = sim::kInvalidEvent;
+  keepalive_event_ = sim::kInvalidEvent;
+  // A stop mid-cycle used to leave these latches set forever (the in-flight
+  // callbacks bail on !running_ without clearing them), which blocked every
+  // probing cycle after a restart. Clearing them here is safe for the same
+  // reason: whatever was in flight is a no-op once running_ is false.
+  cycle_in_flight_ = false;
+  keepalive_in_flight_ = false;
+  keepalive_miss_count_ = 0;
   if (current_) {
     if (auto* api = resolver_(*current_)) api->leave(config_.id);
     current_.reset();
@@ -76,6 +116,9 @@ void EdgeClient::arm_probing_timer() {
 void EdgeClient::probing_cycle(int retries_left) {
   if (!running_ || cycle_in_flight_) return;
   cycle_in_flight_ = true;
+  cycle_started_at_ = scheduler_->now();
+  ++cycle_counter_;
+  trace(obs::EventKind::kProbeCycleBegin, {}, cycle_counter_);
   ++stats_.discoveries;
   net::DiscoveryRequest request;
   request.client = config_.id;
@@ -83,13 +126,18 @@ void EdgeClient::probing_cycle(int retries_left) {
   request.network_tag = config_.network_tag;
   request.top_n = config_.top_n;
   request.app_type = config_.app.app_type;
+  trace(obs::EventKind::kDiscoverySend, {}, cycle_counter_);
   manager_->discover(request, [this, retries_left](
                                   std::optional<net::DiscoveryResponse> resp) {
     if (!running_) return;
     if (!resp || resp->candidates.empty()) {
-      cycle_in_flight_ = false;
+      trace(obs::EventKind::kDiscoveryResult, {}, cycle_counter_,
+            resp ? 0.0 : -1.0);
+      end_cycle();
       return;  // manager unreachable or empty system; next period retries
     }
+    trace(obs::EventKind::kDiscoveryResult, {}, cycle_counter_,
+          static_cast<double>(resp->candidates.size()));
     probe_candidates(resp->candidates, retries_left);
   });
 }
@@ -97,7 +145,7 @@ void EdgeClient::probing_cycle(int retries_left) {
 void EdgeClient::probe_candidates(
     const std::vector<net::CandidateInfo>& candidates, int retries_left) {
   auto cycle = std::make_shared<ProbeCycle>();
-  cycle->cycle = ++cycle_counter_;
+  cycle->cycle = cycle_counter_;
   cycle->pending = candidates.size();
 
   for (const auto& candidate : candidates) {
@@ -107,6 +155,7 @@ void EdgeClient::probe_candidates(
       continue;
     }
     ++stats_.probes_sent;
+    trace(obs::EventKind::kProbeSend, candidate.node, cycle->cycle);
     const SimTime t0 = scheduler_->now();
     // Algorithm 2 lines 5-9: time the RTT probe ourselves, then fetch the
     // cached what-if performance.
@@ -115,6 +164,7 @@ void EdgeClient::probe_candidates(
       if (!running_) return;
       if (!ok) {
         ++stats_.probe_failures;
+        trace(obs::EventKind::kProbeResult, node, cycle->cycle, -1.0);
         if (--cycle->pending == 0) finish_probe_cycle(cycle, retries_left);
         return;
       }
@@ -126,8 +176,11 @@ void EdgeClient::probe_candidates(
             if (pp) {
               cycle->results.push_back(
                   ProbeResult{node, d_prop_ms, *pp, config_.app.frame_cost});
+              trace(obs::EventKind::kProbeResult, node, cycle->cycle,
+                    d_prop_ms);
             } else {
               ++stats_.probe_failures;
+              trace(obs::EventKind::kProbeResult, node, cycle->cycle, -1.0);
             }
             if (--cycle->pending == 0) finish_probe_cycle(cycle, retries_left);
           });
@@ -149,6 +202,7 @@ void EdgeClient::finish_probe_cycle(const std::shared_ptr<ProbeCycle>& cycle,
       // rejected from the system this cycle (§IV-D). Detach so existing
       // users keep their QoS; the periodic probing keeps retrying.
       ++stats_.qos_rejections;
+      trace(obs::EventKind::kQosReject, {}, cycle_counter_);
       emit(ClientEvent::Kind::kQosRejected);
       if (current_) {
         if (auto* api = resolver_(*current_)) api->leave(config_.id);
@@ -156,14 +210,14 @@ void EdgeClient::finish_probe_cycle(const std::shared_ptr<ProbeCycle>& cycle,
         backups_.clear();
       }
     }
-    cycle_in_flight_ = false;
+    end_cycle();
     return;
   }
   if (current_ && sorted.front().node == *current_) {
     // Already on the best candidate: just refresh the backup list
     // (Algorithm 2 line 20).
     adopt_backups(sorted, 1);
-    cycle_in_flight_ = false;
+    end_cycle();
     return;
   }
   if (current_) {
@@ -179,7 +233,7 @@ void EdgeClient::finish_probe_cycle(const std::shared_ptr<ProbeCycle>& cycle,
       const double stay_cost = r.d_prop_ms + r.process.current_ms;
       if (key(sorted.front()) >= stay_cost * (1.0 - config_.switch_margin)) {
         adopt_backups(sorted, 0);  // better node becomes the first backup
-        cycle_in_flight_ = false;
+        end_cycle();
         return;
       }
       break;
@@ -193,34 +247,42 @@ void EdgeClient::attempt_join(const std::vector<ProbeResult>& sorted,
   const ProbeResult& best = sorted.front();
   net::NodeApi* api = resolver_(best.node);
   if (api == nullptr) {
-    cycle_in_flight_ = false;
+    end_cycle();
     return;
   }
   net::JoinRequest request;
   request.client = config_.id;
   request.seq_num = best.process.seq_num;
   request.rate_fps = rate_.fps();
-  api->join(request, [this, sorted, retries_left,
+  trace(obs::EventKind::kJoinSend, best.node, cycle_counter_);
+  const SimTime join_sent_at = scheduler_->now();
+  api->join(request, [this, sorted, retries_left, join_sent_at,
                       node = best.node](std::optional<net::JoinResponse> jr) {
     if (!running_) return;
-    cycle_in_flight_ = false;
+    const double join_ms = to_ms(scheduler_->now() - join_sent_at);
     if (jr && jr->accepted) {
+      trace(obs::EventKind::kJoinAccept, node, cycle_counter_, join_ms);
+      if (metrics_.join_ms) metrics_.join_ms->observe(join_ms);
       const bool switched = current_ && *current_ != node;
       if (switched) {
         if (auto* prev = resolver_(*current_)) prev->leave(config_.id);
         ++stats_.switches;
+        trace(obs::EventKind::kSwitch, node, cycle_counter_);
       }
       ++stats_.joins;
       current_ = node;
       adopt_backups(sorted, 1);
+      end_cycle();
       emit(switched ? ClientEvent::Kind::kSwitched : ClientEvent::Kind::kJoined,
            node);
       return;
     }
     // Join rejected (state changed since probing) or timed out: Algorithm 2
     // line 14 — repeat the probing process from the edge discovery step.
+    trace(obs::EventKind::kJoinReject, node, cycle_counter_, join_ms);
     ++stats_.join_conflicts;
     adopt_backups(sorted, 1);
+    end_cycle();
     if (retries_left > 0) {
       scheduler_->schedule_after(msec(10.0), [this, retries_left] {
         if (running_) probing_cycle(retries_left - 1);
@@ -251,34 +313,53 @@ void EdgeClient::arm_frame_timer() {
 
 void EdgeClient::send_frame() {
   if (!current_) return;  // not attached (yet / reconnecting)
-  net::NodeApi* api = resolver_(*current_);
-  if (api == nullptr) return;
+  const NodeId target = *current_;
+  net::NodeApi* api = resolver_(target);
+  const std::uint64_t frame_id = next_frame_id_++;
+  if (api == nullptr) {
+    // No route to the current node: the frame is lost before it hits the
+    // wire. Previously this returned silently — frames vanished uncounted
+    // and the client stayed attached forever. Count the drop and fail over
+    // immediately: unlike a timeout, a missing route is definitive, so
+    // there is no congestion ambiguity to damp.
+    ++stats_.frames_sent;
+    ++stats_.frames_failed;
+    if (metrics_.frames_failed) metrics_.frames_failed->inc();
+    rate_.on_frame_failure();
+    trace(obs::EventKind::kFrameDrop, target, 0,
+          static_cast<double>(frame_id));
+    handle_node_failure(target);
+    return;
+  }
   ++stats_.frames_sent;
   net::FrameRequest request;
   request.client = config_.id;
-  request.frame_id = next_frame_id_++;
+  request.frame_id = frame_id;
   request.bytes = config_.app.frame_bytes;
   request.cost = config_.app.frame_cost;
   const SimTime sent_at = scheduler_->now();
-  const NodeId target = *current_;
-  api->offload(request,
-               [this, target, sent_at](std::optional<net::FrameResponse> resp) {
-                 if (!running_) return;
-                 on_frame_done(target, sent_at, resp.has_value());
-               });
+  api->offload(request, [this, target, frame_id,
+                         sent_at](std::optional<net::FrameResponse> resp) {
+    if (!running_) return;
+    on_frame_done(target, frame_id, sent_at, resp.has_value());
+  });
 }
 
-void EdgeClient::on_frame_done(NodeId target, SimTime sent_at, bool ok) {
+void EdgeClient::on_frame_done(NodeId target, std::uint64_t frame_id,
+                               SimTime sent_at, bool ok) {
   if (ok) {
     const double e2e_ms = to_ms(scheduler_->now() - sent_at);
     ++stats_.frames_ok;
+    if (metrics_.frames_ok) metrics_.frames_ok->inc();
     latency_.add(scheduler_->now(), e2e_ms);
     samples_.add(e2e_ms);
     rate_.on_frame_latency(e2e_ms);
     return;
   }
   ++stats_.frames_failed;
+  if (metrics_.frames_failed) metrics_.frames_failed->inc();
   rate_.on_frame_failure();
+  trace(obs::EventKind::kFrameDrop, target, 0, static_cast<double>(frame_id));
   if (!current_ || *current_ != target) return;  // stale timeout
   // A timed-out frame on the current node means congestion (node death is
   // the keepalive's business): re-select at most once per half probing
@@ -303,10 +384,17 @@ void EdgeClient::arm_keepalive_timer() {
 
 void EdgeClient::keepalive_tick() {
   if (!current_ || keepalive_in_flight_) return;
-  net::NodeApi* api = resolver_(*current_);
-  if (api == nullptr) return;
-  keepalive_in_flight_ = true;
   const NodeId target = *current_;
+  net::NodeApi* api = resolver_(target);
+  if (api == nullptr) {
+    // No route to the current node (deregistered / pulled from the fabric).
+    // Previously this returned silently, so such a node never accrued
+    // misses and the client wedged on it forever. Score it as a miss so
+    // the failure monitor fires exactly as for a dead-but-routable node.
+    on_keepalive_miss(target);
+    return;
+  }
+  keepalive_in_flight_ = true;
   api->rtt_probe(config_.id, [this, target](bool ok) {
     keepalive_in_flight_ = false;
     if (!running_) return;
@@ -318,17 +406,27 @@ void EdgeClient::keepalive_tick() {
       keepalive_miss_count_ = 0;
       return;
     }
-    if (++keepalive_miss_count_ >= config_.keepalive_misses) {
-      keepalive_miss_count_ = 0;
-      handle_node_failure(target);
-    }
+    on_keepalive_miss(target);
   });
+}
+
+void EdgeClient::on_keepalive_miss(NodeId target) {
+  ++keepalive_miss_count_;
+  trace(obs::EventKind::kKeepaliveMiss, target, 0,
+        static_cast<double>(keepalive_miss_count_));
+  if (metrics_.keepalive_misses) metrics_.keepalive_misses->inc();
+  if (keepalive_miss_count_ >= config_.keepalive_misses) {
+    keepalive_miss_count_ = 0;
+    handle_node_failure(target);
+  }
 }
 
 // ---- failure monitor (§IV-E) ----
 
 void EdgeClient::handle_node_failure(NodeId failed) {
   if (!current_ || *current_ != failed) return;  // stale timeout
+  failure_detected_at_ = scheduler_->now();
+  trace(obs::EventKind::kNodeFailure, failed);
   current_.reset();
   if (config_.proactive_connections) {
     try_backup(0);
@@ -342,6 +440,8 @@ void EdgeClient::try_backup(std::size_t index) {
     // All backup edge nodes failed simultaneously — the only case in which
     // our approach still experiences a user-visible failure (Fig 10).
     ++stats_.hard_failures;
+    if (metrics_.hard_failures) metrics_.hard_failures->inc();
+    trace(obs::EventKind::kHardFailure);
     emit(ClientEvent::Kind::kHardFailure);
     backups_.clear();
     reactive_reconnect();
@@ -362,6 +462,12 @@ void EdgeClient::try_backup(std::size_t index) {
     if (ok) {
       current_ = node;
       ++stats_.failovers;
+      const double ms = failure_detected_at_ >= 0
+                            ? to_ms(scheduler_->now() - failure_detected_at_)
+                            : 0.0;
+      trace(obs::EventKind::kFailover, node, 0, ms);
+      if (metrics_.failovers) metrics_.failovers->inc();
+      if (metrics_.failover_ms) metrics_.failover_ms->observe(ms);
       emit(ClientEvent::Kind::kFailover, node);
       // A concurrent probing cycle (e.g. a rejected join) may have replaced
       // the backup list while this join was in flight — drop up to and

@@ -18,6 +18,8 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "net/api.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 #include "workload/app_profile.h"
 
@@ -116,6 +118,11 @@ class EdgeClient {
   using EventHook = std::function<void(const ClientEvent&)>;
   void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
 
+  // Opt-in tracing/metrics; either pointer may be null. Both must outlive
+  // the client. When never called, every hook is a single null-check.
+  void set_observability(obs::TraceRecorder* trace,
+                         obs::MetricsRegistry* metrics);
+
   // ---- introspection ----
   [[nodiscard]] const ClientConfig& config() const { return config_; }
   [[nodiscard]] ClientId id() const { return config_.id; }
@@ -150,25 +157,47 @@ class EdgeClient {
 
   void arm_frame_timer();
   void send_frame();
-  void on_frame_done(NodeId target, SimTime sent_at, bool ok);
+  void on_frame_done(NodeId target, std::uint64_t frame_id, SimTime sent_at,
+                     bool ok);
   void arm_keepalive_timer();
   void keepalive_tick();
+  void on_keepalive_miss(NodeId target);
 
   // Failure monitor.
   void handle_node_failure(NodeId failed);
   void try_backup(std::size_t index);
   void reactive_reconnect();
   void emit(ClientEvent::Kind kind, NodeId node = {});
+  void trace(obs::EventKind kind, HostId subject = {}, std::uint64_t span = 0,
+             double value = 0.0);
+  // Closes the in-flight probing cycle: clears the latch, traces the span
+  // end, and records the cycle duration histogram.
+  void end_cycle();
 
   sim::Scheduler* scheduler_;
   net::ManagerApi* manager_;
   NodeResolver resolver_;
   ClientConfig config_;
 
+  // Named metric handles, resolved once in set_observability(); all null
+  // when metrics are disabled.
+  struct Metrics {
+    obs::Counter* keepalive_misses{nullptr};
+    obs::Counter* failovers{nullptr};
+    obs::Counter* hard_failures{nullptr};
+    obs::Counter* frames_ok{nullptr};
+    obs::Counter* frames_failed{nullptr};
+    obs::Histogram* probe_cycle_ms{nullptr};
+    obs::Histogram* join_ms{nullptr};
+    obs::Histogram* failover_ms{nullptr};
+  };
+
   bool running_{false};
   bool cycle_in_flight_{false};
   SimTime last_congestion_reprobe_{0};
   std::uint64_t cycle_counter_{0};
+  SimTime cycle_started_at_{0};
+  SimTime failure_detected_at_{-1};
   std::optional<NodeId> current_;
   std::vector<NodeId> backups_;
   std::vector<ProbeResult> last_sorted_;
@@ -182,6 +211,8 @@ class EdgeClient {
   workload::RateController rate_;
   Rng rng_;
   EventHook event_hook_;
+  obs::TraceRecorder* trace_{nullptr};
+  Metrics metrics_;
   ClientStats stats_;
   TimeSeries latency_;
   Samples samples_;

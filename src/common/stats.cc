@@ -110,10 +110,23 @@ std::vector<std::pair<double, double>> Samples::cdf() const {
 
 void TimeSeries::add(SimTime t, double value) { points_.emplace_back(t, value); }
 
+namespace {
+
+// First point with timestamp >= t; points are time-ordered by contract.
+std::vector<std::pair<SimTime, double>>::const_iterator first_at_or_after(
+    const std::vector<std::pair<SimTime, double>>& points, SimTime t) {
+  return std::lower_bound(
+      points.begin(), points.end(), t,
+      [](const std::pair<SimTime, double>& p, SimTime v) { return p.first < v; });
+}
+
+}  // namespace
+
 StreamingStats TimeSeries::window(SimTime begin, SimTime end) const {
   StreamingStats stats;
-  for (const auto& [t, v] : points_) {
-    if (t >= begin && t < end) stats.add(v);
+  for (auto it = first_at_or_after(points_, begin);
+       it != points_.end() && it->first < end; ++it) {
+    stats.add(it->second);
   }
   return stats;
 }
@@ -123,8 +136,16 @@ std::vector<std::pair<SimTime, double>> TimeSeries::bucketed(
   std::vector<std::pair<SimTime, double>> out;
   if (bucket <= 0 || end <= begin) return out;
   double last = std::numeric_limits<double>::quiet_NaN();
+  // One forward pass: consume each bucket's run of points from where the
+  // previous bucket stopped instead of re-scanning the whole vector per
+  // bucket (the old O(points x buckets) behaviour).
+  auto it = first_at_or_after(points_, begin);
   for (SimTime t = begin; t < end; t += bucket) {
-    const StreamingStats w = window(t, t + bucket);
+    const SimTime bucket_end = t + bucket;
+    StreamingStats w;
+    for (; it != points_.end() && it->first < bucket_end; ++it) {
+      w.add(it->second);
+    }
     if (w.count() > 0) last = w.mean();
     out.emplace_back(t, last);
   }

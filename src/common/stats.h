@@ -61,6 +61,9 @@ class Samples {
 };
 
 // Timestamped scalar series (e.g. per-frame latency over simulated time).
+// Points must be added in non-decreasing time order — simulation time only
+// moves forward — which lets window()/bucketed() binary-search instead of
+// scanning.
 class TimeSeries {
  public:
   void add(SimTime t, double value);

@@ -38,6 +38,29 @@ Scenario::Scenario(ScenarioConfig config, const ModelFactory& factory)
                     net::AccessTier::kLocalZone);
   manager_ = std::make_unique<manager::CentralManager>(
       scheduler_, config_.manager_policy, config_.heartbeat_ttl);
+  if (config_.trace) enable_observability();
+}
+
+void Scenario::enable_observability() {
+  if (trace_recorder_) return;
+  trace_recorder_ = std::make_unique<obs::TraceRecorder>();
+  metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
+  manager_->set_observability(trace_recorder_.get(), metrics_registry_.get());
+  for (const auto& runtime : nodes_) {
+    runtime->node->set_observability(trace_recorder_.get());
+  }
+  for (const auto& runtime : edge_clients_) {
+    runtime->client->set_observability(trace_recorder_.get(),
+                                       metrics_registry_.get());
+  }
+}
+
+void Scenario::set_route(NodeId id, bool routed) {
+  if (routed) {
+    unrouted_.erase(id);
+  } else {
+    unrouted_.insert(id);
+  }
 }
 
 HostId Scenario::allocate_host() { return HostId{next_host_++}; }
@@ -105,12 +128,14 @@ std::size_t Scenario::add_node(const NodeSpec& spec) {
       *fabric_, *runtime->node, runtime->host, config_.timeouts,
       config_.wire_sizes);
 
+  if (trace_recorder_) runtime->node->set_observability(trace_recorder_.get());
   stubs_by_id_[runtime->node->id()] = runtime->stub.get();
   nodes_.push_back(std::move(runtime));
   return nodes_.size() - 1;
 }
 
 net::NodeApi* Scenario::node_api(NodeId id) {
+  if (unrouted_.count(id) != 0) return nullptr;
   const auto it = stubs_by_id_.find(id);
   return it == stubs_by_id_.end() ? nullptr : it->second;
 }
@@ -166,6 +191,10 @@ client::EdgeClient& Scenario::add_edge_client(const ClientSpot& spot,
       config_.wire_sizes);
   runtime->client = std::make_unique<client::EdgeClient>(
       scheduler_, *runtime->manager_stub, resolver(), config);
+  if (trace_recorder_) {
+    runtime->client->set_observability(trace_recorder_.get(),
+                                       metrics_registry_.get());
+  }
   edge_clients_.push_back(std::move(runtime));
   return *edge_clients_.back()->client;
 }

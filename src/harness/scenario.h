@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/node_info.h"
@@ -24,6 +25,8 @@
 #include "net/network_model.h"
 #include "net/sim_network.h"
 #include "node/edge_node.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 #include "sim/simulator.h"
 
@@ -36,6 +39,9 @@ struct ScenarioConfig {
   StubTimeouts timeouts{};
   WireSizes wire_sizes{};
   int geohash_precision{6};
+  // Opt-in observability: when true the scenario owns a TraceRecorder +
+  // MetricsRegistry and wires them through every component it builds.
+  bool trace{false};
 };
 
 struct NodeSpec {
@@ -146,6 +152,27 @@ class Scenario {
 
   void run_until(SimTime t) { simulator_.run_until(t); }
 
+  // ---- observability ----
+  // Turns on tracing + metrics after construction (idempotent; implied by
+  // ScenarioConfig::trace). Wires the manager and every node/client built
+  // so far and from now on.
+  void enable_observability();
+  // Null unless observability is enabled.
+  [[nodiscard]] obs::TraceRecorder* trace_recorder() {
+    return trace_recorder_.get();
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics_registry() {
+    return metrics_registry_.get();
+  }
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_registry_ ? metrics_registry_->snapshot()
+                             : obs::MetricsSnapshot{};
+  }
+  // Simulates losing/regaining the route to a node: with the route cut,
+  // node_api() (and thus every client resolver) returns nullptr for it —
+  // the "deregistered node still held by a client" liveness case.
+  void set_route(NodeId id, bool routed);
+
  private:
   struct NodeRuntime {
     NodeSpec spec;
@@ -181,8 +208,11 @@ class Scenario {
   HostId manager_host_;
   std::unique_ptr<manager::CentralManager> manager_;
   std::uint32_t next_host_{0};
+  std::unique_ptr<obs::TraceRecorder> trace_recorder_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::unordered_map<NodeId, SimNodeStub*> stubs_by_id_;
+  std::unordered_set<NodeId> unrouted_;
   std::vector<std::unique_ptr<EdgeClientRuntime>> edge_clients_;
   std::vector<std::unique_ptr<StaticClientRuntime>> static_clients_;
 };

@@ -20,8 +20,31 @@ void CentralManager::handle_deregister(NodeId node) {
 net::DiscoveryResponse CentralManager::handle_discover(
     const net::DiscoveryRequest& request) {
   ++stats_.discovery_queries;
+  if (discoveries_ != nullptr) discoveries_->inc();
+  // Expire explicitly (snapshot's internal expire then finds nothing) so
+  // heartbeat-timeout departures are observable at the moment the manager
+  // acts on them.
+  note_expired(registry_.expire(clock_->now()));
   return selector_.select(request, registry_.snapshot(clock_->now()),
                           clock_->now());
+}
+
+void CentralManager::set_observability(obs::TraceRecorder* trace,
+                                       obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  expirations_ =
+      metrics != nullptr ? &metrics->counter("manager.expirations") : nullptr;
+  discoveries_ =
+      metrics != nullptr ? &metrics->counter("manager.discoveries") : nullptr;
+}
+
+void CentralManager::note_expired(const std::vector<NodeId>& expired) {
+  if (expirations_ != nullptr) expirations_->inc(expired.size());
+  if (trace_ == nullptr) return;
+  for (const NodeId node : expired) {
+    trace_->record(
+        {clock_->now(), obs::EventKind::kNodeExpire, node, {}, 0, 0.0});
+  }
 }
 
 }  // namespace eden::manager

@@ -9,6 +9,8 @@
 #include "manager/global_selection.h"
 #include "manager/registry.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 
 namespace eden::manager {
@@ -37,20 +39,32 @@ class CentralManager {
   // on the next discovery query.
   void set_policy(GlobalPolicy policy) { selector_ = GlobalSelector(policy); }
 
+  // Opt-in tracing/metrics; either pointer may be null and both must
+  // outlive the manager.
+  void set_observability(obs::TraceRecorder* trace,
+                         obs::MetricsRegistry* metrics);
+
   // ---- introspection ----
   [[nodiscard]] Registry& registry() { return registry_; }
   [[nodiscard]] const GlobalSelector& selector() const { return selector_; }
   [[nodiscard]] const ManagerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t live_nodes() {
-    registry_.expire(clock_->now());
+    note_expired(registry_.expire(clock_->now()));
     return registry_.size();
   }
 
  private:
+  // Traces/counts nodes the registry just expired (missed heartbeats) —
+  // the only way the manager learns about abrupt departures.
+  void note_expired(const std::vector<NodeId>& expired);
+
   sim::Clock* clock_;
   Registry registry_;
   GlobalSelector selector_;
   ManagerStats stats_;
+  obs::TraceRecorder* trace_{nullptr};
+  obs::Counter* expirations_{nullptr};
+  obs::Counter* discoveries_{nullptr};
 };
 
 }  // namespace eden::manager

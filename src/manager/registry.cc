@@ -1,5 +1,7 @@
 #include "manager/registry.h"
 
+#include <algorithm>
+
 namespace eden::manager {
 
 void Registry::upsert(const net::NodeStatus& status, SimTime now) {
@@ -11,14 +13,18 @@ void Registry::upsert(const net::NodeStatus& status, SimTime now) {
 
 void Registry::remove(NodeId node) { entries_.erase(node); }
 
-void Registry::expire(SimTime now) {
+std::vector<NodeId> Registry::expire(SimTime now) {
+  std::vector<NodeId> expired;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now - it->second.last_heartbeat > heartbeat_ttl_) {
+      expired.push_back(it->first);
       it = entries_.erase(it);
     } else {
       ++it;
     }
   }
+  std::sort(expired.begin(), expired.end());
+  return expired;
 }
 
 std::optional<RegistryEntry> Registry::get(NodeId node) const {

@@ -26,8 +26,10 @@ class Registry {
 
   void upsert(const net::NodeStatus& status, SimTime now);
   void remove(NodeId node);
-  // Drop every entry whose heartbeat is older than the TTL.
-  void expire(SimTime now);
+  // Drop every entry whose heartbeat is older than the TTL; returns the
+  // expired ids sorted ascending so callers can observe departures
+  // deterministically.
+  std::vector<NodeId> expire(SimTime now);
 
   [[nodiscard]] std::optional<RegistryEntry> get(NodeId node) const;
   // Live entries as of `now` (expires first).

@@ -17,6 +17,10 @@ EdgeNode::EdgeNode(sim::Scheduler& scheduler, EdgeNodeConfig config,
 void EdgeNode::start() {
   if (running_) return;
   running_ = true;
+  if (trace_ != nullptr) {
+    trace_->record({scheduler_->now(), obs::EventKind::kNodeRegister,
+                    config_.id, {}, 0, 0.0});
+  }
   if (manager_ != nullptr) manager_->register_node(status());
   arm_heartbeat();
   invoke_test_workload(0);  // establish the initial what-if baseline
@@ -25,6 +29,13 @@ void EdgeNode::start() {
 void EdgeNode::stop(bool graceful) {
   if (!running_) return;
   running_ = false;
+  if (trace_ != nullptr) {
+    trace_->record({scheduler_->now(),
+                    graceful ? obs::EventKind::kNodeDeregister
+                             : obs::EventKind::kNodeDeath,
+                    config_.id, {}, 0,
+                    static_cast<double>(attached_.size())});
+  }
   executor_.reset();
   attached_.clear();
   if (heartbeat_event_ != sim::kInvalidEvent) {
@@ -174,6 +185,11 @@ void EdgeNode::evict_idle_users() {
 
 void EdgeNode::send_heartbeat() {
   evict_idle_users();
+  if (trace_ != nullptr) {
+    trace_->record({scheduler_->now(), obs::EventKind::kNodeHeartbeat,
+                    config_.id, {}, 0,
+                    static_cast<double>(attached_.size())});
+  }
   if (manager_ != nullptr) manager_->heartbeat(status());
 }
 

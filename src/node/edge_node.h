@@ -19,6 +19,7 @@
 #include "net/api.h"
 #include "net/protocol.h"
 #include "node/executor.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 
 namespace eden::node {
@@ -109,6 +110,10 @@ class EdgeNode {
     config_.endpoint = std::move(endpoint);
   }
 
+  // Opt-in lifecycle tracing (register/heartbeat/death/deregister); the
+  // recorder must outlive the node. Null disables.
+  void set_observability(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   // Shared tail of the three state-change triggers: bump seqNum and
   // (re-)measure the what-if performance after `delay`.
@@ -138,6 +143,7 @@ class EdgeNode {
   double current_ema_ms_{0};
   bool has_current_ema_{false};
   sim::EventId heartbeat_event_{sim::kInvalidEvent};
+  obs::TraceRecorder* trace_{nullptr};
   EdgeNodeStats stats_;
 };
 

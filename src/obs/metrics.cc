@@ -1,0 +1,91 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eden::obs {
+
+std::size_t histogram_bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN clamp to the first bucket
+  const double l = std::floor(std::log2(v)) + 11.0;
+  if (l < 0.0) return 0;
+  const auto i = static_cast<std::size_t>(l);
+  return i < kHistogramBuckets ? i : kHistogramBuckets - 1;
+}
+
+std::pair<double, double> histogram_bucket_bounds(std::size_t i) {
+  const double lo = std::exp2(static_cast<double>(i) - 11.0);
+  return {i == 0 ? 0.0 : lo, lo * 2.0};
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  stats.merge(other.stats);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":";
+    append_fmt(out, "%.6g", v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.stats.count());
+    out += ",\"mean\":";
+    append_fmt(out, "%.6g", h.stats.mean());
+    out += ",\"min\":";
+    append_fmt(out, "%.6g", h.stats.min());
+    out += ",\"max\":";
+    append_fmt(out, "%.6g", h.stats.max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramData data;
+    data.stats = h.stats();
+    data.buckets = h.buckets();
+    snap.histograms[name] = data;
+  }
+  return snap;
+}
+
+}  // namespace eden::obs

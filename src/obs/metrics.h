@@ -1,0 +1,101 @@
+// Named counters, gauges, and histograms for scenario-level measurement.
+// Components take a nullable MetricsRegistry* and register instruments by
+// name; a registry snapshot is a plain value that merges exactly across
+// ParallelRunner replicates (counter/gauge sums, Welford-merged histogram
+// moments plus log2 bucket sums), so fleet-wide metrics are independent of
+// how replicates were scheduled onto threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace eden::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_{0.0};
+};
+
+// Power-of-two bucket layout shared by Histogram and its snapshot form.
+// Bucket i covers [2^(i-11), 2^(i-10)) — from ~0.5 ms granularity below
+// 1 unit up to ~16M units — with underflow/overflow clamped to the ends.
+inline constexpr std::size_t kHistogramBuckets = 36;
+[[nodiscard]] std::size_t histogram_bucket_of(double v);
+// Inclusive-exclusive bounds of bucket i, for display.
+[[nodiscard]] std::pair<double, double> histogram_bucket_bounds(std::size_t i);
+
+class Histogram {
+ public:
+  void observe(double v) {
+    stats_.add(v);
+    buckets_[histogram_bucket_of(v)] += 1;
+  }
+  [[nodiscard]] const StreamingStats& stats() const { return stats_; }
+  [[nodiscard]] const std::array<std::uint64_t, kHistogramBuckets>& buckets()
+      const {
+    return buckets_;
+  }
+
+ private:
+  StreamingStats stats_;
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+};
+
+struct HistogramData {
+  StreamingStats stats;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  void merge(const HistogramData& other);
+};
+
+// A value-type snapshot of a registry, safe to copy out of a replicate's
+// world and merge on the coordinating thread.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  void merge(const MetricsSnapshot& other);
+  // Deterministic single-line JSON (sorted keys, fixed formatting).
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Instruments live in node-based maps so the references handed to
+// components stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace eden::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace eden::obs {
+
+namespace {
+
+// Index by EventKind; order must match the enum declaration exactly.
+constexpr const char* kKindNames[kEventKindCount] = {
+    "discovery_send",  "discovery_result", "probe_send",     "probe_result",
+    "join_send",       "join_accept",      "join_reject",    "switch",
+    "failover",        "hard_failure",     "qos_reject",     "keepalive_miss",
+    "node_failure",    "frame_drop",       "node_register",  "node_heartbeat",
+    "node_death",      "node_deregister",  "node_expire",    "probe_cycle_begin",
+    "probe_cycle_end",
+};
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kEventKindCount ? kKindNames[index] : "unknown";
+}
+
+std::optional<EventKind> kind_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    if (name == kKindNames[i]) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string to_jsonl_line(const TraceEvent& event) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t\":%" PRId64
+                ",\"ev\":\"%s\",\"actor\":%u,\"subject\":%u,\"span\":%" PRIu64
+                ",\"value\":%.3f}",
+                event.at, to_string(event.kind), event.actor.value,
+                event.subject.value, event.span, event.value);
+  return std::string(buf);
+}
+
+namespace {
+
+// Advances `pos` past `literal` in `line`, or returns false.
+bool consume(std::string_view line, std::size_t& pos, std::string_view literal) {
+  if (line.substr(pos, literal.size()) != literal) return false;
+  pos += literal.size();
+  return true;
+}
+
+// Parses the longest numeric run starting at `pos` with strtod/strtoll
+// semantics; the fields are emitted by snprintf so this round-trips.
+template <typename T, typename Parse>
+bool parse_number(std::string_view line, std::size_t& pos, Parse parse, T* out) {
+  // strtoX needs a NUL-terminated buffer; the numeric run is short.
+  char buf[64];
+  std::size_t len = 0;
+  while (pos + len < line.size() && len + 1 < sizeof(buf)) {
+    const char c = line[pos + len];
+    if ((c < '0' || c > '9') && c != '-' && c != '+' && c != '.' && c != 'e' &&
+        c != 'E') {
+      break;
+    }
+    buf[len++] = c;
+  }
+  if (len == 0) return false;
+  buf[len] = '\0';
+  char* end = nullptr;
+  *out = static_cast<T>(parse(buf, &end));
+  if (end != buf + len) return false;
+  pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::optional<TraceEvent> parse_jsonl_line(std::string_view line) {
+  TraceEvent event;
+  std::size_t pos = 0;
+  const auto ll = [](const char* s, char** e) { return std::strtoll(s, e, 10); };
+  const auto ull = [](const char* s, char** e) { return std::strtoull(s, e, 10); };
+
+  if (!consume(line, pos, "{\"t\":")) return std::nullopt;
+  if (!parse_number(line, pos, ll, &event.at)) return std::nullopt;
+  if (!consume(line, pos, ",\"ev\":\"")) return std::nullopt;
+  const std::size_t name_end = line.find('"', pos);
+  if (name_end == std::string_view::npos) return std::nullopt;
+  const auto kind = kind_from_string(line.substr(pos, name_end - pos));
+  if (!kind) return std::nullopt;
+  event.kind = *kind;
+  pos = name_end + 1;
+  std::uint64_t actor = 0;
+  std::uint64_t subject = 0;
+  if (!consume(line, pos, ",\"actor\":")) return std::nullopt;
+  if (!parse_number(line, pos, ull, &actor)) return std::nullopt;
+  if (!consume(line, pos, ",\"subject\":")) return std::nullopt;
+  if (!parse_number(line, pos, ull, &subject)) return std::nullopt;
+  event.actor = HostId(static_cast<std::uint32_t>(actor));
+  event.subject = HostId(static_cast<std::uint32_t>(subject));
+  if (!consume(line, pos, ",\"span\":")) return std::nullopt;
+  if (!parse_number(line, pos, ull, &event.span)) return std::nullopt;
+  if (!consume(line, pos, ",\"value\":")) return std::nullopt;
+  if (!parse_number(line, pos, std::strtod, &event.value)) return std::nullopt;
+  if (!consume(line, pos, "}")) return std::nullopt;
+  if (pos != line.size()) return std::nullopt;
+  return event;
+}
+
+std::string TraceRecorder::to_jsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 96);
+  for (const TraceEvent& event : events_) {
+    out += to_jsonl_line(event);
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << to_jsonl();
+  return static_cast<bool>(file);
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  counts_.fill(0);
+}
+
+}  // namespace eden::obs

@@ -1,0 +1,100 @@
+// Deterministic protocol tracing for the EDEN runtime. A TraceRecorder
+// captures timestamped structured events at the protocol transitions the
+// paper's robustness claims rest on (discovery, probing, join/reject,
+// switch, failover, keepalive misses, node lifecycle, frame drops) plus
+// span-style begin/end pairs for probe cycles. Components hold a nullable
+// recorder pointer — recording is strictly opt-in and a null pointer makes
+// every hot-path hook a single branch.
+//
+// Determinism contract: events carry simulated time only, are appended in
+// simulation order, and JSONL export formats every field with fixed
+// precision — so a replicate's trace is byte-identical no matter how many
+// ParallelRunner threads carried it, as long as each replicate owns its
+// recorder (the Scenario wiring guarantees that).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eden::obs {
+
+enum class EventKind : std::uint8_t {
+  // Client-side protocol transitions (actor = client id).
+  kDiscoverySend,    // discovery request issued; span = probe cycle
+  kDiscoveryResult,  // value = candidate count, -1 on timeout
+  kProbeSend,        // subject = candidate node; span = probe cycle
+  kProbeResult,      // value = measured D_prop ms, -1 on probe failure
+  kJoinSend,         // subject = best candidate; span = probe cycle
+  kJoinAccept,       // value = join round-trip ms
+  kJoinReject,       // value = join round-trip ms (reject or timeout)
+  kSwitch,           // voluntary move; subject = new node
+  kFailover,         // backup takeover; value = ms since failure detected
+  kHardFailure,      // every backup dead; reactive re-discovery begins
+  kQosReject,        // strict QoS: no candidate met the bound this cycle
+  kKeepaliveMiss,    // subject = current node; value = consecutive misses
+  kNodeFailure,      // failure monitor declared subject dead
+  kFrameDrop,        // subject = target node; value = frame id
+  // Node lifecycle (actor = node id).
+  kNodeRegister,
+  kNodeHeartbeat,    // value = attached users
+  kNodeDeath,        // abrupt stop (churn / crash)
+  kNodeDeregister,   // graceful leave
+  // Manager-side observation (actor = the node concerned).
+  kNodeExpire,       // manager expired the node after missed heartbeats
+  // Span markers for the Algorithm 2 probing cycle (actor = client id).
+  kProbeCycleBegin,  // span = cycle id
+  kProbeCycleEnd,    // span = cycle id; value = cycle duration ms
+};
+
+inline constexpr std::size_t kEventKindCount = 21;
+
+[[nodiscard]] const char* to_string(EventKind kind);
+[[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name);
+
+struct TraceEvent {
+  SimTime at{0};
+  EventKind kind{EventKind::kDiscoverySend};
+  HostId actor;        // the component that observed the event
+  HostId subject;      // the other party, invalid when not applicable
+  std::uint64_t span{0};  // probe-cycle correlation id, 0 = none
+  double value{0.0};      // kind-specific scalar (ms, counts, frame id)
+};
+
+// One JSONL line per event, fixed field order and precision:
+//   {"t":123,"ev":"probe_send","actor":7,"subject":2,"span":3,"value":0.000}
+[[nodiscard]] std::string to_jsonl_line(const TraceEvent& event);
+[[nodiscard]] std::optional<TraceEvent> parse_jsonl_line(std::string_view line);
+
+class TraceRecorder {
+ public:
+  void record(const TraceEvent& event) {
+    counts_[static_cast<std::size_t>(event.kind)] += 1;
+    events_.push_back(event);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t count(EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] std::string to_jsonl() const;
+  // Writes to_jsonl() to `path`; false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::array<std::size_t, kEventKindCount> counts_{};
+};
+
+}  // namespace eden::obs

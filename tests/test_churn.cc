@@ -91,6 +91,37 @@ TEST(GenerateChurn, StaircaseMatchesAliveAt) {
   }
 }
 
+TEST(Staircase, CollapsesSimultaneousEventsToFinalCount) {
+  // Regression: simultaneous events used to emit one staircase entry per
+  // event, producing duplicate timestamps with transient alive-counts
+  // (e.g. 3 then 1 both "at" t=10). Ties must collapse to the final count.
+  ChurnSchedule schedule;
+  schedule.total_nodes = 4;
+  schedule.events = {
+      {sec(0.0), ChurnEventKind::kJoin, 0},
+      {sec(0.0), ChurnEventKind::kJoin, 1},   // two joins at the same instant
+      {sec(10.0), ChurnEventKind::kJoin, 2},
+      {sec(10.0), ChurnEventKind::kJoin, 3},  // join + two leaves at t=10
+      {sec(10.0), ChurnEventKind::kLeave, 0},
+      {sec(10.0), ChurnEventKind::kLeave, 1},
+      {sec(20.0), ChurnEventKind::kLeave, 2},
+  };
+
+  const auto stairs = schedule.staircase();
+  ASSERT_EQ(stairs.size(), 3u);
+  EXPECT_EQ(stairs[0], (std::pair<SimTime, int>{sec(0.0), 2}));
+  EXPECT_EQ(stairs[1], (std::pair<SimTime, int>{sec(10.0), 2}));
+  EXPECT_EQ(stairs[2], (std::pair<SimTime, int>{sec(20.0), 1}));
+
+  // Timestamps strictly increase and every step agrees with alive_at().
+  for (std::size_t i = 1; i < stairs.size(); ++i) {
+    EXPECT_LT(stairs[i - 1].first, stairs[i].first);
+  }
+  for (const auto& [t, alive] : stairs) {
+    EXPECT_EQ(schedule.alive_at(t), alive);
+  }
+}
+
 TEST(GenerateChurn, PaperScaleProducesRoughly18Nodes) {
   // k=4 per 30s over 3 min = ~24 arrivals on average; the paper picked a
   // run with 18 total. Check the model is in that ballpark on average.

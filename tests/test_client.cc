@@ -254,6 +254,38 @@ TEST_F(ClientTest, StopLeavesCurrentNode) {
   EXPECT_EQ(scenario_.node(n).attached_users(), 0);
 }
 
+TEST_F(ClientTest, StopMidProbeThenRestartRecovers) {
+  // Regression: stop() used to leave cycle_in_flight_ (and the keepalive
+  // latch / miss count) set when it interrupted a cycle — the in-flight
+  // callbacks bail on !running_ without clearing them — so after a restart
+  // every probing_cycle() returned immediately and the client never
+  // attached again.
+  scenario_.enable_observability();
+  const auto n = scenario_.add_node(volunteer("n", 44.98, -93.26, 2, 30.0));
+  harness::start_all_nodes(scenario_);
+  scenario_.run_until(sec(2.0));
+  auto& client = scenario_.add_edge_client(
+      ClientSpot{"u1", {44.9778, -93.2650}, net::AccessTier::kCable, ""},
+      fast_probing_config(1));
+  // start() kicks off a discovery immediately; stopping in the same instant
+  // catches the cycle mid-flight.
+  client.start();
+  client.stop();
+  scenario_.run_until(sec(4.0));
+  EXPECT_FALSE(client.current_node().has_value());
+
+  client.start();
+  scenario_.run_until(sec(8.0));
+  ASSERT_TRUE(client.current_node().has_value());
+  EXPECT_EQ(*client.current_node(), scenario_.node_id(n));
+  EXPECT_GE(client.stats().discoveries, 2u);
+  // The restarted runtime really ran fresh probing cycles end to end.
+  auto* trace = scenario_.trace_recorder();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GE(trace->count(obs::EventKind::kProbeCycleBegin), 2u);
+  EXPECT_GE(trace->count(obs::EventKind::kJoinAccept), 1u);
+}
+
 TEST_F(ClientTest, NoNodesMeansNoAttachmentButNoCrash) {
   auto& client = scenario_.add_edge_client(
       ClientSpot{"u1", {44.9778, -93.2650}, net::AccessTier::kCable, ""},

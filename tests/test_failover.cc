@@ -195,6 +195,63 @@ TEST_F(FailoverTest, GracefulLeaveAlsoTriggersFailover) {
   EXPECT_NE(current_index(client), current);
 }
 
+TEST_F(FailoverTest, NoRouteKeepaliveDrivesFailover) {
+  // Regression: the current node's resolver yielding nullptr (deregistered
+  // / pulled from the fabric) used to return early from keepalive_tick(),
+  // so the node never accrued misses and the client stayed attached to it
+  // forever. No-route must count as a miss and drive the failure monitor.
+  scenario_.enable_observability();
+  build_three_nodes();
+  auto config = probing_config();
+  config.probing_period = sec(10.0);  // keepalive, not re-probing, must act
+  config.send_frames = false;         // selection-only: keepalive-only path
+  auto& client = add_client(config);
+  scenario_.run_until(sec(6.0));
+  ASSERT_TRUE(client.current_node().has_value());
+  const NodeId wedged = *client.current_node();
+  ASSERT_FALSE(client.backup_nodes().empty());
+
+  scenario_.set_route(wedged, false);
+  scenario_.run_until(sec(9.0));
+
+  auto* trace = scenario_.trace_recorder();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GE(trace->count(obs::EventKind::kKeepaliveMiss), 2u);
+  EXPECT_GE(trace->count(obs::EventKind::kNodeFailure), 1u);
+  EXPECT_GE(trace->count(obs::EventKind::kFailover), 1u);
+  EXPECT_GE(client.stats().failovers, 1u);
+  ASSERT_TRUE(client.current_node().has_value());
+  EXPECT_NE(*client.current_node(), wedged);
+}
+
+TEST_F(FailoverTest, NoRouteFrameIsCountedAndFailsOver) {
+  // Regression: send_frame() used to return early on a nullptr route —
+  // frames vanished without touching frames_sent/frames_failed and the
+  // client never reacted. A no-route frame is a definitive drop: count it
+  // and fail over immediately.
+  scenario_.enable_observability();
+  build_three_nodes();
+  auto& client = add_client(probing_config());
+  scenario_.run_until(sec(6.0));
+  ASSERT_TRUE(client.current_node().has_value());
+  const NodeId wedged = *client.current_node();
+  const auto frames_failed_before = client.stats().frames_failed;
+
+  scenario_.set_route(wedged, false);
+  scenario_.run_until(sec(8.0));
+
+  auto* trace = scenario_.trace_recorder();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GE(trace->count(obs::EventKind::kFrameDrop), 1u);
+  EXPECT_GE(trace->count(obs::EventKind::kNodeFailure), 1u);
+  EXPECT_GE(trace->count(obs::EventKind::kFailover), 1u);
+  EXPECT_GT(client.stats().frames_failed, frames_failed_before);
+  ASSERT_TRUE(client.current_node().has_value());
+  EXPECT_NE(*client.current_node(), wedged);
+  // Service resumed on the backup: frames complete after the cut.
+  EXPECT_GT(client.latency_series().window(sec(7), sec(8)).count(), 0u);
+}
+
 TEST_F(FailoverTest, FailedNodeRemovedFromDiscoveryAfterTtl) {
   build_three_nodes();
   auto& client = add_client(probing_config());

@@ -159,8 +159,8 @@ TEST(GeoNetwork, CachedLookupsMatchFreshInstance) {
   for (int pass = 0; pass < 3; ++pass) {  // repeated = served from cache
     for (std::uint32_t a = 1; a <= 20; ++a) {
       for (std::uint32_t b = 1; b <= 20; ++b) {
-        hot.base_rtt(HostId{a}, HostId{b});
-        hot.bandwidth_mbps(HostId{a}, HostId{b});
+        (void)hot.base_rtt(HostId{a}, HostId{b});
+        (void)hot.bandwidth_mbps(HostId{a}, HostId{b});
       }
     }
   }

@@ -1,0 +1,371 @@
+// Tests for the eden::obs observability layer: metric instruments and
+// snapshot merging, trace JSONL round-trips, Scenario wiring, and the
+// determinism contract — a replicate's trace and metrics are byte-for-byte
+// identical no matter how many ParallelRunner threads carried it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/parallel_runner.h"
+#include "harness/scenario.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace eden::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric instruments.
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  auto& hits = registry.counter("hits");
+  hits.inc();
+  hits.inc(4);
+  EXPECT_EQ(hits.value(), 5u);
+
+  auto& load = registry.gauge("load");
+  load.set(2.5);
+  load.add(-0.5);
+  EXPECT_DOUBLE_EQ(load.value(), 2.0);
+
+  auto& latency = registry.histogram("latency_ms");
+  latency.observe(10.0);
+  latency.observe(30.0);
+  EXPECT_EQ(latency.stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(latency.stats().mean(), 20.0);
+}
+
+TEST(Metrics, RegistryHandsOutStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("a");
+  // Creating more instruments must not invalidate the first reference.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("c" + std::to_string(i)).inc();
+    registry.histogram("h" + std::to_string(i)).observe(i);
+  }
+  EXPECT_EQ(&a, &registry.counter("a"));
+  a.inc();
+  EXPECT_EQ(registry.counter("a").value(), 1u);
+}
+
+TEST(Metrics, HistogramBucketOfEdgeCases) {
+  // Non-finite and non-positive values land in the underflow bucket.
+  EXPECT_EQ(histogram_bucket_of(0.0), 0u);
+  EXPECT_EQ(histogram_bucket_of(-3.0), 0u);
+  EXPECT_EQ(histogram_bucket_of(std::numeric_limits<double>::quiet_NaN()), 0u);
+  // Huge values clamp to the last bucket.
+  EXPECT_EQ(histogram_bucket_of(1e300), kHistogramBuckets - 1);
+
+  // Every in-range value falls inside its bucket's bounds, and buckets are
+  // monotone in the value.
+  std::size_t prev = 0;
+  for (double v = 0.001; v < 1e6; v *= 1.7) {
+    const std::size_t b = histogram_bucket_of(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+    if (b > 0 && b + 1 < kHistogramBuckets) {
+      const auto [lo, hi] = histogram_bucket_bounds(b);
+      EXPECT_GE(v, lo);
+      EXPECT_LT(v, hi);
+    }
+  }
+}
+
+TEST(Metrics, SnapshotMergeMatchesCombinedObservation) {
+  // Observing a stream in two halves and merging the snapshots must agree
+  // with observing the whole stream in one registry.
+  MetricsRegistry whole, left, right;
+  for (int i = 1; i <= 40; ++i) {
+    const double v = 3.0 * i;
+    whole.counter("n").inc();
+    whole.histogram("v").observe(v);
+    auto& part = (i <= 20) ? left : right;
+    part.counter("n").inc();
+    part.histogram("v").observe(v);
+  }
+  left.gauge("g").set(1.5);
+  right.gauge("g").set(2.0);
+  whole.gauge("g").set(3.5);  // merge adds gauges
+
+  MetricsSnapshot merged = left.snapshot();
+  merged.merge(right.snapshot());
+  const MetricsSnapshot expected = whole.snapshot();
+
+  EXPECT_EQ(merged.counters.at("n"), expected.counters.at("n"));
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), expected.gauges.at("g"));
+  const auto& mh = merged.histograms.at("v");
+  const auto& eh = expected.histograms.at("v");
+  EXPECT_EQ(mh.stats.count(), eh.stats.count());
+  EXPECT_NEAR(mh.stats.mean(), eh.stats.mean(), 1e-9);
+  EXPECT_NEAR(mh.stats.variance(), eh.stats.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(mh.stats.min(), eh.stats.min());
+  EXPECT_DOUBLE_EQ(mh.stats.max(), eh.stats.max());
+  EXPECT_EQ(mh.buckets, eh.buckets);
+}
+
+TEST(Metrics, MergeWithEmptySnapshotIsIdentity) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(7);
+  registry.histogram("h").observe(12.0);
+  MetricsSnapshot snap = registry.snapshot();
+  const std::string before = snap.to_json();
+  snap.merge(MetricsSnapshot{});
+  EXPECT_EQ(snap.to_json(), before);
+
+  MetricsSnapshot empty;
+  empty.merge(registry.snapshot());
+  EXPECT_EQ(empty.to_json(), before);
+}
+
+TEST(Metrics, ToJsonIsSortedAndStable) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc(2);
+  registry.counter("alpha").inc(1);
+  registry.gauge("mid").set(0.25);
+  registry.histogram("hist").observe(4.0);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_EQ(json, registry.snapshot().to_json());
+  // Sorted keys: alpha before zeta.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"hist\":{\"count\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace events and JSONL.
+
+TEST(Trace, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    const char* name = to_string(kind);
+    ASSERT_NE(name, nullptr);
+    const auto back = kind_from_string(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(kind_from_string("not_an_event").has_value());
+  EXPECT_FALSE(kind_from_string("").has_value());
+}
+
+TEST(Trace, JsonlLineRoundTrip) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    TraceEvent event;
+    event.at = msec(123.5) + static_cast<SimTime>(i);
+    event.kind = static_cast<EventKind>(i);
+    event.actor = HostId{7};
+    event.subject = (i % 2 == 0) ? HostId{3} : HostId{};
+    event.span = 42 + i;
+    event.value = 0.125 * static_cast<double>(i);
+    const std::string line = to_jsonl_line(event);
+    const auto parsed = parse_jsonl_line(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->at, event.at);
+    EXPECT_EQ(parsed->kind, event.kind);
+    EXPECT_EQ(parsed->actor, event.actor);
+    EXPECT_EQ(parsed->subject, event.subject);
+    EXPECT_EQ(parsed->span, event.span);
+    EXPECT_NEAR(parsed->value, event.value, 1e-3);
+  }
+}
+
+TEST(Trace, ParseRejectsMalformedLines) {
+  const char* bad[] = {
+      "",
+      "{}",
+      "not json",
+      R"({"t":1,"ev":"bogus_kind","actor":1,"subject":2,"span":0,"value":0.000})",
+      R"({"ev":"switch","t":1,"actor":1,"subject":2,"span":0,"value":0.000})",
+      R"({"t":1,"ev":"switch","actor":1,"subject":2,"span":0})",
+      R"({"t":1,"ev":"switch","actor":1,"subject":2,"span":0,"value":0.000}extra)",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_jsonl_line(line).has_value()) << line;
+  }
+}
+
+TEST(Trace, RecorderCountsAndClear) {
+  TraceRecorder recorder;
+  recorder.record({msec(1.0), EventKind::kProbeSend, HostId{1}, HostId{2}, 1});
+  recorder.record({msec(2.0), EventKind::kProbeSend, HostId{1}, HostId{3}, 1});
+  recorder.record({msec(3.0), EventKind::kSwitch, HostId{1}, HostId{3}});
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.count(EventKind::kProbeSend), 2u);
+  EXPECT_EQ(recorder.count(EventKind::kSwitch), 1u);
+  EXPECT_EQ(recorder.count(EventKind::kFailover), 0u);
+
+  // to_jsonl is one parseable line per event, in record order.
+  const std::string jsonl = recorder.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_TRUE(parse_jsonl_line(jsonl.substr(start, end - start)).has_value());
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 3u);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.count(EventKind::kProbeSend), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario wiring and the cross-thread determinism contract.
+
+harness::NodeSpec obs_volunteer(const std::string& name, double lat,
+                                double lon) {
+  harness::NodeSpec spec;
+  spec.name = name;
+  spec.position = {lat, lon};
+  spec.tier = net::AccessTier::kFiber;
+  spec.cores = 2;
+  spec.base_frame_ms = 25.0;
+  return spec;
+}
+
+struct TracedRun {
+  std::string jsonl;
+  MetricsSnapshot metrics;
+};
+
+// One deterministic replicate: three nodes, one client, kill the attached
+// node mid-run so the trace exercises the failure path too.
+TracedRun traced_run(std::uint64_t seed) {
+  harness::ScenarioConfig config;
+  config.seed = seed;
+  config.trace = true;
+  harness::Scenario scenario(config, harness::NetKind::kGeo);
+  scenario.add_node(obs_volunteer("a", 44.978, -93.265));
+  scenario.add_node(obs_volunteer("b", 44.99, -93.25));
+  scenario.add_node(obs_volunteer("c", 45.01, -93.20));
+  harness::start_all_nodes(scenario);
+  scenario.run_until(sec(2.0));
+
+  client::ClientConfig client_config;
+  client_config.top_n = 3;
+  client_config.probing_period = sec(2.0);
+  client_config.proactive_connections = true;
+  auto& client = scenario.add_edge_client(
+      harness::ClientSpot{"u1", {44.9778, -93.2650}, net::AccessTier::kCable,
+                          ""},
+      client_config);
+  client.start();
+  scenario.run_until(sec(6.0));
+  if (client.current_node()) {
+    const auto index = scenario.node_index(*client.current_node());
+    if (index) scenario.stop_node(*index, /*graceful=*/false);
+  }
+  scenario.run_until(sec(12.0));
+
+  TracedRun out;
+  out.jsonl = scenario.trace_recorder()->to_jsonl();
+  out.metrics = scenario.metrics_snapshot();
+  return out;
+}
+
+TEST(ScenarioObs, DisabledByDefaultWithEmptySnapshot) {
+  harness::Scenario scenario(harness::ScenarioConfig{.seed = 3},
+                             harness::NetKind::kGeo);
+  EXPECT_EQ(scenario.trace_recorder(), nullptr);
+  EXPECT_EQ(scenario.metrics_registry(), nullptr);
+  const MetricsSnapshot snap = scenario.metrics_snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(ScenarioObs, EnableObservabilityIsIdempotent) {
+  harness::Scenario scenario(harness::ScenarioConfig{.seed = 3},
+                             harness::NetKind::kGeo);
+  scenario.enable_observability();
+  auto* recorder = scenario.trace_recorder();
+  auto* registry = scenario.metrics_registry();
+  ASSERT_NE(recorder, nullptr);
+  scenario.enable_observability();
+  EXPECT_EQ(scenario.trace_recorder(), recorder);
+  EXPECT_EQ(scenario.metrics_registry(), registry);
+}
+
+TEST(ScenarioObs, TracedRunCoversTheProtocol) {
+  const TracedRun run = traced_run(/*seed=*/17);
+  ASSERT_FALSE(run.jsonl.empty());
+
+  // Re-parse the JSONL and count by kind: every line must parse, and the
+  // trace must cover discovery, probing, join, keepalive and failover.
+  std::array<std::size_t, kEventKindCount> counts{};
+  std::size_t start = 0;
+  while (start < run.jsonl.size()) {
+    std::size_t end = run.jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const auto event =
+        parse_jsonl_line(run.jsonl.substr(start, end - start));
+    ASSERT_TRUE(event.has_value());
+    counts[static_cast<std::size_t>(event->kind)] += 1;
+    start = end + 1;
+  }
+  auto count = [&counts](EventKind kind) {
+    return counts[static_cast<std::size_t>(kind)];
+  };
+  EXPECT_GE(count(EventKind::kDiscoverySend), 2u);
+  EXPECT_GE(count(EventKind::kDiscoveryResult), 2u);
+  EXPECT_GE(count(EventKind::kProbeSend), 3u);
+  EXPECT_GE(count(EventKind::kProbeResult), 3u);
+  EXPECT_GE(count(EventKind::kJoinSend), 1u);
+  EXPECT_GE(count(EventKind::kJoinAccept), 1u);
+  EXPECT_GE(count(EventKind::kNodeRegister), 3u);
+  EXPECT_GE(count(EventKind::kNodeHeartbeat), 3u);
+  EXPECT_EQ(count(EventKind::kNodeDeath), 1u);
+  EXPECT_GE(count(EventKind::kNodeFailure), 1u);
+  EXPECT_GE(count(EventKind::kFailover), 1u);
+  EXPECT_EQ(count(EventKind::kProbeCycleBegin),
+            count(EventKind::kProbeCycleEnd));
+  EXPECT_GE(count(EventKind::kProbeCycleBegin), 2u);
+
+  // The client-side metrics agree with the trace.
+  EXPECT_EQ(run.metrics.counters.at("client.failovers"),
+            count(EventKind::kFailover));
+  EXPECT_EQ(run.metrics.histograms.at("client.probe_cycle_ms").stats.count(),
+            count(EventKind::kProbeCycleEnd));
+}
+
+TEST(ScenarioObs, TraceIsByteIdenticalAcrossThreadCounts) {
+  // The same replicates fanned across differently-sized pools must yield
+  // byte-identical traces and metrics — the bench-level merge depends on
+  // this.
+  const std::uint64_t seeds[] = {5, 6, 7};
+  std::vector<TracedRun> sequential;
+  for (const std::uint64_t seed : seeds) sequential.push_back(traced_run(seed));
+
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    harness::ParallelRunner pool(threads);
+    std::vector<std::function<TracedRun()>> jobs;
+    for (const std::uint64_t seed : seeds) {
+      jobs.emplace_back([seed] { return traced_run(seed); });
+    }
+    const std::vector<TracedRun> pooled = pool.map<TracedRun>(std::move(jobs));
+    ASSERT_EQ(pooled.size(), sequential.size());
+    for (std::size_t i = 0; i < pooled.size(); ++i) {
+      EXPECT_EQ(pooled[i].jsonl, sequential[i].jsonl)
+          << "threads=" << threads << " replicate=" << i;
+      EXPECT_EQ(pooled[i].metrics.to_json(), sequential[i].metrics.to_json())
+          << "threads=" << threads << " replicate=" << i;
+    }
+
+    // Merged fleet-wide metrics are equally thread-count independent.
+    MetricsSnapshot merged;
+    for (const auto& r : pooled) merged.merge(r.metrics);
+    MetricsSnapshot expected;
+    for (const auto& r : sequential) expected.merge(r.metrics);
+    EXPECT_EQ(merged.to_json(), expected.to_json()) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace eden::obs

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 
@@ -163,6 +164,55 @@ TEST(TimeSeries, BucketedInvalidInputs) {
   TimeSeries ts;
   EXPECT_TRUE(ts.bucketed(0, msec(10), 0).empty());
   EXPECT_TRUE(ts.bucketed(msec(10), msec(5), msec(1)).empty());
+}
+
+TEST(TimeSeries, WindowAndBucketedMatchNaiveScan) {
+  // The lower_bound fast path must agree exactly with the naive
+  // full-vector scan it replaced — including duplicate timestamps and
+  // points outside the queried range on both sides.
+  TimeSeries ts;
+  Rng rng(77);
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    // ~25% duplicates: several frames can complete at the same instant.
+    if (rng.uniform() > 0.25) t += msec(rng.uniform() * 20.0);
+    ts.add(t, rng.uniform() * 100.0);
+  }
+
+  const auto naive_window = [&](SimTime begin, SimTime end) {
+    StreamingStats stats;
+    for (const auto& [pt, pv] : ts.points()) {
+      if (pt >= begin && pt < end) stats.add(pv);
+    }
+    return stats;
+  };
+
+  const SimTime begin = msec(500);
+  const SimTime end = msec(4500);
+  const SimDuration bucket = msec(70);
+  for (SimTime b = begin; b < end; b += bucket) {
+    const auto fast = ts.window(b, b + bucket);
+    const auto naive = naive_window(b, b + bucket);
+    ASSERT_EQ(fast.count(), naive.count());
+    EXPECT_DOUBLE_EQ(fast.mean(), naive.mean());
+    EXPECT_DOUBLE_EQ(fast.variance(), naive.variance());
+  }
+
+  const auto fast = ts.bucketed(begin, end, bucket);
+  std::size_t i = 0;
+  double last = std::numeric_limits<double>::quiet_NaN();
+  for (SimTime b = begin; b < end; b += bucket, ++i) {
+    const auto naive = naive_window(b, b + bucket);
+    if (naive.count() > 0) last = naive.mean();
+    ASSERT_LT(i, fast.size());
+    EXPECT_EQ(fast[i].first, b);
+    if (std::isnan(last)) {
+      EXPECT_TRUE(std::isnan(fast[i].second));
+    } else {
+      EXPECT_DOUBLE_EQ(fast[i].second, last);
+    }
+  }
+  EXPECT_EQ(i, fast.size());
 }
 
 }  // namespace

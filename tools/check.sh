@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-entry-point check: configure + build the release and asan presets and
+# run the full ctest suite on both. This is what CI runs; locally it is the
+# strictest pre-commit gate (the tier-1 tree in build/ is a subset).
+#
+# Usage: tools/check.sh [jobs]      (default: 2 parallel compile jobs)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-2}"
+
+for preset in release asan; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build (-j$JOBS) ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset"
+done
+
+echo "=== all presets green ==="

@@ -1,0 +1,171 @@
+// eden_trace: summarize a JSONL protocol trace produced by a traced
+// Scenario / bench run (--trace-out). Prints event counts, a per-client
+// attachment timeline (joins, switches, failovers, hard failures), and the
+// failover latency histogram — the observable form of the paper's bounded
+// user-visible interruption claim.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "obs/trace.h"
+#include "tools/flags.h"
+
+namespace {
+
+using eden::obs::EventKind;
+using eden::obs::TraceEvent;
+
+const char* describe(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kJoinAccept: return "joined";
+    case EventKind::kSwitch: return "switched to";
+    case EventKind::kFailover: return "failover to";
+    case EventKind::kHardFailure: return "HARD FAILURE (all backups dead)";
+    case EventKind::kQosReject: return "rejected by QoS filter";
+    case EventKind::kNodeFailure: return "detected failure of";
+    default: return eden::obs::to_string(event.kind);
+  }
+}
+
+bool is_timeline_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJoinAccept:
+    case EventKind::kSwitch:
+    case EventKind::kFailover:
+    case EventKind::kHardFailure:
+    case EventKind::kQosReject:
+    case EventKind::kNodeFailure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eden::tools::Flags flags(
+      argc, argv,
+      "usage: eden_trace --in trace.jsonl [--timeline-limit N]\n"
+      "  Summarizes an eden::obs JSONL trace: event counts, per-client\n"
+      "  attachment timeline, failover latency histogram.");
+  const std::string path = flags.str("in", "");
+  const int timeline_limit = flags.integer("timeline-limit", 20);
+  flags.check_unused();
+  if (path.empty()) {
+    std::fprintf(stderr, "eden_trace: --in is required (see --help)\n");
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "eden_trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<TraceEvent> events;
+  std::size_t malformed = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    if (auto event = eden::obs::parse_jsonl_line(line)) {
+      events.push_back(*event);
+    } else {
+      ++malformed;
+    }
+  }
+  std::printf("%s: %zu events", path.c_str(), events.size());
+  if (malformed != 0) std::printf(" (%zu malformed lines skipped)", malformed);
+  if (!events.empty()) {
+    std::printf(", t = [%.3f s, %.3f s]", eden::to_sec(events.front().at),
+                eden::to_sec(events.back().at));
+  }
+  std::printf("\n");
+
+  // ---- event counts ----
+  std::size_t counts[eden::obs::kEventKindCount] = {};
+  for (const TraceEvent& event : events) {
+    counts[static_cast<std::size_t>(event.kind)] += 1;
+  }
+  eden::print_section("Event counts");
+  eden::Table count_table({"event", "count"});
+  for (std::size_t i = 0; i < eden::obs::kEventKindCount; ++i) {
+    if (counts[i] == 0) continue;
+    count_table.add_row({eden::obs::to_string(static_cast<EventKind>(i)),
+                         eden::Table::integer(static_cast<long long>(counts[i]))});
+  }
+  count_table.print();
+
+  // ---- per-client attachment timeline ----
+  std::map<eden::HostId, std::vector<const TraceEvent*>> timelines;
+  for (const TraceEvent& event : events) {
+    if (is_timeline_kind(event.kind)) timelines[event.actor].push_back(&event);
+  }
+  eden::print_section("Attachment timelines");
+  if (timelines.empty()) {
+    std::printf("(no attachment events in trace)\n");
+  }
+  for (const auto& [client, entries] : timelines) {
+    std::printf("client %u (%zu events):\n", client.value, entries.size());
+    const std::size_t limit =
+        timeline_limit <= 0 ? entries.size()
+                            : static_cast<std::size_t>(timeline_limit);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i >= limit) {
+        std::printf("  ... %zu more\n", entries.size() - i);
+        break;
+      }
+      const TraceEvent& event = *entries[i];
+      std::printf("  %9.3f s  %s", eden::to_sec(event.at), describe(event));
+      if (event.subject.valid()) std::printf(" node %u", event.subject.value);
+      if (event.kind == EventKind::kFailover) {
+        std::printf("  (%.1f ms after detection)", event.value);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // ---- failover latency histogram ----
+  // kFailover.value is the time from failure detection to re-attachment.
+  eden::Samples failover_ms;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kFailover) failover_ms.add(event.value);
+  }
+  eden::print_section("Failover latency");
+  if (failover_ms.empty()) {
+    std::printf("(no failovers in trace)\n");
+    return 0;
+  }
+  std::printf(
+      "n=%zu  mean=%.1f ms  p50=%.1f ms  p90=%.1f ms  p99=%.1f ms  max=%.1f ms\n",
+      failover_ms.count(), failover_ms.mean(), failover_ms.percentile(50),
+      failover_ms.percentile(90), failover_ms.percentile(99),
+      failover_ms.max());
+  // Fixed-width ASCII buckets across the observed range.
+  const double lo = failover_ms.min();
+  const double hi = failover_ms.max();
+  const int kBuckets = 10;
+  const double width = (hi - lo) / kBuckets;
+  if (width > 0) {
+    std::vector<std::size_t> hist(kBuckets, 0);
+    for (const double v : failover_ms.values()) {
+      int b = static_cast<int>((v - lo) / width);
+      hist[std::clamp(b, 0, kBuckets - 1)] += 1;
+    }
+    const std::size_t peak = *std::max_element(hist.begin(), hist.end());
+    for (int b = 0; b < kBuckets; ++b) {
+      const int bar =
+          peak == 0 ? 0 : static_cast<int>(40.0 * static_cast<double>(hist[b]) /
+                                           static_cast<double>(peak));
+      std::printf("  [%7.1f, %7.1f) %-40s %zu\n", lo + b * width,
+                  lo + (b + 1) * width, std::string(bar, '#').c_str(), hist[b]);
+    }
+  }
+  return 0;
+}
