@@ -1,0 +1,357 @@
+// Scale bench: quantifies the discovery pipeline and fleet-construction
+// limits of the central-manager tier. Two phases:
+//
+//   1. Discovery microbench — a Registry loaded with --disc-nodes synthetic
+//      node statuses answers randomized discovery queries through (a) the
+//      legacy copying pipeline (Registry::snapshot() + linear widening
+//      scan, the pre-refactor manager hot path, kept as a compatibility
+//      shim) and (b) the geo-indexed pipeline (bucket-pruned visitation).
+//      Reported as queries/sec; the speedup ratio is the refactor's
+//      headline number.
+//
+//   2. Fleet scenario — --nodes edge nodes and --clients EdgeClients in one
+//      metro-scale Scenario, run for --seconds of simulated time at a low
+//      frame rate. Reported as build/run wall-clock, events processed and
+//      peak RSS: the memory- and CPU-bound layer the paper claims is
+//      scalable.
+//
+// `--json [path]` writes machine-readable results to BENCH_scale.json at
+// the repo root (or `path`). The smoke configuration (2000 clients / 200
+// nodes) is always measured alongside a bigger run so tools/check.sh can
+// compare wall-clock against the committed reference.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "geo/geohash.h"
+#include "harness/experiments.h"
+#include "manager/central_manager.h"
+
+using namespace eden;
+
+namespace {
+
+constexpr geo::GeoPoint kMetroCenter{44.9778, -93.2650};  // Minneapolis
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
+}
+
+// ---- phase 1: discovery microbench ----
+
+struct DiscoveryResult {
+  int nodes{0};
+  int queries{0};
+  double legacy_qps{0};
+  double indexed_qps{0};
+  std::uint64_t checksum_legacy{0};
+  std::uint64_t checksum_indexed{0};
+};
+
+std::uint64_t response_checksum(const net::DiscoveryResponse& response) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& c : response.candidates) {
+    h = (h ^ c.node.value) * 1099511628211ull;
+  }
+  return h;
+}
+
+// A registry of `count` nodes scattered over the metro (plus a small tail
+// of no-geohash stragglers, which the selector handles via prefix
+// fallback).
+void fill_registry(manager::Registry& registry, int count, Rng& rng,
+                   SimTime now) {
+  for (int i = 0; i < count; ++i) {
+    net::NodeStatus status;
+    status.node = NodeId{static_cast<std::uint32_t>(1000 + i)};
+    const auto position =
+        harness::random_point_near(kMetroCenter, /*max_km=*/45.0, rng);
+    if (i % 64 == 63) {
+      status.geohash.clear();  // volunteer without location data
+    } else {
+      status.geohash = geo::geohash_encode(position, 6);
+    }
+    status.cores = static_cast<int>(rng.uniform_int(2, 16));
+    status.base_frame_ms = rng.uniform(15.0, 60.0);
+    status.utilization = rng.uniform(0.0, 0.9);
+    status.attached_users = static_cast<int>(rng.uniform_int(0, 12));
+    status.network_tag = (i % 3 == 0) ? "isp-a" : "isp-b";
+    registry.upsert(status, now);
+  }
+}
+
+std::vector<net::DiscoveryRequest> make_requests(int count, Rng& rng) {
+  std::vector<net::DiscoveryRequest> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    net::DiscoveryRequest request;
+    request.client = ClientId{static_cast<std::uint32_t>(i)};
+    request.geohash = geo::geohash_encode(
+        harness::random_point_near(kMetroCenter, 40.0, rng), 6);
+    request.network_tag = (i % 2 == 0) ? "isp-a" : "isp-b";
+    request.top_n = 3;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+DiscoveryResult run_discovery_bench(int nodes, int queries) {
+  DiscoveryResult result;
+  result.nodes = nodes;
+  result.queries = queries;
+
+  Rng rng(2024);
+  const SimTime now = sec(100.0);
+  manager::Registry registry(sec(3.0));
+  fill_registry(registry, nodes, rng, now);
+  manager::GlobalSelector selector;
+  const auto requests = make_requests(queries, rng);
+
+  // Legacy pipeline: what CentralManager::handle_discover did before the
+  // geo index — one full snapshot copy per query, then the linear widening
+  // scan over every entry.
+  const double legacy_sec = wall_seconds([&] {
+    for (const auto& request : requests) {
+      const auto response =
+          selector.select(request, registry.snapshot(now), now);
+      result.checksum_legacy =
+          (result.checksum_legacy * 31) ^ response_checksum(response);
+    }
+  });
+  result.legacy_qps = queries / legacy_sec;
+
+  // Indexed pipeline: bucket-pruned candidate visitation straight off the
+  // registry, no snapshot copy. Checksums must match the legacy run —
+  // the selector is byte-identical by construction.
+  const double indexed_sec = wall_seconds([&] {
+    for (const auto& request : requests) {
+      const auto response = selector.select(request, registry, now);
+      result.checksum_indexed =
+          (result.checksum_indexed * 31) ^ response_checksum(response);
+    }
+  });
+  result.indexed_qps = queries / indexed_sec;
+  return result;
+}
+
+// ---- phase 2: fleet scenario ----
+
+struct ScaleResult {
+  int clients{0};
+  int nodes{0};
+  double sim_seconds{0};
+  double build_sec{0};
+  double run_sec{0};
+  double peak_rss_mb{0};
+  std::uint64_t events{0};
+  std::uint64_t frames_ok{0};
+  std::uint64_t discoveries{0};
+  std::size_t live_nodes{0};
+  double latency_p50_ms{0};
+  double latency_p99_ms{0};
+};
+
+harness::NodeSpec fleet_node_spec(std::size_t index, Rng& rng) {
+  harness::NodeSpec spec;
+  spec.name = "n" + std::to_string(index);
+  spec.position = harness::random_point_near(kMetroCenter, 45.0, rng);
+  spec.cores = static_cast<int>(rng.uniform_int(2, 8));
+  spec.base_frame_ms = rng.uniform(20.0, 45.0);
+  spec.network_tag = (index % 3 == 0) ? "isp-a" : "isp-b";
+  return spec;
+}
+
+ScaleResult run_scale_scenario(int clients, int nodes, double sim_seconds) {
+  ScaleResult result;
+  result.clients = clients;
+  result.nodes = nodes;
+  result.sim_seconds = sim_seconds;
+
+  harness::ScenarioConfig config;
+  config.seed = 7;
+  auto scenario = std::make_unique<harness::Scenario>(config);
+  Rng layout = scenario->rng().fork("scale-layout");
+
+  result.build_sec = wall_seconds([&] {
+    const std::size_t first_node = scenario->add_nodes(
+        harness::NodeSpec{}, static_cast<std::size_t>(nodes),
+        [&](std::size_t i, harness::NodeSpec& spec) {
+          spec = fleet_node_spec(i, layout);
+        });
+    for (std::size_t i = 0; i < static_cast<std::size_t>(nodes); ++i) {
+      scenario->start_node(first_node + i);
+    }
+    const std::size_t first_client = scenario->add_edge_clients(
+        [&](std::size_t i) {
+          harness::ClientSpot spot;
+          spot.name = "u" + std::to_string(i);
+          spot.position = harness::random_point_near(kMetroCenter, 40.0, layout);
+          spot.network_tag = (i % 2 == 0) ? "isp-a" : "isp-b";
+          return spot;
+        },
+        [](std::size_t) {
+          client::ClientConfig client_config;
+          client_config.top_n = 3;
+          client_config.app.max_fps = 2.0;
+          client_config.app.min_fps = 0.5;
+          client_config.app.adaptive_rate = false;
+          return client_config;
+        },
+        static_cast<std::size_t>(clients));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(clients); ++i) {
+      auto& c = scenario->edge_client(first_client + i);
+      // Stagger joins across the first 5 simulated seconds so discovery
+      // load ramps like a real fleet, not one thundering herd.
+      const SimTime start_at =
+          msec(5000.0 * static_cast<double>(i) / std::max(1, clients));
+      scenario->simulator().schedule_at(start_at, [&c] { c.start(); });
+    }
+  });
+
+  result.run_sec =
+      wall_seconds([&] { scenario->run_until(sec(sim_seconds)); });
+
+  result.events = scenario->simulator().events_processed();
+  result.live_nodes = scenario->central_manager().live_nodes();
+  result.discoveries = scenario->central_manager().stats().discovery_queries;
+  const harness::FleetStats fleet = scenario->fleet_stats();
+  result.frames_ok = fleet.totals.frames_ok;
+  result.latency_p50_ms = fleet.latency_p50_ms;
+  result.latency_p99_ms = fleet.latency_p99_ms;
+  result.peak_rss_mb = peak_rss_mb();
+  return result;
+}
+
+void print_scale(const ScaleResult& r) {
+  Table table({"clients", "nodes", "build (s)", "run (s)", "events", "RSS (MB)",
+               "frames ok", "p50 (ms)", "p99 (ms)"});
+  table.add_row({Table::integer(r.clients), Table::integer(r.nodes),
+                 Table::num(r.build_sec, 2), Table::num(r.run_sec, 2),
+                 Table::integer(static_cast<std::int64_t>(r.events)),
+                 Table::num(r.peak_rss_mb, 1),
+                 Table::integer(static_cast<std::int64_t>(r.frames_ok)),
+                 Table::num(r.latency_p50_ms, 1), Table::num(r.latency_p99_ms, 1)});
+  table.print();
+}
+
+void write_json(const std::string& path, const DiscoveryResult& disc,
+                const ScaleResult& main_run, const ScaleResult& smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scale: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"discovery\": {\"nodes\": %d, \"queries\": %d,\n"
+               "    \"legacy_qps\": %.1f, \"indexed_qps\": %.1f,\n"
+               "    \"speedup\": %.2f, \"responses_identical\": %s},\n",
+               disc.nodes, disc.queries, disc.legacy_qps, disc.indexed_qps,
+               disc.indexed_qps > 0 ? disc.indexed_qps / disc.legacy_qps : 0.0,
+               disc.checksum_indexed == disc.checksum_legacy ? "true" : "false");
+  const auto scale_json = [&](const char* key, const ScaleResult& r) {
+    std::fprintf(f,
+                 "  \"%s\": {\"clients\": %d, \"nodes\": %d, "
+                 "\"sim_seconds\": %.0f,\n"
+                 "    \"build_sec\": %.3f, \"run_sec\": %.3f, "
+                 "\"wall_sec\": %.3f,\n"
+                 "    \"events\": %llu, \"frames_ok\": %llu, "
+                 "\"discoveries\": %llu,\n"
+                 "    \"peak_rss_mb\": %.1f, \"latency_p50_ms\": %.1f, "
+                 "\"latency_p99_ms\": %.1f}",
+                 key, r.clients, r.nodes, r.sim_seconds, r.build_sec, r.run_sec,
+                 r.build_sec + r.run_sec,
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.frames_ok),
+                 static_cast<unsigned long long>(r.discoveries), r.peak_rss_mb,
+                 r.latency_p50_ms, r.latency_p99_ms);
+  };
+  scale_json("scale", main_run);
+  std::fprintf(f, ",\n");
+  scale_json("smoke", smoke);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("\njson -> %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 10'000;
+  int nodes = 1'000;
+  double seconds = 60.0;
+  int disc_nodes = 1'000;
+  int disc_queries = 20'000;
+  std::string json_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto int_flag = [&](const char* flag, int& out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        out = std::atoi(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    if (int_flag("--clients", clients) || int_flag("--nodes", nodes) ||
+        int_flag("--disc-nodes", disc_nodes) ||
+        int_flag("--disc-queries", disc_queries)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    }
+  }
+  if (json && json_path.empty()) {
+    json_path = std::string(EDEN_SOURCE_DIR) + "/BENCH_scale.json";
+  }
+
+  bench::print_header(
+      "scale — discovery throughput and 10k-client fleet construction",
+      "the central tier answers metro-scale discovery from an index, not a "
+      "copy; fleet construction is bulk, not per-entity");
+
+  print_section("discovery microbench (registry -> selector pipeline)");
+  const DiscoveryResult disc = run_discovery_bench(disc_nodes, disc_queries);
+  Table dtable({"nodes", "queries", "legacy q/s", "indexed q/s", "speedup"});
+  dtable.add_row({Table::integer(disc.nodes), Table::integer(disc.queries),
+                  Table::num(disc.legacy_qps, 0),
+                  Table::num(disc.indexed_qps, 0),
+                  disc.indexed_qps > 0
+                      ? Table::num(disc.indexed_qps / disc.legacy_qps, 2) + "x"
+                      : std::string("-")});
+  dtable.print();
+
+  print_section("smoke fleet (2000 clients / 200 nodes)");
+  const ScaleResult smoke = run_scale_scenario(2000, 200, seconds);
+  print_scale(smoke);
+
+  ScaleResult main_run = smoke;
+  if (clients != 2000 || nodes != 200) {
+    std::printf("\n");
+    print_section("fleet scenario");
+    main_run = run_scale_scenario(clients, nodes, seconds);
+    print_scale(main_run);
+  }
+
+  if (json) write_json(json_path, disc, main_run, smoke);
+  return 0;
+}

@@ -79,6 +79,22 @@ struct ClientStats {
   // Strict-QoS mode: probing cycles in which no candidate satisfied the
   // latency bound and the user stayed (or became) unattached (§IV-D).
   std::uint64_t qos_rejections{0};
+
+  ClientStats& operator+=(const ClientStats& other) {
+    frames_sent += other.frames_sent;
+    frames_ok += other.frames_ok;
+    frames_failed += other.frames_failed;
+    discoveries += other.discoveries;
+    probes_sent += other.probes_sent;
+    probe_failures += other.probe_failures;
+    switches += other.switches;
+    failovers += other.failovers;
+    hard_failures += other.hard_failures;
+    join_conflicts += other.join_conflicts;
+    joins += other.joins;
+    qos_rejections += other.qos_rejections;
+    return *this;
+  }
 };
 
 // Resolves a node id to the transport stub used to reach it. Returning

@@ -1,5 +1,6 @@
 #include "harness/scenario.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace eden::harness {
@@ -15,6 +16,18 @@ std::unique_ptr<net::NetworkModel> make_builtin_model(NetKind kind,
   }
   return std::make_unique<net::MatrixNetwork>(default_rtt_ms, default_bw_mbps,
                                               jitter_sigma);
+}
+
+// Same interpolation as Samples::percentile, over an already-sorted buffer.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 }  // namespace
@@ -38,6 +51,8 @@ Scenario::Scenario(ScenarioConfig config, const ModelFactory& factory)
                     net::AccessTier::kLocalZone);
   manager_ = std::make_unique<manager::CentralManager>(
       scheduler_, config_.manager_policy, config_.heartbeat_ttl);
+  manager_stub_.emplace(*fabric_, *manager_, manager_host_, ClientId{},
+                        config_.timeouts, config_.wire_sizes);
   if (config_.trace) enable_observability();
 }
 
@@ -46,12 +61,12 @@ void Scenario::enable_observability() {
   trace_recorder_ = std::make_unique<obs::TraceRecorder>();
   metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
   manager_->set_observability(trace_recorder_.get(), metrics_registry_.get());
-  for (const auto& runtime : nodes_) {
-    runtime->node->set_observability(trace_recorder_.get());
+  for (auto& runtime : nodes_) {
+    runtime.node.set_observability(trace_recorder_.get());
   }
-  for (const auto& runtime : edge_clients_) {
-    runtime->client->set_observability(trace_recorder_.get(),
-                                       metrics_registry_.get());
+  for (auto& runtime : edge_clients_) {
+    runtime.client.set_observability(trace_recorder_.get(),
+                                     metrics_registry_.get());
   }
 }
 
@@ -97,18 +112,10 @@ std::string Scenario::geohash_of(const geo::GeoPoint& position) const {
   return geo::geohash_encode(position, config_.geohash_precision);
 }
 
-std::size_t Scenario::add_node(const NodeSpec& spec) {
-  auto runtime = std::make_unique<NodeRuntime>();
-  runtime->spec = spec;
-  runtime->host = allocate_host();
-  register_position(runtime->host, spec.position, spec.tier, spec.extra_rtt_ms,
-                    spec.network_tag);
-
-  runtime->link = std::make_unique<SimManagerLink>(
-      *fabric_, *manager_, manager_host_, runtime->host, config_.wire_sizes);
-
+node::EdgeNodeConfig Scenario::make_node_config(const NodeSpec& spec,
+                                                HostId host) const {
   node::EdgeNodeConfig node_config;
-  node_config.id = runtime->host;  // NodeId == HostId by convention
+  node_config.id = host;  // NodeId == HostId by convention
   node_config.geohash = geohash_of(spec.position);
   node_config.network_tag = spec.network_tag;
   node_config.dedicated = spec.dedicated;
@@ -122,16 +129,32 @@ std::size_t Scenario::add_node(const NodeSpec& spec) {
   node_config.executor.burst_baseline = spec.burst_baseline;
   node_config.executor.initial_credits_core_sec = spec.initial_credits_core_sec;
   node_config.executor.background_load = spec.background_load;
-  runtime->node = std::make_unique<node::EdgeNode>(scheduler_, node_config,
-                                                   runtime->link.get());
-  runtime->stub = std::make_unique<SimNodeStub>(
-      *fabric_, *runtime->node, runtime->host, config_.timeouts,
-      config_.wire_sizes);
+  return node_config;
+}
 
-  if (trace_recorder_) runtime->node->set_observability(trace_recorder_.get());
-  stubs_by_id_[runtime->node->id()] = runtime->stub.get();
-  nodes_.push_back(std::move(runtime));
+std::size_t Scenario::add_node(const NodeSpec& spec) {
+  const HostId host = allocate_host();
+  register_position(host, spec.position, spec.tier, spec.extra_rtt_ms,
+                    spec.network_tag);
+  NodeRuntime& runtime = nodes_.emplace_back(
+      spec, host, *fabric_, *manager_, manager_host_, scheduler_,
+      make_node_config(spec, host), config_.timeouts, config_.wire_sizes);
+  if (trace_recorder_) runtime.node.set_observability(trace_recorder_.get());
+  stubs_by_id_[runtime.node.id()] = &runtime.stub;
+  node_index_by_id_[runtime.node.id()] = nodes_.size() - 1;
   return nodes_.size() - 1;
+}
+
+std::size_t Scenario::add_nodes(const NodeSpec& base, std::size_t count,
+                                const NodePlacementFn& placement) {
+  const std::size_t first = nodes_.size();
+  NodeSpec spec;
+  for (std::size_t i = 0; i < count; ++i) {
+    spec = base;
+    if (placement) placement(i, spec);
+    add_node(spec);
+  }
+  return first;
 }
 
 net::NodeApi* Scenario::node_api(NodeId id) {
@@ -141,21 +164,20 @@ net::NodeApi* Scenario::node_api(NodeId id) {
 }
 
 std::optional<std::size_t> Scenario::node_index(NodeId id) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i]->node->id() == id) return i;
-  }
-  return std::nullopt;
+  const auto it = node_index_by_id_.find(id);
+  if (it == node_index_by_id_.end()) return std::nullopt;
+  return it->second;
 }
 
 void Scenario::start_node(std::size_t index) {
-  auto& runtime = *nodes_[index];
+  auto& runtime = nodes_[index];
   hosts_.set_alive(runtime.host, true);
-  runtime.node->start();
+  runtime.node.start();
 }
 
 void Scenario::stop_node(std::size_t index, bool graceful) {
-  auto& runtime = *nodes_[index];
-  runtime.node->stop(graceful);
+  auto& runtime = nodes_[index];
+  runtime.node.stop(graceful);
   hosts_.set_alive(runtime.host, false);
 }
 
@@ -175,42 +197,41 @@ client::NodeResolver Scenario::resolver() {
 
 client::EdgeClient& Scenario::add_edge_client(const ClientSpot& spot,
                                               client::ClientConfig config) {
-  auto runtime = std::make_unique<EdgeClientRuntime>();
-  runtime->spot = spot;
-  runtime->host = allocate_host();
-  hosts_.set_alive(runtime->host, true);
-  register_position(runtime->host, spot.position, spot.tier, 0.0,
-                    spot.network_tag);
+  const HostId host = allocate_host();
+  hosts_.set_alive(host, true);
+  register_position(host, spot.position, spot.tier, 0.0, spot.network_tag);
 
-  config.id = runtime->host;
+  config.id = host;
   if (config.geohash.empty()) config.geohash = geohash_of(spot.position);
   if (config.network_tag.empty()) config.network_tag = spot.network_tag;
 
-  runtime->manager_stub = std::make_unique<SimManagerStub>(
-      *fabric_, *manager_, manager_host_, runtime->host, config_.timeouts,
-      config_.wire_sizes);
-  runtime->client = std::make_unique<client::EdgeClient>(
-      scheduler_, *runtime->manager_stub, resolver(), config);
+  EdgeClientRuntime& runtime = edge_clients_.emplace_back(
+      spot, host, scheduler_, *manager_stub_, resolver(), std::move(config));
   if (trace_recorder_) {
-    runtime->client->set_observability(trace_recorder_.get(),
-                                       metrics_registry_.get());
+    runtime.client.set_observability(trace_recorder_.get(),
+                                     metrics_registry_.get());
   }
-  edge_clients_.push_back(std::move(runtime));
-  return *edge_clients_.back()->client;
+  return runtime.client;
+}
+
+std::size_t Scenario::add_edge_clients(const ClientSpotFn& spot_fn,
+                                       const ClientConfigFn& config_fn,
+                                       std::size_t count) {
+  const std::size_t first = edge_clients_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    add_edge_client(spot_fn(i), config_fn(i));
+  }
+  return first;
 }
 
 baselines::StaticClient& Scenario::add_static_client(const ClientSpot& spot,
                                                      workload::AppProfile app) {
-  auto runtime = std::make_unique<StaticClientRuntime>();
-  runtime->spot = spot;
-  runtime->host = allocate_host();
-  hosts_.set_alive(runtime->host, true);
-  register_position(runtime->host, spot.position, spot.tier, 0.0,
-                    spot.network_tag);
-  runtime->client = std::make_unique<baselines::StaticClient>(
-      scheduler_, resolver(), runtime->host, app);
-  static_clients_.push_back(std::move(runtime));
-  return *static_clients_.back()->client;
+  const HostId host = allocate_host();
+  hosts_.set_alive(host, true);
+  register_position(host, spot.position, spot.tier, 0.0, spot.network_tag);
+  StaticClientRuntime& runtime = static_clients_.emplace_back(
+      spot, host, scheduler_, resolver(), std::move(app));
+  return runtime.client;
 }
 
 std::vector<baselines::NodeInfo> Scenario::node_infos() const {
@@ -218,16 +239,16 @@ std::vector<baselines::NodeInfo> Scenario::node_infos() const {
   out.reserve(nodes_.size());
   for (const auto& runtime : nodes_) {
     baselines::NodeInfo info;
-    info.id = runtime->node->id();
-    info.name = runtime->spec.name;
-    info.position = runtime->spec.position;
-    info.cores = runtime->spec.cores;
-    info.base_frame_ms = runtime->spec.base_frame_ms;
-    info.dedicated = runtime->spec.dedicated;
-    info.is_cloud = runtime->spec.is_cloud;
-    info.burstable = runtime->spec.burstable;
-    info.burst_baseline = runtime->spec.burst_baseline;
-    info.contention_alpha = runtime->spec.contention_alpha;
+    info.id = runtime.node.id();
+    info.name = runtime.spec.name;
+    info.position = runtime.spec.position;
+    info.cores = runtime.spec.cores;
+    info.base_frame_ms = runtime.spec.base_frame_ms;
+    info.dedicated = runtime.spec.dedicated;
+    info.is_cloud = runtime.spec.is_cloud;
+    info.burstable = runtime.spec.burstable;
+    info.burst_baseline = runtime.spec.burst_baseline;
+    info.contention_alpha = runtime.spec.contention_alpha;
     out.push_back(std::move(info));
   }
   return out;
@@ -244,14 +265,43 @@ baselines::PredictInput Scenario::predict_input(
     rtt_row.reserve(nodes_.size());
     trans_row.reserve(nodes_.size());
     for (const auto& runtime : nodes_) {
-      rtt_row.push_back(to_ms(model_->base_rtt(client, runtime->host)));
+      rtt_row.push_back(to_ms(model_->base_rtt(client, runtime.host)));
       trans_row.push_back(
-          to_ms(model_->transfer_delay(client, runtime->host, frame_bytes)));
+          to_ms(model_->transfer_delay(client, runtime.host, frame_bytes)));
     }
     input.rtt_ms.push_back(std::move(rtt_row));
     input.trans_ms.push_back(std::move(trans_row));
   }
   return input;
+}
+
+FleetStats Scenario::fleet_stats() const {
+  FleetStats out;
+  out.clients = edge_clients_.size();
+  std::size_t total = 0;
+  for (const auto& runtime : edge_clients_) {
+    total += runtime.client.latency_samples().count();
+  }
+  std::vector<double> all;
+  all.reserve(total);
+  double sum = 0.0;
+  for (const auto& runtime : edge_clients_) {
+    out.totals += runtime.client.stats();
+    for (const double v : runtime.client.latency_samples().values()) {
+      all.push_back(v);
+      sum += v;
+    }
+  }
+  out.latency_count = all.size();
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    out.latency_mean_ms = sum / static_cast<double>(all.size());
+    out.latency_p50_ms = percentile_sorted(all, 50.0);
+    out.latency_p90_ms = percentile_sorted(all, 90.0);
+    out.latency_p99_ms = percentile_sorted(all, 99.0);
+    out.latency_max_ms = all.back();
+  }
+  return out;
 }
 
 }  // namespace eden::harness

@@ -3,8 +3,18 @@
 // model, host liveness — with helpers for scheduling node churn and
 // building the optimal-solver inputs. Every bench and integration test is
 // a Scenario plus a policy choice.
+//
+// Scale architecture: node/client runtimes live in deques of value-typed
+// records (stable addresses, one allocation per block instead of per
+// entity), all edge clients share one SimManagerStub parameterised by the
+// caller id carried in each request, and bulk builders (add_nodes /
+// add_edge_clients) construct whole fleets without per-entity call
+// overhead. fleet_stats() aggregates across the fleet without copying
+// per-client sample vectors around.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -71,6 +81,19 @@ struct ClientSpot {
   std::string network_tag;
 };
 
+// Fleet-wide aggregate of every edge client's counters and frame
+// latencies. Percentiles use the same interpolation as Samples.
+struct FleetStats {
+  std::size_t clients{0};
+  client::ClientStats totals{};
+  std::size_t latency_count{0};
+  double latency_mean_ms{0};
+  double latency_p50_ms{0};
+  double latency_p90_ms{0};
+  double latency_p99_ms{0};
+  double latency_max_ms{0};
+};
+
 enum class NetKind { kGeo, kMatrix };
 
 class Scenario {
@@ -100,15 +123,21 @@ class Scenario {
 
   // ---- nodes ----
   std::size_t add_node(const NodeSpec& spec);
+  // Bulk construction: `count` nodes cloned from `base`; `placement`
+  // (optional) mutates the spec for each index — position, name, tier...
+  // Returns the index of the first node added.
+  using NodePlacementFn = std::function<void(std::size_t, NodeSpec&)>;
+  std::size_t add_nodes(const NodeSpec& base, std::size_t count,
+                        const NodePlacementFn& placement = {});
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] node::EdgeNode& node(std::size_t index) {
-    return *nodes_[index]->node;
+    return nodes_[index].node;
   }
   [[nodiscard]] const NodeSpec& node_spec(std::size_t index) const {
-    return nodes_[index]->spec;
+    return nodes_[index].spec;
   }
   [[nodiscard]] NodeId node_id(std::size_t index) const {
-    return nodes_[index]->node->id();
+    return nodes_[index].node.id();
   }
   [[nodiscard]] net::NodeApi* node_api(NodeId id);
   // Index of the node with this id, if any.
@@ -122,16 +151,23 @@ class Scenario {
   // ---- clients ----
   client::EdgeClient& add_edge_client(const ClientSpot& spot,
                                       client::ClientConfig config);
+  // Bulk construction: `count` clients, spot and config produced per index.
+  // Returns the index of the first client added.
+  using ClientSpotFn = std::function<ClientSpot(std::size_t)>;
+  using ClientConfigFn = std::function<client::ClientConfig(std::size_t)>;
+  std::size_t add_edge_clients(const ClientSpotFn& spot_fn,
+                               const ClientConfigFn& config_fn,
+                               std::size_t count);
   baselines::StaticClient& add_static_client(const ClientSpot& spot,
                                              workload::AppProfile app);
   [[nodiscard]] std::size_t edge_client_count() const {
     return edge_clients_.size();
   }
   [[nodiscard]] client::EdgeClient& edge_client(std::size_t index) {
-    return *edge_clients_[index]->client;
+    return edge_clients_[index].client;
   }
   [[nodiscard]] baselines::StaticClient& static_client(std::size_t index) {
-    return *static_clients_[index]->client;
+    return static_clients_[index].client;
   }
   [[nodiscard]] std::size_t static_client_count() const {
     return static_clients_.size();
@@ -147,6 +183,9 @@ class Scenario {
   [[nodiscard]] baselines::PredictInput predict_input(
       const std::vector<HostId>& clients, double fps,
       double frame_bytes) const;
+
+  // Merged counters + latency distribution across every edge client.
+  [[nodiscard]] FleetStats fleet_stats() const;
 
   [[nodiscard]] std::string geohash_of(const geo::GeoPoint& position) const;
 
@@ -174,29 +213,58 @@ class Scenario {
   void set_route(NodeId id, bool routed);
 
  private:
+  // Value-typed runtime records; members are declared (and therefore
+  // constructed) in dependency order. Stored in deques so addresses stay
+  // stable as fleets grow.
   struct NodeRuntime {
     NodeSpec spec;
     HostId host;
-    std::unique_ptr<SimManagerLink> link;
-    std::unique_ptr<node::EdgeNode> node;
-    std::unique_ptr<SimNodeStub> stub;
+    SimManagerLink link;
+    node::EdgeNode node;
+    SimNodeStub stub;
+
+    NodeRuntime(NodeSpec spec_in, HostId host_in, net::SimNetwork& fabric,
+                manager::CentralManager& manager, HostId manager_host,
+                sim::Scheduler& scheduler, const node::EdgeNodeConfig& node_config,
+                StubTimeouts timeouts, WireSizes sizes)
+        : spec(std::move(spec_in)),
+          host(host_in),
+          link(fabric, manager, manager_host, host, sizes),
+          node(scheduler, node_config, &link),
+          stub(fabric, node, host, timeouts, sizes) {}
   };
   struct EdgeClientRuntime {
     ClientSpot spot;
     HostId host;
-    std::unique_ptr<SimManagerStub> manager_stub;
-    std::unique_ptr<client::EdgeClient> client;
+    client::EdgeClient client;
+
+    EdgeClientRuntime(ClientSpot spot_in, HostId host_in,
+                      sim::Scheduler& scheduler, net::ManagerApi& manager,
+                      client::NodeResolver resolver,
+                      client::ClientConfig config)
+        : spot(std::move(spot_in)),
+          host(host_in),
+          client(scheduler, manager, std::move(resolver), std::move(config)) {}
   };
   struct StaticClientRuntime {
     ClientSpot spot;
     HostId host;
-    std::unique_ptr<baselines::StaticClient> client;
+    baselines::StaticClient client;
+
+    StaticClientRuntime(ClientSpot spot_in, HostId host_in,
+                        sim::Scheduler& scheduler,
+                        client::NodeResolver resolver, workload::AppProfile app)
+        : spot(std::move(spot_in)),
+          host(host_in),
+          client(scheduler, std::move(resolver), host, std::move(app)) {}
   };
 
   HostId allocate_host();
   void register_position(HostId host, const geo::GeoPoint& position,
                          net::AccessTier tier, double extra_rtt_ms = 0.0,
                          const std::string& network_tag = {});
+  [[nodiscard]] node::EdgeNodeConfig make_node_config(const NodeSpec& spec,
+                                                      HostId host) const;
 
   ScenarioConfig config_;
   sim::Simulator simulator_;
@@ -207,14 +275,18 @@ class Scenario {
   std::unique_ptr<net::SimNetwork> fabric_;
   HostId manager_host_;
   std::unique_ptr<manager::CentralManager> manager_;
+  // One manager stub for the whole client fleet (the wire source comes
+  // from each request's client id); constructed right after the manager.
+  std::optional<SimManagerStub> manager_stub_;
   std::uint32_t next_host_{0};
   std::unique_ptr<obs::TraceRecorder> trace_recorder_;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
-  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::deque<NodeRuntime> nodes_;
   std::unordered_map<NodeId, SimNodeStub*> stubs_by_id_;
+  std::unordered_map<NodeId, std::size_t> node_index_by_id_;
   std::unordered_set<NodeId> unrouted_;
-  std::vector<std::unique_ptr<EdgeClientRuntime>> edge_clients_;
-  std::vector<std::unique_ptr<StaticClientRuntime>> static_clients_;
+  std::deque<EdgeClientRuntime> edge_clients_;
+  std::deque<StaticClientRuntime> static_clients_;
 };
 
 }  // namespace eden::harness

@@ -63,8 +63,10 @@ void SimManagerStub::discover(
     std::function<void(std::optional<net::DiscoveryResponse>)> done) {
   const double response_bytes =
       sizes_.discovery_response_per_candidate * std::max(1, request.top_n);
+  const ClientId source =
+      request.client.valid() ? request.client : default_client_host_;
   network_->rpc<net::DiscoveryResponse>(
-      client_host_, manager_host_, sizes_.discovery_request, response_bytes,
+      source, manager_host_, sizes_.discovery_request, response_bytes,
       timeouts_.discovery,
       [manager = manager_, request] { return manager->handle_discover(request); },
       std::move(done));

@@ -74,15 +74,19 @@ class SimNodeStub final : public net::NodeApi {
   WireSizes sizes_;
 };
 
+// One stub serves a whole client fleet: the wire source host of each call
+// is taken from the request's client id (every client addresses the
+// network by its own ClientId == HostId). `default_client_host` only backs
+// callers that leave request.client unset.
 class SimManagerStub final : public net::ManagerApi {
  public:
   SimManagerStub(net::SimNetwork& network, manager::CentralManager& manager,
-                 HostId manager_host, ClientId client_host,
+                 HostId manager_host, ClientId default_client_host = {},
                  StubTimeouts timeouts = {}, WireSizes sizes = {})
       : network_(&network),
         manager_(&manager),
         manager_host_(manager_host),
-        client_host_(client_host),
+        default_client_host_(default_client_host),
         timeouts_(timeouts),
         sizes_(sizes) {}
 
@@ -94,7 +98,7 @@ class SimManagerStub final : public net::ManagerApi {
   net::SimNetwork* network_;
   manager::CentralManager* manager_;
   HostId manager_host_;
-  ClientId client_host_;
+  ClientId default_client_host_;
   StubTimeouts timeouts_;
   WireSizes sizes_;
 };

@@ -21,12 +21,12 @@ net::DiscoveryResponse CentralManager::handle_discover(
     const net::DiscoveryRequest& request) {
   ++stats_.discovery_queries;
   if (discoveries_ != nullptr) discoveries_->inc();
-  // Expire explicitly (snapshot's internal expire then finds nothing) so
-  // heartbeat-timeout departures are observable at the moment the manager
-  // acts on them.
+  // Expire explicitly (the selector's internal expire then finds nothing)
+  // so heartbeat-timeout departures are observable at the moment the
+  // manager acts on them. The selector then answers from the registry's
+  // geohash-bucket index — no snapshot copy.
   note_expired(registry_.expire(clock_->now()));
-  return selector_.select(request, registry_.snapshot(clock_->now()),
-                          clock_->now());
+  return selector_.select(request, registry_, clock_->now());
 }
 
 void CentralManager::set_observability(obs::TraceRecorder* trace,

@@ -1,22 +1,40 @@
 #include "manager/global_selection.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "geo/geohash.h"
 
 namespace eden::manager {
 
-double GlobalSelector::score(const net::DiscoveryRequest& request,
-                             const net::NodeStatus& node,
-                             double uptime_sec) const {
+namespace {
+
+// Widening search radii (km): metro out to "anything, anywhere".
+constexpr double kRadiiKm[] = {10.0, 25.0, 60.0, 150.0, 1e9};
+
+// A node qualifies when it hosts the requested app type (an empty list
+// means it serves everything, the paper's single-app deployments).
+bool serves_app(const net::DiscoveryRequest& request,
+                const net::NodeStatus& status) {
+  if (request.app_type.empty() || status.app_types.empty()) return true;
+  for (const auto& app : status.app_types) {
+    if (app == request.app_type) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double GlobalSelector::score_with_centers(
+    const net::DiscoveryRequest& request, const net::NodeStatus& node,
+    double uptime_sec, const std::optional<geo::GeoPoint>& user_center,
+    const std::optional<geo::GeoPoint>& node_center) const {
   // Proximity from the geohash cell centers: smooth distance decay (~full
   // credit within a few km, fading over tens of km). Falls back to prefix
   // matching when a hash does not decode.
   double proximity = 0.0;
-  const auto user_pos = geo::geohash_decode_center(request.geohash);
-  const auto node_pos = geo::geohash_decode_center(node.geohash);
-  if (user_pos && node_pos) {
-    const double km = geo::haversine_km(*user_pos, *node_pos);
+  if (user_center && node_center) {
+    const double km = geo::haversine_km(*user_center, *node_center);
     proximity = 1.0 / (1.0 + km / 15.0);
   } else if (!request.geohash.empty()) {
     const int shared = geo::common_prefix_len(request.geohash, node.geohash);
@@ -48,73 +66,145 @@ double GlobalSelector::score(const net::DiscoveryRequest& request,
   return s;
 }
 
+double GlobalSelector::score(const net::DiscoveryRequest& request,
+                             const net::NodeStatus& node,
+                             double uptime_sec) const {
+  return score_with_centers(request, node, uptime_sec,
+                            geo::geohash_decode_center(request.geohash),
+                            geo::geohash_decode_center(node.geohash));
+}
+
+net::DiscoveryResponse GlobalSelector::rank(
+    const net::DiscoveryRequest& request,
+    const std::optional<geo::GeoPoint>& user_center,
+    std::vector<Candidate>& qualified, SimTime now) const {
+  const int top_n = std::max(1, request.top_n);
+  std::vector<std::pair<double, const net::NodeStatus*>> ranked;
+  ranked.reserve(qualified.size());
+  for (const Candidate& candidate : qualified) {
+    const double uptime_sec =
+        std::max<double>(0.0, to_sec(now - candidate.entry->registered_at));
+    ranked.emplace_back(
+        score_with_centers(request, candidate.entry->status, uptime_sec,
+                           user_center, candidate.center),
+        &candidate.entry->status);
+  }
+  // Bounded top-n selection: (score desc, node id asc) is a strict total
+  // order over distinct nodes, so the first top_n elements are exactly what
+  // a full sort would produce.
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(top_n),
+                                          ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second->node < b.second->node;
+                    });
+
+  net::DiscoveryResponse response;
+  response.candidates.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto& [s, status] = ranked[i];
+    response.candidates.push_back(
+        net::CandidateInfo{status->node, status->geohash, s, status->endpoint});
+  }
+  return response;
+}
+
 net::DiscoveryResponse GlobalSelector::select(
     const net::DiscoveryRequest& request,
     const std::vector<RegistryEntry>& nodes, SimTime now) const {
   const int top_n = std::max(1, request.top_n);
+  const auto user_center = geo::geohash_decode_center(request.geohash);
+
+  // Decode every node hash once; the widening loop below rescans the list
+  // up to five times and must see identical centers each pass.
+  std::vector<std::optional<geo::GeoPoint>> centers;
+  centers.reserve(nodes.size());
+  for (const auto& entry : nodes) {
+    centers.push_back(geo::geohash_decode_center(entry.status.geohash));
+  }
 
   // Geo-proximity filter with widening: accept nodes within a search
   // radius, widening the radius until enough qualify (remote nodes remain
   // reachable as a last resort). Distances come from the geohash cell
   // centers — a raw prefix filter would drop close nodes that fall across
   // a cell boundary; prefix matching is only the fallback for hashes that
-  // do not decode.
-  // Application filter first: a node qualifies when it hosts the requested
-  // app type (an empty list means it serves everything, the paper's
-  // single-app deployments).
-  auto serves_app = [&](const net::NodeStatus& status) {
-    if (request.app_type.empty() || status.app_types.empty()) return true;
-    for (const auto& app : status.app_types) {
-      if (app == request.app_type) return true;
-    }
-    return false;
-  };
-
-  std::vector<const RegistryEntry*> qualified;
-  const auto user_center = geo::geohash_decode_center(request.geohash);
-  const double radii_km[] = {10.0, 25.0, 60.0, 150.0, 1e9};
-  for (const double radius : radii_km) {
+  // do not decode, needing one fewer shared character per widening step.
+  std::vector<Candidate> qualified;
+  for (std::size_t ri = 0; ri < std::size(kRadiiKm); ++ri) {
+    const double radius = kRadiiKm[ri];
+    const int needed =
+        std::max(0, policy_.initial_prefix - static_cast<int>(ri));
     qualified.clear();
-    for (const auto& entry : nodes) {
-      if (!serves_app(entry.status)) continue;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& entry = nodes[i];
+      if (!serves_app(request, entry.status)) continue;
       bool in_range = false;
-      const auto node_center = geo::geohash_decode_center(entry.status.geohash);
-      if (user_center && node_center) {
-        in_range = geo::haversine_km(*user_center, *node_center) <= radius;
+      if (user_center && centers[i]) {
+        in_range = geo::haversine_km(*user_center, *centers[i]) <= radius;
       } else {
-        const int needed =
-            std::max(0, policy_.initial_prefix -
-                            static_cast<int>(&radius - radii_km));
         in_range = geo::common_prefix_len(request.geohash,
                                           entry.status.geohash) >= needed;
       }
-      if (in_range) qualified.push_back(&entry);
+      if (in_range) qualified.push_back(Candidate{&entry, centers[i]});
     }
     if (static_cast<double>(qualified.size()) >= policy_.widen_factor * top_n) {
       break;
     }
   }
+  return rank(request, user_center, qualified, now);
+}
 
-  std::vector<std::pair<double, const net::NodeStatus*>> ranked;
-  ranked.reserve(qualified.size());
-  for (const auto* entry : qualified) {
-    const double uptime_sec =
-        std::max<double>(0.0, to_sec(now - entry->registered_at));
-    ranked.emplace_back(score(request, entry->status, uptime_sec),
-                        &entry->status);
-  }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second->node < b.second->node;  // deterministic tie-break
-  });
+net::DiscoveryResponse GlobalSelector::select(
+    const net::DiscoveryRequest& request, Registry& registry,
+    SimTime now) const {
+  const int top_n = std::max(1, request.top_n);
+  const auto user_center = geo::geohash_decode_center(request.geohash);
 
-  net::DiscoveryResponse response;
-  for (const auto& [s, status] : ranked) {
-    if (static_cast<int>(response.candidates.size()) >= top_n) break;
-    response.candidates.push_back(
-        net::CandidateInfo{status->node, status->geohash, s, status->endpoint});
+  // Same widening filter as the linear overload, but each radius step only
+  // visits registry buckets that can intersect the search disc (plus the
+  // no-geohash fallback bucket); the exact per-node check is unchanged, so
+  // the qualified set — and therefore the response — is byte-identical.
+  std::vector<Candidate> qualified;
+  for (std::size_t ri = 0; ri < std::size(kRadiiKm); ++ri) {
+    const double radius = kRadiiKm[ri];
+    const int needed =
+        std::max(0, policy_.initial_prefix - static_cast<int>(ri));
+    qualified.clear();
+    if (user_center) {
+      registry.for_each_candidate(
+          *user_center, radius, now,
+          [&](const RegistryEntry& entry,
+              const std::optional<geo::GeoPoint>& center) {
+            if (!serves_app(request, entry.status)) return;
+            bool in_range = false;
+            if (center) {
+              in_range = geo::haversine_km(*user_center, *center) <= radius;
+            } else {
+              in_range = geo::common_prefix_len(request.geohash,
+                                                entry.status.geohash) >= needed;
+            }
+            if (in_range) qualified.push_back(Candidate{&entry, center});
+          });
+    } else {
+      // Undecodable request hash: every node falls back to prefix matching
+      // against the first `needed` characters. Nothing can share more
+      // characters than the request has, so deeper prefixes match nobody.
+      if (needed > static_cast<int>(request.geohash.size())) continue;
+      registry.for_each_live(
+          std::string_view(request.geohash).substr(0, static_cast<std::size_t>(needed)),
+          now,
+          [&](const RegistryEntry& entry,
+              const std::optional<geo::GeoPoint>& center) {
+            if (!serves_app(request, entry.status)) return;
+            qualified.push_back(Candidate{&entry, center});
+          });
+    }
+    if (static_cast<double>(qualified.size()) >= policy_.widen_factor * top_n) {
+      break;
+    }
   }
-  return response;
+  return rank(request, user_center, qualified, now);
 }
 
 }  // namespace eden::manager

@@ -6,8 +6,10 @@
 // only needs to be "high tolerance to inaccuracy and mismatch" (§IV-B).
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "geo/geopoint.h"
 #include "manager/registry.h"
 #include "net/protocol.h"
 
@@ -45,6 +47,15 @@ class GlobalSelector {
  public:
   explicit GlobalSelector(GlobalPolicy policy = {}) : policy_(policy) {}
 
+  // Index-backed selection: queries the registry's geohash buckets per
+  // widening radius instead of scanning every node. Expires stale entries
+  // as a side effect. Byte-identical responses to the vector overload.
+  [[nodiscard]] net::DiscoveryResponse select(
+      const net::DiscoveryRequest& request, Registry& registry,
+      SimTime now = 0) const;
+
+  // Linear-scan selection over a materialized entry list (tests, ablation
+  // studies, equivalence checks).
   [[nodiscard]] net::DiscoveryResponse select(
       const net::DiscoveryRequest& request,
       const std::vector<RegistryEntry>& nodes, SimTime now = 0) const;
@@ -58,6 +69,25 @@ class GlobalSelector {
                              double uptime_sec = 0.0) const;
 
  private:
+  // Qualified candidate: the entry plus its (possibly absent) geohash cell
+  // center, so ranking never re-decodes hashes.
+  struct Candidate {
+    const RegistryEntry* entry;
+    std::optional<geo::GeoPoint> center;
+  };
+
+  [[nodiscard]] double score_with_centers(
+      const net::DiscoveryRequest& request, const net::NodeStatus& node,
+      double uptime_sec, const std::optional<geo::GeoPoint>& user_center,
+      const std::optional<geo::GeoPoint>& node_center) const;
+
+  // Rank `qualified` and emit the TopN response (bounded partial sort with
+  // the deterministic node-id tie-break).
+  [[nodiscard]] net::DiscoveryResponse rank(
+      const net::DiscoveryRequest& request,
+      const std::optional<geo::GeoPoint>& user_center,
+      std::vector<Candidate>& qualified, SimTime now) const;
+
   GlobalPolicy policy_;
 };
 

@@ -1,43 +1,135 @@
 #include "manager/registry.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 
 namespace eden::manager {
 
-void Registry::upsert(const net::NodeStatus& status, SimTime now) {
-  auto [it, inserted] = entries_.try_emplace(status.node);
-  it->second.status = status;
-  it->second.last_heartbeat = now;
-  if (inserted) it->second.registered_at = now;
+namespace {
+
+// Matches the sphere used by geo::haversine_km, so the bucket bound below
+// is valid for the same metric.
+constexpr double kKmPerDegree = 6371.0088 * std::numbers::pi / 180.0;
+
+// Upper bound on the great-circle distance from the cell center to any
+// point of the cell: meridian leg (latitude half-span) plus a parallel leg
+// at the latitude where the cell is widest. Padded for fp slop; only used
+// for conservative pruning, never for the exact in-range check.
+double cell_radius_bound_km(const geo::GeoBox& box) {
+  const double lat_half = (box.max_lat - box.min_lat) / 2.0;
+  const double lon_half = (box.max_lon - box.min_lon) / 2.0;
+  double max_cos = 1.0;
+  if (box.min_lat > 0.0 || box.max_lat < 0.0) {
+    const double edge = std::min(std::abs(box.min_lat), std::abs(box.max_lat));
+    max_cos = std::cos(edge * std::numbers::pi / 180.0);
+  }
+  return kKmPerDegree * (lat_half + lon_half * max_cos) + 1e-6;
 }
 
-void Registry::remove(NodeId node) { entries_.erase(node); }
+}  // namespace
+
+void Registry::index_insert(NodeId id, Slot& slot) {
+  slot.center = geo::geohash_decode_center(slot.entry.status.geohash);
+  if (!slot.center) {
+    slot.fallback = true;
+    slot.bucket_key.clear();
+    slot.bucket_pos = static_cast<std::uint32_t>(fallback_.size());
+    fallback_.push_back(id);
+    return;
+  }
+  slot.fallback = false;
+  const std::string& hash = slot.entry.status.geohash;
+  slot.bucket_key = hash.substr(
+      0, std::min<std::size_t>(hash.size(), kBucketPrecision));
+  auto [it, inserted] = buckets_.try_emplace(slot.bucket_key);
+  if (inserted) {
+    // A prefix of a decodable hash always decodes.
+    const auto box = *geo::geohash_decode(it->first);
+    it->second.center = box.center();
+    it->second.radius_km = cell_radius_bound_km(box);
+  }
+  slot.bucket_pos = static_cast<std::uint32_t>(it->second.ids.size());
+  it->second.ids.push_back(id);
+}
+
+void Registry::index_remove(const Slot& slot) {
+  std::vector<NodeId>* ids = nullptr;
+  if (slot.fallback) {
+    ids = &fallback_;
+  } else {
+    ids = &buckets_.find(slot.bucket_key)->second.ids;
+  }
+  // Swap-erase; fix up the slot of the entry that moved into our position.
+  const std::uint32_t pos = slot.bucket_pos;
+  (*ids)[pos] = ids->back();
+  ids->pop_back();
+  if (pos < ids->size()) {
+    slots_.find((*ids)[pos])->second.bucket_pos = pos;
+  }
+  if (!slot.fallback && ids->empty()) buckets_.erase(slot.bucket_key);
+}
+
+void Registry::erase_entry(NodeId id, const Slot& slot) {
+  index_remove(slot);
+  slots_.erase(id);
+}
+
+void Registry::upsert(const net::NodeStatus& status, SimTime now) {
+  auto [it, inserted] = slots_.try_emplace(status.node);
+  Slot& slot = it->second;
+  if (inserted) {
+    slot.entry.registered_at = now;
+    slot.entry.status = status;
+    index_insert(status.node, slot);
+  } else if (slot.entry.status.geohash != status.geohash) {
+    // The node moved buckets; reindex under the new hash.
+    index_remove(slot);
+    slot.entry.status = status;
+    index_insert(status.node, slot);
+  } else {
+    slot.entry.status = status;
+  }
+  slot.entry.last_heartbeat = now;
+  deadlines_.emplace(now, status.node);
+}
+
+void Registry::remove(NodeId node) {
+  const auto it = slots_.find(node);
+  if (it == slots_.end()) return;
+  erase_entry(node, it->second);
+}
 
 std::vector<NodeId> Registry::expire(SimTime now) {
   std::vector<NodeId> expired;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now - it->second.last_heartbeat > heartbeat_ttl_) {
-      expired.push_back(it->first);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  while (!deadlines_.empty()) {
+    const auto [heartbeat, id] = deadlines_.top();
+    if (now - heartbeat <= heartbeat_ttl_) break;  // freshest deadline first
+    deadlines_.pop();
+    const auto it = slots_.find(id);
+    // Skip deadlines superseded by a newer heartbeat or an explicit
+    // remove(); the current heartbeat (if any) is still in the heap.
+    if (it == slots_.end() || it->second.entry.last_heartbeat != heartbeat) {
+      continue;
     }
+    expired.push_back(id);
+    erase_entry(id, it->second);
   }
   std::sort(expired.begin(), expired.end());
   return expired;
 }
 
 std::optional<RegistryEntry> Registry::get(NodeId node) const {
-  const auto it = entries_.find(node);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  const auto it = slots_.find(node);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second.entry;
 }
 
 std::vector<RegistryEntry> Registry::snapshot(SimTime now) {
   expire(now);
   std::vector<RegistryEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) out.push_back(entry);
+  out.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) out.push_back(slot.entry);
   return out;
 }
 

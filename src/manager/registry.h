@@ -2,13 +2,27 @@
 // every edge node plus heartbeat freshness. Stale entries (missed
 // heartbeats) are expired lazily on access — exactly how the manager learns
 // about abrupt volunteer departures.
+//
+// Scale architecture: entries are spatially indexed by truncated-geohash
+// buckets (nodes whose hash does not decode land in a fallback bucket), so
+// discovery queries visit candidate buckets instead of every node, and a
+// deadline min-heap makes expire() proportional to the number of nodes that
+// actually time out, not the registry size. snapshot() survives as a
+// copying compatibility shim; hot paths use the copy-free visitation API.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <queue>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
+#include "geo/geohash.h"
+#include "geo/geopoint.h"
 #include "net/protocol.h"
 
 namespace eden::manager {
@@ -21,6 +35,10 @@ struct RegistryEntry {
 
 class Registry {
  public:
+  // Bucket key length in geohash characters: ~39 km cells at the equator,
+  // comfortably finer than the widening radii the selector probes with.
+  static constexpr int kBucketPrecision = 4;
+
   explicit Registry(SimDuration heartbeat_ttl = sec(3.0))
       : heartbeat_ttl_(heartbeat_ttl) {}
 
@@ -32,14 +50,115 @@ class Registry {
   std::vector<NodeId> expire(SimTime now);
 
   [[nodiscard]] std::optional<RegistryEntry> get(NodeId node) const;
-  // Live entries as of `now` (expires first).
+  // Live entries as of `now` (expires first). Compatibility shim: copies
+  // every entry; hot paths should use the visitation API below.
   [[nodiscard]] std::vector<RegistryEntry> snapshot(SimTime now);
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
   [[nodiscard]] SimDuration heartbeat_ttl() const { return heartbeat_ttl_; }
 
+  // ---- copy-free visitation (expires first) ----
+  //
+  // Visitors receive (const RegistryEntry&, const std::optional<GeoPoint>&):
+  // the entry plus its geohash cell center, decoded once at upsert time
+  // (nullopt when the hash does not decode).
+
+  // Every live entry whose geohash starts with `prefix` (an empty prefix
+  // visits everything, including entries with no usable geohash).
+  template <typename Visitor>
+  void for_each_live(std::string_view prefix, SimTime now, Visitor&& visit) {
+    expire(now);
+    if (prefix.empty()) {
+      for (const auto& [key, bucket] : buckets_) {
+        for (const NodeId id : bucket.ids) visit_slot(id, visit);
+      }
+    } else if (prefix.size() <= kBucketPrecision) {
+      // Bucket keys are hash prefixes, so every matching entry lives in a
+      // bucket whose key itself starts with `prefix`: one ordered range.
+      for (auto it = buckets_.lower_bound(prefix);
+           it != buckets_.end() && starts_with(it->first, prefix); ++it) {
+        for (const NodeId id : it->second.ids) visit_slot(id, visit);
+      }
+    } else {
+      const auto it = buckets_.find(prefix.substr(0, kBucketPrecision));
+      if (it != buckets_.end()) {
+        for (const NodeId id : it->second.ids) {
+          if (starts_with(slots_.find(id)->second.entry.status.geohash, prefix)) {
+            visit_slot(id, visit);
+          }
+        }
+      }
+    }
+    // Undecodable hashes can still match textually (e.g. a valid prefix
+    // followed by garbage), so the fallback bucket is always scanned.
+    for (const NodeId id : fallback_) {
+      if (prefix.empty() ||
+          starts_with(slots_.find(id)->second.entry.status.geohash, prefix)) {
+        visit_slot(id, visit);
+      }
+    }
+  }
+
+  // Every live entry that could lie within `radius_km` of `center`
+  // (a conservative superset: buckets are pruned by a lower bound on the
+  // distance from `center` to any point of the bucket cell, and entries
+  // with no usable geohash are always visited). Callers apply the exact
+  // per-entry check themselves.
+  template <typename Visitor>
+  void for_each_candidate(const geo::GeoPoint& center, double radius_km,
+                          SimTime now, Visitor&& visit) {
+    expire(now);
+    for (const auto& [key, bucket] : buckets_) {
+      if (geo::haversine_km(center, bucket.center) >
+          radius_km + bucket.radius_km) {
+        continue;  // no point of this cell can be within radius_km
+      }
+      for (const NodeId id : bucket.ids) visit_slot(id, visit);
+    }
+    for (const NodeId id : fallback_) visit_slot(id, visit);
+  }
+
  private:
+  struct Slot {
+    RegistryEntry entry;
+    // Cell center of the full geohash; nullopt when it does not decode
+    // (then the node lives in the fallback bucket).
+    std::optional<geo::GeoPoint> center;
+    std::string bucket_key;     // key into buckets_; unused for fallback
+    std::uint32_t bucket_pos{0};
+    bool fallback{false};
+  };
+  struct Bucket {
+    std::vector<NodeId> ids;
+    geo::GeoPoint center;  // cell center of the bucket's key
+    double radius_km{0};   // upper bound on center -> any cell point
+  };
+  // Min-heap of (last_heartbeat, node); entries go stale when a newer
+  // heartbeat arrives and are discarded lazily on pop.
+  using Deadline = std::pair<SimTime, NodeId>;
+
+  static bool starts_with(const std::string& s, std::string_view prefix) {
+    return s.size() >= prefix.size() &&
+           std::string_view(s).substr(0, prefix.size()) == prefix;
+  }
+
+  template <typename Visitor>
+  void visit_slot(NodeId id, Visitor& visit) {
+    const Slot& slot = slots_.find(id)->second;
+    visit(slot.entry, slot.center);
+  }
+
+  void index_insert(NodeId id, Slot& slot);
+  void index_remove(const Slot& slot);
+  void erase_entry(NodeId id, const Slot& slot);
+
   SimDuration heartbeat_ttl_;
-  std::unordered_map<NodeId, RegistryEntry> entries_;
+  std::unordered_map<NodeId, Slot> slots_;
+  // Ordered so prefix queries are one lower_bound plus a range walk, and
+  // visitation order is deterministic for a given upsert/remove history.
+  std::map<std::string, Bucket, std::less<>> buckets_;
+  std::vector<NodeId> fallback_;
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<Deadline>>
+      deadlines_;
 };
 
 }  // namespace eden::manager

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <string_view>
+#include <vector>
+
 #include "geo/geohash.h"
 #include "sim/simulator.h"
 #include "sim/clock.h"
@@ -66,6 +71,94 @@ TEST(Registry, RemoveIsImmediate) {
   registry.upsert(make_status(1, "a"), 0);
   registry.remove(NodeId{1});
   EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, ExpireExactTtlBoundary) {
+  Registry registry(sec(3.0));
+  registry.upsert(make_status(1, "9zvxvf"), 0);
+  // Exactly at the TTL the node survives (expiry needs age > ttl)...
+  EXPECT_TRUE(registry.expire(sec(3)).empty());
+  EXPECT_TRUE(registry.get(NodeId{1}).has_value());
+  // ...one microsecond later it is gone.
+  EXPECT_EQ(registry.expire(sec(3) + 1), std::vector<NodeId>{NodeId{1}});
+  EXPECT_FALSE(registry.get(NodeId{1}).has_value());
+}
+
+TEST(Registry, ExpireReturnsSortedIdsUnderInterleaving) {
+  // Deadline-queue regression: interleaved upserts, heartbeat refreshes and
+  // expiries must return expired ids sorted ascending and drop exactly the
+  // stale set, regardless of heap pop order or superseded heap entries.
+  Registry registry(sec(3.0));
+  for (const std::uint32_t id : {7u, 3u, 11u, 1u, 9u, 5u}) {
+    registry.upsert(make_status(id, "9zvxvf"), 0);
+  }
+  // Refresh 3 and 9 at t=2s; their t=0 heap entries go stale, not the nodes.
+  registry.upsert(make_status(3, "9zvxvf"), sec(2));
+  registry.upsert(make_status(9, "9zvxvf"), sec(2));
+  // Explicitly removed nodes must never come back as "expired".
+  registry.remove(NodeId{5});
+
+  const auto first = registry.expire(sec(4));
+  EXPECT_EQ(first, (std::vector<NodeId>{NodeId{1}, NodeId{7}, NodeId{11}}));
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Nothing left but 3 and 9; they expire exactly once, in order.
+  const auto second = registry.expire(sec(6));
+  EXPECT_EQ(second, (std::vector<NodeId>{NodeId{3}, NodeId{9}}));
+  EXPECT_TRUE(registry.expire(sec(60)).empty());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, GeohashChangeRebuckets) {
+  Registry registry(sec(30.0));
+  registry.upsert(make_status(1, "9zvxvf"), 0);
+  registry.upsert(make_status(1, "dp3wnh"), sec(1));  // node moved metros
+  const auto collect = [&](std::string_view prefix) {
+    std::vector<std::uint32_t> ids;
+    registry.for_each_live(
+        prefix, sec(1),
+        [&](const RegistryEntry& entry, const std::optional<geo::GeoPoint>&) {
+          ids.push_back(entry.status.node.value);
+        });
+    return ids;
+  };
+  EXPECT_TRUE(collect("9zvx").empty());
+  EXPECT_EQ(collect("dp3w"), std::vector<std::uint32_t>{1u});
+}
+
+TEST(Registry, ForEachLiveMatchesTextualPrefix) {
+  Registry registry(sec(30.0));
+  registry.upsert(make_status(1, "9zvxvf"), 0);
+  registry.upsert(make_status(2, "9zvxaa"), 0);  // 'a' invalid: undecodable
+  registry.upsert(make_status(3, ""), 0);        // no location at all
+  registry.upsert(make_status(4, "9zvyyy"), 0);
+  const auto collect = [&](std::string_view prefix) {
+    std::vector<std::uint32_t> ids;
+    registry.for_each_live(
+        prefix, 0,
+        [&](const RegistryEntry& entry, const std::optional<geo::GeoPoint>&) {
+          ids.push_back(entry.status.node.value);
+        });
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(collect(""), (std::vector<std::uint32_t>{1u, 2u, 3u, 4u}));
+  EXPECT_EQ(collect("9zv"), (std::vector<std::uint32_t>{1u, 2u, 4u}));
+  EXPECT_EQ(collect("9zvx"), (std::vector<std::uint32_t>{1u, 2u}));
+  // Longer than the bucket precision: per-entry textual check inside the
+  // bucket; the undecodable hash no longer matches.
+  EXPECT_EQ(collect("9zvxv"), std::vector<std::uint32_t>{1u});
+}
+
+TEST(Registry, VisitorSeesDecodedCenterOnlyForValidHashes) {
+  Registry registry(sec(30.0));
+  registry.upsert(make_status(1, "9zvxvf"), 0);
+  registry.upsert(make_status(2, "not a hash"), 0);
+  registry.for_each_live(
+      "", 0,
+      [&](const RegistryEntry& entry, const std::optional<geo::GeoPoint>& c) {
+        EXPECT_EQ(c.has_value(), entry.status.node == NodeId{1});
+      });
 }
 
 class GlobalSelectionTest : public ::testing::Test {

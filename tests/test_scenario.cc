@@ -85,6 +85,97 @@ TEST(Scenario, NodeInfosMirrorSpecs) {
   EXPECT_TRUE(infos[0].dedicated);
 }
 
+TEST(Scenario, BulkAddNodesAppliesPlacement) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "solo"});
+  NodeSpec base;
+  base.cores = 4;
+  const auto first = scenario.add_nodes(base, 3, [](std::size_t i, NodeSpec& s) {
+    s.name = "n" + std::to_string(i);
+    s.cores = static_cast<int>(2 + i);
+  });
+  EXPECT_EQ(first, 1u);
+  ASSERT_EQ(scenario.node_count(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(scenario.node_spec(first + i).name, "n" + std::to_string(i));
+    EXPECT_EQ(scenario.node_spec(first + i).cores, static_cast<int>(2 + i));
+    EXPECT_EQ(scenario.node_index(scenario.node_id(first + i)), first + i);
+  }
+  // Without a placement fn every node is a plain clone of the base.
+  const auto clones = scenario.add_nodes(base, 2);
+  EXPECT_EQ(scenario.node_spec(clones).cores, 4);
+  EXPECT_EQ(scenario.node_count(), 6u);
+}
+
+TEST(Scenario, BulkAddEdgeClientsSharesOneManagerStub) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  const auto first = scenario.add_edge_clients(
+      [](std::size_t i) {
+        return ClientSpot{.name = "u" + std::to_string(i)};
+      },
+      [](std::size_t) { return client::ClientConfig{}; }, 4);
+  EXPECT_EQ(first, 0u);
+  ASSERT_EQ(scenario.edge_client_count(), 4u);
+  // Let the node's registration reach the manager before the first
+  // client probing cycle fires.
+  scenario.run_until(sec(1.0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    scenario.edge_client(i).start();
+  }
+  scenario.run_until(sec(4.0));
+  // Every client discovered and attached through the shared stub, each
+  // under its own wire identity.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& c = scenario.edge_client(i);
+    EXPECT_GE(c.stats().discoveries, 1u) << i;
+    EXPECT_TRUE(c.current_node().has_value()) << i;
+  }
+  EXPECT_GE(scenario.central_manager().stats().discovery_queries, 4u);
+}
+
+TEST(Scenario, FleetStatsMergesCountersAndLatencies) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  scenario.add_edge_clients(
+      [](std::size_t i) {
+        return ClientSpot{.name = "u" + std::to_string(i)};
+      },
+      [](std::size_t) { return client::ClientConfig{}; }, 3);
+  for (std::size_t i = 0; i < 3; ++i) scenario.edge_client(i).start();
+  scenario.run_until(sec(5.0));
+
+  const FleetStats fleet = scenario.fleet_stats();
+  EXPECT_EQ(fleet.clients, 3u);
+  std::uint64_t frames_ok = 0;
+  std::size_t samples = 0;
+  Samples reference;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& c = scenario.edge_client(i);
+    frames_ok += c.stats().frames_ok;
+    samples += c.latency_samples().count();
+    for (const double v : c.latency_samples().values()) reference.add(v);
+  }
+  EXPECT_GT(frames_ok, 0u);
+  EXPECT_EQ(fleet.totals.frames_ok, frames_ok);
+  EXPECT_EQ(fleet.latency_count, samples);
+  EXPECT_DOUBLE_EQ(fleet.latency_mean_ms, reference.mean());
+  EXPECT_DOUBLE_EQ(fleet.latency_p50_ms, reference.percentile(50.0));
+  EXPECT_DOUBLE_EQ(fleet.latency_p90_ms, reference.percentile(90.0));
+  EXPECT_DOUBLE_EQ(fleet.latency_p99_ms, reference.percentile(99.0));
+  EXPECT_DOUBLE_EQ(fleet.latency_max_ms, reference.max());
+}
+
+TEST(Scenario, FleetStatsEmptyFleet) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  const FleetStats fleet = scenario.fleet_stats();
+  EXPECT_EQ(fleet.clients, 0u);
+  EXPECT_EQ(fleet.latency_count, 0u);
+  EXPECT_DOUBLE_EQ(fleet.latency_p99_ms, 0.0);
+}
+
 TEST(Scenario, PredictInputHasBaseRttsWithoutJitter) {
   Scenario scenario(ScenarioConfig{.seed = 1}, NetKind::kMatrix, 25.0, 50.0, 0.3);
   scenario.add_node(NodeSpec{.name = "a"});

@@ -18,4 +18,29 @@ for preset in release asan; do
   ctest --preset "$preset"
 done
 
+echo "=== [release] scale smoke (bench_scale 2000 clients / 200 nodes) ==="
+# Re-measure the smoke fleet and compare wall-clock against the committed
+# BENCH_scale.json; a crash or a >2x regression fails the gate.
+SMOKE_JSON="$(mktemp)"
+trap 'rm -f "$SMOKE_JSON"' EXIT
+build-release/bench/bench_scale --clients 2000 --nodes 200 --json "$SMOKE_JSON"
+extract_smoke_wall() {
+  # wall_sec inside the "smoke" object (field order is fixed by the bench).
+  sed -n '/"smoke"/,/}/p' "$1" | grep -o '"wall_sec": [0-9.]*' | head -1 |
+    grep -o '[0-9.]*$'
+}
+REF=$(extract_smoke_wall BENCH_scale.json)
+NEW=$(extract_smoke_wall "$SMOKE_JSON")
+if [ -z "$REF" ] || [ -z "$NEW" ]; then
+  echo "scale smoke: missing wall_sec (ref='$REF' new='$NEW')" >&2
+  exit 1
+fi
+echo "scale smoke wall_sec: committed=$REF measured=$NEW"
+awk -v ref="$REF" -v new="$NEW" 'BEGIN {
+  if (new > 2.0 * ref) {
+    printf "scale smoke: wall-clock regression >2x (%.3fs vs %.3fs)\n", new, ref
+    exit 1
+  }
+}' || exit 1
+
 echo "=== all presets green ==="
