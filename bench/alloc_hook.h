@@ -1,0 +1,16 @@
+// Global allocation counter for benchmarks. alloc_hook.cc overrides the
+// replaceable operator new/delete family and counts every allocation; the
+// TU is linked into the bench executables only, so production binaries and
+// tests keep the stock allocator path. The counter is how BENCH_scale.json
+// reports allocs_per_event and how bench_micro attributes heap traffic to
+// the messaging hot path.
+#pragma once
+
+#include <cstdint>
+
+namespace eden::bench {
+
+// Number of operator-new calls (all forms) since process start.
+std::uint64_t allocation_count();
+
+}  // namespace eden::bench

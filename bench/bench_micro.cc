@@ -18,12 +18,15 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "baselines/latency_model.h"
 #include "baselines/optimal.h"
 #include "client/selection_policy.h"
 #include "common/rng.h"
 #include "geo/geohash.h"
+#include "net/host_table.h"
 #include "net/network_model.h"
+#include "net/sim_network.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -284,6 +287,119 @@ double time_base_rtt_cached_ns(int calls) {
   return std::chrono::duration<double, std::nano>(t1 - t0).count() / calls;
 }
 
+// Full request/response round trips over the simulated fabric on a 2-host
+// matrix world (no jitter: this isolates the rpc machinery itself — state
+// bookkeeping, callback storage, timeout schedule/cancel — from the delay
+// model). Replies are immediate so the 400 ms timeout never fires and every
+// rpc completes.
+double time_rpc_async_ns(int rpcs) {
+  sim::Simulator simulator;
+  net::MatrixNetwork model(20.0, 100.0, /*jitter_sigma=*/0.0);
+  net::HostTable hosts;
+  hosts.set_alive(HostId{1}, true);
+  hosts.set_alive(HostId{2}, true);
+  net::SimNetwork network(simulator, model, hosts, Rng(7));
+  int completed = 0;
+  const auto issue = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      network.rpc_async<int>(
+          HostId{1}, HostId{2}, 200.0, 200.0, msec(400.0),
+          [](auto reply) { reply(42); },
+          [&completed](std::optional<int> response) {
+            completed += response.has_value() ? 1 : 0;
+          });
+      // Keep a bounded number of rpcs in flight, like a probing client.
+      if ((i & 63) == 63) simulator.run_all();
+    }
+    simulator.run_all();
+  };
+  issue(2'000);  // warm the event arena / rpc pool / allocator
+  const auto t0 = JsonClock::now();
+  issue(rpcs);
+  const auto t1 = JsonClock::now();
+  benchmark::DoNotOptimize(completed);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / rpcs;
+}
+
+// One-way delay sampling through SimNetwork::sample_delay on a jittered
+// GeoNetwork (sigma 0.08, the fleet-bench configuration): pair-metric
+// lookup + log-normal jitter draw + transfer delay.
+double time_sample_owd_ns(int samples) {
+  sim::Simulator simulator;
+  net::GeoNetwork model(/*jitter_sigma=*/0.08);
+  Rng layout(11);
+  constexpr std::uint32_t kHosts = 256;
+  for (std::uint32_t i = 0; i < kHosts; ++i) {
+    const auto tier = static_cast<net::AccessTier>(layout.uniform_int(0, 5));
+    model.add_host(HostId{i + 1},
+                   {layout.uniform(-60, 60), layout.uniform(-180, 180)}, tier,
+                   static_cast<int>(layout.uniform_int(0, 4)));
+  }
+  net::HostTable hosts;
+  net::SimNetwork network(simulator, model, hosts, Rng(9));
+  SimDuration acc = 0;
+  std::uint32_t a = 1, b = 2;
+  const auto walk = [&](int count, SimDuration& sum) {
+    for (int i = 0; i < count; ++i) {
+      a = a % kHosts + 1;
+      b = (b + 7) % kHosts + 1;
+      sum += network.sample_delay(HostId{a}, HostId{b}, 1500.0);
+    }
+  };
+  SimDuration warm_sum = 0;
+  walk(70'000, warm_sum);  // memoize every pair the walk visits
+  benchmark::DoNotOptimize(warm_sum);
+  const auto t0 = JsonClock::now();
+  walk(samples, acc);
+  const auto t1 = JsonClock::now();
+  benchmark::DoNotOptimize(acc);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / samples;
+}
+
+// dropped() + delay_factor() under a realistic churn scenario: hundreds of
+// cut/slow windows plus host isolations, queried with a monotonically
+// advancing clock (the only access pattern the simulator produces).
+double time_fault_lookup_ns(int queries) {
+  net::FaultInjector faults;
+  Rng rng(13);
+  constexpr std::uint32_t kHosts = 64;
+  const auto random_host = [&] {
+    return HostId{static_cast<std::uint32_t>(rng.uniform_int(1, kHosts))};
+  };
+  for (int i = 0; i < 256; ++i) {
+    HostId a = random_host();
+    HostId b = random_host();
+    if (a == b) b = HostId{a.value % kHosts + 1};
+    const SimTime begin = sec(rng.uniform(0.0, 50.0));
+    faults.cut_link(a, b, begin, begin + sec(rng.uniform(0.5, 10.0)));
+    HostId c = random_host();
+    HostId d = random_host();
+    if (c == d) d = HostId{c.value % kHosts + 1};
+    const SimTime begin2 = sec(rng.uniform(0.0, 50.0));
+    faults.slow_link(c, d, 2.0, begin2, begin2 + sec(rng.uniform(0.5, 10.0)));
+  }
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const SimTime begin = sec(rng.uniform(0.0, 50.0));
+    faults.isolate_host(HostId{i * 4 + 1}, begin,
+                        begin + sec(rng.uniform(0.5, 5.0)));
+  }
+  unsigned drops = 0;
+  double factor_acc = 0.0;
+  const auto t0 = JsonClock::now();
+  for (int i = 0; i < queries; ++i) {
+    const HostId a{static_cast<std::uint32_t>(i * 7 % kHosts + 1)};
+    const HostId b{static_cast<std::uint32_t>(i * 13 % kHosts + 1)};
+    const SimTime now =
+        sec(60.0) * static_cast<SimTime>(i) / static_cast<SimTime>(queries);
+    drops += faults.dropped(a, b, now) ? 1u : 0u;
+    factor_acc += faults.delay_factor(a, b, now);
+  }
+  const auto t1 = JsonClock::now();
+  benchmark::DoNotOptimize(drops);
+  benchmark::DoNotOptimize(factor_acc);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / queries;
+}
+
 int run_json(const std::string& path) {
   // Seed-engine numbers (std::priority_queue + unordered_map simulator,
   // unmemoized GeoNetwork) measured with this same harness, same machine,
@@ -297,6 +413,14 @@ int run_json(const std::string& path) {
       {1'000, 110.3}, {10'000, 160.2}, {100'000, 359.8}, {1'000'000, 1523.1}};
   const double seed_churn_ns = 239.7;
   const double seed_base_rtt_ns = 48.7;
+  // Messaging-layer numbers of the shared_ptr/std::function rpc path, the
+  // un-hoisted sample_delay and the linear-scan FaultInjector, measured with
+  // this same harness on the same machine just before the messaging-hot-path
+  // overhaul landed.
+  const double seed_rpc_async_ns = 383.4;
+  const double seed_rpc_allocs = 7.020;
+  const double seed_sample_owd_ns = 50.6;
+  const double seed_fault_lookup_ns = 573.1;
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (!out) {
@@ -352,6 +476,60 @@ int run_json(const std::string& path) {
                rtt_ns, seed_base_rtt_ns, seed_base_rtt_ns / rtt_ns);
   std::printf("geo_base_rtt: %.2f ns/call (%.2fx seed)\n", rtt_ns,
               seed_base_rtt_ns / rtt_ns);
+
+  // ---- messaging hot path (rpc_async / sample_owd / fault_lookup) ----
+  const auto safe_ratio = [](double seed, double measured) {
+    return seed > 0.0 && measured > 0.0 ? seed / measured : 1.0;
+  };
+  double messaging_product = 1.0;
+  int messaging_count = 0;
+
+  const std::uint64_t rpc_allocs0 = eden::bench::allocation_count();
+  constexpr int kRpcRounds = 5;
+  constexpr int kRpcCount = 200'000;
+  const double rpc_ns = best_of(kRpcRounds, time_rpc_async_ns, kRpcCount);
+  // Warmup issues 2'000 extra rpcs per round; fold them into the divisor so
+  // the alloc figure cannot flatter the steady state.
+  const double rpc_allocs =
+      static_cast<double>(eden::bench::allocation_count() - rpc_allocs0) /
+      (static_cast<double>(kRpcRounds) * (kRpcCount + 2'000));
+  messaging_product *= safe_ratio(seed_rpc_async_ns, rpc_ns);
+  ++messaging_count;
+  std::fprintf(out,
+               "  \"rpc_async\": {\"ns_per_rpc\": %.1f, \"allocs_per_rpc\": "
+               "%.3f,\n    \"seed_ns_per_rpc\": %.1f, \"seed_allocs_per_rpc\": "
+               "%.3f, \"speedup_vs_seed\": %.2f},\n",
+               rpc_ns, rpc_allocs, seed_rpc_async_ns, seed_rpc_allocs,
+               safe_ratio(seed_rpc_async_ns, rpc_ns));
+  std::printf("rpc_async: %.1f ns/rpc, %.3f allocs/rpc (%.2fx seed)\n", rpc_ns,
+              rpc_allocs, safe_ratio(seed_rpc_async_ns, rpc_ns));
+
+  const double owd_ns = best_of(5, time_sample_owd_ns, 2'000'000);
+  messaging_product *= safe_ratio(seed_sample_owd_ns, owd_ns);
+  ++messaging_count;
+  std::fprintf(out,
+               "  \"sample_owd\": {\"ns_per_sample\": %.1f, "
+               "\"seed_ns_per_sample\": %.1f, \"speedup_vs_seed\": %.2f},\n",
+               owd_ns, seed_sample_owd_ns, safe_ratio(seed_sample_owd_ns, owd_ns));
+  std::printf("sample_owd: %.1f ns/sample (%.2fx seed)\n", owd_ns,
+              safe_ratio(seed_sample_owd_ns, owd_ns));
+
+  const double fault_ns = best_of(7, time_fault_lookup_ns, 500'000);
+  messaging_product *= safe_ratio(seed_fault_lookup_ns, fault_ns);
+  ++messaging_count;
+  std::fprintf(out,
+               "  \"fault_lookup\": {\"ns_per_query\": %.1f, "
+               "\"seed_ns_per_query\": %.1f, \"speedup_vs_seed\": %.2f},\n",
+               fault_ns, seed_fault_lookup_ns,
+               safe_ratio(seed_fault_lookup_ns, fault_ns));
+  std::printf("fault_lookup: %.1f ns/query (%.2fx seed)\n", fault_ns,
+              safe_ratio(seed_fault_lookup_ns, fault_ns));
+
+  const double messaging_geomean =
+      std::pow(messaging_product, 1.0 / messaging_count);
+  std::fprintf(out, "  \"messaging_speedup_geomean\": %.2f,\n",
+               messaging_geomean);
+  std::printf("messaging speedup geomean: %.2fx\n", messaging_geomean);
 
   double geomean = 1.0;
   if (ratio_count > 0) {

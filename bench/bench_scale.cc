@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "bench_common.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -165,6 +166,9 @@ struct ScaleResult {
   std::size_t live_nodes{0};
   double latency_p50_ms{0};
   double latency_p99_ms{0};
+  // Heap allocations per event over the run phase (steady state: the fleet
+  // is built, every message then flows through the pooled rpc path).
+  double allocs_per_event{0};
 };
 
 harness::NodeSpec fleet_node_spec(std::size_t index, Rng& rng) {
@@ -224,8 +228,17 @@ ScaleResult run_scale_scenario(int clients, int nodes, double sim_seconds) {
     }
   });
 
+  const std::uint64_t allocs_before = bench::allocation_count();
+  const std::uint64_t events_before = scenario->simulator().events_processed();
   result.run_sec =
       wall_seconds([&] { scenario->run_until(sec(sim_seconds)); });
+  const std::uint64_t run_events =
+      scenario->simulator().events_processed() - events_before;
+  if (run_events > 0) {
+    result.allocs_per_event =
+        static_cast<double>(bench::allocation_count() - allocs_before) /
+        static_cast<double>(run_events);
+  }
 
   result.events = scenario->simulator().events_processed();
   result.live_nodes = scenario->central_manager().live_nodes();
@@ -274,13 +287,14 @@ void write_json(const std::string& path, const DiscoveryResult& disc,
                  "    \"events\": %llu, \"frames_ok\": %llu, "
                  "\"discoveries\": %llu,\n"
                  "    \"peak_rss_mb\": %.1f, \"latency_p50_ms\": %.1f, "
-                 "\"latency_p99_ms\": %.1f}",
+                 "\"latency_p99_ms\": %.1f,\n"
+                 "    \"allocs_per_event\": %.3f}",
                  key, r.clients, r.nodes, r.sim_seconds, r.build_sec, r.run_sec,
                  r.build_sec + r.run_sec,
                  static_cast<unsigned long long>(r.events),
                  static_cast<unsigned long long>(r.frames_ok),
                  static_cast<unsigned long long>(r.discoveries), r.peak_rss_mb,
-                 r.latency_p50_ms, r.latency_p99_ms);
+                 r.latency_p50_ms, r.latency_p99_ms, r.allocs_per_event);
   };
   scale_json("scale", main_run);
   std::fprintf(f, ",\n");

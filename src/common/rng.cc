@@ -1,7 +1,6 @@
 #include "common/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace eden {
 namespace {
@@ -12,10 +11,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
-}
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
 }
 
 // FNV-1a over a string, used to derive child-stream seeds from names.
@@ -37,28 +32,9 @@ void Rng::reseed(std::uint64_t seed) {
   has_cached_normal_ = false;
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
 Rng Rng::fork(std::string_view name) const {
   return Rng(seed_ ^ hash_name(name) ^ 0x6a09e667f3bcc908ull);
 }
-
-double Rng::uniform() {
-  // 53 random mantissa bits -> [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
@@ -68,27 +44,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   std::uint64_t v = next_u64();
   while (v >= limit) v = next_u64();
   return lo + static_cast<std::int64_t>(v % span);
-}
-
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
-  double u1 = uniform();
-  while (u1 <= 1e-300) u1 = uniform();
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = r * std::sin(theta);
-  has_cached_normal_ = true;
-  return r * std::cos(theta);
-}
-
-double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
-
-double Rng::lognormal(double mu, double sigma) {
-  return std::exp(normal(mu, sigma));
 }
 
 double Rng::exponential(double mean) {
@@ -118,7 +73,5 @@ std::uint32_t Rng::poisson(double mean) {
   const double v = normal(mean, std::sqrt(mean));
   return v <= 0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
 }
-
-bool Rng::bernoulli(double p) { return uniform() < p; }
 
 }  // namespace eden

@@ -6,7 +6,9 @@
 // bit-reproducible across runs and platforms.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <numbers>
 #include <string_view>
 
 namespace eden {
@@ -14,6 +16,12 @@ namespace eden {
 // xoshiro256** 1.0 (Blackman & Vigna, public domain reference
 // implementation) seeded through splitmix64. Self-contained so results do
 // not depend on the standard library's unspecified distribution algorithms.
+//
+// The draws on the per-message hot path (next_u64 / uniform / normal /
+// lognormal) are header-inline: every simulated delivery samples jitter, so
+// the lognormal draw sits directly on the event-engine's critical path.
+// The expressions are byte-for-byte the ones previously in the .cc —
+// inlining must not (and does not) change any stream's values.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) { reseed(seed); }
@@ -21,23 +29,53 @@ class Rng {
   void reseed(std::uint64_t seed);
 
   // Raw 64 random bits.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   // Independent child stream derived from this stream's seed and `name`.
   // Forking does not consume randomness from the parent.
   [[nodiscard]] Rng fork(std::string_view name) const;
 
   // Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   // Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
   // Standard normal via Box-Muller (cached second value).
-  double normal();
-  double normal(double mean, double stddev);
+  double normal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
   // Log-normal parameterised by the mean/stddev of the underlying normal.
-  double lognormal(double mu, double sigma);
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
   // Exponential with the given mean (= 1/lambda).
   double exponential(double mean);
   // Weibull with shape k and scale lambda.
@@ -46,7 +84,7 @@ class Rng {
   // normal approximation above 60).
   std::uint32_t poisson(double mean);
   // True with probability p.
-  bool bernoulli(double p);
+  bool bernoulli(double p) { return uniform() < p; }
 
   // UniformRandomBitGenerator interface, so std::shuffle works.
   using result_type = std::uint64_t;
@@ -55,6 +93,10 @@ class Rng {
   result_type operator()() { return next_u64(); }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t state_[4]{};
   std::uint64_t seed_{0};
   double cached_normal_{0};

@@ -2,18 +2,22 @@
 
 namespace eden::harness {
 
-void SimNodeStub::rtt_probe(ClientId from, std::function<void(bool)> done) {
+// Every `done` below is a move-only net::Done (sim::Func); it moves whole
+// into the network's pooled rpc slot — the stubs add no allocation and no
+// wrapper std::function on the request path. Wire sizes and timeouts are
+// the only policy the stubs contribute.
+
+void SimNodeStub::rtt_probe(ClientId from, net::Done<bool> done) {
   network_->rpc<bool>(
       from, node_host_, sizes_.probe_request, sizes_.probe_request,
       timeouts_.probe, [] { return true; },
-      [done = std::move(done)](std::optional<bool> ok) {
+      [done = std::move(done)](std::optional<bool> ok) mutable {
         done(ok.has_value());
       });
 }
 
 void SimNodeStub::process_probe(
-    ClientId from,
-    std::function<void(std::optional<net::ProcessProbeResponse>)> done) {
+    ClientId from, net::Done<std::optional<net::ProcessProbeResponse>> done) {
   network_->rpc<net::ProcessProbeResponse>(
       from, node_host_, sizes_.probe_request, sizes_.probe_response,
       timeouts_.probe,
@@ -21,22 +25,22 @@ void SimNodeStub::process_probe(
       std::move(done));
 }
 
-void SimNodeStub::join(
-    const net::JoinRequest& request,
-    std::function<void(std::optional<net::JoinResponse>)> done) {
+void SimNodeStub::join(const net::JoinRequest& request,
+                       net::Done<std::optional<net::JoinResponse>> done) {
   network_->rpc<net::JoinResponse>(
       request.client, node_host_, sizes_.join_request, sizes_.join_response,
-      timeouts_.join, [node = node_, request] { return node->handle_join(request); },
+      timeouts_.join,
+      [node = node_, request] { return node->handle_join(request); },
       std::move(done));
 }
 
 void SimNodeStub::unexpected_join(const net::JoinRequest& request,
-                                  std::function<void(bool)> done) {
+                                  net::Done<bool> done) {
   network_->rpc<bool>(
       request.client, node_host_, sizes_.join_request, sizes_.join_response,
       timeouts_.join,
       [node = node_, request] { return node->handle_unexpected_join(request); },
-      [done = std::move(done)](std::optional<bool> ok) {
+      [done = std::move(done)](std::optional<bool> ok) mutable {
         done(ok.value_or(false));
       });
 }
@@ -46,21 +50,27 @@ void SimNodeStub::leave(ClientId client) {
                     [node = node_, client] { node->handle_leave(client); });
 }
 
-void SimNodeStub::offload(
-    const net::FrameRequest& request,
-    std::function<void(std::optional<net::FrameResponse>)> done) {
+void SimNodeStub::offload(const net::FrameRequest& request,
+                          net::Done<std::optional<net::FrameResponse>> done) {
+  // Capture fields, not the whole FrameRequest: `bytes` is the request's
+  // wire size, fully consumed by the transport argument below and never
+  // read by the node-side handler. Dropping it keeps the network's
+  // request-leg closure within the inline-callback capacity, so the
+  // per-frame hot path stays allocation-free.
   network_->rpc_async<net::FrameResponse>(
       request.client, node_host_, request.bytes, sizes_.frame_response,
       timeouts_.frame,
-      [node = node_, request](std::function<void(net::FrameResponse)> reply) {
-        node->handle_offload(request, std::move(reply));
+      [node = node_, client = request.client, frame_id = request.frame_id,
+       cost = request.cost](auto reply) {
+        node->handle_offload(net::FrameRequest{client, frame_id, 0.0, cost},
+                             std::move(reply));
       },
       std::move(done));
 }
 
 void SimManagerStub::discover(
     const net::DiscoveryRequest& request,
-    std::function<void(std::optional<net::DiscoveryResponse>)> done) {
+    net::Done<std::optional<net::DiscoveryResponse>> done) {
   const double response_bytes =
       sizes_.discovery_response_per_candidate * std::max(1, request.top_n);
   const ClientId source =
@@ -68,7 +78,9 @@ void SimManagerStub::discover(
   network_->rpc<net::DiscoveryResponse>(
       source, manager_host_, sizes_.discovery_request, response_bytes,
       timeouts_.discovery,
-      [manager = manager_, request] { return manager->handle_discover(request); },
+      [manager = manager_, request] {
+        return manager->handle_discover(request);
+      },
       std::move(done));
 }
 

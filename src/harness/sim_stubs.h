@@ -52,19 +52,17 @@ class SimNodeStub final : public net::NodeApi {
 
   [[nodiscard]] NodeId id() const override { return node_->id(); }
 
-  void rtt_probe(ClientId from, std::function<void(bool)> done) override;
+  void rtt_probe(ClientId from, net::Done<bool> done) override;
   void process_probe(
       ClientId from,
-      std::function<void(std::optional<net::ProcessProbeResponse>)> done)
-      override;
+      net::Done<std::optional<net::ProcessProbeResponse>> done) override;
   void join(const net::JoinRequest& request,
-            std::function<void(std::optional<net::JoinResponse>)> done) override;
+            net::Done<std::optional<net::JoinResponse>> done) override;
   void unexpected_join(const net::JoinRequest& request,
-                       std::function<void(bool)> done) override;
+                       net::Done<bool> done) override;
   void leave(ClientId client) override;
   void offload(const net::FrameRequest& request,
-               std::function<void(std::optional<net::FrameResponse>)> done)
-      override;
+               net::Done<std::optional<net::FrameResponse>> done) override;
 
  private:
   net::SimNetwork* network_;
@@ -90,9 +88,9 @@ class SimManagerStub final : public net::ManagerApi {
         timeouts_(timeouts),
         sizes_(sizes) {}
 
-  void discover(const net::DiscoveryRequest& request,
-                std::function<void(std::optional<net::DiscoveryResponse>)> done)
-      override;
+  void discover(
+      const net::DiscoveryRequest& request,
+      net::Done<std::optional<net::DiscoveryResponse>> done) override;
 
  private:
   net::SimNetwork* network_;

@@ -41,6 +41,13 @@ double GlobalSelector::score_with_centers(
     proximity = static_cast<double>(shared) /
                 static_cast<double>(request.geohash.size());
   }
+  return score_with_proximity(request, node, uptime_sec, proximity);
+}
+
+double GlobalSelector::score_with_proximity(const net::DiscoveryRequest& request,
+                                            const net::NodeStatus& node,
+                                            double uptime_sec,
+                                            double proximity) const {
   const double availability = std::clamp(1.0 - node.utilization, 0.0, 1.0);
   // cores per millisecond of frame time, squashed to ~[0, 1].
   const double raw_capacity =
@@ -75,18 +82,29 @@ double GlobalSelector::score(const net::DiscoveryRequest& request,
 }
 
 net::DiscoveryResponse GlobalSelector::rank(
-    const net::DiscoveryRequest& request,
-    const std::optional<geo::GeoPoint>& user_center,
-    std::vector<Candidate>& qualified, SimTime now) const {
+    const net::DiscoveryRequest& request, std::vector<Candidate>& qualified,
+    SimTime now) const {
   const int top_n = std::max(1, request.top_n);
   std::vector<std::pair<double, const net::NodeStatus*>> ranked;
   ranked.reserve(qualified.size());
   for (const Candidate& candidate : qualified) {
     const double uptime_sec =
         std::max<double>(0.0, to_sec(now - candidate.entry->registered_at));
+    // Reuse the distance the in-range filter already paid for; a negative
+    // user_km marks the prefix-matching fallback (either center missing).
+    // Same expressions as score_with_centers, so scores are bit-identical.
+    double proximity = 0.0;
+    if (candidate.user_km >= 0.0) {
+      proximity = 1.0 / (1.0 + candidate.user_km / 15.0);
+    } else if (!request.geohash.empty()) {
+      const int shared = geo::common_prefix_len(request.geohash,
+                                                candidate.entry->status.geohash);
+      proximity = static_cast<double>(shared) /
+                  static_cast<double>(request.geohash.size());
+    }
     ranked.emplace_back(
-        score_with_centers(request, candidate.entry->status, uptime_sec,
-                           user_center, candidate.center),
+        score_with_proximity(request, candidate.entry->status, uptime_sec,
+                             proximity),
         &candidate.entry->status);
   }
   // Bounded top-n selection: (score desc, node id asc) is a strict total
@@ -140,19 +158,21 @@ net::DiscoveryResponse GlobalSelector::select(
       const auto& entry = nodes[i];
       if (!serves_app(request, entry.status)) continue;
       bool in_range = false;
+      double user_km = -1.0;
       if (user_center && centers[i]) {
-        in_range = geo::haversine_km(*user_center, *centers[i]) <= radius;
+        user_km = geo::haversine_km(*user_center, *centers[i]);
+        in_range = user_km <= radius;
       } else {
         in_range = geo::common_prefix_len(request.geohash,
                                           entry.status.geohash) >= needed;
       }
-      if (in_range) qualified.push_back(Candidate{&entry, centers[i]});
+      if (in_range) qualified.push_back(Candidate{&entry, centers[i], user_km});
     }
     if (static_cast<double>(qualified.size()) >= policy_.widen_factor * top_n) {
       break;
     }
   }
-  return rank(request, user_center, qualified, now);
+  return rank(request, qualified, now);
 }
 
 net::DiscoveryResponse GlobalSelector::select(
@@ -178,13 +198,17 @@ net::DiscoveryResponse GlobalSelector::select(
               const std::optional<geo::GeoPoint>& center) {
             if (!serves_app(request, entry.status)) return;
             bool in_range = false;
+            double user_km = -1.0;
             if (center) {
-              in_range = geo::haversine_km(*user_center, *center) <= radius;
+              user_km = geo::haversine_km(*user_center, *center);
+              in_range = user_km <= radius;
             } else {
               in_range = geo::common_prefix_len(request.geohash,
                                                 entry.status.geohash) >= needed;
             }
-            if (in_range) qualified.push_back(Candidate{&entry, center});
+            if (in_range) {
+              qualified.push_back(Candidate{&entry, center, user_km});
+            }
           });
     } else {
       // Undecodable request hash: every node falls back to prefix matching
@@ -204,7 +228,7 @@ net::DiscoveryResponse GlobalSelector::select(
       break;
     }
   }
-  return rank(request, user_center, qualified, now);
+  return rank(request, qualified, now);
 }
 
 }  // namespace eden::manager

@@ -70,10 +70,14 @@ class GlobalSelector {
 
  private:
   // Qualified candidate: the entry plus its (possibly absent) geohash cell
-  // center, so ranking never re-decodes hashes.
+  // center, so ranking never re-decodes hashes. `user_km` carries the
+  // haversine distance already computed by the in-range filter (negative
+  // when the filter fell back to prefix matching), so ranking never
+  // re-evaluates the trig either.
   struct Candidate {
     const RegistryEntry* entry;
     std::optional<geo::GeoPoint> center;
+    double user_km{-1.0};
   };
 
   [[nodiscard]] double score_with_centers(
@@ -81,12 +85,18 @@ class GlobalSelector {
       double uptime_sec, const std::optional<geo::GeoPoint>& user_center,
       const std::optional<geo::GeoPoint>& node_center) const;
 
+  // The score given an already-resolved proximity term (shared tail of
+  // score_with_centers and the ranking fast path).
+  [[nodiscard]] double score_with_proximity(const net::DiscoveryRequest& request,
+                                            const net::NodeStatus& node,
+                                            double uptime_sec,
+                                            double proximity) const;
+
   // Rank `qualified` and emit the TopN response (bounded partial sort with
   // the deterministic node-id tie-break).
-  [[nodiscard]] net::DiscoveryResponse rank(
-      const net::DiscoveryRequest& request,
-      const std::optional<geo::GeoPoint>& user_center,
-      std::vector<Candidate>& qualified, SimTime now) const;
+  [[nodiscard]] net::DiscoveryResponse rank(const net::DiscoveryRequest& request,
+                                            std::vector<Candidate>& qualified,
+                                            SimTime now) const;
 
   GlobalPolicy policy_;
 };

@@ -29,13 +29,13 @@ double cell_radius_bound_km(const geo::GeoBox& box) {
 
 }  // namespace
 
-void Registry::index_insert(NodeId id, Slot& slot) {
+void Registry::index_insert(NodeId /*id*/, Slot& slot) {
   slot.center = geo::geohash_decode_center(slot.entry.status.geohash);
   if (!slot.center) {
     slot.fallback = true;
     slot.bucket_key.clear();
     slot.bucket_pos = static_cast<std::uint32_t>(fallback_.size());
-    fallback_.push_back(id);
+    fallback_.push_back(&slot);
     return;
   }
   slot.fallback = false;
@@ -49,25 +49,25 @@ void Registry::index_insert(NodeId id, Slot& slot) {
     it->second.center = box.center();
     it->second.radius_km = cell_radius_bound_km(box);
   }
-  slot.bucket_pos = static_cast<std::uint32_t>(it->second.ids.size());
-  it->second.ids.push_back(id);
+  slot.bucket_pos = static_cast<std::uint32_t>(it->second.slots.size());
+  it->second.slots.push_back(&slot);
 }
 
 void Registry::index_remove(const Slot& slot) {
-  std::vector<NodeId>* ids = nullptr;
+  std::vector<Slot*>* slots = nullptr;
   if (slot.fallback) {
-    ids = &fallback_;
+    slots = &fallback_;
   } else {
-    ids = &buckets_.find(slot.bucket_key)->second.ids;
+    slots = &buckets_.find(slot.bucket_key)->second.slots;
   }
   // Swap-erase; fix up the slot of the entry that moved into our position.
   const std::uint32_t pos = slot.bucket_pos;
-  (*ids)[pos] = ids->back();
-  ids->pop_back();
-  if (pos < ids->size()) {
-    slots_.find((*ids)[pos])->second.bucket_pos = pos;
+  (*slots)[pos] = slots->back();
+  slots->pop_back();
+  if (pos < slots->size()) {
+    (*slots)[pos]->bucket_pos = pos;
   }
-  if (!slot.fallback && ids->empty()) buckets_.erase(slot.bucket_key);
+  if (!slot.fallback && slots->empty()) buckets_.erase(slot.bucket_key);
 }
 
 void Registry::erase_entry(NodeId id, const Slot& slot) {

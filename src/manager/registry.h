@@ -69,31 +69,33 @@ class Registry {
     expire(now);
     if (prefix.empty()) {
       for (const auto& [key, bucket] : buckets_) {
-        for (const NodeId id : bucket.ids) visit_slot(id, visit);
+        for (const Slot* slot : bucket.slots) visit(slot->entry, slot->center);
       }
     } else if (prefix.size() <= kBucketPrecision) {
       // Bucket keys are hash prefixes, so every matching entry lives in a
       // bucket whose key itself starts with `prefix`: one ordered range.
       for (auto it = buckets_.lower_bound(prefix);
            it != buckets_.end() && starts_with(it->first, prefix); ++it) {
-        for (const NodeId id : it->second.ids) visit_slot(id, visit);
+        for (const Slot* slot : it->second.slots) {
+          visit(slot->entry, slot->center);
+        }
       }
     } else {
       const auto it = buckets_.find(prefix.substr(0, kBucketPrecision));
       if (it != buckets_.end()) {
-        for (const NodeId id : it->second.ids) {
-          if (starts_with(slots_.find(id)->second.entry.status.geohash, prefix)) {
-            visit_slot(id, visit);
+        for (const Slot* slot : it->second.slots) {
+          if (starts_with(slot->entry.status.geohash, prefix)) {
+            visit(slot->entry, slot->center);
           }
         }
       }
     }
     // Undecodable hashes can still match textually (e.g. a valid prefix
     // followed by garbage), so the fallback bucket is always scanned.
-    for (const NodeId id : fallback_) {
+    for (const Slot* slot : fallback_) {
       if (prefix.empty() ||
-          starts_with(slots_.find(id)->second.entry.status.geohash, prefix)) {
-        visit_slot(id, visit);
+          starts_with(slot->entry.status.geohash, prefix)) {
+        visit(slot->entry, slot->center);
       }
     }
   }
@@ -112,9 +114,9 @@ class Registry {
           radius_km + bucket.radius_km) {
         continue;  // no point of this cell can be within radius_km
       }
-      for (const NodeId id : bucket.ids) visit_slot(id, visit);
+      for (const Slot* slot : bucket.slots) visit(slot->entry, slot->center);
     }
-    for (const NodeId id : fallback_) visit_slot(id, visit);
+    for (const Slot* slot : fallback_) visit(slot->entry, slot->center);
   }
 
  private:
@@ -128,7 +130,10 @@ class Registry {
     bool fallback{false};
   };
   struct Bucket {
-    std::vector<NodeId> ids;
+    // Direct slot pointers: unordered_map nodes are address-stable, so
+    // visitation never pays a per-entry hash lookup. index_remove() fixes
+    // bucket_pos through the pointer after a swap-erase.
+    std::vector<Slot*> slots;
     geo::GeoPoint center;  // cell center of the bucket's key
     double radius_km{0};   // upper bound on center -> any cell point
   };
@@ -141,12 +146,6 @@ class Registry {
            std::string_view(s).substr(0, prefix.size()) == prefix;
   }
 
-  template <typename Visitor>
-  void visit_slot(NodeId id, Visitor& visit) {
-    const Slot& slot = slots_.find(id)->second;
-    visit(slot.entry, slot.center);
-  }
-
   void index_insert(NodeId id, Slot& slot);
   void index_remove(const Slot& slot);
   void erase_entry(NodeId id, const Slot& slot);
@@ -156,7 +155,7 @@ class Registry {
   // Ordered so prefix queries are one lower_bound plus a range walk, and
   // visitation order is deterministic for a given upsert/remove history.
   std::map<std::string, Bucket, std::less<>> buckets_;
-  std::vector<NodeId> fallback_;
+  std::vector<Slot*> fallback_;
   std::priority_queue<Deadline, std::vector<Deadline>, std::greater<Deadline>>
       deadlines_;
 };

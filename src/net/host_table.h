@@ -1,9 +1,13 @@
 // Liveness registry: which hosts are currently up. A dead host silently
 // drops every message addressed to it — clients only learn of failures
 // through timeouts, exactly as with real volunteer nodes.
+//
+// Host ids are dense small integers in every harness, so liveness is a
+// flat byte vector: the alive() check sits on the per-delivery hot path
+// (every arrival guard and rpc completion consults it).
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 
@@ -11,15 +15,21 @@ namespace eden::net {
 
 class HostTable {
  public:
-  void set_alive(HostId host, bool alive) { alive_[host] = alive; }
+  void set_alive(HostId host, bool alive) {
+    if (!host.valid()) return;  // the wildcard id is never a real host
+    if (host.value >= alive_.size()) {
+      if (!alive) return;  // beyond the table == already dead
+      alive_.resize(host.value + 1, 0);
+    }
+    alive_[host.value] = alive ? 1 : 0;
+  }
 
   [[nodiscard]] bool alive(HostId host) const {
-    const auto it = alive_.find(host);
-    return it != alive_.end() && it->second;
+    return host.value < alive_.size() && alive_[host.value] != 0;
   }
 
  private:
-  std::unordered_map<HostId, bool> alive_;
+  std::vector<std::uint8_t> alive_;
 };
 
 }  // namespace eden::net

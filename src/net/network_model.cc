@@ -31,15 +31,18 @@ MatrixNetwork::MatrixNetwork(double default_rtt_ms, double default_bw_mbps,
 void MatrixNetwork::set_rtt_ms(HostId a, HostId b, double rtt_ms) {
   rtt_ms_[key(a, b)] = rtt_ms;
   rtt_ms_[key(b, a)] = rtt_ms;
+  ++version_;
 }
 
 void MatrixNetwork::set_bandwidth_mbps(HostId a, HostId b, double mbps) {
   bw_mbps_[key(a, b)] = mbps;
   bw_mbps_[key(b, a)] = mbps;
+  ++version_;
 }
 
 void MatrixNetwork::set_uplink_mbps(HostId host, double mbps) {
   uplink_mbps_[host] = mbps;
+  ++version_;
 }
 
 SimDuration MatrixNetwork::base_rtt(HostId a, HostId b) const {
@@ -109,6 +112,7 @@ GeoNetwork::GeoNetwork(double jitter_sigma, double pair_variation_ms)
 void GeoNetwork::add_host(HostId host, geo::GeoPoint position, AccessTier tier,
                           int isp) {
   hosts_[host] = HostInfo{position, tier, 0.0, isp};
+  ++version_;
   invalidate_cache();
 }
 
@@ -121,6 +125,7 @@ std::optional<geo::GeoPoint> GeoNetwork::position(HostId host) const {
 void GeoNetwork::set_extra_rtt_ms(HostId host, double ms) {
   if (const auto it = hosts_.find(host); it != hosts_.end()) {
     it->second.extra_rtt_ms = ms;
+    ++version_;
     invalidate_cache();
   }
 }

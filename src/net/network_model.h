@@ -28,6 +28,16 @@ class NetworkModel {
   // log-normally distributed around 1. sigma=0 disables jitter.
   [[nodiscard]] virtual double jitter_sigma() const { return 0.0; }
 
+  // Monotone counter identifying the current topology: while it holds
+  // steady, base_rtt/bandwidth_mbps are pure functions of the host pair
+  // and callers may memoize them per pair (SimNetwork does). Returning
+  // kTimeVaryingTopology (the default — correct for trace playback and
+  // for ad-hoc test models) opts out of all caching.
+  static constexpr std::uint64_t kTimeVaryingTopology = 0;
+  [[nodiscard]] virtual std::uint64_t topology_version() const {
+    return kTimeVaryingTopology;
+  }
+
   // One random one-way delay sample (half the base RTT, jittered).
   [[nodiscard]] SimDuration sample_owd(HostId a, HostId b, Rng& rng) const;
 
@@ -50,6 +60,9 @@ class MatrixNetwork final : public NetworkModel {
   [[nodiscard]] SimDuration base_rtt(HostId a, HostId b) const override;
   [[nodiscard]] double bandwidth_mbps(HostId a, HostId b) const override;
   [[nodiscard]] double jitter_sigma() const override { return jitter_sigma_; }
+  [[nodiscard]] std::uint64_t topology_version() const override {
+    return version_;
+  }
 
  private:
   using Key = std::uint64_t;
@@ -60,6 +73,7 @@ class MatrixNetwork final : public NetworkModel {
   double default_rtt_ms_;
   double default_bw_mbps_;
   double jitter_sigma_;
+  std::uint64_t version_{1};
   std::unordered_map<Key, double> rtt_ms_;
   std::unordered_map<Key, double> bw_mbps_;
   std::unordered_map<HostId, double> uplink_mbps_;
@@ -108,6 +122,9 @@ class GeoNetwork final : public NetworkModel {
   [[nodiscard]] SimDuration base_rtt(HostId a, HostId b) const override;
   [[nodiscard]] double bandwidth_mbps(HostId a, HostId b) const override;
   [[nodiscard]] double jitter_sigma() const override { return jitter_sigma_; }
+  [[nodiscard]] std::uint64_t topology_version() const override {
+    return version_;
+  }
 
   // Per-tier last-mile one-way latency (ms) and uplink bandwidth (Mbps).
   static double tier_latency_ms(AccessTier tier);
@@ -139,6 +156,7 @@ class GeoNetwork final : public NetworkModel {
 
   double jitter_sigma_;
   double pair_variation_ms_;
+  std::uint64_t version_{1};
   std::unordered_map<HostId, HostInfo> hosts_;
   mutable std::vector<PairCacheEntry> cache_;
   mutable std::size_t cache_used_{0};

@@ -1,9 +1,49 @@
 #include "net/sim_network.h"
 
+#include <algorithm>
+
 namespace eden::net {
 
+namespace {
+
+// Drop windows whose end has passed (queries are monotone in simulated
+// time, so they can never match again), preserving the relative order of
+// the survivors. Returns true if the bucket is now empty.
+template <typename Vec>
+bool purge_expired(Vec& windows, SimTime now) {
+  windows.erase(std::remove_if(windows.begin(), windows.end(),
+                               [now](const auto& w) { return w.end <= now; }),
+                windows.end());
+  return windows.empty();
+}
+
+template <typename Map, typename Key>
+bool bucket_dropped(Map& map, Key key, SimTime now) {
+  const auto it = map.find(key);
+  if (it == map.end()) return false;
+  if (purge_expired(it->second, now)) {
+    map.erase(it);
+    return false;
+  }
+  for (const auto& w : it->second) {
+    if (now >= w.begin && now < w.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 void FaultInjector::cut_link(HostId a, HostId b, SimTime from, SimTime until) {
-  cuts_.push_back(Cut{a, b, from, until});
+  const Window w{from, until};
+  if (a.valid() && b.valid()) {
+    pair_cuts_[pair_key(a, b)].push_back(w);
+  } else if (a.valid()) {
+    from_cuts_[a.value].push_back(w);  // any destination
+  } else if (b.valid()) {
+    to_cuts_[b.value].push_back(w);  // any sender
+  } else {
+    global_cuts_.push_back(w);
+  }
 }
 
 void FaultInjector::partition(HostId a, HostId b, SimTime from, SimTime until) {
@@ -13,56 +53,183 @@ void FaultInjector::partition(HostId a, HostId b, SimTime from, SimTime until) {
 
 void FaultInjector::slow_link(HostId a, HostId b, double factor, SimTime from,
                               SimTime until) {
-  slows_.push_back(Slow{a, b, factor, from, until});
+  pair_slows_[pair_key(a, b)].push_back(SlowWindow{from, until, factor});
 }
 
 void FaultInjector::isolate_host(HostId host, SimTime from, SimTime until) {
-  cuts_.push_back(Cut{host, HostId{}, from, until});
-  cuts_.push_back(Cut{HostId{}, host, from, until});
+  cut_link(host, HostId{}, from, until);
+  cut_link(HostId{}, host, from, until);
 }
 
 bool FaultInjector::dropped(HostId from, HostId to, SimTime now) const {
-  for (const auto& cut : cuts_) {
-    if (now < cut.begin || now >= cut.end) continue;
-    const bool from_matches = !cut.from.valid() || cut.from == from;
-    const bool to_matches = !cut.to.valid() || cut.to == to;
-    if (from_matches && to_matches) return true;
+  // Exact pair, then the isolation wildcards, then fully-global cuts. Each
+  // bucket only holds windows that can match this query, so the scan is
+  // O(active windows on this path) instead of O(all injected faults).
+  if (bucket_dropped(pair_cuts_, pair_key(from, to), now)) return true;
+  if (bucket_dropped(from_cuts_, from.value, now)) return true;
+  if (bucket_dropped(to_cuts_, to.value, now)) return true;
+  if (!global_cuts_.empty() && !purge_expired(global_cuts_, now)) {
+    for (const auto& w : global_cuts_) {
+      if (now >= w.begin && now < w.end) return true;
+    }
   }
   return false;
 }
 
 double FaultInjector::delay_factor(HostId from, HostId to, SimTime now) const {
+  const auto it = pair_slows_.find(pair_key(from, to));
+  if (it == pair_slows_.end()) return 1.0;
+  if (purge_expired(it->second, now)) {
+    pair_slows_.erase(it);
+    return 1.0;
+  }
   double factor = 1.0;
-  for (const auto& slow : slows_) {
-    if (now < slow.begin || now >= slow.end) continue;
-    if (slow.from == from && slow.to == to) factor *= slow.factor;
+  // Insertion order is preserved through purging, so stacked slow windows
+  // multiply in the same order (and produce the same float) as ever.
+  for (const auto& w : it->second) {
+    if (now >= w.begin && now < w.end) factor *= w.factor;
   }
   return factor;
 }
 
+std::size_t FaultInjector::cut_window_count() const {
+  std::size_t n = global_cuts_.size();
+  for (const auto& [key, windows] : pair_cuts_) n += windows.size();
+  for (const auto& [key, windows] : from_cuts_) n += windows.size();
+  for (const auto& [key, windows] : to_cuts_) n += windows.size();
+  return n;
+}
+
+std::size_t FaultInjector::slow_window_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, windows] : pair_slows_) n += windows.size();
+  return n;
+}
+
+SimNetwork::~SimNetwork() {
+  for (auto& chunk : rpc_chunks_) {
+    for (std::uint32_t i = 0; i < kRpcSlotsPerChunk; ++i) {
+      RpcSlot& slot = chunk[i];
+      if (slot.invoke_done != nullptr) {
+        slot.invoke_done(slot.done_buf, abandon_token());
+        slot.invoke_done = nullptr;
+      }
+    }
+  }
+}
+
+void SimNetwork::grow_rpc_pool() {
+  const auto base =
+      static_cast<std::uint32_t>(rpc_chunks_.size()) * kRpcSlotsPerChunk;
+  auto chunk = std::make_unique<RpcSlot[]>(kRpcSlotsPerChunk);
+  for (std::uint32_t i = 0; i < kRpcSlotsPerChunk; ++i) {
+    chunk[i].invoke_done = nullptr;
+    chunk[i].generation = 0;
+    chunk[i].next_free =
+        i + 1 < kRpcSlotsPerChunk ? base + i + 1 : kNoFreeSlot;
+  }
+  rpc_chunks_.push_back(std::move(chunk));
+  rpc_free_head_ = base;
+}
+
+void SimNetwork::rpc_timeout(std::uint64_t handle) {
+  RpcSlot* slot = lookup_rpc(handle);
+  if (slot == nullptr || slot->done_fired) return;
+  slot->done_fired = true;
+  slot->timeout_event = sim::kInvalidEvent;
+  // A timeout is local bookkeeping at the caller, not a network arrival,
+  // so it fires even if the caller host has since died (matching the
+  // historical shared_ptr implementation). Invoke before any release so a
+  // re-entrant rpc issued from the callback cannot reuse this buffer.
+  slot->invoke_done(slot->done_buf, nullptr);
+  if (slot->request_consumed) release_rpc_slot(handle_index(handle));
+}
+
+void SimNetwork::consume_request(std::uint64_t handle) {
+  RpcSlot* slot = lookup_rpc(handle);
+  if (slot == nullptr) return;
+  slot->request_consumed = true;
+  if (slot->done_fired) release_rpc_slot(handle_index(handle));
+}
+
 SimDuration SimNetwork::sample_delay(HostId from, HostId to, double bytes) {
-  SimDuration delay = model_->sample_owd(from, to, rng_) +
-                      model_->transfer_delay(from, to, bytes);
+  const std::uint64_t version = model_->topology_version();
+  SimDuration delay;
+  if (version == NetworkModel::kTimeVaryingTopology) {
+    // Time-varying model (trace playback): per-pair invariants do not
+    // exist, take the fully virtual path.
+    delay = model_->sample_owd(from, to, rng_) +
+            model_->transfer_delay(from, to, bytes);
+  } else {
+    const PairDelay& pair = pair_delay(from, to, version);
+    double owd_us = pair.owd_us;
+    // Same draw stream and same float expression as NetworkModel::
+    // sample_owd — only the base_rtt/bandwidth virtual calls are memoized.
+    if (jitter_sigma_ > 0) owd_us *= rng_.lognormal(0.0, jitter_sigma_);
+    delay = static_cast<SimDuration>(owd_us);
+    if (bytes > 0) delay += sec(bytes * 8.0 / pair.bw_denom);
+  }
   if (faults_ != nullptr) {
-    const double factor =
-        faults_->delay_factor(from, to, simulator_->now());
+    const double factor = faults_->delay_factor(from, to, simulator_->now());
     delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
   }
   return delay;
 }
 
-void SimNetwork::deliver(HostId from, HostId to, double bytes,
-                         std::function<void()> fn) {
-  // Link cuts are evaluated at SEND time (packets enter the dead path and
-  // vanish); host liveness at ARRIVAL time (the host died in flight).
-  if (faults_ != nullptr && faults_->dropped(from, to, simulator_->now())) {
-    return;
+SimNetwork::PairDelay SimNetwork::compute_pair_delay(HostId from,
+                                                     HostId to) const {
+  PairDelay pair;
+  pair.owd_us = static_cast<double>(model_->base_rtt(from, to)) / 2.0;
+  pair.bw_denom = std::max(0.01, model_->bandwidth_mbps(from, to)) * 1e6;
+  return pair;
+}
+
+const SimNetwork::PairDelay& SimNetwork::pair_delay(HostId from, HostId to,
+                                                    std::uint64_t version) {
+  if (version != delay_cache_version_) {
+    delay_cache_.assign(delay_cache_.empty() ? 256 : delay_cache_.size(),
+                        PairDelayEntry{});
+    delay_cache_used_ = 0;
+    delay_cache_version_ = version;
   }
-  const SimDuration delay = sample_delay(from, to, bytes);
-  simulator_->schedule_after(delay, [this, to, fn = std::move(fn)] {
-    if (!hosts_->alive(to)) return;  // dropped on the floor
-    fn();
-  });
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  if (key == kEmptyPairKey) {
+    // Both hosts invalid — never happens on real traffic, but tests may
+    // probe it; compute without caching rather than corrupt the table.
+    scratch_pair_ = compute_pair_delay(from, to);
+    return scratch_pair_;
+  }
+  if (delay_cache_.empty()) delay_cache_.resize(256);
+  std::size_t mask = delay_cache_.size() - 1;
+  std::size_t index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+  while (delay_cache_[index].key != key) {
+    if (delay_cache_[index].key == kEmptyPairKey) {
+      if (delay_cache_used_ * 10 >= delay_cache_.size() * 7) {
+        std::vector<PairDelayEntry> old = std::move(delay_cache_);
+        delay_cache_.assign(old.size() * 2, PairDelayEntry{});
+        mask = delay_cache_.size() - 1;
+        for (const PairDelayEntry& entry : old) {
+          if (entry.key == kEmptyPairKey) continue;
+          std::size_t j = (entry.key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+          while (delay_cache_[j].key != kEmptyPairKey) j = (j + 1) & mask;
+          delay_cache_[j] = entry;
+        }
+        index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+        while (delay_cache_[index].key != kEmptyPairKey &&
+               delay_cache_[index].key != key) {
+          index = (index + 1) & mask;
+        }
+        if (delay_cache_[index].key == key) return delay_cache_[index].delay;
+      }
+      delay_cache_[index].key = key;
+      delay_cache_[index].delay = compute_pair_delay(from, to);
+      ++delay_cache_used_;
+      return delay_cache_[index].delay;
+    }
+    index = (index + 1) & mask;
+  }
+  return delay_cache_[index].delay;
 }
 
 }  // namespace eden::net

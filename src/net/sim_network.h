@@ -1,13 +1,25 @@
 // Simulated message fabric: delivers closures between hosts with sampled
 // one-way delays and drops anything addressed to (or answered by) a dead
-// host. `rpc` layers request/response + timeout semantics on top; the
-// typed Node/Manager API stubs in the harness are thin wrappers over it.
+// host. `rpc`/`rpc_async` layer request/response + timeout semantics on
+// top; the typed Node/Manager API stubs in the harness are thin wrappers
+// over it.
+//
+// Messaging hot path (see DESIGN.md §8): pending rpc state lives in a
+// generation-stamped slab pool inside SimNetwork — no shared_ptr, no
+// std::function. Each slot stores the completion callback in a small
+// inline buffer, the route of the pending exchange, and two lifecycle
+// flags; timeout-vs-response races resolve through the `done_fired` flag
+// and stale handles fail a generation check exactly like the simulator's
+// event arena. Per-pair delay invariants (half base RTT, bandwidth
+// denominator) are memoized against NetworkModel::topology_version() so a
+// steady-state delivery costs one hash probe and one jitter draw.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -22,6 +34,13 @@ namespace eden::net {
 // where a path can die or degrade while both endpoints stay up — the case
 // that distinguishes the keepalive failure monitor from node-death
 // handling.
+//
+// Windows are indexed per directed pair (with separate wildcard buckets
+// for host isolation), so dropped()/delay_factor() cost O(windows touching
+// this pair), not O(all windows ever injected). Lookups purge windows
+// whose end has passed; queries are assumed monotone non-decreasing in
+// time (the simulator clock only moves forward), so a purged window can
+// never influence a later query.
 class FaultInjector {
  public:
   // Drop everything from `a` to `b` (one direction) during [from, until).
@@ -38,25 +57,56 @@ class FaultInjector {
   [[nodiscard]] bool dropped(HostId from, HostId to, SimTime now) const;
   [[nodiscard]] double delay_factor(HostId from, HostId to, SimTime now) const;
 
+  // Windows still stored (not yet purged by a lookup). Tests use these to
+  // assert that expired windows actually get discarded.
+  [[nodiscard]] std::size_t cut_window_count() const;
+  [[nodiscard]] std::size_t slow_window_count() const;
+
  private:
-  struct Cut {
-    HostId from, to;  // invalid from/to = wildcard (host isolation)
+  struct Window {
     SimTime begin, end;
   };
-  struct Slow {
-    HostId from, to;
+  struct SlowWindow {
+    SimTime begin, end;
     double factor;
-    SimTime begin, end;
   };
-  std::vector<Cut> cuts_;
-  std::vector<Slow> slows_;
+  using PairKey = std::uint64_t;
+  static PairKey pair_key(HostId a, HostId b) {
+    return (static_cast<PairKey>(a.value) << 32) | b.value;
+  }
+
+  // Cuts keyed by directed pair, plus wildcard buckets: `from_cuts_[h]`
+  // matches any message sent by h, `to_cuts_[h]` any message addressed to
+  // h (both produced by isolate_host). Slow windows only ever match exact
+  // pairs (same as the historical linear scan). Buckets are mutable so
+  // const lookups can purge; relative order inside a bucket is preserved
+  // (delay factors multiply in insertion order, keeping float results
+  // bit-identical to the pre-index implementation).
+  mutable std::unordered_map<PairKey, std::vector<Window>> pair_cuts_;
+  mutable std::unordered_map<std::uint32_t, std::vector<Window>> from_cuts_;
+  mutable std::unordered_map<std::uint32_t, std::vector<Window>> to_cuts_;
+  mutable std::vector<Window> global_cuts_;  // both endpoints wildcard
+  mutable std::unordered_map<PairKey, std::vector<SlowWindow>> pair_slows_;
 };
 
 class SimNetwork {
  public:
   SimNetwork(sim::Simulator& simulator, const NetworkModel& model,
              HostTable& hosts, Rng rng)
-      : simulator_(&simulator), model_(&model), hosts_(&hosts), rng_(rng) {}
+      : simulator_(&simulator),
+        model_(&model),
+        hosts_(&hosts),
+        rng_(rng),
+        // Every NetworkModel fixes its jitter sigma at construction, so it
+        // is safe to hoist out of the per-sample path.
+        jitter_sigma_(model.jitter_sigma()) {}
+
+  // Pending completions own user callbacks; destroy them without invoking
+  // (simulated hosts with rpcs in flight simply vanish at teardown).
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   // Optional fault injection; the injector must outlive the network.
   void set_fault_injector(const FaultInjector* injector) {
@@ -70,73 +120,349 @@ class SimNetwork {
   // Sample a one-way delay for a payload of `bytes` from `from` to `to`.
   [[nodiscard]] SimDuration sample_delay(HostId from, HostId to, double bytes);
 
+  // The reply functor handed to an async rpc server: a 32-byte value type
+  // carrying the response route, so invoking it after the caller timed out
+  // still sends the response over the (indifferent) wire — the stale
+  // completion is then rejected by the slot generation check on arrival.
+  // Copyable and callable any number of times; only the first response to
+  // arrive while the rpc is still pending reaches `done`.
+  template <typename Resp>
+  class Reply {
+   public:
+    void operator()(Resp response) {
+      net_->send_response<Resp>(handle_, responder_, client_, bytes_,
+                                std::move(response));
+    }
+
+   private:
+    friend class SimNetwork;
+    Reply(SimNetwork* net, std::uint64_t handle, HostId responder,
+          HostId client, double bytes)
+        : net_(net),
+          handle_(handle),
+          responder_(responder),
+          client_(client),
+          bytes_(bytes) {}
+
+    SimNetwork* net_;
+    std::uint64_t handle_;
+    HostId responder_, client_;
+    double bytes_;
+  };
+
   // One-way delivery: run `fn` at the destination after the sampled delay,
   // unless the destination is dead at delivery time. The sender being alive
   // is the caller's concern.
-  void deliver(HostId from, HostId to, double bytes, std::function<void()> fn);
-
-  // Request/response with timeout, asynchronous server side: `server` runs
-  // at `to` on request arrival and receives a `reply` functor it may call
-  // later (e.g. when the frame executor finishes). `done` runs at `from`
-  // with the response, or with nullopt when no response arrived within
-  // `timeout`. `done` is invoked exactly once.
-  template <typename Resp>
-  void rpc_async(HostId from, HostId to, double request_bytes,
-                 double response_bytes, SimDuration timeout,
-                 std::function<void(std::function<void(Resp)>)> server,
-                 std::function<void(std::optional<Resp>)> done) {
-    auto state = std::make_shared<RpcState>();
-    auto done_shared =
-        std::make_shared<std::function<void(std::optional<Resp>)>>(
-            std::move(done));
-    state->timeout_event =
-        simulator_->schedule_after(timeout, [state, done_shared] {
-          if (state->done) return;
-          state->done = true;
-          (*done_shared)(std::nullopt);
-        });
-
-    deliver(from, to, request_bytes,
-            [this, from, to, response_bytes, state, done_shared,
-             server = std::move(server)] {
-              server([this, from, to, response_bytes, state,
-                      done_shared](Resp response) {
-                deliver(to, from, response_bytes,
-                        [this, state, done_shared,
-                         response = std::move(response)]() mutable {
-                          if (state->done) return;
-                          state->done = true;
-                          simulator_->cancel(state->timeout_event);
-                          (*done_shared)(std::move(response));
-                        });
-              });
-            });
+  template <typename F>
+  void deliver(HostId from, HostId to, double bytes, F&& fn) {
+    // Link cuts are evaluated at SEND time (packets enter the dead path and
+    // vanish); host liveness at ARRIVAL time (the host died in flight).
+    if (faults_ != nullptr && faults_->dropped(from, to, simulator_->now())) {
+      return;
+    }
+    const SimDuration delay = sample_delay(from, to, bytes);
+    simulator_->schedule_after(
+        delay, ArrivalGuard<std::decay_t<F>>{this, to, std::forward<F>(fn)});
   }
 
-  // Synchronous-server convenience wrapper over rpc_async.
-  template <typename Resp>
+  // Request/response with timeout, asynchronous server side: `server` runs
+  // at `to` on request arrival and receives a Reply<Resp> it may call
+  // later (e.g. when the frame executor finishes). `done` runs at `from`
+  // with the response, or with nullopt when no response arrived within
+  // `timeout`. `done` is invoked exactly once (with the rpc state pooled,
+  // not reference-counted: the slot's generation check rejects stale
+  // completions).
+  template <typename Resp, typename Server, typename Done>
+  void rpc_async(HostId from, HostId to, double request_bytes,
+                 double response_bytes, SimDuration timeout, Server server,
+                 Done done) {
+    const std::uint32_t index = acquire_rpc_slot();
+    RpcSlot& slot = rpc_slot(index);
+    store_done<Resp>(slot, std::move(done));
+    slot.timeout_event = sim::kInvalidEvent;
+    slot.response_bytes = response_bytes;
+    slot.rpc_from = from;
+    slot.rpc_to = to;
+    slot.done_fired = false;
+    slot.request_consumed = false;
+    const std::uint64_t handle = make_handle(index, slot.generation);
+    // Timeout first, request leg second: when both land on the same tick
+    // the timeout keeps its historical FIFO priority.
+    slot.timeout_event =
+        simulator_->schedule_after(timeout, TimeoutFire{this, handle});
+    if (faults_ != nullptr && faults_->dropped(from, to, simulator_->now())) {
+      // The request entered a cut path at send time: no arrival event will
+      // ever fire, so the request leg is already settled.
+      slot.request_consumed = true;
+      return;
+    }
+    const SimDuration delay = sample_delay(from, to, request_bytes);
+    simulator_->schedule_after(
+        delay,
+        RequestArrival<Resp, std::decay_t<Server>>{this, handle,
+                                                   std::move(server)});
+  }
+
+  // Synchronous-server convenience wrapper: `server` returns the response
+  // directly on request arrival. Rides the async path with a zero-overhead
+  // adaptor (no extra allocation, no intermediate reply functor).
+  template <typename Resp, typename Server, typename Done>
   void rpc(HostId from, HostId to, double request_bytes, double response_bytes,
-           SimDuration timeout, std::function<Resp()> server,
-           std::function<void(std::optional<Resp>)> done) {
-    rpc_async<Resp>(
-        from, to, request_bytes, response_bytes, timeout,
-        [server = std::move(server)](std::function<void(Resp)> reply) {
-          reply(server());
-        },
-        std::move(done));
+           SimDuration timeout, Server server, Done done) {
+    rpc_async<Resp>(from, to, request_bytes, response_bytes, timeout,
+                    SyncServer<Resp, std::decay_t<Server>>{std::move(server)},
+                    std::move(done));
+  }
+
+  // Pool introspection for tests: slots currently tied to a pending rpc,
+  // and the total the pool has ever grown to.
+  [[nodiscard]] std::size_t rpc_slots_in_use() const { return rpc_in_use_; }
+  [[nodiscard]] std::size_t rpc_slot_capacity() const {
+    return rpc_chunks_.size() * kRpcSlotsPerChunk;
   }
 
  private:
-  struct RpcState {
-    bool done{false};
-    sim::EventId timeout_event{sim::kInvalidEvent};
+  // One pooled pending rpc. The completion callback is stored inline when
+  // it fits (sim::Func<std::optional<Resp>> is 56 bytes — exactly
+  // kDoneCapacity); `invoke_done` is the type-erased dispatcher and doubles
+  // as the slot-occupancy marker. The slot is released when both the
+  // completion has fired (response or timeout) and the request leg has
+  // settled (arrived, or provably never will) — holding the slot until the
+  // request leg lands is what lets a late-arriving request still read its
+  // route after the timeout already fired.
+  struct RpcSlot {
+    static constexpr std::size_t kDoneCapacity = 56;
+
+    alignas(std::max_align_t) unsigned char done_buf[kDoneCapacity];
+    // Second argument: pointer to a std::optional<Resp> (response),
+    // nullptr (timeout -> invoke with nullopt), or abandon_token()
+    // (destroy without invoking — network teardown). Always destroys the
+    // stored callback.
+    void (*invoke_done)(unsigned char* buf, void* response);
+    sim::EventId timeout_event;
+    double response_bytes;
+    HostId rpc_from, rpc_to;
+    std::uint32_t generation;
+    std::uint32_t next_free;
+    bool done_fired;
+    bool request_consumed;
   };
+
+  static constexpr std::uint32_t kRpcSlotsPerChunk = 256;
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+
+  static void* abandon_token() noexcept {
+    static unsigned char token;
+    return &token;
+  }
+
+  static std::uint64_t make_handle(std::uint32_t index,
+                                   std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | (index + 1);
+  }
+  static std::uint32_t handle_index(std::uint64_t handle) {
+    return static_cast<std::uint32_t>(handle & 0xffffffffu) - 1;
+  }
+
+  [[nodiscard]] RpcSlot& rpc_slot(std::uint32_t index) {
+    return rpc_chunks_[index / kRpcSlotsPerChunk][index % kRpcSlotsPerChunk];
+  }
+
+  // Generation-checked handle resolution; nullptr = stale (slot released
+  // or reused since the handle was minted).
+  [[nodiscard]] RpcSlot* lookup_rpc(std::uint64_t handle) {
+    const std::uint32_t index = handle_index(handle);
+    if (index >= rpc_chunks_.size() * kRpcSlotsPerChunk) return nullptr;
+    RpcSlot& slot = rpc_slot(index);
+    if (slot.generation != static_cast<std::uint32_t>(handle >> 32) ||
+        slot.invoke_done == nullptr) {
+      return nullptr;
+    }
+    return &slot;
+  }
+
+  std::uint32_t acquire_rpc_slot() {
+    if (rpc_free_head_ == kNoFreeSlot) grow_rpc_pool();
+    const std::uint32_t index = rpc_free_head_;
+    rpc_free_head_ = rpc_slot(index).next_free;
+    ++rpc_in_use_;
+    return index;
+  }
+
+  void release_rpc_slot(std::uint32_t index) {
+    RpcSlot& slot = rpc_slot(index);
+    slot.invoke_done = nullptr;
+    ++slot.generation;  // invalidate outstanding handles
+    slot.next_free = rpc_free_head_;
+    rpc_free_head_ = index;
+    --rpc_in_use_;
+  }
+
+  void grow_rpc_pool();
+
+  template <typename Done, typename Resp, bool Inline>
+  static void done_thunk(unsigned char* buf, void* response) {
+    Done* done;
+    if constexpr (Inline) {
+      done = reinterpret_cast<Done*>(buf);
+    } else {
+      done = *reinterpret_cast<Done**>(buf);
+    }
+    if (response != abandon_token()) {
+      if (response == nullptr) {
+        (*done)(std::nullopt);
+      } else {
+        (*done)(std::move(*static_cast<std::optional<Resp>*>(response)));
+      }
+    }
+    if constexpr (Inline) {
+      done->~Done();
+    } else {
+      delete done;
+    }
+  }
+
+  template <typename Resp, typename Done>
+  static void store_done(RpcSlot& slot, Done done) {
+    using Fn = std::decay_t<Done>;
+    if constexpr (sizeof(Fn) <= RpcSlot::kDoneCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(slot.done_buf)) Fn(std::move(done));
+      slot.invoke_done = &done_thunk<Fn, Resp, true>;
+    } else {
+      *reinterpret_cast<Fn**>(slot.done_buf) = new Fn(std::move(done));
+      slot.invoke_done = &done_thunk<Fn, Resp, false>;
+      sim::detail::callback_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // ---- event-arena callables (all sized for inline storage) ----
+
+  template <typename Fn>
+  struct ArrivalGuard {
+    SimNetwork* net;
+    HostId to;
+    Fn fn;
+    void operator()() {
+      if (!net->hosts_->alive(to)) return;  // dropped on the floor
+      fn();
+    }
+  };
+
+  struct TimeoutFire {
+    SimNetwork* net;
+    std::uint64_t handle;
+    void operator()() { net->rpc_timeout(handle); }
+  };
+
+  template <typename Resp>
+  struct Completion {
+    SimNetwork* net;
+    std::uint64_t handle;
+    Resp response;
+    void operator()() { net->finish_rpc<Resp>(handle, std::move(response)); }
+  };
+
+  template <typename Resp, typename ServerFn>
+  struct RequestArrival {
+    SimNetwork* net;
+    std::uint64_t handle;
+    ServerFn server;
+    void operator()() {
+      // The slot is pinned while its request leg is in flight, so the
+      // handle is never stale here — but the route must be read before
+      // consume_request(), which may release the slot if the rpc already
+      // timed out.
+      RpcSlot* slot = net->lookup_rpc(handle);
+      if (slot == nullptr) return;
+      if (!net->hosts_->alive(slot->rpc_to)) {
+        net->consume_request(handle);
+        return;
+      }
+      Reply<Resp> reply(net, handle, slot->rpc_to, slot->rpc_from,
+                        slot->response_bytes);
+      net->consume_request(handle);
+      server(std::move(reply));
+    }
+  };
+
+  template <typename Resp, typename ServerFn>
+  struct SyncServer {
+    ServerFn server;
+    void operator()(Reply<Resp> reply) { reply(server()); }
+  };
+
+  // ---- rpc lifecycle (non-template paths live in the .cc) ----
+
+  void rpc_timeout(std::uint64_t handle);
+  void consume_request(std::uint64_t handle);
+
+  template <typename Resp>
+  void send_response(std::uint64_t handle, HostId from, HostId to,
+                     double bytes, Resp response) {
+    // The response leg is an ordinary fabric delivery (cut check at send,
+    // jitter draw, liveness at arrival) even when the rpc already timed
+    // out: the wire does not know the caller gave up, and skipping the
+    // send would shift the jitter draw stream.
+    if (faults_ != nullptr && faults_->dropped(from, to, simulator_->now())) {
+      return;
+    }
+    const SimDuration delay = sample_delay(from, to, bytes);
+    simulator_->schedule_after(
+        delay, Completion<Resp>{this, handle, std::move(response)});
+  }
+
+  template <typename Resp>
+  void finish_rpc(std::uint64_t handle, Resp&& response) {
+    RpcSlot* slot = lookup_rpc(handle);
+    if (slot == nullptr) return;  // stale: rpc settled and slot reused
+    if (!hosts_->alive(slot->rpc_from)) return;  // caller died in flight
+    if (slot->done_fired) return;  // timeout won the race; response dropped
+    slot->done_fired = true;
+    simulator_->cancel(slot->timeout_event);
+    slot->timeout_event = sim::kInvalidEvent;
+    std::optional<Resp> value(std::move(response));
+    slot->invoke_done(slot->done_buf, &value);
+    // Re-resolve nothing: chunk storage is stable, `slot` stays valid even
+    // if the completion callback issued new rpcs.
+    if (slot->request_consumed) release_rpc_slot(handle_index(handle));
+  }
+
+  // ---- per-pair delay memo ----
+
+  struct PairDelay {
+    double owd_us;    // base_rtt / 2, the per-sample invariant
+    double bw_denom;  // max(0.01, bandwidth_mbps) * 1e6
+  };
+  struct PairDelayEntry {
+    std::uint64_t key{kEmptyPairKey};
+    PairDelay delay;
+  };
+  static constexpr std::uint64_t kEmptyPairKey = ~0ull;
+
+  [[nodiscard]] const PairDelay& pair_delay(HostId from, HostId to,
+                                            std::uint64_t version);
+  [[nodiscard]] PairDelay compute_pair_delay(HostId from, HostId to) const;
 
   sim::Simulator* simulator_;
   const NetworkModel* model_;
   HostTable* hosts_;
   Rng rng_;
+  double jitter_sigma_;
   const FaultInjector* faults_{nullptr};
+
+  // Rpc slot pool (chunked so slots never move).
+  std::vector<std::unique_ptr<RpcSlot[]>> rpc_chunks_;
+  std::uint32_t rpc_free_head_{kNoFreeSlot};
+  std::size_t rpc_in_use_{0};
+
+  // Open-addressed per-pair delay memo, validated against the model's
+  // topology version (0 = time-varying model, never cached).
+  std::vector<PairDelayEntry> delay_cache_;
+  std::size_t delay_cache_used_{0};
+  std::uint64_t delay_cache_version_{0};
+  PairDelay scratch_pair_{};  // fallback for the uncacheable all-ones key
 };
 
 }  // namespace eden::net

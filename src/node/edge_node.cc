@@ -113,13 +113,13 @@ void EdgeNode::handle_leave(ClientId client) {
 }
 
 void EdgeNode::handle_offload(const net::FrameRequest& request,
-                              std::function<void(net::FrameResponse)> done) {
+                              net::Done<net::FrameResponse> done) {
   if (!running_) return;
   if (const auto it = attached_.find(request.client); it != attached_.end()) {
     it->second.last_seen = scheduler_->now();
   }
   executor_.submit(request.cost, [this, frame_id = request.frame_id,
-                                  done = std::move(done)](double proc_ms) {
+                                  done = std::move(done)](double proc_ms) mutable {
     if (!running_) return;
     ++stats_.frames_processed;
     current_ema_ms_ = has_current_ema_

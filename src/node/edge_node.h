@@ -86,7 +86,7 @@ class EdgeNode {
   bool handle_unexpected_join(const net::JoinRequest& request);
   void handle_leave(ClientId client);
   void handle_offload(const net::FrameRequest& request,
-                      std::function<void(net::FrameResponse)> done);
+                      net::Done<net::FrameResponse> done);
 
   // ---- Introspection ----
   [[nodiscard]] NodeId id() const { return config_.id; }

@@ -65,11 +65,37 @@ void Executor::start(Job job) {
   const double service_ms =
       config_.base_frame_ms * job.cost * service_multiplier();
   const std::uint64_t gen = generation_;
-  scheduler_->schedule_after(
-      msec(service_ms),
-      [this, gen, enqueued_at = job.enqueued_at, done = std::move(job.done)]() mutable {
-        on_complete(gen, enqueued_at, std::move(done));
-      });
+  const std::uint32_t slot =
+      acquire_inflight(std::move(job.done), job.enqueued_at);
+  scheduler_->schedule_after(msec(service_ms), [this, gen, slot] {
+    finish_inflight(gen, slot);
+  });
+}
+
+std::uint32_t Executor::acquire_inflight(Completion done, SimTime enqueued_at) {
+  std::uint32_t slot;
+  if (inflight_free_head_ != kNoFreeSlot) {
+    slot = inflight_free_head_;
+    inflight_free_head_ = inflight_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.emplace_back();
+  }
+  inflight_[slot].done = std::move(done);
+  inflight_[slot].enqueued_at = enqueued_at;
+  return slot;
+}
+
+void Executor::finish_inflight(std::uint64_t generation, std::uint32_t slot) {
+  // Every started job owns exactly one slot and one scheduled event, so the
+  // slot is always live here; move the callback out before releasing so a
+  // re-entrant submit() from inside it cannot clobber the storage.
+  Completion done = std::move(inflight_[slot].done);
+  const SimTime enqueued_at = inflight_[slot].enqueued_at;
+  inflight_[slot].done.reset();
+  inflight_[slot].next_free = inflight_free_head_;
+  inflight_free_head_ = slot;
+  on_complete(generation, enqueued_at, std::move(done));
 }
 
 void Executor::on_complete(std::uint64_t generation, SimTime enqueued_at,

@@ -6,9 +6,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <vector>
 
 #include "common/types.h"
+#include "sim/callback.h"
 #include "sim/clock.h"
 
 namespace eden::node {
@@ -38,7 +39,11 @@ struct ExecutorConfig {
 class Executor {
  public:
   // `done(proc_ms)` receives queueing + service time for the job.
-  using Completion = std::function<void(double proc_ms)>;
+  // Capacity 72 (one step above the protocol-wide 48) because the offload
+  // completion nests a whole net::Done<FrameResponse> (56 bytes) next to
+  // the node pointer and frame id — move-only SBO keeps that chain of
+  // callbacks allocation-free end to end.
+  using Completion = sim::BasicFunc<72, double /*proc_ms*/>;
 
   Executor(sim::Scheduler& scheduler, ExecutorConfig config);
 
@@ -67,8 +72,19 @@ class Executor {
     Completion done;
     SimTime enqueued_at;
   };
+  // In-flight jobs parked in a free-listed slab so the scheduled completion
+  // event captures only {executor, generation, slot} — small enough to
+  // live inline in the scheduler's callback storage.
+  struct InFlight {
+    Completion done;
+    SimTime enqueued_at{0};
+    std::uint32_t next_free{0};
+  };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
   void start(Job job);
+  std::uint32_t acquire_inflight(Completion done, SimTime enqueued_at);
+  void finish_inflight(std::uint64_t generation, std::uint32_t slot);
   void on_complete(std::uint64_t generation, SimTime enqueued_at, Completion done);
   // Accrue burst credits and the utilization EMA for the elapsed interval.
   void account(SimTime now);
@@ -77,6 +93,8 @@ class Executor {
   sim::Scheduler* scheduler_;
   ExecutorConfig config_;
   std::deque<Job> queue_;
+  std::vector<InFlight> inflight_;
+  std::uint32_t inflight_free_head_{kNoFreeSlot};
   int busy_{0};
   std::uint64_t generation_{0};
   std::uint64_t completed_{0};

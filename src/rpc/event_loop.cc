@@ -27,8 +27,7 @@ SimTime EventLoop::now() const {
       .count();
 }
 
-sim::EventId EventLoop::schedule_after(SimDuration delay,
-                                       std::function<void()> fn) {
+sim::EventId EventLoop::schedule_after(SimDuration delay, sim::Callback fn) {
   if (delay < 0) delay = 0;
   const sim::EventId id = next_timer_id_++;
   const SimTime deadline = now() + delay;

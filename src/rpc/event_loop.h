@@ -30,8 +30,7 @@ class EventLoop final : public sim::Scheduler {
 
   // ---- sim::Scheduler (wall clock, µs since loop construction) ----
   [[nodiscard]] SimTime now() const override;
-  sim::EventId schedule_after(SimDuration delay,
-                              std::function<void()> fn) override;
+  sim::EventId schedule_after(SimDuration delay, sim::Callback fn) override;
   bool cancel(sim::EventId id) override;
 
   // ---- fd watching (level-triggered) ----
@@ -66,7 +65,7 @@ class EventLoop final : public sim::Scheduler {
 
   // Timers (loop thread only).
   sim::EventId next_timer_id_{1};
-  std::map<std::pair<SimTime, sim::EventId>, std::function<void()>> timers_;
+  std::map<std::pair<SimTime, sim::EventId>, sim::Callback> timers_;
   std::unordered_map<sim::EventId, SimTime> timer_deadlines_;
 
   // Watches (loop thread only).

@@ -178,22 +178,22 @@ class LiveClient::NodeProxy final : public net::NodeApi {
 
   [[nodiscard]] NodeId id() const override { return id_; }
 
-  void rtt_probe(ClientId from, std::function<void(bool)> done) override {
+  void rtt_probe(ClientId from, net::Done<bool> done) override {
     Writer writer;
     writer.u32(from.value);
     client_.call(MessageType::kRttProbe, writer.data(), kProbeTimeout,
-                 [done = std::move(done)](auto response) {
+                 [done = std::move(done)](auto response) mutable {
                    done(response.has_value());
                  });
   }
 
-  void process_probe(ClientId from,
-                     std::function<void(std::optional<net::ProcessProbeResponse>)>
-                         done) override {
+  void process_probe(
+      ClientId from,
+      net::Done<std::optional<net::ProcessProbeResponse>> done) override {
     Writer writer;
     writer.u32(from.value);
     client_.call(MessageType::kProcessProbe, writer.data(), kProbeTimeout,
-                 [done = std::move(done)](auto response) {
+                 [done = std::move(done)](auto response) mutable {
                    if (!response) return done(std::nullopt);
                    Reader reader(*response);
                    auto decoded = decode_process_probe_response(reader);
@@ -202,11 +202,11 @@ class LiveClient::NodeProxy final : public net::NodeApi {
   }
 
   void join(const net::JoinRequest& request,
-            std::function<void(std::optional<net::JoinResponse>)> done) override {
+            net::Done<std::optional<net::JoinResponse>> done) override {
     Writer writer;
     encode(writer, request);
     client_.call(MessageType::kJoin, writer.data(), kJoinTimeout,
-                 [done = std::move(done)](auto response) {
+                 [done = std::move(done)](auto response) mutable {
                    if (!response) return done(std::nullopt);
                    Reader reader(*response);
                    auto decoded = decode_join_response(reader);
@@ -215,11 +215,11 @@ class LiveClient::NodeProxy final : public net::NodeApi {
   }
 
   void unexpected_join(const net::JoinRequest& request,
-                       std::function<void(bool)> done) override {
+                       net::Done<bool> done) override {
     Writer writer;
     encode(writer, request);
     client_.call(MessageType::kUnexpectedJoin, writer.data(), kJoinTimeout,
-                 [done = std::move(done)](auto response) {
+                 [done = std::move(done)](auto response) mutable {
                    if (!response) return done(false);
                    Reader reader(*response);
                    const bool accepted = reader.boolean();
@@ -234,12 +234,11 @@ class LiveClient::NodeProxy final : public net::NodeApi {
   }
 
   void offload(const net::FrameRequest& request,
-               std::function<void(std::optional<net::FrameResponse>)> done)
-      override {
+               net::Done<std::optional<net::FrameResponse>> done) override {
     Writer writer;
     encode(writer, request);
     client_.call(MessageType::kOffload, writer.data(), kFrameTimeout,
-                 [done = std::move(done)](auto response) {
+                 [done = std::move(done)](auto response) mutable {
                    if (!response) return done(std::nullopt);
                    Reader reader(*response);
                    auto decoded = decode_frame_response(reader);
@@ -257,14 +256,14 @@ class LiveClient::ManagerProxy final : public net::ManagerApi {
   ManagerProxy(RpcClient& client, LiveClient& owner)
       : client_(&client), owner_(&owner) {}
 
-  void discover(const net::DiscoveryRequest& request,
-                std::function<void(std::optional<net::DiscoveryResponse>)> done)
-      override {
+  void discover(
+      const net::DiscoveryRequest& request,
+      net::Done<std::optional<net::DiscoveryResponse>> done) override {
     Writer writer;
     encode(writer, request);
     client_->call(
         MessageType::kDiscover, writer.data(), kDiscoveryTimeout,
-        [owner = owner_, done = std::move(done)](auto response) {
+        [owner = owner_, done = std::move(done)](auto response) mutable {
           if (!response) return done(std::nullopt);
           Reader reader(*response);
           auto decoded = decode_discovery_response(reader);

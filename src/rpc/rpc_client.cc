@@ -24,7 +24,7 @@ void RpcClient::call(MessageType type, const std::vector<std::uint8_t>& payload,
                      SimDuration timeout, ResponseCallback callback) {
   if (!ensure_connected()) {
     // Fail asynchronously, preserving "callback runs from the loop" rules.
-    loop_->schedule_after(0, [callback = std::move(callback)] {
+    loop_->schedule_after(0, [callback = std::move(callback)]() mutable {
       callback(std::nullopt);
     });
     return;

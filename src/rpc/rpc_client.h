@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -13,14 +12,17 @@
 
 #include "rpc/connection.h"
 #include "rpc/messages.h"
+#include "sim/callback.h"
 
 namespace eden::rpc {
 
 class RpcClient {
  public:
   // Response payload bytes, or nullopt on timeout / connection failure.
+  // A move-only sim::Func, so the live proxies can capture the protocol's
+  // move-only net::Done completions without shared_ptr wrappers.
   using ResponseCallback =
-      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+      sim::Func<std::optional<std::vector<std::uint8_t>>>;
 
   RpcClient(EventLoop& loop, std::string endpoint);
   ~RpcClient();

@@ -4,9 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "common/types.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 
 namespace eden::sim {
@@ -17,9 +18,14 @@ class Clock {
   [[nodiscard]] virtual SimTime now() const = 0;
 };
 
+// Timers are passed as sim::Callback (48-byte SBO, move-only) rather than
+// std::function: protocol components schedule per-frame and per-probe
+// timers whose captures routinely exceed std::function's 16-byte inline
+// buffer, and under the simulator the callback lands directly in an arena
+// slot — so the whole scheduling path stays allocation-free.
 class Scheduler : public Clock {
  public:
-  virtual EventId schedule_after(SimDuration delay, std::function<void()> fn) = 0;
+  virtual EventId schedule_after(SimDuration delay, Callback fn) = 0;
   virtual bool cancel(EventId id) = 0;
 };
 
@@ -29,7 +35,7 @@ class SimScheduler final : public Scheduler {
   explicit SimScheduler(Simulator& simulator) : simulator_(&simulator) {}
 
   [[nodiscard]] SimTime now() const override { return simulator_->now(); }
-  EventId schedule_after(SimDuration delay, std::function<void()> fn) override {
+  EventId schedule_after(SimDuration delay, Callback fn) override {
     return simulator_->schedule_after(delay, std::move(fn));
   }
   bool cancel(EventId id) override { return simulator_->cancel(id); }

@@ -98,7 +98,7 @@ class Simulator {
   }
 
  private:
-  // Exactly one cache line: 32B inline callback storage + ops pointer +
+  // Exactly one cache line: 48B inline callback storage + ops pointer +
   // occupancy metadata. A slot is live iff its callback is non-empty;
   // `generation` holds the low 32 bits of the occupying event's global
   // sequence number, which is unique enough per slot for stale-handle

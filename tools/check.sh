@@ -43,4 +43,25 @@ awk -v ref="$REF" -v new="$NEW" 'BEGIN {
   }
 }' || exit 1
 
+# Allocation gate: the benches count operator-new calls per simulated event
+# (alloc_hook.cc). Unlike wall-clock this is machine-independent, so the
+# tolerance is tight: >20% over the committed value fails.
+extract_smoke_allocs() {
+  sed -n '/"smoke"/,/}/p' "$1" | grep -o '"allocs_per_event": [0-9.]*' |
+    head -1 | grep -o '[0-9.]*$'
+}
+REF_ALLOCS=$(extract_smoke_allocs BENCH_scale.json)
+NEW_ALLOCS=$(extract_smoke_allocs "$SMOKE_JSON")
+if [ -z "$REF_ALLOCS" ] || [ -z "$NEW_ALLOCS" ]; then
+  echo "scale smoke: missing allocs_per_event (ref='$REF_ALLOCS' new='$NEW_ALLOCS')" >&2
+  exit 1
+fi
+echo "scale smoke allocs_per_event: committed=$REF_ALLOCS measured=$NEW_ALLOCS"
+awk -v ref="$REF_ALLOCS" -v new="$NEW_ALLOCS" 'BEGIN {
+  if (new > 1.2 * ref) {
+    printf "scale smoke: allocation regression >20%% (%.3f vs %.3f allocs/event)\n", new, ref
+    exit 1
+  }
+}' || exit 1
+
 echo "=== all presets green ==="
