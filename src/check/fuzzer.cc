@@ -1,0 +1,416 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "harness/scenario.h"
+#include "net/sim_network.h"
+
+namespace eden::check {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// ---- generator --------------------------------------------------------
+
+namespace {
+
+constexpr double kAnchorLat = 44.9778;  // Minneapolis, like the harness
+constexpr double kAnchorLon = -93.2650;
+
+int sample_access_tier(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.25) return static_cast<int>(net::AccessTier::kFiber);
+  if (r < 0.65) return static_cast<int>(net::AccessTier::kCable);
+  if (r < 0.85) return static_cast<int>(net::AccessTier::kDsl);
+  return static_cast<int>(net::AccessTier::kLocalZone);
+}
+
+FuzzEndpoint sample_endpoint(Rng& rng, std::size_t nodes,
+                             std::size_t clients) {
+  const double r = rng.uniform();
+  if (r < 0.15 || (nodes == 0 && clients == 0)) {
+    return {EndpointKind::kManager, 0};
+  }
+  if (nodes > 0 && (r < 0.70 || clients == 0)) {
+    return {EndpointKind::kNode,
+            static_cast<int>(rng.uniform_int(0, static_cast<int>(nodes) - 1))};
+  }
+  return {EndpointKind::kClient,
+          static_cast<int>(rng.uniform_int(0, static_cast<int>(clients) - 1))};
+}
+
+}  // namespace
+
+ScenarioSpec generate_spec(std::uint64_t seed, const FuzzLimits& limits) {
+  Rng rng = Rng(seed).fork("check-gen");
+  ScenarioSpec spec;
+  spec.seed = seed;
+
+  // Regime knobs first: network kind, jitter, heartbeat TTL, horizon.
+  spec.heartbeat_ttl_sec = rng.uniform(2.0, 4.0);
+  spec.jitter_sigma = rng.bernoulli(0.35) ? 0.0 : rng.uniform(0.01, 0.12);
+  spec.net_kind = rng.bernoulli(0.7) ? static_cast<int>(SpecNetKind::kGeo)
+                                     : static_cast<int>(SpecNetKind::kMatrix);
+  spec.default_rtt_ms = rng.uniform(10.0, 60.0);
+  spec.default_bw_mbps = rng.uniform(20.0, 200.0);
+  double horizon = rng.uniform(limits.min_horizon_sec, limits.max_horizon_sec);
+
+  // Clients: always at least one; every fuzz client streams frames (the
+  // conservation and bound oracles feed on them).
+  const auto client_count = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<int>(std::max<std::size_t>(
+                             1, limits.max_clients))));
+  double max_probing = 0.0;
+  static const double kMargins[] = {0.0, 0.1, 0.3};
+  for (std::size_t i = 0; i < client_count; ++i) {
+    FuzzClient fc;
+    fc.lat = kAnchorLat + rng.uniform(-0.3, 0.3);
+    fc.lon = kAnchorLon + rng.uniform(-0.3, 0.3);
+    fc.tier = sample_access_tier(rng);
+    fc.top_n = static_cast<int>(rng.uniform_int(1, 5));
+    fc.probing_period_sec = rng.uniform(1.5, 6.0);
+    fc.proactive = rng.bernoulli(0.8);
+    fc.switch_margin = kMargins[rng.uniform_int(0, 2)];
+    fc.max_fps = rng.uniform(6.0, 20.0);
+    fc.start_sec = rng.uniform(0.0, 4.0);
+    fc.send_frames = true;
+    max_probing = std::max(max_probing, fc.probing_period_sec);
+    spec.clients.push_back(fc);
+  }
+
+  // The oracle soundness envelope (see header): the cooldown must outlast
+  // a TTL expiry plus any fault-delayed heartbeat still in flight, and
+  // give every client a couple of probing cycles to settle; idle eviction
+  // must not be reachable from a fault window alone.
+  spec.cooldown_sec =
+      std::max({10.0, 2.0 * max_probing + 3.0, spec.heartbeat_ttl_sec + 7.0});
+  spec.user_idle_ttl_sec = std::max(8.0, 2.5 * max_probing);
+  spec.horizon_sec = std::max(horizon, spec.cooldown_sec + 12.0);
+  const double quiet_start = spec.horizon_sec - spec.cooldown_sec;
+
+  // Nodes: degenerate 0/1-node topologies are deliberate fuzz inputs.
+  const double shape = rng.uniform();
+  std::size_t node_count = 0;
+  if (shape >= 0.16) {
+    node_count =
+        2 + static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(std::max<std::size_t>(2, limits.max_nodes)) -
+                       2));
+  } else if (shape >= 0.06) {
+    node_count = 1;
+  }
+  // Geohash clusters: volunteer fleets bunch around a few metro centers.
+  const int center_count = static_cast<int>(rng.uniform_int(1, 3));
+  double centers[3][2];
+  for (int c = 0; c < center_count; ++c) {
+    centers[c][0] = kAnchorLat + rng.uniform(-0.4, 0.4);
+    centers[c][1] = kAnchorLon + rng.uniform(-0.4, 0.4);
+  }
+  for (std::size_t i = 0; i < node_count; ++i) {
+    FuzzNode fn;
+    const int c = static_cast<int>(rng.uniform_int(0, center_count - 1));
+    fn.lat = centers[c][0] + rng.uniform(-0.08, 0.08);
+    fn.lon = centers[c][1] + rng.uniform(-0.08, 0.08);
+    fn.tier = sample_access_tier(rng);
+    fn.dedicated = fn.tier == static_cast<int>(net::AccessTier::kLocalZone);
+    fn.cores = static_cast<int>(rng.uniform_int(1, 8));
+    fn.base_frame_ms = rng.uniform(8.0, 45.0);
+    fn.heartbeat_period_sec = rng.uniform(0.6, spec.heartbeat_ttl_sec / 2.0);
+    if (i == 0) {
+      // Anchor: one volunteer that is always there, so the spec promises
+      // frame traffic (see expects_frames).
+      fn.start_sec = 0.0;
+      fn.stop_sec = -1.0;
+    } else {
+      // Churn schedule: late joins and mid-run departures, all clear of
+      // the cooldown tail.
+      fn.start_sec = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, horizon / 3.0);
+      if (rng.bernoulli(0.35)) {
+        fn.stop_sec = std::min(quiet_start,
+                               fn.start_sec + rng.uniform(2.0, quiet_start));
+        fn.graceful_stop = rng.bernoulli(0.5);
+      }
+    }
+    spec.nodes.push_back(fn);
+  }
+  if (node_count > 0 && rng.bernoulli(0.3)) {
+    FuzzNode cloud;
+    cloud.lat = kAnchorLat + 2.0;
+    cloud.lon = kAnchorLon + 2.0;
+    cloud.tier = static_cast<int>(net::AccessTier::kCloud);
+    cloud.cores = 16;
+    cloud.base_frame_ms = rng.uniform(10.0, 20.0);
+    cloud.dedicated = true;
+    cloud.is_cloud = true;
+    cloud.extra_rtt_ms = rng.uniform(35.0, 80.0);
+    cloud.heartbeat_period_sec = 1.0;
+    spec.nodes.push_back(cloud);
+  }
+
+  // Fault windows: cuts, partitions, slowdowns and wildcard isolations,
+  // each short enough that idle eviction cannot trigger from it and ending
+  // before the cooldown tail.
+  const auto fault_count =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(limits.max_faults)));
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    FuzzFault ff;
+    const double r = rng.uniform();
+    ff.kind = r < 0.30   ? FaultKind::kCut
+              : r < 0.55 ? FaultKind::kPartition
+              : r < 0.80 ? FaultKind::kSlow
+                         : FaultKind::kIsolate;
+    ff.a = sample_endpoint(rng, spec.nodes.size(), spec.clients.size());
+    ff.b = sample_endpoint(rng, spec.nodes.size(), spec.clients.size());
+    if (ff.kind != FaultKind::kIsolate && ff.b == ff.a) {
+      ff.b = {EndpointKind::kManager, 0};
+      if (ff.a == ff.b) continue;  // manager-manager pair: drop the window
+    }
+    ff.factor = rng.uniform(1.5, 20.0);
+    ff.from_sec = rng.uniform(1.0, quiet_start - 0.5);
+    ff.until_sec =
+        ff.from_sec + rng.uniform(0.5, std::min(6.0, quiet_start - ff.from_sec));
+    spec.faults.push_back(ff);
+  }
+  return spec;
+}
+
+// ---- runner -----------------------------------------------------------
+
+namespace {
+
+std::string format_runner(const char* fmt, ...) {
+  char buf[192];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+net::AccessTier clamp_tier(int tier) {
+  if (tier < static_cast<int>(net::AccessTier::kLan) ||
+      tier > static_cast<int>(net::AccessTier::kCloud)) {
+    return net::AccessTier::kCable;
+  }
+  return static_cast<net::AccessTier>(tier);
+}
+
+// Symbolic endpoint -> host. nullopt for dangling indices (a hand-edited
+// spec may reference entities the shrinker dropped): the window is skipped.
+std::optional<HostId> resolve_endpoint(harness::Scenario& scenario,
+                                       const FuzzEndpoint& ep) {
+  switch (ep.kind) {
+    case EndpointKind::kManager:
+      return HostId{0};  // the scenario allocates host 0 to the manager
+    case EndpointKind::kNode:
+      if (ep.index < 0 ||
+          static_cast<std::size_t>(ep.index) >= scenario.node_count()) {
+        return std::nullopt;
+      }
+      return scenario.node_id(static_cast<std::size_t>(ep.index));
+    case EndpointKind::kClient:
+      if (ep.index < 0 ||
+          static_cast<std::size_t>(ep.index) >= scenario.edge_client_count()) {
+        return std::nullopt;
+      }
+      return scenario.edge_client(static_cast<std::size_t>(ep.index)).id();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
+  // The injector must outlive every fabric lookup, so it is declared
+  // before the scenario that holds the fabric.
+  net::FaultInjector injector;
+
+  harness::ScenarioConfig config;
+  config.seed = spec.seed;
+  config.heartbeat_ttl = sec(spec.heartbeat_ttl_sec);
+  config.trace = true;
+  const auto kind = spec.net_kind == static_cast<int>(SpecNetKind::kMatrix)
+                        ? harness::NetKind::kMatrix
+                        : harness::NetKind::kGeo;
+  harness::Scenario scenario(config, kind, spec.default_rtt_ms,
+                             spec.default_bw_mbps, spec.jitter_sigma);
+  scenario.fabric().set_fault_injector(&injector);
+
+  const SimTime horizon = sec(spec.horizon_sec);
+  // Enforce the quiet-tail contract for any spec, not just generated ones.
+  const double quiet_start =
+      std::max(0.0, spec.horizon_sec - std::max(0.0, spec.cooldown_sec));
+
+  // ---- nodes ----
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    const FuzzNode& fn = spec.nodes[i];
+    harness::NodeSpec ns;
+    ns.name = format_runner("fuzz-node-%zu", i);
+    ns.position = geo::GeoPoint{fn.lat, fn.lon};
+    ns.tier = clamp_tier(fn.tier);
+    ns.cores = std::max(1, fn.cores);
+    ns.base_frame_ms = fn.base_frame_ms;
+    ns.dedicated = fn.dedicated;
+    ns.is_cloud = fn.is_cloud;
+    ns.extra_rtt_ms = fn.extra_rtt_ms;
+    ns.heartbeat_period = sec(std::max(0.1, fn.heartbeat_period_sec));
+    ns.user_idle_ttl = sec(std::max(1.0, spec.user_idle_ttl_sec));
+    ns.chaos_freeze_seq_num = (spec.chaos & kChaosFreezeSeqNum) != 0;
+    const std::size_t index = scenario.add_node(ns);
+
+    const double start = std::max(0.0, fn.start_sec);
+    double stop = fn.stop_sec;
+    if (stop >= 0.0) stop = std::min(stop, quiet_start);
+    if (stop >= 0.0 && stop <= start) continue;  // clamped into nothing
+    if (start <= 0.0) {
+      scenario.start_node(index);
+    } else {
+      scenario.schedule_node_start(index, sec(start));
+    }
+    if (stop >= 0.0) {
+      scenario.schedule_node_stop(index, sec(stop), fn.graceful_stop);
+    }
+  }
+
+  // ---- clients ----
+  for (std::size_t i = 0; i < spec.clients.size(); ++i) {
+    const FuzzClient& fc = spec.clients[i];
+    harness::ClientSpot spot;
+    spot.name = format_runner("fuzz-client-%zu", i);
+    spot.position = geo::GeoPoint{fc.lat, fc.lon};
+    spot.tier = clamp_tier(fc.tier);
+    client::ClientConfig cc;
+    cc.top_n = std::max(1, fc.top_n);
+    cc.probing_period = sec(std::max(0.5, fc.probing_period_sec));
+    cc.proactive_connections = fc.proactive;
+    cc.switch_margin = fc.switch_margin;
+    cc.app.max_fps = std::max(1.0, fc.max_fps);
+    cc.send_frames = fc.send_frames;
+    client::EdgeClient& cl = scenario.add_edge_client(spot, std::move(cc));
+    if (fc.start_sec <= 0.0) {
+      cl.start();
+    } else {
+      scenario.scheduler().schedule_after(sec(fc.start_sec),
+                                          [&cl] { cl.start(); });
+    }
+  }
+
+  // ---- fault windows ----
+  for (const FuzzFault& ff : spec.faults) {
+    const auto a = resolve_endpoint(scenario, ff.a);
+    if (!a) continue;
+    const double from = std::max(0.0, ff.from_sec);
+    const double until = std::min(ff.until_sec, quiet_start);
+    if (until <= from) continue;
+    if (ff.kind == FaultKind::kIsolate) {
+      injector.isolate_host(*a, sec(from), sec(until));
+      continue;
+    }
+    const auto b = resolve_endpoint(scenario, ff.b);
+    if (!b || *b == *a) continue;
+    switch (ff.kind) {
+      case FaultKind::kCut:
+        injector.cut_link(*a, *b, sec(from), sec(until));
+        break;
+      case FaultKind::kPartition:
+        injector.partition(*a, *b, sec(from), sec(until));
+        break;
+      case FaultKind::kSlow:
+        injector.slow_link(*a, *b, std::max(1.0, ff.factor), sec(from),
+                           sec(until));
+        break;
+      case FaultKind::kIsolate:
+        break;  // handled above
+    }
+  }
+
+  // ---- run to the horizon, snapshot, tear down, drain ----
+  scenario.run_until(horizon);
+
+  EndState end;
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    const node::EdgeNode& n = scenario.node(i);
+    end.nodes.push_back({n.id(), n.running(), n.attached_ids()});
+  }
+  for (std::size_t i = 0; i < scenario.edge_client_count(); ++i) {
+    client::EdgeClient& c = scenario.edge_client(i);
+    end.clients.push_back({c.id(), c.current_node(), c.stats()});
+  }
+  for (const auto& entry :
+       scenario.central_manager().registry().snapshot(horizon)) {
+    end.registry_live.push_back(entry.status.node);
+  }
+  std::sort(end.registry_live.begin(), end.registry_live.end(),
+            [](NodeId a, NodeId b) { return a.value < b.value; });
+  for (const auto& c : end.clients) {
+    for (const auto& n : end.nodes) {
+      end.base_rtt.push_back(
+          {c.id, n.id,
+           to_ms(scenario.network_model().base_rtt(c.id, n.id))});
+    }
+  }
+
+  RunReport report;
+  // Vacuity gate: a spec that promises frames but moved none (or that has
+  // no clients at all) is a harness bug masquerading as a green run.
+  if (spec.clients.empty() || expects_frames(spec)) {
+    try {
+      scenario.require_nonvacuous_run();
+    } catch (const std::runtime_error& err) {
+      report.violations.push_back({"vacuous-run", err.what(), horizon});
+    }
+  }
+
+  // Oracles see only the pre-teardown prefix: stats snapshots above and
+  // the trace stay in exact correspondence (both record precisely what
+  // executed by the horizon), while teardown noise — drained joins hitting
+  // stopped nodes, deregisters at the horizon — is excluded.
+  const std::size_t prefix = scenario.trace_recorder()->events().size();
+
+  for (auto& c : end.clients) {
+    report.frames_sent += c.stats.frames_sent;
+    report.frames_ok += c.stats.frames_ok;
+    report.frames_failed += c.stats.frames_failed;
+    report.joins += c.stats.joins;
+    report.switches += c.stats.switches;
+    report.failovers += c.stats.failovers;
+    report.hard_failures += c.stats.hard_failures;
+  }
+
+  for (std::size_t i = 0; i < scenario.edge_client_count(); ++i) {
+    scenario.edge_client(i).stop();
+  }
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    if (scenario.node(i).running()) scenario.stop_node(i, /*graceful=*/true);
+  }
+  scenario.simulator().run_all();
+
+  const std::vector<obs::TraceEvent>& all =
+      scenario.trace_recorder()->events();
+  const std::vector<obs::TraceEvent> pre_teardown(all.begin(),
+                                                  all.begin() + prefix);
+  report.trace_events = all.size();
+  report.trace_digest = fnv1a64(scenario.trace_recorder()->to_jsonl());
+
+  RunView view{spec, pre_teardown, end, config.timeouts, horizon};
+  const auto& oracles =
+      options.oracles != nullptr ? *options.oracles : default_oracles();
+  for (const Oracle* oracle : oracles) {
+    oracle->check(view, report.violations);
+  }
+  return report;
+}
+
+}  // namespace eden::check

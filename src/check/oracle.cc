@@ -1,0 +1,679 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace eden::check {
+
+namespace {
+
+using obs::EventKind;
+using obs::TraceEvent;
+
+std::string format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+// Each oracle stops reporting after this many violations — one is enough
+// to fail a run, and the shrinker only needs the oracle name.
+constexpr std::size_t kMaxViolationsPerOracle = 8;
+
+class Reporter {
+ public:
+  Reporter(const char* oracle, std::vector<Violation>& out)
+      : oracle_(oracle), out_(&out) {}
+
+  void add(SimTime at, std::string message) {
+    if (++count_ > kMaxViolationsPerOracle) return;
+    out_->push_back({oracle_, std::move(message), at});
+  }
+
+ private:
+  std::string oracle_;
+  std::vector<Violation>* out_;
+  std::size_t count_{0};
+};
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// ---- trace-order ------------------------------------------------------
+
+class TraceOrderOracle final : public Oracle {
+ public:
+  const char* name() const override { return "trace-order"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    for (std::size_t i = 1; i < run.events.size(); ++i) {
+      if (run.events[i].at < run.events[i - 1].at) {
+        report.add(run.events[i].at,
+                   format("event %zu (t=%lld) precedes event %zu (t=%lld)",
+                          i, static_cast<long long>(run.events[i].at), i - 1,
+                          static_cast<long long>(run.events[i - 1].at)));
+      }
+    }
+  }
+};
+
+// ---- seqnum -----------------------------------------------------------
+
+// Algorithm 1: every admission (Join accept) happens at the node's current
+// seqNum and is immediately followed by a bump; bumps advance by exactly
+// one. An Unexpected_join cannot be rejected but still counts as a state
+// change, so it too must bump.
+class SeqNumOracle final : public Oracle {
+ public:
+  const char* name() const override { return "seqnum"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    struct NodeSeq {
+      std::uint64_t cur{0};
+      bool admission_pending{false};
+      SimTime pending_at{0};
+    };
+    std::unordered_map<std::uint32_t, NodeSeq> nodes;
+    for (const TraceEvent& e : run.events) {
+      switch (e.kind) {
+        case EventKind::kSeqNumBump: {
+          NodeSeq& s = nodes[e.actor.value];
+          const auto v = static_cast<std::uint64_t>(std::llround(e.value));
+          if (v != s.cur + 1) {
+            report.add(e.at,
+                       format("node %u seqNum bumped %llu -> %llu (not +1)",
+                              e.actor.value,
+                              static_cast<unsigned long long>(s.cur),
+                              static_cast<unsigned long long>(v)));
+          }
+          s.cur = v;
+          s.admission_pending = false;
+          break;
+        }
+        case EventKind::kNodeJoinAccept: {
+          NodeSeq& s = nodes[e.actor.value];
+          if (s.admission_pending) {
+            report.add(e.at,
+                       format("node %u admitted client %u without bumping "
+                              "seqNum after the previous state change",
+                              e.actor.value, e.subject.value));
+          }
+          if (e.span != s.cur) {
+            report.add(e.at,
+                       format("node %u admitted client %u at seqNum %llu but "
+                              "the node's state counter is %llu",
+                              e.actor.value, e.subject.value,
+                              static_cast<unsigned long long>(e.span),
+                              static_cast<unsigned long long>(s.cur)));
+          }
+          s.admission_pending = true;
+          s.pending_at = e.at;
+          break;
+        }
+        case EventKind::kNodeUnexpectedJoin: {
+          NodeSeq& s = nodes[e.actor.value];
+          if (s.admission_pending) {
+            report.add(e.at,
+                       format("node %u accepted an unexpected join from "
+                              "client %u without bumping seqNum after the "
+                              "previous admission",
+                              e.actor.value, e.subject.value));
+          }
+          s.admission_pending = true;
+          s.pending_at = e.at;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // bump_state() runs synchronously inside the admission handler, so a
+    // pending admission at end of trace means the bump never happened.
+    for (const auto& [node, s] : nodes) {
+      if (s.admission_pending) {
+        report.add(s.pending_at,
+                   format("node %u never bumped seqNum after its last "
+                          "admission",
+                          node));
+      }
+    }
+  }
+};
+
+// ---- attachment -------------------------------------------------------
+
+class AttachmentOracle final : public Oracle {
+ public:
+  const char* name() const override { return "attachment"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    check_client_streams(run, report);
+    check_end_state(run, report);
+    // Node-side overlap is only bounded when no fault window can drop a
+    // Leave: a dropped Leave legitimately leaves a ghost attachment that
+    // periodic probes keep refreshing (the node just counts one extra
+    // user). With a clean fabric, a switch's Leave lands within a one-way
+    // delay, so dual attachment beyond kOverlapSlack is a protocol bug —
+    // but only between attachments the client acknowledged: a Join the
+    // node accepted after the client's join timer expired is a tolerated
+    // ghost too (the client does not know it joined, so it never leaves).
+    if (run.spec.faults.empty()) check_overlap(run, report);
+  }
+
+ private:
+  static constexpr SimTime kOverlapSlack = sec(2.0);
+
+  static bool is_client_kind(EventKind kind) {
+    switch (kind) {
+      case EventKind::kJoinAccept:
+      case EventKind::kSwitch:
+      case EventKind::kFailover:
+      case EventKind::kHardFailure:
+      case EventKind::kQosReject:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void check_client_streams(const RunView& run, Reporter& report) const {
+    struct ClientState {
+      bool attached{false};
+    };
+    std::unordered_map<std::uint32_t, ClientState> clients;
+    std::unordered_set<std::uint32_t> known_nodes;
+    for (const auto& n : run.end.nodes) known_nodes.insert(n.id.value);
+    for (const TraceEvent& e : run.events) {
+      if (!is_client_kind(e.kind)) continue;
+      ClientState& s = clients[e.actor.value];
+      switch (e.kind) {
+        case EventKind::kJoinAccept:
+          if (e.subject.valid() && known_nodes.count(e.subject.value) == 0) {
+            report.add(e.at, format("client %u joined unknown node %u",
+                                    e.actor.value, e.subject.value));
+          }
+          s.attached = true;
+          break;
+        case EventKind::kSwitch:
+          if (!s.attached) {
+            report.add(e.at,
+                       format("client %u switched to node %u while never "
+                              "having joined anything",
+                              e.actor.value, e.subject.value));
+          }
+          break;
+        case EventKind::kFailover:
+          if (!s.attached) {
+            report.add(e.at,
+                       format("client %u failed over to node %u without a "
+                              "prior attachment",
+                              e.actor.value, e.subject.value));
+          }
+          break;
+        case EventKind::kHardFailure:
+        case EventKind::kQosReject:
+          s.attached = false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void check_end_state(const RunView& run, Reporter& report) const {
+    std::unordered_map<std::uint32_t, const EndState::NodeState*> nodes;
+    for (const auto& n : run.end.nodes) nodes[n.id.value] = &n;
+    std::unordered_set<std::uint32_t> known_clients;
+    for (const auto& c : run.end.clients) known_clients.insert(c.id.value);
+
+    for (const auto& c : run.end.clients) {
+      if (!c.current) continue;
+      const auto it = nodes.find(c.current->value);
+      if (it == nodes.end()) {
+        report.add(run.horizon,
+                   format("client %u ended attached to unknown node %u",
+                          c.id.value, c.current->value));
+        continue;
+      }
+      const EndState::NodeState& node = *it->second;
+      if (!node.running) {
+        report.add(run.horizon,
+                   format("client %u ended attached to node %u, which is not "
+                          "running at the horizon (cooldown %.1fs)",
+                          c.id.value, node.id.value, run.spec.cooldown_sec));
+      } else if (!std::binary_search(
+                     node.attached.begin(), node.attached.end(), c.id,
+                     [](ClientId a, ClientId b) { return a.value < b.value; })) {
+        report.add(run.horizon,
+                   format("client %u believes it is attached to node %u but "
+                          "the node does not list it",
+                          c.id.value, node.id.value));
+      }
+    }
+    for (const auto& n : run.end.nodes) {
+      for (const ClientId attached : n.attached) {
+        if (known_clients.count(attached.value) == 0) {
+          report.add(run.horizon,
+                     format("node %u lists unknown client %u as attached",
+                            n.id.value, attached.value));
+        }
+      }
+    }
+  }
+
+  // Reconstructs node-side attachment intervals from the node tap events
+  // and flags any same-client overlap across two nodes that lasts longer
+  // than kOverlapSlack. Only sound without fault windows (see check()).
+  void check_overlap(const RunView& run, Reporter& report) const {
+    struct Interval {
+      std::uint32_t node;
+      SimTime from;
+      SimTime until;
+      bool acked;
+    };
+    // Client-side acknowledgements per (client, node): a node-side accept
+    // with no ack shortly after is a join-timeout ghost and exempt.
+    std::unordered_map<std::uint64_t, std::vector<SimTime>> acks;
+    for (const TraceEvent& e : run.events) {
+      if (e.kind == EventKind::kJoinAccept ||
+          e.kind == EventKind::kFailover) {
+        acks[pair_key(e.actor.value, e.subject.value)].push_back(e.at);
+      }
+    }
+    auto acked_at = [&](std::uint32_t client, std::uint32_t node,
+                        SimTime from) {
+      const auto it = acks.find(pair_key(client, node));
+      if (it == acks.end()) return false;
+      const auto lo =
+          std::lower_bound(it->second.begin(), it->second.end(), from);
+      return lo != it->second.end() && *lo <= from + kOverlapSlack;
+    };
+    // (node, client) -> open attach time; closed intervals per client.
+    std::unordered_map<std::uint64_t, SimTime> open;
+    std::unordered_map<std::uint32_t, std::vector<Interval>> by_client;
+    auto close = [&](std::uint32_t node, std::uint32_t client, SimTime at) {
+      const auto it = open.find(pair_key(node, client));
+      if (it == open.end()) return;
+      by_client[client].push_back(
+          {node, it->second, at, acked_at(client, node, it->second)});
+      open.erase(it);
+    };
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> node_clients;
+    for (const TraceEvent& e : run.events) {
+      switch (e.kind) {
+        case EventKind::kNodeJoinAccept:
+        case EventKind::kNodeUnexpectedJoin:
+          open[pair_key(e.actor.value, e.subject.value)] = e.at;
+          node_clients[e.actor.value].push_back(e.subject.value);
+          break;
+        case EventKind::kNodeLeave:
+        case EventKind::kNodeEvict:
+          close(e.actor.value, e.subject.value, e.at);
+          break;
+        case EventKind::kNodeDeath:
+        case EventKind::kNodeDeregister:
+          // Stop clears the whole attachment table.
+          for (const std::uint32_t client : node_clients[e.actor.value]) {
+            close(e.actor.value, client, e.at);
+          }
+          node_clients[e.actor.value].clear();
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& [key, from] : open) {
+      const auto node = static_cast<std::uint32_t>(key >> 32);
+      const auto client = static_cast<std::uint32_t>(key & 0xffffffffu);
+      by_client[client].push_back(
+          {node, from, run.horizon, acked_at(client, node, from)});
+    }
+    for (auto& [client, intervals] : by_client) {
+      std::sort(intervals.begin(), intervals.end(),
+                [](const Interval& a, const Interval& b) {
+                  return a.from < b.from;
+                });
+      for (std::size_t i = 0; i < intervals.size(); ++i) {
+        for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+          const Interval& a = intervals[i];
+          const Interval& b = intervals[j];
+          if (b.from >= a.until) break;
+          if (a.node == b.node || !a.acked || !b.acked) continue;
+          const SimTime overlap = std::min(a.until, b.until) - b.from;
+          if (overlap > kOverlapSlack) {
+            report.add(b.from,
+                       format("client %u attached to nodes %u and %u "
+                              "simultaneously for %.2fs on a fault-free "
+                              "fabric",
+                              client, a.node, b.node, to_sec(overlap)));
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---- frame-conservation ----------------------------------------------
+
+class FrameConservationOracle final : public Oracle {
+ public:
+  const char* name() const override { return "frame-conservation"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    struct FrameState {
+      SimTime sent_at{0};
+      int completions{0};
+    };
+    struct PerClient {
+      std::unordered_map<std::uint64_t, FrameState> frames;
+      std::uint64_t sends{0};
+      std::uint64_t oks{0};
+      std::uint64_t drops{0};
+    };
+    std::unordered_map<std::uint32_t, PerClient> clients;
+
+    auto complete = [&](std::uint32_t client, std::uint64_t frame,
+                        SimTime at, const char* what) {
+      PerClient& pc = clients[client];
+      const auto it = pc.frames.find(frame);
+      if (it == pc.frames.end()) {
+        report.add(at, format("client %u reported %s for frame %llu that was "
+                              "never sent",
+                              client, what,
+                              static_cast<unsigned long long>(frame)));
+        return;
+      }
+      if (++it->second.completions > 1) {
+        report.add(at, format("client %u frame %llu completed %d times",
+                              client, static_cast<unsigned long long>(frame),
+                              it->second.completions));
+      }
+    };
+
+    for (const TraceEvent& e : run.events) {
+      switch (e.kind) {
+        case EventKind::kFrameSend: {
+          PerClient& pc = clients[e.actor.value];
+          ++pc.sends;
+          pc.frames[e.span] = FrameState{e.at, 0};
+          break;
+        }
+        case EventKind::kFrameOk: {
+          ++clients[e.actor.value].oks;
+          complete(e.actor.value, e.span, e.at, "success");
+          break;
+        }
+        case EventKind::kFrameDrop: {
+          ++clients[e.actor.value].drops;
+          complete(e.actor.value,
+                   static_cast<std::uint64_t>(std::llround(e.value)), e.at,
+                   "a drop");
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // Every frame sent long enough before the horizon must have settled:
+    // the transport guarantees a completion (response or timeout) within
+    // the frame rpc timeout.
+    const SimTime settle_deadline = run.horizon - run.timeouts.frame -
+                                    msec(10.0);
+    for (const auto& [client, pc] : clients) {
+      std::uint64_t in_flight = 0;
+      for (const auto& [frame, state] : pc.frames) {
+        if (state.completions > 0) continue;
+        ++in_flight;
+        if (state.sent_at <= settle_deadline) {
+          report.add(state.sent_at,
+                     format("client %u frame %llu (sent at %.3fs) never "
+                            "completed within the %.0fms frame timeout",
+                            client, static_cast<unsigned long long>(frame),
+                            to_sec(state.sent_at),
+                            to_ms(run.timeouts.frame)));
+        }
+      }
+      if (pc.sends != pc.oks + pc.drops + in_flight) {
+        report.add(run.horizon,
+                   format("client %u conservation broken: %llu sent != %llu "
+                          "ok + %llu failed + %llu in flight",
+                          client, static_cast<unsigned long long>(pc.sends),
+                          static_cast<unsigned long long>(pc.oks),
+                          static_cast<unsigned long long>(pc.drops),
+                          static_cast<unsigned long long>(in_flight)));
+      }
+    }
+
+    // Trace <-> counter conservation: the client's own statistics must
+    // agree with the event stream (snapshot taken at the horizon; client
+    // events stop at teardown so both sides cover the same window).
+    for (const auto& c : run.end.clients) {
+      const auto it = clients.find(c.id.value);
+      const std::uint64_t sends = it == clients.end() ? 0 : it->second.sends;
+      const std::uint64_t oks = it == clients.end() ? 0 : it->second.oks;
+      const std::uint64_t drops = it == clients.end() ? 0 : it->second.drops;
+      if (c.stats.frames_sent != sends || c.stats.frames_ok != oks ||
+          c.stats.frames_failed != drops) {
+        report.add(run.horizon,
+                   format("client %u counters disagree with trace: "
+                          "sent %llu/%llu ok %llu/%llu failed %llu/%llu "
+                          "(stats/trace)",
+                          c.id.value,
+                          static_cast<unsigned long long>(c.stats.frames_sent),
+                          static_cast<unsigned long long>(sends),
+                          static_cast<unsigned long long>(c.stats.frames_ok),
+                          static_cast<unsigned long long>(oks),
+                          static_cast<unsigned long long>(c.stats.frames_failed),
+                          static_cast<unsigned long long>(drops)));
+      }
+    }
+  }
+};
+
+// ---- frame-bound ------------------------------------------------------
+
+class FrameBoundOracle final : public Oracle {
+ public:
+  const char* name() const override { return "frame-bound"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    // Timeout-first tie semantics: an accepted frame's end-to-end time is
+    // strictly below the rpc timeout on every fabric.
+    const double upper_ms = to_ms(run.timeouts.frame) + 0.001;
+    // The model lower bound only holds with jitter off (lognormal jitter
+    // is multiplicative and can draw below 1; slow-link factors only
+    // increase delay, so they never break the bound).
+    const bool lower_bound = run.spec.jitter_sigma == 0.0;
+    std::unordered_map<std::uint64_t, double> base_rtt;
+    for (const auto& pair : run.end.base_rtt) {
+      base_rtt[pair_key(pair.client.value, pair.node.value)] =
+          pair.base_rtt_ms;
+    }
+    for (const TraceEvent& e : run.events) {
+      if (e.kind != EventKind::kFrameOk) continue;
+      if (e.value > upper_ms) {
+        report.add(e.at,
+                   format("client %u frame %llu completed in %.3fms, above "
+                          "the %.0fms rpc timeout",
+                          e.actor.value,
+                          static_cast<unsigned long long>(e.span), e.value,
+                          to_ms(run.timeouts.frame)));
+      }
+      if (!lower_bound) continue;
+      const auto it =
+          base_rtt.find(pair_key(e.actor.value, e.subject.value));
+      if (it == base_rtt.end()) continue;
+      if (e.value + 1e-6 < it->second) {
+        report.add(e.at,
+                   format("client %u frame %llu to node %u completed in "
+                          "%.3fms, below the jitter-free base RTT %.3fms",
+                          e.actor.value,
+                          static_cast<unsigned long long>(e.span),
+                          e.subject.value, e.value, it->second));
+      }
+    }
+  }
+};
+
+// ---- failover-liveness ------------------------------------------------
+
+// A client-side failover event must pair with an Unexpected_join the
+// target node processed while running (the node tap only fires on a live
+// node, and the rpc only completes ok when the handler actually ran).
+class FailoverLivenessOracle final : public Oracle {
+ public:
+  const char* name() const override { return "failover-liveness"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    std::unordered_map<std::uint64_t, std::vector<SimTime>> accepted;
+    for (const TraceEvent& e : run.events) {
+      if (e.kind == EventKind::kNodeUnexpectedJoin) {
+        accepted[pair_key(e.subject.value, e.actor.value)].push_back(e.at);
+      }
+    }
+    std::unordered_map<std::uint64_t, std::size_t> used;
+    for (const TraceEvent& e : run.events) {
+      if (e.kind != EventKind::kFailover) continue;
+      const std::uint64_t key = pair_key(e.actor.value, e.subject.value);
+      const auto it = accepted.find(key);
+      std::size_t& cursor = used[key];
+      bool matched = false;
+      if (it != accepted.end() && cursor < it->second.size() &&
+          it->second[cursor] <= e.at) {
+        ++cursor;
+        matched = true;
+      }
+      if (!matched) {
+        report.add(e.at,
+                   format("client %u failed over to node %u with no matching "
+                          "Unexpected_join processed by a live node",
+                          e.actor.value, e.subject.value));
+      }
+    }
+  }
+};
+
+// ---- registry-ttl -----------------------------------------------------
+
+class RegistryOracle final : public Oracle {
+ public:
+  const char* name() const override { return "registry-ttl"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    Reporter report(name(), out);
+    const SimTime ttl = sec(run.spec.heartbeat_ttl_sec);
+
+    // Node lifecycle from the trace: up intervals and first registration.
+    struct Lifecycle {
+      std::vector<std::pair<SimTime, SimTime>> up;  // closed at horizon
+      SimTime first_register{-1};
+      bool running{false};
+      SimTime started_at{0};
+    };
+    std::unordered_map<std::uint32_t, Lifecycle> nodes;
+    for (const TraceEvent& e : run.events) {
+      switch (e.kind) {
+        case EventKind::kNodeRegister: {
+          Lifecycle& lc = nodes[e.actor.value];
+          if (lc.first_register < 0) lc.first_register = e.at;
+          lc.running = true;
+          lc.started_at = e.at;
+          break;
+        }
+        case EventKind::kNodeDeath:
+        case EventKind::kNodeDeregister: {
+          Lifecycle& lc = nodes[e.actor.value];
+          if (lc.running) {
+            lc.up.emplace_back(lc.started_at, e.at);
+            lc.running = false;
+          }
+          break;
+        }
+        case EventKind::kNodeHeartbeat: {
+          Lifecycle& lc = nodes[e.actor.value];
+          if (!lc.running) {
+            report.add(e.at,
+                       format("node %u sent a heartbeat while stopped",
+                              e.actor.value));
+          }
+          break;
+        }
+        case EventKind::kNodeExpire: {
+          const auto it = nodes.find(e.actor.value);
+          if (it == nodes.end() || it->second.first_register < 0) {
+            report.add(e.at,
+                       format("manager expired node %u, which never "
+                              "registered",
+                              e.actor.value));
+          } else if (e.at + msec(1.0) < it->second.first_register + ttl) {
+            report.add(e.at,
+                       format("manager expired node %u only %.3fs after "
+                              "registration (TTL %.1fs)",
+                              e.actor.value,
+                              to_sec(e.at - it->second.first_register),
+                              run.spec.heartbeat_ttl_sec));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // TTL-expiry never resurrects a dead node: after the explicit expire
+    // at the horizon, every registry entry must be a running node (churn
+    // and fault windows clear the cooldown tail, so any dead entry has had
+    // far more than a TTL of silence).
+    std::unordered_map<std::uint32_t, bool> running;
+    for (const auto& n : run.end.nodes) running[n.id.value] = n.running;
+    for (const NodeId id : run.end.registry_live) {
+      const auto it = running.find(id.value);
+      if (it == running.end()) {
+        report.add(run.horizon,
+                   format("registry lists node %u, which this scenario never "
+                          "built",
+                          id.value));
+      } else if (!it->second) {
+        report.add(run.horizon,
+                   format("registry still lists node %u at the horizon, but "
+                          "it stopped over a cooldown (%.1fs) ago — "
+                          "TTL-expiry resurrected or kept a dead node",
+                          id.value, run.spec.cooldown_sec));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<const Oracle*>& default_oracles() {
+  static const TraceOrderOracle trace_order;
+  static const SeqNumOracle seqnum;
+  static const AttachmentOracle attachment;
+  static const FrameConservationOracle conservation;
+  static const FrameBoundOracle frame_bound;
+  static const FailoverLivenessOracle failover;
+  static const RegistryOracle registry;
+  static const std::vector<const Oracle*> all = {
+      &trace_order, &seqnum,   &attachment, &conservation,
+      &frame_bound, &failover, &registry,
+  };
+  return all;
+}
+
+}  // namespace eden::check

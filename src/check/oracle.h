@@ -1,0 +1,91 @@
+// Invariant oracles for the simulation fuzzer. Each oracle is a pure
+// function of one finished run: the spec that produced it, the full
+// protocol trace (obs::TraceRecorder stream), and an end-of-run snapshot
+// taken at the horizon before teardown. Oracles must be *sound* — a
+// violation on any seed is a real protocol bug, never sampling noise — so
+// each check encodes only what the protocol actually guarantees (e.g. the
+// frame latency lower bound applies only when jitter is off, and dual
+// node-side attachment is tolerated for as long as a dropped Leave can
+// legitimately linger, i.e. the idle-eviction TTL).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/edge_client.h"
+#include "common/types.h"
+#include "check/spec.h"
+#include "harness/sim_stubs.h"
+#include "obs/trace.h"
+
+namespace eden::check {
+
+struct Violation {
+  std::string oracle;
+  std::string message;
+  SimTime at{0};
+};
+
+// End-of-run facts captured at the horizon, before clients/nodes are torn
+// down (teardown itself emits trace events; oracles that need the settled
+// state read this snapshot instead).
+struct EndState {
+  struct NodeState {
+    NodeId id;
+    bool running{false};
+    std::vector<ClientId> attached;  // sorted
+  };
+  struct ClientState {
+    ClientId id;
+    std::optional<NodeId> current;
+    client::ClientStats stats;
+  };
+  struct PairRtt {
+    ClientId client;
+    NodeId node;
+    double base_rtt_ms{0.0};
+  };
+  std::vector<NodeState> nodes;
+  std::vector<ClientState> clients;
+  // Registry contents after an explicit expire(horizon).
+  std::vector<NodeId> registry_live;
+  // Model base RTTs per (client, node) pair — stable for Geo/Matrix models,
+  // which are the only kinds the fuzzer draws.
+  std::vector<PairRtt> base_rtt;
+};
+
+struct RunView {
+  const ScenarioSpec& spec;
+  const std::vector<obs::TraceEvent>& events;
+  const EndState& end;
+  harness::StubTimeouts timeouts{};
+  SimTime horizon{0};
+};
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void check(const RunView& run, std::vector<Violation>& out) const = 0;
+};
+
+// The built-in catalog, in evaluation order:
+//   trace-order        events are appended in non-decreasing sim time
+//   seqnum             per-node seqNum bumps strictly increase; at most one
+//                      admission (Join accept) per (node, seqNum)
+//   attachment         client event streams are coherent; at the horizon a
+//                      client's current node is running and lists it; no
+//                      dual node-side attachment outlives the idle TTL
+//   frame-conservation frames_sent = ok + failed + in_flight; every settled
+//                      frame completes exactly once, none completes twice
+//   frame-bound        accepted frames finish under the rpc timeout, and
+//                      (jitter off) above the model's base RTT
+//   failover-liveness  every failover matches an Unexpected_join processed
+//                      by a then-live node
+//   registry-ttl       expired entries never resurrect: post-expire registry
+//                      content is a subset of the running nodes; first
+//                      expiry of a node comes at least TTL after register
+[[nodiscard]] const std::vector<const Oracle*>& default_oracles();
+
+}  // namespace eden::check

@@ -1,0 +1,443 @@
+#include "check/repro.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace eden::check {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  // %.17g survives a strtod round trip exactly for every finite double.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_int(std::string& out, int v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", v);
+  out += buf;
+}
+
+void append_bool(std::string& out, bool v) { out += v ? "true" : "false"; }
+
+void append_node(std::string& out, const FuzzNode& n) {
+  out += "{\"lat\":";
+  append_double(out, n.lat);
+  out += ",\"lon\":";
+  append_double(out, n.lon);
+  out += ",\"tier\":";
+  append_int(out, n.tier);
+  out += ",\"cores\":";
+  append_int(out, n.cores);
+  out += ",\"base_frame_ms\":";
+  append_double(out, n.base_frame_ms);
+  out += ",\"dedicated\":";
+  append_bool(out, n.dedicated);
+  out += ",\"is_cloud\":";
+  append_bool(out, n.is_cloud);
+  out += ",\"extra_rtt_ms\":";
+  append_double(out, n.extra_rtt_ms);
+  out += ",\"heartbeat_period_sec\":";
+  append_double(out, n.heartbeat_period_sec);
+  out += ",\"start_sec\":";
+  append_double(out, n.start_sec);
+  out += ",\"stop_sec\":";
+  append_double(out, n.stop_sec);
+  out += ",\"graceful_stop\":";
+  append_bool(out, n.graceful_stop);
+  out += "}";
+}
+
+void append_client(std::string& out, const FuzzClient& c) {
+  out += "{\"lat\":";
+  append_double(out, c.lat);
+  out += ",\"lon\":";
+  append_double(out, c.lon);
+  out += ",\"tier\":";
+  append_int(out, c.tier);
+  out += ",\"top_n\":";
+  append_int(out, c.top_n);
+  out += ",\"probing_period_sec\":";
+  append_double(out, c.probing_period_sec);
+  out += ",\"proactive\":";
+  append_bool(out, c.proactive);
+  out += ",\"switch_margin\":";
+  append_double(out, c.switch_margin);
+  out += ",\"max_fps\":";
+  append_double(out, c.max_fps);
+  out += ",\"start_sec\":";
+  append_double(out, c.start_sec);
+  out += ",\"send_frames\":";
+  append_bool(out, c.send_frames);
+  out += "}";
+}
+
+void append_fault(std::string& out, const FuzzFault& f) {
+  out += "{\"kind\":";
+  append_int(out, static_cast<int>(f.kind));
+  out += ",\"a_kind\":";
+  append_int(out, static_cast<int>(f.a.kind));
+  out += ",\"a_index\":";
+  append_int(out, f.a.index);
+  out += ",\"b_kind\":";
+  append_int(out, static_cast<int>(f.b.kind));
+  out += ",\"b_index\":";
+  append_int(out, f.b.index);
+  out += ",\"factor\":";
+  append_double(out, f.factor);
+  out += ",\"from_sec\":";
+  append_double(out, f.from_sec);
+  out += ",\"until_sec\":";
+  append_double(out, f.until_sec);
+  out += "}";
+}
+
+// ---- parsing: fixed field order, whitespace tolerated between tokens ----
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos{0};
+  bool ok{true};
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool expect(std::string_view literal) {
+    if (!ok) return false;
+    skip_ws();
+    if (text.substr(pos, literal.size()) != literal) {
+      ok = false;
+      return false;
+    }
+    pos += literal.size();
+    return true;
+  }
+
+  double number() {
+    if (!ok) return 0.0;
+    skip_ws();
+    char buf[64];
+    std::size_t len = 0;
+    while (pos + len < text.size() && len + 1 < sizeof(buf)) {
+      const char c = text[pos + len];
+      if ((c < '0' || c > '9') && c != '-' && c != '+' && c != '.' &&
+          c != 'e' && c != 'E') {
+        break;
+      }
+      buf[len++] = c;
+    }
+    if (len == 0) {
+      ok = false;
+      return 0.0;
+    }
+    buf[len] = '\0';
+    char* end = nullptr;
+    const double v = std::strtod(buf, &end);
+    if (end != buf + len) {
+      ok = false;
+      return 0.0;
+    }
+    pos += len;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ok) return 0;
+    skip_ws();
+    char buf[32];
+    std::size_t len = 0;
+    while (pos + len < text.size() && len + 1 < sizeof(buf) &&
+           text[pos + len] >= '0' && text[pos + len] <= '9') {
+      buf[len] = text[pos + len];
+      ++len;
+    }
+    if (len == 0) {
+      ok = false;
+      return 0;
+    }
+    buf[len] = '\0';
+    pos += len;
+    return std::strtoull(buf, nullptr, 10);
+  }
+
+  int integer() { return static_cast<int>(number()); }
+
+  bool boolean() {
+    if (!ok) return false;
+    skip_ws();
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      return false;
+    }
+    ok = false;
+    return false;
+  }
+
+  // Quoted string without escape support (oracle names are identifiers).
+  std::string string() {
+    if (!expect("\"")) return {};
+    const std::size_t end = text.find('"', pos);
+    if (end == std::string_view::npos) {
+      ok = false;
+      return {};
+    }
+    std::string out(text.substr(pos, end - pos));
+    pos = end + 1;
+    return out;
+  }
+};
+
+FuzzNode parse_node(Cursor& c) {
+  FuzzNode n;
+  c.expect("{\"lat\":");
+  n.lat = c.number();
+  c.expect(",\"lon\":");
+  n.lon = c.number();
+  c.expect(",\"tier\":");
+  n.tier = c.integer();
+  c.expect(",\"cores\":");
+  n.cores = c.integer();
+  c.expect(",\"base_frame_ms\":");
+  n.base_frame_ms = c.number();
+  c.expect(",\"dedicated\":");
+  n.dedicated = c.boolean();
+  c.expect(",\"is_cloud\":");
+  n.is_cloud = c.boolean();
+  c.expect(",\"extra_rtt_ms\":");
+  n.extra_rtt_ms = c.number();
+  c.expect(",\"heartbeat_period_sec\":");
+  n.heartbeat_period_sec = c.number();
+  c.expect(",\"start_sec\":");
+  n.start_sec = c.number();
+  c.expect(",\"stop_sec\":");
+  n.stop_sec = c.number();
+  c.expect(",\"graceful_stop\":");
+  n.graceful_stop = c.boolean();
+  c.expect("}");
+  return n;
+}
+
+FuzzClient parse_client(Cursor& c) {
+  FuzzClient out;
+  c.expect("{\"lat\":");
+  out.lat = c.number();
+  c.expect(",\"lon\":");
+  out.lon = c.number();
+  c.expect(",\"tier\":");
+  out.tier = c.integer();
+  c.expect(",\"top_n\":");
+  out.top_n = c.integer();
+  c.expect(",\"probing_period_sec\":");
+  out.probing_period_sec = c.number();
+  c.expect(",\"proactive\":");
+  out.proactive = c.boolean();
+  c.expect(",\"switch_margin\":");
+  out.switch_margin = c.number();
+  c.expect(",\"max_fps\":");
+  out.max_fps = c.number();
+  c.expect(",\"start_sec\":");
+  out.start_sec = c.number();
+  c.expect(",\"send_frames\":");
+  out.send_frames = c.boolean();
+  c.expect("}");
+  return out;
+}
+
+FuzzFault parse_fault(Cursor& c) {
+  FuzzFault f;
+  c.expect("{\"kind\":");
+  f.kind = static_cast<FaultKind>(c.integer());
+  c.expect(",\"a_kind\":");
+  f.a.kind = static_cast<EndpointKind>(c.integer());
+  c.expect(",\"a_index\":");
+  f.a.index = c.integer();
+  c.expect(",\"b_kind\":");
+  f.b.kind = static_cast<EndpointKind>(c.integer());
+  c.expect(",\"b_index\":");
+  f.b.index = c.integer();
+  c.expect(",\"factor\":");
+  f.factor = c.number();
+  c.expect(",\"from_sec\":");
+  f.from_sec = c.number();
+  c.expect(",\"until_sec\":");
+  f.until_sec = c.number();
+  c.expect("}");
+  return f;
+}
+
+template <typename T, typename ParseFn>
+std::vector<T> parse_array(Cursor& c, ParseFn parse_one) {
+  std::vector<T> out;
+  c.expect("[");
+  c.skip_ws();
+  if (c.ok && c.pos < c.text.size() && c.text[c.pos] == ']') {
+    ++c.pos;
+    return out;
+  }
+  while (c.ok) {
+    out.push_back(parse_one(c));
+    c.skip_ws();
+    if (!c.ok || c.pos >= c.text.size()) {
+      c.ok = false;
+      break;
+    }
+    if (c.text[c.pos] == ',') {
+      ++c.pos;
+      continue;
+    }
+    if (c.text[c.pos] == ']') {
+      ++c.pos;
+      break;
+    }
+    c.ok = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const ReproFile& repro) {
+  const ScenarioSpec& s = repro.spec;
+  std::string out;
+  out.reserve(512 + 256 * (s.nodes.size() + s.clients.size() + s.faults.size()));
+  out += "{\n  \"eden_repro\": ";
+  append_int(out, repro.version);
+  out += ",\n  \"target_oracle\": \"";
+  out += repro.target_oracle;
+  out += "\",\n  \"spec\": {\n    \"seed\": ";
+  append_u64(out, s.seed);
+  out += ",\n    \"net_kind\": ";
+  append_int(out, s.net_kind);
+  out += ",\n    \"default_rtt_ms\": ";
+  append_double(out, s.default_rtt_ms);
+  out += ",\n    \"default_bw_mbps\": ";
+  append_double(out, s.default_bw_mbps);
+  out += ",\n    \"jitter_sigma\": ";
+  append_double(out, s.jitter_sigma);
+  out += ",\n    \"horizon_sec\": ";
+  append_double(out, s.horizon_sec);
+  out += ",\n    \"cooldown_sec\": ";
+  append_double(out, s.cooldown_sec);
+  out += ",\n    \"heartbeat_ttl_sec\": ";
+  append_double(out, s.heartbeat_ttl_sec);
+  out += ",\n    \"user_idle_ttl_sec\": ";
+  append_double(out, s.user_idle_ttl_sec);
+  out += ",\n    \"chaos\": ";
+  append_u64(out, s.chaos);
+  out += ",\n    \"nodes\": [";
+  for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+    out += i == 0 ? "\n      " : ",\n      ";
+    append_node(out, s.nodes[i]);
+  }
+  out += s.nodes.empty() ? "]" : "\n    ]";
+  out += ",\n    \"clients\": [";
+  for (std::size_t i = 0; i < s.clients.size(); ++i) {
+    out += i == 0 ? "\n      " : ",\n      ";
+    append_client(out, s.clients[i]);
+  }
+  out += s.clients.empty() ? "]" : "\n    ]";
+  out += ",\n    \"faults\": [";
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    out += i == 0 ? "\n      " : ",\n      ";
+    append_fault(out, s.faults[i]);
+  }
+  out += s.faults.empty() ? "]" : "\n    ]";
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::optional<ReproFile> parse_json(std::string_view text) {
+  Cursor c{text};
+  ReproFile repro;
+  ScenarioSpec& s = repro.spec;
+  c.expect("{");
+  c.expect("\"eden_repro\":");
+  repro.version = c.integer();
+  c.expect(",");
+  c.expect("\"target_oracle\":");
+  repro.target_oracle = c.string();
+  c.expect(",");
+  c.expect("\"spec\":");
+  c.expect("{");
+  c.expect("\"seed\":");
+  s.seed = c.u64();
+  c.expect(",");
+  c.expect("\"net_kind\":");
+  s.net_kind = c.integer();
+  c.expect(",");
+  c.expect("\"default_rtt_ms\":");
+  s.default_rtt_ms = c.number();
+  c.expect(",");
+  c.expect("\"default_bw_mbps\":");
+  s.default_bw_mbps = c.number();
+  c.expect(",");
+  c.expect("\"jitter_sigma\":");
+  s.jitter_sigma = c.number();
+  c.expect(",");
+  c.expect("\"horizon_sec\":");
+  s.horizon_sec = c.number();
+  c.expect(",");
+  c.expect("\"cooldown_sec\":");
+  s.cooldown_sec = c.number();
+  c.expect(",");
+  c.expect("\"heartbeat_ttl_sec\":");
+  s.heartbeat_ttl_sec = c.number();
+  c.expect(",");
+  c.expect("\"user_idle_ttl_sec\":");
+  s.user_idle_ttl_sec = c.number();
+  c.expect(",");
+  c.expect("\"chaos\":");
+  s.chaos = static_cast<unsigned>(c.u64());
+  c.expect(",");
+  c.expect("\"nodes\":");
+  s.nodes = parse_array<FuzzNode>(c, parse_node);
+  c.expect(",");
+  c.expect("\"clients\":");
+  s.clients = parse_array<FuzzClient>(c, parse_client);
+  c.expect(",");
+  c.expect("\"faults\":");
+  s.faults = parse_array<FuzzFault>(c, parse_fault);
+  c.expect("}");
+  c.expect("}");
+  c.skip_ws();
+  if (!c.ok || c.pos != c.text.size()) return std::nullopt;
+  return repro;
+}
+
+bool write_repro(const std::string& path, const ReproFile& repro) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << to_json(repro);
+  return static_cast<bool>(file);
+}
+
+std::optional<ReproFile> load_repro(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_json(buffer.str());
+}
+
+}  // namespace eden::check

@@ -1,0 +1,34 @@
+// `.eden-repro` files: the self-contained JSON form of a shrunk failing
+// scenario. Contains the target oracle (the invariant the scenario
+// violates) and the full ScenarioSpec; `eden_check --replay` parses the
+// file and re-runs it deterministically.
+//
+// The format is fixed-field-order JSON with whitespace tolerance between
+// tokens (same philosophy as the obs trace JSONL: emitted by us, parsed by
+// us, doubles printed with %.17g so a write -> parse -> write round trip is
+// byte-identical).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "check/spec.h"
+
+namespace eden::check {
+
+struct ReproFile {
+  int version{1};
+  std::string target_oracle;  // empty = "just replay, report whatever fires"
+  ScenarioSpec spec;
+  bool operator==(const ReproFile&) const = default;
+};
+
+[[nodiscard]] std::string to_json(const ReproFile& repro);
+[[nodiscard]] std::optional<ReproFile> parse_json(std::string_view text);
+
+// File helpers; false / nullopt on I/O or parse failure.
+bool write_repro(const std::string& path, const ReproFile& repro);
+[[nodiscard]] std::optional<ReproFile> load_repro(const std::string& path);
+
+}  // namespace eden::check

@@ -1,0 +1,100 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace eden::check {
+
+namespace {
+
+bool matches(const RunReport& report, const std::string& target) {
+  if (report.ok()) return false;
+  if (target.empty()) return true;
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) { return v.oracle == target; });
+}
+
+// Drops one entity and keeps the symbolic fault endpoints consistent:
+// windows touching the dropped entity disappear, higher indices shift down.
+void remap_faults(ScenarioSpec& spec, EndpointKind kind, int dropped) {
+  auto touches = [&](const FuzzFault& f) {
+    if (f.a.kind == kind && f.a.index == dropped) return true;
+    return f.kind != FaultKind::kIsolate && f.b.kind == kind &&
+           f.b.index == dropped;
+  };
+  spec.faults.erase(
+      std::remove_if(spec.faults.begin(), spec.faults.end(), touches),
+      spec.faults.end());
+  for (FuzzFault& f : spec.faults) {
+    if (f.a.kind == kind && f.a.index > dropped) --f.a.index;
+    if (f.b.kind == kind && f.b.index > dropped) --f.b.index;
+  }
+}
+
+ScenarioSpec drop_client(const ScenarioSpec& spec, std::size_t index) {
+  ScenarioSpec out = spec;
+  out.clients.erase(out.clients.begin() + static_cast<std::ptrdiff_t>(index));
+  remap_faults(out, EndpointKind::kClient, static_cast<int>(index));
+  return out;
+}
+
+ScenarioSpec drop_node(const ScenarioSpec& spec, std::size_t index) {
+  ScenarioSpec out = spec;
+  out.nodes.erase(out.nodes.begin() + static_cast<std::ptrdiff_t>(index));
+  remap_faults(out, EndpointKind::kNode, static_cast<int>(index));
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioSpec& initial,
+                    const std::string& target_oracle, int max_attempts) {
+  ShrinkResult out;
+  out.spec = initial;
+  out.report = run_spec(initial);
+  out.attempts = 1;
+  out.accepted = matches(out.report, target_oracle);
+  if (!out.accepted) return out;
+
+  auto try_accept = [&](ScenarioSpec candidate) {
+    if (out.attempts >= max_attempts) return false;
+    ++out.attempts;
+    RunReport report = run_spec(candidate);
+    if (!matches(report, target_oracle)) return false;
+    out.spec = std::move(candidate);
+    out.report = std::move(report);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && out.attempts < max_attempts) {
+    progress = false;
+    // Fault windows first: cheapest to drop, and removing them unlocks
+    // entity drops (a window pinning a node no longer matters).
+    for (std::size_t i = out.spec.faults.size(); i-- > 0;) {
+      ScenarioSpec candidate = out.spec;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      progress |= try_accept(std::move(candidate));
+    }
+    for (std::size_t i = out.spec.clients.size(); i-- > 0;) {
+      progress |= try_accept(drop_client(out.spec, i));
+    }
+    for (std::size_t i = out.spec.nodes.size(); i-- > 0;) {
+      progress |= try_accept(drop_node(out.spec, i));
+    }
+    // Horizon: geometric shortening down to the cooldown floor (run_spec
+    // keeps clamping churn/faults into the new quiet tail).
+    const double floor_sec = std::max(0.0, out.spec.cooldown_sec) + 10.0;
+    const double shorter = std::max(floor_sec, out.spec.horizon_sec * 0.6);
+    if (shorter + 0.5 < out.spec.horizon_sec) {
+      ScenarioSpec candidate = out.spec;
+      candidate.horizon_sec = shorter;
+      progress |= try_accept(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+}  // namespace eden::check

@@ -1,0 +1,33 @@
+// Greedy scenario minimizer: given a spec that violates an invariant,
+// repeatedly drop fault windows, clients and nodes (remapping the symbolic
+// fault endpoints) and shorten the horizon, re-running deterministically
+// and keeping every mutation that still reproduces a violation of the
+// *same* oracle. Runs passes to a fixpoint under an attempt budget.
+#pragma once
+
+#include <string>
+
+#include "check/fuzzer.h"
+#include "check/spec.h"
+
+namespace eden::check {
+
+struct ShrinkResult {
+  ScenarioSpec spec;  // the minimized spec (== input when nothing shrank)
+  // Report from the last accepted run of `spec`; for an accepted shrink it
+  // contains the target-oracle violation.
+  RunReport report;
+  int attempts{0};    // total deterministic re-runs spent
+  // False when the initial spec did not violate `target_oracle` at all —
+  // `spec` is then the unmodified input and `report` its clean(ish) run.
+  bool accepted{false};
+};
+
+// `target_oracle` pins which invariant must keep failing for a candidate
+// to be accepted (empty = any violation counts). `max_attempts` bounds the
+// number of re-runs, not the number of passes.
+[[nodiscard]] ShrinkResult shrink(const ScenarioSpec& initial,
+                                  const std::string& target_oracle,
+                                  int max_attempts = 250);
+
+}  // namespace eden::check

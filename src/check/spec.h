@@ -1,0 +1,113 @@
+// ScenarioSpec: the fully-serializable description of one fuzzed EDEN
+// deployment — topology, churn schedule, fault windows, jitter regime and
+// client workload. Everything eden::check does (generate, run, shrink,
+// replay) is a pure function of a spec, which is what makes a `.eden-repro`
+// file self-contained: the spec plus the seed reproduces the exact event
+// sequence bit for bit.
+//
+// Fault endpoints are symbolic (entity kind + index) rather than raw host
+// ids, so the shrinker can drop nodes and clients without invalidating the
+// remaining windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eden::check {
+
+enum class SpecNetKind : int { kGeo = 0, kMatrix = 1 };
+
+enum class EndpointKind : int { kManager = 0, kNode = 1, kClient = 2 };
+
+struct FuzzEndpoint {
+  EndpointKind kind{EndpointKind::kManager};
+  int index{0};  // node/client position in the spec; ignored for kManager
+  bool operator==(const FuzzEndpoint&) const = default;
+};
+
+enum class FaultKind : int {
+  kCut = 0,       // drop a -> b (one direction)
+  kPartition = 1, // drop both directions between a and b
+  kSlow = 2,      // multiply a -> b delays by `factor`
+  kIsolate = 3,   // wildcard: drop everything to/from `a`
+};
+
+struct FuzzFault {
+  FaultKind kind{FaultKind::kCut};
+  FuzzEndpoint a{};
+  FuzzEndpoint b{};    // unused for kIsolate
+  double factor{1.0};  // kSlow only
+  double from_sec{0.0};
+  double until_sec{0.0};
+  bool operator==(const FuzzFault&) const = default;
+};
+
+struct FuzzNode {
+  double lat{44.9778};
+  double lon{-93.2650};
+  int tier{2};  // net::AccessTier as int (kCable by default)
+  int cores{2};
+  double base_frame_ms{30.0};
+  bool dedicated{false};
+  bool is_cloud{false};
+  double extra_rtt_ms{0.0};
+  double heartbeat_period_sec{1.0};
+  double start_sec{0.0};
+  double stop_sec{-1.0};  // < 0: alive until the end of the run
+  bool graceful_stop{false};
+  bool operator==(const FuzzNode&) const = default;
+};
+
+struct FuzzClient {
+  double lat{44.9778};
+  double lon{-93.2650};
+  int tier{2};
+  int top_n{3};
+  double probing_period_sec{3.0};
+  bool proactive{true};
+  double switch_margin{0.1};
+  double max_fps{15.0};
+  double start_sec{0.0};
+  bool send_frames{true};
+  bool operator==(const FuzzClient&) const = default;
+};
+
+// Seeded-fault bits for `ScenarioSpec::chaos` — each deliberately breaks a
+// protocol invariant so the oracle suite can be proven live.
+inline constexpr unsigned kChaosFreezeSeqNum = 1u << 0;
+
+struct ScenarioSpec {
+  std::uint64_t seed{0};
+  int net_kind{0};  // SpecNetKind
+  double default_rtt_ms{25.0};   // kMatrix only
+  double default_bw_mbps{100.0}; // kMatrix only
+  double jitter_sigma{0.0};
+  double horizon_sec{30.0};
+  // Quiet tail before the horizon: no churn event or fault window may touch
+  // [horizon - cooldown, horizon], so end-of-run oracles observe a settled
+  // system instead of racing in-flight failovers.
+  double cooldown_sec{10.0};
+  double heartbeat_ttl_sec{3.0};
+  double user_idle_ttl_sec{15.0};
+  unsigned chaos{0};
+  std::vector<FuzzNode> nodes;
+  std::vector<FuzzClient> clients;
+  std::vector<FuzzFault> faults;
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+// True when a run of this spec is expected to move frames: at least one
+// frame-sending client plus an anchor node that is up from (near) t = 0 to
+// the horizon. Degenerate 0/1-node topologies without an anchor are legal
+// fuzz inputs but make no frame promise.
+[[nodiscard]] inline bool expects_frames(const ScenarioSpec& spec) {
+  bool sender = false;
+  for (const FuzzClient& c : spec.clients) sender = sender || c.send_frames;
+  if (!sender) return false;
+  for (const FuzzNode& n : spec.nodes) {
+    if (n.start_sec <= 0.5 && n.stop_sec < 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace eden::check

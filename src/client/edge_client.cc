@@ -326,12 +326,14 @@ void EdgeClient::send_frame() {
     ++stats_.frames_failed;
     if (metrics_.frames_failed) metrics_.frames_failed->inc();
     rate_.on_frame_failure();
+    trace(obs::EventKind::kFrameSend, target, frame_id);
     trace(obs::EventKind::kFrameDrop, target, 0,
           static_cast<double>(frame_id));
     handle_node_failure(target);
     return;
   }
   ++stats_.frames_sent;
+  trace(obs::EventKind::kFrameSend, target, frame_id);
   net::FrameRequest request;
   request.client = config_.id;
   request.frame_id = frame_id;
@@ -350,6 +352,7 @@ void EdgeClient::on_frame_done(NodeId target, std::uint64_t frame_id,
   if (ok) {
     const double e2e_ms = to_ms(scheduler_->now() - sent_at);
     ++stats_.frames_ok;
+    trace(obs::EventKind::kFrameOk, target, frame_id, e2e_ms);
     if (metrics_.frames_ok) metrics_.frames_ok->inc();
     latency_.add(scheduler_->now(), e2e_ms);
     samples_.add(e2e_ms);

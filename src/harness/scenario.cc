@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace eden::harness {
 
@@ -122,6 +123,8 @@ node::EdgeNodeConfig Scenario::make_node_config(const NodeSpec& spec,
   node_config.is_cloud = spec.is_cloud;
   node_config.heartbeat_period = spec.heartbeat_period;
   node_config.app_types = spec.app_types;
+  node_config.user_idle_ttl = spec.user_idle_ttl;
+  node_config.chaos_freeze_seq_num = spec.chaos_freeze_seq_num;
   node_config.executor.cores = spec.cores;
   node_config.executor.base_frame_ms = spec.base_frame_ms;
   node_config.executor.contention_alpha = spec.contention_alpha;
@@ -273,6 +276,24 @@ baselines::PredictInput Scenario::predict_input(
     input.trans_ms.push_back(std::move(trans_row));
   }
   return input;
+}
+
+void Scenario::require_nonvacuous_run() const {
+  if (edge_clients_.empty()) {
+    throw std::runtime_error(
+        "vacuous scenario: no edge clients were ever added");
+  }
+  bool any_sender = false;
+  std::uint64_t frames_sent = 0;
+  for (const auto& runtime : edge_clients_) {
+    any_sender = any_sender || runtime.client.config().send_frames;
+    frames_sent += runtime.client.stats().frames_sent;
+  }
+  if (any_sender && frames_sent == 0) {
+    throw std::runtime_error(
+        "vacuous scenario: frame-sending clients exist but zero frames were "
+        "sent over the whole run");
+  }
 }
 
 FleetStats Scenario::fleet_stats() const {

@@ -72,6 +72,10 @@ struct NodeSpec {
   SimDuration heartbeat_period{sec(1.0)};
   // Application server types deployed on the node; empty = serves all.
   std::vector<std::string> app_types;
+  // Attached-user idle eviction TTL (see EdgeNodeConfig::user_idle_ttl).
+  SimDuration user_idle_ttl{sec(15.0)};
+  // Fuzzer-only seeded fault (see EdgeNodeConfig::chaos_freeze_seq_num).
+  bool chaos_freeze_seq_num{false};
 };
 
 struct ClientSpot {
@@ -186,6 +190,13 @@ class Scenario {
 
   // Merged counters + latency distribution across every edge client.
   [[nodiscard]] FleetStats fleet_stats() const;
+
+  // Guard against vacuous runs greenwashing a fuzz sweep: throws
+  // std::runtime_error when the scenario has no edge clients at all, or
+  // when frame-sending clients exist but not a single frame ever left one
+  // (e.g. every node spec churned away before any client attached). Call
+  // after run_until(horizon); a passing run returns silently.
+  void require_nonvacuous_run() const;
 
   [[nodiscard]] std::string geohash_of(const geo::GeoPoint& position) const;
 

@@ -1,5 +1,6 @@
 #include "node/edge_node.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -63,6 +64,21 @@ net::NodeStatus EdgeNode::status() const {
   return s;
 }
 
+void EdgeNode::trace_event(obs::EventKind kind, HostId subject,
+                           std::uint64_t span, double value) {
+  if (trace_ == nullptr) return;
+  trace_->record({scheduler_->now(), kind, config_.id, subject, span, value});
+}
+
+std::vector<ClientId> EdgeNode::attached_ids() const {
+  std::vector<ClientId> out;
+  out.reserve(attached_.size());
+  for (const auto& [client, info] : attached_) out.push_back(client);
+  std::sort(out.begin(), out.end(),
+            [](ClientId a, ClientId b) { return a.value < b.value; });
+  return out;
+}
+
 double EdgeNode::current_ms() const {
   // Before any live frame completes, the cached what-if value is the best
   // estimate of what existing users experience.
@@ -88,8 +104,10 @@ net::JoinResponse EdgeNode::handle_join(const net::JoinRequest& request) {
   // valid.
   if (!running_ || request.seq_num != seq_num_) {
     ++stats_.joins_rejected;
+    trace_event(obs::EventKind::kNodeJoinReject, request.client, seq_num_);
     return {false, seq_num_};
   }
+  trace_event(obs::EventKind::kNodeJoinAccept, request.client, seq_num_);
   attached_[request.client] = UserInfo{request.rate_fps, scheduler_->now()};
   ++stats_.joins_accepted;
   bump_state(config_.test_workload_delay);
@@ -100,6 +118,7 @@ bool EdgeNode::handle_unexpected_join(const net::JoinRequest& request) {
   if (!running_) return false;
   // Failover joins cannot be rejected (Table I): a client that just lost
   // its node must not be stranded.
+  trace_event(obs::EventKind::kNodeUnexpectedJoin, request.client, seq_num_);
   attached_[request.client] = UserInfo{request.rate_fps, scheduler_->now()};
   ++stats_.unexpected_joins;
   bump_state(config_.test_workload_delay);
@@ -108,6 +127,7 @@ bool EdgeNode::handle_unexpected_join(const net::JoinRequest& request) {
 
 void EdgeNode::handle_leave(ClientId client) {
   if (attached_.erase(client) == 0) return;
+  trace_event(obs::EventKind::kNodeLeave, client);
   ++stats_.leaves;
   bump_state(0);
 }
@@ -141,8 +161,14 @@ void EdgeNode::handle_offload(const net::FrameRequest& request,
 
 void EdgeNode::bump_state(SimDuration delay) {
   // "seqNum is updated along with test workload invocation" — one shared
-  // critical section for all three triggers.
-  ++seq_num_;
+  // critical section for all three triggers. chaos_freeze_seq_num is the
+  // fuzzer's seeded fault: the test workload still runs, but the seqNum
+  // guard of Algorithm 1 stops advancing.
+  if (!config_.chaos_freeze_seq_num) {
+    ++seq_num_;
+    trace_event(obs::EventKind::kSeqNumBump, {}, 0,
+                static_cast<double>(seq_num_));
+  }
   invoke_test_workload(delay);
 }
 
@@ -172,6 +198,7 @@ void EdgeNode::evict_idle_users() {
   bool evicted = false;
   for (auto it = attached_.begin(); it != attached_.end();) {
     if (scheduler_->now() - it->second.last_seen > config_.user_idle_ttl) {
+      trace_event(obs::EventKind::kNodeEvict, it->first);
       it = attached_.erase(it);
       ++stats_.evictions;
       evicted = true;

@@ -50,6 +50,11 @@ struct EdgeNodeConfig {
   // Attached users that have been silent (no frames, no probes) this long
   // are evicted — they crashed or failed over elsewhere without a Leave().
   SimDuration user_idle_ttl{sec(15.0)};
+  // Verification-harness fault: freeze seqNum so every state change keeps
+  // the same value. Breaks the Algorithm 1 exactly-one-admission invariant
+  // on purpose — eden::check's selftest proves its oracles catch it. Never
+  // set outside the fuzzer.
+  bool chaos_freeze_seq_num{false};
 };
 
 struct EdgeNodeStats {
@@ -94,6 +99,8 @@ class EdgeNode {
   [[nodiscard]] int attached_users() const {
     return static_cast<int>(attached_.size());
   }
+  // Sorted ids of the currently attached users (end-of-run oracle input).
+  [[nodiscard]] std::vector<ClientId> attached_ids() const;
   [[nodiscard]] std::uint64_t seq_num() const { return seq_num_; }
   [[nodiscard]] double whatif_ms() const { return whatif_ms_; }
   [[nodiscard]] double current_ms() const;
@@ -119,6 +126,8 @@ class EdgeNode {
   // (re-)measure the what-if performance after `delay`.
   void bump_state(SimDuration delay);
   void invoke_test_workload(SimDuration delay);
+  void trace_event(obs::EventKind kind, HostId subject = {},
+                   std::uint64_t span = 0, double value = 0.0);
   void send_heartbeat();
   void arm_heartbeat();
 

@@ -16,7 +16,9 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "failover",        "hard_failure",     "qos_reject",     "keepalive_miss",
     "node_failure",    "frame_drop",       "node_register",  "node_heartbeat",
     "node_death",      "node_deregister",  "node_expire",    "probe_cycle_begin",
-    "probe_cycle_end",
+    "probe_cycle_end", "frame_send",       "frame_ok",       "node_join_accept",
+    "node_join_reject", "node_unexpected_join", "node_leave", "node_evict",
+    "seq_num_bump",
 };
 
 }  // namespace

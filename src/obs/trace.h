@@ -50,9 +50,21 @@ enum class EventKind : std::uint8_t {
   // Span markers for the Algorithm 2 probing cycle (actor = client id).
   kProbeCycleBegin,  // span = cycle id
   kProbeCycleEnd,    // span = cycle id; value = cycle duration ms
+  // Oracle taps for eden::check — fine-grained protocol facts the
+  // simulation fuzzer's invariant oracles are evaluated against.
+  // Client side (actor = client id):
+  kFrameSend,          // subject = target node; span = frame id
+  kFrameOk,            // subject = target node; span = frame id; value = e2e ms
+  // Node side (actor = node id):
+  kNodeJoinAccept,     // subject = client; span = seqNum the join matched
+  kNodeJoinReject,     // subject = client; span = node's current seqNum
+  kNodeUnexpectedJoin, // subject = client (failover join, never rejected)
+  kNodeLeave,          // subject = client that left
+  kNodeEvict,          // subject = client evicted after user_idle_ttl
+  kSeqNumBump,         // value = the new seqNum after the state change
 };
 
-inline constexpr std::size_t kEventKindCount = 21;
+inline constexpr std::size_t kEventKindCount = 29;
 
 [[nodiscard]] const char* to_string(EventKind kind);
 [[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name);

@@ -1,0 +1,100 @@
+#include "obs/trace_summary.h"
+
+#include <algorithm>
+#include <string>
+
+namespace eden::obs {
+
+ParsedTrace parse_jsonl_text(std::string_view text) {
+  ParsedTrace out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    if (!line.empty()) {
+      if (auto event = parse_jsonl_line(std::string(line))) {
+        out.events.push_back(*event);
+      } else {
+        ++out.malformed;
+      }
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+EventCounts count_events(const std::vector<TraceEvent>& events) {
+  EventCounts counts{};
+  for (const TraceEvent& event : events) {
+    counts[static_cast<std::size_t>(event.kind)] += 1;
+  }
+  return counts;
+}
+
+bool is_timeline_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJoinAccept:
+    case EventKind::kSwitch:
+    case EventKind::kFailover:
+    case EventKind::kHardFailure:
+    case EventKind::kQosReject:
+    case EventKind::kNodeFailure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* describe_timeline_event(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kJoinAccept: return "joined";
+    case EventKind::kSwitch: return "switched to";
+    case EventKind::kFailover: return "failover to";
+    case EventKind::kHardFailure: return "HARD FAILURE (all backups dead)";
+    case EventKind::kQosReject: return "rejected by QoS filter";
+    case EventKind::kNodeFailure: return "detected failure of";
+    default: return to_string(event.kind);
+  }
+}
+
+std::map<HostId, std::vector<const TraceEvent*>> attachment_timelines(
+    const std::vector<TraceEvent>& events) {
+  std::map<HostId, std::vector<const TraceEvent*>> timelines;
+  for (const TraceEvent& event : events) {
+    if (is_timeline_kind(event.kind)) timelines[event.actor].push_back(&event);
+  }
+  return timelines;
+}
+
+Samples failover_latencies(const std::vector<TraceEvent>& events) {
+  Samples failover_ms;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kFailover) failover_ms.add(event.value);
+  }
+  return failover_ms;
+}
+
+std::vector<HistogramBucket> fixed_width_histogram(const Samples& samples,
+                                                   int buckets) {
+  std::vector<HistogramBucket> out;
+  if (samples.empty() || buckets <= 0) return out;
+  const double lo = samples.min();
+  const double hi = samples.max();
+  const double width = (hi - lo) / buckets;
+  if (width <= 0) return out;
+  out.resize(static_cast<std::size_t>(buckets));
+  for (int b = 0; b < buckets; ++b) {
+    out[static_cast<std::size_t>(b)].lo = lo + b * width;
+    out[static_cast<std::size_t>(b)].hi = lo + (b + 1) * width;
+  }
+  for (const double v : samples.values()) {
+    const int b = std::clamp(static_cast<int>((v - lo) / width), 0,
+                             buckets - 1);
+    out[static_cast<std::size_t>(b)].count += 1;
+  }
+  return out;
+}
+
+}  // namespace eden::obs

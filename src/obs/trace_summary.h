@@ -1,0 +1,60 @@
+// Offline trace analytics shared by tools/eden_trace and the unit tests:
+// parse a JSONL protocol trace, count events by kind, build per-client
+// attachment timelines, and aggregate the failover latency distribution
+// into fixed-width histogram buckets. Pure functions of the event list —
+// no I/O except parse_jsonl_text's string splitting.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace eden::obs {
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  std::size_t malformed{0};  // non-empty lines that failed to parse
+};
+
+// Splits `text` on '\n', skips empty lines, parses the rest. Malformed
+// lines are counted, never fatal — a truncated tail from a crashed run
+// should not hide the events before it.
+[[nodiscard]] ParsedTrace parse_jsonl_text(std::string_view text);
+
+// Per-kind event counts, indexed by static_cast<size_t>(EventKind).
+using EventCounts = std::array<std::size_t, kEventKindCount>;
+[[nodiscard]] EventCounts count_events(const std::vector<TraceEvent>& events);
+
+// True for the client-attachment kinds shown in eden_trace timelines.
+[[nodiscard]] bool is_timeline_kind(EventKind kind);
+
+// Human phrasing of a timeline event ("joined", "failover to", ...).
+[[nodiscard]] const char* describe_timeline_event(const TraceEvent& event);
+
+// Attachment timelines keyed by client id, events in trace order. Pointers
+// reference `events`, which must outlive the result.
+[[nodiscard]] std::map<HostId, std::vector<const TraceEvent*>>
+attachment_timelines(const std::vector<TraceEvent>& events);
+
+// Failover latency distribution (kFailover.value, ms per event).
+[[nodiscard]] Samples failover_latencies(const std::vector<TraceEvent>& events);
+
+struct HistogramBucket {
+  double lo{0};
+  double hi{0};
+  std::size_t count{0};
+};
+
+// Fixed-width buckets across [min, max] of `samples`. Empty when there are
+// fewer than one sample or zero spread (callers print the summary line
+// instead).
+[[nodiscard]] std::vector<HistogramBucket> fixed_width_histogram(
+    const Samples& samples, int buckets);
+
+}  // namespace eden::obs

@@ -1,0 +1,161 @@
+// eden::check end-to-end: generator determinism, repro round-trips, a
+// clean fuzz sweep, bitwise determinism across ParallelRunner thread
+// counts, the seeded-bug -> shrink -> replay pipeline, and the vacuous-run
+// guard.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/repro.h"
+#include "check/shrink.h"
+#include "check/spec.h"
+#include "harness/parallel_runner.h"
+
+namespace eden::check {
+namespace {
+
+ScenarioSpec tiny_chaos_spec() {
+  ScenarioSpec spec;
+  spec.seed = 99;
+  spec.horizon_sec = 24.0;
+  spec.cooldown_sec = 10.0;
+  spec.chaos = kChaosFreezeSeqNum;
+  spec.nodes.resize(2);
+  spec.nodes[1].lat += 0.05;
+  spec.clients.resize(2);
+  spec.clients[1].lon += 0.04;
+  spec.clients[1].start_sec = 1.0;
+  return spec;
+}
+
+TEST(CheckGenerator, DeterministicAndWithinLimits) {
+  const FuzzLimits limits;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const ScenarioSpec a = generate_spec(seed, limits);
+    const ScenarioSpec b = generate_spec(seed, limits);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_GE(a.clients.size(), 1u);
+    EXPECT_LE(a.clients.size(), limits.max_clients);
+    // The cloud fallback may ride on top of the volunteer cap.
+    EXPECT_LE(a.nodes.size(), limits.max_nodes + 1);
+    EXPECT_LE(a.faults.size(), limits.max_faults);
+    EXPECT_GE(a.horizon_sec, a.cooldown_sec + 12.0);
+    // Quiet-tail contract: no churn or fault inside the cooldown.
+    const double quiet = a.horizon_sec - a.cooldown_sec;
+    for (const FuzzNode& n : a.nodes) {
+      if (n.stop_sec >= 0.0) {
+        EXPECT_LE(n.stop_sec, quiet);
+      }
+    }
+    for (const FuzzFault& f : a.faults) EXPECT_LE(f.until_sec, quiet);
+  }
+  EXPECT_NE(generate_spec(1), generate_spec(2));
+}
+
+TEST(CheckRepro, JsonRoundTripIsExactAndByteStable) {
+  ReproFile repro;
+  repro.target_oracle = "seqnum";
+  repro.spec = generate_spec(17);
+  const std::string json = to_json(repro);
+  const auto parsed = parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, repro);
+  // write -> parse -> write is byte-identical (%.17g doubles).
+  EXPECT_EQ(to_json(*parsed), json);
+}
+
+TEST(CheckRepro, RejectsGarbage) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{\"eden_repro\": 1").has_value());
+  EXPECT_FALSE(parse_json("not json at all").has_value());
+  const std::string valid = to_json(ReproFile{1, "x", generate_spec(3)});
+  EXPECT_FALSE(parse_json(valid + "trailing").has_value());
+}
+
+TEST(CheckFuzz, SweepHoldsAllInvariants) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const RunReport report = run_spec(generate_spec(seed));
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << (report.violations.empty()
+                                     ? ""
+                                     : report.violations.front().oracle + ": " +
+                                           report.violations.front().message);
+    EXPECT_GT(report.trace_events, 0u);
+  }
+}
+
+// The acceptance pin for the whole subsystem: the same spec run on a
+// 1-thread and a 4-thread pool (and twice within each pool) produces
+// bitwise-identical traces.
+TEST(CheckFuzz, DeterministicAcrossThreadCounts) {
+  const ScenarioSpec spec = generate_spec(11);
+  const std::uint64_t reference = run_spec(spec).trace_digest;
+  for (const unsigned threads : {1u, 4u}) {
+    harness::ParallelRunner runner(threads);
+    std::vector<std::function<std::uint64_t()>> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.emplace_back([&spec] { return run_spec(spec).trace_digest; });
+    }
+    for (const std::uint64_t digest : runner.map(std::move(jobs))) {
+      EXPECT_EQ(digest, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(CheckFuzz, SeededSeqNumFreezeIsCaughtAndShrunk) {
+  const ScenarioSpec spec = tiny_chaos_spec();
+  const RunReport seeded = run_spec(spec);
+  ASSERT_FALSE(seeded.ok());
+  bool seqnum_fired = false;
+  for (const Violation& v : seeded.violations) {
+    seqnum_fired = seqnum_fired || v.oracle == "seqnum";
+  }
+  EXPECT_TRUE(seqnum_fired);
+
+  const ShrinkResult shrunk = shrink(spec, "seqnum");
+  ASSERT_TRUE(shrunk.accepted);
+  EXPECT_LE(shrunk.spec.nodes.size(), 3u);
+  EXPECT_LE(shrunk.spec.clients.size(), 2u);
+
+  // The minimized spec survives a repro round trip and replays to the
+  // same oracle with the same digest.
+  ReproFile repro{1, "seqnum", shrunk.spec};
+  const auto reloaded = parse_json(to_json(repro));
+  ASSERT_TRUE(reloaded.has_value());
+  const RunReport replayed = run_spec(reloaded->spec);
+  EXPECT_EQ(replayed.trace_digest, shrunk.report.trace_digest);
+  bool reproduced = false;
+  for (const Violation& v : replayed.violations) {
+    reproduced = reproduced || v.oracle == "seqnum";
+  }
+  EXPECT_TRUE(reproduced);
+}
+
+TEST(CheckFuzz, CleanRunOfChaosSpecWithoutChaosBit) {
+  ScenarioSpec spec = tiny_chaos_spec();
+  spec.chaos = 0;
+  EXPECT_TRUE(run_spec(spec).ok());
+}
+
+TEST(CheckFuzz, VacuousSpecIsFlagged) {
+  ScenarioSpec spec = tiny_chaos_spec();
+  spec.chaos = 0;
+  spec.clients.clear();
+  const RunReport report = run_spec(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().oracle, "vacuous-run");
+}
+
+TEST(CheckShrink, RejectsSpecThatDoesNotViolate) {
+  ScenarioSpec spec = tiny_chaos_spec();
+  spec.chaos = 0;
+  const ShrinkResult result = shrink(spec, "seqnum", /*max_attempts=*/3);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.spec, spec);
+  EXPECT_EQ(result.attempts, 1);
+}
+
+}  // namespace
+}  // namespace eden::check

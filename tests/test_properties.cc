@@ -72,7 +72,7 @@ TEST_P(JoinStorm, ExactlyOneWinnerPerSeq) {
   EXPECT_EQ(rounds, contenders - 1);
 }
 
-INSTANTIATE_TEST_SUITE_P(Storms, JoinStorm, ::testing::Values(2, 5, 16));
+INSTANTIATE_TEST_SUITE_P(Storms, JoinStorm, ::testing::Range(2, 18));
 
 // ---- executor work conservation: submitted = completed + dropped +
 // in-flight/queued, under random loads ----
@@ -107,7 +107,7 @@ TEST_P(ExecutorConservation, NothingLostNothingInvented) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorConservation,
-                         ::testing::Values(1, 7, 42, 1337));
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{25}));
 
 // ---- SimNetwork rpc: callbacks exactly once, under random host deaths ----
 
@@ -150,7 +150,7 @@ TEST_P(RpcExactlyOnce, EveryCallCompletesOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RpcExactlyOnce,
-                         ::testing::Values(3, 17, 99, 2024));
+                         ::testing::Range(std::uint64_t{100}, std::uint64_t{124}));
 
 // ---- client event stream: first event is a join; switches/failovers
 // always follow an attachment; node ids are valid ----
@@ -246,7 +246,10 @@ TEST_P(ChurnConsistency, AttachmentsConsistentAtEnd) {
     scenario.simulator().schedule_at(msec(300.0), [&c] { c.start(); });
     clients.push_back(&c);
   }
-  scenario.run_until(sec(60.0));
+  // Churn stops at 60 s; run a settle window past the horizon so failure
+  // detection and in-flight moves triggered by the last stops complete —
+  // otherwise the end-state check races the protocol.
+  scenario.run_until(sec(66.0));
 
   for (const auto* c : clients) {
     if (!c->current_node()) continue;

@@ -187,6 +187,43 @@ TEST(Scenario, PredictInputHasBaseRttsWithoutJitter) {
   EXPECT_NEAR(input.trans_ms[0][0], 20'000 * 8.0 / (50.0 * 1e6) * 1000, 0.01);
 }
 
+// Regression: a sweep whose scenarios never exercise the protocol must
+// fail loudly instead of greenwashing every invariant.
+TEST(Scenario, VacuousRunWithoutClientsThrows) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  scenario.run_until(sec(5.0));
+  EXPECT_THROW(scenario.require_nonvacuous_run(), std::runtime_error);
+}
+
+TEST(Scenario, VacuousRunWithSenderButZeroFramesThrows) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  scenario.add_node(NodeSpec{.name = "a"});
+  scenario.start_node(0);
+  client::ClientConfig config;
+  config.send_frames = true;
+  scenario.add_edge_client(ClientSpot{.name = "u"}, config);  // never started
+  scenario.run_until(sec(5.0));
+  EXPECT_THROW(scenario.require_nonvacuous_run(), std::runtime_error);
+}
+
+TEST(Scenario, NonvacuousRunPassesTheGuard) {
+  Scenario scenario(ScenarioConfig{.seed = 1});
+  NodeSpec spec;
+  spec.name = "a";
+  spec.cores = 2;
+  spec.base_frame_ms = 20.0;
+  scenario.add_node(spec);
+  scenario.start_node(0);
+  scenario.run_until(sec(1.0));
+  auto& user = scenario.add_edge_client(ClientSpot{.name = "u"}, {});
+  user.start();
+  scenario.run_until(sec(8.0));
+  EXPECT_NO_THROW(scenario.require_nonvacuous_run());
+  EXPECT_GT(user.stats().frames_sent, 0u);
+}
+
 TEST(Metrics, FleetWindowMergesClients) {
   TimeSeries a;
   TimeSeries b;

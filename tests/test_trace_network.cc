@@ -87,6 +87,43 @@ TEST(TraceNetwork, RejectsMalformedTraceAtomically) {
   EXPECT_EQ(net.load_trace_file("/nonexistent/trace.csv"), -1);
 }
 
+TEST(TraceNetwork, EmptyTraceTextLoadsNothing) {
+  FixedClock clock;
+  TraceNetwork net(clock, 33.0);
+  EXPECT_EQ(net.load_trace_text(""), 0);
+  EXPECT_EQ(net.load_trace_text("# only comments\n\n   \n"), 0);
+  EXPECT_EQ(net.sample_count(), 0u);
+  // With nothing loaded every pair uses the default.
+  EXPECT_EQ(net.base_rtt(HostId{7}, HostId{8}), msec(33.0));
+}
+
+TEST(TraceNetwork, UnknownHostPairsFallBackToDefault) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0, 75.0);
+  net.add_sample(HostId{1}, HostId{2}, 0, 10.0);
+  clock.set(sec(100));
+  // The traced pair uses its sample; every other pair (even sharing one
+  // endpoint with a traced pair) keeps the default.
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(10.0));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{3}), msec(50.0));
+  EXPECT_EQ(net.base_rtt(HostId{9}, HostId{4}), msec(50.0));
+  EXPECT_DOUBLE_EQ(net.bandwidth_mbps(HostId{9}, HostId{4}), 75.0);
+}
+
+TEST(TraceNetwork, OutOfOrderTimestampsAcrossLoadAndAdd) {
+  FixedClock clock;
+  TraceNetwork net(clock, 50.0);
+  // Text samples arrive newest-first; an add_sample lands in between.
+  EXPECT_EQ(net.load_trace_text("40,1,2,70\n5,1,2,10\n"), 2);
+  net.add_sample(HostId{1}, HostId{2}, sec(20), 30.0);
+  clock.set(sec(4));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(10.0));
+  clock.set(sec(25));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(30.0));
+  clock.set(sec(60));
+  EXPECT_EQ(net.base_rtt(HostId{1}, HostId{2}), msec(70.0));
+}
+
 TEST(TraceNetwork, UplinkCapsBandwidth) {
   FixedClock clock;
   TraceNetwork net(clock, 50.0, 100.0);

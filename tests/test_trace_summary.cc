@@ -1,0 +1,119 @@
+// obs::trace_summary against hand-built JSONL: parsing (including
+// malformed lines), event counts, attachment timelines, failover latency
+// aggregation and histogram bucketing — the analytics behind eden_trace.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/stats.h"
+#include "obs/trace.h"
+#include "obs/trace_summary.h"
+
+namespace eden::obs {
+namespace {
+
+std::string line(SimTime at, EventKind kind, std::uint32_t actor,
+                 std::uint32_t subject = HostId::kInvalid,
+                 std::uint64_t span = 0, double value = 0.0) {
+  return to_jsonl_line(TraceEvent{at, kind, HostId{actor}, HostId{subject},
+                                  span, value}) +
+         "\n";
+}
+
+std::string sample_trace() {
+  std::string text;
+  text += line(sec(1.0), EventKind::kNodeRegister, 1);
+  text += line(sec(1.5), EventKind::kJoinAccept, 10, 1, 1, 12.5);
+  text += line(sec(2.0), EventKind::kFrameSend, 10, 1, 1);
+  text += line(sec(2.1), EventKind::kFrameOk, 10, 1, 1, 80.0);
+  text += line(sec(3.0), EventKind::kSwitch, 10, 2, 2);
+  text += line(sec(4.0), EventKind::kFailover, 10, 1, 0, 250.0);
+  text += line(sec(4.5), EventKind::kFailover, 11, 2, 0, 750.0);
+  text += line(sec(5.0), EventKind::kHardFailure, 11);
+  return text;
+}
+
+TEST(TraceSummary, ParsesTextAndCountsMalformedLines) {
+  std::string text = sample_trace();
+  text += "\n";                     // empty line: skipped silently
+  text += "{\"t\":broken}\n";       // malformed: counted
+  text += "total garbage";          // malformed, no trailing newline
+  const ParsedTrace parsed = parse_jsonl_text(text);
+  EXPECT_EQ(parsed.events.size(), 8u);
+  EXPECT_EQ(parsed.malformed, 2u);
+  EXPECT_EQ(parsed.events.front().kind, EventKind::kNodeRegister);
+  EXPECT_EQ(parsed.events.back().kind, EventKind::kHardFailure);
+  EXPECT_DOUBLE_EQ(parsed.events[3].value, 80.0);
+}
+
+TEST(TraceSummary, EmptyAndAllMalformedInputs) {
+  EXPECT_TRUE(parse_jsonl_text("").events.empty());
+  EXPECT_EQ(parse_jsonl_text("").malformed, 0u);
+  const ParsedTrace junk = parse_jsonl_text("a\nb\nc\n");
+  EXPECT_TRUE(junk.events.empty());
+  EXPECT_EQ(junk.malformed, 3u);
+}
+
+TEST(TraceSummary, CountsEventsByKind) {
+  const ParsedTrace parsed = parse_jsonl_text(sample_trace());
+  const EventCounts counts = count_events(parsed.events);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kFailover)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kJoinAccept)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kFrameSend)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(EventKind::kNodeDeath)], 0u);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  EXPECT_EQ(total, parsed.events.size());
+}
+
+TEST(TraceSummary, BuildsPerClientTimelines) {
+  const ParsedTrace parsed = parse_jsonl_text(sample_trace());
+  const auto timelines = attachment_timelines(parsed.events);
+  // kNodeRegister / kFrameSend / kFrameOk are not timeline kinds.
+  ASSERT_EQ(timelines.size(), 2u);
+  const auto& c10 = timelines.at(HostId{10});
+  ASSERT_EQ(c10.size(), 3u);
+  EXPECT_EQ(c10[0]->kind, EventKind::kJoinAccept);
+  EXPECT_EQ(c10[1]->kind, EventKind::kSwitch);
+  EXPECT_EQ(c10[2]->kind, EventKind::kFailover);
+  EXPECT_STREQ(describe_timeline_event(*c10[1]), "switched to");
+  const auto& c11 = timelines.at(HostId{11});
+  ASSERT_EQ(c11.size(), 2u);
+  EXPECT_EQ(c11[1]->kind, EventKind::kHardFailure);
+  EXPECT_FALSE(is_timeline_kind(EventKind::kFrameOk));
+  EXPECT_TRUE(is_timeline_kind(EventKind::kQosReject));
+}
+
+TEST(TraceSummary, FailoverLatenciesAndHistogram) {
+  const ParsedTrace parsed = parse_jsonl_text(sample_trace());
+  const Samples failover_ms = failover_latencies(parsed.events);
+  ASSERT_EQ(failover_ms.count(), 2u);
+  EXPECT_DOUBLE_EQ(failover_ms.min(), 250.0);
+  EXPECT_DOUBLE_EQ(failover_ms.max(), 750.0);
+
+  const auto hist = fixed_width_histogram(failover_ms, 10);
+  ASSERT_EQ(hist.size(), 10u);
+  EXPECT_DOUBLE_EQ(hist.front().lo, 250.0);
+  EXPECT_DOUBLE_EQ(hist.back().hi, 750.0);
+  EXPECT_EQ(hist.front().count, 1u);  // 250 in the first bucket
+  EXPECT_EQ(hist.back().count, 1u);   // max value clamps into the last
+  std::size_t total = 0;
+  for (const auto& bucket : hist) total += bucket.count;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(TraceSummary, HistogramDegenerateCases) {
+  Samples empty;
+  EXPECT_TRUE(fixed_width_histogram(empty, 10).empty());
+  Samples flat;
+  flat.add(5.0);
+  flat.add(5.0);
+  EXPECT_TRUE(fixed_width_histogram(flat, 10).empty());  // zero spread
+  Samples one;
+  one.add(1.0);
+  one.add(2.0);
+  EXPECT_TRUE(fixed_width_histogram(one, 0).empty());
+}
+
+}  // namespace
+}  // namespace eden::obs

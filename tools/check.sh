@@ -22,7 +22,8 @@ echo "=== [release] scale smoke (bench_scale 2000 clients / 200 nodes) ==="
 # Re-measure the smoke fleet and compare wall-clock against the committed
 # BENCH_scale.json; a crash or a >2x regression fails the gate.
 SMOKE_JSON="$(mktemp)"
-trap 'rm -f "$SMOKE_JSON"' EXIT
+SMOKE_REPRO="$(mktemp)"
+trap 'rm -f "$SMOKE_JSON" "$SMOKE_REPRO"' EXIT
 build-release/bench/bench_scale --clients 2000 --nodes 200 --json "$SMOKE_JSON"
 extract_smoke_wall() {
   # wall_sec inside the "smoke" object (field order is fixed by the bench).
@@ -63,5 +64,14 @@ awk -v ref="$REF_ALLOCS" -v new="$NEW_ALLOCS" 'BEGIN {
     exit 1
   }
 }' || exit 1
+
+echo "=== [release] deterministic-simulation smoke (eden_check) ==="
+# Fixed-seed fuzz sweep under a wall-clock budget, preceded by the built-in
+# selftest (seeded seqNum-freeze bug must be caught, shrunk and replayed
+# byte-identically across thread counts). Any oracle violation — or a
+# violation whose shrink fails to reproduce — fails the gate.
+build-release/tools/eden_check --selftest --jobs "$JOBS" --out "$SMOKE_REPRO"
+build-release/tools/eden_check --seeds 400 --seed-base 1 --jobs "$JOBS" \
+  --budget-sec 60 --out "$SMOKE_REPRO"
 
 echo "=== all presets green ==="

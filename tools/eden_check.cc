@@ -1,0 +1,388 @@
+// eden_check: deterministic simulation-fuzzing CLI.
+//
+//   eden_check --seeds 500 --jobs 8        sweep seeds 0..499 in parallel
+//   eden_check --seeds 200 --budget-sec 60 sweep until the wall-clock budget
+//   eden_check --seed 1234                 one seed, verbose report
+//   eden_check --replay failure.eden-repro re-run a shrunk repro file
+//   eden_check --selftest                  prove the oracles catch a seeded
+//                                          protocol bug end to end
+//
+// A violating sweep shrinks the lowest failing seed, writes the minimized
+// scenario to --out (default failure.eden-repro), and verifies the file
+// replays to the same oracle before exiting. Exit codes: 0 clean, 1
+// invariant violation, 2 usage/IO error, 3 shrink or replay failed to
+// reproduce (determinism is broken — treat as the worst outcome).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/repro.h"
+#include "check/shrink.h"
+#include "common/types.h"
+#include "harness/parallel_runner.h"
+
+namespace {
+
+using namespace eden;
+
+struct Args {
+  std::uint64_t seeds{0};
+  std::uint64_t seed_base{0};
+  bool single{false};
+  std::uint64_t seed{0};
+  unsigned jobs{0};  // 0 = hardware concurrency
+  std::string replay_path;
+  std::string out_path{"failure.eden-repro"};
+  bool expect_violation{false};
+  bool selftest{false};
+  double budget_sec{0.0};  // 0 = unbounded
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: eden_check [--seeds N] [--seed-base B] [--seed S] [--jobs K]\n"
+      "                  [--budget-sec S] [--out PATH]\n"
+      "                  [--replay PATH [--expect-violation]] [--selftest]\n");
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--seeds") {
+      const char* v = next();
+      if (!v) return false;
+      args.seeds = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed-base") {
+      const char* v = next();
+      if (!v) return false;
+      args.seed_base = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args.single = true;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      args.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--budget-sec") {
+      const char* v = next();
+      if (!v) return false;
+      args.budget_sec = std::strtod(v, nullptr);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args.out_path = v;
+    } else if (flag == "--replay") {
+      const char* v = next();
+      if (!v) return false;
+      args.replay_path = v;
+    } else if (flag == "--expect-violation") {
+      args.expect_violation = true;
+    } else if (flag == "--selftest") {
+      args.selftest = true;
+    } else {
+      std::fprintf(stderr, "eden_check: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_violations(std::uint64_t seed, const check::RunReport& report) {
+  for (const auto& v : report.violations) {
+    std::printf("  seed %llu  t=%.3fs  [%s] %s\n",
+                static_cast<unsigned long long>(seed), to_sec(v.at),
+                v.oracle.c_str(), v.message.c_str());
+  }
+}
+
+void print_summary(std::uint64_t seed, const check::RunReport& report) {
+  std::printf(
+      "seed %llu: %zu trace events, digest %016llx, frames %llu/%llu/%llu "
+      "(sent/ok/failed), joins %llu, switches %llu, failovers %llu, hard "
+      "failures %llu, violations %zu\n",
+      static_cast<unsigned long long>(seed), report.trace_events,
+      static_cast<unsigned long long>(report.trace_digest),
+      static_cast<unsigned long long>(report.frames_sent),
+      static_cast<unsigned long long>(report.frames_ok),
+      static_cast<unsigned long long>(report.frames_failed),
+      static_cast<unsigned long long>(report.joins),
+      static_cast<unsigned long long>(report.switches),
+      static_cast<unsigned long long>(report.failovers),
+      static_cast<unsigned long long>(report.hard_failures),
+      report.violations.size());
+}
+
+// Shrink the failing spec, persist the repro, and prove the file replays
+// to the same oracle with the same digest. Returns the process exit code.
+int shrink_and_persist(std::uint64_t seed, const check::RunReport& report,
+                       const std::string& out_path) {
+  const std::string target = report.violations.front().oracle;
+  std::printf("shrinking seed %llu (target oracle: %s)...\n",
+              static_cast<unsigned long long>(seed), target.c_str());
+  const check::ScenarioSpec initial = check::generate_spec(seed);
+  const check::ShrinkResult shrunk = check::shrink(initial, target);
+  if (!shrunk.accepted) {
+    std::fprintf(stderr,
+                 "eden_check: seed %llu does not reproduce its own violation "
+                 "— the run is nondeterministic\n",
+                 static_cast<unsigned long long>(seed));
+    return 3;
+  }
+  std::printf(
+      "shrunk to %zu nodes, %zu clients, %zu faults, horizon %.1fs in %d "
+      "runs\n",
+      shrunk.spec.nodes.size(), shrunk.spec.clients.size(),
+      shrunk.spec.faults.size(), shrunk.spec.horizon_sec, shrunk.attempts);
+  print_violations(seed, shrunk.report);
+
+  check::ReproFile repro;
+  repro.target_oracle = target;
+  repro.spec = shrunk.spec;
+  if (!check::write_repro(out_path, repro)) {
+    std::fprintf(stderr, "eden_check: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  const auto loaded = check::load_repro(out_path);
+  if (!loaded || !(*loaded == repro)) {
+    std::fprintf(stderr, "eden_check: %s did not round-trip\n",
+                 out_path.c_str());
+    return 3;
+  }
+  const check::RunReport replayed = check::run_spec(loaded->spec);
+  bool reproduced = false;
+  for (const auto& v : replayed.violations) {
+    reproduced = reproduced || v.oracle == target;
+  }
+  if (!reproduced || replayed.trace_digest != shrunk.report.trace_digest) {
+    std::fprintf(stderr,
+                 "eden_check: replay of %s diverged (reproduced=%d digest "
+                 "%016llx vs %016llx)\n",
+                 out_path.c_str(), reproduced ? 1 : 0,
+                 static_cast<unsigned long long>(replayed.trace_digest),
+                 static_cast<unsigned long long>(shrunk.report.trace_digest));
+    return 3;
+  }
+  std::printf("repro written to %s (replay verified, digest %016llx)\n",
+              out_path.c_str(),
+              static_cast<unsigned long long>(replayed.trace_digest));
+  return 1;
+}
+
+int run_sweep(const Args& args) {
+  const harness::ParallelRunner runner(args.jobs);
+  const auto started = std::chrono::steady_clock::now();
+  auto budget_left = [&] {
+    if (args.budget_sec <= 0.0) return true;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    return elapsed.count() < args.budget_sec;
+  };
+
+  const std::size_t chunk = std::max<std::size_t>(runner.threads() * 4, 8);
+  std::uint64_t checked = 0;
+  while (checked < args.seeds && budget_left()) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(chunk, args.seeds - checked);
+    std::vector<std::function<check::RunReport()>> jobs;
+    jobs.reserve(batch);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const std::uint64_t seed = args.seed_base + checked + i;
+      jobs.emplace_back(
+          [seed] { return check::run_spec(check::generate_spec(seed)); });
+    }
+    const std::vector<check::RunReport> reports = runner.map(std::move(jobs));
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      if (reports[i].ok()) continue;
+      const std::uint64_t seed = args.seed_base + checked + i;
+      std::printf("seed %llu violated %zu invariant(s):\n",
+                  static_cast<unsigned long long>(seed),
+                  reports[i].violations.size());
+      print_violations(seed, reports[i]);
+      return shrink_and_persist(seed, reports[i], args.out_path);
+    }
+    checked += batch;
+  }
+  std::printf("checked %llu/%llu seeds (base %llu, %u threads): all "
+              "invariants hold\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(args.seeds),
+              static_cast<unsigned long long>(args.seed_base),
+              runner.threads());
+  return 0;
+}
+
+int run_single(const Args& args) {
+  const check::ScenarioSpec spec = check::generate_spec(args.seed);
+  const check::RunReport report = check::run_spec(spec);
+  std::printf(
+      "spec: %zu nodes, %zu clients, %zu faults, horizon %.1fs, jitter "
+      "%.3f, net %s\n",
+      spec.nodes.size(), spec.clients.size(), spec.faults.size(),
+      spec.horizon_sec, spec.jitter_sigma,
+      spec.net_kind == static_cast<int>(check::SpecNetKind::kMatrix)
+          ? "matrix"
+          : "geo");
+  print_summary(args.seed, report);
+  if (!report.ok()) {
+    print_violations(args.seed, report);
+    return 1;
+  }
+  return 0;
+}
+
+int run_replay(const Args& args) {
+  const auto repro = check::load_repro(args.replay_path);
+  if (!repro) {
+    std::fprintf(stderr, "eden_check: cannot parse %s\n",
+                 args.replay_path.c_str());
+    return 2;
+  }
+  const check::RunReport report = check::run_spec(repro->spec);
+  print_summary(repro->spec.seed, report);
+  print_violations(repro->spec.seed, report);
+  if (!repro->target_oracle.empty()) {
+    for (const auto& v : report.violations) {
+      if (v.oracle == repro->target_oracle) {
+        std::printf("replay reproduced the [%s] violation\n",
+                    repro->target_oracle.c_str());
+        return args.expect_violation ? 0 : 1;
+      }
+    }
+    std::fprintf(stderr,
+                 "eden_check: replay did NOT reproduce the recorded [%s] "
+                 "violation\n",
+                 repro->target_oracle.c_str());
+    return 3;
+  }
+  if (args.expect_violation) return report.ok() ? 3 : 0;
+  return report.ok() ? 0 : 1;
+}
+
+// End-to-end liveness proof for the whole pipeline: seed a protocol bug
+// (frozen seqNum), catch it, shrink it small, persist + replay it, and
+// verify bitwise determinism across thread counts.
+int run_selftest(const Args& args) {
+  check::ScenarioSpec spec;
+  spec.seed = 20260805;
+  spec.horizon_sec = 26.0;
+  spec.cooldown_sec = 10.0;
+  spec.heartbeat_ttl_sec = 3.0;
+  spec.user_idle_ttl_sec = 12.0;
+  spec.chaos = check::kChaosFreezeSeqNum;
+  for (int i = 0; i < 2; ++i) {
+    check::FuzzNode node;
+    node.lat += 0.02 * i;
+    node.base_frame_ms = 20.0 + 5.0 * i;
+    spec.nodes.push_back(node);
+  }
+  for (int i = 0; i < 2; ++i) {
+    check::FuzzClient client;
+    client.lon += 0.03 * i;
+    client.probing_period_sec = 2.5 + i;
+    client.start_sec = static_cast<double>(i);
+    spec.clients.push_back(client);
+  }
+
+  const check::RunReport seeded = check::run_spec(spec);
+  bool caught = false;
+  for (const auto& v : seeded.violations) caught |= v.oracle == "seqnum";
+  if (!caught) {
+    std::fprintf(stderr,
+                 "selftest: the seeded frozen-seqNum bug was NOT caught\n");
+    print_violations(spec.seed, seeded);
+    return 1;
+  }
+  std::printf("selftest: seeded seqNum freeze caught (%zu violations)\n",
+              seeded.violations.size());
+
+  const check::ShrinkResult shrunk = check::shrink(spec, "seqnum");
+  if (!shrunk.accepted || shrunk.spec.nodes.size() > 3 ||
+      shrunk.spec.clients.size() > 2) {
+    std::fprintf(stderr,
+                 "selftest: shrink failed (accepted=%d, %zu nodes, %zu "
+                 "clients)\n",
+                 shrunk.accepted ? 1 : 0, shrunk.spec.nodes.size(),
+                 shrunk.spec.clients.size());
+    return 3;
+  }
+  std::printf("selftest: shrunk to %zu node(s), %zu client(s) in %d runs\n",
+              shrunk.spec.nodes.size(), shrunk.spec.clients.size(),
+              shrunk.attempts);
+
+  check::ReproFile repro;
+  repro.target_oracle = "seqnum";
+  repro.spec = shrunk.spec;
+  if (!check::write_repro(args.out_path, repro)) {
+    std::fprintf(stderr, "selftest: cannot write %s\n", args.out_path.c_str());
+    return 2;
+  }
+  const auto loaded = check::load_repro(args.out_path);
+  if (!loaded || !(*loaded == repro)) {
+    std::fprintf(stderr, "selftest: %s did not round-trip\n",
+                 args.out_path.c_str());
+    return 3;
+  }
+
+  // Bitwise determinism across thread counts: the same spec replayed on a
+  // 1-thread and an 8-thread pool must produce identical trace digests.
+  const unsigned wide = args.jobs == 0 ? 8 : std::max(args.jobs, 2u);
+  std::uint64_t digests[2] = {0, 0};
+  const unsigned counts[2] = {1, wide};
+  for (int round = 0; round < 2; ++round) {
+    const harness::ParallelRunner runner(counts[round]);
+    std::vector<std::function<std::uint64_t()>> jobs;
+    for (unsigned i = 0; i < counts[round]; ++i) {
+      jobs.emplace_back(
+          [&loaded] { return check::run_spec(loaded->spec).trace_digest; });
+    }
+    const auto results = runner.map(std::move(jobs));
+    digests[round] = results[0];
+    for (const std::uint64_t d : results) {
+      if (d != results[0]) {
+        std::fprintf(stderr,
+                     "selftest: digests diverged within one pool run\n");
+        return 3;
+      }
+    }
+  }
+  if (digests[0] != digests[1]) {
+    std::fprintf(stderr,
+                 "selftest: digest differs across thread counts (%016llx vs "
+                 "%016llx)\n",
+                 static_cast<unsigned long long>(digests[0]),
+                 static_cast<unsigned long long>(digests[1]));
+    return 3;
+  }
+  std::printf(
+      "selftest: repro %s replays byte-identically on 1 and %u threads "
+      "(digest %016llx)\n",
+      args.out_path.c_str(), wide,
+      static_cast<unsigned long long>(digests[0]));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  if (args.selftest) return run_selftest(args);
+  if (!args.replay_path.empty()) return run_replay(args);
+  if (args.single) return run_single(args);
+  if (args.seeds > 0) return run_sweep(args);
+  usage();
+  return 2;
+}

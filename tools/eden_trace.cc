@@ -2,11 +2,11 @@
 // Scenario / bench run (--trace-out). Prints event counts, a per-client
 // attachment timeline (joins, switches, failovers, hard failures), and the
 // failover latency histogram — the observable form of the paper's bounded
-// user-visible interruption claim.
-#include <algorithm>
+// user-visible interruption claim. All analytics live in
+// obs/trace_summary.h; this binary is argument parsing plus printf.
 #include <cstdio>
 #include <fstream>
-#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,40 +14,8 @@
 #include "common/table.h"
 #include "common/types.h"
 #include "obs/trace.h"
+#include "obs/trace_summary.h"
 #include "tools/flags.h"
-
-namespace {
-
-using eden::obs::EventKind;
-using eden::obs::TraceEvent;
-
-const char* describe(const TraceEvent& event) {
-  switch (event.kind) {
-    case EventKind::kJoinAccept: return "joined";
-    case EventKind::kSwitch: return "switched to";
-    case EventKind::kFailover: return "failover to";
-    case EventKind::kHardFailure: return "HARD FAILURE (all backups dead)";
-    case EventKind::kQosReject: return "rejected by QoS filter";
-    case EventKind::kNodeFailure: return "detected failure of";
-    default: return eden::obs::to_string(event.kind);
-  }
-}
-
-bool is_timeline_kind(EventKind kind) {
-  switch (kind) {
-    case EventKind::kJoinAccept:
-    case EventKind::kSwitch:
-    case EventKind::kFailover:
-    case EventKind::kHardFailure:
-    case EventKind::kQosReject:
-    case EventKind::kNodeFailure:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   eden::tools::Flags flags(
@@ -68,20 +36,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "eden_trace: cannot open %s\n", path.c_str());
     return 1;
   }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
 
-  std::vector<TraceEvent> events;
-  std::size_t malformed = 0;
-  std::string line;
-  while (std::getline(file, line)) {
-    if (line.empty()) continue;
-    if (auto event = eden::obs::parse_jsonl_line(line)) {
-      events.push_back(*event);
-    } else {
-      ++malformed;
-    }
-  }
+  using eden::obs::EventKind;
+  using eden::obs::TraceEvent;
+
+  const eden::obs::ParsedTrace parsed = eden::obs::parse_jsonl_text(text);
+  const std::vector<TraceEvent>& events = parsed.events;
   std::printf("%s: %zu events", path.c_str(), events.size());
-  if (malformed != 0) std::printf(" (%zu malformed lines skipped)", malformed);
+  if (parsed.malformed != 0) {
+    std::printf(" (%zu malformed lines skipped)", parsed.malformed);
+  }
   if (!events.empty()) {
     std::printf(", t = [%.3f s, %.3f s]", eden::to_sec(events.front().at),
                 eden::to_sec(events.back().at));
@@ -89,10 +56,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   // ---- event counts ----
-  std::size_t counts[eden::obs::kEventKindCount] = {};
-  for (const TraceEvent& event : events) {
-    counts[static_cast<std::size_t>(event.kind)] += 1;
-  }
+  const eden::obs::EventCounts counts = eden::obs::count_events(events);
   eden::print_section("Event counts");
   eden::Table count_table({"event", "count"});
   for (std::size_t i = 0; i < eden::obs::kEventKindCount; ++i) {
@@ -103,10 +67,7 @@ int main(int argc, char** argv) {
   count_table.print();
 
   // ---- per-client attachment timeline ----
-  std::map<eden::HostId, std::vector<const TraceEvent*>> timelines;
-  for (const TraceEvent& event : events) {
-    if (is_timeline_kind(event.kind)) timelines[event.actor].push_back(&event);
-  }
+  const auto timelines = eden::obs::attachment_timelines(events);
   eden::print_section("Attachment timelines");
   if (timelines.empty()) {
     std::printf("(no attachment events in trace)\n");
@@ -122,7 +83,8 @@ int main(int argc, char** argv) {
         break;
       }
       const TraceEvent& event = *entries[i];
-      std::printf("  %9.3f s  %s", eden::to_sec(event.at), describe(event));
+      std::printf("  %9.3f s  %s", eden::to_sec(event.at),
+                  eden::obs::describe_timeline_event(event));
       if (event.subject.valid()) std::printf(" node %u", event.subject.value);
       if (event.kind == EventKind::kFailover) {
         std::printf("  (%.1f ms after detection)", event.value);
@@ -133,10 +95,7 @@ int main(int argc, char** argv) {
 
   // ---- failover latency histogram ----
   // kFailover.value is the time from failure detection to re-attachment.
-  eden::Samples failover_ms;
-  for (const TraceEvent& event : events) {
-    if (event.kind == EventKind::kFailover) failover_ms.add(event.value);
-  }
+  const eden::Samples failover_ms = eden::obs::failover_latencies(events);
   eden::print_section("Failover latency");
   if (failover_ms.empty()) {
     std::printf("(no failovers in trace)\n");
@@ -147,25 +106,16 @@ int main(int argc, char** argv) {
       failover_ms.count(), failover_ms.mean(), failover_ms.percentile(50),
       failover_ms.percentile(90), failover_ms.percentile(99),
       failover_ms.max());
-  // Fixed-width ASCII buckets across the observed range.
-  const double lo = failover_ms.min();
-  const double hi = failover_ms.max();
-  const int kBuckets = 10;
-  const double width = (hi - lo) / kBuckets;
-  if (width > 0) {
-    std::vector<std::size_t> hist(kBuckets, 0);
-    for (const double v : failover_ms.values()) {
-      int b = static_cast<int>((v - lo) / width);
-      hist[std::clamp(b, 0, kBuckets - 1)] += 1;
-    }
-    const std::size_t peak = *std::max_element(hist.begin(), hist.end());
-    for (int b = 0; b < kBuckets; ++b) {
-      const int bar =
-          peak == 0 ? 0 : static_cast<int>(40.0 * static_cast<double>(hist[b]) /
-                                           static_cast<double>(peak));
-      std::printf("  [%7.1f, %7.1f) %-40s %zu\n", lo + b * width,
-                  lo + (b + 1) * width, std::string(bar, '#').c_str(), hist[b]);
-    }
+  const auto hist = eden::obs::fixed_width_histogram(failover_ms, 10);
+  std::size_t peak = 0;
+  for (const auto& bucket : hist) peak = std::max(peak, bucket.count);
+  for (const auto& bucket : hist) {
+    const int bar =
+        peak == 0 ? 0 : static_cast<int>(40.0 * static_cast<double>(bucket.count) /
+                                         static_cast<double>(peak));
+    std::printf("  [%7.1f, %7.1f) %-40s %zu\n", bucket.lo, bucket.hi,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                bucket.count);
   }
   return 0;
 }
