@@ -51,6 +51,93 @@ FuzzEndpoint sample_endpoint(Rng& rng, std::size_t nodes,
           static_cast<int>(rng.uniform_int(0, static_cast<int>(clients) - 1))};
 }
 
+// Overload-family mutation (FuzzLimits::overload_families): layered onto a
+// fully-generated base spec, drawing from its own Rng fork so the base
+// stream stays byte-identical for every historical seed. Each family turns
+// load feedback on and shapes load the control loop must absorb. Mutations
+// only append entities (or adjust node 0's background ramp), so symbolic
+// fault endpoints in the base spec stay valid.
+void apply_overload_family(ScenarioSpec& spec, Rng& rng) {
+  spec.load_feedback = true;
+  // Guarantee an anchor so the hot cell has a victim and the spec promises
+  // frame traffic.
+  if (spec.nodes.empty()) {
+    FuzzNode anchor;
+    anchor.cores = static_cast<int>(rng.uniform_int(1, 4));
+    anchor.base_frame_ms = rng.uniform(15.0, 40.0);
+    spec.nodes.push_back(anchor);
+  }
+  // Half the specs make the anchor a credit-limited burstable volunteer —
+  // the regime where throttle latching and credit telemetry feed the
+  // overload set (a fixed-capacity anchor never exercises them).
+  if (rng.bernoulli(0.5)) {
+    FuzzNode& anchor = spec.nodes.front();
+    anchor.burstable = true;
+    anchor.burst_baseline = rng.uniform(0.25, 0.55);
+    anchor.initial_credits_core_sec = rng.uniform(0.5, 12.0);
+  }
+  const double quiet_start = spec.horizon_sec - spec.cooldown_sec;
+  const double hot_lat = spec.nodes.front().lat;
+  const double hot_lon = spec.nodes.front().lon;
+
+  // Spare capacity one cell over (~50 km): the steering target the
+  // starvation oracle assumes — without guaranteed spare capacity,
+  // "everyone starves" can be the only feasible outcome and the oracle
+  // would be unsound.
+  FuzzNode spare;
+  spare.lat = hot_lat + 0.45;
+  spare.lon = hot_lon + 0.45;
+  spare.tier = static_cast<int>(net::AccessTier::kFiber);
+  spare.cores = static_cast<int>(rng.uniform_int(4, 8));
+  spare.base_frame_ms = rng.uniform(8.0, 18.0);
+  spare.dedicated = true;
+  spec.nodes.push_back(spare);
+
+  const double family = rng.uniform();
+  if (family < 0.40) {
+    // Flash crowd into one cell: a burst of clients lands on the anchor's
+    // cell mid-run and stays to the horizon.
+    const double burst_at =
+        rng.uniform(3.0, std::max(4.0, quiet_start - 8.0));
+    const auto burst = static_cast<std::size_t>(rng.uniform_int(3, 7));
+    for (std::size_t i = 0; i < burst; ++i) {
+      FuzzClient fc;
+      fc.lat = hot_lat + rng.uniform(-0.02, 0.02);
+      fc.lon = hot_lon + rng.uniform(-0.02, 0.02);
+      fc.tier = sample_access_tier(rng);
+      fc.top_n = static_cast<int>(rng.uniform_int(1, 3));
+      fc.probing_period_sec = rng.uniform(1.5, 4.0);
+      fc.max_fps = rng.uniform(12.0, 20.0);
+      fc.start_sec = burst_at + rng.uniform(0.0, 1.5);
+      spec.clients.push_back(fc);
+    }
+  } else if (family < 0.70) {
+    // Diurnal wave: staggered arrivals that recede before the cooldown, so
+    // hysteresis has to both enter and exit cleanly.
+    const auto wave = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    for (std::size_t i = 0; i < wave; ++i) {
+      FuzzClient fc;
+      fc.lat = hot_lat + rng.uniform(-0.05, 0.05);
+      fc.lon = hot_lon + rng.uniform(-0.05, 0.05);
+      fc.tier = sample_access_tier(rng);
+      fc.top_n = static_cast<int>(rng.uniform_int(1, 4));
+      fc.probing_period_sec = rng.uniform(1.5, 4.0);
+      fc.max_fps = rng.uniform(10.0, 18.0);
+      fc.start_sec = rng.uniform(1.0, quiet_start / 3.0);
+      fc.stop_sec = rng.uniform(quiet_start * 0.5, quiet_start - 1.0);
+      spec.clients.push_back(fc);
+    }
+  } else {
+    // Slow leak: the anchor's host gradually reclaims its CPU.
+    FuzzNode& leak = spec.nodes.front();
+    leak.bg_ramp_to = rng.uniform(0.55, 0.90);
+    leak.bg_ramp_start_sec = rng.uniform(2.0, quiet_start / 2.0);
+    leak.bg_ramp_end_sec =
+        leak.bg_ramp_start_sec +
+        rng.uniform(5.0, quiet_start - leak.bg_ramp_start_sec);
+  }
+}
+
 }  // namespace
 
 ScenarioSpec generate_spec(std::uint64_t seed, const FuzzLimits& limits) {
@@ -183,6 +270,14 @@ ScenarioSpec generate_spec(std::uint64_t seed, const FuzzLimits& limits) {
         ff.from_sec + rng.uniform(0.5, std::min(6.0, quiet_start - ff.from_sec));
     spec.faults.push_back(ff);
   }
+
+  // Overload families ride on a separate fork, applied after the base
+  // generation has fully consumed its own stream: seeds generated with the
+  // flag off are untouched byte for byte.
+  if (limits.overload_families) {
+    Rng overload_rng = Rng(seed).fork("check-overload");
+    apply_overload_family(spec, overload_rng);
+  }
   return spec;
 }
 
@@ -241,6 +336,7 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
   config.seed = spec.seed;
   config.heartbeat_ttl = sec(spec.heartbeat_ttl_sec);
   config.trace = true;
+  config.load_feedback = spec.load_feedback;
   const auto kind = spec.net_kind == static_cast<int>(SpecNetKind::kMatrix)
                         ? harness::NetKind::kMatrix
                         : harness::NetKind::kGeo;
@@ -268,7 +364,32 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     ns.heartbeat_period = sec(std::max(0.1, fn.heartbeat_period_sec));
     ns.user_idle_ttl = sec(std::max(1.0, spec.user_idle_ttl_sec));
     ns.chaos_freeze_seq_num = (spec.chaos & kChaosFreezeSeqNum) != 0;
+    ns.background_load = std::clamp(fn.background_load, 0.0, 0.95);
+    ns.burstable = fn.burstable;
+    ns.burst_baseline = std::clamp(fn.burst_baseline, 0.05, 1.0);
+    ns.initial_credits_core_sec = std::max(0.0, fn.initial_credits_core_sec);
     const std::size_t index = scenario.add_node(ns);
+
+    // Slow-leak ramp: step the background load linearly toward bg_ramp_to
+    // over the ramp window, clear of the cooldown tail.
+    if (fn.bg_ramp_to >= 0.0) {
+      const double ramp_to = std::clamp(fn.bg_ramp_to, 0.0, 0.95);
+      const double ramp_from = ns.background_load;
+      const double r0 = std::max(0.0, fn.bg_ramp_start_sec);
+      const double r1 = std::min(fn.bg_ramp_end_sec, quiet_start);
+      if (r1 > r0) {
+        constexpr int kRampSteps = 8;
+        for (int step = 1; step <= kRampSteps; ++step) {
+          const double frac = static_cast<double>(step) / kRampSteps;
+          const double at = r0 + (r1 - r0) * frac;
+          const double load = ramp_from + (ramp_to - ramp_from) * frac;
+          scenario.scheduler().schedule_after(
+              sec(at), [&scenario, index, load] {
+                scenario.node(index).set_background_load(load);
+              });
+        }
+      }
+    }
 
     const double start = std::max(0.0, fn.start_sec);
     double stop = fn.stop_sec;
@@ -304,6 +425,15 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     } else {
       scenario.scheduler().schedule_after(sec(fc.start_sec),
                                           [&cl] { cl.start(); });
+    }
+    // Diurnal-wave departure: a full client stop (detach + stream end),
+    // clamped clear of the cooldown tail. Idempotent against the teardown
+    // stop at the horizon.
+    if (fc.stop_sec >= 0.0) {
+      const double stop = std::min(fc.stop_sec, quiet_start);
+      if (stop > std::max(0.0, fc.start_sec)) {
+        scenario.scheduler().schedule_after(sec(stop), [&cl] { cl.stop(); });
+      }
     }
   }
 
@@ -341,8 +471,11 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
 
   EndState end;
   for (std::size_t i = 0; i < scenario.node_count(); ++i) {
-    const node::EdgeNode& n = scenario.node(i);
-    end.nodes.push_back({n.id(), n.running(), n.attached_ids()});
+    node::EdgeNode& n = scenario.node(i);
+    end.nodes.push_back({n.id(), n.running(), n.attached_ids(),
+                         n.executor().utilization(), n.executor().queued(),
+                         n.executor().throttled(),
+                         scenario.central_manager().overloaded(n.id())});
   }
   for (std::size_t i = 0; i < scenario.edge_client_count(); ++i) {
     client::EdgeClient& c = scenario.edge_client(i);

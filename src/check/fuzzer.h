@@ -29,6 +29,12 @@ struct FuzzLimits {
   std::size_t max_faults{6};
   double min_horizon_sec{22.0};
   double max_horizon_sec{40.0};
+  // Opt-in overload generator families (flash-crowd-into-one-cell,
+  // diurnal-wave, slow-leak-degradation) layered on top of the base spec
+  // with load feedback enabled. Off by default so every pre-existing seed
+  // keeps producing a byte-identical spec; the family mutation draws from
+  // its own Rng fork ("check-overload") and never touches the base stream.
+  bool overload_families{false};
 };
 
 // Pure function of (seed, limits): same inputs, same spec.

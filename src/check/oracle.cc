@@ -429,15 +429,33 @@ class FrameConservationOracle final : public Oracle {
 
     // Every frame sent long enough before the horizon must have settled:
     // the transport guarantees a completion (response or timeout) within
-    // the frame rpc timeout.
+    // the frame rpc timeout. A client the spec stops mid-run abandons its
+    // in-flight frames at the stop (the completion callbacks bail on
+    // !running_), so its settle deadline is measured from the stop time
+    // instead — end.clients and spec.clients are index-aligned.
     const SimTime settle_deadline = run.horizon - run.timeouts.frame -
                                     msec(10.0);
+    std::unordered_map<std::uint32_t, SimTime> deadline_by_id;
+    const double quiet_start = std::max(
+        0.0, run.spec.horizon_sec - std::max(0.0, run.spec.cooldown_sec));
+    for (std::size_t i = 0;
+         i < run.end.clients.size() && i < run.spec.clients.size(); ++i) {
+      const FuzzClient& fc = run.spec.clients[i];
+      if (fc.stop_sec < 0.0) continue;
+      const double stop = std::min(fc.stop_sec, quiet_start);
+      if (stop <= std::max(0.0, fc.start_sec)) continue;  // never scheduled
+      deadline_by_id[run.end.clients[i].id.value] =
+          sec(stop) - run.timeouts.frame - msec(10.0);
+    }
     for (const auto& [client, pc] : clients) {
+      const auto dit = deadline_by_id.find(client);
+      const SimTime client_deadline =
+          dit != deadline_by_id.end() ? dit->second : settle_deadline;
       std::uint64_t in_flight = 0;
       for (const auto& [frame, state] : pc.frames) {
         if (state.completions > 0) continue;
         ++in_flight;
-        if (state.sent_at <= settle_deadline) {
+        if (state.sent_at <= client_deadline) {
           report.add(state.sent_at,
                      format("client %u frame %llu (sent at %.3fs) never "
                             "completed within the %.0fms frame timeout",
@@ -659,6 +677,81 @@ class RegistryOracle final : public Oracle {
   }
 };
 
+// ---- starvation -------------------------------------------------------
+
+// Only armed for load-feedback specs: no client still attached at the
+// horizon may spend the entire quiet cooldown tail sending frames with
+// zero successes while a running, registry-live, non-overloaded node sits
+// nearly idle. The generator's overload families always append such a
+// spare node, so "everyone must starve" topologies cannot trip it; clients
+// the spec stopped mid-run are exempt (their stream legitimately ends).
+class StarvationOracle final : public Oracle {
+ public:
+  const char* name() const override { return "starvation"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    if (!run.spec.load_feedback) return;
+    Reporter report(name(), out);
+
+    std::unordered_set<std::uint32_t> live;
+    for (const NodeId id : run.end.registry_live) live.insert(id.value);
+    const EndState::NodeState* spare = nullptr;
+    for (const auto& n : run.end.nodes) {
+      if (n.running && live.count(n.id.value) != 0 && !n.overloaded &&
+          !n.throttled && n.queued == 0 && n.utilization < 0.25) {
+        spare = &n;
+        break;
+      }
+    }
+    if (spare == nullptr) return;  // genuinely no spare capacity anywhere
+
+    // The cooldown tail is churn- and fault-free by the generator envelope
+    // (run_spec clamps hand-written specs the same way), so a client that
+    // keeps sending there is in steady state. Frames sent within a frame
+    // timeout of the horizon may legitimately still be in flight.
+    const SimTime window_start =
+        run.horizon - sec(std::max(0.0, run.spec.cooldown_sec));
+    const SimTime send_deadline = run.horizon - run.timeouts.frame -
+                                  msec(500.0);
+    if (send_deadline <= window_start) return;  // degenerate cooldown
+
+    struct Tally {
+      std::uint64_t sends{0};
+      std::uint64_t oks{0};
+    };
+    std::unordered_map<std::uint32_t, Tally> tallies;
+    for (const TraceEvent& e : run.events) {
+      if (e.at < window_start) continue;
+      if (e.kind == EventKind::kFrameSend) {
+        if (e.at <= send_deadline) ++tallies[e.actor.value].sends;
+      } else if (e.kind == EventKind::kFrameOk) {
+        ++tallies[e.actor.value].oks;
+      }
+    }
+
+    constexpr std::uint64_t kMinSends = 5;
+    for (std::size_t i = 0; i < run.end.clients.size(); ++i) {
+      const auto& c = run.end.clients[i];
+      if (!c.current) continue;  // unattached: admission may refuse
+      if (i < run.spec.clients.size() &&
+          run.spec.clients[i].stop_sec >= 0.0) {
+        continue;  // spec-stopped client; its stream legitimately ended
+      }
+      const auto it = tallies.find(c.id.value);
+      if (it == tallies.end()) continue;
+      if (it->second.sends >= kMinSends && it->second.oks == 0) {
+        report.add(run.horizon,
+                   format("client %u starved through the cooldown tail: %llu "
+                          "frames sent, 0 succeeded, while node %u sat idle "
+                          "(util %.2f, queue %d)",
+                          c.id.value,
+                          static_cast<unsigned long long>(it->second.sends),
+                          spare->id.value, spare->utilization, spare->queued));
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& default_oracles() {
@@ -669,9 +762,10 @@ const std::vector<const Oracle*>& default_oracles() {
   static const FrameBoundOracle frame_bound;
   static const FailoverLivenessOracle failover;
   static const RegistryOracle registry;
+  static const StarvationOracle starvation;
   static const std::vector<const Oracle*> all = {
       &trace_order, &seqnum,   &attachment, &conservation,
-      &frame_bound, &failover, &registry,
+      &frame_bound, &failover, &registry,  &starvation,
   };
   return all;
 }

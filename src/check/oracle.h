@@ -35,6 +35,13 @@ struct EndState {
     NodeId id;
     bool running{false};
     std::vector<ClientId> attached;  // sorted
+    // Executor snapshot at the horizon (starvation oracle: "spare capacity
+    // exists elsewhere" must be a fact, not an inference from the trace).
+    double utilization{0.0};
+    int queued{0};
+    bool throttled{false};
+    // Manager's overload-set verdict at the horizon.
+    bool overloaded{false};
   };
   struct ClientState {
     ClientId id;
@@ -86,6 +93,11 @@ class Oracle {
 //   registry-ttl       expired entries never resurrect: post-expire registry
 //                      content is a subset of the running nodes; first
 //                      expiry of a node comes at least TTL after register
+//   starvation         (load_feedback specs only) no client still attached at
+//                      the horizon goes a whole quiet cooldown tail with
+//                      frames sent but zero successes while a running,
+//                      registry-live, non-overloaded node sits nearly idle —
+//                      the feedback loop must have steered it there
 [[nodiscard]] const std::vector<const Oracle*>& default_oracles();
 
 }  // namespace eden::check

@@ -57,6 +57,20 @@ void append_node(std::string& out, const FuzzNode& n) {
   append_double(out, n.stop_sec);
   out += ",\"graceful_stop\":";
   append_bool(out, n.graceful_stop);
+  out += ",\"background_load\":";
+  append_double(out, n.background_load);
+  out += ",\"bg_ramp_to\":";
+  append_double(out, n.bg_ramp_to);
+  out += ",\"bg_ramp_start_sec\":";
+  append_double(out, n.bg_ramp_start_sec);
+  out += ",\"bg_ramp_end_sec\":";
+  append_double(out, n.bg_ramp_end_sec);
+  out += ",\"burstable\":";
+  append_bool(out, n.burstable);
+  out += ",\"burst_baseline\":";
+  append_double(out, n.burst_baseline);
+  out += ",\"initial_credits_core_sec\":";
+  append_double(out, n.initial_credits_core_sec);
   out += "}";
 }
 
@@ -81,6 +95,8 @@ void append_client(std::string& out, const FuzzClient& c) {
   append_double(out, c.start_sec);
   out += ",\"send_frames\":";
   append_bool(out, c.send_frames);
+  out += ",\"stop_sec\":";
+  append_double(out, c.stop_sec);
   out += "}";
 }
 
@@ -128,6 +144,14 @@ struct Cursor {
     }
     pos += literal.size();
     return true;
+  }
+
+  // Non-committal lookahead for optional (v2+) fields: true when the next
+  // token is `literal`, without consuming it or poisoning `ok`.
+  bool peek(std::string_view literal) {
+    if (!ok) return false;
+    skip_ws();
+    return text.substr(pos, literal.size()) == literal;
   }
 
   double number() {
@@ -234,6 +258,24 @@ FuzzNode parse_node(Cursor& c) {
   n.stop_sec = c.number();
   c.expect(",\"graceful_stop\":");
   n.graceful_stop = c.boolean();
+  if (c.peek(",\"background_load\":")) {  // v2 ramp fields
+    c.expect(",\"background_load\":");
+    n.background_load = c.number();
+    c.expect(",\"bg_ramp_to\":");
+    n.bg_ramp_to = c.number();
+    c.expect(",\"bg_ramp_start_sec\":");
+    n.bg_ramp_start_sec = c.number();
+    c.expect(",\"bg_ramp_end_sec\":");
+    n.bg_ramp_end_sec = c.number();
+  }
+  if (c.peek(",\"burstable\":")) {  // v3 burstable fields
+    c.expect(",\"burstable\":");
+    n.burstable = c.boolean();
+    c.expect(",\"burst_baseline\":");
+    n.burst_baseline = c.number();
+    c.expect(",\"initial_credits_core_sec\":");
+    n.initial_credits_core_sec = c.number();
+  }
   c.expect("}");
   return n;
 }
@@ -260,6 +302,10 @@ FuzzClient parse_client(Cursor& c) {
   out.start_sec = c.number();
   c.expect(",\"send_frames\":");
   out.send_frames = c.boolean();
+  if (c.peek(",\"stop_sec\":")) {  // v2
+    c.expect(",\"stop_sec\":");
+    out.stop_sec = c.number();
+  }
   c.expect("}");
   return out;
 }
@@ -345,6 +391,8 @@ std::string to_json(const ReproFile& repro) {
   append_double(out, s.user_idle_ttl_sec);
   out += ",\n    \"chaos\": ";
   append_u64(out, s.chaos);
+  out += ",\n    \"load_feedback\": ";
+  append_bool(out, s.load_feedback);
   out += ",\n    \"nodes\": [";
   for (std::size_t i = 0; i < s.nodes.size(); ++i) {
     out += i == 0 ? "\n      " : ",\n      ";
@@ -410,6 +458,11 @@ std::optional<ReproFile> parse_json(std::string_view text) {
   c.expect("\"chaos\":");
   s.chaos = static_cast<unsigned>(c.u64());
   c.expect(",");
+  if (c.peek("\"load_feedback\":")) {  // v2
+    c.expect("\"load_feedback\":");
+    s.load_feedback = c.boolean();
+    c.expect(",");
+  }
   c.expect("\"nodes\":");
   s.nodes = parse_array<FuzzNode>(c, parse_node);
   c.expect(",");

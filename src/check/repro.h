@@ -18,7 +18,10 @@
 namespace eden::check {
 
 struct ReproFile {
-  int version{1};
+  // v2 added the overload-elasticity fields (spec.load_feedback, node
+  // background ramps, client stop_sec); v3 added the burstable node
+  // fields. The parser accepts older files, which simply omit them.
+  int version{3};
   std::string target_oracle;  // empty = "just replay, report whatever fires"
   ScenarioSpec spec;
   bool operator==(const ReproFile&) const = default;

@@ -55,6 +55,18 @@ struct FuzzNode {
   double start_sec{0.0};
   double stop_sec{-1.0};  // < 0: alive until the end of the run
   bool graceful_stop{false};
+  // Host background load, plus an optional linear ramp toward bg_ramp_to
+  // over [bg_ramp_start_sec, bg_ramp_end_sec] — the slow-leak-degradation
+  // overload family (a volunteer host gradually reclaiming its CPU).
+  double background_load{0.0};
+  double bg_ramp_to{-1.0};  // < 0: no ramp
+  double bg_ramp_start_sec{-1.0};
+  double bg_ramp_end_sec{-1.0};
+  // Burstable-CPU (t2/t3-style) volunteers — the regime where throttle
+  // latching and credit telemetry matter. v3 repro fields.
+  bool burstable{false};
+  double burst_baseline{0.4};
+  double initial_credits_core_sec{30.0};
   bool operator==(const FuzzNode&) const = default;
 };
 
@@ -69,6 +81,10 @@ struct FuzzClient {
   double max_fps{15.0};
   double start_sec{0.0};
   bool send_frames{true};
+  // Full client stop (detach + end of frame stream) at this time; < 0
+  // keeps the client running to the horizon. The diurnal-wave overload
+  // family uses staggered stops to model load receding.
+  double stop_sec{-1.0};
   bool operator==(const FuzzClient&) const = default;
 };
 
@@ -90,6 +106,11 @@ struct ScenarioSpec {
   double heartbeat_ttl_sec{3.0};
   double user_idle_ttl_sec{15.0};
   unsigned chaos{0};
+  // Load-feedback elasticity on: the manager runs its overload policy,
+  // nodes get feedback acks, executors shed under throttle and dropped
+  // frames fast-fail (see harness::ScenarioConfig::load_feedback). Also
+  // arms the starvation oracle.
+  bool load_feedback{false};
   std::vector<FuzzNode> nodes;
   std::vector<FuzzClient> clients;
   std::vector<FuzzFault> faults;

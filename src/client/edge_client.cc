@@ -343,13 +343,14 @@ void EdgeClient::send_frame() {
   api->offload(request, [this, target, frame_id,
                          sent_at](std::optional<net::FrameResponse> resp) {
     if (!running_) return;
-    on_frame_done(target, frame_id, sent_at, resp.has_value());
+    on_frame_done(target, frame_id, sent_at, resp);
   });
 }
 
 void EdgeClient::on_frame_done(NodeId target, std::uint64_t frame_id,
-                               SimTime sent_at, bool ok) {
-  if (ok) {
+                               SimTime sent_at,
+                               const std::optional<net::FrameResponse>& resp) {
+  if (resp && !resp->dropped) {
     const double e2e_ms = to_ms(scheduler_->now() - sent_at);
     ++stats_.frames_ok;
     trace(obs::EventKind::kFrameOk, target, frame_id, e2e_ms);
@@ -357,6 +358,7 @@ void EdgeClient::on_frame_done(NodeId target, std::uint64_t frame_id,
     latency_.add(scheduler_->now(), e2e_ms);
     samples_.add(e2e_ms);
     rate_.on_frame_latency(e2e_ms);
+    if (resp->redisc_epoch > 0) maybe_honor_redisc(target, resp->redisc_epoch);
     return;
   }
   ++stats_.frames_failed;
@@ -364,6 +366,12 @@ void EdgeClient::on_frame_done(NodeId target, std::uint64_t frame_id,
   rate_.on_frame_failure();
   trace(obs::EventKind::kFrameDrop, target, 0, static_cast<double>(frame_id));
   if (!current_ || *current_ != target) return;  // stale timeout
+  if (resp && resp->redisc_epoch > 0) {
+    // The node explicitly shed the frame and wants us elsewhere: honor the
+    // hint (rate-limited per epoch) instead of the blunt congestion damper.
+    maybe_honor_redisc(target, resp->redisc_epoch);
+    return;
+  }
   // A timed-out frame on the current node means congestion (node death is
   // the keepalive's business): re-select at most once per half probing
   // period so a stream of timeouts does not become a probe storm.
@@ -372,6 +380,16 @@ void EdgeClient::on_frame_done(NodeId target, std::uint64_t frame_id,
     last_congestion_reprobe_ = scheduler_->now();
     probing_cycle(config_.max_join_retries);
   }
+}
+
+void EdgeClient::maybe_honor_redisc(NodeId target, std::uint64_t epoch) {
+  std::uint64_t& honored = honored_epoch_[target];
+  if (epoch <= honored) return;  // this episode already triggered a re-probe
+  honored = epoch;
+  ++stats_.redisc_hints;
+  trace(obs::EventKind::kRediscHint, target, 0, static_cast<double>(epoch));
+  last_congestion_reprobe_ = scheduler_->now();
+  probing_cycle(config_.max_join_retries);
 }
 
 // ---- keepalive: connection-interruption detection (§IV-E) ----

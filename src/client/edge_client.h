@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "client/selection_policy.h"
@@ -79,6 +80,8 @@ struct ClientStats {
   // Strict-QoS mode: probing cycles in which no candidate satisfied the
   // latency bound and the user stayed (or became) unattached (§IV-D).
   std::uint64_t qos_rejections{0};
+  // Server-initiated re-discover hints honored (once per node+epoch).
+  std::uint64_t redisc_hints{0};
 
   ClientStats& operator+=(const ClientStats& other) {
     frames_sent += other.frames_sent;
@@ -93,6 +96,7 @@ struct ClientStats {
     join_conflicts += other.join_conflicts;
     joins += other.joins;
     qos_rejections += other.qos_rejections;
+    redisc_hints += other.redisc_hints;
     return *this;
   }
 };
@@ -174,7 +178,10 @@ class EdgeClient {
   void arm_frame_timer();
   void send_frame();
   void on_frame_done(NodeId target, std::uint64_t frame_id, SimTime sent_at,
-                     bool ok);
+                     const std::optional<net::FrameResponse>& resp);
+  // Server-initiated elasticity: act on a re-discover hint piggybacked on a
+  // frame response, at most once per (node, phase epoch).
+  void maybe_honor_redisc(NodeId target, std::uint64_t epoch);
   void arm_keepalive_timer();
   void keepalive_tick();
   void on_keepalive_miss(NodeId target);
@@ -223,6 +230,9 @@ class EdgeClient {
   sim::EventId keepalive_event_{sim::kInvalidEvent};
   int keepalive_miss_count_{0};
   bool keepalive_in_flight_{false};
+  // Highest phase epoch already honored per node — a degraded node stamps
+  // its hint on every response, and re-probing once per episode is enough.
+  std::unordered_map<NodeId, std::uint64_t> honored_epoch_;
 
   workload::RateController rate_;
   Rng rng_;

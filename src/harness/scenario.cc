@@ -52,6 +52,11 @@ Scenario::Scenario(ScenarioConfig config, const ModelFactory& factory)
                     net::AccessTier::kLocalZone);
   manager_ = std::make_unique<manager::CentralManager>(
       scheduler_, config_.manager_policy, config_.heartbeat_ttl);
+  if (config_.load_feedback) {
+    manager::OverloadPolicy policy = config_.overload;
+    policy.enabled = true;
+    manager_->set_overload_policy(policy);
+  }
   manager_stub_.emplace(*fabric_, *manager_, manager_host_, ClientId{},
                         config_.timeouts, config_.wire_sizes);
   if (config_.trace) enable_observability();
@@ -125,6 +130,8 @@ node::EdgeNodeConfig Scenario::make_node_config(const NodeSpec& spec,
   node_config.app_types = spec.app_types;
   node_config.user_idle_ttl = spec.user_idle_ttl;
   node_config.chaos_freeze_seq_num = spec.chaos_freeze_seq_num;
+  node_config.load_feedback = config_.load_feedback;
+  node_config.executor.shed_on_throttle = config_.load_feedback;
   node_config.executor.cores = spec.cores;
   node_config.executor.base_frame_ms = spec.base_frame_ms;
   node_config.executor.contention_alpha = spec.contention_alpha;

@@ -52,6 +52,13 @@ struct ScenarioConfig {
   // Opt-in observability: when true the scenario owns a TraceRecorder +
   // MetricsRegistry and wires them through every component it builds.
   bool trace{false};
+  // Load-feedback elasticity (phase switching): enables the manager's
+  // overload policy, heartbeat feedback acks on every node, executor
+  // shedding under throttle, and fast-fail dropped-frame responses. Off by
+  // default — with it off, every run is byte-identical to the pre-feedback
+  // harness (same RNG draws, same traces).
+  bool load_feedback{false};
+  manager::OverloadPolicy overload{};
 };
 
 struct NodeSpec {
@@ -240,7 +247,7 @@ class Scenario {
                 StubTimeouts timeouts, WireSizes sizes)
         : spec(std::move(spec_in)),
           host(host_in),
-          link(fabric, manager, manager_host, host, sizes),
+          link(fabric, manager, manager_host, host, sizes, timeouts),
           node(scheduler, node_config, &link),
           stub(fabric, node, host, timeouts, sizes) {}
   };

@@ -98,6 +98,16 @@ void SimManagerLink::heartbeat(const net::NodeStatus& status) {
                     });
 }
 
+void SimManagerLink::heartbeat_feedback(
+    const net::NodeStatus& status,
+    net::Done<std::optional<net::HeartbeatAck>> done) {
+  network_->rpc<net::HeartbeatAck>(
+      node_host_, manager_host_, sizes_.heartbeat, sizes_.heartbeat_ack,
+      timeouts_.heartbeat,
+      [manager = manager_, status] { return manager->handle_heartbeat(status); },
+      std::move(done));
+}
+
 void SimManagerLink::deregister(NodeId node) {
   network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
                     [manager = manager_, node] {

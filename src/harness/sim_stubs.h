@@ -28,6 +28,7 @@ struct WireSizes {
   double discovery_response_per_candidate{150};
   double frame_response{200};
   double heartbeat{300};
+  double heartbeat_ack{120};
 };
 
 struct StubTimeouts {
@@ -38,6 +39,9 @@ struct StubTimeouts {
   // timeouts.
   SimDuration frame{msec(3000.0)};
   SimDuration discovery{msec(500.0)};
+  // Feedback heartbeats are periodic anyway; a lost ack just waits for the
+  // next beat, so the timeout only bounds slot occupancy.
+  SimDuration heartbeat{msec(500.0)};
 };
 
 class SimNodeStub final : public net::NodeApi {
@@ -104,15 +108,20 @@ class SimManagerStub final : public net::ManagerApi {
 class SimManagerLink final : public net::ManagerLink {
  public:
   SimManagerLink(net::SimNetwork& network, manager::CentralManager& manager,
-                 HostId manager_host, HostId node_host, WireSizes sizes = {})
+                 HostId manager_host, HostId node_host, WireSizes sizes = {},
+                 StubTimeouts timeouts = {})
       : network_(&network),
         manager_(&manager),
         manager_host_(manager_host),
         node_host_(node_host),
-        sizes_(sizes) {}
+        sizes_(sizes),
+        timeouts_(timeouts) {}
 
   void register_node(const net::NodeStatus& status) override;
   void heartbeat(const net::NodeStatus& status) override;
+  void heartbeat_feedback(const net::NodeStatus& status,
+                          net::Done<std::optional<net::HeartbeatAck>> done)
+      override;
   void deregister(NodeId node) override;
 
  private:
@@ -121,6 +130,7 @@ class SimManagerLink final : public net::ManagerLink {
   HostId manager_host_;
   HostId node_host_;
   WireSizes sizes_;
+  StubTimeouts timeouts_;
 };
 
 }  // namespace eden::harness

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "manager/global_selection.h"
 #include "manager/registry.h"
@@ -20,6 +21,32 @@ struct ManagerStats {
   std::uint64_t registrations{0};
   std::uint64_t heartbeats{0};
   std::uint64_t deregistrations{0};
+  std::uint64_t rejoins{0};          // heartbeats that re-registered a node
+  std::uint64_t overload_enters{0};  // overload-set entries
+  std::uint64_t overload_exits{0};   // overload-set exits
+  std::uint64_t cell_sheds{0};       // discoveries answered in shed mode
+};
+
+// Overload-set hysteresis over the heartbeat telemetry (queue depth, burst
+// credits, p95 processing time). A node *enters* the set when any enter
+// threshold trips, *exits* only when every exit threshold clears, and no
+// transition happens within min_dwell of the previous one — so telemetry
+// oscillating across one boundary cannot flap the set every heartbeat.
+struct OverloadPolicy {
+  bool enabled{false};
+  // Queue depth per core: enter above, exit at or below.
+  double enter_queue_per_core{3.0};
+  double exit_queue_per_core{1.0};
+  // p95 processing time as a multiple of the node's idle base_frame_ms.
+  double enter_p95_factor{6.0};
+  double exit_p95_factor{2.5};
+  // A burstable node about to throttle (credits below this, in
+  // core-seconds) counts as overloaded once frames are actually waiting —
+  // and, symmetrically, starved credits only hold a node in the set while
+  // its queue is nonempty.
+  double min_burst_credits{1.0};
+  // Minimum time in either state before the next transition.
+  SimDuration min_dwell{sec(2.0)};
 };
 
 class CentralManager {
@@ -30,7 +57,9 @@ class CentralManager {
 
   // ---- handlers ----
   void handle_register(const net::NodeStatus& status);
-  void handle_heartbeat(const net::NodeStatus& status);
+  // Returns the feedback ack (rejoin detection + overload phase). One-way
+  // transports simply discard it; the feedback rpc ships it to the node.
+  net::HeartbeatAck handle_heartbeat(const net::NodeStatus& status);
   void handle_deregister(NodeId node);
   [[nodiscard]] net::DiscoveryResponse handle_discover(
       const net::DiscoveryRequest& request);
@@ -38,6 +67,19 @@ class CentralManager {
   // Swap the global selection policy (e.g. for ablations); takes effect
   // on the next discovery query.
   void set_policy(GlobalPolicy policy) { selector_ = GlobalSelector(policy); }
+
+  // Enable/replace the overload-set policy (load-feedback elasticity).
+  void set_overload_policy(OverloadPolicy policy) {
+    overload_policy_ = policy;
+  }
+  [[nodiscard]] const OverloadPolicy& overload_policy() const {
+    return overload_policy_;
+  }
+  // Whether `node` is currently held in the overload set.
+  [[nodiscard]] bool overloaded(NodeId node) const {
+    const auto it = overload_.find(node);
+    return it != overload_.end() && it->second.overloaded;
+  }
 
   // Opt-in tracing/metrics; either pointer may be null and both must
   // outlive the manager.
@@ -58,13 +100,35 @@ class CentralManager {
   // the only way the manager learns about abrupt departures.
   void note_expired(const std::vector<NodeId>& expired);
 
+  // Per-node hysteresis state. The epoch counts overload episodes and
+  // never resets (clients honor a re-discover hint once per epoch, so the
+  // counter must stay monotone across rejoins).
+  struct OverloadState {
+    bool overloaded{false};
+    SimTime last_transition{-1};  // <0: no transition yet, dwell waived
+    std::uint64_t epoch{0};
+  };
+  // Advance the hysteresis for one heartbeat; returns the node's state.
+  const OverloadState& update_overload(const net::NodeStatus& status,
+                                       SimTime now);
+  // The shed-to-cloud trigger: when every live non-cloud node of the
+  // request's registry cell is overloaded (and there is at least one),
+  // returns how many; otherwise 0.
+  [[nodiscard]] int cell_hot(const net::DiscoveryRequest& request,
+                             SimTime now);
+
   sim::Clock* clock_;
   Registry registry_;
   GlobalSelector selector_;
   ManagerStats stats_;
+  OverloadPolicy overload_policy_;
+  std::unordered_map<NodeId, OverloadState> overload_;
   obs::TraceRecorder* trace_{nullptr};
   obs::Counter* expirations_{nullptr};
   obs::Counter* discoveries_{nullptr};
+  obs::Counter* rejoins_{nullptr};
+  obs::Counter* overload_enters_{nullptr};
+  obs::Counter* cell_sheds_{nullptr};
 };
 
 }  // namespace eden::manager

@@ -83,7 +83,7 @@ double GlobalSelector::score(const net::DiscoveryRequest& request,
 
 net::DiscoveryResponse GlobalSelector::rank(
     const net::DiscoveryRequest& request, std::vector<Candidate>& qualified,
-    SimTime now) const {
+    SimTime now, bool shed_to_cloud) const {
   const int top_n = std::max(1, request.top_n);
   std::vector<std::pair<double, const net::NodeStatus*>> ranked;
   ranked.reserve(qualified.size());
@@ -102,10 +102,18 @@ net::DiscoveryResponse GlobalSelector::rank(
       proximity = static_cast<double>(shared) /
                   static_cast<double>(request.geohash.size());
     }
-    ranked.emplace_back(
-        score_with_proximity(request, candidate.entry->status, uptime_sec,
-                             proximity),
-        &candidate.entry->status);
+    double s = score_with_proximity(request, candidate.entry->status,
+                                    uptime_sec, proximity);
+    // Load-feedback steering: push overloaded nodes down, and when the
+    // whole cell is hot, give cloud fallbacks their penalty back so the
+    // shed actually has somewhere to land. Both branches are dead (and the
+    // scores bit-identical to the pre-feedback selector) unless the
+    // manager's overload policy set the flags.
+    if (candidate.entry->overloaded) s -= policy_.overload_penalty;
+    if (shed_to_cloud && candidate.entry->status.is_cloud) {
+      s += policy_.cloud_penalty;
+    }
+    ranked.emplace_back(s, &candidate.entry->status);
   }
   // Bounded top-n selection: (score desc, node id asc) is a strict total
   // order over distinct nodes, so the first top_n elements are exactly what
@@ -130,7 +138,8 @@ net::DiscoveryResponse GlobalSelector::rank(
 
 net::DiscoveryResponse GlobalSelector::select(
     const net::DiscoveryRequest& request,
-    const std::vector<RegistryEntry>& nodes, SimTime now) const {
+    const std::vector<RegistryEntry>& nodes, SimTime now,
+    bool shed_to_cloud) const {
   const int top_n = std::max(1, request.top_n);
   const auto user_center = geo::geohash_decode_center(request.geohash);
 
@@ -168,16 +177,24 @@ net::DiscoveryResponse GlobalSelector::select(
       }
       if (in_range) qualified.push_back(Candidate{&entry, centers[i], user_km});
     }
-    if (static_cast<double>(qualified.size()) >= policy_.widen_factor * top_n) {
+    // Widening stops once enough *spare* (non-overloaded) candidates
+    // qualify: a saturated metro cell must not satisfy the quota and hide
+    // the healthy nodes one radius step further out. With no overloaded
+    // entries (feedback off) every candidate is spare — loop unchanged.
+    std::size_t spare = 0;
+    for (const Candidate& c : qualified) {
+      if (!c.entry->overloaded) ++spare;
+    }
+    if (static_cast<double>(spare) >= policy_.widen_factor * top_n) {
       break;
     }
   }
-  return rank(request, qualified, now);
+  return rank(request, qualified, now, shed_to_cloud);
 }
 
 net::DiscoveryResponse GlobalSelector::select(
     const net::DiscoveryRequest& request, Registry& registry,
-    SimTime now) const {
+    SimTime now, bool shed_to_cloud) const {
   const int top_n = std::max(1, request.top_n);
   const auto user_center = geo::geohash_decode_center(request.geohash);
 
@@ -224,11 +241,16 @@ net::DiscoveryResponse GlobalSelector::select(
             qualified.push_back(Candidate{&entry, center});
           });
     }
-    if (static_cast<double>(qualified.size()) >= policy_.widen_factor * top_n) {
+    // Same spare-candidate widening rule as the linear overload.
+    std::size_t spare = 0;
+    for (const Candidate& c : qualified) {
+      if (!c.entry->overloaded) ++spare;
+    }
+    if (static_cast<double>(spare) >= policy_.widen_factor * top_n) {
       break;
     }
   }
-  return rank(request, qualified, now);
+  return rank(request, qualified, now, shed_to_cloud);
 }
 
 }  // namespace eden::manager

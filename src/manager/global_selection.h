@@ -33,6 +33,11 @@ struct GlobalPolicy {
   // strong so that successive discovery queries steer late joiners away
   // from already-popular nodes (the coarse resource-awareness of step 1).
   double w_load{1.2};
+  // Flat score penalty for nodes in the manager's overload set (the
+  // load-feedback control loop). Only ever applied to entries whose
+  // `overloaded` flag is set, which requires the manager's OverloadPolicy
+  // to be enabled — selection with the feature off is bit-identical.
+  double overload_penalty{2.0};
   // Extension (off by default): weight for a reputation-style reliability
   // score derived from observed uptime — the paper points at
   // reputation-based scheduling [33] for tuning selection to volunteer
@@ -50,15 +55,18 @@ class GlobalSelector {
   // Index-backed selection: queries the registry's geohash buckets per
   // widening radius instead of scanning every node. Expires stale entries
   // as a side effect. Byte-identical responses to the vector overload.
+  // `shed_to_cloud` is the manager's hot-cell verdict: it cancels the
+  // cloud penalty so cloud/LZ fallbacks outrank saturated volunteers.
   [[nodiscard]] net::DiscoveryResponse select(
       const net::DiscoveryRequest& request, Registry& registry,
-      SimTime now = 0) const;
+      SimTime now = 0, bool shed_to_cloud = false) const;
 
   // Linear-scan selection over a materialized entry list (tests, ablation
   // studies, equivalence checks).
   [[nodiscard]] net::DiscoveryResponse select(
       const net::DiscoveryRequest& request,
-      const std::vector<RegistryEntry>& nodes, SimTime now = 0) const;
+      const std::vector<RegistryEntry>& nodes, SimTime now = 0,
+      bool shed_to_cloud = false) const;
 
   [[nodiscard]] const GlobalPolicy& policy() const { return policy_; }
 
@@ -96,7 +104,8 @@ class GlobalSelector {
   // the deterministic node-id tie-break).
   [[nodiscard]] net::DiscoveryResponse rank(const net::DiscoveryRequest& request,
                                             std::vector<Candidate>& qualified,
-                                            SimTime now) const;
+                                            SimTime now,
+                                            bool shed_to_cloud) const;
 
   GlobalPolicy policy_;
 };

@@ -31,6 +31,10 @@ struct RegistryEntry {
   net::NodeStatus status;
   SimTime last_heartbeat{0};
   SimTime registered_at{0};
+  // Manager-side overload verdict (hysteresis lives in CentralManager; the
+  // registry only mirrors the flag so selection can read it in place).
+  // Deliberately not part of the status assignment in upsert().
+  bool overloaded{false};
 };
 
 class Registry {
@@ -50,6 +54,19 @@ class Registry {
   std::vector<NodeId> expire(SimTime now);
 
   [[nodiscard]] std::optional<RegistryEntry> get(NodeId node) const;
+  // Copy-free lookup (no expiry side effect); nullptr when absent. The
+  // heartbeat hot path uses this to detect rejoins without copying the
+  // entry's strings.
+  [[nodiscard]] const RegistryEntry* find(NodeId node) const {
+    const auto it = slots_.find(node);
+    return it == slots_.end() ? nullptr : &it->second.entry;
+  }
+  // Mirror the manager's overload verdict into the entry; no-op when the
+  // node is not registered.
+  void set_overloaded(NodeId node, bool overloaded) {
+    const auto it = slots_.find(node);
+    if (it != slots_.end()) it->second.entry.overloaded = overloaded;
+  }
   // Live entries as of `now` (expires first). Compatibility shim: copies
   // every entry; hot paths should use the visitation API below.
   [[nodiscard]] std::vector<RegistryEntry> snapshot(SimTime now);

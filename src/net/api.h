@@ -71,6 +71,15 @@ class ManagerLink {
   virtual ~ManagerLink() = default;
   virtual void register_node(const NodeStatus& status) = 0;
   virtual void heartbeat(const NodeStatus& status) = 0;
+  // Load-feedback heartbeat: like heartbeat(), but the manager's ack
+  // (rejoin detection, overload phase) is returned to the node. The default
+  // forwards to the one-way path and reports "no feedback", so transports
+  // that predate the overload loop keep working unchanged.
+  virtual void heartbeat_feedback(const NodeStatus& status,
+                                  Done<std::optional<HeartbeatAck>> done) {
+    heartbeat(status);
+    done(std::nullopt);
+  }
   virtual void deregister(NodeId node) = 0;
 };
 

@@ -30,6 +30,12 @@ struct NodeStatus {
   // Application server types deployed on this node (§III-B). Empty means
   // the node serves every type (the single-app deployments of the paper).
   std::vector<std::string> app_types;
+  // Load-feedback telemetry piggybacked on heartbeats (overload-aware
+  // elasticity). Always populated; the manager ignores it unless its
+  // overload policy is enabled.
+  int queue_depth{0};        // executor jobs waiting behind the busy cores
+  double burst_credits{0};   // remaining burst credits in core-seconds
+  double p95_proc_ms{0};     // p95 of recent frame proc times, 0 = no sample
 };
 
 // Client -> manager: edge discovery query (first step of the 2-step
@@ -88,9 +94,31 @@ struct FrameRequest {
 };
 
 // Node -> client: the (lightweight) result of processing one frame.
+//
+// Size note: the struct must stay within 32 bytes — the simulator's rpc
+// completion event (SimNetwork* + handle + FrameResponse) has to fit the
+// scheduler's 48-byte inline callback buffer or every frame heap-allocates.
 struct FrameResponse {
   std::uint64_t frame_id{0};
   double proc_ms{0};  // queueing + processing time inside the node
+  // The executor shed this frame (queue full or burst-credit throttle);
+  // proc_ms is meaningless. The client counts it as a failed frame without
+  // waiting for the rpc timeout.
+  bool dropped{false};
+  // Server-initiated re-discover hint: nonzero while the manager holds the
+  // node in its overload set. The value identifies the overload episode, so
+  // a client re-runs discovery at most once per episode.
+  std::uint64_t redisc_epoch{0};
+};
+
+// Manager -> node: feedback returned on a load-feedback heartbeat.
+struct HeartbeatAck {
+  // The heartbeat hit an expired (or never-registered) registry entry and
+  // was treated as an explicit re-registration; the node must invalidate
+  // in-flight joins (seqNum bump) so no pre-expiry seqNum is reused.
+  bool rejoined{false};
+  bool degraded{false};          // node is in the manager's overload set
+  std::uint64_t phase_epoch{0};  // overload-episode counter for this node
 };
 
 }  // namespace eden::net

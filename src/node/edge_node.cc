@@ -61,7 +61,33 @@ net::NodeStatus EdgeNode::status() const {
   s.network_tag = config_.network_tag;
   s.endpoint = config_.endpoint;
   s.app_types = config_.app_types;
+  s.queue_depth = executor_.queued();
+  s.burst_credits = executor_.credits_core_sec();
+  s.p95_proc_ms = p95_proc_ms();
   return s;
+}
+
+void EdgeNode::record_proc_sample(double proc_ms) {
+  proc_samples_[proc_sample_next_] = proc_ms;
+  proc_sample_at_[proc_sample_next_] = scheduler_->now();
+  proc_sample_next_ = (proc_sample_next_ + 1) % kP95Window;
+  proc_sample_count_ = std::min(proc_sample_count_ + 1, kP95Window);
+}
+
+double EdgeNode::p95_proc_ms() const {
+  // Only samples fresh enough to describe the node's current condition
+  // count; once the feedback loop steers clients away, the last hot frames
+  // must not pin the reported p95 (and the overload set) high forever.
+  const SimTime now = scheduler_->now();
+  std::array<double, kP95Window> fresh;
+  std::ptrdiff_t n = 0;
+  for (std::size_t i = 0; i < proc_sample_count_; ++i) {
+    if (now - proc_sample_at_[i] <= kP95FreshFor) fresh[n++] = proc_samples_[i];
+  }
+  if (n == 0) return 0.0;
+  const std::ptrdiff_t rank = (n * 95 + 99) / 100 - 1;  // ceil(0.95 n) - 1
+  std::nth_element(fresh.begin(), fresh.begin() + rank, fresh.begin() + n);
+  return fresh[static_cast<std::size_t>(rank)];
 }
 
 void EdgeNode::trace_event(obs::EventKind kind, HostId subject,
@@ -139,8 +165,24 @@ void EdgeNode::handle_offload(const net::FrameRequest& request,
     it->second.last_seen = scheduler_->now();
   }
   executor_.submit(request.cost, [this, frame_id = request.frame_id,
+                                  client = request.client,
                                   done = std::move(done)](double proc_ms) mutable {
     if (!running_) return;
+    if (proc_ms < 0) {
+      // The executor shed the frame. With load feedback on, tell the client
+      // immediately (it fails the frame without burning its rpc timeout);
+      // legacy mode keeps the historical go-dark behavior byte-for-byte.
+      if (!config_.load_feedback) return;
+      ++stats_.frames_shed;
+      trace_event(obs::EventKind::kNodeShed, client, 0,
+                  static_cast<double>(frame_id));
+      net::FrameResponse resp{frame_id, proc_ms};
+      resp.dropped = true;
+      if (degraded_) resp.redisc_epoch = phase_epoch_;
+      done(resp);
+      return;
+    }
+    record_proc_sample(proc_ms);
     ++stats_.frames_processed;
     current_ema_ms_ = has_current_ema_
                           ? (1 - config_.current_ema_alpha) * current_ema_ms_ +
@@ -155,7 +197,13 @@ void EdgeNode::handle_offload(const net::FrameRequest& request,
         scheduler_->now() - last_test_at_ >= config_.min_perf_test_interval) {
       bump_state(0);
     }
-    done(net::FrameResponse{frame_id, proc_ms});
+    net::FrameResponse resp{frame_id, proc_ms};
+    // Piggyback the manager's re-discover hint on successful frames too —
+    // a degraded node that still completes work should shed load before it
+    // starts dropping. degraded_ is only ever set via the feedback ack, so
+    // this is dead when load_feedback is off.
+    if (degraded_) resp.redisc_epoch = phase_epoch_;
+    done(resp);
   });
 }
 
@@ -184,6 +232,17 @@ void EdgeNode::invoke_test_workload(SimDuration delay) {
     ++stats_.test_invocations;
     executor_.submit(1.0, [this](double proc_ms) {
       if (!running_) return;
+      if (proc_ms < 0) {
+        // The executor shed the test frame (saturated admission queue).
+        // Before refusals surfaced through the completion this silently
+        // wedged the what-if cache: test_pending_ stayed true forever and
+        // the node never re-measured. Retry once the pressure has had a
+        // chance to ease.
+        test_pending_ = false;
+        test_rerun_ = false;
+        invoke_test_workload(config_.min_perf_test_interval);
+        return;
+      }
       whatif_ms_ = proc_ms;
       test_pending_ = false;
       if (test_rerun_) {
@@ -217,7 +276,30 @@ void EdgeNode::send_heartbeat() {
                     config_.id, {}, 0,
                     static_cast<double>(attached_.size())});
   }
-  if (manager_ != nullptr) manager_->heartbeat(status());
+  if (manager_ == nullptr) return;
+  if (!config_.load_feedback) {
+    manager_->heartbeat(status());
+    return;
+  }
+  // Telemetry must describe the node *now*: the executor's accounting is
+  // lazy (runs on submit/complete), so an idle node would otherwise report
+  // the zero credit balance of its last busy moment forever — and the
+  // manager's exit thresholds could never clear.
+  executor_.refresh();
+  manager_->heartbeat_feedback(
+      status(), [this](std::optional<net::HeartbeatAck> ack) {
+        if (!running_ || !ack) return;
+        degraded_ = ack->degraded;
+        phase_epoch_ = ack->phase_epoch;
+        if (ack->rejoined) {
+          // The manager had expired us: whatever seqNum clients observed
+          // before the gap must not admit them now. Same critical section
+          // as every other state change, so no seqNum value is reused
+          // across the rejoin. (The manager records the kNodeRejoin event.)
+          ++stats_.rejoins;
+          bump_state(0);
+        }
+      });
 }
 
 void EdgeNode::arm_heartbeat() {

@@ -9,6 +9,7 @@
 // the simulation harness and the TCP runtime wrap them behind net::NodeApi.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -50,6 +51,12 @@ struct EdgeNodeConfig {
   // Attached users that have been silent (no frames, no probes) this long
   // are evicted — they crashed or failed over elsewhere without a Leave().
   SimDuration user_idle_ttl{sec(15.0)};
+  // Overload-aware elasticity: heartbeats ride the feedback rpc (telemetry
+  // up, HeartbeatAck back), shed frames are fast-failed to the client, and
+  // frame responses carry the manager's re-discover hint while degraded.
+  // Off by default — the legacy one-way heartbeat path draws the exact
+  // same RNG sequence as before.
+  bool load_feedback{false};
   // Verification-harness fault: freeze seqNum so every state change keeps
   // the same value. Breaks the Algorithm 1 exactly-one-admission invariant
   // on purpose — eden::check's selftest proves its oracles catch it. Never
@@ -66,6 +73,8 @@ struct EdgeNodeStats {
   std::uint64_t unexpected_joins{0};
   std::uint64_t leaves{0};
   std::uint64_t evictions{0};  // idle users dropped without a Leave()
+  std::uint64_t frames_shed{0};  // executor refusals fast-failed to clients
+  std::uint64_t rejoins{0};      // manager-signaled re-registrations
 };
 
 class EdgeNode {
@@ -107,6 +116,11 @@ class EdgeNode {
   [[nodiscard]] const EdgeNodeStats& stats() const { return stats_; }
   [[nodiscard]] net::NodeStatus status() const;
   [[nodiscard]] Executor& executor() { return executor_; }
+  // p95 over the recent-frame window, 0 before any frame completed.
+  [[nodiscard]] double p95_proc_ms() const;
+  // Manager-declared overload phase, as of the last heartbeat ack.
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] std::uint64_t phase_epoch() const { return phase_epoch_; }
 
   // Simulate the owner starting higher-priority host workloads.
   void set_background_load(double fraction);
@@ -143,7 +157,23 @@ class EdgeNode {
   void evict_idle_users();
   std::unordered_map<ClientId, UserInfo> attached_;
 
+  // Sliding window of recent frame processing times feeding the p95 the
+  // heartbeat telemetry reports. Fixed ring: no allocation, and 32 frames
+  // of history reacts within a second or two at typical offload rates.
+  // Samples age out after kP95FreshFor — a node clients were steered away
+  // from stops reporting its last hot frames forever, so the manager's
+  // exit thresholds can actually clear once the backlog drains.
+  static constexpr std::size_t kP95Window = 32;
+  static constexpr SimDuration kP95FreshFor = sec(10.0);
+  void record_proc_sample(double proc_ms);
+
   bool running_{false};
+  bool degraded_{false};          // per last HeartbeatAck
+  std::uint64_t phase_epoch_{0};  // per last HeartbeatAck
+  std::array<double, kP95Window> proc_samples_{};
+  std::array<SimTime, kP95Window> proc_sample_at_{};
+  std::size_t proc_sample_count_{0};
+  std::size_t proc_sample_next_{0};
   std::uint64_t seq_num_{0};
   double whatif_ms_;
   bool test_pending_{false};

@@ -22,6 +22,15 @@ void Executor::account(SimTime now) {
     credits_ += dt * (config_.burst_baseline * config_.cores -
                       static_cast<double>(busy_));
     credits_ = std::clamp(credits_, 0.0, config_.initial_credits_core_sec);
+    if (config_.shed_on_throttle) {
+      const double rearm =
+          std::min(config_.rearm_credits, config_.initial_credits_core_sec);
+      if (credits_ <= 0.0) {
+        throttle_latched_ = true;
+      } else if (credits_ >= rearm) {
+        throttle_latched_ = false;
+      }
+    }
   }
   constexpr double kTauSec = 2.0;
   const double decay = std::exp(-dt / kTauSec);
@@ -31,7 +40,9 @@ void Executor::account(SimTime now) {
 double Executor::utilization() const { return util_ema_; }
 
 bool Executor::throttled() const {
-  return config_.burstable && credits_ <= 0.0;
+  if (!config_.burstable) return false;
+  if (config_.shed_on_throttle) return throttle_latched_ || credits_ <= 0.0;
+  return credits_ <= 0.0;
 }
 
 double Executor::service_multiplier() const {
@@ -50,13 +61,23 @@ void Executor::set_background_load(double fraction) {
 void Executor::submit(double cost, Completion done) {
   account(scheduler_->now());
   Job job{cost, std::move(done), scheduler_->now()};
+  // A throttled burstable instance drains at burst_baseline speed, so only
+  // the matching share of the queue can be served before it goes stale.
+  int limit = config_.max_queue;
+  if (config_.shed_on_throttle && throttled() && limit > 0) {
+    limit = std::max(
+        1, static_cast<int>(limit * std::clamp(config_.burst_baseline, 0.0, 1.0)));
+  }
   if (busy_ < config_.cores) {
     start(std::move(job));
-  } else if (config_.max_queue <= 0 ||
-             static_cast<int>(queue_.size()) < config_.max_queue) {
+  } else if (config_.max_queue <= 0 || static_cast<int>(queue_.size()) < limit) {
     queue_.push_back(std::move(job));
   } else {
-    ++dropped_;  // shed load: the sender's timeout handles the rest
+    // Shed load. The refusal is reported through the completion (exactly
+    // once, like every other outcome) so the layer above can fail the frame
+    // fast instead of leaving the sender to its timeout.
+    ++dropped_;
+    if (job.done) job.done(kShedMs);
   }
 }
 

@@ -29,21 +29,42 @@ struct ExecutorConfig {
   // Fraction of compute taken by higher-priority host workloads (volunteer
   // machines run their owners' tasks too).
   double background_load{0.0};
-  // Admission bound: jobs arriving at a longer queue are dropped (their
-  // completion callback never fires). Keeps an overloaded node's backlog —
-  // and the latency of whatever it still completes — finite, like a real
-  // server shedding stale frames.
+  // Admission bound: jobs arriving at a longer queue are shed — their
+  // completion fires immediately with kShedMs. Keeps an overloaded node's
+  // backlog — and the latency of whatever it still completes — finite,
+  // like a real server shedding stale frames.
   int max_queue{64};
+  // When a burstable executor runs out of credits, also shed arrivals
+  // beyond the baseline share of the queue (max_queue * burst_baseline):
+  // a throttled instance can't drain a full-depth backlog before every
+  // entry is stale. Opt-in because it changes admission behavior.
+  //
+  // The flag also *latches* the throttle: once credits hit zero the
+  // executor stays throttled until the balance recovers to rearm_credits
+  // (clamped to the initial balance). Instantaneous sampling lets a node
+  // under sub-core load ride the zero floor — a few idle milliseconds
+  // before each submit earn just enough credit to dodge the throttle
+  // forever, which no real burstable instance can do. Legacy mode keeps
+  // the historical instantaneous check byte-for-byte.
+  bool shed_on_throttle{false};
+  double rearm_credits{1.0};
 };
 
 class Executor {
  public:
-  // `done(proc_ms)` receives queueing + service time for the job.
-  // Capacity 72 (one step above the protocol-wide 48) because the offload
+  // `done(proc_ms)` receives queueing + service time for the job, or
+  // kShedMs when the executor refused it (queue full / credit throttle).
+  // Every submitted job's completion fires exactly once — except across
+  // reset(), which deliberately silences the generation it cut off.
+  // Capacity 80 (two steps above the protocol-wide 48) because the offload
   // completion nests a whole net::Done<FrameResponse> (56 bytes) next to
-  // the node pointer and frame id — move-only SBO keeps that chain of
-  // callbacks allocation-free end to end.
-  using Completion = sim::BasicFunc<72, double /*proc_ms*/>;
+  // the node pointer, frame id and client id — move-only SBO keeps that
+  // chain of callbacks allocation-free end to end.
+  using Completion = sim::BasicFunc<80, double /*proc_ms*/>;
+
+  // Sentinel passed to a shed job's completion; any negative proc_ms means
+  // "not processed".
+  static constexpr double kShedMs = -1.0;
 
   Executor(sim::Scheduler& scheduler, ExecutorConfig config);
 
@@ -56,6 +77,12 @@ class Executor {
 
   void set_background_load(double fraction);
 
+  // Bring the lazy credit/utilization accounting up to now. Telemetry
+  // readers (heartbeat status) call this before sampling — an idle
+  // executor otherwise reports the credits it had when its last job
+  // finished, which can hold a recovered node in the overload set forever.
+  void refresh() { account(scheduler_->now()); }
+
   [[nodiscard]] int busy() const { return busy_; }
   [[nodiscard]] int queued() const { return static_cast<int>(queue_.size()); }
   // Exponentially smoothed busy-core fraction in [0, 1].
@@ -63,6 +90,8 @@ class Executor {
   [[nodiscard]] double credits_core_sec() const { return credits_; }
   [[nodiscard]] bool throttled() const;
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  // Jobs shed at admission: queue-full drops plus (when shed_on_throttle)
+  // arrivals refused while credit-throttled.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] const ExecutorConfig& config() const { return config_; }
 
@@ -96,6 +125,7 @@ class Executor {
   std::vector<InFlight> inflight_;
   std::uint32_t inflight_free_head_{kNoFreeSlot};
   int busy_{0};
+  bool throttle_latched_{false};  // shed_on_throttle mode only
   std::uint64_t generation_{0};
   std::uint64_t completed_{0};
   std::uint64_t dropped_{0};

@@ -62,9 +62,23 @@ enum class EventKind : std::uint8_t {
   kNodeLeave,          // subject = client that left
   kNodeEvict,          // subject = client evicted after user_idle_ttl
   kSeqNumBump,         // value = the new seqNum after the state change
+  // Overload-aware elasticity (load-feedback phase switching).
+  kNodeRejoin,         // heartbeat re-registered an expired/unknown node
+                       // (actor = node; value = 1 if a stale entry was
+                       // replaced, 0 if the entry was already gone)
+  kOverloadEnter,      // manager overload-set entry; actor = node;
+                       // value = the new phase epoch
+  kOverloadExit,       // manager overload-set exit; actor = node;
+                       // value = seconds spent overloaded
+  kRediscHint,         // client honored a re-discover hint; actor = client;
+                       // subject = degraded node; value = phase epoch
+  kNodeShed,           // executor shed a frame; actor = node;
+                       // subject = client; value = frame id
+  kCellShed,           // discovery in an all-hot cell shed toward cloud/LZ;
+                       // actor = requesting client; value = hot node count
 };
 
-inline constexpr std::size_t kEventKindCount = 29;
+inline constexpr std::size_t kEventKindCount = 35;
 
 [[nodiscard]] const char* to_string(EventKind kind);
 [[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name);

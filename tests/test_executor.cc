@@ -231,5 +231,75 @@ TEST_P(ExecutorLoadSweep, LatencyMonotoneInLoad) {
 
 INSTANTIATE_TEST_SUITE_P(Cores, ExecutorLoadSweep, ::testing::Values(1, 2, 4, 8));
 
+TEST_F(ExecutorTest, QueueFullShedFiresCompletionWithShedSentinel) {
+  ExecutorConfig config = base_config(1, 30.0);
+  config.max_queue = 2;
+  Executor exec(scheduler_, config);
+  std::vector<double> results;
+  for (int i = 0; i < 5; ++i) {
+    exec.submit(1.0, [&](double ms) { results.push_back(ms); });
+  }
+  // 1 running + 2 queued admitted; the other 2 are shed synchronously.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], Executor::kShedMs);
+  EXPECT_EQ(results[1], Executor::kShedMs);
+  EXPECT_EQ(exec.dropped(), 2u);
+  simulator_.run_all();
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    EXPECT_GE(results[i], 30.0 - 1e-6);
+  }
+  EXPECT_EQ(exec.completed(), 3u);
+  EXPECT_EQ(exec.completed() + exec.dropped(), 5u);
+}
+
+TEST_F(ExecutorTest, ThrottleShedTightensAdmissionToBaselineShare) {
+  ExecutorConfig config = base_config(1, 10.0);
+  config.max_queue = 10;
+  config.burstable = true;
+  config.burst_baseline = 0.4;
+  config.initial_credits_core_sec = 0.05;  // throttles almost immediately
+  config.shed_on_throttle = true;
+  Executor exec(scheduler_, config);
+  // Burn the credits with a long job and submit the burst while it still
+  // runs — an idle executor earns its baseline back and un-throttles.
+  exec.submit(100.0, [](double) {});
+  simulator_.run_until(simulator_.now() + msec(500.0));
+  exec.set_background_load(0.0);  // force a credit-accounting pass
+  ASSERT_TRUE(exec.throttled());
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    exec.submit(1.0, [&](double ms) { (ms >= 0 ? admitted : shed) += 1; });
+  }
+  // Throttled admission limit is max_queue * burst_baseline = 4, not 10.
+  EXPECT_EQ(exec.queued(), 4);
+  EXPECT_EQ(shed, 6);
+  simulator_.run_all();
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(shed, 6);
+}
+
+TEST_F(ExecutorTest, ThrottleShedOffKeepsFullQueueDepth) {
+  ExecutorConfig config = base_config(1, 10.0);
+  config.max_queue = 10;
+  config.burstable = true;
+  config.burst_baseline = 0.4;
+  config.initial_credits_core_sec = 0.05;
+  config.shed_on_throttle = false;  // default: admission unchanged
+  Executor exec(scheduler_, config);
+  exec.submit(100.0, [](double) {});
+  simulator_.run_until(simulator_.now() + msec(500.0));
+  exec.set_background_load(0.0);  // force a credit-accounting pass
+  ASSERT_TRUE(exec.throttled());
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    exec.submit(1.0, [&](double ms) { shed += (ms < 0) ? 1 : 0; });
+  }
+  EXPECT_EQ(exec.queued(), 10);
+  EXPECT_EQ(shed, 0);
+  simulator_.run_all();
+}
+
 }  // namespace
 }  // namespace eden::node

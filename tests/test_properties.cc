@@ -91,15 +91,24 @@ TEST_P(ExecutorConservation, NothingLostNothingInvented) {
 
   const int submitted = 200;
   int completions = 0;
+  int drops = 0;
   for (int i = 0; i < submitted; ++i) {
     simulator.schedule_at(
-        static_cast<SimTime>(rng.uniform(0, 2'000'000)), [&executor, &completions, &rng] {
+        static_cast<SimTime>(rng.uniform(0, 2'000'000)),
+        [&executor, &completions, &drops, &rng] {
           executor.submit(rng.uniform(0.5, 2.0),
-                          [&completions](double) { ++completions; });
+                          [&completions, &drops](double ms) {
+                            if (ms >= 0) {
+                              ++completions;
+                            } else {
+                              ++drops;
+                            }
+                          });
         });
   }
   simulator.run_all();
   EXPECT_EQ(static_cast<std::uint64_t>(completions), executor.completed());
+  EXPECT_EQ(static_cast<std::uint64_t>(drops), executor.dropped());
   EXPECT_EQ(executor.completed() + executor.dropped(),
             static_cast<std::uint64_t>(submitted));
   EXPECT_EQ(executor.busy(), 0);

@@ -1,0 +1,60 @@
+// Replayed repro regression tests: every committed `.eden-repro` under
+// tests/repros/ is re-run through the fuzz harness and must hold every
+// oracle. The files pin exact overload-regime scenarios (burstable
+// anchors, flash-crowd / diurnal / slow-leak load shapes) independent of
+// future generator changes — if a regression re-breaks the admission,
+// heartbeat or feedback paths in this regime, the oracles fire here
+// without waiting for a sweep to rediscover the seed. Also pins the repro
+// parser's backward compatibility: the files are v3 on-disk artifacts.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/repro.h"
+#include "harness/parallel_runner.h"
+
+namespace eden {
+namespace {
+
+class ReproReplay : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReproReplay, ReplaysCleanAndDeterministically) {
+  const std::string path =
+      std::string(EDEN_REPROS_DIR) + "/" + GetParam() + ".eden-repro";
+  const auto repro = check::load_repro(path);
+  ASSERT_TRUE(repro.has_value()) << "cannot parse " << path;
+  // Curation guard: these scenarios exist to exercise the overload loop.
+  EXPECT_TRUE(repro->spec.load_feedback);
+  bool burstable = false;
+  for (const auto& n : repro->spec.nodes) burstable |= n.burstable;
+  EXPECT_TRUE(burstable);
+
+  const check::RunReport report = check::run_spec(repro->spec);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << "[" << v.oracle << "] " << v.message;
+  }
+  EXPECT_GT(report.frames_ok, 0u);
+  EXPECT_NE(report.trace_digest, 0u);
+
+  // The committed spec must replay bitwise-identically on any pool width.
+  harness::ParallelRunner wide(4);
+  std::vector<std::function<std::uint64_t()>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.emplace_back(
+        [&repro] { return check::run_spec(repro->spec).trace_digest; });
+  }
+  for (const std::uint64_t d : wide.map(std::move(jobs))) {
+    EXPECT_EQ(d, report.trace_digest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommittedRepros, ReproReplay,
+                         ::testing::Values("overload_flash_crowd_burstable",
+                                           "overload_diurnal_wave_burstable",
+                                           "overload_slow_leak_burstable"));
+
+}  // namespace
+}  // namespace eden

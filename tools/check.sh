@@ -74,4 +74,15 @@ build-release/tools/eden_check --selftest --jobs "$JOBS" --out "$SMOKE_REPRO"
 build-release/tools/eden_check --seeds 400 --seed-base 1 --jobs "$JOBS" \
   --budget-sec 60 --out "$SMOKE_REPRO"
 
+echo "=== [release] overload fuzz smoke (eden_check --overload) ==="
+# Same budgeted sweep over the overload scenario families (flash crowds,
+# diurnal waves, slow credit leaks) with the starvation oracle armed.
+build-release/tools/eden_check --seeds 400 --seed-base 1 --overload \
+  --jobs "$JOBS" --budget-sec 60 --out "$SMOKE_REPRO"
+
+echo "=== [release] flash-crowd smoke (load-feedback phase switching) ==="
+# The curated overload figure at quarter scale: feedback-on must beat
+# feedback-off on burst-window p95 without completing fewer frames.
+build-release/bench/bench_flash_crowd --smoke --assert-improves
+
 echo "=== all presets green ==="

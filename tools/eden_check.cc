@@ -36,18 +36,29 @@ struct Args {
   std::uint64_t seed{0};
   unsigned jobs{0};  // 0 = hardware concurrency
   std::string replay_path;
+  std::string dump_path;  // --seed S --dump-spec PATH: persist the spec
   std::string out_path{"failure.eden-repro"};
   bool expect_violation{false};
   bool selftest{false};
   double budget_sec{0.0};  // 0 = unbounded
+  // Layer the overload generator families (flash crowd / diurnal wave /
+  // slow leak, load feedback on) onto every generated seed.
+  bool overload{false};
+
+  [[nodiscard]] check::FuzzLimits limits() const {
+    check::FuzzLimits out;
+    out.overload_families = overload;
+    return out;
+  }
 };
 
 void usage() {
   std::fprintf(
       stderr,
       "usage: eden_check [--seeds N] [--seed-base B] [--seed S] [--jobs K]\n"
-      "                  [--budget-sec S] [--out PATH]\n"
-      "                  [--replay PATH [--expect-violation]] [--selftest]\n");
+      "                  [--budget-sec S] [--out PATH] [--overload]\n"
+      "                  [--replay PATH [--expect-violation]] [--selftest]\n"
+      "                  [--seed S --dump-spec PATH]\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -85,8 +96,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.replay_path = v;
+    } else if (flag == "--dump-spec") {
+      const char* v = next();
+      if (!v) return false;
+      args.dump_path = v;
     } else if (flag == "--expect-violation") {
       args.expect_violation = true;
+    } else if (flag == "--overload") {
+      args.overload = true;
     } else if (flag == "--selftest") {
       args.selftest = true;
     } else {
@@ -125,11 +142,12 @@ void print_summary(std::uint64_t seed, const check::RunReport& report) {
 // Shrink the failing spec, persist the repro, and prove the file replays
 // to the same oracle with the same digest. Returns the process exit code.
 int shrink_and_persist(std::uint64_t seed, const check::RunReport& report,
-                       const std::string& out_path) {
+                       const std::string& out_path,
+                       const check::FuzzLimits& limits) {
   const std::string target = report.violations.front().oracle;
   std::printf("shrinking seed %llu (target oracle: %s)...\n",
               static_cast<unsigned long long>(seed), target.c_str());
-  const check::ScenarioSpec initial = check::generate_spec(seed);
+  const check::ScenarioSpec initial = check::generate_spec(seed, limits);
   const check::ShrinkResult shrunk = check::shrink(initial, target);
   if (!shrunk.accepted) {
     std::fprintf(stderr,
@@ -195,10 +213,12 @@ int run_sweep(const Args& args) {
         std::min<std::uint64_t>(chunk, args.seeds - checked);
     std::vector<std::function<check::RunReport()>> jobs;
     jobs.reserve(batch);
+    const check::FuzzLimits limits = args.limits();
     for (std::uint64_t i = 0; i < batch; ++i) {
       const std::uint64_t seed = args.seed_base + checked + i;
-      jobs.emplace_back(
-          [seed] { return check::run_spec(check::generate_spec(seed)); });
+      jobs.emplace_back([seed, limits] {
+        return check::run_spec(check::generate_spec(seed, limits));
+      });
     }
     const std::vector<check::RunReport> reports = runner.map(std::move(jobs));
     for (std::uint64_t i = 0; i < batch; ++i) {
@@ -208,7 +228,8 @@ int run_sweep(const Args& args) {
                   static_cast<unsigned long long>(seed),
                   reports[i].violations.size());
       print_violations(seed, reports[i]);
-      return shrink_and_persist(seed, reports[i], args.out_path);
+      return shrink_and_persist(seed, reports[i], args.out_path,
+                                args.limits());
     }
     checked += batch;
   }
@@ -222,7 +243,7 @@ int run_sweep(const Args& args) {
 }
 
 int run_single(const Args& args) {
-  const check::ScenarioSpec spec = check::generate_spec(args.seed);
+  const check::ScenarioSpec spec = check::generate_spec(args.seed, args.limits());
   const check::RunReport report = check::run_spec(spec);
   std::printf(
       "spec: %zu nodes, %zu clients, %zu faults, horizon %.1fs, jitter "
@@ -236,6 +257,28 @@ int run_single(const Args& args) {
   if (!report.ok()) {
     print_violations(args.seed, report);
     return 1;
+  }
+  // --dump-spec: persist the generated spec as a repro file (no target
+  // oracle — a replay just re-runs it and reports whatever fires). Used to
+  // curate regression scenarios: the committed file pins today's exact
+  // topology and timeline independent of future generator changes.
+  if (!args.dump_path.empty()) {
+    check::ReproFile repro;
+    repro.spec = spec;
+    if (!check::write_repro(args.dump_path, repro)) {
+      std::fprintf(stderr, "eden_check: cannot write %s\n",
+                   args.dump_path.c_str());
+      return 2;
+    }
+    const auto loaded = check::load_repro(args.dump_path);
+    if (!loaded || !(*loaded == repro)) {
+      std::fprintf(stderr, "eden_check: %s did not round-trip\n",
+                   args.dump_path.c_str());
+      return 3;
+    }
+    std::printf("spec written to %s (digest %016llx)\n",
+                args.dump_path.c_str(),
+                static_cast<unsigned long long>(report.trace_digest));
   }
   return 0;
 }
