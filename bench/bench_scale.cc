@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "common/table.h"
 #include "geo/geohash.h"
 #include "harness/experiments.h"
+#include "harness/sharded_scenario.h"
 #include "manager/central_manager.h"
 
 using namespace eden;
@@ -126,7 +128,9 @@ DiscoveryResult run_discovery_bench(int nodes, int queries) {
 
   // Legacy pipeline: what CentralManager::handle_discover did before the
   // geo index — one full snapshot copy per query, then the linear widening
-  // scan over every entry.
+  // scan over every entry. The deprecated shim is the thing being measured.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const double legacy_sec = wall_seconds([&] {
     for (const auto& request : requests) {
       const auto response =
@@ -135,6 +139,7 @@ DiscoveryResult run_discovery_bench(int nodes, int queries) {
           (result.checksum_legacy * 31) ^ response_checksum(response);
     }
   });
+#pragma GCC diagnostic pop
   result.legacy_qps = queries / legacy_sec;
 
   // Indexed pipeline: bucket-pruned candidate visitation straight off the
@@ -251,6 +256,135 @@ ScaleResult run_scale_scenario(int clients, int nodes, double sim_seconds) {
   return result;
 }
 
+// ---- phase 3: shard sweep ----
+//
+// The same smoke-scale fleet through harness::ShardedScenario at several
+// shard counts. frames_ok and the latency percentiles must be identical in
+// every entry (conservative windows change nothing observable); per-shard
+// event counts and the barrier-stall fraction quantify the parallel
+// headroom a multi-core host would get out of the partition.
+
+struct ShardSweepResult {
+  unsigned shards{0};
+  double build_sec{0};
+  double run_sec{0};
+  std::uint64_t events{0};
+  std::uint64_t frames_ok{0};
+  double latency_p50_ms{0};
+  double latency_p99_ms{0};
+  std::uint64_t windows{0};
+  double window_ms{0};
+  std::uint64_t cross_shard_messages{0};
+  // stalled (domain, window) pairs / (windows * shards): the fraction of
+  // per-window domain slots that had nothing to do — idle barrier time a
+  // parallel pool cannot recover.
+  double stall_fraction{0};
+  std::vector<std::uint64_t> events_per_domain;
+};
+
+ShardSweepResult run_shard_scenario(int clients, int nodes,
+                                    double sim_seconds, unsigned shards) {
+  ShardSweepResult result;
+  result.shards = shards;
+
+  harness::ShardedConfig config;
+  config.base.seed = 7;
+  config.shards = shards;
+  // Exercise the window loop even at one shard so every entry measures the
+  // same machinery and the stall fraction is comparable.
+  config.force_windows = true;
+  auto scenario = std::make_unique<harness::ShardedScenario>(config);
+  // Same layout stream as run_scale_scenario: fork() is a pure function of
+  // (seed, name), so the fleet geometry matches the sequential bench.
+  Rng layout = Rng(config.base.seed).fork("scale-layout");
+
+  result.build_sec = wall_seconds([&] {
+    const std::size_t first_node = scenario->add_nodes(
+        harness::NodeSpec{}, static_cast<std::size_t>(nodes),
+        [&](std::size_t i, harness::NodeSpec& spec) {
+          spec = fleet_node_spec(i, layout);
+        });
+    for (std::size_t i = 0; i < static_cast<std::size_t>(nodes); ++i) {
+      scenario->start_node(first_node + i);
+    }
+    const std::size_t first_client = scenario->add_edge_clients(
+        [&](std::size_t i) {
+          harness::ClientSpot spot;
+          spot.name = "u" + std::to_string(i);
+          spot.position = harness::random_point_near(kMetroCenter, 40.0, layout);
+          spot.network_tag = (i % 2 == 0) ? "isp-a" : "isp-b";
+          return spot;
+        },
+        [](std::size_t) {
+          client::ClientConfig client_config;
+          client_config.top_n = 3;
+          client_config.app.max_fps = 2.0;
+          client_config.app.min_fps = 0.5;
+          client_config.app.adaptive_rate = false;
+          return client_config;
+        },
+        static_cast<std::size_t>(clients));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(clients); ++i) {
+      const SimTime start_at =
+          msec(5000.0 * static_cast<double>(i) / std::max(1, clients));
+      scenario->schedule_at_client(
+          first_client + i, start_at,
+          [](client::EdgeClient& c) { c.start(); });
+    }
+  });
+
+  result.run_sec =
+      wall_seconds([&] { scenario->run_until(sec(sim_seconds)); });
+
+  const harness::FleetStats fleet = scenario->fleet_stats();
+  result.frames_ok = fleet.totals.frames_ok;
+  result.latency_p50_ms = fleet.latency_p50_ms;
+  result.latency_p99_ms = fleet.latency_p99_ms;
+  const harness::ShardStats stats = scenario->shard_stats();
+  result.events_per_domain = stats.events_per_domain;
+  for (const std::uint64_t e : stats.events_per_domain) result.events += e;
+  result.windows = stats.windows;
+  result.window_ms = to_ms(stats.window_length);
+  result.cross_shard_messages = stats.cross_shard_messages;
+  const std::uint64_t slots = stats.windows * shards;
+  if (slots > 0) {
+    result.stall_fraction =
+        static_cast<double>(stats.stalled_domain_windows) /
+        static_cast<double>(slots);
+  }
+  return result;
+}
+
+bool sweep_identical(const std::vector<ShardSweepResult>& sweep) {
+  for (const ShardSweepResult& r : sweep) {
+    if (r.frames_ok != sweep.front().frames_ok ||
+        r.latency_p50_ms != sweep.front().latency_p50_ms ||
+        r.latency_p99_ms != sweep.front().latency_p99_ms) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_shard_sweep(const std::vector<ShardSweepResult>& sweep) {
+  Table table({"shards", "run (s)", "events", "frames ok", "p50 (ms)",
+               "p99 (ms)", "windows", "cross msgs", "stall"});
+  for (const ShardSweepResult& r : sweep) {
+    table.add_row(
+        {Table::integer(static_cast<std::int64_t>(r.shards)),
+         Table::num(r.run_sec, 2),
+         Table::integer(static_cast<std::int64_t>(r.events)),
+         Table::integer(static_cast<std::int64_t>(r.frames_ok)),
+         Table::num(r.latency_p50_ms, 1), Table::num(r.latency_p99_ms, 1),
+         Table::integer(static_cast<std::int64_t>(r.windows)),
+         Table::integer(static_cast<std::int64_t>(r.cross_shard_messages)),
+         Table::num(r.stall_fraction, 3)});
+  }
+  table.print();
+  std::printf("observables identical across shard counts: %s\n",
+              sweep_identical(sweep) ? "yes" : "NO — DETERMINISM BUG");
+}
+
 void print_scale(const ScaleResult& r) {
   Table table({"clients", "nodes", "build (s)", "run (s)", "events", "RSS (MB)",
                "frames ok", "p50 (ms)", "p99 (ms)"});
@@ -264,7 +398,8 @@ void print_scale(const ScaleResult& r) {
 }
 
 void write_json(const std::string& path, const DiscoveryResult& disc,
-                const ScaleResult& main_run, const ScaleResult& smoke) {
+                const ScaleResult& main_run, const ScaleResult& smoke,
+                const std::vector<ShardSweepResult>& sweep) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_scale: cannot write %s\n", path.c_str());
@@ -299,6 +434,34 @@ void write_json(const std::string& path, const DiscoveryResult& disc,
   scale_json("scale", main_run);
   std::fprintf(f, ",\n");
   scale_json("smoke", smoke);
+  if (!sweep.empty()) {
+    // One line per entry so shell gates can grep a whole record at once.
+    std::fprintf(f, ",\n  \"shard_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const ShardSweepResult& r = sweep[i];
+      std::fprintf(f,
+                   "    {\"shards\": %u, \"build_sec\": %.3f, "
+                   "\"run_sec\": %.3f, \"events\": %llu, "
+                   "\"frames_ok\": %llu, \"latency_p50_ms\": %.1f, "
+                   "\"latency_p99_ms\": %.1f, \"windows\": %llu, "
+                   "\"window_ms\": %.3f, \"cross_shard_messages\": %llu, "
+                   "\"stall_fraction\": %.4f, \"events_per_domain\": [",
+                   r.shards, r.build_sec, r.run_sec,
+                   static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.frames_ok),
+                   r.latency_p50_ms, r.latency_p99_ms,
+                   static_cast<unsigned long long>(r.windows), r.window_ms,
+                   static_cast<unsigned long long>(r.cross_shard_messages),
+                   r.stall_fraction);
+      for (std::size_t d = 0; d < r.events_per_domain.size(); ++d) {
+        std::fprintf(f, "%s%llu", d == 0 ? "" : ", ",
+                     static_cast<unsigned long long>(r.events_per_domain[d]));
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"identical_across_shards\": %s",
+                 sweep_identical(sweep) ? "true" : "false");
+  }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("\njson -> %s\n", path.c_str());
@@ -314,6 +477,7 @@ int main(int argc, char** argv) {
   int disc_queries = 20'000;
   std::string json_path;
   bool json = false;
+  std::string shard_list = "1,2,4,8";  // "0" skips the sweep
   for (int i = 1; i < argc; ++i) {
     const auto int_flag = [&](const char* flag, int& out) {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
@@ -329,6 +493,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_list = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
@@ -366,6 +532,29 @@ int main(int argc, char** argv) {
     print_scale(main_run);
   }
 
-  if (json) write_json(json_path, disc, main_run, smoke);
+  // Shard sweep at smoke scale: same fleet through the geohash-partitioned
+  // simulator; every entry must report identical observables.
+  std::vector<ShardSweepResult> sweep;
+  {
+    const char* p = shard_list.c_str();
+    while (*p != '\0') {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) {
+        sweep.push_back(
+            run_shard_scenario(2000, 200, seconds,
+                               static_cast<unsigned>(v)));
+      }
+      p = (*end == ',') ? end + 1 : end;
+    }
+  }
+  if (!sweep.empty()) {
+    std::printf("\n");
+    print_section("shard sweep (2000 clients / 200 nodes, sharded harness)");
+    print_shard_sweep(sweep);
+  }
+
+  if (json) write_json(json_path, disc, main_run, smoke, sweep);
   return 0;
 }

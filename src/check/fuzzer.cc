@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "common/rng.h"
+#include "geo/geopoint.h"
 #include "harness/scenario.h"
+#include "manager/registry.h"
 #include "net/sim_network.h"
 
 namespace eden::check {
@@ -481,10 +484,12 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     client::EdgeClient& c = scenario.edge_client(i);
     end.clients.push_back({c.id(), c.current_node(), c.stats()});
   }
-  for (const auto& entry :
-       scenario.central_manager().registry().snapshot(horizon)) {
-    end.registry_live.push_back(entry.status.node);
-  }
+  scenario.central_manager().registry().for_each_live(
+      "", horizon,
+      [&end](const manager::RegistryEntry& entry,
+             const std::optional<geo::GeoPoint>&) {
+        end.registry_live.push_back(entry.status.node);
+      });
   std::sort(end.registry_live.begin(), end.registry_live.end(),
             [](NodeId a, NodeId b) { return a.value < b.value; });
   for (const auto& c : end.clients) {

@@ -1,0 +1,43 @@
+#include "harness/fleet.h"
+
+#include <algorithm>
+
+namespace eden::harness {
+
+namespace {
+// Same interpolation as Samples::percentile, over an already-sorted buffer.
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+void FleetStatsBuilder::add(const client::EdgeClient& client) {
+  ++out_.clients;
+  out_.totals += client.stats();
+  for (const double v : client.latency_samples().values()) {
+    all_.push_back(v);
+    sum_ += v;
+  }
+}
+
+FleetStats FleetStatsBuilder::finish() {
+  out_.latency_count = all_.size();
+  if (!all_.empty()) {
+    std::sort(all_.begin(), all_.end());
+    out_.latency_mean_ms = sum_ / static_cast<double>(all_.size());
+    out_.latency_p50_ms = percentile_sorted(all_, 50.0);
+    out_.latency_p90_ms = percentile_sorted(all_, 90.0);
+    out_.latency_p99_ms = percentile_sorted(all_, 99.0);
+    out_.latency_max_ms = all_.back();
+  }
+  return out_;
+}
+
+}  // namespace eden::harness

@@ -7,14 +7,12 @@
 #include <thread>
 #include <utility>
 
+#include "harness/window_pool.h"
+
 namespace eden::harness {
 
-ParallelRunner::ParallelRunner(unsigned threads) : threads_(threads) {
-  if (threads_ == 0) {
-    threads_ = std::thread::hardware_concurrency();
-    if (threads_ == 0) threads_ = 1;
-  }
-}
+ParallelRunner::ParallelRunner(unsigned threads)
+    : threads_(resolve_thread_count(threads)) {}
 
 void ParallelRunner::run(std::vector<std::function<void()>> jobs) const {
   const std::size_t count = jobs.size();

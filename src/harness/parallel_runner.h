@@ -16,7 +16,10 @@ namespace eden::harness {
 
 class ParallelRunner {
  public:
-  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  // threads == 0 picks std::thread::hardware_concurrency(), clamped to a
+  // minimum of 1 when the platform cannot report its parallelism — see
+  // resolve_thread_count() in harness/window_pool.h for the shared
+  // contract.
   explicit ParallelRunner(unsigned threads = 0);
 
   [[nodiscard]] unsigned threads() const { return threads_; }

@@ -19,18 +19,6 @@ std::unique_ptr<net::NetworkModel> make_builtin_model(NetKind kind,
                                               jitter_sigma);
 }
 
-// Same interpolation as Samples::percentile, over an already-sorted buffer.
-double percentile_sorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  if (sorted.size() == 1) return sorted[0];
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
-}
-
 }  // namespace
 
 Scenario::Scenario(ScenarioConfig config, NetKind kind, double default_rtt_ms,
@@ -67,12 +55,11 @@ void Scenario::enable_observability() {
   trace_recorder_ = std::make_unique<obs::TraceRecorder>();
   metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
   manager_->set_observability(trace_recorder_.get(), metrics_registry_.get());
-  for (auto& runtime : nodes_) {
-    runtime.node.set_observability(trace_recorder_.get());
+  for (auto& node : nodes_.nodes) {
+    node.set_observability(trace_recorder_.get());
   }
-  for (auto& runtime : edge_clients_) {
-    runtime.client.set_observability(trace_recorder_.get(),
-                                     metrics_registry_.get());
+  for (auto& client : edge_clients_.clients) {
+    client.set_observability(trace_recorder_.get(), metrics_registry_.get());
   }
 }
 
@@ -146,13 +133,14 @@ std::size_t Scenario::add_node(const NodeSpec& spec) {
   const HostId host = allocate_host();
   register_position(host, spec.position, spec.tier, spec.extra_rtt_ms,
                     spec.network_tag);
-  NodeRuntime& runtime = nodes_.emplace_back(
+  const std::size_t index = nodes_.emplace(
       spec, host, *fabric_, *manager_, manager_host_, scheduler_,
       make_node_config(spec, host), config_.timeouts, config_.wire_sizes);
-  if (trace_recorder_) runtime.node.set_observability(trace_recorder_.get());
-  stubs_by_id_[runtime.node.id()] = &runtime.stub;
-  node_index_by_id_[runtime.node.id()] = nodes_.size() - 1;
-  return nodes_.size() - 1;
+  node::EdgeNode& node = nodes_.nodes[index];
+  if (trace_recorder_) node.set_observability(trace_recorder_.get());
+  stubs_by_id_[node.id()] = &nodes_.stubs[index];
+  node_index_by_id_[node.id()] = index;
+  return index;
 }
 
 std::size_t Scenario::add_nodes(const NodeSpec& base, std::size_t count,
@@ -180,15 +168,13 @@ std::optional<std::size_t> Scenario::node_index(NodeId id) const {
 }
 
 void Scenario::start_node(std::size_t index) {
-  auto& runtime = nodes_[index];
-  hosts_.set_alive(runtime.host, true);
-  runtime.node.start();
+  hosts_.set_alive(nodes_.hosts[index], true);
+  nodes_.nodes[index].start();
 }
 
 void Scenario::stop_node(std::size_t index, bool graceful) {
-  auto& runtime = nodes_[index];
-  runtime.node.stop(graceful);
-  hosts_.set_alive(runtime.host, false);
+  nodes_.nodes[index].stop(graceful);
+  hosts_.set_alive(nodes_.hosts[index], false);
 }
 
 void Scenario::schedule_node_start(std::size_t index, SimTime at) {
@@ -215,13 +201,13 @@ client::EdgeClient& Scenario::add_edge_client(const ClientSpot& spot,
   if (config.geohash.empty()) config.geohash = geohash_of(spot.position);
   if (config.network_tag.empty()) config.network_tag = spot.network_tag;
 
-  EdgeClientRuntime& runtime = edge_clients_.emplace_back(
+  const std::size_t index = edge_clients_.emplace(
       spot, host, scheduler_, *manager_stub_, resolver(), std::move(config));
+  client::EdgeClient& client = edge_clients_.clients[index];
   if (trace_recorder_) {
-    runtime.client.set_observability(trace_recorder_.get(),
-                                     metrics_registry_.get());
+    client.set_observability(trace_recorder_.get(), metrics_registry_.get());
   }
-  return runtime.client;
+  return client;
 }
 
 std::size_t Scenario::add_edge_clients(const ClientSpotFn& spot_fn,
@@ -239,26 +225,28 @@ baselines::StaticClient& Scenario::add_static_client(const ClientSpot& spot,
   const HostId host = allocate_host();
   hosts_.set_alive(host, true);
   register_position(host, spot.position, spot.tier, 0.0, spot.network_tag);
-  StaticClientRuntime& runtime = static_clients_.emplace_back(
-      spot, host, scheduler_, resolver(), std::move(app));
-  return runtime.client;
+  const std::size_t index =
+      static_clients_.emplace(spot, host, scheduler_, resolver(),
+                              std::move(app));
+  return static_clients_.clients[index];
 }
 
 std::vector<baselines::NodeInfo> Scenario::node_infos() const {
   std::vector<baselines::NodeInfo> out;
   out.reserve(nodes_.size());
-  for (const auto& runtime : nodes_) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeSpec& spec = nodes_.specs[i];
     baselines::NodeInfo info;
-    info.id = runtime.node.id();
-    info.name = runtime.spec.name;
-    info.position = runtime.spec.position;
-    info.cores = runtime.spec.cores;
-    info.base_frame_ms = runtime.spec.base_frame_ms;
-    info.dedicated = runtime.spec.dedicated;
-    info.is_cloud = runtime.spec.is_cloud;
-    info.burstable = runtime.spec.burstable;
-    info.burst_baseline = runtime.spec.burst_baseline;
-    info.contention_alpha = runtime.spec.contention_alpha;
+    info.id = nodes_.nodes[i].id();
+    info.name = spec.name;
+    info.position = spec.position;
+    info.cores = spec.cores;
+    info.base_frame_ms = spec.base_frame_ms;
+    info.dedicated = spec.dedicated;
+    info.is_cloud = spec.is_cloud;
+    info.burstable = spec.burstable;
+    info.burst_baseline = spec.burst_baseline;
+    info.contention_alpha = spec.contention_alpha;
     out.push_back(std::move(info));
   }
   return out;
@@ -274,10 +262,10 @@ baselines::PredictInput Scenario::predict_input(
     std::vector<double> trans_row;
     rtt_row.reserve(nodes_.size());
     trans_row.reserve(nodes_.size());
-    for (const auto& runtime : nodes_) {
-      rtt_row.push_back(to_ms(model_->base_rtt(client, runtime.host)));
+    for (const HostId node_host : nodes_.hosts) {
+      rtt_row.push_back(to_ms(model_->base_rtt(client, node_host)));
       trans_row.push_back(
-          to_ms(model_->transfer_delay(client, runtime.host, frame_bytes)));
+          to_ms(model_->transfer_delay(client, node_host, frame_bytes)));
     }
     input.rtt_ms.push_back(std::move(rtt_row));
     input.trans_ms.push_back(std::move(trans_row));
@@ -292,9 +280,9 @@ void Scenario::require_nonvacuous_run() const {
   }
   bool any_sender = false;
   std::uint64_t frames_sent = 0;
-  for (const auto& runtime : edge_clients_) {
-    any_sender = any_sender || runtime.client.config().send_frames;
-    frames_sent += runtime.client.stats().frames_sent;
+  for (const auto& client : edge_clients_.clients) {
+    any_sender = any_sender || client.config().send_frames;
+    frames_sent += client.stats().frames_sent;
   }
   if (any_sender && frames_sent == 0) {
     throw std::runtime_error(
@@ -304,32 +292,11 @@ void Scenario::require_nonvacuous_run() const {
 }
 
 FleetStats Scenario::fleet_stats() const {
-  FleetStats out;
-  out.clients = edge_clients_.size();
-  std::size_t total = 0;
-  for (const auto& runtime : edge_clients_) {
-    total += runtime.client.latency_samples().count();
+  FleetStatsBuilder builder;
+  for (const auto& client : edge_clients_.clients) {
+    builder.add(client);
   }
-  std::vector<double> all;
-  all.reserve(total);
-  double sum = 0.0;
-  for (const auto& runtime : edge_clients_) {
-    out.totals += runtime.client.stats();
-    for (const double v : runtime.client.latency_samples().values()) {
-      all.push_back(v);
-      sum += v;
-    }
-  }
-  out.latency_count = all.size();
-  if (!all.empty()) {
-    std::sort(all.begin(), all.end());
-    out.latency_mean_ms = sum / static_cast<double>(all.size());
-    out.latency_p50_ms = percentile_sorted(all, 50.0);
-    out.latency_p90_ms = percentile_sorted(all, 90.0);
-    out.latency_p99_ms = percentile_sorted(all, 99.0);
-    out.latency_max_ms = all.back();
-  }
-  return out;
+  return builder.finish();
 }
 
 }  // namespace eden::harness

@@ -4,13 +4,13 @@
 // building the optimal-solver inputs. Every bench and integration test is
 // a Scenario plus a policy choice.
 //
-// Scale architecture: node/client runtimes live in deques of value-typed
-// records (stable addresses, one allocation per block instead of per
-// entity), all edge clients share one SimManagerStub parameterised by the
-// caller id carried in each request, and bulk builders (add_nodes /
-// add_edge_clients) construct whole fleets without per-entity call
-// overhead. fleet_stats() aggregates across the fleet without copying
-// per-client sample vectors around.
+// Scale architecture: node/client runtimes live in structure-of-arrays
+// fleets (harness/fleet.h — one deque per column, stable addresses, one
+// allocation per block instead of per entity), all edge clients share one
+// SimManagerStub parameterised by the caller id carried in each request,
+// and bulk builders (add_nodes / add_edge_clients) construct whole fleets
+// without per-entity call overhead. fleet_stats() aggregates across the
+// fleet without copying per-client sample vectors around.
 #pragma once
 
 #include <deque>
@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "geo/geohash.h"
+#include "harness/fleet.h"
 #include "harness/sim_stubs.h"
 #include "manager/central_manager.h"
 #include "net/host_table.h"
@@ -61,51 +62,8 @@ struct ScenarioConfig {
   manager::OverloadPolicy overload{};
 };
 
-struct NodeSpec {
-  std::string name;
-  geo::GeoPoint position{44.9778, -93.2650};  // Minneapolis by default
-  net::AccessTier tier{net::AccessTier::kCable};
-  int cores{2};
-  double base_frame_ms{30.0};
-  bool dedicated{false};
-  bool is_cloud{false};
-  bool burstable{false};
-  double burst_baseline{0.4};
-  double initial_credits_core_sec{30.0};
-  double contention_alpha{0.04};
-  double background_load{0.0};
-  double extra_rtt_ms{0.0};  // GeoNetwork only: fixed backbone penalty
-  std::string network_tag;
-  SimDuration heartbeat_period{sec(1.0)};
-  // Application server types deployed on the node; empty = serves all.
-  std::vector<std::string> app_types;
-  // Attached-user idle eviction TTL (see EdgeNodeConfig::user_idle_ttl).
-  SimDuration user_idle_ttl{sec(15.0)};
-  // Fuzzer-only seeded fault (see EdgeNodeConfig::chaos_freeze_seq_num).
-  bool chaos_freeze_seq_num{false};
-};
-
-struct ClientSpot {
-  std::string name;
-  geo::GeoPoint position{44.9778, -93.2650};
-  net::AccessTier tier{net::AccessTier::kCable};
-  std::string network_tag;
-};
-
-// Fleet-wide aggregate of every edge client's counters and frame
-// latencies. Percentiles use the same interpolation as Samples.
-struct FleetStats {
-  std::size_t clients{0};
-  client::ClientStats totals{};
-  std::size_t latency_count{0};
-  double latency_mean_ms{0};
-  double latency_p50_ms{0};
-  double latency_p90_ms{0};
-  double latency_p99_ms{0};
-  double latency_max_ms{0};
-};
-
-enum class NetKind { kGeo, kMatrix };
+// NodeSpec, ClientSpot, FleetStats and NetKind moved to harness/fleet.h
+// (shared with the sharded runner); they remain visible here unchanged.
 
 class Scenario {
  public:
@@ -142,13 +100,13 @@ class Scenario {
                         const NodePlacementFn& placement = {});
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] node::EdgeNode& node(std::size_t index) {
-    return nodes_[index].node;
+    return nodes_.nodes[index];
   }
   [[nodiscard]] const NodeSpec& node_spec(std::size_t index) const {
-    return nodes_[index].spec;
+    return nodes_.specs[index];
   }
   [[nodiscard]] NodeId node_id(std::size_t index) const {
-    return nodes_[index].node.id();
+    return nodes_.nodes[index].id();
   }
   [[nodiscard]] net::NodeApi* node_api(NodeId id);
   // Index of the node with this id, if any.
@@ -175,10 +133,10 @@ class Scenario {
     return edge_clients_.size();
   }
   [[nodiscard]] client::EdgeClient& edge_client(std::size_t index) {
-    return edge_clients_[index].client;
+    return edge_clients_.clients[index];
   }
   [[nodiscard]] baselines::StaticClient& static_client(std::size_t index) {
-    return static_clients_[index].client;
+    return static_clients_.clients[index];
   }
   [[nodiscard]] std::size_t static_client_count() const {
     return static_clients_.size();
@@ -231,52 +189,6 @@ class Scenario {
   void set_route(NodeId id, bool routed);
 
  private:
-  // Value-typed runtime records; members are declared (and therefore
-  // constructed) in dependency order. Stored in deques so addresses stay
-  // stable as fleets grow.
-  struct NodeRuntime {
-    NodeSpec spec;
-    HostId host;
-    SimManagerLink link;
-    node::EdgeNode node;
-    SimNodeStub stub;
-
-    NodeRuntime(NodeSpec spec_in, HostId host_in, net::SimNetwork& fabric,
-                manager::CentralManager& manager, HostId manager_host,
-                sim::Scheduler& scheduler, const node::EdgeNodeConfig& node_config,
-                StubTimeouts timeouts, WireSizes sizes)
-        : spec(std::move(spec_in)),
-          host(host_in),
-          link(fabric, manager, manager_host, host, sizes, timeouts),
-          node(scheduler, node_config, &link),
-          stub(fabric, node, host, timeouts, sizes) {}
-  };
-  struct EdgeClientRuntime {
-    ClientSpot spot;
-    HostId host;
-    client::EdgeClient client;
-
-    EdgeClientRuntime(ClientSpot spot_in, HostId host_in,
-                      sim::Scheduler& scheduler, net::ManagerApi& manager,
-                      client::NodeResolver resolver,
-                      client::ClientConfig config)
-        : spot(std::move(spot_in)),
-          host(host_in),
-          client(scheduler, manager, std::move(resolver), std::move(config)) {}
-  };
-  struct StaticClientRuntime {
-    ClientSpot spot;
-    HostId host;
-    baselines::StaticClient client;
-
-    StaticClientRuntime(ClientSpot spot_in, HostId host_in,
-                        sim::Scheduler& scheduler,
-                        client::NodeResolver resolver, workload::AppProfile app)
-        : spot(std::move(spot_in)),
-          host(host_in),
-          client(scheduler, std::move(resolver), host, std::move(app)) {}
-  };
-
   HostId allocate_host();
   void register_position(HostId host, const geo::GeoPoint& position,
                          net::AccessTier tier, double extra_rtt_ms = 0.0,
@@ -299,12 +211,12 @@ class Scenario {
   std::uint32_t next_host_{0};
   std::unique_ptr<obs::TraceRecorder> trace_recorder_;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
-  std::deque<NodeRuntime> nodes_;
+  NodeFleet nodes_;
   std::unordered_map<NodeId, SimNodeStub*> stubs_by_id_;
   std::unordered_map<NodeId, std::size_t> node_index_by_id_;
   std::unordered_set<NodeId> unrouted_;
-  std::deque<EdgeClientRuntime> edge_clients_;
-  std::deque<StaticClientRuntime> static_clients_;
+  ClientFleet edge_clients_;
+  StaticFleet static_clients_;
 };
 
 }  // namespace eden::harness

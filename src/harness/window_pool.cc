@@ -1,0 +1,100 @@
+#include "harness/window_pool.h"
+
+#include <utility>
+
+namespace eden::harness {
+
+unsigned resolve_thread_count(unsigned requested, unsigned hardware) {
+  if (requested != 0) return requested;
+  return hardware == 0 ? 1u : hardware;
+}
+
+unsigned resolve_thread_count(unsigned requested) {
+  return resolve_thread_count(requested,
+                              std::thread::hardware_concurrency());
+}
+
+WindowPool::WindowPool(unsigned threads)
+    : threads_(resolve_thread_count(threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WindowPool::~WindowPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WindowPool::drain() {
+  for (;;) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void WindowPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WindowPool::for_each(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Inline path: no workers to synchronize with, no fence needed.
+    n_ = n;
+    fn_ = &fn;
+    cursor_.store(0, std::memory_order_relaxed);
+    drain();
+    fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    n_ = n;
+    fn_ = &fn;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain();  // the caller is a participant too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace eden::harness

@@ -1,0 +1,68 @@
+// WindowPool: persistent fork-join worker pool for the sharded runner's
+// window loop. ParallelRunner spawns a fresh std::thread per worker per
+// run() call — fine when each job is a minutes-long replicate, hopeless
+// when the "job" is one conservative-lookahead window and a run has
+// ~1e5 of them. WindowPool keeps (threads - 1) workers parked on a
+// condition variable between windows; for_each(n, fn) bumps a
+// generation counter to wake them, every participant (caller included)
+// pulls indices from a shared atomic cursor, and the call returns once
+// all n indices completed. threads == 1 keeps zero workers and runs
+// everything inline on the caller — the single-core fast path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eden::harness {
+
+// Thread-count contract shared by ParallelRunner and WindowPool:
+// requested == 0 means "use the hardware parallelism". The standard
+// allows std::thread::hardware_concurrency() to return 0 when the
+// platform cannot report a value, so the result is clamped to >= 1 —
+// callers may always divide work by the resolved count.
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested,
+                                            unsigned hardware);
+// Convenience overload over std::thread::hardware_concurrency().
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested);
+
+class WindowPool {
+ public:
+  // threads == 0 resolves via resolve_thread_count().
+  explicit WindowPool(unsigned threads);
+  ~WindowPool();
+  WindowPool(const WindowPool&) = delete;
+  WindowPool& operator=(const WindowPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  // Runs fn(i) for every i in [0, n), distributing indices across the
+  // pool; returns after all complete. The first exception thrown by any
+  // index is rethrown on the caller after the barrier. Not reentrant.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain();  // pull indices until the cursor passes n_
+
+  unsigned threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_{0};
+  std::size_t n_{0};
+  const std::function<void(std::size_t)>* fn_{nullptr};
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t active_{0};  // workers still inside the current generation
+  std::exception_ptr error_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eden::harness

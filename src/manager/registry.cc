@@ -125,6 +125,8 @@ std::optional<RegistryEntry> Registry::get(NodeId node) const {
   return it->second.entry;
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::vector<RegistryEntry> Registry::snapshot(SimTime now) {
   expire(now);
   std::vector<RegistryEntry> out;
@@ -132,5 +134,6 @@ std::vector<RegistryEntry> Registry::snapshot(SimTime now) {
   for (const auto& [id, slot] : slots_) out.push_back(slot.entry);
   return out;
 }
+#pragma GCC diagnostic pop
 
 }  // namespace eden::manager

@@ -68,8 +68,13 @@ class Registry {
     if (it != slots_.end()) it->second.entry.overloaded = overloaded;
   }
   // Live entries as of `now` (expires first). Compatibility shim: copies
-  // every entry; hot paths should use the visitation API below.
-  [[nodiscard]] std::vector<RegistryEntry> snapshot(SimTime now);
+  // every entry — every in-tree hot path has moved to the visitation API
+  // below; the shim survives only for the legacy-selector equivalence
+  // tests and benchmarks, which pin the copying behavior on purpose.
+  [[deprecated(
+      "copies every entry; use for_each_live/for_each_candidate")]]  //
+  [[nodiscard]] std::vector<RegistryEntry>
+  snapshot(SimTime now);
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
   [[nodiscard]] SimDuration heartbeat_ttl() const { return heartbeat_ttl_; }
 

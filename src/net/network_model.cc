@@ -107,36 +107,52 @@ double GeoNetwork::tier_uplink_mbps(AccessTier tier) {
 }
 
 GeoNetwork::GeoNetwork(double jitter_sigma, double pair_variation_ms)
-    : jitter_sigma_(jitter_sigma), pair_variation_ms_(pair_variation_ms) {}
+    : jitter_sigma_(jitter_sigma),
+      pair_variation_ms_(pair_variation_ms),
+      shared_(std::make_shared<SharedTopology>()) {}
+
+GeoNetwork::GeoNetwork(std::shared_ptr<SharedTopology> shared,
+                       double jitter_sigma, double pair_variation_ms)
+    : jitter_sigma_(jitter_sigma),
+      pair_variation_ms_(pair_variation_ms),
+      shared_(std::move(shared)) {}
+
+std::unique_ptr<GeoNetwork> GeoNetwork::shared_view() const {
+  return std::unique_ptr<GeoNetwork>(
+      new GeoNetwork(shared_, jitter_sigma_, pair_variation_ms_));
+}
 
 void GeoNetwork::add_host(HostId host, geo::GeoPoint position, AccessTier tier,
                           int isp) {
-  hosts_[host] = HostInfo{position, tier, 0.0, isp};
-  ++version_;
-  invalidate_cache();
+  shared_->hosts[host] = HostInfo{position, tier, 0.0, isp};
+  ++shared_->version;
 }
 
 std::optional<geo::GeoPoint> GeoNetwork::position(HostId host) const {
-  const auto it = hosts_.find(host);
-  if (it == hosts_.end()) return std::nullopt;
+  const auto it = shared_->hosts.find(host);
+  if (it == shared_->hosts.end()) return std::nullopt;
   return it->second.position;
 }
 
 void GeoNetwork::set_extra_rtt_ms(HostId host, double ms) {
-  if (const auto it = hosts_.find(host); it != hosts_.end()) {
+  if (const auto it = shared_->hosts.find(host); it != shared_->hosts.end()) {
     it->second.extra_rtt_ms = ms;
-    ++version_;
-    invalidate_cache();
+    ++shared_->version;
   }
 }
 
 void GeoNetwork::invalidate_cache() const {
   cache_.clear();
   cache_used_ = 0;
+  cache_version_ = shared_->version;
 }
 
 const GeoNetwork::PairMetrics& GeoNetwork::cached_pair(HostId a,
                                                        HostId b) const {
+  // Lazy invalidation: a topology mutation (possibly through another view
+  // of the shared host map) bumps the shared version; the first lookup
+  // after that drops this view's memo.
+  if (cache_version_ != shared_->version) invalidate_cache();
   const std::uint64_t key =
       (static_cast<std::uint64_t>(a.value) << 32) | b.value;
   if (cache_.empty()) cache_.resize(256);
@@ -179,9 +195,9 @@ SimDuration GeoNetwork::base_rtt(HostId a, HostId b) const {
 }
 
 GeoNetwork::PairMetrics GeoNetwork::compute_pair(HostId a, HostId b) const {
-  const auto ia = hosts_.find(a);
-  const auto ib = hosts_.find(b);
-  if (ia == hosts_.end() || ib == hosts_.end()) {
+  const auto ia = shared_->hosts.find(a);
+  const auto ib = shared_->hosts.find(b);
+  if (ia == shared_->hosts.end() || ib == shared_->hosts.end()) {
     return PairMetrics{msec(50.0), 10.0};
   }
   const double km = geo::haversine_km(ia->second.position, ib->second.position);
@@ -234,9 +250,10 @@ GeoNetwork::PairMetrics GeoNetwork::compute_pair(HostId a, HostId b) const {
 
 double GeoNetwork::bandwidth_mbps(HostId a, HostId b) const {
   if (a == b) {
-    const auto it = hosts_.find(a);
-    return it == hosts_.end() ? 10.0
-                              : tier_params(it->second.tier).uplink_mbps;
+    const auto it = shared_->hosts.find(a);
+    return it == shared_->hosts.end()
+               ? 10.0
+               : tier_params(it->second.tier).uplink_mbps;
   }
   return cached_pair(a, b).bw_mbps;
 }

@@ -4,6 +4,7 @@
 // ISP access-tier model (the real-world measurements of Fig 1).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -123,8 +124,17 @@ class GeoNetwork final : public NetworkModel {
   [[nodiscard]] double bandwidth_mbps(HostId a, HostId b) const override;
   [[nodiscard]] double jitter_sigma() const override { return jitter_sigma_; }
   [[nodiscard]] std::uint64_t topology_version() const override {
-    return version_;
+    return shared_->version;
   }
+
+  // A view sharing this network's host topology: one host map, one version
+  // counter, but a private pair cache. The sharded harness gives every
+  // shard domain a view so N hosts are stored once instead of once per
+  // shard; a mutation through any view (or the original) bumps the shared
+  // version and every cache lazily invalidates. Not safe for concurrent
+  // mutation — the sharded runner mutates only between windows, and
+  // during windows each domain fills only its own cache.
+  [[nodiscard]] std::unique_ptr<GeoNetwork> shared_view() const;
 
   // Per-tier last-mile one-way latency (ms) and uplink bandwidth (Mbps).
   static double tier_latency_ms(AccessTier tier);
@@ -136,6 +146,10 @@ class GeoNetwork final : public NetworkModel {
     AccessTier tier{AccessTier::kCable};
     double extra_rtt_ms{0};
     int isp{-1};
+  };
+  struct SharedTopology {
+    std::unordered_map<HostId, HostInfo> hosts;
+    std::uint64_t version{1};
   };
   struct PairMetrics {
     SimDuration rtt{0};
@@ -150,14 +164,17 @@ class GeoNetwork final : public NetworkModel {
   };
   static constexpr std::uint64_t kEmptyKey = ~0ull;
 
+  GeoNetwork(std::shared_ptr<SharedTopology> shared, double jitter_sigma,
+             double pair_variation_ms);
+
   [[nodiscard]] PairMetrics compute_pair(HostId a, HostId b) const;
   [[nodiscard]] const PairMetrics& cached_pair(HostId a, HostId b) const;
   void invalidate_cache() const;
 
   double jitter_sigma_;
   double pair_variation_ms_;
-  std::uint64_t version_{1};
-  std::unordered_map<HostId, HostInfo> hosts_;
+  std::shared_ptr<SharedTopology> shared_;
+  mutable std::uint64_t cache_version_{0};  // shared version the cache holds
   mutable std::vector<PairCacheEntry> cache_;
   mutable std::size_t cache_used_{0};
 };

@@ -1,0 +1,54 @@
+#include "net/shard_router.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eden::net {
+
+ShardRouter::ShardId ShardRouter::add_shard(SimNetwork* fabric,
+                                            sim::Simulator* simulator) {
+  fabrics_.push_back(fabric);
+  sims_.push_back(simulator);
+  outboxes_.emplace_back();
+  return static_cast<ShardId>(sims_.size() - 1);
+}
+
+void ShardRouter::set_shard(HostId host, ShardId shard) {
+  if (host.value >= owner_.size()) owner_.resize(host.value + 1, 0);
+  owner_[host.value] = shard;
+}
+
+void ShardRouter::post(ShardId src, ShardId dst, SimTime arrival,
+                       std::uint64_t key_hi, std::uint64_t key_lo,
+                       sim::Callback cb) {
+  outboxes_[src].push_back(
+      Envelope{arrival, key_hi, key_lo, dst, std::move(cb)});
+}
+
+std::size_t ShardRouter::flush(SimTime window_start) {
+  std::size_t injected = 0;
+  for (auto& outbox : outboxes_) {
+    for (Envelope& e : outbox) {
+      if (e.arrival < window_start) {
+        throw std::runtime_error(
+            "ShardRouter::flush: cross-shard arrival precedes the window "
+            "start — the lookahead bound was violated");
+      }
+      sims_[e.dst]->schedule_delivery(
+          e.arrival, sim::Simulator::DeliveryKey{e.hi, e.lo}, std::move(e.cb));
+      ++injected;
+    }
+    outbox.clear();
+  }
+  routed_ += injected;
+  return injected;
+}
+
+bool ShardRouter::idle() const {
+  for (const auto& outbox : outboxes_) {
+    if (!outbox.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace eden::net

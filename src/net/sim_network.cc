@@ -1,6 +1,7 @@
 #include "net/sim_network.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace eden::net {
 
@@ -165,7 +166,19 @@ SimDuration SimNetwork::sample_delay(HostId from, HostId to, double bytes) {
     double owd_us = pair.owd_us;
     // Same draw stream and same float expression as NetworkModel::
     // sample_owd — only the base_rtt/bandwidth virtual calls are memoized.
-    if (jitter_sigma_ > 0) owd_us *= rng_.lognormal(0.0, jitter_sigma_);
+    // Deterministic mode swaps the shared Rng stream for a counter-based
+    // draw keyed by (seed, directed pair, message index): the jitter of a
+    // given message is then independent of every other pair's traffic —
+    // the property that makes sharded executions bit-identical.
+    if (jitter_sigma_ > 0) {
+      if (!deterministic_) [[likely]] {
+        owd_us *= rng_.lognormal(0.0, jitter_sigma_);
+      } else {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(to.value) << 32) | from.value;
+        owd_us *= det_jitter_factor(key, peek_pair_seq(key));
+      }
+    }
     delay = static_cast<SimDuration>(owd_us);
     if (bytes > 0) delay += sec(bytes * 8.0 / pair.bw_denom);
   }
@@ -174,6 +187,70 @@ SimDuration SimNetwork::sample_delay(HostId from, HostId to, double bytes) {
     delay = static_cast<SimDuration>(static_cast<double>(delay) * factor);
   }
   return delay;
+}
+
+std::uint64_t SimNetwork::peek_pair_seq(std::uint64_t key) const {
+  if (pair_seq_.empty()) return 0;
+  const std::size_t mask = pair_seq_.size() - 1;
+  std::size_t index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+  while (pair_seq_[index].key != kEmptyPairKey) {
+    if (pair_seq_[index].key == key) return pair_seq_[index].next;
+    index = (index + 1) & mask;
+  }
+  return 0;
+}
+
+std::uint64_t SimNetwork::take_pair_seq(std::uint64_t key) {
+  if (pair_seq_.empty()) pair_seq_.resize(256);
+  std::size_t mask = pair_seq_.size() - 1;
+  std::size_t index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+  while (pair_seq_[index].key != key) {
+    if (pair_seq_[index].key == kEmptyPairKey) {
+      if (pair_seq_used_ * 10 >= pair_seq_.size() * 7) {  // grow + rehash
+        std::vector<PairSeqEntry> old = std::move(pair_seq_);
+        pair_seq_.assign(old.size() * 2, PairSeqEntry{});
+        mask = pair_seq_.size() - 1;
+        for (const PairSeqEntry& entry : old) {
+          if (entry.key == kEmptyPairKey) continue;
+          std::size_t j = (entry.key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+          while (pair_seq_[j].key != kEmptyPairKey) j = (j + 1) & mask;
+          pair_seq_[j] = entry;
+        }
+        index = (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+        while (pair_seq_[index].key != kEmptyPairKey &&
+               pair_seq_[index].key != key) {
+          index = (index + 1) & mask;
+        }
+        if (pair_seq_[index].key == key) return pair_seq_[index].next++;
+      }
+      pair_seq_[index].key = key;
+      pair_seq_[index].next = 0;
+      ++pair_seq_used_;
+      return pair_seq_[index].next++;
+    }
+    index = (index + 1) & mask;
+  }
+  return pair_seq_[index].next++;
+}
+
+double SimNetwork::det_jitter_factor(std::uint64_t key,
+                                     std::uint64_t seq) const {
+  // Mix (seed, pair, seq) through a splitmix64-style finalizer, then draw
+  // one clamped standard normal via Box-Muller on the two 32-bit halves.
+  std::uint64_t z = det_seed_;
+  z ^= key + 0x9e3779b97f4a7c15ull + (z << 6) + (z >> 2);
+  z ^= seq + 0x9e3779b97f4a7c15ull + (z << 6) + (z >> 2);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double u1 = (static_cast<double>(z >> 32) + 1.0) * 0x1.0p-32;  // (0,1]
+  const double u2 = static_cast<double>(z & 0xffffffffu) * 0x1.0p-32;  // [0,1)
+  constexpr double kTwoPi = 6.283185307179586;
+  double n = std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  n = std::clamp(n, -kDetJitterZClamp, kDetJitterZClamp);
+  return std::exp(jitter_sigma_ * n);
 }
 
 SimNetwork::PairDelay SimNetwork::compute_pair_delay(HostId from,

@@ -25,6 +25,7 @@
 #include "common/types.h"
 #include "net/host_table.h"
 #include "net/network_model.h"
+#include "net/shard_router.h"
 #include "sim/simulator.h"
 
 namespace eden::net {
@@ -113,6 +114,39 @@ class SimNetwork {
     faults_ = injector;
   }
 
+  // ---- deterministic (sharded) delivery mode ----
+  //
+  // In deterministic mode every cross-host message rides the simulator's
+  // delivery lane under the canonical (arrival, destination, source,
+  // per-pair sequence) key, and the jitter factor comes from a
+  // counter-based hash of (seed, directed pair, message index) instead of
+  // the fabric's shared Rng stream. Both changes make message ordering and
+  // sampled delays a pure function of the message set — independent of
+  // shard layout — which is exactly what the sharded == sequential
+  // determinism witness pins. Every fabric participating in one sharded
+  // world must use the SAME seed (a message's jitter must not depend on
+  // which domain sampled it). Legacy fabrics that never enable this keep
+  // the historical Rng draws and FIFO schedules, byte for byte.
+  void enable_deterministic_delivery(std::uint64_t seed) {
+    deterministic_ = true;
+    det_seed_ = seed;
+  }
+  [[nodiscard]] bool deterministic_delivery() const { return deterministic_; }
+
+  // Attach this fabric to a shard router as shard `shard_id`: messages
+  // addressed to hosts owned by other shards are posted to the router and
+  // injected into the owner's delivery lane at the next window barrier.
+  // Only meaningful in deterministic mode.
+  void set_shard_router(ShardRouter* router, std::uint32_t shard_id) {
+    router_ = router;
+    shard_id_ = shard_id;
+  }
+
+  // Deterministic jitter clamps the standard-normal draw at +/- this many
+  // sigma, so exp(-kDetJitterZClamp * sigma) is a HARD lower bound on the
+  // jitter factor — the lookahead derivation depends on it.
+  static constexpr double kDetJitterZClamp = 6.0;
+
   [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
   [[nodiscard]] const NetworkModel& model() const { return *model_; }
   [[nodiscard]] HostTable& hosts() { return *hosts_; }
@@ -120,34 +154,39 @@ class SimNetwork {
   // Sample a one-way delay for a payload of `bytes` from `from` to `to`.
   [[nodiscard]] SimDuration sample_delay(HostId from, HostId to, double bytes);
 
-  // The reply functor handed to an async rpc server: a 32-byte value type
+  // The reply functor handed to an async rpc server: a 40-byte value type
   // carrying the response route, so invoking it after the caller timed out
   // still sends the response over the (indifferent) wire — the stale
   // completion is then rejected by the slot generation check on arrival.
   // Copyable and callable any number of times; only the first response to
-  // arrive while the rpc is still pending reaches `done`.
+  // arrive while the rpc is still pending reaches `done`. `origin` is the
+  // fabric owning the rpc slot (== `net` except for cross-shard rpcs,
+  // where the server-side fabric sends the response but the completion
+  // must settle on the caller's shard).
   template <typename Resp>
   class Reply {
    public:
     void operator()(Resp response) {
       net_->send_response<Resp>(handle_, responder_, client_, bytes_,
-                                std::move(response));
+                                std::move(response), origin_);
     }
 
    private:
     friend class SimNetwork;
     Reply(SimNetwork* net, std::uint64_t handle, HostId responder,
-          HostId client, double bytes)
+          HostId client, double bytes, SimNetwork* origin = nullptr)
         : net_(net),
           handle_(handle),
           responder_(responder),
           client_(client),
-          bytes_(bytes) {}
+          bytes_(bytes),
+          origin_(origin == nullptr ? net : origin) {}
 
     SimNetwork* net_;
     std::uint64_t handle_;
     HostId responder_, client_;
     double bytes_;
+    SimNetwork* origin_;
   };
 
   // One-way delivery: run `fn` at the destination after the sampled delay,
@@ -161,8 +200,16 @@ class SimNetwork {
       return;
     }
     const SimDuration delay = sample_delay(from, to, bytes);
-    simulator_->schedule_after(
-        delay, ArrivalGuard<std::decay_t<F>>{this, to, std::forward<F>(fn)});
+    if (!deterministic_) [[likely]] {
+      simulator_->schedule_after(
+          delay, ArrivalGuard<std::decay_t<F>>{this, to, std::forward<F>(fn)});
+      return;
+    }
+    // Deterministic: the arrival guard checks liveness against the OWNING
+    // shard's host table (each domain tracks only its own hosts).
+    route_canonical(from, to, delay,
+                    ArrivalGuard<std::decay_t<F>>{owner_of(to), to,
+                                                  std::forward<F>(fn)});
   }
 
   // Request/response with timeout, asynchronous server side: `server` runs
@@ -197,10 +244,23 @@ class SimNetwork {
       return;
     }
     const SimDuration delay = sample_delay(from, to, request_bytes);
-    simulator_->schedule_after(
-        delay,
-        RequestArrival<Resp, std::decay_t<Server>>{this, handle,
-                                                   std::move(server)});
+    if (!deterministic_) [[likely]] {
+      simulator_->schedule_after(
+          delay,
+          RequestArrival<Resp, std::decay_t<Server>>{this, handle,
+                                                     std::move(server)});
+      return;
+    }
+    // Deterministic: the request leg settles at send so the slot is never
+    // mutated from another shard; the reply route rides inside the shipped
+    // closure instead of the slot. A timeout may then release the slot
+    // before the reply lands — the stale reply dies on the generation
+    // check, observably identical to the legacy pinned-slot lifecycle.
+    slot.request_consumed = true;
+    route_canonical(from, to, delay,
+                    DetRequestArrival<Resp, std::decay_t<Server>>{
+                        owner_of(to), this, handle, from, to, response_bytes,
+                        std::move(server)});
   }
 
   // Synchronous-server convenience wrapper: `server` returns the response
@@ -387,11 +447,68 @@ class SimNetwork {
     }
   };
 
+  // Deterministic-mode request arrival: executes on the shard owning
+  // `rpc_to` (possibly not the slot's shard), so the whole route is
+  // captured here instead of being read back out of the slot.
+  template <typename Resp, typename ServerFn>
+  struct DetRequestArrival {
+    SimNetwork* dst;     // fabric owning rpc_to — where this closure runs
+    SimNetwork* origin;  // fabric owning the rpc slot (rpc_from's shard)
+    std::uint64_t handle;
+    HostId rpc_from, rpc_to;
+    double response_bytes;
+    ServerFn server;
+    void operator()() {
+      if (!dst->hosts_->alive(rpc_to)) return;  // died in flight
+      Reply<Resp> reply(dst, handle, rpc_to, rpc_from, response_bytes, origin);
+      server(std::move(reply));
+    }
+  };
+
   template <typename Resp, typename ServerFn>
   struct SyncServer {
     ServerFn server;
     void operator()(Reply<Resp> reply) { reply(server()); }
   };
+
+  // ---- deterministic routing helpers ----
+
+  // The fabric owning `host`'s shard (this fabric when no router is
+  // attached, e.g. the windowless sequential reference runner).
+  [[nodiscard]] SimNetwork* owner_of(HostId host) {
+    if (router_ == nullptr) return this;
+    return router_->fabric_of(router_->shard_of(host));
+  }
+
+  // Compute the canonical delivery key for a message from -> to, then
+  // either schedule it on the local delivery lane (intra-shard) or post it
+  // to the router for barrier injection (cross-shard). The per-pair
+  // sequence consumed here is the same counter sample_delay peeked for the
+  // jitter draw — the two stay in lockstep because every sampled message
+  // is routed exactly once.
+  template <typename F>
+  void route_canonical(HostId from, HostId to, SimDuration delay, F&& fn) {
+    const std::uint64_t hi =
+        (static_cast<std::uint64_t>(to.value) << 32) | from.value;
+    const std::uint64_t lo = take_pair_seq(hi);
+    if (delay < 0) delay = 0;
+    const SimTime arrival = simulator_->now() + delay;
+    if (router_ != nullptr) {
+      const std::uint32_t dst_shard = router_->shard_of(to);
+      if (dst_shard != shard_id_) {
+        router_->post(shard_id_, dst_shard, arrival, hi, lo,
+                      sim::Callback(std::forward<F>(fn)));
+        return;
+      }
+    }
+    simulator_->schedule_delivery(arrival, sim::Simulator::DeliveryKey{hi, lo},
+                                  sim::Callback(std::forward<F>(fn)));
+  }
+
+  [[nodiscard]] std::uint64_t peek_pair_seq(std::uint64_t key) const;
+  std::uint64_t take_pair_seq(std::uint64_t key);
+  [[nodiscard]] double det_jitter_factor(std::uint64_t key,
+                                         std::uint64_t seq) const;
 
   // ---- rpc lifecycle (non-template paths live in the .cc) ----
 
@@ -400,17 +517,25 @@ class SimNetwork {
 
   template <typename Resp>
   void send_response(std::uint64_t handle, HostId from, HostId to,
-                     double bytes, Resp response) {
+                     double bytes, Resp response, SimNetwork* origin) {
     // The response leg is an ordinary fabric delivery (cut check at send,
     // jitter draw, liveness at arrival) even when the rpc already timed
     // out: the wire does not know the caller gave up, and skipping the
-    // send would shift the jitter draw stream.
+    // send would shift the jitter draw stream. `origin` (== this outside
+    // sharded runs) owns the rpc slot; the completion executes there.
     if (faults_ != nullptr && faults_->dropped(from, to, simulator_->now())) {
       return;
     }
     const SimDuration delay = sample_delay(from, to, bytes);
-    simulator_->schedule_after(
-        delay, Completion<Resp>{this, handle, std::move(response)});
+    if (!deterministic_) [[likely]] {
+      simulator_->schedule_after(
+          delay, Completion<Resp>{origin, handle, std::move(response)});
+      return;
+    }
+    // route_canonical routes by `to` == the original caller, so the
+    // completion lands on origin's shard, where the slot lives.
+    route_canonical(from, to, delay,
+                    Completion<Resp>{origin, handle, std::move(response)});
   }
 
   template <typename Resp>
@@ -451,6 +576,21 @@ class SimNetwork {
   Rng rng_;
   double jitter_sigma_;
   const FaultInjector* faults_{nullptr};
+
+  // Deterministic-delivery state (see enable_deterministic_delivery).
+  bool deterministic_{false};
+  std::uint64_t det_seed_{0};
+  ShardRouter* router_{nullptr};
+  std::uint32_t shard_id_{0};
+  // Open-addressed per-directed-pair message counters (deterministic mode
+  // only): jitter for message n is hashed from n, and n is the canonical
+  // delivery-key tiebreak.
+  struct PairSeqEntry {
+    std::uint64_t key{kEmptyPairKey};
+    std::uint64_t next{0};
+  };
+  mutable std::vector<PairSeqEntry> pair_seq_;
+  mutable std::size_t pair_seq_used_{0};
 
   // Rpc slot pool (chunked so slots never move).
   std::vector<std::unique_ptr<RpcSlot[]>> rpc_chunks_;

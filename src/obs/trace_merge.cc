@@ -1,0 +1,48 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+
+namespace eden::obs {
+
+HostId trace_site(const TraceEvent& event, HostId manager_host) {
+  switch (event.kind) {
+    case EventKind::kNodeExpire:
+    case EventKind::kNodeRejoin:
+    case EventKind::kOverloadEnter:
+    case EventKind::kOverloadExit:
+    case EventKind::kCellShed:
+      return manager_host;
+    default:
+      return event.actor;
+  }
+}
+
+std::vector<TraceEvent> merge_shard_traces(
+    const std::vector<const std::vector<TraceEvent>*>& parts,
+    HostId manager_host) {
+  std::size_t total = 0;
+  for (const auto* part : parts) total += part->size();
+  std::vector<TraceEvent> merged;
+  merged.reserve(total);
+  for (const auto* part : parts) {
+    merged.insert(merged.end(), part->begin(), part->end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [manager_host](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return trace_site(a, manager_host).value <
+                            trace_site(b, manager_host).value;
+                   });
+  return merged;
+}
+
+std::string events_to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += to_jsonl_line(event);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eden::obs

@@ -1,0 +1,42 @@
+// Canonical merge of per-shard trace streams.
+//
+// Each shard domain records its own TraceRecorder in local execution
+// order. To compare runs across shard layouts (the sharded==sequential
+// determinism witness) the per-shard streams are merged into one
+// canonical order: stable-sort by (time, site), where the site of an
+// event is the host of the domain that recorded it. Client- and
+// node-side events are recorded on the actor's own domain, so site ==
+// actor; manager-side observations (expiry sweeps, overload set
+// transitions, all-hot cell shedding) are recorded on the manager's
+// domain even though their actor is the node or client concerned, so
+// their site is the manager host.
+//
+// Why this is layout-invariant: events sharing (time, site) always come
+// from the same domain in every layout (a host never straddles shards),
+// and within one domain the recording order is deterministic — so the
+// stable sort yields one canonical sequence no matter how the hosts
+// were partitioned. A sequential run is just the one-shard case of the
+// same merge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace eden::obs {
+
+// The host whose domain recorded `event` (see file comment).
+[[nodiscard]] HostId trace_site(const TraceEvent& event, HostId manager_host);
+
+// Concatenates the per-shard streams and stable-sorts them by
+// (at, site). Passing a single stream canonicalizes a sequential trace
+// into the same order.
+[[nodiscard]] std::vector<TraceEvent> merge_shard_traces(
+    const std::vector<const std::vector<TraceEvent>*>& parts,
+    HostId manager_host);
+
+// JSONL for a merged stream, one to_jsonl_line() per event.
+[[nodiscard]] std::string events_to_jsonl(const std::vector<TraceEvent>& events);
+
+}  // namespace eden::obs

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -174,17 +175,96 @@ bool Simulator::pop_one(SimTime limit) {
   }
 }
 
+void Simulator::schedule_delivery(SimTime t, DeliveryKey key, Callback cb) {
+  if (!cb) return;
+  if (t < now_) t = now_;
+  const std::uint32_t index = allocate_slot();
+  Slot& s = slot(index);
+  s.generation = static_cast<std::uint32_t>(next_seq_++ & kSeqMask);
+  s.cb = std::move(cb);
+  ++live_count_;
+  delivery_mode_ = true;
+  deliveries_.push_back(
+      DeliveryEntry{static_cast<std::uint64_t>(t), key.hi, key.lo, index});
+  std::push_heap(deliveries_.begin(), deliveries_.end(), DeliveryAfter{});
+}
+
+SimTime Simulator::peek_event_time() {
+  for (;;) {
+    if (bucket0_cursor_ >= bucket0_.size()) {
+      bucket0_.clear();
+      bucket0_cursor_ = 0;
+      if (!refill_bucket0()) return kNoEventTime;
+      continue;
+    }
+    const Entry e = bucket0_[bucket0_cursor_];
+    if (stale(e)) {  // tombstone: discard exactly like pop_one would
+      ++bucket0_cursor_;
+      --dead_in_queue_;
+      continue;
+    }
+    return static_cast<SimTime>(e.time);
+  }
+}
+
+SimTime Simulator::next_event_time() {
+  const SimTime te = peek_event_time();
+  if (deliveries_.empty()) return te;
+  const auto td = static_cast<SimTime>(deliveries_.front().time);
+  return td < te ? td : te;
+}
+
+void Simulator::pop_delivery() {
+  std::pop_heap(deliveries_.begin(), deliveries_.end(), DeliveryAfter{});
+  const DeliveryEntry e = deliveries_.back();
+  deliveries_.pop_back();
+  Slot& s = slot(e.slot);
+  --live_count_;
+  now_ = static_cast<SimTime>(e.time);
+  ++processed_;
+  s.cb.invoke_and_reset();
+  release_slot(e.slot);
+}
+
+bool Simulator::pop_next(SimTime limit) {
+  if (deliveries_.empty()) return pop_one(limit);
+  const auto td = static_cast<SimTime>(deliveries_.front().time);
+  const SimTime te = peek_event_time();
+  if (te < td) return pop_one(limit);  // strictly earlier regular event
+  if (td > limit) return false;        // both lanes beyond the limit
+  pop_delivery();                      // deliveries win ties (td <= te)
+  return true;
+}
+
 void Simulator::run_until(SimTime t) {
-  while (pop_one(t)) {
+  // The mode flag is re-checked on every pop: a callback may schedule the
+  // run's FIRST delivery mid-loop, and the remainder of this call must then
+  // interleave the delivery lane — deferring it to the next run_until call
+  // would reorder the delivery past later same-call events (or lose it
+  // entirely when this is the only call, as in a windowless run).
+  while (!delivery_mode_ && pop_one(t)) {
+  }
+  if (delivery_mode_) {
+    while (pop_next(t)) {
+    }
   }
   if (t > now_) now_ = t;
 }
 
 void Simulator::run_all(std::size_t max_events) {
   std::size_t n = 0;
-  while (pop_one(std::numeric_limits<SimTime>::max())) {
+  constexpr SimTime kForever = std::numeric_limits<SimTime>::max();
+  // Mode re-checked per pop, as in run_until.
+  while (!delivery_mode_ && pop_one(kForever)) {
     if (++n > max_events) {
       throw std::runtime_error("Simulator::run_all: event budget exceeded");
+    }
+  }
+  if (delivery_mode_) {
+    while (pop_next(kForever)) {
+      if (++n > max_events) {
+        throw std::runtime_error("Simulator::run_all: event budget exceeded");
+      }
     }
   }
 }

@@ -80,6 +80,35 @@ class Simulator {
   // cancelled before.
   bool cancel(EventId id);
 
+  // ---- delivery lane (sharded / deterministic-delivery runs) ----
+  //
+  // Cross-host message deliveries in deterministic mode bypass the FIFO
+  // event queue and ride a separate min-heap ordered by (time, key.hi,
+  // key.lo). SimNetwork builds the key canonically — hi = (destination <<
+  // 32 | source), lo = the per-directed-pair message sequence — so the
+  // relative order of same-tick deliveries is a pure function of the
+  // message set, independent of which shard produced each message or
+  // whether it arrived inline or through a window barrier. At equal
+  // timestamps deliveries run BEFORE regular events (a fixed global rule,
+  // again shard-layout-independent). Deliveries cannot be cancelled; their
+  // callbacks live in the same slot arena as regular events and count
+  // toward pending(). Scheduling the first delivery permanently switches
+  // the run loops to the (slightly slower) two-lane merge; fabrics that
+  // never use the lane keep the historical single-lane fast path and its
+  // exact event order.
+  struct DeliveryKey {
+    std::uint64_t hi{0};
+    std::uint64_t lo{0};
+  };
+  void schedule_delivery(SimTime t, DeliveryKey key, Callback cb);
+
+  // Earliest pending timestamp across both lanes, or kNoEventTime when the
+  // simulator is idle. Non-const: pruning stale queue heads is how the
+  // radix queue discovers its minimum. The sharded runner polls this for
+  // barrier-stall accounting and drain detection.
+  static constexpr SimTime kNoEventTime = std::numeric_limits<SimTime>::max();
+  [[nodiscard]] SimTime next_event_time();
+
   // Run every event with timestamp <= `t`; afterwards now() == t even if
   // the queue drained early.
   void run_until(SimTime t);
@@ -214,6 +243,29 @@ class Simulator {
   void sweep();
   bool pop_one(SimTime limit);
 
+  // Delivery-lane internals. The heap entry mirrors the regular Entry but
+  // carries the full canonical key; the callback sits in an arena slot.
+  struct DeliveryEntry {
+    std::uint64_t time;
+    std::uint64_t hi;
+    std::uint64_t lo;
+    std::uint32_t slot;
+  };
+  struct DeliveryAfter {  // "greater" comparator => std:: heap is a min-heap
+    bool operator()(const DeliveryEntry& a, const DeliveryEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.hi != b.hi) return a.hi > b.hi;
+      return a.lo > b.lo;
+    }
+  };
+  // Like pop_one's head inspection but without popping: prunes stale
+  // entries off the regular queue until a live head (or emptiness) is
+  // found, returns its timestamp.
+  [[nodiscard]] SimTime peek_event_time();
+  // Two-lane pop: the earlier lane wins, deliveries win ties.
+  bool pop_next(SimTime limit);
+  void pop_delivery();
+
   SimTime now_{0};
   std::uint64_t next_seq_{1};
   std::uint64_t processed_{0};
@@ -229,6 +281,8 @@ class Simulator {
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t slot_count_{0};
   std::uint32_t free_head_{kNoFreeSlot};
+  std::vector<DeliveryEntry> deliveries_;  // min-heap via DeliveryAfter
+  bool delivery_mode_{false};  // sticky: first schedule_delivery sets it
 };
 
 // RAII periodic task: fires `fn` every `period` starting at `start` until

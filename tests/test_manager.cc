@@ -58,12 +58,17 @@ TEST(Registry, ExpireDropsStaleNodes) {
   EXPECT_TRUE(registry.get(NodeId{2}).has_value());
 }
 
-TEST(Registry, SnapshotExpiresFirst) {
+TEST(Registry, ForEachLiveExpiresFirst) {
   Registry registry(sec(1.0));
   registry.upsert(make_status(1, "a"), 0);
-  const auto live = registry.snapshot(sec(5));
-  EXPECT_TRUE(live.empty());
-  EXPECT_EQ(registry.size(), 0u);
+  std::size_t visited = 0;
+  registry.for_each_live(
+      "", sec(5),
+      [&visited](const RegistryEntry&, const std::optional<geo::GeoPoint>&) {
+        ++visited;
+      });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(registry.size(), 0u);  // expiry ran before visitation
 }
 
 TEST(Registry, RemoveIsImmediate) {

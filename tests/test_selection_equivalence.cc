@@ -15,6 +15,11 @@
 #include "harness/experiments.h"
 #include "manager/central_manager.h"
 
+// This suite exists to pin the indexed pipeline against the deprecated
+// copying shim — calling snapshot() here is the whole point.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace eden::manager {
 namespace {
 
@@ -164,3 +169,5 @@ TEST(SelectionEquivalence, RealWorldScenarioAfterWarmup) {
 
 }  // namespace
 }  // namespace eden::manager
+
+#pragma GCC diagnostic pop

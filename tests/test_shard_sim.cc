@@ -1,0 +1,266 @@
+// Sharded-simulator tests: the delivery lane's canonical ordering, the
+// ShardRouter window-barrier contract, the WindowPool fork-join primitive
+// and the resolve_thread_count() contract, conservative lookahead
+// derivation — and the tentpole witness: run_spec_sharded() produces a
+// bit-identical canonical trace digest at every shard count, pinned
+// against the windowless one-shard sequential reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/shard_witness.h"
+#include "harness/sharded_scenario.h"
+#include "harness/window_pool.h"
+#include "net/shard_router.h"
+#include "sim/simulator.h"
+
+namespace eden {
+namespace {
+
+// ---- delivery lane ----
+
+TEST(DeliveryLane, DeliveriesBeatEventsAtEqualTimestamps) {
+  sim::Simulator sim;
+  std::string order;
+  sim.schedule_at(msec(10), [&order] { order += 'E'; });
+  sim.schedule_delivery(msec(10), sim::Simulator::DeliveryKey{1, 0},
+                        sim::Callback([&order] { order += 'D'; }));
+  sim.run_until(msec(10));
+  EXPECT_EQ(order, "DE");
+}
+
+TEST(DeliveryLane, OrdersByCanonicalKeyNotInsertion) {
+  sim::Simulator sim;
+  std::string order;
+  // Insert in scrambled order; the lane must execute by (time, hi, lo).
+  sim.schedule_delivery(msec(5), sim::Simulator::DeliveryKey{2, 0},
+                        sim::Callback([&order] { order += 'c'; }));
+  sim.schedule_delivery(msec(5), sim::Simulator::DeliveryKey{1, 7},
+                        sim::Callback([&order] { order += 'b'; }));
+  sim.schedule_delivery(msec(5), sim::Simulator::DeliveryKey{1, 2},
+                        sim::Callback([&order] { order += 'a'; }));
+  sim.schedule_delivery(msec(3), sim::Simulator::DeliveryKey{9, 9},
+                        sim::Callback([&order] { order += '0'; }));
+  sim.run_all();
+  EXPECT_EQ(order, "0abc");
+}
+
+TEST(DeliveryLane, CountsTowardPendingAndNextEventTime) {
+  sim::Simulator sim;
+  sim.schedule_delivery(msec(4), sim::Simulator::DeliveryKey{1, 0},
+                        sim::Callback([] {}));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.next_event_time(), msec(4));
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.next_event_time(), sim::Simulator::kNoEventTime);
+}
+
+// ---- ShardRouter ----
+
+TEST(ShardRouter, FlushInjectsIntoDestinationDeliveryLane) {
+  sim::Simulator sa;
+  sim::Simulator sb;
+  net::ShardRouter router;
+  const auto s0 = router.add_shard(nullptr, &sa);
+  const auto s1 = router.add_shard(nullptr, &sb);
+  router.set_shard(HostId{10}, s0);
+  router.set_shard(HostId{20}, s1);
+  EXPECT_EQ(router.shard_of(HostId{10}), s0);
+  EXPECT_EQ(router.shard_of(HostId{20}), s1);
+  EXPECT_EQ(router.shard_of(HostId{999}), 0u);  // unmapped -> shard 0
+
+  bool delivered = false;
+  router.post(s0, s1, msec(12), /*key_hi=*/42, /*key_lo=*/0,
+              sim::Callback([&delivered] { delivered = true; }));
+  EXPECT_FALSE(router.idle());
+  EXPECT_EQ(router.flush(msec(10)), 1u);
+  EXPECT_TRUE(router.idle());
+  EXPECT_EQ(router.messages_routed(), 1u);
+  EXPECT_FALSE(delivered);  // buffered into sb, not executed yet
+  sb.run_until(msec(12));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(sa.events_processed(), 0u);
+}
+
+TEST(ShardRouter, FlushThrowsWhenArrivalPrecedesWindowStart) {
+  sim::Simulator sa;
+  sim::Simulator sb;
+  net::ShardRouter router;
+  const auto s0 = router.add_shard(nullptr, &sa);
+  const auto s1 = router.add_shard(nullptr, &sb);
+  router.post(s0, s1, msec(5), 1, 0, sim::Callback([] {}));
+  EXPECT_THROW(router.flush(msec(6)), std::runtime_error);
+}
+
+// ---- resolve_thread_count (shared harness contract) ----
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(harness::resolve_thread_count(4, 8), 4u);
+  EXPECT_EQ(harness::resolve_thread_count(1, 8), 1u);
+  // An explicit request is honored even when hardware reports nothing.
+  EXPECT_EQ(harness::resolve_thread_count(3, 0), 3u);
+}
+
+TEST(ResolveThreadCount, ZeroPicksHardwareClampedToOne) {
+  EXPECT_EQ(harness::resolve_thread_count(0, 8), 8u);
+  // hardware_concurrency() == 0 means "unknown" — never 0 threads.
+  EXPECT_EQ(harness::resolve_thread_count(0, 0), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(harness::resolve_thread_count(0), hw == 0 ? 1u : hw);
+  EXPECT_GE(harness::resolve_thread_count(0), 1u);
+}
+
+// ---- WindowPool ----
+
+TEST(WindowPool, InlineWhenSingleThreaded) {
+  harness::WindowPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::atomic<int> sum{0};
+  pool.for_each(100, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(WindowPool, PooledRunsEveryIndexExactlyOnce) {
+  harness::WindowPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  for (int round = 0; round < 5; ++round) {  // reusable across barriers
+    pool.for_each(hits.size(), [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 5);
+}
+
+TEST(WindowPool, PropagatesExceptionsAndSurvives) {
+  harness::WindowPool pool(2);
+  EXPECT_THROW(
+      pool.for_each(8,
+                    [](std::size_t i) {
+                      if (i == 3) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // The pool must stay usable after a failed window.
+  std::atomic<int> ran{0};
+  pool.for_each(8, [&ran](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// ---- lookahead ----
+
+TEST(ShardedScenario, LookaheadHasPositiveFloorAndBoundsWindows) {
+  harness::ShardedConfig config;
+  config.base.seed = 5;
+  config.shards = 2;
+  config.force_windows = true;
+  harness::ShardedScenario scenario(config);
+  harness::NodeSpec spec;
+  spec.position = {44.9778, -93.2650};
+  scenario.add_node(spec);
+  spec.position = {45.2, -93.5};
+  scenario.add_node(spec);
+  const SimDuration lookahead = scenario.lookahead();
+  EXPECT_GT(lookahead, 0);
+  // The conservative bound can never exceed the smallest base one-way
+  // delay between the two hosts (jitter/slow floors only shrink it).
+  const SimDuration owd =
+      scenario.network_model().base_rtt(HostId{1}, HostId{2}) / 2;
+  EXPECT_LE(lookahead, owd);
+}
+
+TEST(ShardedScenario, WindowlessSingleShardUsesOneGiantWindow) {
+  harness::ShardedConfig config;
+  config.base.seed = 5;
+  config.shards = 1;
+  harness::ShardedScenario scenario(config);
+  harness::NodeSpec spec;
+  scenario.add_node(spec);
+  scenario.run_until(sec(5.0));
+  EXPECT_EQ(scenario.shard_stats().windows, 1u);
+}
+
+// ---- the witness ----
+
+void expect_identical_reports(const check::ShardRunReport& ref,
+                              const check::ShardRunReport& got,
+                              const std::string& what) {
+  EXPECT_EQ(got.trace_digest, ref.trace_digest) << what;
+  EXPECT_EQ(got.trace_events, ref.trace_events) << what;
+  EXPECT_EQ(got.frames_sent, ref.frames_sent) << what;
+  EXPECT_EQ(got.frames_ok, ref.frames_ok) << what;
+  EXPECT_EQ(got.frames_failed, ref.frames_failed) << what;
+  EXPECT_EQ(got.joins, ref.joins) << what;
+  EXPECT_EQ(got.switches, ref.switches) << what;
+  EXPECT_EQ(got.failovers, ref.failovers) << what;
+}
+
+TEST(ShardWitness, ShardedMatchesSequentialAcrossShardCounts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    const check::ScenarioSpec spec = check::generate_spec(seed);
+    const check::ShardRunReport ref = check::run_spec_sharded(spec, 0);
+    EXPECT_TRUE(ref.ok()) << "seed " << seed << ": "
+                          << (ref.violations.empty()
+                                  ? ""
+                                  : ref.violations.front().message);
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+      const check::ShardRunReport got = check::run_spec_sharded(spec, shards);
+      expect_identical_reports(
+          ref, got,
+          "seed " + std::to_string(seed) + " shards " +
+              std::to_string(shards));
+      EXPECT_TRUE(got.ok()) << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardWitness, OverloadFamilySpecsMatchToo) {
+  check::FuzzLimits limits;
+  limits.overload_families = true;
+  const check::ScenarioSpec spec = check::generate_spec(11, limits);
+  const check::ShardRunReport ref = check::run_spec_sharded(spec, 0);
+  const check::ShardRunReport got = check::run_spec_sharded(spec, 4);
+  expect_identical_reports(ref, got, "overload seed 11");
+}
+
+TEST(ShardWitness, ThreadCountDoesNotChangeTheDigest) {
+  const check::ScenarioSpec spec = check::generate_spec(3);
+  const check::ShardRunReport ref = check::run_spec_sharded(spec, 4);
+  check::ShardRunOptions wide;
+  wide.threads = 4;
+  const check::ShardRunReport got = check::run_spec_sharded(spec, 4, wide);
+  expect_identical_reports(ref, got, "threads 1 vs 4");
+}
+
+TEST(ShardWitness, ShorterForcedWindowsDoNotChangeTheDigest) {
+  const check::ScenarioSpec spec = check::generate_spec(5);
+  const check::ShardRunReport ref = check::run_spec_sharded(spec, 2);
+  ASSERT_GT(ref.shards.window_length, 1);
+  check::ShardRunOptions tight;
+  tight.window = ref.shards.window_length / 2;
+  const check::ShardRunReport got = check::run_spec_sharded(spec, 2, tight);
+  expect_identical_reports(ref, got, "half-length windows");
+  EXPECT_GE(got.shards.windows, ref.shards.windows);
+}
+
+TEST(ShardWitness, ReportsShardStats) {
+  const check::ScenarioSpec spec = check::generate_spec(1);
+  const check::ShardRunReport rep = check::run_spec_sharded(spec, 4);
+  EXPECT_EQ(rep.shards.events_per_domain.size(), 4u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t e : rep.shards.events_per_domain) total += e;
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(rep.shards.windows, 0u);
+  EXPECT_GT(rep.shards.window_length, 0);
+}
+
+}  // namespace
+}  // namespace eden

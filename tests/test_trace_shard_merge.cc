@@ -1,0 +1,140 @@
+// Canonical trace merge (obs::merge_shard_traces): per-shard TraceRecorder
+// streams merged into (time, site) order must be byte-identical to the
+// canonicalized single-stream ordering of the same events — the property
+// the sharded==sequential witness digest rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
+
+namespace eden {
+namespace {
+
+constexpr HostId kManager{0};
+
+obs::TraceEvent make_event(SimTime at, obs::EventKind kind,
+                           std::uint32_t actor, std::uint32_t subject = 0,
+                           double value = 0.0) {
+  obs::TraceEvent event;
+  event.at = at;
+  event.kind = kind;
+  event.actor = HostId{actor};
+  event.subject = HostId{subject};
+  event.value = value;
+  return event;
+}
+
+TEST(TraceSite, ActorSideEventsSiteAtTheActor) {
+  const auto probe = make_event(msec(5), obs::EventKind::kProbeSend, 7, 2);
+  EXPECT_EQ(obs::trace_site(probe, kManager), HostId{7});
+  const auto heartbeat =
+      make_event(msec(5), obs::EventKind::kNodeHeartbeat, 3);
+  EXPECT_EQ(obs::trace_site(heartbeat, kManager), HostId{3});
+}
+
+TEST(TraceSite, ManagerSideObservationsSiteAtTheManager) {
+  // These five kinds are recorded by the manager's domain even though the
+  // actor is the node/client concerned.
+  for (const obs::EventKind kind :
+       {obs::EventKind::kNodeExpire, obs::EventKind::kNodeRejoin,
+        obs::EventKind::kOverloadEnter, obs::EventKind::kOverloadExit,
+        obs::EventKind::kCellShed}) {
+    const auto event = make_event(msec(9), kind, 42);
+    EXPECT_EQ(obs::trace_site(event, kManager), kManager)
+        << obs::to_string(kind);
+  }
+}
+
+TEST(TraceShardMerge, MergedShardsMatchSingleStreamByteForByte) {
+  // A sequential recorder sees every event in execution order; the same
+  // run sharded two ways records per-domain sub-streams. All three merges
+  // must render to identical JSONL.
+  const std::vector<obs::TraceEvent> sequential = {
+      make_event(msec(1), obs::EventKind::kNodeRegister, 1),
+      make_event(msec(1), obs::EventKind::kNodeRegister, 2),
+      make_event(msec(2), obs::EventKind::kDiscoverySend, 5),
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 1, 0, 3.0),
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 1, 0, 4.0),
+      make_event(msec(2), obs::EventKind::kNodeExpire, 2),  // manager-side
+      make_event(msec(3), obs::EventKind::kJoinSend, 5, 1),
+  };
+  // Partition A: {manager+node1} vs {node2, client5}.
+  const std::vector<obs::TraceEvent> a0 = {
+      make_event(msec(1), obs::EventKind::kNodeRegister, 1),
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 1, 0, 3.0),
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 1, 0, 4.0),
+      make_event(msec(2), obs::EventKind::kNodeExpire, 2),
+  };
+  const std::vector<obs::TraceEvent> a1 = {
+      make_event(msec(1), obs::EventKind::kNodeRegister, 2),
+      make_event(msec(2), obs::EventKind::kDiscoverySend, 5),
+      make_event(msec(3), obs::EventKind::kJoinSend, 5, 1),
+  };
+  // Partition B: {manager+client5} vs {node1} vs {node2}.
+  const std::vector<obs::TraceEvent> b0 = {
+      make_event(msec(2), obs::EventKind::kDiscoverySend, 5),
+      make_event(msec(2), obs::EventKind::kNodeExpire, 2),
+      make_event(msec(3), obs::EventKind::kJoinSend, 5, 1),
+  };
+  const std::vector<obs::TraceEvent> b1 = {
+      make_event(msec(1), obs::EventKind::kNodeRegister, 1),
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 1, 0, 3.0),
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 1, 0, 4.0),
+  };
+  const std::vector<obs::TraceEvent> b2 = {
+      make_event(msec(1), obs::EventKind::kNodeRegister, 2),
+  };
+
+  const std::string canon_seq =
+      obs::events_to_jsonl(obs::merge_shard_traces({&sequential}, kManager));
+  const std::string canon_a =
+      obs::events_to_jsonl(obs::merge_shard_traces({&a0, &a1}, kManager));
+  const std::string canon_b =
+      obs::events_to_jsonl(obs::merge_shard_traces({&b0, &b1, &b2}, kManager));
+  EXPECT_EQ(canon_a, canon_seq);
+  EXPECT_EQ(canon_b, canon_seq);
+}
+
+TEST(TraceShardMerge, StableWithinOneSite) {
+  // Same (time, site) events must keep their recording order — the merge
+  // is a stable sort, never a shuffle.
+  const std::vector<obs::TraceEvent> stream = {
+      make_event(msec(2), obs::EventKind::kFrameSend, 4, 1, 10.0),
+      make_event(msec(2), obs::EventKind::kFrameSend, 4, 1, 11.0),
+      make_event(msec(2), obs::EventKind::kFrameSend, 4, 1, 12.0),
+  };
+  const auto merged = obs::merge_shard_traces({&stream}, kManager);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].value, 10.0);
+  EXPECT_EQ(merged[1].value, 11.0);
+  EXPECT_EQ(merged[2].value, 12.0);
+}
+
+TEST(TraceShardMerge, OrdersByTimeThenSite) {
+  const std::vector<obs::TraceEvent> high_site = {
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 9),
+  };
+  const std::vector<obs::TraceEvent> low_site = {
+      make_event(msec(2), obs::EventKind::kNodeHeartbeat, 3),
+      make_event(msec(1), obs::EventKind::kNodeHeartbeat, 3),
+  };
+  const auto merged =
+      obs::merge_shard_traces({&high_site, &low_site}, kManager);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].at, msec(1));
+  EXPECT_EQ(merged[1].actor, HostId{3});  // time ties break by site
+  EXPECT_EQ(merged[2].actor, HostId{9});
+}
+
+TEST(TraceShardMerge, EmptyPartsYieldEmptyStream) {
+  const std::vector<obs::TraceEvent> empty;
+  EXPECT_TRUE(obs::merge_shard_traces({}, kManager).empty());
+  EXPECT_TRUE(obs::merge_shard_traces({&empty, &empty}, kManager).empty());
+  EXPECT_EQ(obs::events_to_jsonl({}), "");
+}
+
+}  // namespace
+}  // namespace eden

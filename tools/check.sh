@@ -65,6 +65,40 @@ awk -v ref="$REF_ALLOCS" -v new="$NEW_ALLOCS" 'BEGIN {
   }
 }' || exit 1
 
+echo "=== [release] shard sweep gate (sharded == sequential observables) ==="
+# The smoke JSON now carries a shard sweep (1/2/4/8 shards over the same
+# fleet). Two gates: the sharded harness must report bit-identical
+# observables at every shard count, and the 1-shard sharded run must not
+# regress >2x against the committed reference wall-clock.
+if ! grep -q '"identical_across_shards": true' "$SMOKE_JSON"; then
+  echo "shard sweep: observables differ across shard counts" >&2
+  exit 1
+fi
+extract_shard1_run() {
+  grep -o '{"shards": 1,[^}]*' "$1" | head -1 |
+    grep -o '"run_sec": [0-9.]*' | grep -o '[0-9.]*$'
+}
+REF_SHARD=$(extract_shard1_run BENCH_scale.json)
+NEW_SHARD=$(extract_shard1_run "$SMOKE_JSON")
+if [ -z "$REF_SHARD" ] || [ -z "$NEW_SHARD" ]; then
+  echo "shard sweep: missing 1-shard run_sec (ref='$REF_SHARD' new='$NEW_SHARD')" >&2
+  exit 1
+fi
+echo "shard sweep 1-shard run_sec: committed=$REF_SHARD measured=$NEW_SHARD"
+awk -v ref="$REF_SHARD" -v new="$NEW_SHARD" 'BEGIN {
+  if (new > 2.0 * ref) {
+    printf "shard sweep: wall-clock regression >2x (%.3fs vs %.3fs)\n", new, ref
+    exit 1
+  }
+}' || exit 1
+
+echo "=== [release] shard witness smoke (eden_check --witness) ==="
+# Fuzzed topologies through the sharded harness at 1 and 4 shards: the
+# canonical trace digest must be bit-identical to the windowless
+# sequential reference on every seed.
+build-release/tools/eden_check --witness --seeds 25 --seed-base 1 \
+  --shards 1,4 --jobs "$JOBS" --budget-sec 120
+
 echo "=== [release] deterministic-simulation smoke (eden_check) ==="
 # Fixed-seed fuzz sweep under a wall-clock budget, preceded by the built-in
 # selftest (seeded seqNum-freeze bug must be caught, shrunk and replayed

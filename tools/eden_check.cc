@@ -21,6 +21,7 @@
 
 #include "check/fuzzer.h"
 #include "check/repro.h"
+#include "check/shard_witness.h"
 #include "check/shrink.h"
 #include "common/types.h"
 #include "harness/parallel_runner.h"
@@ -44,6 +45,11 @@ struct Args {
   // Layer the overload generator families (flash crowd / diurnal wave /
   // slow leak, load feedback on) onto every generated seed.
   bool overload{false};
+  // Shard witness: run every seed through the sharded harness at each
+  // count in --shards and pin the canonical digest against the one-shard
+  // sequential reference.
+  bool witness{false};
+  std::string shards{"1,2,4,8"};
 
   [[nodiscard]] check::FuzzLimits limits() const {
     check::FuzzLimits out;
@@ -58,7 +64,9 @@ void usage() {
       "usage: eden_check [--seeds N] [--seed-base B] [--seed S] [--jobs K]\n"
       "                  [--budget-sec S] [--out PATH] [--overload]\n"
       "                  [--replay PATH [--expect-violation]] [--selftest]\n"
-      "                  [--seed S --dump-spec PATH]\n");
+      "                  [--seed S --dump-spec PATH]\n"
+      "                  [--witness [--shards LIST]]  sharded==sequential "
+      "digest sweep\n");
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -100,6 +108,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.dump_path = v;
+    } else if (flag == "--witness") {
+      args.witness = true;
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      args.shards = v;
     } else if (flag == "--expect-violation") {
       args.expect_violation = true;
     } else if (flag == "--overload") {
@@ -239,6 +253,120 @@ int run_sweep(const Args& args) {
               static_cast<unsigned long long>(args.seeds),
               static_cast<unsigned long long>(args.seed_base),
               runner.threads());
+  return 0;
+}
+
+std::vector<unsigned> parse_shard_list(const std::string& list) {
+  std::vector<unsigned> out;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    if (v > 0) out.push_back(static_cast<unsigned>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+// Shard witness sweep: for every seed, run the windowless one-shard
+// sequential reference and then every requested shard count, and demand a
+// bit-identical canonical trace digest plus identical frame counters.
+// Exit codes: 0 clean, 1 oracle violation, 3 digest divergence (the
+// sharded runtime changed an observable event — the worst outcome).
+int run_witness(const Args& args) {
+  const std::vector<unsigned> shard_counts = parse_shard_list(args.shards);
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "eden_check: --shards parsed to nothing (%s)\n",
+                 args.shards.c_str());
+    return 2;
+  }
+  const std::uint64_t seeds = args.seeds > 0 ? args.seeds : 1;
+  const std::uint64_t base = args.single ? args.seed : args.seed_base;
+  const check::FuzzLimits limits = args.limits();
+
+  struct SeedVerdict {
+    int code{0};  // 0 ok, 1 violation, 3 divergence
+    std::string detail;
+  };
+  const harness::ParallelRunner runner(args.jobs);
+  const auto started = std::chrono::steady_clock::now();
+  auto budget_left = [&] {
+    if (args.budget_sec <= 0.0) return true;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    return elapsed.count() < args.budget_sec;
+  };
+
+  const std::size_t chunk = std::max<std::size_t>(runner.threads() * 4, 8);
+  std::uint64_t checked = 0;
+  int worst = 0;
+  while (checked < seeds && budget_left() && worst == 0) {
+    const std::uint64_t batch = std::min<std::uint64_t>(chunk, seeds - checked);
+    std::vector<std::function<SeedVerdict()>> jobs;
+    jobs.reserve(batch);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const std::uint64_t seed = base + checked + i;
+      jobs.emplace_back([seed, limits, &shard_counts] {
+        SeedVerdict verdict;
+        char buf[256];
+        const check::ScenarioSpec spec = check::generate_spec(seed, limits);
+        const check::ShardRunReport ref = check::run_spec_sharded(spec, 0);
+        if (!ref.ok()) {
+          std::snprintf(buf, sizeof(buf),
+                        "seed %llu: [%s] %s (sequential reference)",
+                        static_cast<unsigned long long>(seed),
+                        ref.violations.front().oracle.c_str(),
+                        ref.violations.front().message.c_str());
+          return SeedVerdict{1, buf};
+        }
+        for (const unsigned s : shard_counts) {
+          const check::ShardRunReport rep = check::run_spec_sharded(spec, s);
+          if (rep.trace_digest != ref.trace_digest ||
+              rep.trace_events != ref.trace_events ||
+              rep.frames_sent != ref.frames_sent ||
+              rep.frames_ok != ref.frames_ok ||
+              rep.frames_failed != ref.frames_failed) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "seed %llu: %u shard(s) diverged from the sequential "
+                "reference (digest %016llx vs %016llx, %zu vs %zu events, "
+                "frames ok %llu vs %llu)",
+                static_cast<unsigned long long>(seed), s,
+                static_cast<unsigned long long>(rep.trace_digest),
+                static_cast<unsigned long long>(ref.trace_digest),
+                rep.trace_events, ref.trace_events,
+                static_cast<unsigned long long>(rep.frames_ok),
+                static_cast<unsigned long long>(ref.frames_ok));
+            return SeedVerdict{3, buf};
+          }
+          if (!rep.ok()) {
+            std::snprintf(buf, sizeof(buf),
+                          "seed %llu: [%s] %s (at %u shards)",
+                          static_cast<unsigned long long>(seed),
+                          rep.violations.front().oracle.c_str(),
+                          rep.violations.front().message.c_str(), s);
+            return SeedVerdict{1, buf};
+          }
+        }
+        return verdict;
+      });
+    }
+    const std::vector<SeedVerdict> verdicts = runner.map(std::move(jobs));
+    for (const SeedVerdict& v : verdicts) {
+      if (v.code == 0) continue;
+      std::fprintf(stderr, "eden_check: %s\n", v.detail.c_str());
+      worst = std::max(worst, v.code);
+    }
+    checked += batch;
+  }
+  if (worst != 0) return worst;
+  std::printf(
+      "witness: %llu/%llu seed(s) (base %llu) bit-identical across shard "
+      "counts {%s} vs the sequential reference\n",
+      static_cast<unsigned long long>(checked),
+      static_cast<unsigned long long>(seeds),
+      static_cast<unsigned long long>(base), args.shards.c_str());
   return 0;
 }
 
@@ -423,6 +551,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args.selftest) return run_selftest(args);
+  if (args.witness) return run_witness(args);
   if (!args.replay_path.empty()) return run_replay(args);
   if (args.single) return run_single(args);
   if (args.seeds > 0) return run_sweep(args);
