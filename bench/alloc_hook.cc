@@ -4,6 +4,8 @@
 // forwarded untouched so the hook never changes lifetime behavior.
 #include "alloc_hook.h"
 
+#include <execinfo.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -11,14 +13,32 @@
 namespace {
 
 std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_trace{false};
+
+// Dump the caller's backtrace with backtrace_symbols_fd (which writes
+// straight to the fd without allocating). A thread-local guard breaks the
+// recursion when the unwinder itself allocates on its first use.
+void trace_allocation() {
+  thread_local bool in_trace = false;
+  if (in_trace) return;
+  in_trace = true;
+  void* frames[16];
+  const int depth = backtrace(frames, 16);
+  backtrace_symbols_fd(frames, depth, 2);
+  static const char kSep[] = "----\n";
+  (void)!::write(2, kSep, sizeof(kSep) - 1);
+  in_trace = false;
+}
 
 void* counted_alloc(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (g_trace.load(std::memory_order_relaxed)) trace_allocation();
   return std::malloc(size != 0 ? size : 1);
 }
 
 void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (g_trace.load(std::memory_order_relaxed)) trace_allocation();
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
   return std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
@@ -30,6 +50,10 @@ namespace eden::bench {
 
 std::uint64_t allocation_count() {
   return g_allocations.load(std::memory_order_relaxed);
+}
+
+void set_allocation_trace(bool enabled) {
+  g_trace.store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace eden::bench

@@ -13,4 +13,10 @@ namespace eden::bench {
 // Number of operator-new calls (all forms) since process start.
 std::uint64_t allocation_count();
 
+// Diagnostic: while enabled, every operator-new call dumps a raw return
+// address backtrace to stderr (resolve offline with addr2line -e <bin>).
+// Used by bench_live --trace-allocs to attribute steady-state allocations
+// to their call sites. Off by default; has no cost when off.
+void set_allocation_trace(bool enabled);
+
 }  // namespace eden::bench

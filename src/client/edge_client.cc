@@ -142,11 +142,26 @@ void EdgeClient::probing_cycle(int retries_left) {
   });
 }
 
+std::shared_ptr<EdgeClient::ProbeCycle> EdgeClient::acquire_probe_cycle() {
+  for (auto& slot : cycle_pool_) {
+    if (slot.use_count() == 1) {
+      slot->results.clear();
+      slot->pending = 0;
+      slot->cycle = 0;
+      return slot;
+    }
+  }
+  auto cycle = std::make_shared<ProbeCycle>();
+  cycle_pool_.push_back(cycle);
+  return cycle;
+}
+
 void EdgeClient::probe_candidates(
     const std::vector<net::CandidateInfo>& candidates, int retries_left) {
-  auto cycle = std::make_shared<ProbeCycle>();
+  auto cycle = acquire_probe_cycle();
   cycle->cycle = cycle_counter_;
   cycle->pending = candidates.size();
+  cycle->results.reserve(candidates.size());
 
   for (const auto& candidate : candidates) {
     net::NodeApi* api = resolver_(candidate.node);
@@ -239,10 +254,10 @@ void EdgeClient::finish_probe_cycle(const std::shared_ptr<ProbeCycle>& cycle,
       break;
     }
   }
-  attempt_join(sorted, retries_left);
+  attempt_join(std::move(sorted), retries_left);
 }
 
-void EdgeClient::attempt_join(const std::vector<ProbeResult>& sorted,
+void EdgeClient::attempt_join(std::vector<ProbeResult> sorted,
                               int retries_left) {
   const ProbeResult& best = sorted.front();
   net::NodeApi* api = resolver_(best.node);
@@ -254,10 +269,17 @@ void EdgeClient::attempt_join(const std::vector<ProbeResult>& sorted,
   request.client = config_.id;
   request.seq_num = best.process.seq_num;
   request.rate_fps = rate_.fps();
-  trace(obs::EventKind::kJoinSend, best.node, cycle_counter_);
+  // `best` points into `sorted`; read everything needed from it before the
+  // init-capture below moves the vector out from under it.
+  const NodeId node = best.node;
+  trace(obs::EventKind::kJoinSend, node, cycle_counter_);
   const SimTime join_sent_at = scheduler_->now();
-  api->join(request, [this, sorted, retries_left, join_sent_at,
-                      node = best.node](std::optional<net::JoinResponse> jr) {
+  // Init-capture moves the list into the closure (a plain by-value capture
+  // of a const reference would make the member const, degrading the
+  // closure's move into a throwing vector copy that forces the SBO
+  // callable to the heap).
+  api->join(request, [this, sorted = std::move(sorted), retries_left,
+                      join_sent_at, node](std::optional<net::JoinResponse> jr) {
     if (!running_) return;
     const double join_ms = to_ms(scheduler_->now() - join_sent_at);
     if (jr && jr->accepted) {

@@ -165,13 +165,23 @@ class EdgeClient {
     std::uint64_t cycle{0};
   };
 
+  // Reusable ProbeCycle slots. Straggler probe callbacks from an aborted
+  // cycle can outlive it (they hold the shared_ptr), so a slot is only
+  // recycled once its use_count drops back to the pool's own reference —
+  // and the pool stays tiny (concurrent cycles + stragglers). Keeping the
+  // slot also keeps its results vector's capacity, so a steady-state probe
+  // cycle allocates nothing.
+  [[nodiscard]] std::shared_ptr<ProbeCycle> acquire_probe_cycle();
+
   void arm_probing_timer();
   void probing_cycle(int retries_left);
   void probe_candidates(const std::vector<net::CandidateInfo>& candidates,
                         int retries_left);
   void finish_probe_cycle(const std::shared_ptr<ProbeCycle>& cycle,
                           int retries_left);
-  void attempt_join(const std::vector<ProbeResult>& sorted, int retries_left);
+  // Takes the sorted candidate list by value: it is moved into the join
+  // completion's capture, so a join costs no vector copy.
+  void attempt_join(std::vector<ProbeResult> sorted, int retries_left);
   void adopt_backups(const std::vector<ProbeResult>& sorted,
                      std::size_t skip_first);
 
@@ -224,6 +234,7 @@ class EdgeClient {
   std::optional<NodeId> current_;
   std::vector<NodeId> backups_;
   std::vector<ProbeResult> last_sorted_;
+  std::vector<std::shared_ptr<ProbeCycle>> cycle_pool_;
   std::uint64_t next_frame_id_{1};
   sim::EventId probing_event_{sim::kInvalidEvent};
   sim::EventId frame_event_{sim::kInvalidEvent};

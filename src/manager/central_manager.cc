@@ -110,6 +110,13 @@ void CentralManager::handle_deregister(NodeId node) {
 
 net::DiscoveryResponse CentralManager::handle_discover(
     const net::DiscoveryRequest& request) {
+  net::DiscoveryResponse response;
+  handle_discover(request, response);
+  return response;
+}
+
+void CentralManager::handle_discover(const net::DiscoveryRequest& request,
+                                     net::DiscoveryResponse& out) {
   ++stats_.discovery_queries;
   if (discoveries_ != nullptr) discoveries_->inc();
   // Expire explicitly (the selector's internal expire then finds nothing)
@@ -127,7 +134,7 @@ net::DiscoveryResponse CentralManager::handle_discover(
                       static_cast<double>(hot)});
     }
   }
-  return selector_.select(request, registry_, now, hot > 0);
+  selector_.select_into(request, registry_, out, now, hot > 0);
 }
 
 int CentralManager::cell_hot(const net::DiscoveryRequest& request,

@@ -63,6 +63,11 @@ class CentralManager {
   void handle_deregister(NodeId node);
   [[nodiscard]] net::DiscoveryResponse handle_discover(
       const net::DiscoveryRequest& request);
+  // Out-parameter variant: fills `out` (clearing its candidate list) so a
+  // transport-owned response's capacity is reused across queries. The
+  // by-value overload delegates here.
+  void handle_discover(const net::DiscoveryRequest& request,
+                       net::DiscoveryResponse& out);
 
   // Swap the global selection policy (e.g. for ablations); takes effect
   // on the next discovery query.

@@ -81,11 +81,13 @@ double GlobalSelector::score(const net::DiscoveryRequest& request,
                             geo::geohash_decode_center(node.geohash));
 }
 
-net::DiscoveryResponse GlobalSelector::rank(
-    const net::DiscoveryRequest& request, std::vector<Candidate>& qualified,
-    SimTime now, bool shed_to_cloud) const {
+void GlobalSelector::rank(const net::DiscoveryRequest& request,
+                          std::vector<Candidate>& qualified, SimTime now,
+                          bool shed_to_cloud,
+                          net::DiscoveryResponse& out) const {
   const int top_n = std::max(1, request.top_n);
-  std::vector<std::pair<double, const net::NodeStatus*>> ranked;
+  auto& ranked = rank_scratch_;
+  ranked.clear();
   ranked.reserve(qualified.size());
   for (const Candidate& candidate : qualified) {
     const double uptime_sec =
@@ -126,14 +128,13 @@ net::DiscoveryResponse GlobalSelector::rank(
                       return a.second->node < b.second->node;
                     });
 
-  net::DiscoveryResponse response;
-  response.candidates.reserve(keep);
+  out.candidates.clear();
+  out.candidates.reserve(keep);
   for (std::size_t i = 0; i < keep; ++i) {
     const auto& [s, status] = ranked[i];
-    response.candidates.push_back(
+    out.candidates.push_back(
         net::CandidateInfo{status->node, status->geohash, s, status->endpoint});
   }
-  return response;
 }
 
 net::DiscoveryResponse GlobalSelector::select(
@@ -157,7 +158,7 @@ net::DiscoveryResponse GlobalSelector::select(
   // centers — a raw prefix filter would drop close nodes that fall across
   // a cell boundary; prefix matching is only the fallback for hashes that
   // do not decode, needing one fewer shared character per widening step.
-  std::vector<Candidate> qualified;
+  auto& qualified = qualified_scratch_;
   for (std::size_t ri = 0; ri < std::size(kRadiiKm); ++ri) {
     const double radius = kRadiiKm[ri];
     const int needed =
@@ -189,12 +190,23 @@ net::DiscoveryResponse GlobalSelector::select(
       break;
     }
   }
-  return rank(request, qualified, now, shed_to_cloud);
+  net::DiscoveryResponse response;
+  rank(request, qualified, now, shed_to_cloud, response);
+  return response;
 }
 
 net::DiscoveryResponse GlobalSelector::select(
     const net::DiscoveryRequest& request, Registry& registry,
     SimTime now, bool shed_to_cloud) const {
+  net::DiscoveryResponse response;
+  select_into(request, registry, response, now, shed_to_cloud);
+  return response;
+}
+
+void GlobalSelector::select_into(const net::DiscoveryRequest& request,
+                                 Registry& registry,
+                                 net::DiscoveryResponse& out, SimTime now,
+                                 bool shed_to_cloud) const {
   const int top_n = std::max(1, request.top_n);
   const auto user_center = geo::geohash_decode_center(request.geohash);
 
@@ -202,7 +214,7 @@ net::DiscoveryResponse GlobalSelector::select(
   // visits registry buckets that can intersect the search disc (plus the
   // no-geohash fallback bucket); the exact per-node check is unchanged, so
   // the qualified set — and therefore the response — is byte-identical.
-  std::vector<Candidate> qualified;
+  auto& qualified = qualified_scratch_;
   for (std::size_t ri = 0; ri < std::size(kRadiiKm); ++ri) {
     const double radius = kRadiiKm[ri];
     const int needed =
@@ -250,7 +262,7 @@ net::DiscoveryResponse GlobalSelector::select(
       break;
     }
   }
-  return rank(request, qualified, now, shed_to_cloud);
+  rank(request, qualified, now, shed_to_cloud, out);
 }
 
 }  // namespace eden::manager

@@ -61,6 +61,14 @@ class GlobalSelector {
       const net::DiscoveryRequest& request, Registry& registry,
       SimTime now = 0, bool shed_to_cloud = false) const;
 
+  // Out-parameter variant of the index-backed overload: fills `out`
+  // (clearing its candidate list first) so a caller-owned response's
+  // capacity is reused across queries — the live manager's discovery hot
+  // path performs no per-query allocation at steady state.
+  void select_into(const net::DiscoveryRequest& request, Registry& registry,
+                   net::DiscoveryResponse& out, SimTime now = 0,
+                   bool shed_to_cloud = false) const;
+
   // Linear-scan selection over a materialized entry list (tests, ablation
   // studies, equivalence checks).
   [[nodiscard]] net::DiscoveryResponse select(
@@ -100,14 +108,21 @@ class GlobalSelector {
                                             double uptime_sec,
                                             double proximity) const;
 
-  // Rank `qualified` and emit the TopN response (bounded partial sort with
-  // the deterministic node-id tie-break).
-  [[nodiscard]] net::DiscoveryResponse rank(const net::DiscoveryRequest& request,
-                                            std::vector<Candidate>& qualified,
-                                            SimTime now,
-                                            bool shed_to_cloud) const;
+  // Rank `qualified` and emit the TopN response into `out` (bounded
+  // partial sort with the deterministic node-id tie-break).
+  void rank(const net::DiscoveryRequest& request,
+            std::vector<Candidate>& qualified, SimTime now,
+            bool shed_to_cloud, net::DiscoveryResponse& out) const;
 
   GlobalPolicy policy_;
+
+  // Per-query working sets, reused across select() calls so the discovery
+  // hot path performs no growth allocations at steady state. Selection is
+  // logically const; these are pure scratch. Not thread-safe — one
+  // selector belongs to one manager, driven from one loop (or the
+  // single-threaded simulator).
+  mutable std::vector<Candidate> qualified_scratch_;
+  mutable std::vector<std::pair<double, const net::NodeStatus*>> rank_scratch_;
 };
 
 }  // namespace eden::manager

@@ -127,9 +127,7 @@ void Executor::on_complete(std::uint64_t generation, SimTime enqueued_at,
   ++completed_;
   const double proc_ms = to_ms(scheduler_->now() - enqueued_at);
   if (!queue_.empty()) {
-    Job next = std::move(queue_.front());
-    queue_.pop_front();
-    start(std::move(next));
+    start(queue_.pop_front());
   }
   if (done) done(proc_ms);
 }

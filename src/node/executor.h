@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.h"
@@ -56,11 +55,13 @@ class Executor {
   // kShedMs when the executor refused it (queue full / credit throttle).
   // Every submitted job's completion fires exactly once — except across
   // reset(), which deliberately silences the generation it cut off.
-  // Capacity 80 (two steps above the protocol-wide 48) because the offload
-  // completion nests a whole net::Done<FrameResponse> (56 bytes) next to
-  // the node pointer, frame id and client id — move-only SBO keeps that
-  // chain of callbacks allocation-free end to end.
-  using Completion = sim::BasicFunc<80, double /*proc_ms*/>;
+  // Capacity 96 because the offload completion nests a whole
+  // net::Done<FrameResponse> (a 64-byte object: 56-byte inline buffer +
+  // ops pointer) next to the node pointer, frame id and client id (88
+  // bytes, padded to 96 by the Done's 16-byte alignment) — move-only SBO
+  // keeps that chain of callbacks allocation-free end to end, once per
+  // frame on every node.
+  using Completion = sim::BasicFunc<96, double /*proc_ms*/>;
 
   // Sentinel passed to a shed job's completion; any negative proc_ms means
   // "not processed".
@@ -97,9 +98,56 @@ class Executor {
 
  private:
   struct Job {
-    double cost;
+    double cost{0};
     Completion done;
-    SimTime enqueued_at;
+    SimTime enqueued_at{0};
+  };
+
+  // FIFO ring over a power-of-two vector. A std::deque allocates a fresh
+  // node every few pushes as its cursor walks forward — even at constant
+  // queue depth — which shows up as steady-state allocations on the frame
+  // path. The ring reuses its slots; it only allocates on capacity growth.
+  class JobRing {
+   public:
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+
+    void push_back(Job job) {
+      if (size_ == slots_.size()) grow();
+      slots_[(head_ + size_) & (slots_.size() - 1)] = std::move(job);
+      ++size_;
+    }
+
+    Job pop_front() {
+      Job job = std::move(slots_[head_]);
+      head_ = (head_ + 1) & (slots_.size() - 1);
+      --size_;
+      return job;
+    }
+
+    // Drops every queued job (destroying its completion) but keeps the
+    // slot storage for reuse.
+    void clear() {
+      for (std::size_t i = 0; i < size_; ++i) {
+        slots_[(head_ + i) & (slots_.size() - 1)] = Job{};
+      }
+      head_ = 0;
+      size_ = 0;
+    }
+
+   private:
+    void grow() {
+      std::vector<Job> next(slots_.empty() ? 8 : slots_.size() * 2);
+      for (std::size_t i = 0; i < size_; ++i) {
+        next[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+      }
+      slots_ = std::move(next);
+      head_ = 0;
+    }
+
+    std::vector<Job> slots_;
+    std::size_t head_{0};
+    std::size_t size_{0};
   };
   // In-flight jobs parked in a free-listed slab so the scheduled completion
   // event captures only {executor, generation, slot} — small enough to
@@ -121,7 +169,7 @@ class Executor {
 
   sim::Scheduler* scheduler_;
   ExecutorConfig config_;
-  std::deque<Job> queue_;
+  JobRing queue_;
   std::vector<InFlight> inflight_;
   std::uint32_t inflight_free_head_{kNoFreeSlot};
   int busy_{0};

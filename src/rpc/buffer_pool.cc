@@ -1,0 +1,23 @@
+#include "rpc/buffer_pool.h"
+
+namespace eden::rpc {
+
+std::uint32_t BufferPool::acquire() {
+  ++in_use_;
+  ++total_acquires_;
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  const std::uint32_t idx = static_cast<std::uint32_t>(chunks_.size());
+  chunks_.emplace_back();
+  return idx;
+}
+
+void BufferPool::release(std::uint32_t idx) {
+  free_.push_back(idx);
+  --in_use_;
+}
+
+}  // namespace eden::rpc

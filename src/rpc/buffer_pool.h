@@ -1,0 +1,54 @@
+// Slab buffer pool for the live data plane: fixed-size chunks handed out
+// by index from a freelist, shared by every connection on one event loop.
+// Frames are serialized straight into pool chunks (a frame may span
+// several) and released as the kernel drains them, so steady-state traffic
+// recycles the same chunks instead of allocating per frame.
+//
+// Chunks live in a deque so their addresses are stable across growth; the
+// pool only allocates when the working set grows past its high-water mark.
+// in_use() must return to zero once every connection has closed — the
+// live smoke test and bench_live assert this as the leak oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace eden::rpc {
+
+class BufferPool {
+ public:
+  static constexpr std::size_t kChunkBytes = 4096;
+
+  // Returns the index of a chunk owned by the caller until release().
+  std::uint32_t acquire();
+  void release(std::uint32_t idx);
+
+  [[nodiscard]] std::uint8_t* data(std::uint32_t idx) {
+    return chunks_[idx].bytes;
+  }
+  [[nodiscard]] const std::uint8_t* data(std::uint32_t idx) const {
+    return chunks_[idx].bytes;
+  }
+
+  // Chunks currently held by callers (acquires minus releases).
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  // High-water mark: total chunks ever allocated.
+  [[nodiscard]] std::size_t capacity() const { return chunks_.size(); }
+  [[nodiscard]] std::uint64_t total_acquires() const {
+    return total_acquires_;
+  }
+
+ private:
+  struct Chunk {
+    std::uint8_t bytes[kChunkBytes];
+  };
+
+  std::deque<Chunk> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::size_t in_use_{0};
+  std::uint64_t total_acquires_{0};
+};
+
+}  // namespace eden::rpc

@@ -1,24 +1,37 @@
 #include "rpc/event_loop.h"
 
 #include <fcntl.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 
 namespace eden::rpc {
+namespace {
+
+// epoll user data for the wake pipe; watch slots use gen<<32|idx, and idx
+// is always < 2^32-1, so this value cannot collide.
+constexpr std::uint64_t kWakeData = ~0ull;
+
+}  // namespace
 
 EventLoop::EventLoop() : origin_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (::pipe(wake_pipe_) == 0) {
     ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
     ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeData;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev);
   }
 }
 
 EventLoop::~EventLoop() {
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
 SimTime EventLoop::now() const {
@@ -27,38 +40,220 @@ SimTime EventLoop::now() const {
       .count();
 }
 
+// ---- timers -------------------------------------------------------------
+
 sim::EventId EventLoop::schedule_after(SimDuration delay, sim::Callback fn) {
   if (delay < 0) delay = 0;
-  const sim::EventId id = next_timer_id_++;
-  const SimTime deadline = now() + delay;
-  timers_.emplace(std::make_pair(deadline, id), std::move(fn));
-  timer_deadlines_[id] = deadline;
+  std::uint32_t idx;
+  if (timer_free_head_ != kNil) {
+    idx = timer_free_head_;
+    timer_free_head_ = timer_slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.emplace_back();
+  }
+  TimerSlot& slot = timer_slots_[idx];
+  slot.fn = std::move(fn);
+  slot.next_free = kNil;
+  const sim::EventId id =
+      (static_cast<std::uint64_t>(slot.gen) << 32) | (idx + 1ull);
+  timer_heap_.push_back(HeapEntry{now() + delay, timer_seq_++, id});
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), HeapLater{});
+  ++live_timers_;
   return id;
 }
 
 bool EventLoop::cancel(sim::EventId id) {
-  const auto it = timer_deadlines_.find(id);
-  if (it == timer_deadlines_.end()) return false;
-  timers_.erase({it->second, id});
-  timer_deadlines_.erase(it);
+  const std::uint32_t idx = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= timer_slots_.size()) return false;
+  TimerSlot& slot = timer_slots_[idx];
+  if (slot.gen != gen || !slot.fn) return false;
+  slot.fn.reset();
+  ++slot.gen;
+  slot.next_free = timer_free_head_;
+  timer_free_head_ = idx;
+  --live_timers_;
+  // The heap entry stays behind and is skipped lazily; compact when dead
+  // entries dominate so cancel-heavy workloads stay O(log live).
+  maybe_compact_heap();
   return true;
 }
 
-void EventLoop::watch(int fd, bool want_read, bool want_write,
-                      IoCallback callback) {
-  watches_[fd] = Watch{want_read, want_write, std::move(callback)};
+void EventLoop::maybe_compact_heap() {
+  if (timer_heap_.size() <= 2 * live_timers_ + 64) return;
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : timer_heap_) {
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(entry.id & 0xffffffffu) - 1;
+    const std::uint32_t gen = static_cast<std::uint32_t>(entry.id >> 32);
+    if (idx < timer_slots_.size() && timer_slots_[idx].gen == gen &&
+        timer_slots_[idx].fn) {
+      timer_heap_[kept++] = entry;
+    }
+  }
+  timer_heap_.resize(kept);
+  std::make_heap(timer_heap_.begin(), timer_heap_.end(), HeapLater{});
+}
+
+void EventLoop::pop_dead_heap_top() {
+  while (!timer_heap_.empty()) {
+    const HeapEntry& top = timer_heap_.front();
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(top.id & 0xffffffffu) - 1;
+    const std::uint32_t gen = static_cast<std::uint32_t>(top.id >> 32);
+    if (idx < timer_slots_.size() && timer_slots_[idx].gen == gen &&
+        timer_slots_[idx].fn) {
+      return;
+    }
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), HeapLater{});
+    timer_heap_.pop_back();
+  }
+}
+
+void EventLoop::fire_due_timers() {
+  const SimTime current = now();
+  while (true) {
+    pop_dead_heap_top();
+    if (timer_heap_.empty() || timer_heap_.front().deadline > current) break;
+    const sim::EventId id = timer_heap_.front().id;
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), HeapLater{});
+    timer_heap_.pop_back();
+    const std::uint32_t idx = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    TimerSlot& slot = timer_slots_[idx];
+    // Release the slot before invoking: the callback may schedule new
+    // timers (and re-use this very slot).
+    sim::Callback fn = std::move(slot.fn);
+    slot.fn.reset();
+    ++slot.gen;
+    slot.next_free = timer_free_head_;
+    timer_free_head_ = idx;
+    --live_timers_;
+    fn();
+  }
+}
+
+// ---- watches ------------------------------------------------------------
+
+EventLoop::WatchId EventLoop::register_watch(int fd, bool want_read,
+                                             bool want_write, IoSink* sink,
+                                             std::uint64_t tag,
+                                             IoFunc callback) {
+  std::uint32_t idx;
+  if (watch_free_head_ != kNil) {
+    idx = watch_free_head_;
+    watch_free_head_ = watch_slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(watch_slots_.size());
+    watch_slots_.emplace_back();
+  }
+  WatchSlot& slot = watch_slots_[idx];
+  slot.fd = fd;
+  slot.want_read = want_read;
+  slot.want_write = want_write;
+  slot.sink = sink;
+  slot.tag = tag;
+  slot.callback = std::move(callback);
+  slot.next_free = kNil;
+  ++live_watches_;
+
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = (static_cast<std::uint64_t>(slot.gen) << 32) | idx;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  return (static_cast<std::uint64_t>(slot.gen) << 32) | (idx + 1ull);
+}
+
+EventLoop::WatchId EventLoop::watch_sink(int fd, bool want_read,
+                                         bool want_write, IoSink* sink,
+                                         std::uint64_t tag) {
+  return register_watch(fd, want_read, want_write, sink, tag, IoFunc{});
+}
+
+EventLoop::WatchId EventLoop::watch(int fd, bool want_read, bool want_write,
+                                    IoFunc callback) {
+  // fd-keyed semantics: re-watching an fd replaces the previous watch.
+  unwatch(fd);
+  const WatchId id =
+      register_watch(fd, want_read, want_write, nullptr, 0, std::move(callback));
+  fd_index_.emplace_back(fd, static_cast<std::uint32_t>((id & 0xffffffffu) - 1));
+  return id;
+}
+
+EventLoop::WatchSlot* EventLoop::resolve_watch(WatchId id) {
+  if (id == 0) return nullptr;
+  const std::uint32_t idx = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= watch_slots_.size()) return nullptr;
+  WatchSlot& slot = watch_slots_[idx];
+  if (slot.gen != gen || slot.fd < 0) return nullptr;
+  return &slot;
+}
+
+void EventLoop::apply_interest(std::uint32_t idx) {
+  WatchSlot& slot = watch_slots_[idx];
+  epoll_event ev{};
+  ev.events = (slot.want_read ? EPOLLIN : 0u) |
+              (slot.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = (static_cast<std::uint64_t>(slot.gen) << 32) | idx;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, slot.fd, &ev);
+}
+
+void EventLoop::update_watch(WatchId id, bool want_read, bool want_write) {
+  WatchSlot* slot = resolve_watch(id);
+  if (slot == nullptr) return;
+  if (slot->want_read == want_read && slot->want_write == want_write) return;
+  slot->want_read = want_read;
+  slot->want_write = want_write;
+  apply_interest(static_cast<std::uint32_t>(id & 0xffffffffu) - 1);
+}
+
+void EventLoop::release_watch(std::uint32_t idx) {
+  WatchSlot& slot = watch_slots_[idx];
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, slot.fd, nullptr);
+  slot.fd = -1;
+  slot.sink = nullptr;
+  slot.tag = 0;
+  slot.callback.reset();
+  ++slot.gen;
+  slot.next_free = watch_free_head_;
+  watch_free_head_ = idx;
+  --live_watches_;
+}
+
+void EventLoop::unwatch_id(WatchId id) {
+  if (resolve_watch(id) == nullptr) return;
+  release_watch(static_cast<std::uint32_t>(id & 0xffffffffu) - 1);
 }
 
 void EventLoop::update_interest(int fd, bool want_read, bool want_write) {
-  const auto it = watches_.find(fd);
-  if (it == watches_.end()) return;
-  it->second.want_read = want_read;
-  it->second.want_write = want_write;
+  for (const auto& [watched_fd, idx] : fd_index_) {
+    if (watched_fd != fd) continue;
+    WatchSlot& slot = watch_slots_[idx];
+    if (slot.fd != fd) return;  // stale index entry
+    if (slot.want_read != want_read || slot.want_write != want_write) {
+      slot.want_read = want_read;
+      slot.want_write = want_write;
+      apply_interest(idx);
+    }
+    return;
+  }
 }
 
-void EventLoop::unwatch(int fd) { watches_.erase(fd); }
+void EventLoop::unwatch(int fd) {
+  for (std::size_t i = 0; i < fd_index_.size(); ++i) {
+    if (fd_index_[i].first != fd) continue;
+    const std::uint32_t idx = fd_index_[i].second;
+    fd_index_[i] = fd_index_.back();
+    fd_index_.pop_back();
+    if (watch_slots_[idx].fd == fd) release_watch(idx);
+    return;
+  }
+}
 
-void EventLoop::post(std::function<void()> fn) {
+// ---- posting / lifecycle ------------------------------------------------
+
+void EventLoop::post(sim::Callback fn) {
   {
     const std::lock_guard<std::mutex> lock(posted_mutex_);
     posted_.push_back(std::move(fn));
@@ -74,27 +269,20 @@ void EventLoop::stop() {
 }
 
 void EventLoop::drain_posted() {
-  std::vector<std::function<void()>> batch;
   {
     const std::lock_guard<std::mutex> lock(posted_mutex_);
-    batch.swap(posted_);
+    if (posted_.empty()) return;
+    posted_.swap(draining_);  // ping-pong: both buffers retain capacity
   }
-  for (auto& fn : batch) fn();
+  for (sim::Callback& fn : draining_) fn();
+  draining_.clear();
 }
 
-void EventLoop::fire_due_timers() {
-  const SimTime current = now();
-  while (!timers_.empty() && timers_.begin()->first.first <= current) {
-    auto node = timers_.extract(timers_.begin());
-    timer_deadlines_.erase(node.key().second);
-    node.mapped()();
-  }
-}
-
-int EventLoop::next_poll_timeout_ms(SimTime deadline, bool has_deadline) {
+int EventLoop::next_wait_timeout_ms(SimTime deadline, bool has_deadline) {
   SimTime next = has_deadline ? deadline : -1;
-  if (!timers_.empty()) {
-    const SimTime timer_deadline = timers_.begin()->first.first;
+  pop_dead_heap_top();
+  if (!timer_heap_.empty()) {
+    const SimTime timer_deadline = timer_heap_.front().deadline;
     next = next < 0 ? timer_deadline : std::min(next, timer_deadline);
   }
   if (next < 0) return 250;  // idle heartbeat so stop() is always noticed
@@ -111,48 +299,49 @@ void EventLoop::run_for(SimDuration duration) {
 
 void EventLoop::run_until_deadline(SimTime deadline, bool has_deadline) {
   stop_requested_.store(false, std::memory_order_relaxed);
+  epoll_event events[kMaxEpollEvents];
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     if (has_deadline && now() >= deadline) break;
     drain_posted();
     fire_due_timers();
 
-    std::vector<pollfd> fds;
-    std::vector<int> fd_order;
-    fds.reserve(watches_.size() + 1);
-    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
-    for (const auto& [fd, watch] : watches_) {
-      short events = 0;
-      if (watch.want_read) events |= POLLIN;
-      if (watch.want_write) events |= POLLOUT;
-      if (events == 0) continue;
-      fds.push_back(pollfd{fd, events, 0});
-      fd_order.push_back(fd);
-    }
-
-    const int timeout = next_poll_timeout_ms(deadline, has_deadline);
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    const int timeout = next_wait_timeout_ms(deadline, has_deadline);
+    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
 
-    if (fds[0].revents & POLLIN) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+    for (int i = 0; i < ready; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == kWakeData) {
+        char drain[64];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
       }
-    }
-
-    for (std::size_t i = 1; i < fds.size(); ++i) {
-      const auto& pfd = fds[i];
-      if (pfd.revents == 0) continue;
-      // The callback may unwatch/close fds — re-check registration.
-      const auto it = watches_.find(fd_order[i - 1]);
-      if (it == watches_.end()) continue;
-      const bool readable = (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
-      const bool writable = (pfd.revents & (POLLOUT | POLLERR)) != 0;
-      // Copy: the callback may erase its own watch entry.
-      IoCallback callback = it->second.callback;
-      callback(readable, writable);
+      const std::uint32_t idx = static_cast<std::uint32_t>(ev.data.u64);
+      const std::uint32_t gen = static_cast<std::uint32_t>(ev.data.u64 >> 32);
+      if (idx >= watch_slots_.size()) continue;
+      WatchSlot& slot = watch_slots_[idx];
+      // A callback earlier in this batch may have unwatched (and even
+      // re-used) the slot — the generation stamp filters stale events.
+      if (slot.gen != gen || slot.fd < 0) continue;
+      const bool readable =
+          (ev.events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      const bool writable = (ev.events & (EPOLLOUT | EPOLLERR)) != 0;
+      if (slot.sink != nullptr) {
+        slot.sink->on_io_event(slot.tag, readable, writable);
+      } else if (slot.callback) {
+        // Move the callable out so the callback may unwatch its own slot;
+        // restore it if the watch is still alive and was not replaced.
+        IoFunc fn = std::move(slot.callback);
+        fn(readable, writable);
+        WatchSlot& after = watch_slots_[idx];
+        if (after.gen == gen && after.fd >= 0 && !after.callback) {
+          after.callback = std::move(fn);
+        }
+      }
     }
 
     drain_posted();

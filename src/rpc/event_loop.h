@@ -1,7 +1,16 @@
-// Single-threaded poll(2)-based event loop with a timer queue. Implements
-// sim::Scheduler against the wall clock, so the same protocol classes
-// (EdgeNode, CentralManager, EdgeClient) that run under the discrete-event
-// simulator run unmodified as a real distributed system over TCP.
+// Single-threaded epoll-based event loop with a slab timer queue.
+// Implements sim::Scheduler against the wall clock, so the same protocol
+// classes (EdgeNode, CentralManager, EdgeClient) that run under the
+// discrete-event simulator run unmodified as a real distributed system
+// over TCP.
+//
+// Hot-path storage mirrors the simulator's arena (PR 4): timers live in a
+// generation-stamped slab indexed by a lazy-deletion min-heap, posted work
+// and io callbacks are SBO callables (sim::Callback / BasicFunc), and fd
+// readiness dispatches either through a typed sink (one virtual call, no
+// allocation — the connection pool's plane) or a generic SBO callable
+// (tests, one-off fds). Steady state schedules, cancels and fires timers
+// and io events without touching the allocator.
 //
 // Thread model: everything — socket callbacks, timers, protocol state —
 // runs on the loop thread. Other threads may only call post() and stop().
@@ -10,19 +19,39 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <deque>
 #include <mutex>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/clock.h"
+
+struct epoll_event;  // <sys/epoll.h> kept out of the header
 
 namespace eden::rpc {
 
 class EventLoop final : public sim::Scheduler {
  public:
+  // Typed io plane: a sink receives readiness for many fds, discriminated
+  // by the 64-bit tag it registered with (the connection pool passes the
+  // connection handle). One virtual call per event, no per-watch callable.
+  struct IoSink {
+    virtual void on_io_event(std::uint64_t tag, bool readable,
+                             bool writable) = 0;
+
+   protected:
+    ~IoSink() = default;
+  };
+
+  // Generic io plane: a move-only SBO callable per watch (pipes, tests).
+  using IoFunc = sim::BasicFunc<48, bool, bool>;
+
+  // Generation-stamped watch handle: gen<<32 | slot+1; 0 is null. Stale
+  // handles (the slot was unwatched, maybe re-used) are rejected, so an
+  // epoll batch that contains events for an fd closed by an earlier
+  // callback in the same batch cannot misfire into the new owner.
+  using WatchId = std::uint64_t;
+
   EventLoop();
   ~EventLoop() override;
   EventLoop(const EventLoop&) = delete;
@@ -34,8 +63,13 @@ class EventLoop final : public sim::Scheduler {
   bool cancel(sim::EventId id) override;
 
   // ---- fd watching (level-triggered) ----
-  using IoCallback = std::function<void(bool readable, bool writable)>;
-  void watch(int fd, bool want_read, bool want_write, IoCallback callback);
+  WatchId watch_sink(int fd, bool want_read, bool want_write, IoSink* sink,
+                     std::uint64_t tag);
+  WatchId watch(int fd, bool want_read, bool want_write, IoFunc callback);
+  void update_watch(WatchId id, bool want_read, bool want_write);
+  void unwatch_id(WatchId id);
+  // fd-keyed compatibility entry points (at most one fd-keyed watch per fd;
+  // they resolve through a small map, the WatchId forms above are O(1)).
   void update_interest(int fd, bool want_read, bool want_write);
   void unwatch(int fd);
 
@@ -46,34 +80,79 @@ class EventLoop final : public sim::Scheduler {
   void run_for(SimDuration duration);
   void stop();
   // Enqueue `fn` to run on the loop thread (thread-safe), waking the loop.
-  void post(std::function<void()> fn);
+  void post(sim::Callback fn);
+
+  // Introspection for the benches: live timers and registered watches.
+  [[nodiscard]] std::size_t timer_count() const { return live_timers_; }
+  [[nodiscard]] std::size_t watch_count() const { return live_watches_; }
 
  private:
-  struct Watch {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr int kMaxEpollEvents = 64;
+
+  struct TimerSlot {
+    sim::Callback fn;
+    std::uint32_t gen{0};
+    std::uint32_t next_free{kNil};
+  };
+  struct HeapEntry {
+    SimTime deadline;
+    std::uint64_t seq;  // schedule order; ties fire in FIFO order
+    sim::EventId id;
+  };
+  // Min-heap on (deadline, seq): std::push_heap builds a max-heap, so the
+  // comparator orders "fires later" as greater.
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+  struct WatchSlot {
+    int fd{-1};
     bool want_read{false};
     bool want_write{false};
-    IoCallback callback;
+    std::uint32_t gen{0};
+    std::uint32_t next_free{kNil};
+    IoSink* sink{nullptr};
+    std::uint64_t tag{0};
+    IoFunc callback;
   };
 
   void run_until_deadline(SimTime deadline, bool has_deadline);
-  int next_poll_timeout_ms(SimTime deadline, bool has_deadline);
+  int next_wait_timeout_ms(SimTime deadline, bool has_deadline);
   void fire_due_timers();
   void drain_posted();
+  void pop_dead_heap_top();
+  void maybe_compact_heap();
+  WatchId register_watch(int fd, bool want_read, bool want_write,
+                         IoSink* sink, std::uint64_t tag, IoFunc callback);
+  void apply_interest(std::uint32_t idx);
+  void release_watch(std::uint32_t idx);
+  [[nodiscard]] WatchSlot* resolve_watch(WatchId id);
 
   std::chrono::steady_clock::time_point origin_;
   std::atomic<bool> stop_requested_{false};
+  int epoll_fd_{-1};
 
-  // Timers (loop thread only).
-  sim::EventId next_timer_id_{1};
-  std::map<std::pair<SimTime, sim::EventId>, sim::Callback> timers_;
-  std::unordered_map<sim::EventId, SimTime> timer_deadlines_;
+  // Timers (loop thread only): slab + lazy-deletion min-heap.
+  std::deque<TimerSlot> timer_slots_;
+  std::uint32_t timer_free_head_{kNil};
+  std::vector<HeapEntry> timer_heap_;
+  std::uint64_t timer_seq_{0};
+  std::size_t live_timers_{0};
 
-  // Watches (loop thread only).
-  std::unordered_map<int, Watch> watches_;
+  // Watches (loop thread only): slab; fd map only for the fd-keyed API.
+  std::deque<WatchSlot> watch_slots_;
+  std::uint32_t watch_free_head_{kNil};
+  std::size_t live_watches_{0};
+  std::vector<std::pair<int, std::uint32_t>> fd_index_;  // fd -> slot (small)
 
-  // Cross-thread post queue + wake pipe.
+  // Cross-thread post queue (ping-pong buffers, capacity retained) + wake
+  // pipe.
   std::mutex posted_mutex_;
-  std::vector<std::function<void()>> posted_;
+  std::vector<sim::Callback> posted_;
+  std::vector<sim::Callback> draining_;
   int wake_pipe_[2]{-1, -1};
 };
 

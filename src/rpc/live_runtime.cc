@@ -9,6 +9,13 @@ constexpr SimDuration kJoinTimeout = msec(400.0);
 constexpr SimDuration kFrameTimeout = msec(3000.0);
 constexpr SimDuration kDiscoveryTimeout = msec(500.0);
 
+PoolStats pool_stats_of(EventLoop& loop, const ConnectionPool& pool) {
+  return run_on_loop(loop, [&] {
+    return PoolStats{pool.buffers().in_use(), pool.buffers().capacity(),
+                     pool.open_connections()};
+  });
+}
+
 }  // namespace
 
 // ============================ LiveManager ============================
@@ -17,15 +24,16 @@ LiveManager::LiveManager(manager::GlobalPolicy policy,
                          SimDuration heartbeat_ttl) {
   manager_ = std::make_unique<manager::CentralManager>(loop_, policy,
                                                        heartbeat_ttl);
-  server_ = std::make_unique<RpcServer>(loop_);
+  server_ = std::make_unique<RpcServer>(loop_, pool_);
 
   server_->handle(MessageType::kDiscover,
                   [this](Reader& reader, RpcServer::Responder respond) {
                     const auto request = decode_discovery_request(reader);
                     if (!reader.ok()) return;
-                    Writer writer;
-                    encode(writer, manager_->handle_discover(request));
-                    respond(writer.take());
+                    manager_->handle_discover(request, discover_scratch_);
+                    scratch_.clear();
+                    encode(scratch_, discover_scratch_);
+                    respond(scratch_.data());
                   });
   server_->handle_one_way(MessageType::kRegisterNode, [this](Reader& reader) {
     const auto status = decode_node_status(reader);
@@ -59,6 +67,13 @@ void LiveManager::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+PoolStats LiveManager::pool_stats() { return pool_stats_of(loop_, pool_); }
+
+std::size_t LiveManager::leaked_pool_chunks() {
+  pool_.close_all();
+  return pool_.buffers().in_use();
+}
+
 // ============================ LiveNode ============================
 
 class LiveNode::Link final : public net::ManagerLink {
@@ -66,30 +81,32 @@ class LiveNode::Link final : public net::ManagerLink {
   explicit Link(RpcClient& client) : client_(&client) {}
 
   void register_node(const net::NodeStatus& status) override {
-    Writer writer;
-    encode(writer, status);
-    client_->send_one_way(MessageType::kRegisterNode, writer.data());
+    writer_.clear();
+    encode(writer_, status);
+    client_->send_one_way(MessageType::kRegisterNode, writer_.data());
   }
   void heartbeat(const net::NodeStatus& status) override {
-    Writer writer;
-    encode(writer, status);
-    client_->send_one_way(MessageType::kHeartbeat, writer.data());
+    writer_.clear();
+    encode(writer_, status);
+    client_->send_one_way(MessageType::kHeartbeat, writer_.data());
   }
   void deregister(NodeId node) override {
-    Writer writer;
-    writer.u32(node.value);
-    client_->send_one_way(MessageType::kDeregister, writer.data());
+    writer_.clear();
+    writer_.u32(node.value);
+    client_->send_one_way(MessageType::kDeregister, writer_.data());
   }
 
  private:
   RpcClient* client_;
+  Writer writer_;  // scratch, loop thread only
 };
 
 LiveNode::LiveNode(node::EdgeNodeConfig config, std::string manager_endpoint) {
-  manager_client_ = std::make_unique<RpcClient>(loop_, std::move(manager_endpoint));
+  manager_client_ =
+      std::make_unique<RpcClient>(loop_, pool_, std::move(manager_endpoint));
   link_ = std::make_unique<Link>(*manager_client_);
   node_ = std::make_unique<node::EdgeNode>(loop_, std::move(config), link_.get());
-  server_ = std::make_unique<RpcServer>(loop_);
+  server_ = std::make_unique<RpcServer>(loop_, pool_);
   register_handlers();
 }
 
@@ -98,30 +115,30 @@ LiveNode::~LiveNode() { stop(false); }
 void LiveNode::register_handlers() {
   server_->handle(MessageType::kRttProbe,
                   [](Reader&, RpcServer::Responder respond) {
-                    respond({});  // pure echo
+                    respond.send(nullptr, 0);  // pure echo
                   });
   server_->handle(MessageType::kProcessProbe,
                   [this](Reader& reader, RpcServer::Responder respond) {
                     const ClientId from{reader.u32()};
-                    Writer writer;
-                    encode(writer, node_->handle_process_probe(from));
-                    respond(writer.take());
+                    scratch_.clear();
+                    encode(scratch_, node_->handle_process_probe(from));
+                    respond(scratch_.data());
                   });
   server_->handle(MessageType::kJoin,
                   [this](Reader& reader, RpcServer::Responder respond) {
                     const auto request = decode_join_request(reader);
                     if (!reader.ok()) return;
-                    Writer writer;
-                    encode(writer, node_->handle_join(request));
-                    respond(writer.take());
+                    scratch_.clear();
+                    encode(scratch_, node_->handle_join(request));
+                    respond(scratch_.data());
                   });
   server_->handle(MessageType::kUnexpectedJoin,
                   [this](Reader& reader, RpcServer::Responder respond) {
                     const auto request = decode_join_request(reader);
                     if (!reader.ok()) return;
-                    Writer writer;
-                    writer.boolean(node_->handle_unexpected_join(request));
-                    respond(writer.take());
+                    scratch_.clear();
+                    scratch_.boolean(node_->handle_unexpected_join(request));
+                    respond(scratch_.data());
                   });
   server_->handle_one_way(MessageType::kLeave, [this](Reader& reader) {
     const ClientId client{reader.u32()};
@@ -131,12 +148,13 @@ void LiveNode::register_handlers() {
                   [this](Reader& reader, RpcServer::Responder respond) {
                     const auto request = decode_frame_request(reader);
                     if (!reader.ok()) return;
+                    // [this + 32-byte Responder] = 40 bytes: inline in the
+                    // node's completion callable — no per-frame spill.
                     node_->handle_offload(
-                        request,
-                        [respond = std::move(respond)](net::FrameResponse r) {
-                          Writer writer;
-                          encode(writer, r);
-                          respond(writer.take());
+                        request, [this, respond](net::FrameResponse r) {
+                          scratch_.clear();
+                          encode(scratch_, r);
+                          respond(scratch_.data());
                         });
                   });
 }
@@ -169,33 +187,41 @@ node::EdgeNodeStats LiveNode::stats() {
   return run_on_loop(loop_, [this] { return node_->stats(); });
 }
 
+PoolStats LiveNode::pool_stats() { return pool_stats_of(loop_, pool_); }
+
+std::size_t LiveNode::leaked_pool_chunks() {
+  pool_.close_all();
+  return pool_.buffers().in_use();
+}
+
 // ============================ LiveClient ============================
 
 class LiveClient::NodeProxy final : public net::NodeApi {
  public:
-  NodeProxy(EventLoop& loop, NodeId id, const std::string& endpoint)
-      : id_(id), client_(loop, endpoint) {}
+  NodeProxy(EventLoop& loop, ConnectionPool& pool, NodeId id,
+            const std::string& endpoint)
+      : id_(id), client_(loop, pool, endpoint) {}
 
   [[nodiscard]] NodeId id() const override { return id_; }
 
   void rtt_probe(ClientId from, net::Done<bool> done) override {
-    Writer writer;
-    writer.u32(from.value);
-    client_.call(MessageType::kRttProbe, writer.data(), kProbeTimeout,
-                 [done = std::move(done)](auto response) mutable {
-                   done(response.has_value());
+    writer_.clear();
+    writer_.u32(from.value);
+    client_.call(MessageType::kRttProbe, writer_.data(), kProbeTimeout,
+                 [done = std::move(done)](RpcResult response) mutable {
+                   done(response.ok);
                  });
   }
 
   void process_probe(
       ClientId from,
       net::Done<std::optional<net::ProcessProbeResponse>> done) override {
-    Writer writer;
-    writer.u32(from.value);
-    client_.call(MessageType::kProcessProbe, writer.data(), kProbeTimeout,
-                 [done = std::move(done)](auto response) mutable {
-                   if (!response) return done(std::nullopt);
-                   Reader reader(*response);
+    writer_.clear();
+    writer_.u32(from.value);
+    client_.call(MessageType::kProcessProbe, writer_.data(), kProbeTimeout,
+                 [done = std::move(done)](RpcResult response) mutable {
+                   if (!response.ok) return done(std::nullopt);
+                   Reader reader(response.data, response.size);
                    auto decoded = decode_process_probe_response(reader);
                    done(reader.ok() ? std::optional(decoded) : std::nullopt);
                  });
@@ -203,12 +229,12 @@ class LiveClient::NodeProxy final : public net::NodeApi {
 
   void join(const net::JoinRequest& request,
             net::Done<std::optional<net::JoinResponse>> done) override {
-    Writer writer;
-    encode(writer, request);
-    client_.call(MessageType::kJoin, writer.data(), kJoinTimeout,
-                 [done = std::move(done)](auto response) mutable {
-                   if (!response) return done(std::nullopt);
-                   Reader reader(*response);
+    writer_.clear();
+    encode(writer_, request);
+    client_.call(MessageType::kJoin, writer_.data(), kJoinTimeout,
+                 [done = std::move(done)](RpcResult response) mutable {
+                   if (!response.ok) return done(std::nullopt);
+                   Reader reader(response.data, response.size);
                    auto decoded = decode_join_response(reader);
                    done(reader.ok() ? std::optional(decoded) : std::nullopt);
                  });
@@ -216,31 +242,31 @@ class LiveClient::NodeProxy final : public net::NodeApi {
 
   void unexpected_join(const net::JoinRequest& request,
                        net::Done<bool> done) override {
-    Writer writer;
-    encode(writer, request);
-    client_.call(MessageType::kUnexpectedJoin, writer.data(), kJoinTimeout,
-                 [done = std::move(done)](auto response) mutable {
-                   if (!response) return done(false);
-                   Reader reader(*response);
+    writer_.clear();
+    encode(writer_, request);
+    client_.call(MessageType::kUnexpectedJoin, writer_.data(), kJoinTimeout,
+                 [done = std::move(done)](RpcResult response) mutable {
+                   if (!response.ok) return done(false);
+                   Reader reader(response.data, response.size);
                    const bool accepted = reader.boolean();
                    done(reader.ok() && accepted);
                  });
   }
 
   void leave(ClientId client) override {
-    Writer writer;
-    writer.u32(client.value);
-    client_.send_one_way(MessageType::kLeave, writer.data());
+    writer_.clear();
+    writer_.u32(client.value);
+    client_.send_one_way(MessageType::kLeave, writer_.data());
   }
 
   void offload(const net::FrameRequest& request,
                net::Done<std::optional<net::FrameResponse>> done) override {
-    Writer writer;
-    encode(writer, request);
-    client_.call(MessageType::kOffload, writer.data(), kFrameTimeout,
-                 [done = std::move(done)](auto response) mutable {
-                   if (!response) return done(std::nullopt);
-                   Reader reader(*response);
+    writer_.clear();
+    encode(writer_, request);
+    client_.call(MessageType::kOffload, writer_.data(), kFrameTimeout,
+                 [done = std::move(done)](RpcResult response) mutable {
+                   if (!response.ok) return done(std::nullopt);
+                   Reader reader(response.data, response.size);
                    auto decoded = decode_frame_response(reader);
                    done(reader.ok() ? std::optional(decoded) : std::nullopt);
                  });
@@ -249,6 +275,7 @@ class LiveClient::NodeProxy final : public net::NodeApi {
  private:
   NodeId id_;
   RpcClient client_;
+  Writer writer_;  // scratch, loop thread only
 };
 
 class LiveClient::ManagerProxy final : public net::ManagerApi {
@@ -259,13 +286,13 @@ class LiveClient::ManagerProxy final : public net::ManagerApi {
   void discover(
       const net::DiscoveryRequest& request,
       net::Done<std::optional<net::DiscoveryResponse>> done) override {
-    Writer writer;
-    encode(writer, request);
+    writer_.clear();
+    encode(writer_, request);
     client_->call(
-        MessageType::kDiscover, writer.data(), kDiscoveryTimeout,
-        [owner = owner_, done = std::move(done)](auto response) mutable {
-          if (!response) return done(std::nullopt);
-          Reader reader(*response);
+        MessageType::kDiscover, writer_.data(), kDiscoveryTimeout,
+        [owner = owner_, done = std::move(done)](RpcResult response) mutable {
+          if (!response.ok) return done(std::nullopt);
+          Reader reader(response.data, response.size);
           auto decoded = decode_discovery_response(reader);
           if (!reader.ok()) return done(std::nullopt);
           // Remember how to reach each advertised node.
@@ -281,11 +308,13 @@ class LiveClient::ManagerProxy final : public net::ManagerApi {
  private:
   RpcClient* client_;
   LiveClient* owner_;
+  Writer writer_;  // scratch, loop thread only
 };
 
 LiveClient::LiveClient(client::ClientConfig config,
                        std::string manager_endpoint) {
-  manager_client_ = std::make_unique<RpcClient>(loop_, std::move(manager_endpoint));
+  manager_client_ =
+      std::make_unique<RpcClient>(loop_, pool_, std::move(manager_endpoint));
   manager_api_ = std::make_unique<ManagerProxy>(*manager_client_, *this);
   client_ = std::make_unique<client::EdgeClient>(
       loop_, *manager_api_, [this](NodeId id) { return resolve(id); },
@@ -300,7 +329,7 @@ net::NodeApi* LiveClient::resolve(NodeId id) {
   }
   const auto endpoint = endpoints_.find(id);
   if (endpoint == endpoints_.end()) return nullptr;
-  auto proxy = std::make_unique<NodeProxy>(loop_, id, endpoint->second);
+  auto proxy = std::make_unique<NodeProxy>(loop_, pool_, id, endpoint->second);
   auto* raw = proxy.get();
   node_proxies_.emplace(id, std::move(proxy));
   return raw;
@@ -333,6 +362,17 @@ StreamingStats LiveClient::latency_window_ms() {
   return run_on_loop(loop_, [this] {
     return client_->latency_series().window(0, loop_.now() + 1);
   });
+}
+
+Samples LiveClient::latency_samples() {
+  return run_on_loop(loop_, [this] { return client_->latency_samples(); });
+}
+
+PoolStats LiveClient::pool_stats() { return pool_stats_of(loop_, pool_); }
+
+std::size_t LiveClient::leaked_pool_chunks() {
+  pool_.close_all();
+  return pool_.buffers().in_use();
 }
 
 }  // namespace eden::rpc

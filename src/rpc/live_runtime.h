@@ -4,6 +4,12 @@
 // EdgeClient), wired to RpcServer/RpcClient instead of the simulated
 // fabric.
 //
+// Each runtime also owns the loop's ConnectionPool: every socket the
+// runtime touches is a generation-stamped slot in that pool, and every
+// frame is serialized through a per-proxy scratch Writer into pooled
+// chunks — the steady-state data path does not allocate (bench_live
+// measures allocs/frame against the same gate as the simulator).
+//
 // Threading: all protocol state lives on the runtime's loop thread. Public
 // accessors marshal onto the loop via run_on_loop(); never touch the inner
 // objects directly from outside.
@@ -40,6 +46,14 @@ auto run_on_loop(EventLoop& loop, Fn fn) -> decltype(fn()) {
   return future.get();
 }
 
+// Buffer-pool occupancy of one runtime's ConnectionPool, for the leak
+// oracle and the bench reports.
+struct PoolStats {
+  std::size_t chunks_in_use{0};
+  std::size_t chunk_capacity{0};
+  std::size_t open_connections{0};
+};
+
 // ---- central manager over TCP ----
 class LiveManager {
  public:
@@ -54,9 +68,19 @@ class LiveManager {
   [[nodiscard]] std::string endpoint() const { return server_->endpoint(); }
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] manager::CentralManager& manager_unsafe() { return *manager_; }
+  [[nodiscard]] PoolStats pool_stats();
+  // After stop(): close every connection and report chunks still held —
+  // anything nonzero is a leaked pool slot.
+  [[nodiscard]] std::size_t leaked_pool_chunks();
 
  private:
   EventLoop loop_;
+  ConnectionPool pool_{loop_};
+  Writer scratch_;
+  // Reused discovery response: its candidate vector's capacity survives
+  // across queries, so answering a discover allocates nothing at steady
+  // state. Loop thread only.
+  net::DiscoveryResponse discover_scratch_;
   std::unique_ptr<manager::CentralManager> manager_;
   std::unique_ptr<RpcServer> server_;
   std::thread thread_;
@@ -76,6 +100,8 @@ class LiveNode {
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] node::EdgeNode& node_unsafe() { return *node_; }
   [[nodiscard]] node::EdgeNodeStats stats();
+  [[nodiscard]] PoolStats pool_stats();
+  [[nodiscard]] std::size_t leaked_pool_chunks();
 
  private:
   class Link;  // ManagerLink over RpcClient
@@ -83,6 +109,8 @@ class LiveNode {
   void register_handlers();
 
   EventLoop loop_;
+  ConnectionPool pool_{loop_};
+  Writer scratch_;
   std::unique_ptr<RpcClient> manager_client_;
   std::unique_ptr<Link> link_;
   std::unique_ptr<node::EdgeNode> node_;
@@ -103,6 +131,10 @@ class LiveClient {
   [[nodiscard]] client::ClientStats stats();
   [[nodiscard]] std::optional<NodeId> current_node();
   [[nodiscard]] StreamingStats latency_window_ms();
+  // Copy of the per-frame latency samples (ms), for percentile extraction.
+  [[nodiscard]] Samples latency_samples();
+  [[nodiscard]] PoolStats pool_stats();
+  [[nodiscard]] std::size_t leaked_pool_chunks();
 
  private:
   class ManagerProxy;  // net::ManagerApi over RpcClient, captures endpoints
@@ -111,6 +143,7 @@ class LiveClient {
   net::NodeApi* resolve(NodeId id);
 
   EventLoop loop_;
+  ConnectionPool pool_{loop_};
   std::unique_ptr<RpcClient> manager_client_;
   std::unique_ptr<ManagerProxy> manager_api_;
   std::unique_ptr<client::EdgeClient> client_;

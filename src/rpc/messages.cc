@@ -1,5 +1,7 @@
 #include "rpc/messages.h"
 
+#include <algorithm>
+
 namespace eden::rpc {
 
 void encode(Writer& w, const net::NodeStatus& v) {
@@ -15,6 +17,9 @@ void encode(Writer& w, const net::NodeStatus& v) {
   w.str(v.endpoint);
   w.u32(static_cast<std::uint32_t>(v.app_types.size()));
   for (const auto& app : v.app_types) w.str(app);
+  w.u32(static_cast<std::uint32_t>(v.queue_depth));
+  w.f64(v.burst_credits);
+  w.f64(v.p95_proc_ms);
 }
 
 net::NodeStatus decode_node_status(Reader& r) {
@@ -33,6 +38,9 @@ net::NodeStatus decode_node_status(Reader& r) {
   for (std::uint32_t i = 0; i < app_count && r.ok(); ++i) {
     v.app_types.push_back(r.str());
   }
+  v.queue_depth = static_cast<int>(r.u32());
+  v.burst_credits = r.f64();
+  v.p95_proc_ms = r.f64();
   return v;
 }
 
@@ -67,6 +75,10 @@ void encode(Writer& w, const net::DiscoveryResponse& v) {
 net::DiscoveryResponse decode_discovery_response(Reader& r) {
   net::DiscoveryResponse v;
   const std::uint32_t count = r.u32();
+  // One allocation up front instead of log(count) growth steps; the cap
+  // keeps a hostile declared count from reserving gigabytes (decode still
+  // fail-softs when the payload runs out).
+  v.candidates.reserve(std::min<std::uint32_t>(count, 1024));
   for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
     net::CandidateInfo c;
     c.node = NodeId{r.u32()};
@@ -139,12 +151,16 @@ net::FrameRequest decode_frame_request(Reader& r) {
 void encode(Writer& w, const net::FrameResponse& v) {
   w.u64(v.frame_id);
   w.f64(v.proc_ms);
+  w.boolean(v.dropped);
+  w.u64(v.redisc_epoch);
 }
 
 net::FrameResponse decode_frame_response(Reader& r) {
   net::FrameResponse v;
   v.frame_id = r.u64();
   v.proc_ms = r.f64();
+  v.dropped = r.boolean();
+  v.redisc_epoch = r.u64();
   return v;
 }
 

@@ -2,82 +2,131 @@
 
 namespace eden::rpc {
 
-RpcClient::RpcClient(EventLoop& loop, std::string endpoint)
-    : loop_(&loop), endpoint_(std::move(endpoint)) {}
+RpcClient::RpcClient(EventLoop& loop, ConnectionPool& pool,
+                     std::string endpoint)
+    : loop_(&loop), pool_(&pool), endpoint_(std::move(endpoint)) {}
 
 RpcClient::~RpcClient() { close(); }
 
 bool RpcClient::ensure_connected() {
-  if (connection_ && !connection_->closed()) return true;
-  connection_ = connect_to(*loop_, endpoint_);
-  if (!connection_) return false;
-  connection_->set_frame_handler(
-      [this](std::uint64_t request_id, std::uint16_t type,
-             const std::uint8_t* payload, std::size_t payload_size) {
-        on_frame(request_id, type, payload, payload_size);
-      });
-  connection_->set_close_handler([this] { on_close(); });
+  if (conn_ != 0 && pool_->alive(conn_)) return true;
+  conn_ = pool_->connect(endpoint_, this);
+  if (conn_ == 0) return false;
+  ++instance_;  // responses from any previous connection are now stale
   return true;
 }
 
-void RpcClient::call(MessageType type, const std::vector<std::uint8_t>& payload,
-                     SimDuration timeout, ResponseCallback callback) {
+std::uint32_t RpcClient::acquire_slot() {
+  std::uint32_t idx;
+  if (free_head_ != kNil) {
+    idx = free_head_;
+    free_head_ = pending_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  }
+  pending_[idx].next_free = kNil;
+  ++live_;
+  return idx;
+}
+
+RpcClient::ResponseCallback RpcClient::take_and_release(std::uint32_t idx) {
+  PendingSlot& slot = pending_[idx];
+  ResponseCallback callback = std::move(slot.callback);
+  slot.callback.reset();
+  slot.timeout_timer = 0;
+  ++slot.gen;
+  slot.next_free = free_head_;
+  free_head_ = idx;
+  --live_;
+  return callback;
+}
+
+void RpcClient::call(MessageType type, const std::uint8_t* payload,
+                     std::size_t payload_size, SimDuration timeout,
+                     ResponseCallback callback) {
   if (!ensure_connected()) {
     // Fail asynchronously, preserving "callback runs from the loop" rules.
     loop_->schedule_after(0, [callback = std::move(callback)]() mutable {
-      callback(std::nullopt);
+      callback(RpcResult{});
     });
     return;
   }
-  const std::uint64_t request_id = next_request_id_++;
-  Pending pending;
-  pending.callback = std::move(callback);
-  pending.timeout_timer = loop_->schedule_after(timeout, [this, request_id] {
-    const auto it = pending_.find(request_id);
-    if (it == pending_.end()) return;
-    ResponseCallback cb = std::move(it->second.callback);
-    pending_.erase(it);
-    cb(std::nullopt);
-  });
-  pending_.emplace(request_id, std::move(pending));
-  connection_->send_frame(request_id, static_cast<std::uint16_t>(type), payload);
+  const std::uint32_t idx = acquire_slot();
+  PendingSlot& slot = pending_[idx];
+  slot.callback = std::move(callback);
+  slot.instance = instance_;
+  const std::uint64_t request_id = pack_rid(instance_, slot.gen, idx);
+  slot.timeout_timer = loop_->schedule_after(
+      timeout, [this, request_id] { on_timeout(request_id); });
+  // May fail re-entrantly (outbox overflow -> on_conn_closed ->
+  // fail_all_pending, which already completed this slot) — do not touch
+  // the slot afterwards.
+  pool_->send_frame(conn_, request_id, static_cast<std::uint16_t>(type),
+                    payload, payload_size);
 }
 
-void RpcClient::send_one_way(MessageType type,
-                             const std::vector<std::uint8_t>& payload) {
+void RpcClient::send_one_way(MessageType type, const std::uint8_t* payload,
+                             std::size_t payload_size) {
   if (!ensure_connected()) return;
-  connection_->send_frame(0, static_cast<std::uint16_t>(type), payload);
+  pool_->send_frame(conn_, 0, static_cast<std::uint16_t>(type), payload,
+                    payload_size);
 }
 
-void RpcClient::on_frame(std::uint64_t request_id, std::uint16_t /*type*/,
-                         const std::uint8_t* payload,
+void RpcClient::on_timeout(std::uint64_t request_id) {
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(request_id & 0xffffffffu) - 1;
+  const std::uint16_t gen = static_cast<std::uint16_t>(request_id >> 32);
+  const std::uint16_t instance = static_cast<std::uint16_t>(request_id >> 48);
+  if (idx >= pending_.size()) return;
+  PendingSlot& slot = pending_[idx];
+  if (slot.gen != gen || slot.instance != instance || !slot.callback) return;
+  ResponseCallback callback = take_and_release(idx);
+  callback(RpcResult{});
+}
+
+void RpcClient::on_frame(ConnHandle /*conn*/, std::uint64_t request_id,
+                         std::uint16_t /*type*/, const std::uint8_t* payload,
                          std::size_t payload_size) {
-  const auto it = pending_.find(request_id);
-  if (it == pending_.end()) return;  // late response after timeout
-  loop_->cancel(it->second.timeout_timer);
-  ResponseCallback callback = std::move(it->second.callback);
-  pending_.erase(it);
-  callback(std::vector<std::uint8_t>(payload, payload + payload_size));
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(request_id & 0xffffffffu) - 1;
+  const std::uint16_t gen = static_cast<std::uint16_t>(request_id >> 32);
+  const std::uint16_t instance = static_cast<std::uint16_t>(request_id >> 48);
+  if (idx >= pending_.size()) return;
+  PendingSlot& slot = pending_[idx];
+  // Late response after timeout, response from a previous connection, or a
+  // re-used slot: all three rejected here.
+  if (slot.gen != gen || slot.instance != instance || !slot.callback) return;
+  loop_->cancel(slot.timeout_timer);
+  ResponseCallback callback = take_and_release(idx);
+  callback(RpcResult{payload, payload_size, true});
 }
 
-void RpcClient::on_close() { fail_all_pending(); }
+void RpcClient::on_conn_closed(ConnHandle conn) {
+  if (conn == conn_) conn_ = 0;
+  fail_all_pending(instance_);
+}
 
-void RpcClient::fail_all_pending() {
-  auto pending = std::move(pending_);
-  pending_.clear();
-  for (auto& [id, entry] : pending) {
-    loop_->cancel(entry.timeout_timer);
-    entry.callback(std::nullopt);
+void RpcClient::fail_all_pending(std::uint16_t instance) {
+  // Failure callbacks may issue new calls (which reconnect and bump
+  // instance_); only slots belonging to `instance` are failed, so those
+  // new requests survive even if they land in re-used slots.
+  const std::size_t size_at_entry = pending_.size();
+  for (std::uint32_t idx = 0; idx < size_at_entry; ++idx) {
+    PendingSlot& slot = pending_[idx];
+    if (!slot.callback || slot.instance != instance) continue;
+    loop_->cancel(slot.timeout_timer);
+    ResponseCallback callback = take_and_release(idx);
+    callback(RpcResult{});
   }
 }
 
 void RpcClient::close() {
-  if (connection_) {
-    connection_->set_close_handler(nullptr);
-    connection_->close();
-    connection_.reset();
+  if (conn_ != 0) {
+    pool_->close(conn_);
+    conn_ = 0;
   }
-  fail_all_pending();
+  fail_all_pending(instance_);
 }
 
 }  // namespace eden::rpc

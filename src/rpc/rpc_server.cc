@@ -1,71 +1,53 @@
 #include "rpc/rpc_server.h"
 
+#include <algorithm>
+
 namespace eden::rpc {
 
-RpcServer::RpcServer(EventLoop& loop)
-    : loop_(&loop), listener_(loop, [this](std::shared_ptr<Connection> c) {
-        on_accept(std::move(c));
-      }) {}
+RpcServer::RpcServer(EventLoop& /*loop*/, ConnectionPool& pool)
+    : pool_(&pool),
+      listener_(pool, this,
+                [this](ConnHandle conn) { connections_.push_back(conn); }) {}
 
 RpcServer::~RpcServer() { close(); }
 
 bool RpcServer::listen(std::uint16_t port) { return listener_.listen(port); }
 
 void RpcServer::handle(MessageType type, Handler handler) {
-  handlers_[static_cast<std::uint16_t>(type)] = std::move(handler);
+  handlers_[static_cast<std::size_t>(type)] = std::move(handler);
 }
 
 void RpcServer::handle_one_way(MessageType type, OneWayHandler handler) {
-  one_way_handlers_[static_cast<std::uint16_t>(type)] = std::move(handler);
+  one_way_handlers_[static_cast<std::size_t>(type)] = std::move(handler);
 }
 
-void RpcServer::on_accept(std::shared_ptr<Connection> connection) {
-  Connection* raw = connection.get();
-  std::weak_ptr<Connection> weak = connection;
-  raw->set_frame_handler([this, weak](std::uint64_t request_id,
-                                      std::uint16_t type,
-                                      const std::uint8_t* payload,
-                                      std::size_t payload_size) {
-    if (const auto conn = weak.lock()) {
-      on_frame(conn, request_id, type, payload, payload_size);
-    }
-  });
-  raw->set_close_handler([this, weak] {
-    if (const auto conn = weak.lock()) connections_.erase(conn);
-  });
-  connections_.insert(std::move(connection));
-}
-
-void RpcServer::on_frame(const std::shared_ptr<Connection>& connection,
-                         std::uint64_t request_id, std::uint16_t type,
-                         const std::uint8_t* payload,
+void RpcServer::on_frame(ConnHandle conn, std::uint64_t request_id,
+                         std::uint16_t type, const std::uint8_t* payload,
                          std::size_t payload_size) {
+  if (type >= kTypeSlots) return;  // unknown (or response-flagged): drop
   Reader reader(payload, payload_size);
-  if (const auto it = one_way_handlers_.find(type);
-      it != one_way_handlers_.end()) {
-    it->second(reader);
+  if (one_way_handlers_[type]) {
+    one_way_handlers_[type](reader);
     return;
   }
-  const auto it = handlers_.find(type);
-  if (it == handlers_.end()) return;  // unknown type: drop
+  if (!handlers_[type]) return;  // unknown type: drop
+  handlers_[type](reader, Responder(pool_, conn, request_id,
+                                    static_cast<std::uint16_t>(
+                                        type | kResponseFlag)));
+}
 
-  std::weak_ptr<Connection> weak = connection;
-  const std::uint16_t resp_type = type | kResponseFlag;
-  Responder respond = [weak, request_id,
-                       resp_type](std::vector<std::uint8_t> response) {
-    if (const auto conn = weak.lock()) {
-      conn->send_frame(request_id, resp_type, response);
-    }
-  };
-  it->second(reader, std::move(respond));
+void RpcServer::on_conn_closed(ConnHandle conn) {
+  const auto it = std::find(connections_.begin(), connections_.end(), conn);
+  if (it != connections_.end()) {
+    *it = connections_.back();
+    connections_.pop_back();
+  }
 }
 
 void RpcServer::close() {
   listener_.close();
-  // Closing mutates the set via close handlers; detach first.
-  auto connections = std::move(connections_);
+  for (const ConnHandle conn : connections_) pool_->close(conn);
   connections_.clear();
-  for (const auto& connection : connections) connection->close();
 }
 
 }  // namespace eden::rpc

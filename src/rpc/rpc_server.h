@@ -1,12 +1,18 @@
-// RpcServer: accepts framed connections and dispatches requests to typed
-// handlers. Handlers receive a Responder they may invoke later — the live
-// edge node uses this for asynchronously-processed frames.
+// RpcServer: accepts framed connections from the loop's ConnectionPool and
+// dispatches requests to typed handlers. Handlers receive a Responder they
+// may invoke later — the live edge node uses this for asynchronously-
+// processed frames.
+//
+// The Responder is a small copyable value (pool pointer + generation-
+// stamped handle + ids), not a heap-allocated closure: replying after the
+// connection died degrades to a no-op via the handle check, with no
+// shared_ptr keeping dead connections alive. Handlers are registered in a
+// flat array indexed by message type, so dispatch is a bounds check and an
+// array load.
 #pragma once
 
+#include <array>
 #include <functional>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "rpc/connection.h"
@@ -14,18 +20,47 @@
 
 namespace eden::rpc {
 
-class RpcServer {
+class RpcServer final : private FrameSink {
  public:
-  // Send the (already encoded) response payload for a request. Safe to
-  // call after the connection died (it becomes a no-op).
-  using Responder = std::function<void(std::vector<std::uint8_t>)>;
+  // Sends the (already encoded) response payload for a request. Copyable
+  // value; safe to invoke after the connection died (no-op). Reply exactly
+  // once — extra replies are dropped by the peer's pending-table check.
+  class Responder {
+   public:
+    Responder() = default;
+    void operator()(const std::vector<std::uint8_t>& payload) const {
+      send(payload.data(), payload.size());
+    }
+    void send(const std::uint8_t* payload, std::size_t payload_size) const {
+      if (pool_ != nullptr) {
+        pool_->send_frame(conn_, request_id_, resp_type_, payload,
+                          payload_size);
+      }
+    }
+    [[nodiscard]] explicit operator bool() const { return pool_ != nullptr; }
+
+   private:
+    friend class RpcServer;
+    Responder(ConnectionPool* pool, ConnHandle conn, std::uint64_t request_id,
+              std::uint16_t resp_type)
+        : pool_(pool), conn_(conn), request_id_(request_id),
+          resp_type_(resp_type) {}
+
+    ConnectionPool* pool_{nullptr};
+    ConnHandle conn_{0};
+    std::uint64_t request_id_{0};
+    std::uint16_t resp_type_{0};
+  };
+
   // Request handler: decode from `reader`, reply through `respond` (now or
   // later, exactly once).
   using Handler = std::function<void(Reader& reader, Responder respond)>;
   using OneWayHandler = std::function<void(Reader& reader)>;
 
-  explicit RpcServer(EventLoop& loop);
+  RpcServer(EventLoop& loop, ConnectionPool& pool);
   ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
 
   bool listen(std::uint16_t port = 0);
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
@@ -36,19 +71,24 @@ class RpcServer {
   void handle(MessageType type, Handler handler);
   void handle_one_way(MessageType type, OneWayHandler handler);
 
+  [[nodiscard]] std::size_t connection_count() const {
+    return connections_.size();
+  }
   void close();
 
  private:
-  void on_accept(std::shared_ptr<Connection> connection);
-  void on_frame(const std::shared_ptr<Connection>& connection,
-                std::uint64_t request_id, std::uint16_t type,
-                const std::uint8_t* payload, std::size_t payload_size);
+  // One past the largest MessageType value; dispatch tables are flat.
+  static constexpr std::size_t kTypeSlots = 16;
 
-  EventLoop* loop_;
+  void on_frame(ConnHandle conn, std::uint64_t request_id, std::uint16_t type,
+                const std::uint8_t* payload, std::size_t payload_size) override;
+  void on_conn_closed(ConnHandle conn) override;
+
+  ConnectionPool* pool_;
   Listener listener_;
-  std::unordered_map<std::uint16_t, Handler> handlers_;
-  std::unordered_map<std::uint16_t, OneWayHandler> one_way_handlers_;
-  std::unordered_set<std::shared_ptr<Connection>> connections_;
+  std::array<Handler, kTypeSlots> handlers_{};
+  std::array<OneWayHandler, kTypeSlots> one_way_handlers_{};
+  std::vector<ConnHandle> connections_;
 };
 
 }  // namespace eden::rpc

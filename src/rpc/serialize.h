@@ -23,6 +23,10 @@ class Writer {
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buffer_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  // Reset for re-use, retaining capacity: the live runtimes keep one
+  // scratch Writer per proxy so steady-state encoding never allocates.
+  void clear() { buffer_.clear(); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
  private:
   std::vector<std::uint8_t> buffer_;

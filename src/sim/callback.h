@@ -15,6 +15,11 @@
 #include <type_traits>
 #include <utility>
 
+#ifdef EDEN_CALLBACK_SPILL_TRACE
+#include <cstdio>
+#include <typeinfo>
+#endif
+
 namespace eden::sim {
 
 namespace detail {
@@ -61,6 +66,13 @@ class Callback {
       *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
       ops_ = &kHeapOps<Fn>;
       detail::callback_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef EDEN_CALLBACK_SPILL_TRACE
+      static std::atomic<bool> reported{false};
+      if (!reported.exchange(true)) {
+        std::fprintf(stderr, "SPILL Callback cap=%zu size=%zu %s\n",
+                     kInlineCapacity, sizeof(Fn), typeid(Fn).name());
+      }
+#endif
     }
   }
 
@@ -178,10 +190,12 @@ class Callback {
 // to nest a BasicFunc inside its own capture can size itself one step
 // bigger (see node::Executor::Completion).
 //
-// Capacity 48 (the Func<> alias) is calibrated to the protocol callbacks:
-// the largest client-side completion lambda (join: this + vector + 2 ids +
-// timestamp) is exactly 48 bytes. Invocation does not consume the target;
-// the exactly-once contract is the caller's.
+// Capacity 56 (the Func<> alias) is calibrated to the protocol callbacks:
+// the largest client-side request-leg lambdas (probe_candidates,
+// attempt_join: this + vector + ids + timestamp) are 56 bytes, and since
+// the ops pointer pads the object to 64 bytes either way, 56 is free —
+// BasicFunc<48> and BasicFunc<56> are the same size. Invocation does not
+// consume the target; the exactly-once contract is the caller's.
 template <std::size_t Capacity, typename... Args>
 class BasicFunc {
  public:
@@ -211,6 +225,15 @@ class BasicFunc {
       *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
       ops_ = &kHeapOps<Fn>;
       detail::callback_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef EDEN_CALLBACK_SPILL_TRACE
+      static std::atomic<bool> reported{false};
+      if (!reported.exchange(true)) {
+        std::fprintf(stderr, "SPILL BasicFunc cap=%zu size=%zu align=%zu nothrow=%d %s\n",
+                     kInlineCapacity, sizeof(Fn), alignof(Fn),
+                     (int)std::is_nothrow_move_constructible_v<Fn>,
+                     typeid(Fn).name());
+      }
+#endif
     }
   }
 
@@ -292,6 +315,6 @@ class BasicFunc {
 
 // The default capacity used across the protocol APIs.
 template <typename... Args>
-using Func = BasicFunc<48, Args...>;
+using Func = BasicFunc<56, Args...>;
 
 }  // namespace eden::sim

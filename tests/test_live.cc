@@ -106,6 +106,44 @@ TEST(LiveRuntime, FailoverOverTcp) {
   manager.stop();
 }
 
+TEST(LiveRuntime, NoPoolChunksLeakAcrossRuntimes) {
+  // Drive real traffic through all three roles, then stop everything and
+  // run the leak oracle: after closing every connection, zero pooled
+  // buffer chunks may still be held by any runtime.
+  LiveManager manager;
+  ASSERT_TRUE(manager.start(0));
+  LiveNode node_a(node_config(1, 4, 5.0), manager.endpoint());
+  LiveNode node_b(node_config(2, 2, 10.0), manager.endpoint());
+  ASSERT_TRUE(node_a.start(0));
+  ASSERT_TRUE(node_b.start(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  client::ClientConfig config;
+  config.geohash = "9zvxvf";
+  config.top_n = 2;
+  config.probing_period = msec(300.0);
+  config.keepalive_period = msec(150.0);
+  config.app.max_fps = 30.0;
+  LiveClient client(config, manager.endpoint());
+  client.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+
+  // While running, pool occupancy is bounded and connections exist.
+  const auto manager_stats = manager.pool_stats();
+  EXPECT_GT(manager_stats.open_connections, 0u);
+  ASSERT_GT(client.stats().frames_ok, 0u);
+
+  client.stop();
+  node_a.stop();
+  node_b.stop();
+  manager.stop();
+
+  EXPECT_EQ(client.leaked_pool_chunks(), 0u);
+  EXPECT_EQ(node_a.leaked_pool_chunks(), 0u);
+  EXPECT_EQ(node_b.leaked_pool_chunks(), 0u);
+  EXPECT_EQ(manager.leaked_pool_chunks(), 0u);
+}
+
 TEST(LiveRuntime, ManagerExpiresSilentNode) {
   LiveManager manager({}, /*heartbeat_ttl=*/msec(600.0));
   ASSERT_TRUE(manager.start(0));

@@ -291,6 +291,31 @@ TEST_F(GlobalSelectionTest, DeterministicTieBreakOnNodeId) {
   EXPECT_EQ(resp.candidates[2].node, NodeId{3});
 }
 
+TEST_F(GlobalSelectionTest, SelectIntoReuseMatchesFreshSelect) {
+  // The out-param variant reuses the caller's response across queries; a
+  // second query with fewer hits must clear the first query's leftovers,
+  // and every reused answer must be byte-identical to a fresh select().
+  GlobalSelector selector;
+  Registry registry(sec(30.0));
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    registry.upsert(make_status(i, "9zvxvf"), 0);
+  }
+  net::DiscoveryResponse reused;
+  selector.select_into(request("9zvxvf", 5), registry, reused);
+  EXPECT_EQ(reused.candidates.size(), 5u);
+
+  const auto narrow = request("9zvxvf", 2);
+  selector.select_into(narrow, registry, reused);
+  const auto fresh = selector.select(narrow, registry);
+  ASSERT_EQ(reused.candidates.size(), fresh.candidates.size());
+  for (std::size_t i = 0; i < fresh.candidates.size(); ++i) {
+    EXPECT_EQ(reused.candidates[i].node, fresh.candidates[i].node);
+    EXPECT_EQ(reused.candidates[i].geohash, fresh.candidates[i].geohash);
+    EXPECT_EQ(reused.candidates[i].score, fresh.candidates[i].score);
+    EXPECT_EQ(reused.candidates[i].endpoint, fresh.candidates[i].endpoint);
+  }
+}
+
 TEST(CentralManager, FullLifecycle) {
   sim::Simulator simulator;
   sim::SimScheduler clock(simulator);

@@ -2,6 +2,11 @@
 // responders, one-way messages, timeouts, dead-peer failures.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "common/rng.h"
 #include "rpc/rpc_client.h"
 #include "rpc/rpc_server.h"
@@ -12,9 +17,9 @@ namespace {
 class RpcTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    server_ = std::make_unique<RpcServer>(loop_);
+    server_ = std::make_unique<RpcServer>(loop_, pool_);
     ASSERT_TRUE(server_->listen(0));
-    client_ = std::make_unique<RpcClient>(loop_, server_->endpoint());
+    client_ = std::make_unique<RpcClient>(loop_, pool_, server_->endpoint());
   }
 
   // Run the loop until `done` is true or the deadline passes.
@@ -24,6 +29,7 @@ class RpcTest : public ::testing::Test {
   }
 
   EventLoop loop_;
+  ConnectionPool pool_{loop_};
   std::unique_ptr<RpcServer> server_;
   std::unique_ptr<RpcClient> client_;
 };
@@ -33,16 +39,16 @@ TEST_F(RpcTest, EchoRoundTrip) {
                   [](Reader& reader, RpcServer::Responder respond) {
                     Writer w;
                     w.u32(reader.u32() + 1);
-                    respond(w.take());
+                    respond(w.data());
                   });
   bool done = false;
   std::uint32_t result = 0;
   Writer w;
   w.u32(41);
   client_->call(MessageType::kRttProbe, w.data(), sec(1),
-                [&](std::optional<std::vector<std::uint8_t>> response) {
-                  ASSERT_TRUE(response.has_value());
-                  Reader r(*response);
+                [&](RpcResult response) {
+                  ASSERT_TRUE(response.ok);
+                  Reader r(response.data, response.size);
                   result = r.u32();
                   done = true;
                 });
@@ -56,7 +62,7 @@ TEST_F(RpcTest, ManyConcurrentRequestsCorrelate) {
                   [](Reader& reader, RpcServer::Responder respond) {
                     Writer w;
                     w.u32(reader.u32() * 10);
-                    respond(w.take());
+                    respond(w.data());
                   });
   int completed = 0;
   bool done = false;
@@ -64,9 +70,9 @@ TEST_F(RpcTest, ManyConcurrentRequestsCorrelate) {
     Writer w;
     w.u32(i);
     client_->call(MessageType::kProcessProbe, w.data(), sec(1),
-                  [&, i](std::optional<std::vector<std::uint8_t>> response) {
-                    ASSERT_TRUE(response.has_value());
-                    Reader r(*response);
+                  [&, i](RpcResult response) {
+                    ASSERT_TRUE(response.ok);
+                    Reader r(response.data, response.size);
                     EXPECT_EQ(r.u32(), i * 10);
                     if (++completed == 50) done = true;
                   });
@@ -89,9 +95,9 @@ TEST_F(RpcTest, DeferredResponderRepliesLater) {
   bool done = false;
   std::string result;
   client_->call(MessageType::kOffload, {}, sec(1),
-                [&](std::optional<std::vector<std::uint8_t>> response) {
-                  ASSERT_TRUE(response.has_value());
-                  Reader r(*response);
+                [&](RpcResult response) {
+                  ASSERT_TRUE(response.ok);
+                  Reader r(response.data, response.size);
                   result = r.str();
                   done = true;
                 });
@@ -104,11 +110,10 @@ TEST_F(RpcTest, TimeoutFiresWhenServerSilent) {
                   [](Reader&, RpcServer::Responder) { /* never responds */ });
   bool done = false;
   bool got_value = true;
-  client_->call(MessageType::kJoin, {}, msec(50),
-                [&](std::optional<std::vector<std::uint8_t>> response) {
-                  got_value = response.has_value();
-                  done = true;
-                });
+  client_->call(MessageType::kJoin, {}, msec(50), [&](RpcResult response) {
+    got_value = response.ok;
+    done = true;
+  });
   run_until(done);
   EXPECT_TRUE(done);
   EXPECT_FALSE(got_value);
@@ -130,16 +135,15 @@ TEST_F(RpcTest, OneWayMessageArrives) {
 }
 
 TEST_F(RpcTest, CallToDeadPortFails) {
-  // A port with nothing listening: connection refused surfaces as nullopt
+  // A port with nothing listening: connection refused surfaces as !ok
   // (possibly via the timeout).
-  RpcClient dead(loop_, "127.0.0.1:1");
+  RpcClient dead(loop_, pool_, "127.0.0.1:1");
   bool done = false;
   bool got_value = true;
-  dead.call(MessageType::kRttProbe, {}, msec(300),
-            [&](std::optional<std::vector<std::uint8_t>> response) {
-              got_value = response.has_value();
-              done = true;
-            });
+  dead.call(MessageType::kRttProbe, {}, msec(300), [&](RpcResult response) {
+    got_value = response.ok;
+    done = true;
+  });
   run_until(done);
   EXPECT_TRUE(done);
   EXPECT_FALSE(got_value);
@@ -149,11 +153,10 @@ TEST_F(RpcTest, ServerCloseFailsPendingCalls) {
   server_->handle(MessageType::kJoin,
                   [](Reader&, RpcServer::Responder) { /* hold */ });
   bool done = false;
-  client_->call(MessageType::kJoin, {}, sec(5),
-                [&](std::optional<std::vector<std::uint8_t>> response) {
-                  EXPECT_FALSE(response.has_value());
-                  done = true;
-                });
+  client_->call(MessageType::kJoin, {}, sec(5), [&](RpcResult response) {
+    EXPECT_FALSE(response.ok);
+    done = true;
+  });
   loop_.schedule_after(msec(30), [this] { server_->close(); });
   run_until(done);
   EXPECT_TRUE(done);
@@ -165,7 +168,7 @@ TEST_F(RpcTest, ClientReconnectsAfterServerRestartlessDrop) {
   // First call establishes a connection.
   bool first = false;
   client_->call(MessageType::kRttProbe, {}, sec(1),
-                [&](auto response) { first = response.has_value(); });
+                [&](RpcResult response) { first = response.ok; });
   run_until(first);
   ASSERT_TRUE(first);
 
@@ -178,12 +181,63 @@ TEST_F(RpcTest, ClientReconnectsAfterServerRestartlessDrop) {
   });
   run_until(dropped);
   // Note: new ephemeral port — point a fresh client at it.
-  RpcClient retry(loop_, server_->endpoint());
+  RpcClient retry(loop_, pool_, server_->endpoint());
   bool second = false;
   retry.call(MessageType::kRttProbe, {}, sec(1),
-             [&](auto response) { second = response.has_value(); });
+             [&](RpcResult response) { second = response.ok; });
   run_until(second);
   EXPECT_TRUE(second);
+}
+
+TEST_F(RpcTest, LatePendingSlotReuseDoesNotMisdeliver) {
+  // Force a timeout, then issue a new call that re-uses the freed pending
+  // slot. The (instance, gen, idx) triple in the request id must keep the
+  // stale response (if any) from completing the new call.
+  server_->handle(MessageType::kJoin,
+                  [](Reader&, RpcServer::Responder) { /* never responds */ });
+  server_->handle(MessageType::kRttProbe,
+                  [](Reader& reader, RpcServer::Responder respond) {
+                    Writer w;
+                    w.u32(reader.u32());
+                    respond(w.data());
+                  });
+  bool timed_out = false;
+  client_->call(MessageType::kJoin, {}, msec(30), [&](RpcResult response) {
+    EXPECT_FALSE(response.ok);
+    timed_out = true;
+  });
+  run_until(timed_out);
+  ASSERT_TRUE(timed_out);
+
+  bool done = false;
+  std::uint32_t echoed = 0;
+  Writer w;
+  w.u32(777);
+  client_->call(MessageType::kRttProbe, w.data(), sec(1),
+                [&](RpcResult response) {
+                  ASSERT_TRUE(response.ok);
+                  Reader r(response.data, response.size);
+                  echoed = r.u32();
+                  done = true;
+                });
+  run_until(done);
+  EXPECT_EQ(echoed, 777u);
+  EXPECT_EQ(client_->pending_count(), 0u);
+}
+
+// Raw blocking socket to 127.0.0.1:port, for bypassing the framing layer.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
 TEST_F(RpcTest, GarbageBytesDoNotCrashServer) {
@@ -193,23 +247,27 @@ TEST_F(RpcTest, GarbageBytesDoNotCrashServer) {
                   [](Reader&, RpcServer::Responder respond) { respond({}); });
   Rng rng(99);
   for (int conn = 0; conn < 10; ++conn) {
-    auto garbage = connect_to(loop_, server_->endpoint());
-    ASSERT_NE(garbage, nullptr);
+    const int fd = raw_connect(server_->port());
+    ASSERT_GE(fd, 0);
     std::vector<std::uint8_t> noise;
+    // Lead with an absurd declared length so the framing check trips,
+    // followed by random bytes.
+    const std::uint32_t bad_length = 0xfffffff0u;
+    noise.resize(4);
+    std::memcpy(noise.data(), &bad_length, 4);
     for (int i = 0; i < 256; ++i) {
       noise.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
     }
-    // Bypass framing: feed the noise as if it were a frame body with a
-    // deliberately absurd declared length among random bytes.
-    garbage->send_frame(rng.next_u64(),
-                        static_cast<std::uint16_t>(rng.uniform_int(0, 65535)),
-                        noise);
+    ASSERT_EQ(::send(fd, noise.data(), noise.size(), 0),
+              static_cast<ssize_t>(noise.size()));
+    loop_.run_for(msec(5));
+    ::close(fd);
     loop_.run_for(msec(5));
   }
   // A well-formed call still succeeds afterwards.
   bool done = false;
   client_->call(MessageType::kRttProbe, {}, sec(1),
-                [&](auto response) { done = response.has_value(); });
+                [&](RpcResult response) { done = response.ok; });
   run_until(done);
   EXPECT_TRUE(done);
 }
@@ -220,7 +278,7 @@ TEST_F(RpcTest, LargePayloadRoundTrip) {
                     const std::string payload = reader.str();
                     Writer w;
                     w.u32(static_cast<std::uint32_t>(payload.size()));
-                    respond(w.take());
+                    respond(w.data());
                   });
   const std::string big(1 << 20, 'x');  // 1 MiB
   Writer w;
@@ -228,14 +286,36 @@ TEST_F(RpcTest, LargePayloadRoundTrip) {
   bool done = false;
   std::uint32_t size = 0;
   client_->call(MessageType::kOffload, w.data(), sec(2),
-                [&](std::optional<std::vector<std::uint8_t>> response) {
-                  ASSERT_TRUE(response.has_value());
-                  Reader r(*response);
+                [&](RpcResult response) {
+                  ASSERT_TRUE(response.ok);
+                  Reader r(response.data, response.size);
                   size = r.u32();
                   done = true;
                 });
   run_until(done);
   EXPECT_EQ(size, big.size());
+}
+
+TEST_F(RpcTest, NoPoolChunksLeakAfterTraffic) {
+  server_->handle(MessageType::kRttProbe,
+                  [](Reader&, RpcServer::Responder respond) { respond({}); });
+  int completed = 0;
+  bool done = false;
+  for (int i = 0; i < 20; ++i) {
+    client_->call(MessageType::kRttProbe, {}, sec(1), [&](RpcResult response) {
+      EXPECT_TRUE(response.ok);
+      if (++completed == 20) done = true;
+    });
+  }
+  run_until(done);
+  ASSERT_EQ(completed, 20);
+  // All outboxes drained: no chunk should still be held.
+  EXPECT_EQ(pool_.buffers().in_use(), 0u);
+  client_->close();
+  server_->close();
+  pool_.close_all();
+  EXPECT_EQ(pool_.buffers().in_use(), 0u);
+  EXPECT_EQ(pool_.open_connections(), 0u);
 }
 
 }  // namespace

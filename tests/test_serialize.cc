@@ -77,6 +77,10 @@ TEST(Messages, NodeStatusRoundTrip) {
   original.is_cloud = false;
   original.network_tag = "isp-b";
   original.endpoint = "127.0.0.1:9999";
+  original.app_types = {"ar-overlay", "video-seg"};
+  original.queue_depth = 6;
+  original.burst_credits = 2.5;
+  original.p95_proc_ms = 41.75;
 
   Writer w;
   encode(w, original);
@@ -93,6 +97,10 @@ TEST(Messages, NodeStatusRoundTrip) {
   EXPECT_EQ(decoded.is_cloud, original.is_cloud);
   EXPECT_EQ(decoded.network_tag, original.network_tag);
   EXPECT_EQ(decoded.endpoint, original.endpoint);
+  EXPECT_EQ(decoded.app_types, original.app_types);
+  EXPECT_EQ(decoded.queue_depth, original.queue_depth);
+  EXPECT_DOUBLE_EQ(decoded.burst_credits, original.burst_credits);
+  EXPECT_DOUBLE_EQ(decoded.p95_proc_ms, original.p95_proc_ms);
 }
 
 TEST(Messages, DiscoveryRoundTrip) {
@@ -185,12 +193,17 @@ TEST(Messages, FrameRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded.bytes, 20'000);
 
   net::FrameResponse response{555, 31.25};
+  response.dropped = true;
+  response.redisc_epoch = 12;
   Writer w2;
   encode(w2, response);
   Reader r2(w2.data());
   const auto decoded2 = decode_frame_response(r2);
+  ASSERT_TRUE(r2.ok());
   EXPECT_EQ(decoded2.frame_id, 555u);
   EXPECT_DOUBLE_EQ(decoded2.proc_ms, 31.25);
+  EXPECT_TRUE(decoded2.dropped);
+  EXPECT_EQ(decoded2.redisc_epoch, 12u);
 }
 
 TEST(Messages, ResponseTypeSetsHighBit) {
@@ -198,17 +211,144 @@ TEST(Messages, ResponseTypeSetsHighBit) {
             static_cast<std::uint16_t>(MessageType::kJoin) | 0x8000);
 }
 
-TEST(Messages, TruncatedMessageFailsSoft) {
-  net::NodeStatus status;
-  status.geohash = "9zvxvf";
-  Writer w;
-  encode(w, status);
-  // Chop the buffer at every possible point: decode must never crash and
-  // must flag !ok() for any strict prefix.
-  for (std::size_t len = 0; len < w.data().size(); ++len) {
-    Reader r(w.data().data(), len);
-    (void)decode_node_status(r);
-    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+// One encoded exemplar of every wire message plus its decoder, so the
+// truncation and fuzz sweeps below cover the whole protocol surface.
+struct WireCase {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  void (*decode)(Reader&);
+};
+
+std::vector<WireCase> all_wire_cases() {
+  std::vector<WireCase> cases;
+  {
+    net::NodeStatus v;
+    v.node = NodeId{42};
+    v.geohash = "9zvxvf";
+    v.network_tag = "isp-a";
+    v.endpoint = "127.0.0.1:9000";
+    v.app_types = {"ar-overlay", "video-seg"};
+    v.queue_depth = 3;
+    v.burst_credits = 1.5;
+    v.p95_proc_ms = 22.0;
+    Writer w;
+    encode(w, v);
+    cases.push_back({"NodeStatus", w.data(),
+                     [](Reader& r) { (void)decode_node_status(r); }});
+  }
+  {
+    net::DiscoveryRequest v;
+    v.client = ClientId{7};
+    v.geohash = "9zvxg1";
+    v.network_tag = "isp-b";
+    v.top_n = 5;
+    v.app_type = "ar-overlay";
+    Writer w;
+    encode(w, v);
+    cases.push_back({"DiscoveryRequest", w.data(),
+                     [](Reader& r) { (void)decode_discovery_request(r); }});
+  }
+  {
+    net::DiscoveryResponse v;
+    v.candidates.push_back(
+        net::CandidateInfo{NodeId{1}, "9zvxvf", 0.5, "127.0.0.1:9001"});
+    v.candidates.push_back(
+        net::CandidateInfo{NodeId{2}, "9zvxg1", 0.25, "127.0.0.1:9002"});
+    Writer w;
+    encode(w, v);
+    cases.push_back({"DiscoveryResponse", w.data(),
+                     [](Reader& r) { (void)decode_discovery_response(r); }});
+  }
+  {
+    net::ProcessProbeResponse v{45.5, 38.2, 4, 123456789ull};
+    Writer w;
+    encode(w, v);
+    cases.push_back(
+        {"ProcessProbeResponse", w.data(),
+         [](Reader& r) { (void)decode_process_probe_response(r); }});
+  }
+  {
+    net::JoinRequest v{ClientId{9}, 77, 18.5};
+    Writer w;
+    encode(w, v);
+    cases.push_back({"JoinRequest", w.data(),
+                     [](Reader& r) { (void)decode_join_request(r); }});
+  }
+  {
+    net::JoinResponse v{true, 78};
+    Writer w;
+    encode(w, v);
+    cases.push_back({"JoinResponse", w.data(),
+                     [](Reader& r) { (void)decode_join_response(r); }});
+  }
+  {
+    net::FrameRequest v{ClientId{3}, 555, 20'000, 1.25};
+    Writer w;
+    encode(w, v);
+    cases.push_back({"FrameRequest", w.data(),
+                     [](Reader& r) { (void)decode_frame_request(r); }});
+  }
+  {
+    net::FrameResponse v{555, 31.25};
+    v.dropped = true;
+    v.redisc_epoch = 3;
+    Writer w;
+    encode(w, v);
+    cases.push_back({"FrameResponse", w.data(),
+                     [](Reader& r) { (void)decode_frame_response(r); }});
+  }
+  return cases;
+}
+
+TEST(Messages, EveryTypeFailsSoftAtEveryTruncationPoint) {
+  // Chop every message's encoding at every possible point: decode must
+  // never crash and must flag !ok() for any strict prefix (each decoder
+  // reads every field, so a short buffer always runs out of bytes).
+  for (const auto& c : all_wire_cases()) {
+    ASSERT_FALSE(c.bytes.empty()) << c.name;
+    for (std::size_t len = 0; len < c.bytes.size(); ++len) {
+      Reader r(c.bytes.data(), len);
+      c.decode(r);
+      EXPECT_FALSE(r.ok()) << c.name << " prefix length " << len;
+    }
+    // The full encoding still decodes clean.
+    Reader full(c.bytes.data(), c.bytes.size());
+    c.decode(full);
+    EXPECT_TRUE(full.ok()) << c.name;
+  }
+}
+
+TEST(Messages, GarbageBytesNeverCrashDecoders) {
+  // Random byte soup through every decoder: fail-soft means no crash, no
+  // unbounded allocation (string/array reads are bounded by remaining()).
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const auto cases = all_wire_cases();
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> noise(static_cast<std::size_t>(next() % 512));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(next());
+    for (const auto& c : cases) {
+      Reader r(noise.data(), noise.size());
+      c.decode(r);  // must not crash; ok() may be anything
+    }
+  }
+}
+
+TEST(Messages, BitFlippedEncodingsNeverCrashDecoders) {
+  // Flip each byte of a valid encoding in turn — decoders must stay
+  // memory-safe even when the corruption lands in a length field.
+  for (const auto& c : all_wire_cases()) {
+    for (std::size_t i = 0; i < c.bytes.size(); ++i) {
+      std::vector<std::uint8_t> mutated = c.bytes;
+      mutated[i] ^= 0xFF;
+      Reader r(mutated.data(), mutated.size());
+      c.decode(r);  // must not crash
+    }
   }
 }
 

@@ -23,8 +23,12 @@ echo "=== [release] scale smoke (bench_scale 2000 clients / 200 nodes) ==="
 # BENCH_scale.json; a crash or a >2x regression fails the gate.
 SMOKE_JSON="$(mktemp)"
 SMOKE_REPRO="$(mktemp)"
-trap 'rm -f "$SMOKE_JSON" "$SMOKE_REPRO"' EXIT
-build-release/bench/bench_scale --clients 2000 --nodes 200 --json "$SMOKE_JSON"
+LIVE_JSON="$(mktemp)"
+trap 'rm -f "$SMOKE_JSON" "$SMOKE_REPRO" "$LIVE_JSON"' EXIT
+# --threads 1 pins the shard sweep to the sequential WindowPool: CI boxes
+# have unpredictable core counts and the sweep gate compares wall-clock.
+build-release/bench/bench_scale --clients 2000 --nodes 200 --threads 1 \
+  --json "$SMOKE_JSON"
 extract_smoke_wall() {
   # wall_sec inside the "smoke" object (field order is fixed by the bench).
   sed -n '/"smoke"/,/}/p' "$1" | grep -o '"wall_sec": [0-9.]*' | head -1 |
@@ -91,6 +95,55 @@ awk -v ref="$REF_SHARD" -v new="$NEW_SHARD" 'BEGIN {
     exit 1
   }
 }' || exit 1
+
+echo "=== [release] live loopback smoke (bench_live --smoke) ==="
+# The live data plane over real localhost sockets: the smoke run must hold
+# the steady-state allocation bound, leak no buffer-pool chunks, and land
+# inside the live-vs-sim latency tolerance band (sim parity).
+build-release/bench/bench_live --smoke --json "$LIVE_JSON"
+if ! grep -q '"leaked_pool_slots": 0' "$LIVE_JSON"; then
+  echo "live smoke: leaked buffer-pool slots" >&2
+  exit 1
+fi
+if ! grep -q '"within_tolerance": true' "$LIVE_JSON"; then
+  echo "live smoke: live-vs-sim latency outside the tolerance band" >&2
+  exit 1
+fi
+extract_live_allocs() {
+  sed -n '/"smoke"/,/}/p' "$1" | grep -o '"allocs_per_frame": [0-9.]*' |
+    head -1 | grep -o '[0-9.]*$'
+}
+REF_LIVE=$(extract_live_allocs BENCH_live.json)
+NEW_LIVE=$(extract_live_allocs "$LIVE_JSON")
+if [ -z "$REF_LIVE" ] || [ -z "$NEW_LIVE" ]; then
+  echo "live smoke: missing allocs_per_frame (ref='$REF_LIVE' new='$NEW_LIVE')" >&2
+  exit 1
+fi
+echo "live smoke allocs_per_frame: committed=$REF_LIVE measured=$NEW_LIVE"
+# Two gates. Absolute: the steady-state frame path must stay allocation-
+# free (<1 alloc/frame) — one new allocation on the hot path adds +1.0 and
+# trips this immediately. Relative: >20% over the committed reference,
+# floored at 0.7 because the committed JSON comes from the full-length run
+# whose longer window amortizes per-probe-cycle costs over more frames.
+awk -v ref="$REF_LIVE" -v new="$NEW_LIVE" 'BEGIN {
+  if (new > 1.0) {
+    printf "live smoke: steady-state allocation bound broken (%.3f allocs/frame > 1.0)\n", new
+    exit 1
+  }
+  bound = 1.2 * ref; if (bound < 0.7) bound = 0.7
+  if (new > bound) {
+    printf "live smoke: allocation regression >20%% (%.3f vs %.3f allocs/frame)\n", new, ref
+    exit 1
+  }
+}' || exit 1
+
+echo "=== [asan] live data-plane focus (sockets under ASan/UBSan) ==="
+# The full asan ctest above already covers these; run the socket suite
+# again explicitly so a sanitizer hit on the live plane names itself even
+# when triaging from the tail of the log.
+for t in test_event_loop test_connection test_rpc test_live; do
+  "build-asan/tests/$t" --gtest_brief=1
+done
 
 echo "=== [release] shard witness smoke (eden_check --witness) ==="
 # Fuzzed topologies through the sharded harness at 1 and 4 shards: the

@@ -52,14 +52,16 @@ int main(int argc, char** argv) {
     const auto stats = client.stats();
     const auto current = client.current_node();
     const auto latency = client.latency_window_ms();
+    const auto pool = client.pool_stats();
     std::printf(
         "[status] node=%s frames=%llu (+%llu) avg=%.1f ms switches=%llu "
-        "failovers=%llu\n",
+        "failovers=%llu conns=%zu pool=%zu/%zu\n",
         current ? std::to_string(current->value).c_str() : "-",
         static_cast<unsigned long long>(stats.frames_ok),
         static_cast<unsigned long long>(stats.frames_ok - last_frames),
         latency.mean(), static_cast<unsigned long long>(stats.switches),
-        static_cast<unsigned long long>(stats.failovers));
+        static_cast<unsigned long long>(stats.failovers),
+        pool.open_connections, pool.chunks_in_use, pool.chunk_capacity);
     last_frames = stats.frames_ok;
   }
   std::puts("detaching");

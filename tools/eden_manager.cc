@@ -40,10 +40,13 @@ int main(int argc, char** argv) {
     const auto stats = eden::rpc::run_on_loop(manager.loop(), [&] {
       return manager.manager_unsafe().stats();
     });
+    const auto pool = manager.pool_stats();
     std::printf(
-        "[status] live nodes=%zu discoveries=%llu heartbeats=%llu\n", live,
-        static_cast<unsigned long long>(stats.discovery_queries),
-        static_cast<unsigned long long>(stats.heartbeats));
+        "[status] live nodes=%zu discoveries=%llu heartbeats=%llu "
+        "conns=%zu pool=%zu/%zu\n",
+        live, static_cast<unsigned long long>(stats.discovery_queries),
+        static_cast<unsigned long long>(stats.heartbeats),
+        pool.open_connections, pool.chunks_in_use, pool.chunk_capacity);
   }
   std::puts("shutting down");
   manager.stop();

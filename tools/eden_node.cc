@@ -56,13 +56,16 @@ int main(int argc, char** argv) {
     const auto snapshot = eden::rpc::run_on_loop(node.loop(), [&] {
       return node.node_unsafe().status();
     });
+    const auto pool = node.pool_stats();
     std::printf(
-        "[status] users=%d util=%.0f%% frames=%llu tests=%llu joins=%llu/%llu\n",
+        "[status] users=%d util=%.0f%% frames=%llu tests=%llu joins=%llu/%llu "
+        "conns=%zu pool=%zu/%zu\n",
         snapshot.attached_users, snapshot.utilization * 100.0,
         static_cast<unsigned long long>(stats.frames_processed),
         static_cast<unsigned long long>(stats.test_invocations),
         static_cast<unsigned long long>(stats.joins_accepted),
-        static_cast<unsigned long long>(stats.joins_rejected));
+        static_cast<unsigned long long>(stats.joins_rejected),
+        pool.open_connections, pool.chunks_in_use, pool.chunk_capacity);
   }
   std::puts("leaving the system (graceful deregister)");
   node.stop(/*graceful=*/true);
