@@ -141,6 +141,29 @@ void apply_overload_family(ScenarioSpec& spec, Rng& rng) {
   }
 }
 
+// Crash-family mutation (FuzzLimits::crash_points): arms the warm standby
+// and plants one deterministic manager crash mid-churn. Like the overload
+// family it draws from its own fork and only appends entities, so symbolic
+// fault endpoints and every base draw stay untouched.
+void apply_crash_family(ScenarioSpec& spec, Rng& rng) {
+  spec.standby = true;
+  spec.crash.enabled = true;
+  // Guarantee an anchor: the takeover oracles want registry content to
+  // recover and a frame stream to keep alive across the failover.
+  if (spec.nodes.empty()) {
+    FuzzNode anchor;
+    anchor.cores = static_cast<int>(rng.uniform_int(2, 6));
+    anchor.base_frame_ms = rng.uniform(12.0, 35.0);
+    spec.nodes.push_back(anchor);
+  }
+  const double quiet_start = spec.horizon_sec - spec.cooldown_sec;
+  spec.crash.point = static_cast<int>(rng.uniform_int(0, 3));
+  spec.crash.takeover_delay_sec = rng.uniform(0.2, 1.5);
+  spec.crash.at_sec =
+      rng.uniform(3.0, std::max(3.5, quiet_start -
+                                         spec.crash.takeover_delay_sec - 2.0));
+}
+
 }  // namespace
 
 ScenarioSpec generate_spec(std::uint64_t seed, const FuzzLimits& limits) {
@@ -281,6 +304,10 @@ ScenarioSpec generate_spec(std::uint64_t seed, const FuzzLimits& limits) {
     Rng overload_rng = Rng(seed).fork("check-overload");
     apply_overload_family(spec, overload_rng);
   }
+  if (limits.crash_points) {
+    Rng crash_rng = Rng(seed).fork("check-crash");
+    apply_crash_family(spec, crash_rng);
+  }
   return spec;
 }
 
@@ -340,17 +367,23 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
   config.heartbeat_ttl = sec(spec.heartbeat_ttl_sec);
   config.trace = true;
   config.load_feedback = spec.load_feedback;
+  config.standby.enabled = spec.standby;
+  config.standby.standby_options.chaos_drop_last_batch =
+      (spec.chaos & kChaosDropLastBatchOnReplay) != 0;
   const auto kind = spec.net_kind == static_cast<int>(SpecNetKind::kMatrix)
                         ? harness::NetKind::kMatrix
                         : harness::NetKind::kGeo;
   harness::Scenario scenario(config, kind, spec.default_rtt_ms,
                              spec.default_bw_mbps, spec.jitter_sigma);
   scenario.fabric().set_fault_injector(&injector);
+  scenario.set_crash_fault_injector(&injector);
 
   const SimTime horizon = sec(spec.horizon_sec);
   // Enforce the quiet-tail contract for any spec, not just generated ones.
   const double quiet_start =
       std::max(0.0, spec.horizon_sec - std::max(0.0, spec.cooldown_sec));
+  // The crash the harness will inject (clamps shared with the oracles).
+  const std::optional<EffectiveCrash> crash = effective_crash(spec);
 
   // ---- nodes ----
   for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
@@ -445,7 +478,11 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     const auto a = resolve_endpoint(scenario, ff.a);
     if (!a) continue;
     const double from = std::max(0.0, ff.from_sec);
-    const double until = std::min(ff.until_sec, quiet_start);
+    double until = std::min(ff.until_sec, quiet_start);
+    // With a crash scheduled, every fault window closes before the crash:
+    // the failover must be attributable to the injected crash alone, and
+    // the readmission oracle's post-takeover bound assumes a clean network.
+    if (crash) until = std::min(until, crash->at_sec);
     if (until <= from) continue;
     if (ff.kind == FaultKind::kIsolate) {
       injector.isolate_host(*a, sec(from), sec(until));
@@ -469,6 +506,13 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     }
   }
 
+  // ---- manager crash + takeover ----
+  if (crash) {
+    scenario.schedule_manager_crash(
+        sec(crash->at_sec), static_cast<journal::CrashPoint>(crash->point),
+        sec(crash->takeover_delay_sec));
+  }
+
   // ---- run to the horizon, snapshot, tear down, drain ----
   scenario.run_until(horizon);
 
@@ -478,13 +522,15 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     end.nodes.push_back({n.id(), n.running(), n.attached_ids(),
                          n.executor().utilization(), n.executor().queued(),
                          n.executor().throttled(),
-                         scenario.central_manager().overloaded(n.id())});
+                         scenario.active_manager().overloaded(n.id())});
   }
   for (std::size_t i = 0; i < scenario.edge_client_count(); ++i) {
     client::EdgeClient& c = scenario.edge_client(i);
     end.clients.push_back({c.id(), c.current_node(), c.stats()});
   }
-  scenario.central_manager().registry().for_each_live(
+  // After a takeover the standby owns the registry; without one
+  // active_manager() is the primary, so non-standby runs are unchanged.
+  scenario.active_manager().registry().for_each_live(
       "", horizon,
       [&end](const manager::RegistryEntry& entry,
              const std::optional<geo::GeoPoint>&) {
@@ -501,6 +547,17 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
   }
 
   RunReport report;
+  // Replay-determinism witness: at the takeover instant the standby's
+  // incrementally-tailed image must equal a fresh one-shot replay of the
+  // surviving journal bytes, byte for byte. (The planted drop-last-batch
+  // chaos diverges here as well as on the LSN oracle.)
+  if (scenario.takeover_done() &&
+      scenario.standby_dump() != scenario.expected_dump()) {
+    report.violations.push_back(
+        {"journal-replay",
+         "standby replay dump diverges from a fresh replay of the journal",
+         horizon});
+  }
   // Vacuity gate: a spec that promises frames but moved none (or that has
   // no clients at all) is a harness bug masquerading as a green run.
   if (spec.clients.empty() || expects_frames(spec)) {
@@ -527,6 +584,8 @@ RunReport run_spec(const ScenarioSpec& spec, const RunOptions& options) {
     report.hard_failures += c.stats.hard_failures;
   }
 
+  // The warm-tail timer self-reschedules; stop it or run_all never drains.
+  scenario.stop_standby_tail();
   for (std::size_t i = 0; i < scenario.edge_client_count(); ++i) {
     scenario.edge_client(i).stop();
   }

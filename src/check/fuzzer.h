@@ -35,6 +35,11 @@ struct FuzzLimits {
   // keeps producing a byte-identical spec; the family mutation draws from
   // its own Rng fork ("check-overload") and never touches the base stream.
   bool overload_families{false};
+  // Opt-in manager-crash family: the spec gets a warm standby plus a
+  // deterministic crash point (journal::CrashPoint) fired mid-churn, so
+  // every run exercises journal replay and takeover. Draws from its own
+  // fork ("check-crash"), applied after the base (and overload) streams.
+  bool crash_points{false};
 };
 
 // Pure function of (seed, limits): same inputs, same spec.

@@ -752,6 +752,172 @@ class StarvationOracle final : public Oracle {
   }
 };
 
+// ---- journal-seqnum ---------------------------------------------------
+
+// Durable-journal failover (DESIGN.md §15): armed only for specs whose
+// effective crash actually fires. Exactly one manager crash and one
+// takeover must appear; the recovered LSN carried by kManagerTakeover may
+// never regress below any LSN the primary committed durably
+// (kJournalCommit is traced only when a batch is flushed, so every value
+// seen is a durability promise); and the standby's own commits must
+// continue strictly above the recovered LSN. A standby that replays short
+// — e.g. the planted drop-last-batch chaos — reports a takeover LSN below
+// the primary's last durable commit and trips this oracle.
+class JournalSeqNumOracle final : public Oracle {
+ public:
+  const char* name() const override { return "journal-seqnum"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    const auto crash = effective_crash(run.spec);
+    if (!crash) return;
+    Reporter report(name(), out);
+
+    std::size_t crashes = 0;
+    std::size_t takeovers = 0;
+    bool taken_over = false;
+    std::uint64_t max_committed = 0;   // durable floor before the takeover
+    std::uint64_t recovered = 0;
+    std::uint64_t last_post = 0;       // standby commits, post-takeover
+    for (const TraceEvent& e : run.events) {
+      switch (e.kind) {
+        case EventKind::kManagerCrash:
+          ++crashes;
+          break;
+        case EventKind::kManagerTakeover: {
+          ++takeovers;
+          taken_over = true;
+          recovered = static_cast<std::uint64_t>(std::llround(e.value));
+          if (recovered < max_committed) {
+            report.add(e.at,
+                       format("takeover recovered LSN %llu below the "
+                              "primary's last durable commit %llu — the "
+                              "standby lost acked registry mutations",
+                              static_cast<unsigned long long>(recovered),
+                              static_cast<unsigned long long>(max_committed)));
+          }
+          last_post = recovered;
+          break;
+        }
+        case EventKind::kJournalCommit: {
+          const auto lsn = static_cast<std::uint64_t>(std::llround(e.value));
+          if (!taken_over) {
+            if (lsn <= max_committed) {
+              report.add(e.at,
+                         format("journal commit LSN regressed: %llu after "
+                                "%llu",
+                                static_cast<unsigned long long>(lsn),
+                                static_cast<unsigned long long>(max_committed)));
+            }
+            max_committed = lsn;
+          } else {
+            if (lsn <= last_post) {
+              report.add(e.at,
+                         format("post-takeover commit LSN %llu does not "
+                                "advance past %llu",
+                                static_cast<unsigned long long>(lsn),
+                                static_cast<unsigned long long>(last_post)));
+            }
+            last_post = lsn;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (crashes != 1) {
+      report.add(run.horizon,
+                 format("expected exactly one manager crash, saw %zu",
+                        crashes));
+    }
+    if (takeovers != 1) {
+      report.add(run.horizon,
+                 format("expected exactly one standby takeover, saw %zu",
+                        takeovers));
+    }
+  }
+};
+
+// ---- readmission ------------------------------------------------------
+
+// Bounded re-admission after failover: once the standby owns the registry,
+// (a) every node the spec keeps alive to the horizon must be back in the
+// registry by the horizon — its heartbeats re-admit it within one TTL, and
+// the quiet tail is at least TTL + margin long by the generator envelope —
+// and (b) the frame stream must stay live: with an always-up anchor and an
+// always-on sender in the spec, at least one frame is sent after the
+// takeover, and (jitterless feedback aside) at least one completes.
+class ReadmissionOracle final : public Oracle {
+ public:
+  const char* name() const override { return "readmission"; }
+
+  void check(const RunView& run, std::vector<Violation>& out) const override {
+    const auto crash = effective_crash(run.spec);
+    if (!crash) return;
+    Reporter report(name(), out);
+
+    SimTime takeover_at = -1;
+    for (const TraceEvent& e : run.events) {
+      if (e.kind == EventKind::kManagerTakeover) {
+        takeover_at = e.at;
+        break;
+      }
+    }
+    if (takeover_at < 0) return;  // journal-seqnum already flags this
+
+    // (a) node re-admission. Only sound when the post-takeover stretch can
+    // absorb a full heartbeat TTL (always true for generated specs).
+    const double post_takeover_sec = run.spec.horizon_sec - to_sec(takeover_at);
+    if (post_takeover_sec >= run.spec.heartbeat_ttl_sec + 3.0) {
+      std::unordered_set<std::uint32_t> live;
+      for (const NodeId id : run.end.registry_live) live.insert(id.value);
+      for (std::size_t i = 0; i < run.end.nodes.size(); ++i) {
+        const auto& n = run.end.nodes[i];
+        if (!n.running) continue;
+        if (i < run.spec.nodes.size() && run.spec.nodes[i].stop_sec >= 0.0) {
+          continue;  // spec churned it; lifecycle is its own business
+        }
+        if (live.count(n.id.value) == 0) {
+          report.add(run.horizon,
+                     format("node %u is running at the horizon but absent "
+                            "from the standby's registry %.1fs after "
+                            "takeover — re-admission exceeded the TTL bound",
+                            n.id.value, post_takeover_sec));
+        }
+      }
+    }
+
+    // (b) frame-stream liveness across the failover.
+    if (!expects_frames(run.spec)) return;
+    bool always_on_sender = false;
+    for (const FuzzClient& c : run.spec.clients) {
+      if (c.send_frames && c.stop_sec < 0.0 && c.start_sec < to_sec(takeover_at)) {
+        always_on_sender = true;
+        break;
+      }
+    }
+    if (!always_on_sender) return;
+    std::uint64_t post_sends = 0;
+    std::uint64_t post_oks = 0;
+    for (const TraceEvent& e : run.events) {
+      if (e.at <= takeover_at) continue;
+      if (e.kind == EventKind::kFrameSend) ++post_sends;
+      if (e.kind == EventKind::kFrameOk) ++post_oks;
+    }
+    if (post_sends == 0) {
+      report.add(run.horizon,
+                 "no frame left any client after the takeover — the fleet "
+                 "never re-resolved to the standby");
+    } else if (post_oks == 0 && !run.spec.load_feedback) {
+      report.add(run.horizon,
+                 format("%llu frames sent after the takeover, none "
+                        "succeeded — clients lost service across the "
+                        "failover",
+                        static_cast<unsigned long long>(post_sends)));
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& default_oracles() {
@@ -763,9 +929,12 @@ const std::vector<const Oracle*>& default_oracles() {
   static const FailoverLivenessOracle failover;
   static const RegistryOracle registry;
   static const StarvationOracle starvation;
+  static const JournalSeqNumOracle journal_seqnum;
+  static const ReadmissionOracle readmission;
   static const std::vector<const Oracle*> all = {
       &trace_order, &seqnum,   &attachment, &conservation,
       &frame_bound, &failover, &registry,  &starvation,
+      &journal_seqnum, &readmission,
   };
   return all;
 }

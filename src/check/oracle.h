@@ -98,6 +98,13 @@ class Oracle {
 //                      frames sent but zero successes while a running,
 //                      registry-live, non-overloaded node sits nearly idle —
 //                      the feedback loop must have steered it there
+//   journal-seqnum     (crash specs only) exactly one manager crash and one
+//                      takeover; the recovered LSN never regresses below any
+//                      durably committed LSN; standby commits continue
+//                      strictly above it
+//   readmission        (crash specs only) nodes alive at the horizon are back
+//                      in the standby's registry within a TTL bound, and the
+//                      frame stream stays live across the failover
 [[nodiscard]] const std::vector<const Oracle*>& default_oracles();
 
 }  // namespace eden::check

@@ -1,10 +1,12 @@
 #include "check/repro.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 
 namespace eden::check {
@@ -361,6 +363,55 @@ std::vector<T> parse_array(Cursor& c, ParseFn parse_one) {
   return out;
 }
 
+// ---- semantic validation ----------------------------------------------
+//
+// Cursor::number accepts anything strtod does — including "1e999", which
+// parses "successfully" to +inf and would send --replay into an unbounded
+// simulation. A repro that parses structurally must also describe a run
+// the harness can actually execute: every double finite, the horizon
+// positive and bounded, and the version a format we know.
+
+constexpr double kMaxHorizonSec = 24.0 * 3600.0;  // a day of sim time
+
+bool all_finite(std::initializer_list<double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool validate(const ReproFile& repro) {
+  const ScenarioSpec& s = repro.spec;
+  if (repro.version < 1 || repro.version > 4) return false;
+  if (!all_finite({s.default_rtt_ms, s.default_bw_mbps, s.jitter_sigma,
+                   s.horizon_sec, s.cooldown_sec, s.heartbeat_ttl_sec,
+                   s.user_idle_ttl_sec, s.crash.at_sec,
+                   s.crash.takeover_delay_sec})) {
+    return false;
+  }
+  if (s.horizon_sec <= 0.0 || s.horizon_sec > kMaxHorizonSec) return false;
+  if (s.cooldown_sec < 0.0 || s.heartbeat_ttl_sec <= 0.0) return false;
+  for (const FuzzNode& n : s.nodes) {
+    if (!all_finite({n.lat, n.lon, n.base_frame_ms, n.extra_rtt_ms,
+                     n.heartbeat_period_sec, n.start_sec, n.stop_sec,
+                     n.background_load, n.bg_ramp_to, n.bg_ramp_start_sec,
+                     n.bg_ramp_end_sec, n.burst_baseline,
+                     n.initial_credits_core_sec})) {
+      return false;
+    }
+  }
+  for (const FuzzClient& cl : s.clients) {
+    if (!all_finite({cl.lat, cl.lon, cl.probing_period_sec, cl.switch_margin,
+                     cl.max_fps, cl.start_sec, cl.stop_sec})) {
+      return false;
+    }
+  }
+  for (const FuzzFault& f : s.faults) {
+    if (!all_finite({f.factor, f.from_sec, f.until_sec})) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string to_json(const ReproFile& repro) {
@@ -393,6 +444,17 @@ std::string to_json(const ReproFile& repro) {
   append_u64(out, s.chaos);
   out += ",\n    \"load_feedback\": ";
   append_bool(out, s.load_feedback);
+  out += ",\n    \"standby\": ";
+  append_bool(out, s.standby);
+  out += ",\n    \"crash\": {\"enabled\": ";
+  append_bool(out, s.crash.enabled);
+  out += ", \"point\": ";
+  append_int(out, s.crash.point);
+  out += ", \"at_sec\": ";
+  append_double(out, s.crash.at_sec);
+  out += ", \"takeover_delay_sec\": ";
+  append_double(out, s.crash.takeover_delay_sec);
+  out += "}";
   out += ",\n    \"nodes\": [";
   for (std::size_t i = 0; i < s.nodes.size(); ++i) {
     out += i == 0 ? "\n      " : ",\n      ";
@@ -463,6 +525,26 @@ std::optional<ReproFile> parse_json(std::string_view text) {
     s.load_feedback = c.boolean();
     c.expect(",");
   }
+  if (c.peek("\"standby\":")) {  // v4 failover fields
+    c.expect("\"standby\":");
+    s.standby = c.boolean();
+    c.expect(",");
+    c.expect("\"crash\":");
+    c.expect("{");
+    c.expect("\"enabled\":");
+    s.crash.enabled = c.boolean();
+    c.expect(",");
+    c.expect("\"point\":");
+    s.crash.point = c.integer();
+    c.expect(",");
+    c.expect("\"at_sec\":");
+    s.crash.at_sec = c.number();
+    c.expect(",");
+    c.expect("\"takeover_delay_sec\":");
+    s.crash.takeover_delay_sec = c.number();
+    c.expect("}");
+    c.expect(",");
+  }
   c.expect("\"nodes\":");
   s.nodes = parse_array<FuzzNode>(c, parse_node);
   c.expect(",");
@@ -475,6 +557,7 @@ std::optional<ReproFile> parse_json(std::string_view text) {
   c.expect("}");
   c.skip_ws();
   if (!c.ok || c.pos != c.text.size()) return std::nullopt;
+  if (!validate(repro)) return std::nullopt;
   return repro;
 }
 

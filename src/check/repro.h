@@ -20,8 +20,9 @@ namespace eden::check {
 struct ReproFile {
   // v2 added the overload-elasticity fields (spec.load_feedback, node
   // background ramps, client stop_sec); v3 added the burstable node
-  // fields. The parser accepts older files, which simply omit them.
-  int version{3};
+  // fields; v4 added the durable-journal failover fields (spec.standby,
+  // spec.crash). The parser accepts older files, which simply omit them.
+  int version{4};
   std::string target_oracle;  // empty = "just replay, report whatever fires"
   ScenarioSpec spec;
   bool operator==(const ReproFile&) const = default;

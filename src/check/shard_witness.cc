@@ -64,6 +64,13 @@ std::optional<HostId> resolve_endpoint(harness::ShardedScenario& scenario,
 // digest mismatch in the witness tests, not as a silent behavior change.
 ShardRunReport run_spec_sharded(const ScenarioSpec& spec, unsigned shards,
                                 const ShardRunOptions& options) {
+  if (spec.standby) {
+    // Failover specs re-route the fleet to the standby mid-run; the
+    // sharded runner's fixed manager wiring cannot express that, and the
+    // crash isolation also perturbs the fabric RNG stream.
+    throw std::invalid_argument(
+        "run_spec_sharded does not support standby/failover specs");
+  }
   harness::ShardedConfig config;
   config.base.seed = spec.seed;
   config.base.heartbeat_ttl = sec(spec.heartbeat_ttl_sec);

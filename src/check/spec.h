@@ -10,7 +10,9 @@
 // remaining windows.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace eden::check {
@@ -91,6 +93,19 @@ struct FuzzClient {
 // Seeded-fault bits for `ScenarioSpec::chaos` — each deliberately breaks a
 // protocol invariant so the oracle suite can be proven live.
 inline constexpr unsigned kChaosFreezeSeqNum = 1u << 0;
+// Standby replays the journal dropping the last committed batch at
+// takeover — must trip the journal-seqnum oracle and the dump witness.
+inline constexpr unsigned kChaosDropLastBatchOnReplay = 1u << 1;
+
+// Manager crash + standby takeover injection (requires `standby`). `point`
+// is journal::CrashPoint as int (0..3).
+struct FuzzCrash {
+  bool enabled{false};
+  int point{0};
+  double at_sec{0.0};
+  double takeover_delay_sec{0.5};
+  bool operator==(const FuzzCrash&) const = default;
+};
 
 struct ScenarioSpec {
   std::uint64_t seed{0};
@@ -111,6 +126,10 @@ struct ScenarioSpec {
   // frames fast-fail (see harness::ScenarioConfig::load_feedback). Also
   // arms the starvation oracle.
   bool load_feedback{false};
+  // Durable-journal + warm-standby wiring (harness StandbyConfig). v4
+  // repro fields; off by default so older specs run byte-identically.
+  bool standby{false};
+  FuzzCrash crash{};
   std::vector<FuzzNode> nodes;
   std::vector<FuzzClient> clients;
   std::vector<FuzzFault> faults;
@@ -121,6 +140,35 @@ struct ScenarioSpec {
 // frame-sending client plus an anchor node that is up from (near) t = 0 to
 // the horizon. Degenerate 0/1-node topologies without an anchor are legal
 // fuzz inputs but make no frame promise.
+// The crash the runner will actually inject for this spec, with the
+// timing clamps applied (single source of truth for run_spec and the
+// oracles): the takeover must complete comfortably before the quiet tail
+// so end-of-run oracles see a settled post-failover system. Returns
+// nullopt when the spec requests no crash or the horizon leaves no
+// feasible window.
+struct EffectiveCrash {
+  int point{0};
+  double at_sec{0.0};
+  double takeover_delay_sec{0.5};
+};
+
+[[nodiscard]] inline std::optional<EffectiveCrash> effective_crash(
+    const ScenarioSpec& spec) {
+  if (!spec.standby || !spec.crash.enabled) return std::nullopt;
+  EffectiveCrash out;
+  out.point = spec.crash.point < 0 ? 0 : spec.crash.point > 3 ? 3
+                                                              : spec.crash.point;
+  out.takeover_delay_sec =
+      std::min(2.0, std::max(0.1, spec.crash.takeover_delay_sec));
+  const double quiet_start = spec.horizon_sec - spec.cooldown_sec;
+  // Latest viable trigger: leave room for the armed-crash fallback (1 s),
+  // the takeover delay, and a settling margin inside the quiet tail.
+  const double latest = quiet_start - out.takeover_delay_sec - 1.5;
+  if (latest < 0.5) return std::nullopt;
+  out.at_sec = std::min(latest, std::max(0.5, spec.crash.at_sec));
+  return out;
+}
+
 [[nodiscard]] inline bool expects_frames(const ScenarioSpec& spec) {
   bool sender = false;
   for (const FuzzClient& c : spec.clients) sender = sender || c.send_frames;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace eden::harness {
@@ -47,7 +48,129 @@ Scenario::Scenario(ScenarioConfig config, const ModelFactory& factory)
   }
   manager_stub_.emplace(*fabric_, *manager_, manager_host_, ClientId{},
                         config_.timeouts, config_.wire_sizes);
+  route_ = ManagerRoute{manager_host_, manager_.get()};
+  manager_stub_->set_route(&route_);
+  if (config_.standby.enabled) build_standby();
   if (config_.trace) enable_observability();
+}
+
+void Scenario::build_standby() {
+  journal_backend_ = std::make_unique<journal::MemoryBackend>();
+  manager_journal_ = std::make_unique<journal::ManagerJournal>(
+      *journal_backend_, &scheduler_, config_.standby.journal);
+  manager_->set_mutation_sink(manager_journal_.get());
+  // The standby host comes right after the primary, before any node or
+  // client — a fixed address clients can re-resolve to.
+  standby_host_ = allocate_host();
+  hosts_.set_alive(standby_host_, true);
+  register_position(standby_host_, geo::GeoPoint{44.9778, -93.2650},
+                    net::AccessTier::kLocalZone);
+  standby_manager_ = std::make_unique<manager::CentralManager>(
+      scheduler_, config_.manager_policy, config_.heartbeat_ttl);
+  if (config_.load_feedback) {
+    manager::OverloadPolicy policy = config_.overload;
+    policy.enabled = true;
+    standby_manager_->set_overload_policy(policy);
+  }
+  standby_ = std::make_unique<journal::StandbyManager>(
+      *journal_backend_, *standby_manager_, config_.standby.standby_options);
+  standby_tail_active_ = true;
+  schedule_standby_tail();
+}
+
+void Scenario::schedule_standby_tail() {
+  simulator_.schedule_after(config_.standby.tail_period, [this] {
+    if (!standby_tail_active_ || takeover_done_) return;
+    standby_->tail();
+    schedule_standby_tail();
+  });
+}
+
+void Scenario::schedule_manager_crash(SimTime at, journal::CrashPoint point,
+                                      SimDuration takeover_delay) {
+  if (standby_ == nullptr) {
+    throw std::logic_error(
+        "schedule_manager_crash requires StandbyConfig::enabled");
+  }
+  takeover_delay_ = takeover_delay;
+  simulator_.schedule_at(at, [this, point] { on_crash_trigger(point); });
+}
+
+void Scenario::on_crash_trigger(journal::CrashPoint point) {
+  if (crashed_) return;
+  if (point == journal::CrashPoint::kAfterAppend) {
+    crash_primary(point);
+    return;
+  }
+  // Arm the journal: the crash fires inside the next group commit, so
+  // mid-batch / torn-tail surgery hits a batch that really was in flight.
+  manager_journal_->arm_crash(point, [this, point] { crash_primary(point); });
+  // Idle-registry fallback: if no commit arrives within a second, flush
+  // whatever is staged and die — the crash must not silently not happen.
+  simulator_.schedule_after(sec(1.0), [this, point] {
+    if (!crashed_) {
+      manager_journal_->flush_now(simulator_.now());
+      crash_primary(point);
+    }
+  });
+}
+
+void Scenario::crash_primary(journal::CrashPoint point) {
+  if (crashed_) return;
+  crashed_ = true;
+  const SimTime now = simulator_.now();
+  if (point == journal::CrashPoint::kAfterAppend) {
+    manager_journal_->flush_now(now);
+  }
+  manager_journal_->disable();
+  manager_->set_mutation_sink(nullptr);
+  hosts_.set_alive(manager_host_, false);
+  // Killing the host drops arrivals; the isolate window also drops the
+  // dead primary's own in-flight sends (e.g. the heartbeat ack a crashing
+  // commit would otherwise still emit) at send time.
+  if (crash_faults_ != nullptr) {
+    crash_faults_->isolate_host(manager_host_, now,
+                                std::numeric_limits<SimTime>::max());
+  }
+  if (trace_recorder_) {
+    trace_recorder_->record({now, obs::EventKind::kManagerCrash, manager_host_,
+                             {}, 0, static_cast<double>(static_cast<int>(point))});
+  }
+  simulator_.schedule_after(takeover_delay_, [this] { do_takeover(); });
+}
+
+void Scenario::do_takeover() {
+  const SimTime now = simulator_.now();
+  // Witness "expected" side first: a fresh, chaos-free one-shot replay of
+  // the surviving journal bytes — computed before take_over() mutates the
+  // backend (torn-tail truncation cannot change the clean prefix).
+  std::string bytes;
+  journal_backend_->read_all(bytes);
+  const journal::ScanResult scanned = journal::scan(bytes);
+  journal::RegistryImage expected;
+  for (const journal::JournalRecord& r : scanned.records) expected.apply(r);
+  expected_dump_ = expected.canonical_dump();
+
+  const journal::TakeoverResult result = standby_->take_over(now);
+  standby_dump_ = result.dump;
+  recovered_lsn_ = result.recovered_lsn;
+
+  // The standby adopts journaling where the primary stopped: same log,
+  // next LSN strictly above everything recovered.
+  standby_journal_ = std::make_unique<journal::ManagerJournal>(
+      *journal_backend_, &scheduler_, config_.standby.journal,
+      result.recovered_lsn + 1);
+  if (trace_recorder_) {
+    standby_journal_->set_observability(trace_recorder_.get(), standby_host_);
+    trace_recorder_->record({now, obs::EventKind::kManagerTakeover,
+                             standby_host_, manager_host_, 0,
+                             static_cast<double>(recovered_lsn_)});
+  }
+  standby_manager_->set_mutation_sink(standby_journal_.get());
+  takeover_done_ = true;
+  // Re-resolve every stub and link: from here on, clients and nodes talk
+  // to the standby.
+  route_ = ManagerRoute{standby_host_, standby_manager_.get()};
 }
 
 void Scenario::enable_observability() {
@@ -55,6 +178,13 @@ void Scenario::enable_observability() {
   trace_recorder_ = std::make_unique<obs::TraceRecorder>();
   metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
   manager_->set_observability(trace_recorder_.get(), metrics_registry_.get());
+  if (standby_manager_) {
+    standby_manager_->set_observability(trace_recorder_.get(),
+                                        metrics_registry_.get());
+  }
+  if (manager_journal_) {
+    manager_journal_->set_observability(trace_recorder_.get(), manager_host_);
+  }
   for (auto& node : nodes_.nodes) {
     node.set_observability(trace_recorder_.get());
   }
@@ -137,6 +267,7 @@ std::size_t Scenario::add_node(const NodeSpec& spec) {
       spec, host, *fabric_, *manager_, manager_host_, scheduler_,
       make_node_config(spec, host), config_.timeouts, config_.wire_sizes);
   node::EdgeNode& node = nodes_.nodes[index];
+  nodes_.links.back().set_route(&route_);
   if (trace_recorder_) node.set_observability(trace_recorder_.get());
   stubs_by_id_[node.id()] = &nodes_.stubs[index];
   node_index_by_id_[node.id()] = index;

@@ -31,6 +31,9 @@
 #include "geo/geohash.h"
 #include "harness/fleet.h"
 #include "harness/sim_stubs.h"
+#include "journal/backend.h"
+#include "journal/manager_journal.h"
+#include "journal/standby.h"
 #include "manager/central_manager.h"
 #include "net/host_table.h"
 #include "net/network_model.h"
@@ -42,6 +45,20 @@
 #include "sim/simulator.h"
 
 namespace eden::harness {
+
+// Durable-manager failover wiring (DESIGN.md §15). When enabled the
+// scenario journals every registry mutation to an in-memory byte log,
+// allocates a warm-standby manager host that tails it, and can inject a
+// deterministic manager crash + takeover (schedule_manager_crash). Off by
+// default: a non-standby scenario builds no journal and stays
+// byte-identical to the pre-failover harness.
+struct StandbyConfig {
+  bool enabled{false};
+  journal::JournalOptions journal{};
+  // Warm-tail period: how often the standby applies new committed batches.
+  SimDuration tail_period{msec(500.0)};
+  journal::StandbyOptions standby_options{};
+};
 
 struct ScenarioConfig {
   std::uint64_t seed{42};
@@ -60,6 +77,7 @@ struct ScenarioConfig {
   // harness (same RNG draws, same traces).
   bool load_feedback{false};
   manager::OverloadPolicy overload{};
+  StandbyConfig standby{};
 };
 
 // NodeSpec, ClientSpot, FleetStats and NetKind moved to harness/fleet.h
@@ -83,6 +101,11 @@ class Scenario {
   [[nodiscard]] net::SimNetwork& fabric() { return *fabric_; }
   [[nodiscard]] net::HostTable& hosts() { return hosts_; }
   [[nodiscard]] manager::CentralManager& central_manager() { return *manager_; }
+  // The manager currently owning the registry: the primary until a
+  // takeover completes, the standby after.
+  [[nodiscard]] manager::CentralManager& active_manager() {
+    return takeover_done_ ? *standby_manager_ : *manager_;
+  }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   // Concrete network model (null if the other kind was chosen).
@@ -188,7 +211,50 @@ class Scenario {
   // the "deregistered node still held by a client" liveness case.
   void set_route(NodeId id, bool routed);
 
+  // ---- durable manager + warm-standby failover (StandbyConfig) ----
+  //
+  // Kill the primary at `at` with one of the four deterministic crash
+  // points, then hand the registry to the standby `takeover_delay` later.
+  // kBeforeAck/kMidBatch/kTornTail arm the journal and fire inside the
+  // next group commit (with a 1 s flush-and-die fallback when the registry
+  // is idle); kAfterAppend force-flushes and kills immediately. Requires
+  // StandbyConfig::enabled.
+  void schedule_manager_crash(SimTime at, journal::CrashPoint point,
+                              SimDuration takeover_delay);
+  // Mutable fault injector used to silence the dead primary's in-flight
+  // sends (the fabric's own injector pointer is const). Must be the same
+  // injector attached to the fabric, and must outlive the scenario.
+  void set_crash_fault_injector(net::FaultInjector* injector) {
+    crash_faults_ = injector;
+  }
+  // Ends the warm-tail timer loop; call before draining the simulator to
+  // completion (run_all) in a standby scenario that never crashes.
+  void stop_standby_tail() { standby_tail_active_ = false; }
+
+  [[nodiscard]] bool standby_enabled() const { return standby_ != nullptr; }
+  [[nodiscard]] bool manager_crashed() const { return crashed_; }
+  [[nodiscard]] bool takeover_done() const { return takeover_done_; }
+  [[nodiscard]] HostId standby_host() const { return standby_host_; }
+  [[nodiscard]] std::uint64_t recovered_lsn() const { return recovered_lsn_; }
+  // Replay-determinism witness: the standby's incrementally-tailed dump vs
+  // a fresh chaos-free replay of the surviving journal bytes, both taken
+  // at the takeover instant. Empty until a takeover happened.
+  [[nodiscard]] const std::string& standby_dump() const {
+    return standby_dump_;
+  }
+  [[nodiscard]] const std::string& expected_dump() const {
+    return expected_dump_;
+  }
+  [[nodiscard]] journal::ManagerJournal* manager_journal() {
+    return manager_journal_.get();
+  }
+
  private:
+  void build_standby();
+  void schedule_standby_tail();
+  void on_crash_trigger(journal::CrashPoint point);
+  void crash_primary(journal::CrashPoint point);
+  void do_takeover();
   HostId allocate_host();
   void register_position(HostId host, const geo::GeoPoint& position,
                          net::AccessTier tier, double extra_rtt_ms = 0.0,
@@ -208,6 +274,25 @@ class Scenario {
   // One manager stub for the whole client fleet (the wire source comes
   // from each request's client id); constructed right after the manager.
   std::optional<SimManagerStub> manager_stub_;
+  // Mutable manager address every stub/link resolves per send; flipped to
+  // the standby at takeover. Always initialized (to the primary), so
+  // non-standby runs behave identically to the fixed wiring.
+  ManagerRoute route_{};
+  // Standby state; all null unless StandbyConfig::enabled.
+  std::unique_ptr<journal::MemoryBackend> journal_backend_;
+  std::unique_ptr<journal::ManagerJournal> manager_journal_;
+  std::unique_ptr<journal::ManagerJournal> standby_journal_;
+  std::unique_ptr<manager::CentralManager> standby_manager_;
+  std::unique_ptr<journal::StandbyManager> standby_;
+  HostId standby_host_;
+  net::FaultInjector* crash_faults_{nullptr};
+  SimDuration takeover_delay_{msec(500.0)};
+  bool standby_tail_active_{false};
+  bool crashed_{false};
+  bool takeover_done_{false};
+  std::uint64_t recovered_lsn_{0};
+  std::string standby_dump_;
+  std::string expected_dump_;
   std::uint32_t next_host_{0};
   std::unique_ptr<obs::TraceRecorder> trace_recorder_;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry_;

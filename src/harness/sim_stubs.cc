@@ -76,24 +76,24 @@ void SimManagerStub::discover(
   const ClientId source =
       request.client.valid() ? request.client : default_client_host_;
   network_->rpc<net::DiscoveryResponse>(
-      source, manager_host_, sizes_.discovery_request, response_bytes,
+      source, mgr_host(), sizes_.discovery_request, response_bytes,
       timeouts_.discovery,
-      [manager = manager_, request] {
+      [manager = mgr(), request] {
         return manager->handle_discover(request);
       },
       std::move(done));
 }
 
 void SimManagerLink::register_node(const net::NodeStatus& status) {
-  network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
-                    [manager = manager_, status] {
+  network_->deliver(node_host_, mgr_host(), sizes_.heartbeat,
+                    [manager = mgr(), status] {
                       manager->handle_register(status);
                     });
 }
 
 void SimManagerLink::heartbeat(const net::NodeStatus& status) {
-  network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
-                    [manager = manager_, status] {
+  network_->deliver(node_host_, mgr_host(), sizes_.heartbeat,
+                    [manager = mgr(), status] {
                       manager->handle_heartbeat(status);
                     });
 }
@@ -102,15 +102,15 @@ void SimManagerLink::heartbeat_feedback(
     const net::NodeStatus& status,
     net::Done<std::optional<net::HeartbeatAck>> done) {
   network_->rpc<net::HeartbeatAck>(
-      node_host_, manager_host_, sizes_.heartbeat, sizes_.heartbeat_ack,
+      node_host_, mgr_host(), sizes_.heartbeat, sizes_.heartbeat_ack,
       timeouts_.heartbeat,
-      [manager = manager_, status] { return manager->handle_heartbeat(status); },
+      [manager = mgr(), status] { return manager->handle_heartbeat(status); },
       std::move(done));
 }
 
 void SimManagerLink::deregister(NodeId node) {
-  network_->deliver(node_host_, manager_host_, sizes_.heartbeat,
-                    [manager = manager_, node] {
+  network_->deliver(node_host_, mgr_host(), sizes_.heartbeat,
+                    [manager = mgr(), node] {
                       manager->handle_deregister(node);
                     });
 }

@@ -76,6 +76,17 @@ class SimNodeStub final : public net::NodeApi {
   WireSizes sizes_;
 };
 
+// Mutable manager address: a stub or link holding a route pointer resolves
+// the manager at each send, so flipping the route re-targets every
+// subsequent rpc — how clients and nodes re-resolve to the warm standby
+// after a failover. A null route falls back to the fixed manager captured
+// at construction (byte-identical to the pre-failover wiring; the sharded
+// runner stays on this path).
+struct ManagerRoute {
+  HostId host;
+  manager::CentralManager* manager{nullptr};
+};
+
 // One stub serves a whole client fleet: the wire source host of each call
 // is taken from the request's client id (every client addresses the
 // network by its own ClientId == HostId). `default_client_host` only backs
@@ -96,10 +107,21 @@ class SimManagerStub final : public net::ManagerApi {
       const net::DiscoveryRequest& request,
       net::Done<std::optional<net::DiscoveryResponse>> done) override;
 
+  // The route must outlive the stub (the Scenario owns both).
+  void set_route(const ManagerRoute* route) { route_ = route; }
+
  private:
+  [[nodiscard]] manager::CentralManager* mgr() const {
+    return route_ != nullptr ? route_->manager : manager_;
+  }
+  [[nodiscard]] HostId mgr_host() const {
+    return route_ != nullptr ? route_->host : manager_host_;
+  }
+
   net::SimNetwork* network_;
   manager::CentralManager* manager_;
   HostId manager_host_;
+  const ManagerRoute* route_{nullptr};
   ClientId default_client_host_;
   StubTimeouts timeouts_;
   WireSizes sizes_;
@@ -124,10 +146,21 @@ class SimManagerLink final : public net::ManagerLink {
       override;
   void deregister(NodeId node) override;
 
+  // The route must outlive the link (the Scenario owns both).
+  void set_route(const ManagerRoute* route) { route_ = route; }
+
  private:
+  [[nodiscard]] manager::CentralManager* mgr() const {
+    return route_ != nullptr ? route_->manager : manager_;
+  }
+  [[nodiscard]] HostId mgr_host() const {
+    return route_ != nullptr ? route_->host : manager_host_;
+  }
+
   net::SimNetwork* network_;
   manager::CentralManager* manager_;
   HostId manager_host_;
+  const ManagerRoute* route_{nullptr};
   HostId node_host_;
   WireSizes sizes_;
   StubTimeouts timeouts_;

@@ -1,0 +1,76 @@
+#include "journal/backend.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace eden::journal {
+
+FileBackend::FileBackend(std::string path, bool fsync_on_flush)
+    : path_(std::move(path)), fsync_on_flush_(fsync_on_flush) {
+  // "a+b": append-only writes, reads allowed, created if missing, existing
+  // contents preserved (recovery needs to scan them).
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) return;
+  std::fseek(file_, 0, SEEK_END);
+  size_ = static_cast<std::size_t>(std::ftell(file_));
+  durable_ = size_;  // pre-existing bytes are on disk by definition
+}
+
+FileBackend::~FileBackend() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+bool FileBackend::append(std::string_view bytes) {
+  if (file_ == nullptr) return false;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return false;
+  }
+  size_ += bytes.size();
+  return true;
+}
+
+bool FileBackend::flush() {
+  if (file_ == nullptr) return false;
+  if (std::fflush(file_) != 0) return false;
+  if (fsync_on_flush_ && ::fsync(::fileno(file_)) != 0) return false;
+  durable_ = size_;
+  return true;
+}
+
+bool FileBackend::read_all(std::string& out) {
+  out.clear();
+  if (file_ == nullptr) return false;
+  if (std::fflush(file_) != 0) return false;
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    out.append(buf, n);
+  }
+  const bool good = std::ferror(in) == 0;
+  std::fclose(in);
+  return good;
+}
+
+bool FileBackend::truncate(std::size_t size) {
+  if (file_ == nullptr || size > size_) return false;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  if (::truncate(path_.c_str(), static_cast<off_t>(size)) != 0) return false;
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) return false;
+  std::fseek(file_, 0, SEEK_END);
+  size_ = static_cast<std::size_t>(std::ftell(file_));
+  if (durable_ > size_) durable_ = size_;
+  return true;
+}
+
+}  // namespace eden::journal

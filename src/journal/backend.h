@@ -1,0 +1,93 @@
+// Backend-pluggable storage for the manager journal: an append-only byte
+// log with an explicit durability barrier. The sim harness uses the
+// in-memory backend (byte-log in RAM, durable watermark tracked so crash
+// surgery and benchmarks can reason about flushed vs staged bytes); the
+// live runtime uses the file backend (embedded append-only log file,
+// optionally fsync'd on every group commit).
+//
+// Contract: append() stages bytes at the tail; flush() is the durability
+// barrier — after a crash, exactly the flushed prefix (plus possibly a
+// torn fragment of unflushed appends) survives. read_all() returns every
+// byte written so far, flushed or not; truncate() discards everything past
+// `size` (torn-tail recovery).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace eden::journal {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+  virtual bool append(std::string_view bytes) = 0;
+  virtual bool flush() = 0;
+  virtual bool read_all(std::string& out) = 0;
+  virtual bool truncate(std::size_t size) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t durable_size() const = 0;
+};
+
+// Sim-mode byte log. `drop_unflushed()` models a crash that loses staged
+// bytes; the torn-tail injector appends a partial frame and never flushes.
+class MemoryBackend final : public StorageBackend {
+ public:
+  bool append(std::string_view bytes) override {
+    data_.append(bytes);
+    return true;
+  }
+  bool flush() override {
+    durable_ = data_.size();
+    return true;
+  }
+  bool read_all(std::string& out) override {
+    out = data_;
+    return true;
+  }
+  bool truncate(std::size_t size) override {
+    if (size > data_.size()) return false;
+    data_.resize(size);
+    if (durable_ > size) durable_ = size;
+    return true;
+  }
+  [[nodiscard]] std::size_t size() const override { return data_.size(); }
+  [[nodiscard]] std::size_t durable_size() const override { return durable_; }
+
+  void drop_unflushed() { data_.resize(durable_); }
+
+ private:
+  std::string data_;
+  std::size_t durable_{0};
+};
+
+// Live-mode append-only log file. Appends go through the stdio buffer
+// (staged); flush() is fflush + optional fsync. Opening an existing file
+// resumes at its tail — recovery (scan + truncate) is the caller's job.
+class FileBackend final : public StorageBackend {
+ public:
+  explicit FileBackend(std::string path, bool fsync_on_flush = false);
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  bool append(std::string_view bytes) override;
+  bool flush() override;
+  bool read_all(std::string& out) override;
+  bool truncate(std::size_t size) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] std::size_t durable_size() const override { return durable_; }
+
+ private:
+  std::string path_;
+  bool fsync_on_flush_;
+  std::FILE* file_{nullptr};
+  std::size_t size_{0};
+  std::size_t durable_{0};
+};
+
+}  // namespace eden::journal

@@ -1,0 +1,82 @@
+#include "journal/image.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace eden::journal {
+
+void RegistryImage::apply(const JournalRecord& record) {
+  if (record.lsn <= applied_lsn_) return;  // replay idempotence
+  applied_lsn_ = record.lsn;
+  switch (record.kind) {
+    case RecordKind::kRegister: {
+      Entry& e = entries_[record.node.value];
+      e.status = record.status;
+      e.registered_at = record.at;
+      e.last_heartbeat = record.at;
+      break;
+    }
+    case RecordKind::kHeartbeat: {
+      // A heartbeat for an unknown node never happens through the manager
+      // hooks (the rejoin path journals kRegister); tolerate it anyway by
+      // treating it as a registration at the heartbeat time.
+      auto it = entries_.find(record.node.value);
+      if (it == entries_.end()) {
+        Entry& e = entries_[record.node.value];
+        e.status = record.status;
+        e.registered_at = record.at;
+        e.last_heartbeat = record.at;
+      } else {
+        it->second.status = record.status;
+        it->second.last_heartbeat = record.at;
+      }
+      break;
+    }
+    case RecordKind::kLeave:
+    case RecordKind::kExpire:
+      entries_.erase(record.node.value);
+      break;
+    case RecordKind::kEpoch: {
+      PhaseState& p = phases_[record.node.value];
+      p.epoch = record.epoch;
+      p.overloaded = record.overloaded;
+      break;
+    }
+  }
+}
+
+std::string RegistryImage::canonical_dump() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "lsn=%" PRIu64 " nodes=%zu phases=%zu\n",
+                applied_lsn_, entries_.size(), phases_.size());
+  out += buf;
+  for (const auto& [node, e] : entries_) {
+    std::snprintf(buf, sizeof(buf),
+                  "node=%u hash=%s cores=%d frame=%.6f users=%d util=%.6f "
+                  "flags=%d%d tag=%s ep=%s q=%d credits=%.6f p95=%.6f "
+                  "reg=%lld hb=%lld apps=",
+                  node, e.status.geohash.c_str(), e.status.cores,
+                  e.status.base_frame_ms, e.status.attached_users,
+                  e.status.utilization, e.status.dedicated ? 1 : 0,
+                  e.status.is_cloud ? 1 : 0, e.status.network_tag.c_str(),
+                  e.status.endpoint.c_str(), e.status.queue_depth,
+                  e.status.burst_credits, e.status.p95_proc_ms,
+                  static_cast<long long>(e.registered_at),
+                  static_cast<long long>(e.last_heartbeat));
+    out += buf;
+    for (std::size_t i = 0; i < e.status.app_types.size(); ++i) {
+      if (i != 0) out += ',';
+      out += e.status.app_types[i];
+    }
+    out += '\n';
+  }
+  for (const auto& [node, p] : phases_) {
+    std::snprintf(buf, sizeof(buf), "phase node=%u epoch=%" PRIu64 " over=%d\n",
+                  node, p.epoch, p.overloaded ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace eden::journal

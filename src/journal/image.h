@@ -1,0 +1,60 @@
+// RegistryImage: the journal's replayable view of the manager registry.
+// Applying the record stream in LSN order reconstructs, deterministically,
+// what the primary's registry held at its last committed mutation — the
+// warm standby tails into one of these and seeds its own CentralManager
+// from it at takeover.
+//
+// Replay idempotence: records at or below applied_lsn() are ignored, so
+// replaying a prefix twice equals replaying it once (the standby's
+// incremental tail and takeover catch-up overlap freely).
+//
+// canonical_dump() renders the image in a fixed text format (sorted node
+// order, fixed float precision) — the replay-determinism witness compares
+// the standby's incrementally-built dump byte-for-byte against a fresh
+// one-shot replay of the surviving journal bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+#include "journal/record.h"
+#include "net/protocol.h"
+
+namespace eden::journal {
+
+class RegistryImage {
+ public:
+  struct Entry {
+    net::NodeStatus status;
+    SimTime registered_at{0};
+    SimTime last_heartbeat{0};
+  };
+  // Overload phase state outlives registry membership (the epoch counter is
+  // monotone across rejoins), so it lives in its own table — mirroring
+  // CentralManager's overload_ map.
+  struct PhaseState {
+    std::uint64_t epoch{0};
+    bool overloaded{false};
+  };
+
+  void apply(const JournalRecord& record);
+
+  [[nodiscard]] std::uint64_t applied_lsn() const { return applied_lsn_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<std::uint32_t, Entry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::map<std::uint32_t, PhaseState>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] std::string canonical_dump() const;
+
+ private:
+  std::map<std::uint32_t, Entry> entries_;
+  std::map<std::uint32_t, PhaseState> phases_;
+  std::uint64_t applied_lsn_{0};
+};
+
+}  // namespace eden::journal

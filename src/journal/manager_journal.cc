@@ -1,0 +1,179 @@
+#include "journal/manager_journal.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace eden::journal {
+
+ManagerJournal::ManagerJournal(StorageBackend& backend,
+                               sim::Scheduler* scheduler,
+                               JournalOptions options, std::uint64_t next_lsn)
+    : backend_(&backend),
+      scheduler_(scheduler),
+      options_(options),
+      next_lsn_(next_lsn) {
+  if (options_.max_batch_records == 0) options_.max_batch_records = 1;
+  if (scheduler_ == nullptr) options_.group_commit_interval = 0;
+}
+
+void ManagerJournal::stage(JournalRecord record) {
+  if (disabled_) return;
+  record.lsn = next_lsn_++;
+  open_last_lsn_ = record.lsn;
+  encode_record(record, open_payload_);
+  ++open_count_;
+  if (open_count_ >= options_.max_batch_records) {
+    flush_open(record.at);
+  }
+}
+
+void ManagerJournal::on_register(const net::NodeStatus& status, SimTime now,
+                                 bool rejoin) {
+  JournalRecord r;
+  r.at = now;
+  r.kind = RecordKind::kRegister;
+  r.node = status.node;
+  r.rejoin = rejoin;
+  r.status = status;
+  stage(std::move(r));
+}
+
+void ManagerJournal::on_heartbeat(const net::NodeStatus& status, SimTime now) {
+  JournalRecord r;
+  r.at = now;
+  r.kind = RecordKind::kHeartbeat;
+  r.node = status.node;
+  r.status = status;
+  stage(std::move(r));
+}
+
+void ManagerJournal::on_leave(NodeId node, SimTime now) {
+  JournalRecord r;
+  r.at = now;
+  r.kind = RecordKind::kLeave;
+  r.node = node;
+  stage(std::move(r));
+}
+
+void ManagerJournal::on_expire(NodeId node, SimTime now) {
+  JournalRecord r;
+  r.at = now;
+  r.kind = RecordKind::kExpire;
+  r.node = node;
+  stage(std::move(r));
+}
+
+void ManagerJournal::on_epoch(NodeId node, std::uint64_t epoch,
+                              bool overloaded, SimTime now) {
+  JournalRecord r;
+  r.at = now;
+  r.kind = RecordKind::kEpoch;
+  r.node = node;
+  r.epoch = epoch;
+  r.overloaded = overloaded;
+  stage(std::move(r));
+}
+
+void ManagerJournal::commit(SimTime now) {
+  if (disabled_ || open_count_ == 0) return;
+  if (options_.group_commit_interval <= 0 || scheduler_ == nullptr) {
+    flush_open(now);
+    return;
+  }
+  if (flush_pending_) return;  // this batch rides the scheduled commit
+  flush_pending_ = true;
+  flush_event_ =
+      scheduler_->schedule_after(options_.group_commit_interval, [this] {
+        flush_pending_ = false;
+        flush_event_ = sim::kInvalidEvent;
+        if (!disabled_) flush_open(scheduler_->now());
+      });
+}
+
+void ManagerJournal::flush_now(SimTime now) {
+  if (flush_pending_ && scheduler_ != nullptr) {
+    scheduler_->cancel(flush_event_);
+    flush_event_ = sim::kInvalidEvent;
+    flush_pending_ = false;
+  }
+  flush_open(now);
+}
+
+void ManagerJournal::disable() {
+  disabled_ = true;
+  if (flush_pending_ && scheduler_ != nullptr) {
+    scheduler_->cancel(flush_event_);
+    flush_event_ = sim::kInvalidEvent;
+    flush_pending_ = false;
+  }
+  open_payload_.clear();
+  open_count_ = 0;
+  crash_armed_ = false;
+  on_crash_ = nullptr;
+}
+
+void ManagerJournal::arm_crash(CrashPoint point,
+                               std::function<void()> on_crash) {
+  if (point == CrashPoint::kAfterAppend) {
+    throw std::logic_error(
+        "kAfterAppend is not an armed point: flush_now then kill the host");
+  }
+  crash_armed_ = true;
+  crash_point_ = point;
+  on_crash_ = std::move(on_crash);
+}
+
+void ManagerJournal::flush_open(SimTime now) {
+  if (disabled_ || open_count_ == 0) return;
+  if (crash_armed_) {
+    const CrashPoint point = crash_point_;
+    crash_armed_ = false;
+    std::function<void()> on_crash = std::move(on_crash_);
+    on_crash_ = nullptr;
+    if (point == CrashPoint::kMidBatch) {
+      // The batch dies in writer memory: storage never sees it, nothing is
+      // traced, and any ack for its mutations dies with the host.
+      open_payload_.clear();
+      open_count_ = 0;
+      if (on_crash) on_crash();
+      return;
+    }
+    if (point == CrashPoint::kTornTail) {
+      std::string frame;
+      encode_batch_frame(open_payload_, static_cast<std::uint32_t>(open_count_),
+                         frame);
+      // A strict prefix of the frame reaches storage — the torn final
+      // record the recovery scan must detect and truncate.
+      const std::size_t cut = std::max<std::size_t>(1, frame.size() / 2);
+      backend_->append(std::string_view(frame).substr(0, cut));
+      backend_->flush();  // the torn fragment itself survives the crash
+      open_payload_.clear();
+      open_count_ = 0;
+      if (on_crash) on_crash();
+      return;
+    }
+    // kBeforeAck: the commit completes durably below, then the host dies
+    // before the handler's ack escapes.
+    flush_open(now);
+    if (on_crash) on_crash();
+    return;
+  }
+  std::string frame;
+  encode_batch_frame(open_payload_, static_cast<std::uint32_t>(open_count_),
+                     frame);
+  backend_->append(frame);
+  backend_->flush();
+  committed_lsn_ = open_last_lsn_;
+  stats_.records += open_count_;
+  stats_.batches += 1;
+  stats_.bytes += frame.size();
+  if (trace_ != nullptr) {
+    trace_->record({now, obs::EventKind::kJournalCommit, site_, {},
+                    open_count_, static_cast<double>(committed_lsn_)});
+  }
+  open_payload_.clear();
+  open_count_ = 0;
+}
+
+}  // namespace eden::journal

@@ -1,0 +1,123 @@
+// ManagerJournal: the write-ahead journal behind CentralManager's
+// RegistryMutationSink. Mutations are staged as LSN-stamped records in an
+// open batch; commit() closes the handler's mutation set and either
+// flushes immediately (group_commit_interval == 0 — the live runtime's
+// journal-before-ack mode) or schedules a deferred group commit that
+// amortizes one backend flush over every handler that lands inside the
+// interval (the sim harness default).
+//
+// Group-commit rules (DESIGN.md §15):
+//  - a batch flushes when it reaches max_batch_records, when the deferred
+//    interval elapses, or on flush_now() (clean shutdown);
+//  - the backend receives only whole framed batches; the open batch lives
+//    in writer memory until its flush — so a crash can lose at most the
+//    un-flushed tail, never tear an acked commit;
+//  - kJournalCommit is traced exactly when a batch is durable, carrying
+//    the batch's last LSN — the takeover oracle's floor.
+//
+// Crash-point injection (sim only): arm_crash() plants a deterministic
+// crash at the next group commit — kBeforeAck fires after the flush (the
+// batch is durable but the in-flight ack dies with the host), kMidBatch
+// fires instead of the flush (the batch never reaches storage), kTornTail
+// persists only a byte prefix of the frame. kAfterAppend is not armed
+// here: the harness flushes and kills directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+#include "journal/backend.h"
+#include "journal/record.h"
+#include "manager/central_manager.h"
+#include "obs/trace.h"
+#include "sim/clock.h"
+
+namespace eden::journal {
+
+struct JournalOptions {
+  std::size_t max_batch_records{64};
+  // 0 = flush inside every commit() (strict journal-before-ack); > 0 =
+  // deferred group commit on the scheduler.
+  SimDuration group_commit_interval{msec(20.0)};
+};
+
+// The four deterministic crash points the fuzzer samples (ISSUE 10).
+enum class CrashPoint : int {
+  kAfterAppend = 0,  // open batch force-flushed, then the host dies
+  kBeforeAck = 1,    // next commit flushes durably, then dies pre-ack
+  kMidBatch = 2,     // next commit dies before its batch reaches storage
+  kTornTail = 3,     // next commit persists a strict byte prefix, then dies
+};
+
+struct JournalStats {
+  std::uint64_t records{0};
+  std::uint64_t batches{0};
+  std::uint64_t bytes{0};
+};
+
+class ManagerJournal final : public manager::RegistryMutationSink {
+ public:
+  // `scheduler` may be null when group_commit_interval is 0 (live mode).
+  ManagerJournal(StorageBackend& backend, sim::Scheduler* scheduler,
+                 JournalOptions options = {}, std::uint64_t next_lsn = 1);
+
+  // ---- RegistryMutationSink ----
+  void on_register(const net::NodeStatus& status, SimTime now,
+                   bool rejoin) override;
+  void on_heartbeat(const net::NodeStatus& status, SimTime now) override;
+  void on_leave(NodeId node, SimTime now) override;
+  void on_expire(NodeId node, SimTime now) override;
+  void on_epoch(NodeId node, std::uint64_t epoch, bool overloaded,
+                SimTime now) override;
+  void commit(SimTime now) override;
+
+  // Force-flush the open batch (clean shutdown / kAfterAppend).
+  void flush_now(SimTime now);
+  // Stop journaling entirely (the host died); staged records are dropped.
+  void disable();
+  [[nodiscard]] bool disabled() const { return disabled_; }
+
+  // Plant a deterministic crash at the next non-empty group commit;
+  // `on_crash` runs exactly once, inside that commit. kAfterAppend is
+  // rejected (the harness handles it without arming).
+  void arm_crash(CrashPoint point, std::function<void()> on_crash);
+  [[nodiscard]] bool crash_armed() const { return crash_armed_; }
+
+  void set_observability(obs::TraceRecorder* trace, HostId site) {
+    trace_ = trace;
+    site_ = site;
+  }
+
+  [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
+  // Last LSN known durable (0 before the first flush).
+  [[nodiscard]] std::uint64_t committed_lsn() const { return committed_lsn_; }
+  [[nodiscard]] std::size_t open_records() const { return open_count_; }
+  [[nodiscard]] const JournalStats& stats() const { return stats_; }
+
+ private:
+  void stage(JournalRecord record);
+  // Flush the open batch to the backend (honoring an armed crash).
+  void flush_open(SimTime now);
+
+  StorageBackend* backend_;
+  sim::Scheduler* scheduler_;
+  JournalOptions options_;
+  std::uint64_t next_lsn_;
+  std::uint64_t committed_lsn_{0};
+  std::string open_payload_;
+  std::size_t open_count_{0};
+  std::uint64_t open_last_lsn_{0};
+  sim::EventId flush_event_{sim::kInvalidEvent};
+  bool flush_pending_{false};
+  bool disabled_{false};
+  bool crash_armed_{false};
+  CrashPoint crash_point_{CrashPoint::kBeforeAck};
+  std::function<void()> on_crash_;
+  JournalStats stats_;
+  obs::TraceRecorder* trace_{nullptr};
+  HostId site_;
+};
+
+}  // namespace eden::journal

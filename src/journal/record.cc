@@ -1,0 +1,263 @@
+#include "journal/record.h"
+
+#include <bit>
+#include <cstring>
+
+namespace eden::journal {
+
+namespace {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Bounds-checked little-endian reader; `ok` latches false on the first
+// short read so decoders can bail once at the end.
+struct Reader {
+  std::string_view data;
+  std::size_t pos{0};
+  bool ok{true};
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!ok || pos + 1 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!ok || pos + 4 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    if (!ok || pos + 8 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string str() {
+    const std::uint32_t len = u32();
+    if (!ok || pos + len > data.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(data.substr(pos, len));
+    pos += len;
+    return s;
+  }
+};
+
+void encode_status(const net::NodeStatus& s, std::string& out) {
+  put_u32(out, s.node.value);
+  put_str(out, s.geohash);
+  put_u32(out, static_cast<std::uint32_t>(s.cores));
+  put_f64(out, s.base_frame_ms);
+  put_u32(out, static_cast<std::uint32_t>(s.attached_users));
+  put_f64(out, s.utilization);
+  put_u8(out, static_cast<std::uint8_t>((s.dedicated ? 1 : 0) |
+                                        (s.is_cloud ? 2 : 0)));
+  put_str(out, s.network_tag);
+  put_str(out, s.endpoint);
+  put_u32(out, static_cast<std::uint32_t>(s.app_types.size()));
+  for (const std::string& app : s.app_types) put_str(out, app);
+  put_u32(out, static_cast<std::uint32_t>(s.queue_depth));
+  put_f64(out, s.burst_credits);
+  put_f64(out, s.p95_proc_ms);
+}
+
+bool decode_status(Reader& in, net::NodeStatus& s) {
+  s.node = NodeId{in.u32()};
+  s.geohash = in.str();
+  s.cores = static_cast<int>(in.u32());
+  s.base_frame_ms = in.f64();
+  s.attached_users = static_cast<int>(in.u32());
+  s.utilization = in.f64();
+  const std::uint8_t flags = in.u8();
+  s.dedicated = (flags & 1) != 0;
+  s.is_cloud = (flags & 2) != 0;
+  s.network_tag = in.str();
+  s.endpoint = in.str();
+  const std::uint32_t apps = in.u32();
+  if (!in.ok || apps > in.data.size()) return false;  // bogus count
+  s.app_types.clear();
+  s.app_types.reserve(apps);
+  for (std::uint32_t i = 0; i < apps; ++i) s.app_types.push_back(in.str());
+  s.queue_depth = static_cast<int>(in.u32());
+  s.burst_credits = in.f64();
+  s.p95_proc_ms = in.f64();
+  return in.ok;
+}
+
+bool decode_record(Reader& in, JournalRecord& r) {
+  const std::uint8_t kind = in.u8();
+  if (!in.ok || kind < static_cast<std::uint8_t>(RecordKind::kRegister) ||
+      kind > static_cast<std::uint8_t>(RecordKind::kEpoch)) {
+    return false;
+  }
+  r.kind = static_cast<RecordKind>(kind);
+  const std::uint8_t flags = in.u8();
+  r.rejoin = (flags & 1) != 0;
+  r.overloaded = (flags & 2) != 0;
+  r.lsn = in.u64();
+  r.at = in.i64();
+  r.node = NodeId{in.u32()};
+  r.epoch = 0;
+  r.status = net::NodeStatus{};
+  switch (r.kind) {
+    case RecordKind::kRegister:
+    case RecordKind::kHeartbeat:
+      if (!decode_status(in, r.status)) return false;
+      break;
+    case RecordKind::kEpoch:
+      r.epoch = in.u64();
+      break;
+    case RecordKind::kLeave:
+    case RecordKind::kExpire:
+      break;
+  }
+  return in.ok;
+}
+
+}  // namespace
+
+std::uint32_t fnv1a32(std::string_view data) {
+  std::uint32_t hash = 2166136261u;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+void encode_record(const JournalRecord& record, std::string& out) {
+  put_u8(out, static_cast<std::uint8_t>(record.kind));
+  put_u8(out, static_cast<std::uint8_t>((record.rejoin ? 1 : 0) |
+                                        (record.overloaded ? 2 : 0)));
+  put_u64(out, record.lsn);
+  put_i64(out, record.at);
+  put_u32(out, record.node.value);
+  switch (record.kind) {
+    case RecordKind::kRegister:
+    case RecordKind::kHeartbeat:
+      encode_status(record.status, out);
+      break;
+    case RecordKind::kEpoch:
+      put_u64(out, record.epoch);
+      break;
+    case RecordKind::kLeave:
+    case RecordKind::kExpire:
+      break;
+  }
+}
+
+void encode_batch_frame(std::string_view payload, std::uint32_t count,
+                        std::string& out) {
+  put_u32(out, kBatchMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, count);
+  put_u32(out, fnv1a32(payload));
+  out.append(payload);
+}
+
+ScanResult scan(std::string_view bytes) {
+  ScanResult result;
+  std::size_t pos = 0;
+  std::vector<JournalRecord> batch;
+  while (bytes.size() - pos >= kBatchHeaderBytes) {
+    Reader header{bytes.substr(pos, kBatchHeaderBytes)};
+    const std::uint32_t magic = header.u32();
+    const std::uint32_t payload_len = header.u32();
+    const std::uint32_t count = header.u32();
+    const std::uint32_t checksum = header.u32();
+    if (magic != kBatchMagic) {
+      result.torn = true;
+      break;
+    }
+    if (bytes.size() - pos - kBatchHeaderBytes < payload_len) {
+      result.torn = true;  // incomplete final write
+      break;
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kBatchHeaderBytes, payload_len);
+    if (fnv1a32(payload) != checksum) {
+      result.torn = true;
+      break;
+    }
+    // Decode the whole batch before committing any of it: a frame that
+    // checksums clean but does not decode is corruption, not a valid tail.
+    batch.clear();
+    Reader in{payload};
+    bool good = true;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      JournalRecord r;
+      if (!decode_record(in, r) ||
+          (result.last_lsn != 0 && r.lsn <= result.last_lsn) ||
+          (!batch.empty() && r.lsn <= batch.back().lsn)) {
+        good = false;
+        break;
+      }
+      batch.push_back(std::move(r));
+    }
+    if (!good || in.pos != payload.size()) {
+      result.torn = true;
+      break;
+    }
+    result.last_batch_first_record = result.records.size();
+    for (auto& r : batch) {
+      result.last_lsn = r.lsn;
+      result.records.push_back(std::move(r));
+    }
+    ++result.batches;
+    pos += kBatchHeaderBytes + payload_len;
+    result.valid_bytes = pos;
+  }
+  if (pos < bytes.size() && bytes.size() - pos < kBatchHeaderBytes) {
+    result.torn = true;  // trailing bytes too short to even frame
+  }
+  return result;
+}
+
+}  // namespace eden::journal

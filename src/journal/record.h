@@ -1,0 +1,77 @@
+// Journal record format for the manager's write-ahead event log (DESIGN.md
+// §15). Every registry mutation — register/rejoin, heartbeat refresh,
+// graceful leave, TTL expiry, overload phase-epoch transition — becomes one
+// LSN-stamped record; records ship to storage in checksummed batch frames
+// (group commit). The framing is self-describing enough that a recovery
+// scan can detect a torn final batch (partial write at the crash point) and
+// truncate it away without a separate index.
+//
+// Batch frame layout (all integers little-endian):
+//   [u32 magic 'EDJL'][u32 payload_len][u32 record_count][u32 fnv1a32(payload)]
+//   [payload: record_count encoded records]
+//
+// A batch is valid only if it is complete and its checksum matches; a scan
+// stops at the first invalid frame and reports the clean byte prefix, which
+// is exactly what takeover recovery truncates to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "net/protocol.h"
+
+namespace eden::journal {
+
+inline constexpr std::uint32_t kBatchMagic = 0x4C4A4445u;  // "EDJL"
+inline constexpr std::size_t kBatchHeaderBytes = 16;
+
+enum class RecordKind : std::uint8_t {
+  kRegister = 1,   // node (re)joined the registry; carries the full status
+  kHeartbeat = 2,  // freshness + telemetry refresh; carries the full status
+  kLeave = 3,      // graceful deregister
+  kExpire = 4,     // manager observed a TTL expiry
+  kEpoch = 5,      // overload phase-epoch transition (enter or exit)
+};
+
+struct JournalRecord {
+  std::uint64_t lsn{0};
+  SimTime at{0};
+  RecordKind kind{RecordKind::kHeartbeat};
+  NodeId node;
+  bool rejoin{false};      // kRegister: heartbeat-path re-registration
+  net::NodeStatus status;  // kRegister / kHeartbeat only
+  std::uint64_t epoch{0};  // kEpoch only
+  bool overloaded{false};  // kEpoch: entering (true) or leaving the set
+};
+
+[[nodiscard]] std::uint32_t fnv1a32(std::string_view data);
+
+// Append one record's encoding to `out` (batch payload bytes, no framing).
+void encode_record(const JournalRecord& record, std::string& out);
+
+// Frame `payload` holding `count` records into a batch and append it.
+void encode_batch_frame(std::string_view payload, std::uint32_t count,
+                        std::string& out);
+
+struct ScanResult {
+  std::vector<JournalRecord> records;
+  std::uint64_t last_lsn{0};   // 0 when no record decoded
+  std::size_t valid_bytes{0};  // clean framed prefix; recovery truncates here
+  std::size_t batches{0};
+  // Index into `records` of the final batch's first record (== records.size()
+  // when empty) — the planted drop-last-batch replay bug keys on this.
+  std::size_t last_batch_first_record{0};
+  // Trailing bytes past valid_bytes existed but did not frame/checksum clean
+  // (torn final write or corruption).
+  bool torn{false};
+};
+
+// Walk `bytes` batch by batch; stops at the first incomplete or corrupt
+// frame. LSNs must be strictly increasing across the scanned region — a
+// regression is treated as corruption (scan stops, torn=true).
+[[nodiscard]] ScanResult scan(std::string_view bytes);
+
+}  // namespace eden::journal

@@ -1,0 +1,56 @@
+#include "journal/standby.h"
+
+namespace eden::journal {
+
+void StandbyManager::tail() {
+  std::string bytes;
+  if (!backend_->read_all(bytes)) return;
+  if (bytes.size() <= cursor_) return;
+  const ScanResult res = scan(std::string_view(bytes).substr(cursor_));
+  for (const JournalRecord& r : res.records) image_.apply(r);
+  cursor_ += res.valid_bytes;
+}
+
+TakeoverResult StandbyManager::take_over(SimTime now) {
+  (void)now;
+  TakeoverResult result;
+  std::string bytes;
+  backend_->read_all(bytes);
+
+  // Final catch-up past the tail cursor; anything beyond the clean framed
+  // prefix is a torn final write — truncate it off the log so the standby
+  // appends to a well-formed tail.
+  const ScanResult res = scan(std::string_view(bytes).substr(cursor_));
+  for (const JournalRecord& r : res.records) image_.apply(r);
+  const std::size_t clean_end = cursor_ + res.valid_bytes;
+  result.truncated_bytes = bytes.size() - clean_end;
+  if (result.truncated_bytes > 0) backend_->truncate(clean_end);
+  cursor_ = clean_end;
+
+  if (options_.chaos_drop_last_batch) {
+    // Planted bug: replay everything from scratch minus the final
+    // committed batch. The traced kJournalCommit for that batch now has no
+    // covering takeover LSN — exactly what the journal-seqnum oracle and
+    // the dump witness must catch.
+    const ScanResult full = scan(std::string_view(bytes).substr(0, clean_end));
+    RegistryImage broken;
+    for (std::size_t i = 0; i < full.last_batch_first_record; ++i) {
+      broken.apply(full.records[i]);
+    }
+    image_ = std::move(broken);
+  }
+
+  for (const auto& [node, entry] : image_.entries()) {
+    standby_->seed_entry(entry.status, entry.last_heartbeat);
+  }
+  for (const auto& [node, phase] : image_.phases()) {
+    standby_->seed_overload(NodeId{node}, phase.epoch, phase.overloaded);
+  }
+
+  result.recovered_lsn = image_.applied_lsn();
+  result.live_entries = image_.size();
+  result.dump = image_.canonical_dump();
+  return result;
+}
+
+}  // namespace eden::journal

@@ -1,0 +1,69 @@
+// StandbyManager: warm-standby failover for the central manager. While the
+// primary is alive the standby periodically tails the journal backend,
+// applying every complete batch beyond its cursor into a RegistryImage.
+// On the failover trigger take_over() runs the final catch-up scan
+// (truncating a torn tail left by the crash), seeds its CentralManager's
+// registry and overload phase state from the image, and reports the
+// recovered LSN plus the canonical dump — the two facts the takeover
+// oracles and the replay-determinism witness key on.
+//
+// Takeover protocol (DESIGN.md §15):
+//  1. scan surviving bytes from the tail cursor; a torn final frame is
+//     truncated off the log (it was never acked, so dropping it is safe);
+//  2. apply the remaining records (idempotent — overlap with earlier tails
+//     is ignored by the image's applied_lsn guard);
+//  3. seed the standby CentralManager: registry entries as-of their
+//     journaled last heartbeat, overload epochs monotone across the
+//     takeover;
+//  4. the standby starts journaling at recovered_lsn + 1 (the harness
+//     installs a fresh ManagerJournal on the truncated log).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "journal/backend.h"
+#include "journal/image.h"
+#include "manager/central_manager.h"
+
+namespace eden::journal {
+
+struct StandbyOptions {
+  // Planted selftest bug (kChaosDropLastBatchOnReplay): rebuild the image
+  // from scratch at takeover, silently dropping the final committed batch.
+  // Must trip the journal-seqnum oracle and the dump witness.
+  bool chaos_drop_last_batch{false};
+};
+
+struct TakeoverResult {
+  std::uint64_t recovered_lsn{0};
+  std::size_t live_entries{0};
+  std::size_t truncated_bytes{0};  // torn tail cut during recovery
+  std::string dump;                // canonical image dump after replay
+};
+
+class StandbyManager {
+ public:
+  StandbyManager(StorageBackend& backend, manager::CentralManager& standby,
+                 StandbyOptions options = {})
+      : backend_(&backend), standby_(&standby), options_(options) {}
+
+  // Warm tail: apply any new complete batches past the cursor. Cheap when
+  // nothing changed; safe at any time before take_over().
+  void tail();
+
+  TakeoverResult take_over(SimTime now);
+
+  [[nodiscard]] const RegistryImage& image() const { return image_; }
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
+
+ private:
+  StorageBackend* backend_;
+  manager::CentralManager* standby_;
+  StandbyOptions options_;
+  RegistryImage image_;
+  std::size_t cursor_{0};  // byte offset of the first unapplied frame
+};
+
+}  // namespace eden::journal

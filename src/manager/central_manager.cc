@@ -7,7 +7,10 @@ namespace eden::manager {
 
 void CentralManager::handle_register(const net::NodeStatus& status) {
   ++stats_.registrations;
-  registry_.upsert(status, clock_->now());
+  const SimTime now = clock_->now();
+  if (sink_ != nullptr) sink_->on_register(status, now, /*rejoin=*/false);
+  registry_.upsert(status, now);
+  if (sink_ != nullptr) sink_->commit(now);
 }
 
 net::HeartbeatAck CentralManager::handle_heartbeat(
@@ -45,6 +48,13 @@ net::HeartbeatAck CentralManager::handle_heartbeat(
       ack.rejoined = true;
     }
   }
+  if (sink_ != nullptr) {
+    if (ack.rejoined) {
+      sink_->on_register(status, now, /*rejoin=*/true);
+    } else {
+      sink_->on_heartbeat(status, now);
+    }
+  }
   registry_.upsert(status, now);
 
   if (overload_policy_.enabled) {
@@ -53,6 +63,7 @@ net::HeartbeatAck CentralManager::handle_heartbeat(
     ack.degraded = st.overloaded;
     ack.phase_epoch = st.epoch;
   }
+  if (sink_ != nullptr) sink_->commit(now);
   return ack;
 }
 
@@ -84,6 +95,7 @@ const CentralManager::OverloadState& CentralManager::update_overload(
     st.overloaded = true;
     st.last_transition = now;
     ++st.epoch;
+    if (sink_ != nullptr) sink_->on_epoch(status.node, st.epoch, true, now);
     ++stats_.overload_enters;
     if (overload_enters_ != nullptr) overload_enters_->inc();
     if (trace_ != nullptr) {
@@ -92,6 +104,7 @@ const CentralManager::OverloadState& CentralManager::update_overload(
     }
   } else if (st.overloaded && exit_clear && dwell_ok) {
     st.overloaded = false;
+    if (sink_ != nullptr) sink_->on_epoch(status.node, st.epoch, false, now);
     const double dwelled = to_sec(now - st.last_transition);
     st.last_transition = now;
     ++stats_.overload_exits;
@@ -105,7 +118,10 @@ const CentralManager::OverloadState& CentralManager::update_overload(
 
 void CentralManager::handle_deregister(NodeId node) {
   ++stats_.deregistrations;
+  const SimTime now = clock_->now();
+  if (sink_ != nullptr) sink_->on_leave(node, now);
   registry_.remove(node);
+  if (sink_ != nullptr) sink_->commit(now);
 }
 
 net::DiscoveryResponse CentralManager::handle_discover(
@@ -125,6 +141,7 @@ void CentralManager::handle_discover(const net::DiscoveryRequest& request,
   // geohash-bucket index — no snapshot copy.
   const SimTime now = clock_->now();
   note_expired(registry_.expire(now));
+  if (sink_ != nullptr) sink_->commit(now);
   int hot = 0;
   if (overload_policy_.enabled && (hot = cell_hot(request, now)) > 0) {
     ++stats_.cell_sheds;
@@ -171,6 +188,11 @@ void CentralManager::set_observability(obs::TraceRecorder* trace,
 
 void CentralManager::note_expired(const std::vector<NodeId>& expired) {
   if (expirations_ != nullptr) expirations_->inc(expired.size());
+  if (sink_ != nullptr) {
+    for (const NodeId node : expired) {
+      sink_->on_expire(node, clock_->now());
+    }
+  }
   if (trace_ == nullptr) return;
   for (const NodeId node : expired) {
     trace_->record(

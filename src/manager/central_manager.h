@@ -49,6 +49,27 @@ struct OverloadPolicy {
   SimDuration min_dwell{sec(2.0)};
 };
 
+// Durability hook (src/journal implements this as a write-ahead journal):
+// the manager reports every registry mutation to the sink from inside the
+// handler that performs it, then calls commit() once before the handler's
+// effects become visible to the caller — so anything a peer could have
+// observed (an ack, a discovery answer) is covered by a commit. A null
+// sink costs one branch per mutation.
+class RegistryMutationSink {
+ public:
+  virtual ~RegistryMutationSink() = default;
+  // `rejoin` marks the heartbeat-path re-registration of an expired or
+  // unknown node (vs an explicit register_node).
+  virtual void on_register(const net::NodeStatus& status, SimTime now,
+                           bool rejoin) = 0;
+  virtual void on_heartbeat(const net::NodeStatus& status, SimTime now) = 0;
+  virtual void on_leave(NodeId node, SimTime now) = 0;
+  virtual void on_expire(NodeId node, SimTime now) = 0;
+  virtual void on_epoch(NodeId node, std::uint64_t epoch, bool overloaded,
+                        SimTime now) = 0;
+  virtual void commit(SimTime now) = 0;
+};
+
 class CentralManager {
  public:
   CentralManager(sim::Clock& clock, GlobalPolicy policy = {},
@@ -91,12 +112,33 @@ class CentralManager {
   void set_observability(obs::TraceRecorder* trace,
                          obs::MetricsRegistry* metrics);
 
+  // Opt-in durability: journal every registry mutation through `sink`
+  // (null to detach). The sink must outlive the manager or be detached
+  // before it dies.
+  void set_mutation_sink(RegistryMutationSink* sink) { sink_ = sink; }
+
+  // ---- failover seeding (standby takeover) ----
+  // Install a replayed registry entry / overload phase as-of the journaled
+  // timestamps, bypassing the mutation path: no sink call, no stats, no
+  // trace — the primary already journaled these facts.
+  void seed_entry(const net::NodeStatus& status, SimTime last_heartbeat) {
+    registry_.upsert(status, last_heartbeat);
+  }
+  void seed_overload(NodeId node, std::uint64_t epoch, bool overloaded) {
+    OverloadState& st = overload_[node];
+    st.epoch = epoch;
+    st.overloaded = overloaded;
+    st.last_transition = -1;  // dwell waived: the journal has no dwell clock
+    registry_.set_overloaded(node, overloaded);
+  }
+
   // ---- introspection ----
   [[nodiscard]] Registry& registry() { return registry_; }
   [[nodiscard]] const GlobalSelector& selector() const { return selector_; }
   [[nodiscard]] const ManagerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t live_nodes() {
     note_expired(registry_.expire(clock_->now()));
+    if (sink_ != nullptr) sink_->commit(clock_->now());
     return registry_.size();
   }
 
@@ -128,6 +170,7 @@ class CentralManager {
   ManagerStats stats_;
   OverloadPolicy overload_policy_;
   std::unordered_map<NodeId, OverloadState> overload_;
+  RegistryMutationSink* sink_{nullptr};
   obs::TraceRecorder* trace_{nullptr};
   obs::Counter* expirations_{nullptr};
   obs::Counter* discoveries_{nullptr};

@@ -19,7 +19,8 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "probe_cycle_end", "frame_send",       "frame_ok",       "node_join_accept",
     "node_join_reject", "node_unexpected_join", "node_leave", "node_evict",
     "seq_num_bump",    "node_rejoin",      "overload_enter", "overload_exit",
-    "redisc_hint",     "node_shed",        "cell_shed",
+    "redisc_hint",     "node_shed",        "cell_shed",      "journal_commit",
+    "manager_crash",   "manager_takeover",
 };
 
 }  // namespace

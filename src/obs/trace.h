@@ -76,9 +76,18 @@ enum class EventKind : std::uint8_t {
                        // subject = client; value = frame id
   kCellShed,           // discovery in an all-hot cell shed toward cloud/LZ;
                        // actor = requesting client; value = hot node count
+  // Durable manager state + warm-standby failover (DESIGN.md §15).
+  kJournalCommit,      // group commit flushed durably; actor = manager
+                       // host; span = records in the batch; value = the
+                       // batch's last LSN
+  kManagerCrash,       // failover injector killed the primary; actor =
+                       // primary host; value = crash point (journal::CrashPoint)
+  kManagerTakeover,    // standby finished replay and owns the registry;
+                       // actor = standby host; subject = dead primary;
+                       // value = recovered LSN
 };
 
-inline constexpr std::size_t kEventKindCount = 35;
+inline constexpr std::size_t kEventKindCount = 38;
 
 [[nodiscard]] const char* to_string(EventKind kind);
 [[nodiscard]] std::optional<EventKind> kind_from_string(std::string_view name);

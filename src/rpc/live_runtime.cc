@@ -1,5 +1,8 @@
 #include "rpc/live_runtime.h"
 
+#include "journal/image.h"
+#include "journal/record.h"
+
 namespace eden::rpc {
 namespace {
 
@@ -50,6 +53,51 @@ LiveManager::LiveManager(manager::GlobalPolicy policy,
 }
 
 LiveManager::~LiveManager() { stop(); }
+
+bool LiveManager::attach_journal(const std::string& path, bool fsync) {
+  if (running_ || journal_ != nullptr) return false;
+  journal_backend_ = std::make_unique<journal::FileBackend>(path, fsync);
+  if (!journal_backend_->ok()) {
+    journal_backend_.reset();
+    return false;
+  }
+
+  // Recovery: replay the surviving log, truncate any torn final frame (the
+  // mutation it held was never acked — dropping it is safe by the
+  // journal-before-ack rule), and seed the registry from the image.
+  std::string bytes;
+  if (!journal_backend_->read_all(bytes)) {
+    journal_backend_.reset();
+    return false;
+  }
+  const journal::ScanResult scanned = journal::scan(bytes);
+  if (scanned.valid_bytes < bytes.size() &&
+      !journal_backend_->truncate(scanned.valid_bytes)) {
+    journal_backend_.reset();
+    return false;
+  }
+  journal::RegistryImage image;
+  for (const journal::JournalRecord& r : scanned.records) image.apply(r);
+  const SimTime now = loop_.now();
+  for (const auto& [node, entry] : image.entries()) {
+    // Lease grant: journaled heartbeat times came from the previous
+    // process's clock; re-admit as of now and let the TTL run fresh.
+    manager_->seed_entry(entry.status, now);
+  }
+  for (const auto& [node, phase] : image.phases()) {
+    manager_->seed_overload(NodeId{node}, phase.epoch, phase.overloaded);
+  }
+  journal_recovered_lsn_ = scanned.last_lsn;
+
+  // Strict journal-before-ack: interval 0 flushes (and fsyncs) inside
+  // every commit(), before the handler's response leaves the server.
+  journal::JournalOptions options;
+  options.group_commit_interval = SimDuration{0};
+  journal_ = std::make_unique<journal::ManagerJournal>(
+      *journal_backend_, nullptr, options, scanned.last_lsn + 1);
+  manager_->set_mutation_sink(journal_.get());
+  return true;
+}
 
 bool LiveManager::start(std::uint16_t port) {
   if (running_) return true;

@@ -22,6 +22,8 @@
 #include <unordered_map>
 
 #include "client/edge_client.h"
+#include "journal/backend.h"
+#include "journal/manager_journal.h"
 #include "manager/central_manager.h"
 #include "node/edge_node.h"
 #include "rpc/rpc_client.h"
@@ -61,6 +63,21 @@ class LiveManager {
                        SimDuration heartbeat_ttl = sec(3.0));
   ~LiveManager();
 
+  // Durable registry state (DESIGN.md §15): journal every registry
+  // mutation to an append-only log file before the handler returns
+  // (group_commit_interval = 0, fsync on every commit unless `fsync` is
+  // false). If the file already exists, recover: scan it, truncate a torn
+  // tail, and seed the registry from the replayed image — each recovered
+  // entry gets a fresh lease (last_heartbeat = now) since live clocks are
+  // not comparable across restarts. Call before start(); false on I/O or
+  // scan failure.
+  bool attach_journal(const std::string& path, bool fsync = true);
+  // Last LSN recovered from an existing journal file (0 = fresh log).
+  [[nodiscard]] std::uint64_t journal_recovered_lsn() const {
+    return journal_recovered_lsn_;
+  }
+  [[nodiscard]] journal::ManagerJournal* journal() { return journal_.get(); }
+
   // Bind (port 0 = ephemeral) and start serving on a background thread.
   bool start(std::uint16_t port = 0);
   void stop();
@@ -82,6 +99,9 @@ class LiveManager {
   // state. Loop thread only.
   net::DiscoveryResponse discover_scratch_;
   std::unique_ptr<manager::CentralManager> manager_;
+  std::unique_ptr<journal::FileBackend> journal_backend_;
+  std::unique_ptr<journal::ManagerJournal> journal_;
+  std::uint64_t journal_recovered_lsn_{0};
   std::unique_ptr<RpcServer> server_;
   std::thread thread_;
   bool running_{false};

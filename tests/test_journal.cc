@@ -1,0 +1,585 @@
+// Tests for the durable manager journal (DESIGN.md §15): record/batch
+// round-trips, group-commit batching boundaries, torn-write truncation and
+// recovery, replay idempotence, file-backend persistence, the CentralManager
+// mutation-sink wiring, warm-standby tail + takeover, and the live-runtime
+// restart recovery path. Also pins the `.eden-repro` malformed-input
+// rejection (ISSUE 10 satellite: parse failures must be detected, not
+// silently coerced).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/repro.h"
+#include "journal/backend.h"
+#include "journal/image.h"
+#include "journal/manager_journal.h"
+#include "journal/record.h"
+#include "journal/standby.h"
+#include "manager/central_manager.h"
+#include "rpc/live_runtime.h"
+#include "sim/clock.h"
+#include "sim/simulator.h"
+
+namespace eden::journal {
+namespace {
+
+net::NodeStatus status_for(std::uint32_t id, double frame_ms = 25.0) {
+  net::NodeStatus status;
+  status.node = NodeId{id};
+  status.geohash = "9zvx";
+  status.cores = 4;
+  status.base_frame_ms = frame_ms;
+  status.attached_users = 2;
+  status.utilization = 0.375;
+  status.dedicated = (id % 2) == 0;
+  status.is_cloud = false;
+  status.network_tag = "isp-a";
+  status.endpoint = "10.0.0." + std::to_string(id) + ":7100";
+  status.app_types = {"render", "detect"};
+  status.queue_depth = 3;
+  status.burst_credits = 12.5;
+  status.p95_proc_ms = frame_ms * 1.75;
+  return status;
+}
+
+JournalRecord record_for(std::uint64_t lsn, RecordKind kind,
+                         std::uint32_t node) {
+  JournalRecord record;
+  record.lsn = lsn;
+  record.at = msec(100.0 * static_cast<double>(lsn));
+  record.kind = kind;
+  record.node = NodeId{node};
+  if (kind == RecordKind::kRegister) {
+    record.rejoin = (lsn % 2) == 0;
+    record.status = status_for(node);
+  } else if (kind == RecordKind::kHeartbeat) {
+    record.status = status_for(node, 30.0 + static_cast<double>(lsn));
+  } else if (kind == RecordKind::kEpoch) {
+    record.epoch = lsn;
+    record.overloaded = (lsn % 2) == 1;
+  }
+  return record;
+}
+
+// Encode `records` as one framed batch.
+std::string one_batch(const std::vector<JournalRecord>& records) {
+  std::string payload;
+  for (const JournalRecord& r : records) encode_record(r, payload);
+  std::string framed;
+  encode_batch_frame(payload, static_cast<std::uint32_t>(records.size()),
+                     framed);
+  return framed;
+}
+
+TEST(JournalRecord, RoundTripsEveryKindAndField) {
+  const std::vector<JournalRecord> sent = {
+      record_for(1, RecordKind::kRegister, 7),
+      record_for(2, RecordKind::kHeartbeat, 7),
+      record_for(3, RecordKind::kEpoch, 7),
+      record_for(4, RecordKind::kLeave, 7),
+      record_for(5, RecordKind::kExpire, 9),
+  };
+  const std::string bytes = one_batch(sent);
+  const ScanResult scanned = scan(bytes);
+
+  EXPECT_FALSE(scanned.torn);
+  EXPECT_EQ(scanned.batches, 1u);
+  EXPECT_EQ(scanned.valid_bytes, bytes.size());
+  EXPECT_EQ(scanned.last_lsn, 5u);
+  ASSERT_EQ(scanned.records.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const JournalRecord& a = sent[i];
+    const JournalRecord& b = scanned.records[i];
+    EXPECT_EQ(a.lsn, b.lsn);
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.rejoin, b.rejoin);
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.overloaded, b.overloaded);
+    if (a.kind == RecordKind::kRegister || a.kind == RecordKind::kHeartbeat) {
+      EXPECT_EQ(a.status.node, b.status.node);
+      EXPECT_EQ(a.status.geohash, b.status.geohash);
+      EXPECT_EQ(a.status.cores, b.status.cores);
+      EXPECT_DOUBLE_EQ(a.status.base_frame_ms, b.status.base_frame_ms);
+      EXPECT_EQ(a.status.attached_users, b.status.attached_users);
+      EXPECT_DOUBLE_EQ(a.status.utilization, b.status.utilization);
+      EXPECT_EQ(a.status.dedicated, b.status.dedicated);
+      EXPECT_EQ(a.status.is_cloud, b.status.is_cloud);
+      EXPECT_EQ(a.status.network_tag, b.status.network_tag);
+      EXPECT_EQ(a.status.endpoint, b.status.endpoint);
+      EXPECT_EQ(a.status.app_types, b.status.app_types);
+      EXPECT_EQ(a.status.queue_depth, b.status.queue_depth);
+      EXPECT_DOUBLE_EQ(a.status.burst_credits, b.status.burst_credits);
+      EXPECT_DOUBLE_EQ(a.status.p95_proc_ms, b.status.p95_proc_ms);
+    }
+  }
+}
+
+TEST(JournalRecord, ScanStopsAtLsnRegression) {
+  // A second batch whose LSN goes backwards is corruption: the scan keeps
+  // the first batch and flags the log torn.
+  std::string bytes = one_batch({record_for(5, RecordKind::kHeartbeat, 1)});
+  const std::size_t clean = bytes.size();
+  bytes += one_batch({record_for(4, RecordKind::kHeartbeat, 1)});
+
+  const ScanResult scanned = scan(bytes);
+  EXPECT_TRUE(scanned.torn);
+  EXPECT_EQ(scanned.valid_bytes, clean);
+  EXPECT_EQ(scanned.last_lsn, 5u);
+  ASSERT_EQ(scanned.records.size(), 1u);
+}
+
+// ---- group-commit batching boundaries ----
+
+TEST(ManagerJournal, BatchFlushesWhenMaxRecordsReached) {
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  MemoryBackend backend;
+  JournalOptions options;
+  options.max_batch_records = 3;
+  options.group_commit_interval = msec(20.0);
+  ManagerJournal journal(backend, &scheduler, options);
+
+  const net::NodeStatus status = status_for(1);
+  journal.on_heartbeat(status, scheduler.now());
+  journal.on_heartbeat(status, scheduler.now());
+  EXPECT_EQ(backend.durable_size(), 0u) << "batch below the cap stays open";
+  EXPECT_EQ(journal.open_records(), 2u);
+
+  journal.on_heartbeat(status, scheduler.now());
+  EXPECT_GT(backend.durable_size(), 0u) << "cap reached: batch must flush";
+  EXPECT_EQ(journal.committed_lsn(), 3u);
+  EXPECT_EQ(journal.open_records(), 0u);
+  EXPECT_EQ(journal.stats().batches, 1u);
+}
+
+TEST(ManagerJournal, DeferredGroupCommitFlushesAfterInterval) {
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  MemoryBackend backend;
+  JournalOptions options;
+  options.max_batch_records = 64;
+  options.group_commit_interval = msec(20.0);
+  ManagerJournal journal(backend, &scheduler, options);
+
+  journal.on_heartbeat(status_for(1), scheduler.now());
+  journal.commit(scheduler.now());
+  EXPECT_EQ(backend.durable_size(), 0u)
+      << "commit() under a deferred interval must not flush inline";
+
+  // A second commit inside the window rides the same pending flush.
+  simulator.run_until(msec(5.0));
+  journal.on_heartbeat(status_for(2), scheduler.now());
+  journal.commit(scheduler.now());
+  EXPECT_EQ(backend.durable_size(), 0u);
+
+  simulator.run_until(msec(30.0));
+  EXPECT_GT(backend.durable_size(), 0u);
+  EXPECT_EQ(journal.committed_lsn(), 2u);
+  EXPECT_EQ(journal.stats().batches, 1u)
+      << "both commits must share one group-committed batch";
+
+  const ScanResult scanned = [&] {
+    std::string bytes;
+    backend.read_all(bytes);
+    return scan(bytes);
+  }();
+  EXPECT_EQ(scanned.records.size(), 2u);
+  EXPECT_EQ(scanned.batches, 1u);
+}
+
+TEST(ManagerJournal, ZeroIntervalCommitsInline) {
+  // Live mode: no scheduler, every commit() is a durability barrier.
+  MemoryBackend backend;
+  JournalOptions options;
+  options.group_commit_interval = SimDuration{0};
+  ManagerJournal journal(backend, nullptr, options);
+
+  journal.on_register(status_for(3), msec(10.0), false);
+  journal.commit(msec(10.0));
+  EXPECT_EQ(journal.committed_lsn(), 1u);
+  EXPECT_EQ(backend.durable_size(), backend.size());
+  EXPECT_GT(backend.durable_size(), 0u);
+
+  journal.on_leave(NodeId{3}, msec(20.0));
+  journal.commit(msec(20.0));
+  EXPECT_EQ(journal.committed_lsn(), 2u);
+  EXPECT_EQ(journal.stats().batches, 2u);
+}
+
+TEST(ManagerJournal, FlushNowDrainsOpenBatch) {
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  MemoryBackend backend;
+  ManagerJournal journal(backend, &scheduler);
+
+  journal.on_heartbeat(status_for(1), scheduler.now());
+  journal.commit(scheduler.now());
+  EXPECT_EQ(backend.durable_size(), 0u);
+  journal.flush_now(scheduler.now());
+  EXPECT_GT(backend.durable_size(), 0u);
+  EXPECT_EQ(journal.committed_lsn(), 1u);
+  // Nothing staged: a second flush_now is a no-op.
+  const std::size_t durable = backend.durable_size();
+  journal.flush_now(scheduler.now());
+  EXPECT_EQ(backend.durable_size(), durable);
+}
+
+// ---- torn-write truncation and recovery ----
+
+TEST(JournalRecovery, TornTailTruncatesToCleanPrefixAtEveryCut) {
+  const std::string b1 = one_batch({record_for(1, RecordKind::kRegister, 1),
+                                    record_for(2, RecordKind::kHeartbeat, 1)});
+  const std::string b2 = one_batch({record_for(3, RecordKind::kRegister, 2)});
+  const std::string b3 = one_batch({record_for(4, RecordKind::kHeartbeat, 2),
+                                    record_for(5, RecordKind::kEpoch, 2)});
+  const std::string clean = b1 + b2;
+
+  // Cut the final frame at every possible byte offset: header-only, partial
+  // payload, all the way to one byte short of complete.
+  for (std::size_t cut = 1; cut < b3.size(); ++cut) {
+    MemoryBackend backend;
+    backend.append(clean);
+    backend.append(b3.substr(0, cut));
+    backend.flush();
+
+    std::string bytes;
+    backend.read_all(bytes);
+    const ScanResult scanned = scan(bytes);
+    EXPECT_TRUE(scanned.torn) << "cut at " << cut;
+    EXPECT_EQ(scanned.valid_bytes, clean.size()) << "cut at " << cut;
+    EXPECT_EQ(scanned.last_lsn, 3u) << "cut at " << cut;
+    ASSERT_EQ(scanned.records.size(), 3u) << "cut at " << cut;
+
+    // Recovery: truncate the torn tail, then appending works again.
+    ASSERT_TRUE(backend.truncate(scanned.valid_bytes));
+    backend.append(b3);
+    backend.flush();
+    backend.read_all(bytes);
+    const ScanResult healed = scan(bytes);
+    EXPECT_FALSE(healed.torn) << "cut at " << cut;
+    EXPECT_EQ(healed.records.size(), 5u) << "cut at " << cut;
+    EXPECT_EQ(healed.last_lsn, 5u) << "cut at " << cut;
+    EXPECT_EQ(healed.batches, 3u) << "cut at " << cut;
+  }
+}
+
+TEST(JournalRecovery, CorruptChecksumStopsScan) {
+  std::string bytes = one_batch({record_for(1, RecordKind::kRegister, 1)});
+  const std::size_t clean = bytes.size();
+  bytes += one_batch({record_for(2, RecordKind::kHeartbeat, 1)});
+  bytes.back() ^= 0x5A;  // flip a payload byte in the final frame
+
+  const ScanResult scanned = scan(bytes);
+  EXPECT_TRUE(scanned.torn);
+  EXPECT_EQ(scanned.valid_bytes, clean);
+  EXPECT_EQ(scanned.records.size(), 1u);
+}
+
+// ---- replay idempotence ----
+
+TEST(RegistryImage, ReplayingPrefixTwiceEqualsOnce) {
+  const std::vector<JournalRecord> records = {
+      record_for(1, RecordKind::kRegister, 1),
+      record_for(2, RecordKind::kRegister, 2),
+      record_for(3, RecordKind::kHeartbeat, 1),
+      record_for(4, RecordKind::kEpoch, 2),
+      record_for(5, RecordKind::kLeave, 1),
+      record_for(6, RecordKind::kHeartbeat, 2),
+  };
+
+  RegistryImage once;
+  for (const JournalRecord& r : records) once.apply(r);
+
+  RegistryImage twice;
+  for (std::size_t i = 0; i < 4; ++i) twice.apply(records[i]);
+  // Overlapping catch-up: the whole stream again, prefix included.
+  for (const JournalRecord& r : records) twice.apply(r);
+
+  EXPECT_EQ(once.applied_lsn(), twice.applied_lsn());
+  EXPECT_EQ(once.size(), twice.size());
+  EXPECT_EQ(once.canonical_dump(), twice.canonical_dump());
+}
+
+TEST(RegistryImage, ExpireAndLeaveRemoveButPhaseSurvives) {
+  RegistryImage image;
+  image.apply(record_for(1, RecordKind::kRegister, 4));
+  image.apply(record_for(2, RecordKind::kEpoch, 4));  // epoch 2, overloaded
+  image.apply(record_for(3, RecordKind::kExpire, 4));
+  EXPECT_EQ(image.size(), 0u);
+  ASSERT_EQ(image.phases().count(4u), 1u);
+  EXPECT_EQ(image.phases().at(4u).epoch, 2u);
+
+  // Rejoin after expiry: the phase table kept the monotone epoch.
+  image.apply(record_for(4, RecordKind::kRegister, 4));
+  EXPECT_EQ(image.size(), 1u);
+  EXPECT_EQ(image.phases().at(4u).epoch, 2u);
+}
+
+// ---- file backend ----
+
+TEST(FileBackend, PersistsAcrossReopenAndTruncates) {
+  const std::string path = ::testing::TempDir() + "journal_file_test.edenlog";
+  std::remove(path.c_str());
+  const std::string b1 = one_batch({record_for(1, RecordKind::kRegister, 1)});
+  const std::string b2 = one_batch({record_for(2, RecordKind::kHeartbeat, 1)});
+
+  {
+    FileBackend backend(path, /*fsync_on_flush=*/false);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ(backend.size(), 0u);
+    ASSERT_TRUE(backend.append(b1));
+    ASSERT_TRUE(backend.flush());
+    ASSERT_TRUE(backend.append(b2));
+    ASSERT_TRUE(backend.flush());
+    EXPECT_EQ(backend.size(), b1.size() + b2.size());
+  }
+  {
+    // Reopen resumes at the tail; contents match what was written.
+    FileBackend backend(path, false);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ(backend.size(), b1.size() + b2.size());
+    std::string bytes;
+    ASSERT_TRUE(backend.read_all(bytes));
+    EXPECT_EQ(bytes, b1 + b2);
+    const ScanResult scanned = scan(bytes);
+    EXPECT_EQ(scanned.records.size(), 2u);
+    EXPECT_FALSE(scanned.torn);
+
+    // Torn-tail recovery on disk: truncate to the first batch.
+    ASSERT_TRUE(backend.truncate(b1.size()));
+    ASSERT_TRUE(backend.read_all(bytes));
+    EXPECT_EQ(bytes, b1);
+    ASSERT_TRUE(backend.append(b2));
+    ASSERT_TRUE(backend.flush());
+  }
+  {
+    FileBackend backend(path, false);
+    std::string bytes;
+    ASSERT_TRUE(backend.read_all(bytes));
+    EXPECT_EQ(bytes, b1 + b2);
+  }
+  std::remove(path.c_str());
+}
+
+// ---- CentralManager sink wiring ----
+
+TEST(ManagerJournal, CentralManagerJournalsEveryMutationBeforeAck) {
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  MemoryBackend backend;
+  JournalOptions options;
+  options.group_commit_interval = SimDuration{0};  // inspect per-handler
+  ManagerJournal journal(backend, &scheduler, options);
+  manager::CentralManager manager(scheduler);
+  manager.set_mutation_sink(&journal);
+
+  manager.handle_register(status_for(1));
+  manager.handle_heartbeat(status_for(1));
+  manager.handle_heartbeat(status_for(2));  // unknown node: rejoin register
+  manager.handle_deregister(NodeId{1});
+
+  std::string bytes;
+  backend.read_all(bytes);
+  const ScanResult scanned = scan(bytes);
+  ASSERT_EQ(scanned.records.size(), 4u);
+  EXPECT_EQ(scanned.records[0].kind, RecordKind::kRegister);
+  EXPECT_FALSE(scanned.records[0].rejoin);
+  EXPECT_EQ(scanned.records[1].kind, RecordKind::kHeartbeat);
+  EXPECT_EQ(scanned.records[2].kind, RecordKind::kRegister);
+  EXPECT_TRUE(scanned.records[2].rejoin);
+  EXPECT_EQ(scanned.records[3].kind, RecordKind::kLeave);
+  EXPECT_EQ(scanned.last_lsn, 4u);
+  // Every handler committed durably before returning.
+  EXPECT_EQ(backend.durable_size(), backend.size());
+}
+
+// ---- standby tail + takeover ----
+
+TEST(StandbyManager, TailsIncrementallyAndTakesOver) {
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  MemoryBackend backend;
+  JournalOptions options;
+  options.group_commit_interval = SimDuration{0};
+  ManagerJournal journal(backend, &scheduler, options);
+  manager::CentralManager primary(scheduler);
+  primary.set_mutation_sink(&journal);
+
+  manager::CentralManager standby_mgr(scheduler);
+  StandbyManager standby(backend, standby_mgr);
+
+  primary.handle_register(status_for(1));
+  primary.handle_register(status_for(2));
+  standby.tail();
+  EXPECT_EQ(standby.image().applied_lsn(), 2u);
+  EXPECT_EQ(standby.cursor(), backend.size());
+
+  primary.handle_register(status_for(3));
+  primary.handle_deregister(NodeId{2});
+
+  const TakeoverResult result = standby.take_over(scheduler.now());
+  EXPECT_EQ(result.recovered_lsn, journal.committed_lsn());
+  EXPECT_EQ(result.live_entries, 2u);  // nodes 1 and 3
+  EXPECT_EQ(result.truncated_bytes, 0u);
+  EXPECT_EQ(standby_mgr.live_nodes(), 2u);
+
+  // Replay-determinism witness: incremental tail + takeover catch-up must
+  // equal a fresh one-shot replay of the surviving bytes.
+  std::string bytes;
+  backend.read_all(bytes);
+  RegistryImage fresh;
+  for (const JournalRecord& r : scan(bytes).records) fresh.apply(r);
+  EXPECT_EQ(result.dump, fresh.canonical_dump());
+}
+
+TEST(StandbyManager, TakeoverTruncatesTornTail) {
+  MemoryBackend backend;
+  backend.append(one_batch({record_for(1, RecordKind::kRegister, 1)}));
+  const std::size_t clean = backend.size();
+  const std::string torn =
+      one_batch({record_for(2, RecordKind::kRegister, 2)});
+  backend.append(torn.substr(0, torn.size() / 2));
+  backend.flush();
+
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  manager::CentralManager standby_mgr(scheduler);
+  StandbyManager standby(backend, standby_mgr);
+  const TakeoverResult result = standby.take_over(scheduler.now());
+  EXPECT_EQ(result.recovered_lsn, 1u);
+  EXPECT_EQ(result.live_entries, 1u);
+  EXPECT_EQ(result.truncated_bytes, torn.size() / 2);
+  EXPECT_EQ(backend.size(), clean)
+      << "the un-acked torn frame must be cut off the log";
+}
+
+TEST(StandbyManager, ChaosDropLastBatchLosesCommittedState) {
+  // The planted selftest bug: replay that drops the final committed batch
+  // must visibly diverge (fewer entries, lower LSN) — this is what the
+  // journal-seqnum oracle and dump witness key on.
+  MemoryBackend backend;
+  backend.append(one_batch({record_for(1, RecordKind::kRegister, 1)}));
+  backend.append(one_batch({record_for(2, RecordKind::kRegister, 2)}));
+  backend.flush();
+
+  sim::Simulator simulator;
+  sim::SimScheduler scheduler(simulator);
+  manager::CentralManager honest_mgr(scheduler);
+  StandbyManager honest(backend, honest_mgr);
+  const TakeoverResult good = honest.take_over(scheduler.now());
+
+  manager::CentralManager buggy_mgr(scheduler);
+  StandbyManager buggy(backend, buggy_mgr,
+                       StandbyOptions{.chaos_drop_last_batch = true});
+  const TakeoverResult bad = buggy.take_over(scheduler.now());
+
+  EXPECT_EQ(good.recovered_lsn, 2u);
+  EXPECT_EQ(good.live_entries, 2u);
+  EXPECT_LT(bad.recovered_lsn, good.recovered_lsn);
+  EXPECT_EQ(bad.live_entries, 1u);
+  EXPECT_NE(bad.dump, good.dump);
+}
+
+// ---- live runtime restart recovery ----
+
+TEST(LiveManagerJournal, RestartRecoversRegistryFromFile) {
+  const std::string path = ::testing::TempDir() + "live_restart.edenlog";
+  std::remove(path.c_str());
+  {
+    rpc::LiveManager manager({}, sec(3.0));
+    ASSERT_TRUE(manager.attach_journal(path, /*fsync=*/false));
+    EXPECT_EQ(manager.journal_recovered_lsn(), 0u);
+    manager.manager_unsafe().handle_register(status_for(1));
+    manager.manager_unsafe().handle_register(status_for(2));
+    manager.manager_unsafe().handle_deregister(NodeId{2});
+    // Journal-before-ack: attach once, reject a second attach.
+    EXPECT_FALSE(manager.attach_journal(path, false));
+  }
+  {
+    rpc::LiveManager manager({}, sec(3.0));
+    ASSERT_TRUE(manager.attach_journal(path, false));
+    EXPECT_EQ(manager.journal_recovered_lsn(), 3u);
+    // Node 1 was re-admitted with a fresh lease; node 2 left for good.
+    EXPECT_EQ(manager.manager_unsafe().live_nodes(), 1u);
+    EXPECT_NE(manager.manager_unsafe().registry().find(NodeId{1}), nullptr);
+    // New mutations continue the LSN chain past the recovered point.
+    manager.manager_unsafe().handle_register(status_for(5));
+    EXPECT_GT(manager.journal()->committed_lsn(), 3u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eden::journal
+
+// ---- malformed-repro rejection (eden_check --replay hardening) ----
+
+namespace eden::check {
+namespace {
+
+std::string valid_repro_json() {
+  ReproFile repro;
+  repro.spec.seed = 42;
+  repro.spec.standby = true;
+  repro.spec.crash.enabled = true;
+  repro.spec.crash.point = 2;
+  repro.spec.crash.at_sec = 6.0;
+  FuzzNode node;
+  repro.spec.nodes.push_back(node);
+  FuzzClient client;
+  repro.spec.clients.push_back(client);
+  return to_json(repro);
+}
+
+// Replace the first occurrence of `"key": <number>` with `"key": <value>`.
+std::string with_field(std::string json, const std::string& key,
+                       const std::string& value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << key;
+  std::size_t start = at + needle.size();
+  while (start < json.size() && json[start] == ' ') ++start;
+  std::size_t end = start;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != '\n') {
+    ++end;
+  }
+  return json.replace(start, end - start, value);
+}
+
+TEST(ReproParse, RoundTripsV4FailoverFields) {
+  const std::string json = valid_repro_json();
+  const auto parsed = parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->spec.standby);
+  EXPECT_TRUE(parsed->spec.crash.enabled);
+  EXPECT_EQ(parsed->spec.crash.point, 2);
+  EXPECT_EQ(to_json(*parsed), json) << "write -> parse -> write must be "
+                                       "byte-identical";
+}
+
+TEST(ReproParse, RejectsMalformedAndNonFiniteInput) {
+  const std::string json = valid_repro_json();
+  // Overflowing double: strtod coerces "1e999" to inf; the semantic
+  // validator must refuse it rather than running a nonsense horizon.
+  EXPECT_FALSE(parse_json(with_field(json, "horizon_sec", "1e999")));
+  EXPECT_FALSE(parse_json(with_field(json, "horizon_sec", "nan")));
+  EXPECT_FALSE(parse_json(with_field(json, "horizon_sec", "-5")));
+  EXPECT_FALSE(parse_json(with_field(json, "heartbeat_ttl_sec", "0")));
+  EXPECT_FALSE(parse_json(with_field(json, "cooldown_sec", "-1")));
+  EXPECT_FALSE(parse_json(with_field(json, "at_sec", "1e999")));
+  EXPECT_FALSE(parse_json(with_field(json, "eden_repro", "99")));
+  // Structural damage: truncation and token garbage.
+  EXPECT_FALSE(parse_json(json.substr(0, json.size() / 2)));
+  EXPECT_FALSE(parse_json("not json at all"));
+  EXPECT_FALSE(parse_json(""));
+  // The pristine text still parses (the mutations above were the cause).
+  EXPECT_TRUE(parse_json(json).has_value());
+}
+
+}  // namespace
+}  // namespace eden::check

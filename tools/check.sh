@@ -161,6 +161,23 @@ build-release/tools/eden_check --selftest --jobs "$JOBS" --out "$SMOKE_REPRO"
 build-release/tools/eden_check --seeds 400 --seed-base 1 --jobs "$JOBS" \
   --budget-sec 60 --out "$SMOKE_REPRO"
 
+echo "=== [release] crash-point fuzz smoke (eden_check --crash) ==="
+# Manager-crash family: every seed gets a warm standby plus a deterministic
+# crash point (after-append / before-ack / mid-batch / torn-tail) fired
+# mid-churn; the journal-seqnum and readmission oracles plus the replay-
+# determinism witness must hold on every takeover. The --selftest stage
+# above already proved the oracles are live (planted drop-last-batch bug).
+build-release/tools/eden_check --seeds 400 --seed-base 1 --crash \
+  --jobs "$JOBS" --budget-sec 60 --out "$SMOKE_REPRO"
+
+echo "=== [asan] journal/failover focus (crash recovery under ASan/UBSan) ==="
+# Torn-write truncation, replay, takeover and the live restart path touch
+# raw byte framing — run the journal suite again under the sanitizers so a
+# hit names itself even when triaging from the tail of the log.
+for t in test_journal test_failover; do
+  "build-asan/tests/$t" --gtest_brief=1
+done
+
 echo "=== [release] overload fuzz smoke (eden_check --overload) ==="
 # Same budgeted sweep over the overload scenario families (flash crowds,
 # diurnal waves, slow credit leaks) with the starvation oracle armed.

@@ -45,6 +45,9 @@ struct Args {
   // Layer the overload generator families (flash crowd / diurnal wave /
   // slow leak, load feedback on) onto every generated seed.
   bool overload{false};
+  // Layer the manager-crash family (warm standby + deterministic crash
+  // point + takeover) onto every generated seed.
+  bool crash{false};
   // Shard witness: run every seed through the sharded harness at each
   // count in --shards and pin the canonical digest against the one-shard
   // sequential reference.
@@ -54,6 +57,7 @@ struct Args {
   [[nodiscard]] check::FuzzLimits limits() const {
     check::FuzzLimits out;
     out.overload_families = overload;
+    out.crash_points = crash;
     return out;
   }
 };
@@ -62,7 +66,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: eden_check [--seeds N] [--seed-base B] [--seed S] [--jobs K]\n"
-      "                  [--budget-sec S] [--out PATH] [--overload]\n"
+      "                  [--budget-sec S] [--out PATH] [--overload] "
+      "[--crash]\n"
       "                  [--replay PATH [--expect-violation]] [--selftest]\n"
       "                  [--seed S --dump-spec PATH]\n"
       "                  [--witness [--shards LIST]]  sharded==sequential "
@@ -118,6 +123,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.expect_violation = true;
     } else if (flag == "--overload") {
       args.overload = true;
+    } else if (flag == "--crash") {
+      args.crash = true;
     } else if (flag == "--selftest") {
       args.selftest = true;
     } else {
@@ -542,6 +549,102 @@ int run_selftest(const Args& args) {
   return 0;
 }
 
+// Failover-pipeline liveness proof: plant the drop-last-batch replay bug
+// (kChaosDropLastBatchOnReplay) in a crash scenario and demand the
+// journal-seqnum oracle (and the replay-determinism witness) catch it;
+// then run the identical scenario without the chaos bit and demand a clean
+// bill — proving the oracle keys on the planted bug, not on failover
+// noise. Finishes with a v4 repro round-trip of the crash spec.
+int run_crash_selftest(const Args& args) {
+  check::ScenarioSpec spec;
+  spec.seed = 20260808;
+  spec.horizon_sec = 28.0;
+  spec.cooldown_sec = 10.0;
+  spec.heartbeat_ttl_sec = 3.0;
+  spec.user_idle_ttl_sec = 12.0;
+  spec.standby = true;
+  spec.crash.enabled = true;
+  spec.crash.point = 1;  // kBeforeAck: durable commit, ack lost
+  spec.crash.at_sec = 8.0;
+  spec.crash.takeover_delay_sec = 0.5;
+  for (int i = 0; i < 2; ++i) {
+    check::FuzzNode node;
+    node.lat += 0.02 * i;
+    node.base_frame_ms = 20.0 + 5.0 * i;
+    node.heartbeat_period_sec = 0.8;
+    spec.nodes.push_back(node);
+  }
+  for (int i = 0; i < 2; ++i) {
+    check::FuzzClient client;
+    client.lon += 0.03 * i;
+    client.probing_period_sec = 2.5 + i;
+    client.start_sec = static_cast<double>(i);
+    spec.clients.push_back(client);
+  }
+
+  check::ScenarioSpec buggy = spec;
+  buggy.chaos = check::kChaosDropLastBatchOnReplay;
+  const check::RunReport seeded = check::run_spec(buggy);
+  bool caught_lsn = false;
+  bool caught_dump = false;
+  for (const auto& v : seeded.violations) {
+    caught_lsn |= v.oracle == "journal-seqnum";
+    caught_dump |= v.oracle == "journal-replay";
+  }
+  if (!caught_lsn || !caught_dump) {
+    std::fprintf(stderr,
+                 "selftest: planted drop-last-batch replay bug was NOT fully "
+                 "caught (journal-seqnum=%d journal-replay=%d)\n",
+                 caught_lsn ? 1 : 0, caught_dump ? 1 : 0);
+    print_violations(buggy.seed, seeded);
+    return 1;
+  }
+  std::printf(
+      "selftest: planted drop-last-batch bug caught by journal-seqnum + "
+      "journal-replay (%zu violations)\n",
+      seeded.violations.size());
+
+  const check::RunReport clean = check::run_spec(spec);
+  if (!clean.ok()) {
+    std::fprintf(stderr,
+                 "selftest: the same crash scenario WITHOUT the planted bug "
+                 "violated an oracle — the failover path itself is broken\n");
+    print_violations(spec.seed, clean);
+    return 1;
+  }
+  std::printf(
+      "selftest: same crash scenario without the bug runs clean "
+      "(takeover verified, digest %016llx)\n",
+      static_cast<unsigned long long>(clean.trace_digest));
+
+  // v4 repro round-trip: the failover fields survive persist + parse, and
+  // the reloaded spec replays bit-identically.
+  check::ReproFile repro;
+  repro.spec = spec;
+  const std::string path = args.out_path + ".crash";
+  if (!check::write_repro(path, repro)) {
+    std::fprintf(stderr, "selftest: cannot write %s\n", path.c_str());
+    return 2;
+  }
+  const auto loaded = check::load_repro(path);
+  if (!loaded || !(*loaded == repro)) {
+    std::fprintf(stderr, "selftest: %s did not round-trip\n", path.c_str());
+    return 3;
+  }
+  const check::RunReport replayed = check::run_spec(loaded->spec);
+  if (replayed.trace_digest != clean.trace_digest) {
+    std::fprintf(stderr,
+                 "selftest: crash repro replay diverged (%016llx vs "
+                 "%016llx)\n",
+                 static_cast<unsigned long long>(replayed.trace_digest),
+                 static_cast<unsigned long long>(clean.trace_digest));
+    return 3;
+  }
+  std::printf("selftest: crash repro %s replays bit-identically\n",
+              path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -550,7 +653,23 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  if (args.selftest) return run_selftest(args);
+  if (args.crash && args.witness) {
+    std::fprintf(stderr,
+                 "eden_check: --crash specs re-route mid-run and are not "
+                 "supported by the sharded witness\n");
+    return 2;
+  }
+  if (args.crash && args.overload) {
+    std::fprintf(stderr,
+                 "eden_check: --crash and --overload are separate sweep "
+                 "modes; run them in turn\n");
+    return 2;
+  }
+  if (args.selftest) {
+    const int code = run_selftest(args);
+    if (code != 0) return code;
+    return run_crash_selftest(args);
+  }
   if (args.witness) return run_witness(args);
   if (!args.replay_path.empty()) return run_replay(args);
   if (args.single) return run_single(args);

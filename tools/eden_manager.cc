@@ -2,6 +2,12 @@
 // heartbeat to it; clients send edge-discovery queries.
 //
 //   eden_manager --port 7000 [--heartbeat-ttl-ms 3000]
+//                [--journal PATH [--no-fsync]]
+//
+// --journal makes registry state durable: every mutation is appended to
+// the log file before the handler acks, and a restart pointed at the same
+// file replays it (truncating a torn tail) and re-admits every node with a
+// fresh lease — the warm-standby story of DESIGN.md §15.
 #include <csignal>
 #include <cstdio>
 
@@ -16,13 +22,27 @@ void on_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   eden::tools::Flags flags(argc, argv,
                            "usage: eden_manager [--port N] "
-                           "[--heartbeat-ttl-ms N] [--status-period-s N]");
+                           "[--heartbeat-ttl-ms N] [--status-period-s N] "
+                           "[--journal PATH [--no-fsync]]");
   const int port = flags.integer("port", 7000);
   const double ttl_ms = flags.real("heartbeat-ttl-ms", 3000.0);
   const int status_period = flags.integer("status-period-s", 10);
+  const std::string journal_path = flags.str("journal", "");
+  const bool no_fsync = flags.boolean("no-fsync", false);
   flags.check_unused();
 
   eden::rpc::LiveManager manager({}, eden::msec(ttl_ms));
+  if (!journal_path.empty()) {
+    if (!manager.attach_journal(journal_path, !no_fsync)) {
+      std::fprintf(stderr, "failed to open/recover journal %s\n",
+                   journal_path.c_str());
+      return 1;
+    }
+    std::printf("journal %s attached (recovered LSN %llu)\n",
+                journal_path.c_str(),
+                static_cast<unsigned long long>(
+                    manager.journal_recovered_lsn()));
+  }
   if (!manager.start(static_cast<std::uint16_t>(port))) {
     std::fprintf(stderr, "failed to bind port %d\n", port);
     return 1;
